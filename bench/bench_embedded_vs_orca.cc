@@ -1,0 +1,164 @@
+// §1/Figure 1 ablation: three ways to build the same adaptation.
+//
+//   embedded  — Figure 1: op8/op9 inside the stream graph (control logic
+//               coupled to the data path);
+//   script    — an external cron-style poller over the tooling output;
+//   orca      — the paper's orchestrator (§5.1).
+//
+// All three run the identical workload (antenna burst at t=300) and are
+// compared on (a) adaptation trigger latency, (b) control work performed
+// on the data path, and (c) the separation-of-concerns accounting the
+// paper argues for (graph operators devoted to control).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "apps/sentiment_orca.h"
+#include "baseline/embedded_adaptation.h"
+#include "baseline/script_controller.h"
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+constexpr double kShift = 300;
+constexpr double kEnd = 700;
+
+apps::TweetWorkload Workload() {
+  apps::TweetWorkload workload;
+  workload.period = 0.02;
+  workload.shift_time = kShift;
+  return workload;
+}
+
+apps::CauseModel InitialModel() {
+  apps::CauseModel model;
+  model.known_causes = {"flash", "screen"};
+  return model;
+}
+
+struct Row {
+  std::string name;
+  double trigger_latency = -1;
+  int64_t control_tuples_on_data_path = 0;
+  int graph_operators = 0;
+  int control_operators = 0;
+};
+
+Row RunEmbedded() {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("h" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  apps::HadoopSim hadoop(&sim, apps::HadoopSim::Config{90, 50});
+  auto handles = baseline::EmbeddedAdaptation::Register(
+      &factory, "Embedded", Workload(), InitialModel(), &hadoop, 1.0, 600,
+      15);
+  auto model = baseline::EmbeddedAdaptation::Build("Embedded");
+  sam.SubmitJob(*model);
+  sim.RunUntil(kEnd);
+  Row row{"embedded (Figure 1)"};
+  if (!handles.triggers->empty()) {
+    row.trigger_latency = (*handles.triggers)[0] - kShift;
+  }
+  row.control_tuples_on_data_path = *handles.control_tuples;
+  row.graph_operators = static_cast<int>(model->operators().size());
+  row.control_operators = 2;  // op8, op9
+  return row;
+}
+
+Row RunScript(double poll_period) {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("h" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  apps::HadoopSim hadoop(&sim, apps::HadoopSim::Config{90, 50});
+  auto handles = apps::SentimentApp::Register(&factory, "SentimentAnalysis",
+                                              Workload(), InitialModel());
+  auto model = apps::SentimentApp::Build("SentimentAnalysis");
+  auto job = sam.SubmitJob(*model);
+  baseline::ScriptController::Config config;
+  config.poll_period = poll_period;
+  config.retrigger_guard = 600;
+  baseline::ScriptController controller(&sim, &srm, &hadoop, handles,
+                                        config);
+  controller.Start(job.value());
+  sim.RunUntil(kEnd);
+  char label[64];
+  std::snprintf(label, sizeof(label), "script (%.0f s cron poll)",
+                poll_period);
+  Row row{std::string(label)};
+  if (!controller.trigger_times().empty()) {
+    row.trigger_latency = controller.trigger_times()[0] - kShift;
+  }
+  row.graph_operators = static_cast<int>(model->operators().size());
+  return row;
+}
+
+Row RunOrca() {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("h" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  apps::HadoopSim hadoop(&sim, apps::HadoopSim::Config{90, 50});
+  auto handles = apps::SentimentApp::Register(&factory, "SentimentAnalysis",
+                                              Workload(), InitialModel());
+  orca::OrcaService service(&sim, &sam, &srm);
+  orca::AppConfig config;
+  config.id = "sentiment";
+  config.application_name = "SentimentAnalysis";
+  auto model = apps::SentimentApp::Build("SentimentAnalysis");
+  service.RegisterApplication(config, *model);
+  apps::SentimentOrca::Config orca_config;
+  orca_config.retrigger_guard = 600;
+  auto logic_holder = std::make_unique<apps::SentimentOrca>(
+      orca_config, &hadoop, handles);
+  apps::SentimentOrca* logic = logic_holder.get();
+  service.Load(std::move(logic_holder));
+  sim.RunUntil(kEnd);
+  Row row{"orchestrator (§5.1)"};
+  if (!logic->trigger_times().empty()) {
+    row.trigger_latency = logic->trigger_times()[0] - kShift;
+  }
+  row.graph_operators = static_cast<int>(model->operators().size());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1 vs. orchestrator: the same adaptation three "
+              "ways ===\n");
+  std::printf("(antenna burst at t=%g; trigger latency = burst -> Hadoop "
+              "submission)\n\n",
+              kShift);
+  std::printf("%-26s %16s %18s %12s %14s\n", "approach", "trigger latency",
+              "ctrl tuples/path", "graph ops", "ctrl ops in graph");
+  for (const Row& row : {RunEmbedded(), RunScript(60), RunScript(15),
+                         RunOrca()}) {
+    std::printf("%-26s %14.1f s %18lld %12d %14d\n", row.name.c_str(),
+                row.trigger_latency,
+                static_cast<long long>(row.control_tuples_on_data_path),
+                row.graph_operators, row.control_operators);
+  }
+  std::printf(
+      "\nreading: all three adapt; the embedded variant pays with control\n"
+      "tuples on the data path and a graph polluted by control operators\n"
+      "(unreusable, §1); the script pays with poll-bounded latency; the\n"
+      "orchestrator keeps the graph clean at comparable latency.\n");
+  return 0;
+}

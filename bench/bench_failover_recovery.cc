@@ -1,0 +1,156 @@
+// §5.2 ablation: replica failover vs. restart-in-place.
+//
+// The Trend Calculator needs `window` seconds of tuples to refresh its
+// sliding windows after a state loss. With the ORCA replica policy, users
+// read correct output from the promoted replica throughout; with plain
+// PE restart (no replicas), correct output is unavailable for the full
+// window span. Sweeping the window size shows the gap growing linearly —
+// the crossover argument for paying 3x resources.
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/trend_app.h"
+#include "apps/trend_orca.h"
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "runtime/failure_injector.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+constexpr double kOutputPeriod = 5.0;
+
+struct Recovery {
+  double unavailable = 0;  // crash -> first output from the active view
+  double incorrect = 0;    // crash -> first full-window output
+};
+
+/// Time until the *user-visible* view (per policy) serves full windows.
+Recovery RunRestartOnly(double window, double crash_time) {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+
+  apps::StockWorkload workload;
+  workload.period = 0.5;
+  workload.symbols = {"IBM"};
+  auto handles = apps::TrendApp::Register(&factory, "Trend", workload);
+  auto model = apps::TrendApp::Build("Trend", window, kOutputPeriod);
+  auto job = sam.SubmitJob(*model, {{"replica", "single"}});
+
+  // Restart-only policy: on crash, restart the PE when detected.
+  sim.RunUntil(1);
+  auto pe = sam.FindJob(job.value())
+                ->PeOfOperator(apps::TrendApp::kAggregateName);
+  sim.ScheduleAt(crash_time, [&, pe] {
+    sam.KillPe(pe.value(), "crash");
+  });
+  sim.ScheduleAt(crash_time + 1.0, [&, pe] { sam.RestartPe(pe.value()); });
+  sim.RunUntil(crash_time + window + 60);
+
+  const auto& out = (*handles.outputs)["single"];
+  int full = static_cast<int>(window / workload.period);
+  Recovery recovery;
+  double first_output = -1, first_full = -1;
+  for (const auto& point : out) {
+    if (point.at <= crash_time) continue;
+    if (first_output < 0) first_output = point.at;
+    if (first_full < 0 && point.window_count >= full - 2) {
+      first_full = point.at;
+    }
+  }
+  recovery.unavailable = first_output - crash_time;
+  recovery.incorrect = first_full - crash_time;
+  return recovery;
+}
+
+Recovery RunFailover(double window, double crash_time) {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 8; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  orca::OrcaService service(&sim, &sam, &srm);
+
+  apps::StockWorkload workload;
+  workload.period = 0.5;
+  workload.symbols = {"IBM"};
+  apps::TrendOrca::Config orca_config;
+  std::map<std::string, apps::TrendApp::Handles> handles;
+  for (const auto& replica : orca_config.replica_ids) {
+    std::string app_name = "TrendCalculator_" + replica;
+    handles[replica] = apps::TrendApp::Register(&factory, app_name, workload);
+    orca::AppConfig config;
+    config.id = replica;
+    config.application_name = app_name;
+    config.parameters["replica"] = replica;
+    service.RegisterApplication(
+        config, *apps::TrendApp::Build(app_name, window, kOutputPeriod));
+  }
+  auto logic_holder = std::make_unique<apps::TrendOrca>(orca_config);
+  apps::TrendOrca* logic = logic_holder.get();
+  service.Load(std::move(logic_holder));
+
+  runtime::FailureInjector injector(&sim, &sam);
+  sim.RunUntil(1);
+  auto job = service.RunningJob("replica0");
+  auto pe = sam.FindJob(job.value())
+                ->PeOfOperator(apps::TrendApp::kAggregateName);
+  injector.KillPeAt(crash_time, pe.value(), "crash");
+  sim.RunUntil(crash_time + window + 60);
+
+  // The user reads the *active* replica per the status file. After the
+  // failover, that is the promoted replica, whose windows never emptied.
+  Recovery recovery;
+  if (logic->failovers().empty()) return recovery;
+  const auto& failover = logic->failovers()[0];
+  const std::string& promoted = failover.new_active;
+  const auto& out = (*handles[promoted].outputs)[promoted];
+  int full = static_cast<int>(window / workload.period);
+  double first_output = -1, first_full = -1;
+  for (const auto& point : out) {
+    if (point.at <= failover.at) continue;
+    if (first_output < 0) first_output = point.at;
+    if (first_full < 0 && point.window_count >= full - 2) {
+      first_full = point.at;
+    }
+  }
+  // Output cadence is kOutputPeriod, so the worst case gap is one period
+  // plus the failure-detection delay.
+  recovery.unavailable = first_output - crash_time;
+  recovery.incorrect = first_full - crash_time;
+  return recovery;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §5.2: recovery time — ORCA replica failover vs. plain "
+              "PE restart ===\n");
+  std::printf("(time until the user-visible view serves correct, "
+              "full-window output again)\n\n");
+  std::printf("%10s | %16s %16s | %16s %16s\n", "window",
+              "restart:no-output", "restart:correct", "failover:no-out",
+              "failover:correct");
+  for (double window : {60.0, 180.0, 300.0, 600.0}) {
+    double crash_time = window + 60;
+    Recovery restart = RunRestartOnly(window, crash_time);
+    Recovery failover = RunFailover(window, crash_time);
+    std::printf("%8.0f s | %14.1f s %14.1f s | %14.1f s %14.1f s\n", window,
+                restart.unavailable, restart.incorrect,
+                failover.unavailable, failover.incorrect);
+  }
+  std::printf("\nshape: restart-in-place recovery grows linearly with the "
+              "window (the paper's\n600 s state refill); failover recovery "
+              "stays at one output period regardless.\n");
+  return 0;
+}

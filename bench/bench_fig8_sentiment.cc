@@ -1,0 +1,102 @@
+// Figure 8 reproduction: unknown/known sentiment ratio over time (§5.1).
+//
+// The paper's figure: the ratio stays below 1.0 while the pre-computed
+// cause model matches the stream; "around epoch 250" an antenna-complaint
+// burst drives it above the 1.0 actuation threshold; the ORCA logic
+// submits the Hadoop job; after the model refresh the ratio stabilizes
+// below 1.0.
+//
+// To land the burst near epoch 250 like the paper we use a 2 s metric pull
+// period and shift the workload at t=500 (epoch ≈ 250). Absolute epochs
+// depend on the pull period; the shape is the reproduced result.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "apps/sentiment_orca.h"
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+int main() {
+  constexpr double kPullPeriod = 2.0;
+  constexpr double kShift = 500.0;   // epoch ≈ 250
+  constexpr double kHadoop = 120.0;  // batch job duration
+
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+
+  apps::TweetWorkload workload;
+  workload.period = 0.02;  // 50 tweets/s
+  workload.shift_time = kShift;
+  apps::CauseModel initial;
+  initial.known_causes = {"flash", "screen"};
+  auto handles = apps::SentimentApp::Register(&factory, "SentimentAnalysis",
+                                              workload, initial);
+  apps::HadoopSim hadoop(&sim, apps::HadoopSim::Config{kHadoop, 50});
+
+  orca::OrcaService service(&sim, &sam, &srm);
+  orca::AppConfig config;
+  config.id = "sentiment";
+  config.application_name = "SentimentAnalysis";
+  service.RegisterApplication(config,
+                              *apps::SentimentApp::Build("SentimentAnalysis"));
+
+  apps::SentimentOrca::Config orca_config;
+  orca_config.threshold = 1.0;
+  orca_config.retrigger_guard = 600;  // the paper's 10 minutes
+  orca_config.metric_pull_period = kPullPeriod;
+  auto logic_holder = std::make_unique<apps::SentimentOrca>(
+      orca_config, &hadoop, handles);
+  apps::SentimentOrca* logic = logic_holder.get();
+  service.Load(std::move(logic_holder));
+
+  sim.RunUntil(800);
+
+  std::printf("=== Figure 8: unknown/known cause ratio vs. epoch ===\n");
+  std::printf("(actuation threshold 1.0; burst injected at epoch ~%d)\n\n",
+              static_cast<int>(kShift / kPullPeriod));
+  std::printf("%8s %10s %8s\n", "epoch", "ratio", "model");
+  // Print every 10th epoch plus everything near the transition.
+  for (const auto& m : logic->measurements()) {
+    bool interesting = m.epoch % 10 == 0 ||
+                       (m.at > kShift - 10 && m.at < kShift + 60) ||
+                       m.ratio > 1.0;
+    if (!interesting) continue;
+    std::printf("%8lld %10.3f %8lld%s\n", static_cast<long long>(m.epoch),
+                m.ratio, static_cast<long long>(m.model_version),
+                m.ratio > 1.0 ? "  *" : "");
+  }
+
+  double peak = 0;
+  for (const auto& m : logic->measurements()) peak = std::max(peak, m.ratio);
+  std::printf("\nsummary:\n");
+  std::printf("  pre-shift ratio stays < 1.0, peak post-shift ratio: %.2f\n",
+              peak);
+  for (auto t : logic->trigger_times()) {
+    std::printf("  Hadoop job triggered at t=%.1f (epoch %lld)\n", t,
+                static_cast<long long>(t / kPullPeriod));
+  }
+  for (auto t : hadoop.completions()) {
+    std::printf("  model refreshed at t=%.1f\n", t);
+  }
+  if (!logic->measurements().empty()) {
+    std::printf("  final ratio: %.3f (below threshold: %s)\n",
+                logic->measurements().back().ratio,
+                logic->measurements().back().ratio < 1.0 ? "yes" : "no");
+  }
+  std::printf("  jobs submitted: %lld (re-trigger guard held)\n",
+              static_cast<long long>(hadoop.jobs_submitted()));
+  return 0;
+}

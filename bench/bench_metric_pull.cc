@@ -1,0 +1,95 @@
+// §4.2 ablation: metric pull period vs. adaptation detection latency.
+//
+// The ORCA service pulls SRM every 15 s by default (configurable at any
+// point); HCs push PE metrics every 3 s regardless. Sweeping the pull
+// period shows the trade-off the defaults encode: detection latency of a
+// workload shift vs. number of pull rounds (control-plane work).
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "apps/sentiment_orca.h"
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+struct SweepResult {
+  double pull_period = 0;
+  double detection_latency = -1;  // shift -> first trigger
+  int64_t pull_rounds = 0;
+  int64_t events_delivered = 0;
+};
+
+SweepResult RunOnce(double pull_period) {
+  constexpr double kShift = 200;
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+
+  apps::TweetWorkload workload;
+  workload.period = 0.02;
+  workload.shift_time = kShift;
+  apps::CauseModel initial;
+  initial.known_causes = {"flash", "screen"};
+  auto handles = apps::SentimentApp::Register(&factory, "SentimentAnalysis",
+                                              workload, initial);
+  apps::HadoopSim hadoop(&sim, apps::HadoopSim::Config{60, 50});
+
+  orca::OrcaService service(&sim, &sam, &srm);
+  orca::AppConfig config;
+  config.id = "sentiment";
+  config.application_name = "SentimentAnalysis";
+  service.RegisterApplication(config,
+                              *apps::SentimentApp::Build("SentimentAnalysis"));
+  apps::SentimentOrca::Config orca_config;
+  orca_config.metric_pull_period = pull_period;
+  orca_config.retrigger_guard = 600;
+  auto logic_holder = std::make_unique<apps::SentimentOrca>(
+      orca_config, &hadoop, handles);
+  apps::SentimentOrca* logic = logic_holder.get();
+  service.Load(std::move(logic_holder));
+
+  sim.RunUntil(kShift + 300);
+
+  SweepResult result;
+  result.pull_period = pull_period;
+  result.pull_rounds = service.metric_epoch();
+  result.events_delivered =
+      static_cast<int64_t>(service.events_delivered());
+  if (!logic->trigger_times().empty()) {
+    result.detection_latency = logic->trigger_times()[0] - kShift;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §4.2: metric pull period vs. detection latency ===\n");
+  std::printf("(workload shift at t=200; HC->SRM push period fixed at "
+              "3 s)\n\n");
+  std::printf("%12s %20s %12s %14s\n", "pull period", "detection latency",
+              "pull rounds", "orca events");
+  for (double period : {1.0, 3.0, 5.0, 15.0, 30.0, 60.0}) {
+    SweepResult result = RunOnce(period);
+    std::printf("%10.0f s %18.1f s %12lld %14lld\n", result.pull_period,
+                result.detection_latency,
+                static_cast<long long>(result.pull_rounds),
+                static_cast<long long>(result.events_delivered));
+  }
+  std::printf("\nshape: latency tracks the pull period (floored by the 3 s "
+              "HC push and the\nneed for one full post-shift round); rounds "
+              "and event volume scale inversely.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// §3 claim: "the generation of such an event does not add a performance
+// penalty to the managed applications" — metric events are pulled from SRM
+// (which HCs feed anyway) and failure events reuse SAM's detection, so the
+// application hot path does no extra work.
+//
+// This bench runs the same pipeline (a) unmanaged, (b) managed by an ORCA
+// service with broad metric scopes, and (c) managed with an aggressive
+// 1-second pull period, and reports tuples delivered in identical virtual
+// time plus the wall-clock cost of the simulation. It also decomposes the
+// §3 failure-reaction path: detection delay + SAM->ORCA RPC + handler.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "orca/orchestrator.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+#include "topology/app_builder.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+class BroadOrca : public orca::Orchestrator {
+ public:
+  void HandleOrcaStart(const orca::OrcaStartContext&) override {
+    orca::OperatorMetricScope metrics("all");
+    metrics.SetPortScope(orca::OperatorMetricScope::PortScope::kBoth);
+    orca()->RegisterEventScope(metrics);
+    orca::PeFailureScope failures("failures");
+    orca()->RegisterEventScope(failures);
+    if (pull_period > 0) orca()->SetMetricPullPeriod(pull_period);
+    orca()->SubmitApplication("app");
+  }
+  void HandleOperatorMetricEvent(const orca::OperatorMetricContext&,
+                                 const std::vector<std::string>&) override {
+    ++metric_events;
+  }
+  void HandlePeFailureEvent(const orca::PeFailureContext& context,
+                            const std::vector<std::string>&) override {
+    failure_handled_at = orca()->Now();
+    orca()->RestartPe(context.pe);
+  }
+  double pull_period = 0;
+  int64_t metric_events = 0;
+  double failure_handled_at = -1;
+};
+
+struct RunResult {
+  uint64_t tuples = 0;
+  uint64_t sim_events = 0;
+  double wall_ms = 0;
+  int64_t metric_events = 0;
+};
+
+topology::ApplicationModel Pipeline() {
+  topology::AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon").Output("s0").Param("period", 0.005);
+  for (int i = 0; i < 4; ++i) {
+    builder.AddOperator("f" + std::to_string(i), "Filter")
+        .Input("s" + std::to_string(i))
+        .Output("s" + std::to_string(i + 1))
+        .Param("field", "seq")
+        .Param("op", ">=")
+        .Param("value", "0");
+  }
+  builder.AddOperator("snk", "NullSink").Input("s4");
+  return *builder.Build();
+}
+
+RunResult Run(bool managed, double pull_period, double duration) {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 4; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  std::unique_ptr<orca::OrcaService> service;
+  BroadOrca* logic = nullptr;
+
+  if (managed) {
+    service = std::make_unique<orca::OrcaService>(&sim, &sam, &srm);
+    orca::AppConfig config;
+    config.id = "app";
+    config.application_name = "App";
+    service->RegisterApplication(config, Pipeline());
+    auto logic_holder = std::make_unique<BroadOrca>();
+    logic_holder->pull_period = pull_period;
+    logic = logic_holder.get();
+    service->Load(std::move(logic_holder));
+  } else {
+    sam.SubmitJob(Pipeline());
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(duration);
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.tuples = sam.transport()->items_sent();
+  result.sim_events = sim.executed_events();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  if (logic != nullptr) result.metric_events = logic->metric_events;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kDuration = 300;
+  std::printf("=== §3: orchestrator overhead on the application hot path "
+              "===\n\n");
+  std::printf("%-34s %12s %12s %10s %10s\n", "configuration",
+              "tuples sent", "sim events", "wall ms", "orca evts");
+
+  RunResult unmanaged = Run(false, 0, kDuration);
+  std::printf("%-34s %12llu %12llu %10.1f %10s\n",
+              "unmanaged (no orchestrator)",
+              static_cast<unsigned long long>(unmanaged.tuples),
+              static_cast<unsigned long long>(unmanaged.sim_events),
+              unmanaged.wall_ms, "-");
+
+  RunResult managed = Run(true, 0, kDuration);
+  std::printf("%-34s %12llu %12llu %10.1f %10lld\n",
+              "managed, default 15 s pull",
+              static_cast<unsigned long long>(managed.tuples),
+              static_cast<unsigned long long>(managed.sim_events),
+              managed.wall_ms, static_cast<long long>(managed.metric_events));
+
+  RunResult aggressive = Run(true, 1.0, kDuration);
+  std::printf("%-34s %12llu %12llu %10.1f %10lld\n",
+              "managed, aggressive 1 s pull",
+              static_cast<unsigned long long>(aggressive.tuples),
+              static_cast<unsigned long long>(aggressive.sim_events),
+              aggressive.wall_ms,
+              static_cast<long long>(aggressive.metric_events));
+
+  std::printf("\ndata-path parity: managed/unmanaged tuple counts %s "
+              "(paper: no penalty on the hot path)\n",
+              managed.tuples == unmanaged.tuples ? "IDENTICAL" : "DIFFER");
+
+  // Failure reaction decomposition (§3's "one extra RPC + handler time").
+  std::printf("\nfailure reaction path (crash at t=100):\n");
+  {
+    sim::Simulation sim;
+    runtime::Srm::Config srm_config;
+    srm_config.failure_detection_delay = 0.5;
+    runtime::Srm srm(&sim, srm_config);
+    for (int i = 0; i < 4; ++i) srm.AddHost("host" + std::to_string(i));
+    runtime::OperatorFactory factory;
+    ops::RegisterStandardOperators(&factory);
+    runtime::Sam::Config sam_config;
+    sam_config.notification_latency = 0.001;
+    runtime::Sam sam(&sim, &srm, &factory, sam_config);
+    orca::OrcaService service(&sim, &sam, &srm);
+    orca::AppConfig config;
+    config.id = "app";
+    config.application_name = "App";
+    service.RegisterApplication(config, Pipeline());
+    auto logic_holder = std::make_unique<BroadOrca>();
+    BroadOrca* logic = logic_holder.get();
+    service.Load(std::move(logic_holder));
+    sim.RunUntil(1);
+    auto job = service.RunningJob("app");
+    auto pe = sam.FindJob(job.value())->PeOfOperator("f0");
+    sim.ScheduleAt(100, [&] { sam.KillPe(pe.value(), "bench crash"); });
+    sim.RunUntil(120);
+    std::printf("  crash t=100.000 -> handler ran t=%.3f\n",
+                logic->failure_handled_at);
+    std::printf("  = detection delay (0.500) + SAM->ORCA RPC (0.001) + "
+                "queue dispatch\n");
+    std::printf("  PE running again: %s\n",
+                sam.FindPe(pe.value())->running() ? "yes" : "no");
+  }
+  return 0;
+}

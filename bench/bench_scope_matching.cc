@@ -1,0 +1,140 @@
+// §4.1 ablation: the scope API's purpose-built matcher vs. the recursive
+// SQL formulation the paper shows as its equivalent.
+//
+// For random applications of growing size and composite nesting depth,
+// measures the per-event evaluation cost of (a) orca::MatchOperatorMetric
+// over the GraphView and (b) baseline::SqlScopeEval's materialized
+// recursive-closure evaluation, plus the closure construction cost the SQL
+// side pays up front.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/sql_scope_eval.h"
+#include "common/rng.h"
+#include "orca/scope_matcher.h"
+#include "topology/app_builder.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+/// Builds a chain application with `ops_per_level` operators in each of
+/// `depth` nested composites.
+orca::GraphView::JobRecord MakeJob(int ops_per_level, int depth) {
+  topology::AppBuilder builder("BenchApp");
+  builder.AddOperator("src", "Beacon").Output("s_root");
+  std::string last_stream = "s_root";
+  int counter = 0;
+  for (int level = 0; level < depth; ++level) {
+    builder.BeginComposite("compLevel" + std::to_string(level),
+                           "inst" + std::to_string(level));
+    for (int i = 0; i < ops_per_level; ++i) {
+      std::string out = "s" + std::to_string(counter++);
+      builder.AddOperator("op" + std::to_string(counter), "Filter")
+          .Input({last_stream})
+          .Output(out);
+      last_stream = builder.Qualify(out);
+    }
+  }
+  for (int level = 0; level < depth; ++level) builder.EndComposite();
+  auto model = builder.Build();
+  orca::GraphView::JobRecord record;
+  record.id = common::JobId(1);
+  record.app_name = "BenchApp";
+  record.model = *model;
+  return record;
+}
+
+orca::OperatorMetricScope MakeScope() {
+  orca::OperatorMetricScope scope("bench");
+  scope.AddApplicationFilter("BenchApp");
+  scope.AddCompositeTypeFilter("compLevel0");  // forces containment walk
+  scope.AddOperatorTypeFilter(std::string("Filter"));
+  scope.AddOperatorMetric("queueSize");
+  return scope;
+}
+
+std::vector<orca::OperatorMetricContext> MakeEvents(
+    const orca::GraphView::JobRecord& job) {
+  std::vector<orca::OperatorMetricContext> events;
+  for (const auto& op : job.model.operators()) {
+    orca::OperatorMetricContext context;
+    context.job = job.id;
+    context.application = "BenchApp";
+    context.instance_name = op.name;
+    context.operator_kind = op.kind;
+    context.metric = "queueSize";
+    context.port = -1;
+    events.push_back(std::move(context));
+  }
+  return events;
+}
+
+void BM_ScopeMatcher(benchmark::State& state) {
+  auto job = MakeJob(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1)));
+  orca::GraphView view;
+  runtime::JobInfo info;
+  info.id = job.id;
+  info.app_name = job.app_name;
+  info.model = job.model;
+  view.AddJob(info);
+  auto scope = MakeScope();
+  auto events = MakeEvents(job);
+  size_t i = 0;
+  for (auto _ : state) {
+    bool matched =
+        orca::MatchOperatorMetric(scope, events[i % events.size()], view);
+    benchmark::DoNotOptimize(matched);
+    ++i;
+  }
+  state.SetLabel(std::to_string(job.model.operators().size()) + " ops");
+}
+
+void BM_SqlScopeEval(benchmark::State& state) {
+  auto job = MakeJob(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1)));
+  baseline::SqlScopeEval sql(job);
+  auto scope = MakeScope();
+  auto events = MakeEvents(job);
+  size_t i = 0;
+  for (auto _ : state) {
+    bool matched = sql.Matches(scope, events[i % events.size()]);
+    benchmark::DoNotOptimize(matched);
+    ++i;
+  }
+  state.SetLabel(std::to_string(job.model.operators().size()) + " ops, " +
+                 std::to_string(sql.closure_size()) + " closure rows");
+}
+
+void BM_SqlClosureConstruction(benchmark::State& state) {
+  auto job = MakeJob(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    baseline::SqlScopeEval sql(job);
+    benchmark::DoNotOptimize(sql.closure_size());
+  }
+}
+
+}  // namespace
+
+// Args: {operators per composite level, nesting depth}.
+BENCHMARK(BM_ScopeMatcher)
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Args({16, 8})
+    ->Args({64, 4})
+    ->Args({128, 8});
+BENCHMARK(BM_SqlScopeEval)
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Args({16, 8})
+    ->Args({64, 4})
+    ->Args({128, 8});
+BENCHMARK(BM_SqlClosureConstruction)->Args({16, 8})->Args({128, 8});
+
+BENCHMARK_MAIN();

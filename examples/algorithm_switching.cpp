@@ -1,0 +1,162 @@
+// §1's third motivating example: "one may choose to deploy a low resource
+// consumption streaming algorithm A at first, but switch to a more
+// resource hungry and more accurate streaming algorithm B when a certain
+// pattern is detected (such as low prediction accuracy)."
+//
+// Two variants of a scoring application are registered: "fast" (cheap,
+// approximate — its accuracy custom metric degrades when the input gets
+// hard) and "accurate" (3x per-tuple cost, stable accuracy). A
+// RuleOrchestrator (the §7 rules extension) watches the accuracy metric
+// and switches variants at runtime by cancelling one job and submitting
+// the other — pure control-plane actuation, no change to either variant's
+// data-processing code.
+
+#include <cstdio>
+#include <memory>
+
+#include "ops/relational.h"
+#include "ops/sources.h"
+#include "ops/standard.h"
+#include "orca/orca_service.h"
+#include "orca/rules.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+#include "topology/app_builder.h"
+
+using namespace orcastream;  // NOLINT — example brevity
+
+namespace {
+
+/// Registers a scorer kind whose accuracy metric reflects how well the
+/// algorithm handles the current input difficulty.
+void RegisterScorer(runtime::OperatorFactory* factory,
+                    const std::string& kind, double skill) {
+  factory->RegisterOrReplace(kind, [skill] {
+    return std::make_unique<ops::Functor>(
+        [skill](const topology::Tuple& tuple,
+                runtime::OperatorContext* ctx)
+            -> std::optional<topology::Tuple> {
+          ctx->CreateCustomMetric("nCorrect");
+          ctx->CreateCustomMetric("nScored");
+          double difficulty = tuple.DoubleOr("difficulty", 0.1);
+          bool correct = ctx->rng()->Bernoulli(
+              std::max(0.05, 1.0 - difficulty / skill));
+          ctx->AddToCustomMetric("nScored", 1);
+          if (correct) ctx->AddToCustomMetric("nCorrect", 1);
+          topology::Tuple out = tuple;
+          out.Set("prediction", correct);
+          return out;
+        });
+  });
+}
+
+topology::ApplicationModel BuildVariant(const std::string& app_name,
+                                        const std::string& scorer_kind,
+                                        double cost) {
+  topology::AppBuilder builder(app_name);
+  builder.AddOperator("feed", "EventFeed").Output("events");
+  builder.AddOperator("scorer", scorer_kind)
+      .Input("events")
+      .Output("scored")
+      .CostPerTuple(cost);
+  builder.AddOperator("snk", "NullSink").Input("scored");
+  return *builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);
+  for (int i = 0; i < 3; ++i) srm.AddHost("host" + std::to_string(i));
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  orca::OrcaService service(&sim, &sam, &srm);
+
+  // The event feed: difficulty jumps at t=300 (the "pattern").
+  factory.RegisterOrReplace("EventFeed", [] {
+    ops::CallbackSource::Options options;
+    options.period = 0.05;
+    options.generator = [](common::Rng*, sim::SimTime now,
+                           int64_t seq) -> std::optional<topology::Tuple> {
+      topology::Tuple t;
+      t.Set("seq", seq);
+      t.Set("difficulty", now < 300 ? 0.2 : 0.8);
+      return t;
+    };
+    return std::make_unique<ops::CallbackSource>(options);
+  });
+  RegisterScorer(&factory, "FastScorer", /*skill=*/1.0);      // cheap
+  RegisterScorer(&factory, "AccurateScorer", /*skill=*/4.0);  // 3x cost
+
+  orca::AppConfig fast;
+  fast.id = "fast";
+  fast.application_name = "ScoringFast";
+  service.RegisterApplication(fast,
+                              BuildVariant("ScoringFast", "FastScorer",
+                                           0.0005));
+  orca::AppConfig accurate;
+  accurate.id = "accurate";
+  accurate.application_name = "ScoringAccurate";
+  service.RegisterApplication(
+      accurate, BuildVariant("ScoringAccurate", "AccurateScorer", 0.0015));
+
+  // The policy, as §7-style rules: track nCorrect/nScored growth per
+  // epoch; below 70% accuracy on the fast variant -> switch to accurate.
+  auto rules = std::make_unique<orca::RuleOrchestrator>();
+  struct SwitchState {
+    int64_t correct = 0, scored = 0, prev_correct = 0, prev_scored = 0;
+    int64_t correct_epoch = -1, scored_epoch = -2;
+    bool switched = false;
+  };
+  auto state = std::make_shared<SwitchState>();
+  rules->OnStart([](orca::OrcaService* orca) {
+    orca->SubmitApplication("fast");
+    std::printf("[%6.1fs] deployed algorithm A (fast, cheap)\n",
+                orca->Now());
+  });
+  orca::OperatorMetricScope accuracy("acc");
+  accuracy.AddOperatorNameFilter("scorer");
+  accuracy.AddOperatorMetric("nCorrect");
+  accuracy.AddOperatorMetric("nScored");
+  rules->WhenMetric(
+      accuracy, nullptr,
+      [state](orca::OrcaService* orca,
+              const orca::OperatorMetricContext& context) {
+        if (state->switched) return;
+        if (context.metric == "nCorrect") {
+          state->correct = context.value;
+          state->correct_epoch = context.epoch;
+        } else {
+          state->scored = context.value;
+          state->scored_epoch = context.epoch;
+        }
+        if (state->correct_epoch != state->scored_epoch) return;
+        int64_t d_correct = state->correct - state->prev_correct;
+        int64_t d_scored = state->scored - state->prev_scored;
+        state->prev_correct = state->correct;
+        state->prev_scored = state->scored;
+        if (d_scored < 20) return;
+        double acc = static_cast<double>(d_correct) /
+                     static_cast<double>(d_scored);
+        std::printf("[%6.1fs] epoch %lld accuracy %.2f\n", orca->Now(),
+                    static_cast<long long>(context.epoch), acc);
+        if (acc < 0.70) {
+          std::printf("[%6.1fs] low accuracy detected -> switching to "
+                      "algorithm B (accurate, 3x cost)\n",
+                      orca->Now());
+          orca->CancelApplication("fast");
+          orca->SubmitApplication("accurate");
+          state->switched = true;
+        }
+      });
+  service.Load(std::move(rules));
+
+  sim.RunUntil(600);
+  std::printf("\nfinal state: fast=%s accurate=%s (expected: switched)\n",
+              service.IsRunning("fast") ? "running" : "stopped",
+              service.IsRunning("accurate") ? "running" : "stopped");
+  return 0;
+}

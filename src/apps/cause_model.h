@@ -1,0 +1,49 @@
+#ifndef ORCASTREAM_APPS_CAUSE_MODEL_H_
+#define ORCASTREAM_APPS_CAUSE_MODEL_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace orcastream::apps {
+
+/// The pre-computed set of known causes for negative product sentiment
+/// (§5.1). The original system computes this offline with a Hadoop/
+/// BigInsights text-analytics job over a large corpus; the streaming
+/// application loads it at bootup and reloads it when the batch job
+/// refreshes it.
+struct CauseModel {
+  std::set<std::string> known_causes;
+  int64_t version = 0;
+
+  bool Knows(const std::string& cause) const {
+    return known_causes.count(cause) > 0;
+  }
+};
+
+/// Shared, hot-reloadable model slot. Operators hold the SharedCauseModel
+/// and read the current model per tuple; the Hadoop job's completion
+/// installs a new version, which the streaming application picks up
+/// automatically ("the streaming application automatically reloads the
+/// output of the Hadoop job as soon as the job finishes", §5.1).
+class SharedCauseModel {
+ public:
+  explicit SharedCauseModel(CauseModel initial)
+      : model_(std::make_shared<CauseModel>(std::move(initial))) {}
+
+  std::shared_ptr<const CauseModel> Get() const { return model_; }
+
+  void Install(CauseModel next) {
+    next.version = model_->version + 1;
+    model_ = std::make_shared<CauseModel>(std::move(next));
+  }
+
+  int64_t version() const { return model_->version; }
+
+ private:
+  std::shared_ptr<const CauseModel> model_;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_CAUSE_MODEL_H_

@@ -1,0 +1,33 @@
+#include "apps/hadoop_sim.h"
+
+#include <map>
+#include <string>
+
+namespace orcastream::apps {
+
+void HadoopSim::SubmitCauseJob(
+    std::shared_ptr<const ops::TupleStore> corpus,
+    std::function<void(CauseModel)> on_complete) {
+  ++jobs_submitted_;
+  // Snapshot the corpus *at submission time*, like a real batch job
+  // reading its input split. Tweets written while the job runs are not
+  // part of this round.
+  std::map<std::string, int64_t> counts;
+  for (const auto& record : corpus->records()) {
+    std::string cause = record.tuple.StringOr("cause", "");
+    if (!cause.empty()) counts[cause]++;
+  }
+  CauseModel model;
+  for (const auto& [cause, count] : counts) {
+    if (count >= config_.min_support) model.known_causes.insert(cause);
+  }
+  sim_->ScheduleAfter(config_.job_duration,
+                      [this, model = std::move(model),
+                       on_complete = std::move(on_complete)] {
+                        ++jobs_completed_;
+                        completions_.push_back(sim_->Now());
+                        on_complete(model);
+                      });
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,54 @@
+#ifndef ORCASTREAM_APPS_HADOOP_SIM_H_
+#define ORCASTREAM_APPS_HADOOP_SIM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/cause_model.h"
+#include "ops/sinks.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// Simulated Hadoop/BigInsights batch analytics (§5.1): the cause
+/// re-computation job the ORCA logic launches when too many complaints
+/// have unknown causes. The real system runs a text-analytics MapReduce
+/// job over the stored corpus of negative tweets; this simulation scans
+/// the same (simulated) disk store, extracts causes that occur at least
+/// `min_support` times, and completes after a configurable batch
+/// duration — exercising the identical control path (trigger → batch →
+/// model reload) with deterministic timing.
+class HadoopSim {
+ public:
+  struct Config {
+    /// Wall-clock (virtual) duration of one batch job.
+    sim::SimTime job_duration = 120.0;
+    /// Minimum occurrences for a complaint cause to enter the new model.
+    int64_t min_support = 20;
+  };
+
+  HadoopSim(sim::Simulation* sim, Config config)
+      : sim_(sim), config_(config) {}
+
+  /// Submits a cause-recomputation job over the negative-tweet store.
+  /// `on_complete` receives the recomputed model after job_duration.
+  void SubmitCauseJob(std::shared_ptr<const ops::TupleStore> corpus,
+                      std::function<void(CauseModel)> on_complete);
+
+  int64_t jobs_submitted() const { return jobs_submitted_; }
+  int64_t jobs_completed() const { return jobs_completed_; }
+  /// Completion times of finished jobs.
+  const std::vector<sim::SimTime>& completions() const { return completions_; }
+
+ private:
+  sim::Simulation* sim_;
+  Config config_;
+  int64_t jobs_submitted_ = 0;
+  int64_t jobs_completed_ = 0;
+  std::vector<sim::SimTime> completions_;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_HADOOP_SIM_H_

@@ -1,0 +1,141 @@
+#include "apps/sentiment_app.h"
+
+#include "ops/relational.h"
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using ops::CallbackSink;
+using ops::CallbackSource;
+using ops::Functor;
+using ops::StoreSink;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+namespace {
+
+/// op5: correlates negative tweets to known causes using the current
+/// model, stores them on "disk", and maintains the adaptation metrics.
+class CauseCorrelator : public runtime::Operator {
+ public:
+  CauseCorrelator(std::shared_ptr<SharedCauseModel> model,
+                  std::shared_ptr<ops::TupleStore> store)
+      : model_(std::move(model)), store_(std::move(store)) {}
+
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    ctx->CreateCustomMetric(SentimentApp::kKnownMetric);
+    ctx->CreateCustomMetric(SentimentApp::kUnknownMetric);
+  }
+
+  void ProcessTuple(size_t, const Tuple& tweet) override {
+    if (tweet.StringOr("sentiment", "") != "negative") {
+      return;  // only negative tweets are correlated
+    }
+    // Store for the batch job's corpus (§5.1: negative tweets are stored
+    // on disk for later batch processing).
+    store_->Append(ctx()->Now(), tweet);
+
+    std::string cause = tweet.StringOr("cause", "");
+    std::shared_ptr<const CauseModel> model = model_->Get();
+    bool known = model->Knows(cause);
+    ctx()->AddToCustomMetric(
+        known ? SentimentApp::kKnownMetric : SentimentApp::kUnknownMetric, 1);
+    Tuple out = tweet;
+    out.Set("causeKnown", known);
+    out.Set("correlatedCause", known ? cause : "unknown");
+    out.Set("modelVersion", model->version);
+    ctx()->Submit(0, out);
+  }
+
+ private:
+  std::shared_ptr<SharedCauseModel> model_;
+  std::shared_ptr<ops::TupleStore> store_;
+};
+
+}  // namespace
+
+SentimentApp::Handles SentimentApp::Register(runtime::OperatorFactory* factory,
+                                             const std::string& app_name,
+                                             const TweetWorkload& workload,
+                                             CauseModel initial_model) {
+  Handles handles;
+  handles.model = std::make_shared<SharedCauseModel>(std::move(initial_model));
+  handles.negative_store = std::make_shared<ops::TupleStore>();
+  handles.display = std::make_shared<ops::TupleStore>();
+
+  factory->RegisterOrReplace(app_name + ".TweetSource", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+
+  auto model = handles.model;
+  factory->RegisterOrReplace(app_name + ".ModelStamp", [model] {
+    return std::make_unique<Functor>(
+        [model](const Tuple& tuple,
+                runtime::OperatorContext*) -> std::optional<Tuple> {
+          Tuple out = tuple;
+          out.Set("modelVersion", model->version());
+          return out;
+        });
+  });
+
+  factory->RegisterOrReplace(app_name + ".Categorizer", [] {
+    return std::make_unique<Functor>(
+        [](const Tuple& tweet,
+           runtime::OperatorContext* ctx) -> std::optional<Tuple> {
+          // Keep only tweets about the configured product of interest.
+          std::string product = ctx->ParamOr("product", "iPhone");
+          if (tweet.StringOr("product", "") != product) return std::nullopt;
+          return tweet;
+        });
+  });
+
+  auto store = handles.negative_store;
+  factory->RegisterOrReplace(app_name + ".CauseCorrelator", [model, store] {
+    return std::make_unique<CauseCorrelator>(model, store);
+  });
+
+  auto display = handles.display;
+  factory->RegisterOrReplace(app_name + ".Display", [display] {
+    return std::make_unique<StoreSink>(display);
+  });
+
+  return handles;
+}
+
+common::Result<ApplicationModel> SentimentApp::Build(
+    const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("op1_source", app_name + ".TweetSource")
+      .Output("tweets");
+  builder.AddOperator("op2_model", app_name + ".ModelStamp")
+      .Input("tweets")
+      .Output("stamped");
+  builder.AddOperator("op3_categorize", app_name + ".Categorizer")
+      .Input("stamped")
+      .Output("categorized")
+      .Param("product", "iPhone");
+  builder.AddOperator("op4_model", app_name + ".ModelStamp")
+      .Input("categorized")
+      .Output("restamped");
+  builder.AddOperator(kCorrelatorName, app_name + ".CauseCorrelator")
+      .Input("restamped")
+      .Output("correlated");
+  builder.AddOperator("op6_aggregate", "Aggregate")
+      .Input("correlated")
+      .Output("topCauses")
+      .Param("windowSeconds", 120.0)
+      .Param("outputPeriod", 15.0)
+      .Param("keyField", "correlatedCause")
+      .Param("aggregates", "count:modelVersion");
+  builder.AddOperator("op7_display", app_name + ".Display")
+      .Input("topCauses");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,63 @@
+#ifndef ORCASTREAM_APPS_SENTIMENT_APP_H_
+#define ORCASTREAM_APPS_SENTIMENT_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/cause_model.h"
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "ops/sinks.h"
+#include "runtime/operator_api.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// The §5.1 sentiment-analysis application (Figure 1 without the embedded
+/// adaptation operators op8/op9 — that coupling is exactly what the
+/// orchestrator removes). The pipeline:
+///
+///   op1 TweetSource  → op2 ModelStamp → op3 SentimentCategorizer
+///   → op4 ModelStamp → op5 CauseCorrelator → op6 CauseAggregate
+///   → op7 Display
+///
+/// op2/op4 stand for the operators that load the pre-computed cause model
+/// (they stamp the model version on passing tuples); op5 correlates
+/// negative tweets with known causes, writes them to the simulated disk
+/// store for later batch processing, and maintains the two custom metrics
+/// the ORCA logic subscribes to: nKnownCause and nUnknownCause.
+class SentimentApp {
+ public:
+  /// Names of the custom metrics maintained by the correlator.
+  static constexpr char kKnownMetric[] = "nKnownCause";
+  static constexpr char kUnknownMetric[] = "nUnknownCause";
+  /// Operator instance name carrying the custom metrics.
+  static constexpr char kCorrelatorName[] = "op5_correlate";
+
+  /// Shared state between the running application, the batch job, and
+  /// observers (the "disk" and the GUI).
+  struct Handles {
+    std::shared_ptr<SharedCauseModel> model;
+    /// Negative tweets stored on disk for the batch job (§5.1).
+    std::shared_ptr<ops::TupleStore> negative_store;
+    /// op7's display output (cause → aggregated counts).
+    std::shared_ptr<ops::TupleStore> display;
+  };
+
+  /// Registers the application's custom operator kinds with the factory
+  /// and returns the shared handles. Kind names are prefixed with
+  /// `app_name` so several instances can coexist in one factory.
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const TweetWorkload& workload,
+                          CauseModel initial_model);
+
+  /// Builds the logical application model (uses the kinds registered by
+  /// Register with the same `app_name`).
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_SENTIMENT_APP_H_

@@ -1,0 +1,75 @@
+#include "apps/sentiment_orca.h"
+
+#include "common/logging.h"
+#include "orca/orca_service.h"
+
+namespace orcastream::apps {
+
+void SentimentOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
+  // Scope: the two custom metrics maintained by the correlator (§5.1
+  // "during the execution of the orchestrator start callback, we add to
+  // the scope the two custom operator metrics").
+  orca::OperatorMetricScope scope("causeMetrics");
+  scope.AddApplicationFilter(config_.app_name);
+  scope.AddOperatorNameFilter(SentimentApp::kCorrelatorName);
+  scope.AddOperatorMetric(SentimentApp::kKnownMetric);
+  scope.AddOperatorMetric(SentimentApp::kUnknownMetric);
+  orca()->RegisterEventScope(scope);
+  orca()->SetMetricPullPeriod(config_.metric_pull_period);
+  common::Status status = orca()->SubmitApplication(config_.app_config_id);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "sentiment app submission failed: " << status;
+  }
+}
+
+void SentimentOrca::HandleOperatorMetricEvent(
+    const orca::OperatorMetricContext& context,
+    const std::vector<std::string>&) {
+  if (context.metric == SentimentApp::kKnownMetric) {
+    known_epoch_ = context.epoch;
+    known_value_ = context.value;
+  } else if (context.metric == SentimentApp::kUnknownMetric) {
+    unknown_epoch_ = context.epoch;
+    unknown_value_ = context.value;
+  } else {
+    return;
+  }
+  last_collected_at_ = context.collected_at;
+  // Epoch check: both metrics must come from the same SRM query round
+  // before they can be compared (§4.2's logical clock).
+  if (known_epoch_ == unknown_epoch_) {
+    MaybeActuate();
+  }
+}
+
+void SentimentOrca::MaybeActuate() {
+  // Per-round growth of the two counters; the cumulative totals would
+  // dilute a burst, the deltas track the live distribution.
+  int64_t known_delta = known_value_ - prev_known_;
+  int64_t unknown_delta = unknown_value_ - prev_unknown_;
+  bool had_prev = have_prev_;
+  prev_known_ = known_value_;
+  prev_unknown_ = unknown_value_;
+  have_prev_ = true;
+  if (!had_prev || known_delta + unknown_delta <= 0) return;
+
+  double ratio = static_cast<double>(unknown_delta) /
+                 static_cast<double>(known_delta > 0 ? known_delta : 1);
+  measurements_.push_back(Measurement{known_epoch_, last_collected_at_, ratio,
+                                      handles_.model->version()});
+
+  if (ratio > config_.threshold &&
+      orca()->Now() - last_trigger_ >= config_.retrigger_guard) {
+    last_trigger_ = orca()->Now();
+    trigger_times_.push_back(orca()->Now());
+    ORCA_LOG(kInfo) << "unknown/known ratio " << ratio
+                    << " crossed threshold; submitting Hadoop job";
+    auto model = handles_.model;
+    hadoop_->SubmitCauseJob(handles_.negative_store,
+                            [model](CauseModel next) {
+                              model->Install(std::move(next));
+                            });
+  }
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,88 @@
+#ifndef ORCASTREAM_APPS_SENTIMENT_ORCA_H_
+#define ORCASTREAM_APPS_SENTIMENT_ORCA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// The §5.1 ORCA logic: adaptation to the incoming data distribution.
+/// It subscribes to the correlator's two custom metrics, compares the
+/// per-round growth of unknown- vs known-cause counts (epoch-aligned, as
+/// in Figure 6's pattern), and when the ratio crosses the threshold it
+/// launches the Hadoop cause-recomputation job — at most once per
+/// `retrigger_guard` seconds ("only ... if no other job has been started
+/// in the last 10 minutes"). The paper's implementation is 114 lines of
+/// C++; this one is of the same order.
+class SentimentOrca : public orca::Orchestrator {
+ public:
+  struct Config {
+    /// AppConfig id under which the application is registered.
+    std::string app_config_id = "sentiment";
+    /// Application (model) name, used in the event scope filter.
+    std::string app_name = "SentimentAnalysis";
+    /// Actuation threshold on the unknown/known ratio (paper: 1.0).
+    double threshold = 1.0;
+    /// Minimum spacing between Hadoop job submissions (paper: 600 s).
+    double retrigger_guard = 600.0;
+    /// SRM metric pull period (paper default: 15 s).
+    double metric_pull_period = 15.0;
+  };
+
+  /// One epoch-aligned ratio measurement — a point of Figure 8.
+  struct Measurement {
+    int64_t epoch = 0;
+    sim::SimTime at = 0;
+    double ratio = 0;
+    int64_t model_version = 0;
+  };
+
+  SentimentOrca(Config config, HadoopSim* hadoop, SentimentApp::Handles handles)
+      : config_(std::move(config)),
+        hadoop_(hadoop),
+        handles_(std::move(handles)) {}
+
+  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      const orca::OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+  const std::vector<sim::SimTime>& trigger_times() const {
+    return trigger_times_;
+  }
+
+ private:
+  void MaybeActuate();
+
+  Config config_;
+  HadoopSim* hadoop_;
+  SentimentApp::Handles handles_;
+
+  // Latest epoch-stamped values per metric (the Figure 6 pattern).
+  int64_t known_epoch_ = -1;
+  int64_t known_value_ = 0;
+  int64_t unknown_epoch_ = -2;
+  int64_t unknown_value_ = 0;
+  sim::SimTime last_collected_at_ = 0;
+  // Previous round's values, to compute per-round growth.
+  int64_t prev_known_ = 0;
+  int64_t prev_unknown_ = 0;
+  bool have_prev_ = false;
+
+  sim::SimTime last_trigger_ = -1e18;
+  std::vector<Measurement> measurements_;
+  std::vector<sim::SimTime> trigger_times_;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_SENTIMENT_ORCA_H_

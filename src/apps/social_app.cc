@@ -1,0 +1,217 @@
+#include "apps/social_app.h"
+
+#include "common/strings.h"
+#include "ops/relational.h"
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using common::StrFormat;
+using ops::CallbackSink;
+using ops::CallbackSource;
+using ops::Functor;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::PunctKind;
+using topology::Tuple;
+
+void ProfileStore::Upsert(sim::SimTime now, const std::string& user,
+                          const std::map<std::string, std::string>& attributes,
+                          const std::string& sentiment) {
+  Profile& profile = profiles_[user];
+  profile.user = user;
+  for (const auto& [key, value] : attributes) {
+    profile.attributes[key] = value;
+  }
+  if (!sentiment.empty()) profile.sentiment = sentiment;
+  profile.updated_at = now;
+}
+
+std::vector<ProfileStore::Profile> ProfileStore::WithAttribute(
+    const std::string& attribute) const {
+  std::vector<Profile> out;
+  for (const auto& [user, profile] : profiles_) {
+    if (profile.attributes.count(attribute) > 0) out.push_back(profile);
+  }
+  return out;
+}
+
+const std::vector<std::string>& SocialApps::Attributes() {
+  static const std::vector<std::string> kAttributes = {"age", "gender",
+                                                       "location"};
+  return kAttributes;
+}
+
+namespace {
+
+/// C2's search-and-integrate operator: simulates querying an external
+/// keyword-search service for each incoming profile, integrates whatever
+/// it discovers into the shared store, and maintains the per-attribute
+/// custom metrics the orchestrator aggregates (§5.3).
+class QueryEnrich : public runtime::Operator {
+ public:
+  QueryEnrich(std::shared_ptr<ProfileStore> store,
+              std::map<std::string, double> discovery)
+      : store_(std::move(store)), discovery_(std::move(discovery)) {}
+
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    for (const auto& attr : SocialApps::Attributes()) {
+      ctx->CreateCustomMetric("nProfiles_" + attr);
+    }
+  }
+
+  void ProcessTuple(size_t, const Tuple& profile) override {
+    std::map<std::string, std::string> discovered;
+    for (const auto& [attr, probability] : discovery_) {
+      if (!ctx()->rng()->Bernoulli(probability)) continue;
+      std::string value;
+      if (attr == "age") {
+        value = StrFormat("%lld", static_cast<long long>(
+                                      ctx()->rng()->UniformInt(13, 80)));
+      } else if (attr == "gender") {
+        value = ctx()->rng()->Bernoulli(0.5) ? "female" : "male";
+      } else {
+        static const char* kPlaces[] = {"NY", "SF", "London", "Istanbul",
+                                        "Tokyo"};
+        value = kPlaces[ctx()->rng()->UniformInt(0, 4)];
+      }
+      discovered[attr] = value;
+      // Aggregate counts may include duplicates across C2 apps — the
+      // store de-duplicates, the metric does not (§5.3).
+      ctx()->AddToCustomMetric("nProfiles_" + attr, 1);
+    }
+    if (!discovered.empty()) {
+      store_->Upsert(ctx()->Now(), profile.StringOr("user", ""), discovered,
+                     profile.BoolOr("negativePost", false) ? "negative"
+                                                           : "positive");
+    }
+  }
+
+ private:
+  std::shared_ptr<ProfileStore> store_;
+  std::map<std::string, double> discovery_;
+};
+
+/// C3's store-scanning source: emits every stored profile carrying the
+/// configured attribute, then closes with a final punctuation — the
+/// signal §5.3's orchestrator uses to contract the composition.
+class StoreScan : public runtime::Operator {
+ public:
+  explicit StoreScan(std::shared_ptr<ProfileStore> store)
+      : store_(std::move(store)) {}
+
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    ctx->ScheduleAfter(0.1, [this] { Scan(); });
+  }
+  void ProcessTuple(size_t, const Tuple&) override {}
+
+ private:
+  void Scan() {
+    std::string attribute = ctx()->ParamOr("attribute", "gender");
+    for (const auto& profile : store_->WithAttribute(attribute)) {
+      Tuple out;
+      out.Set("user", profile.user);
+      out.Set("attribute", attribute);
+      out.Set("value", profile.attributes.at(attribute));
+      out.Set("sentiment", profile.sentiment);
+      out.Set("negValue", profile.sentiment == "negative" ? 1.0 : 0.0);
+      ctx()->Submit(0, out);
+    }
+    ctx()->SubmitPunct(0, PunctKind::kFinal);
+  }
+
+  std::shared_ptr<ProfileStore> store_;
+};
+
+}  // namespace
+
+SocialApps::Handles SocialApps::Register(runtime::OperatorFactory* factory,
+                                         sim::Simulation*) {
+  Handles handles;
+  handles.store = std::make_shared<ProfileStore>();
+  handles.correlations = std::make_shared<ops::TupleStore>();
+
+  auto store = handles.store;
+  factory->RegisterOrReplace("social.StoreScan", [store] {
+    return std::make_unique<StoreScan>(store);
+  });
+
+  auto correlations = handles.correlations;
+  factory->RegisterOrReplace("social.CorrelationSink", [correlations] {
+    return std::make_unique<CallbackSink>(
+        [correlations](const Tuple& tuple, runtime::OperatorContext* ctx) {
+          correlations->Append(ctx->Now(), tuple);
+        });
+  });
+  return handles;
+}
+
+common::Result<ApplicationModel> SocialApps::BuildReader(
+    const std::string& app_name, const ProfileWorkload& workload,
+    runtime::OperatorFactory* factory) {
+  factory->RegisterOrReplace(app_name + ".Feed", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+  AppBuilder builder(app_name);
+  builder.AddOperator("feed", app_name + ".Feed").Output("updates");
+  // §5.3: C1 applications identify profiles matching criteria (negative
+  // posts about the product) and send them out for further analysis.
+  builder.AddOperator("criteria", "Filter")
+      .Input("updates")
+      .Output("selected")
+      .Param("field", "negativePost")
+      .Param("op", "==")
+      .Param("value", "1");
+  builder.AddOperator("exporter", "Merge")
+      .Input("selected")
+      .Output("profiles")
+      .Export("", {{"type", kProfileExportType}, {"producer", app_name}});
+  return builder.Build();
+}
+
+common::Result<ApplicationModel> SocialApps::BuildQuery(
+    const std::string& app_name,
+    const std::map<std::string, double>& discovery,
+    runtime::OperatorFactory* factory, const Handles& handles) {
+  // Each C2 app gets its own enrich kind so its discovery profile (which
+  // attributes this external service tends to reveal) is baked in.
+  auto store = handles.store;
+  factory->RegisterOrReplace(app_name + ".QueryEnrich", [store, discovery] {
+    return std::make_unique<QueryEnrich>(store, discovery);
+  });
+  AppBuilder builder(app_name);
+  builder.AddOperator("importer", "Merge")
+      .ImportByProperties({{"type", kProfileExportType}})
+      .Output("profiles");
+  builder.AddOperator(kEnrichName, app_name + ".QueryEnrich")
+      .Input("profiles");
+  return builder.Build();
+}
+
+common::Result<ApplicationModel> SocialApps::BuildAggregator(
+    const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("scan", "social.StoreScan")
+      .Output("profiles")
+      .Param("attribute", "$attribute");
+  builder.AddOperator("segment", "Aggregate")
+      .Input("profiles")
+      .Output("segments")
+      .Param("windowSeconds", 1e9)
+      .Param("outputPeriod", 5.0)
+      .Param("keyField", "value")
+      .Param("aggregates", "count:negValue;avg:negValue")
+      .Colocate("c3pe");
+  builder.AddOperator(kC3SinkName, "social.CorrelationSink")
+      .Input({"segments", "profiles"})
+      .Colocate("c3pe");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

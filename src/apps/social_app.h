@@ -1,0 +1,95 @@
+#ifndef ORCASTREAM_APPS_SOCIAL_APP_H_
+#define ORCASTREAM_APPS_SOCIAL_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "ops/sinks.h"
+#include "runtime/operator_api.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// The de-duplicated profile data store C2 applications integrate search
+/// results into (§5.3). C3 applications read from it directly, which is
+/// why duplicate discoveries across C2 applications are harmless even
+/// though the orchestrator's aggregate counts include them.
+class ProfileStore {
+ public:
+  struct Profile {
+    std::string user;
+    std::map<std::string, std::string> attributes;
+    std::string sentiment;
+    sim::SimTime updated_at = 0;
+  };
+
+  /// Inserts or enriches a profile; attribute maps merge.
+  void Upsert(sim::SimTime now, const std::string& user,
+              const std::map<std::string, std::string>& attributes,
+              const std::string& sentiment);
+
+  size_t size() const { return profiles_.size(); }
+
+  /// Profiles carrying the given attribute.
+  std::vector<Profile> WithAttribute(const std::string& attribute) const;
+
+ private:
+  std::map<std::string, Profile> profiles_;
+};
+
+/// Builders for the three §5.3 sub-application categories:
+///
+///  - C1 (stream readers): consume a social feed, keep profiles issuing
+///    negative posts about the product, and export them.
+///  - C2 (keyword-search query apps): import all C1 profile streams,
+///    search the simulated external service for extra attributes,
+///    integrate results into the ProfileStore, and maintain per-attribute
+///    custom metrics (nProfiles_age / nProfiles_gender /
+///    nProfiles_location).
+///  - C3 (attribute aggregators): scan the ProfileStore for profiles with
+///    the configured attribute (a submission-time parameter), correlate
+///    sentiment with attribute values, and terminate with a final
+///    punctuation — the orchestrator's contraction signal.
+class SocialApps {
+ public:
+  static constexpr char kProfileExportType[] = "profiles";
+  static constexpr char kEnrichName[] = "query_enrich";
+  static constexpr char kC3SinkName[] = "correlation_sink";
+  static const std::vector<std::string>& Attributes();
+
+  struct Handles {
+    std::shared_ptr<ProfileStore> store;
+    /// C3 correlation outputs: attribute → result tuples.
+    std::shared_ptr<ops::TupleStore> correlations;
+  };
+
+  /// Registers all operator kinds shared by the three categories.
+  static Handles Register(runtime::OperatorFactory* factory,
+                          sim::Simulation* sim);
+
+  /// C1: one reader per social feed.
+  static common::Result<topology::ApplicationModel> BuildReader(
+      const std::string& app_name, const ProfileWorkload& workload,
+      runtime::OperatorFactory* factory);
+
+  /// C2: keyword-search app against one external service. `discovery`
+  /// maps attribute name → probability the search discovers it.
+  static common::Result<topology::ApplicationModel> BuildQuery(
+      const std::string& app_name,
+      const std::map<std::string, double>& discovery,
+      runtime::OperatorFactory* factory, const Handles& handles);
+
+  /// C3: attribute aggregator; the attribute arrives as the submission
+  /// parameter "attribute".
+  static common::Result<topology::ApplicationModel> BuildAggregator(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_SOCIAL_APP_H_

@@ -1,0 +1,79 @@
+#ifndef ORCASTREAM_APPS_SOCIAL_ORCA_H_
+#define ORCASTREAM_APPS_SOCIAL_ORCA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/social_app.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// The §5.3 ORCA logic: on-demand dynamic application composition.
+///
+/// On start it registers dependencies from every C2 application to every
+/// C1 application (uptime requirement 0 — C1 apps build no internal
+/// state) and submits all C2 applications, pulling the C1 readers up
+/// automatically. It subscribes to (a) the per-attribute custom metrics
+/// of the C2 applications and (b) the final-punctuation built-in metric
+/// of C3 sinks. When the aggregate number of newly discovered profiles
+/// with an attribute (summed across C2 apps, duplicates included) exceeds
+/// the threshold, it spawns the C3 aggregator for that attribute; when a
+/// C3 sink reports a final punctuation, the C3 job is cancelled —
+/// expanding and contracting the composition over time (Figure 10). The
+/// paper's implementation is 139 lines of C++.
+class SocialOrca : public orca::Orchestrator {
+ public:
+  struct Config {
+    /// AppConfig ids of the C1 readers and C2 query apps.
+    std::vector<std::string> c1_ids = {"c1_twitter", "c1_myspace"};
+    std::vector<std::string> c2_ids = {"c2_twitter", "c2_blog",
+                                       "c2_facebook"};
+    /// Attribute → AppConfig id of the C3 aggregator for it.
+    std::map<std::string, std::string> c3_ids = {
+        {"age", "c3_age"},
+        {"gender", "c3_gender"},
+        {"location", "c3_location"}};
+    /// Attribute → C3 application (model) name, for event filtering.
+    std::map<std::string, std::string> c3_app_names = {
+        {"age", "AttributeAggregator_age"},
+        {"gender", "AttributeAggregator_gender"},
+        {"location", "AttributeAggregator_location"}};
+    /// New-profile threshold that triggers a C3 launch (paper: 1500).
+    int64_t profile_threshold = 1500;
+    double metric_pull_period = 15.0;
+  };
+
+  struct CompositionEvent {
+    sim::SimTime at = 0;
+    std::string what;  // "expand" / "contract"
+    std::string attribute;
+  };
+
+  explicit SocialOrca(Config config) : config_(std::move(config)) {}
+
+  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      const orca::OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+
+  const std::vector<CompositionEvent>& events() const { return events_; }
+  /// Aggregate discovered-profile count per attribute (latest epoch).
+  int64_t AggregateCount(const std::string& attribute) const;
+
+ private:
+  void EvaluateExpansion(const std::string& attribute);
+
+  Config config_;
+  /// attribute → (c2 config id → latest metric value).
+  std::map<std::string, std::map<std::string, int64_t>> counts_;
+  /// attribute → aggregate count at the last C3 launch.
+  std::map<std::string, int64_t> last_launch_counts_;
+  std::vector<CompositionEvent> events_;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_SOCIAL_ORCA_H_

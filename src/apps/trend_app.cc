@@ -1,0 +1,89 @@
+#include "apps/trend_app.h"
+
+#include "ops/relational.h"
+#include "ops/sinks.h"
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using ops::CallbackSink;
+using ops::CallbackSource;
+using ops::Functor;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+TrendApp::Handles TrendApp::Register(runtime::OperatorFactory* factory,
+                                     const std::string& app_name,
+                                     const StockWorkload& workload) {
+  Handles handles;
+  handles.outputs = std::make_shared<Outputs>();
+
+  factory->RegisterOrReplace(app_name + ".TickSource", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+
+  factory->RegisterOrReplace(app_name + ".Bollinger", [] {
+    return std::make_unique<Functor>(
+        [](const Tuple& stats,
+           runtime::OperatorContext*) -> std::optional<Tuple> {
+          double avg = stats.DoubleOr("avg_price", 0);
+          double stddev = stats.DoubleOr("stddev_price", 0);
+          Tuple out = stats;
+          // Bollinger Bands: average ± 2 standard deviations.
+          out.Set("upperBand", avg + 2 * stddev);
+          out.Set("lowerBand", avg - 2 * stddev);
+          return out;
+        });
+  });
+
+  auto outputs = handles.outputs;
+  factory->RegisterOrReplace(app_name + ".GraphSink", [outputs] {
+    return std::make_unique<CallbackSink>(
+        [outputs](const Tuple& tuple, runtime::OperatorContext* ctx) {
+          Point point;
+          point.at = ctx->Now();
+          point.symbol = tuple.StringOr("symbol", "?");
+          point.min = tuple.DoubleOr("min_price", 0);
+          point.max = tuple.DoubleOr("max_price", 0);
+          point.avg = tuple.DoubleOr("avg_price", 0);
+          point.upper = tuple.DoubleOr("upperBand", 0);
+          point.lower = tuple.DoubleOr("lowerBand", 0);
+          point.window_count = tuple.IntOr("windowCount", 0);
+          (*outputs)[ctx->ParamOr("replica", "0")].push_back(point);
+        });
+  });
+
+  return handles;
+}
+
+common::Result<ApplicationModel> TrendApp::Build(const std::string& app_name,
+                                                 double window_seconds,
+                                                 double output_period) {
+  AppBuilder builder(app_name);
+  builder.AddOperator(kSourceName, app_name + ".TickSource")
+      .Output("ticks")
+      .Colocate("sourcePe");
+  builder.AddOperator(kAggregateName, "Aggregate")
+      .Input("ticks")
+      .Output("stats")
+      .Param("windowSeconds", window_seconds)
+      .Param("outputPeriod", output_period)
+      .Param("keyField", "symbol")
+      .Param("aggregates", "min:price;max:price;avg:price;stddev:price")
+      .Colocate("computePe");
+  builder.AddOperator("bollinger", app_name + ".Bollinger")
+      .Input("stats")
+      .Output("bands")
+      .Colocate("computePe");
+  builder.AddOperator("graph_sink", app_name + ".GraphSink")
+      .Input("bands")
+      .Colocate("computePe");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,68 @@
+#ifndef ORCASTREAM_APPS_TREND_APP_H_
+#define ORCASTREAM_APPS_TREND_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "runtime/operator_api.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// The §5.2 "Trend Calculator": financial engineering over stock ticks.
+/// For each symbol it maintains a 600-second sliding window and computes
+/// minimum/maximum trade prices, the average price, and the Bollinger
+/// Bands above and below the average. The application deliberately uses
+/// no checkpointing — after a PE crash it needs 600 s of tuples to
+/// refresh its windows, which is what the replica-failover policy
+/// exploits (Figure 9).
+///
+/// Physical layout: the source runs in its own PE; the windowed
+/// aggregation, the Bollinger computation and the output sink fuse into a
+/// second, stateful PE (the crash target).
+class TrendApp {
+ public:
+  /// One output sample, as a GUI graph would plot it.
+  struct Point {
+    sim::SimTime at = 0;
+    std::string symbol;
+    double min = 0;
+    double max = 0;
+    double avg = 0;
+    double upper = 0;  // Bollinger band above
+    double lower = 0;  // Bollinger band below
+    int64_t window_count = 0;
+  };
+
+  /// Per-replica output log, keyed by the "replica" submission parameter.
+  /// This is the §5.2 status-file/GUI channel: it survives PE restarts.
+  using Outputs = std::map<std::string, std::vector<Point>>;
+
+  struct Handles {
+    std::shared_ptr<Outputs> outputs;
+  };
+
+  /// Registers the app's operator kinds (prefixed with `app_name`).
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const StockWorkload& workload);
+
+  /// Builds the logical model. `window_seconds` defaults to the paper's
+  /// 600 s; `output_period` controls how often band samples are emitted.
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name, double window_seconds = 600.0,
+      double output_period = 5.0);
+
+  /// Name of the stateful operator whose PE the experiments crash.
+  static constexpr char kAggregateName[] = "trend_aggregate";
+  static constexpr char kSourceName[] = "tick_source";
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_TREND_APP_H_

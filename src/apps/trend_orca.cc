@@ -1,0 +1,97 @@
+#include "apps/trend_orca.h"
+
+#include "common/logging.h"
+#include "orca/orca_service.h"
+
+namespace orcastream::apps {
+
+void TrendOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
+  // §5.2: set the application to execute in an exclusive host pool and
+  // submit three copies; then register for PE failure events.
+  for (const auto& replica : config_.replica_ids) {
+    common::Status status = orca()->SetExclusiveHostPools(replica);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "exclusive pool config failed for " << replica
+                       << ": " << status;
+    }
+    status = orca()->SubmitApplication(replica);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "replica submission failed for " << replica << ": "
+                       << status;
+    }
+    healthy_since_[replica] = orca()->Now();
+  }
+  Promote(config_.replica_ids.empty() ? "" : config_.replica_ids.front());
+
+  orca::PeFailureScope scope("replicaFailures");
+  // One filter per replica application name: filters on the same
+  // attribute are disjunctive (§4.1).
+  for (const auto& replica : config_.replica_ids) {
+    scope.AddApplicationFilter(config_.app_name_prefix + "_" + replica);
+  }
+  orca()->RegisterEventScope(scope);
+}
+
+void TrendOrca::Promote(const std::string& replica) {
+  active_ = replica;
+  for (const auto& id : config_.replica_ids) {
+    status_[id] = (id == replica) ? "active" : "backup";
+  }
+}
+
+std::string TrendOrca::OldestHealthyReplica(
+    const std::string& excluded) const {
+  std::string best;
+  sim::SimTime best_since = 0;
+  for (const auto& replica : config_.replica_ids) {
+    if (replica == excluded) continue;
+    auto it = healthy_since_.find(replica);
+    if (it == healthy_since_.end()) continue;
+    if (best.empty() || it->second < best_since) {
+      best = replica;
+      best_since = it->second;
+    }
+  }
+  return best;
+}
+
+void TrendOrca::HandlePeFailureEvent(const orca::PeFailureContext& context,
+                                     const std::vector<std::string>&) {
+  // Identify the replica whose job crashed.
+  std::string failed;
+  for (const auto& replica : config_.replica_ids) {
+    auto job = orca()->RunningJob(replica);
+    if (job.ok() && job.value() == context.job) failed = replica;
+  }
+  if (failed.empty()) return;
+
+  // The replica's history restarts now: its windows must refill.
+  healthy_since_[failed] = orca()->Now();
+
+  FailoverEvent event;
+  event.at = orca()->Now();
+  event.failed_replica = failed;
+  event.failed_pe = context.pe;
+  event.active_failed = failed == active_;
+
+  if (failed == active_) {
+    // §5.2: promote the oldest running replica (longest history, most
+    // likely with full sliding windows), update the status file, demote
+    // the failed replica to backup.
+    std::string next = OldestHealthyReplica(failed);
+    if (!next.empty()) Promote(next);
+    ORCA_LOG(kInfo) << "active replica " << failed << " failed; promoted "
+                    << next;
+  }
+  event.new_active = active_;
+  failovers_.push_back(event);
+
+  // Restart the failed PE regardless of the replica's role.
+  common::Status status = orca()->RestartPe(context.pe);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "failed to restart PE " << context.pe << ": "
+                     << status;
+  }
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,73 @@
+#ifndef ORCASTREAM_APPS_TREND_ORCA_H_
+#define ORCASTREAM_APPS_TREND_ORCA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// The §5.2 ORCA logic: adaptation to failures via replica failover.
+/// On start it configures every replica for exclusive host pools, submits
+/// all of them, designates the first as active, and registers for PE
+/// failure events. On a failure of the active replica it promotes the
+/// oldest healthy replica (the one with the longest history — most likely
+/// full sliding windows), demotes the failed one to backup, propagates
+/// the status to the status board (the paper's status file read by the
+/// GUI), and restarts the failed PE. The paper's implementation is 196
+/// lines of C++.
+class TrendOrca : public orca::Orchestrator {
+ public:
+  struct Config {
+    /// AppConfig ids of the replicas (the paper runs three).
+    std::vector<std::string> replica_ids = {"replica0", "replica1",
+                                            "replica2"};
+    /// Application name filter for the failure scope.
+    std::string app_name_prefix = "TrendCalculator";
+  };
+
+  struct FailoverEvent {
+    sim::SimTime at = 0;
+    std::string failed_replica;
+    std::string new_active;
+    common::PeId failed_pe;
+    bool active_failed = false;
+  };
+
+  explicit TrendOrca(Config config) : config_(std::move(config)) {}
+
+  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
+  void HandlePeFailureEvent(const orca::PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override;
+
+  /// The status board: replica id → "active" / "backup" (the §5.2 status
+  /// file the GUI polls).
+  const std::map<std::string, std::string>& status_board() const {
+    return status_;
+  }
+  const std::string& active_replica() const { return active_; }
+  const std::vector<FailoverEvent>& failovers() const { return failovers_; }
+
+ private:
+  /// Sets `replica` active and everything else backup.
+  void Promote(const std::string& replica);
+  /// The healthy replica (excluding `excluded`) with the oldest
+  /// healthy-since time.
+  std::string OldestHealthyReplica(const std::string& excluded) const;
+
+  Config config_;
+  std::string active_;
+  std::map<std::string, std::string> status_;
+  /// Time since which each replica has been continuously healthy; reset
+  /// on failure (its windows must refill from there).
+  std::map<std::string, sim::SimTime> healthy_since_;
+  std::vector<FailoverEvent> failovers_;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_TREND_ORCA_H_

@@ -1,0 +1,119 @@
+#include "apps/workloads.h"
+
+#include <memory>
+
+#include "common/strings.h"
+
+namespace orcastream::apps {
+
+using common::Rng;
+using common::StrFormat;
+using topology::Tuple;
+
+ops::CallbackSource::Generator TweetWorkload::MakeGenerator() const {
+  TweetWorkload config = *this;
+  return [config](Rng* rng, sim::SimTime now,
+                  int64_t seq) -> std::optional<Tuple> {
+    Tuple tweet;
+    tweet.Set("user", StrFormat("user%lld",
+                                static_cast<long long>(
+                                    rng->UniformInt(0, 1 << 20))));
+    bool about_product = rng->Bernoulli(config.product_fraction);
+    tweet.Set("product", about_product ? config.product : "somethingElse");
+    bool negative = rng->Bernoulli(config.negative_fraction);
+    tweet.Set("sentiment", negative ? "negative" : "positive");
+
+    std::string cause;
+    if (negative) {
+      bool shifted = now >= config.shift_time;
+      if (shifted && rng->Bernoulli(config.emergent_fraction)) {
+        cause = config.emergent_cause;
+      } else {
+        // Sample among the initial causes; remaining mass goes to a long
+        // tail of sporadic unknown complaints.
+        double total = 0;
+        for (double w : config.initial_weights) total += w;
+        double r = rng->UniformDouble(0, 1);
+        double acc = 0;
+        cause = StrFormat("misc%lld",
+                          static_cast<long long>(rng->UniformInt(0, 50)));
+        for (size_t i = 0;
+             i < config.initial_causes.size() && i < config.initial_weights.size();
+             ++i) {
+          acc += config.initial_weights[i];
+          if (r < acc) {
+            cause = config.initial_causes[i];
+            break;
+          }
+        }
+        (void)total;
+      }
+    } else {
+      cause = "";
+    }
+    tweet.Set("cause", cause);
+    tweet.Set("text", StrFormat("tweet %lld about %s: %s",
+                                static_cast<long long>(seq),
+                                tweet.StringOr("product", "?").c_str(),
+                                cause.c_str()));
+    return tweet;
+  };
+}
+
+namespace {
+
+/// The shared market path: tick k is produced once from the seeded walk
+/// and memoized, so every consumer (each replica's source, and the same
+/// source after a PE restart) sees identical data for identical sequence
+/// numbers.
+struct SharedStockSeries {
+  explicit SharedStockSeries(const StockWorkload& config)
+      : config(config),
+        rng(config.seed),
+        prices(config.symbols.size(), config.initial_price) {}
+
+  const Tuple& TickAt(int64_t seq) {
+    while (static_cast<size_t>(seq) >= series.size()) {
+      size_t index = series.size() % config.symbols.size();
+      double& price = prices[index];
+      price += config.drift + rng.Gaussian(0, config.volatility);
+      if (price < 1.0) price = 1.0;
+      Tuple tick;
+      tick.Set("symbol", config.symbols[index]);
+      tick.Set("price", price);
+      series.push_back(std::move(tick));
+    }
+    return series[static_cast<size_t>(seq)];
+  }
+
+  StockWorkload config;
+  Rng rng;
+  std::vector<double> prices;
+  std::vector<Tuple> series;
+};
+
+}  // namespace
+
+ops::CallbackSource::Generator StockWorkload::MakeGenerator() const {
+  auto series = std::make_shared<SharedStockSeries>(*this);
+  return [series](Rng*, sim::SimTime, int64_t seq) -> std::optional<Tuple> {
+    return series->TickAt(seq);
+  };
+}
+
+ops::CallbackSource::Generator ProfileWorkload::MakeGenerator() const {
+  ProfileWorkload config = *this;
+  return [config](Rng* rng, sim::SimTime,
+                  int64_t) -> std::optional<Tuple> {
+    Tuple profile;
+    profile.Set("user",
+                StrFormat("%s_user%lld", config.source.c_str(),
+                          static_cast<long long>(
+                              rng->UniformInt(0, config.user_population))));
+    profile.Set("source", config.source);
+    profile.Set("negativePost", rng->Bernoulli(config.negative_fraction));
+    return profile;
+  };
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,88 @@
+#ifndef ORCASTREAM_APPS_WORKLOADS_H_
+#define ORCASTREAM_APPS_WORKLOADS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/sources.h"
+#include "sim/simulation.h"
+#include "topology/tuple.h"
+
+namespace orcastream::apps {
+
+/// Synthetic workload generators standing in for the paper's live feeds
+/// (Twitter sample stream, stock market ticks, social-media profile
+/// updates). All are seeded and deterministic in virtual time.
+
+/// Tweet workload for the §5.1 sentiment application. Generates tweets
+/// about products; negative tweets carry a complaint cause whose
+/// distribution *shifts* at `shift_time` — the paper's "around epoch 250,
+/// we feed a stream of tweets in which users complain about antenna
+/// issues".
+struct TweetWorkload {
+  /// Seconds between tweets.
+  double period = 0.1;
+  /// Fraction of tweets about the monitored product.
+  double product_fraction = 0.8;
+  std::string product = "iPhone";
+  /// Fraction of product tweets with negative sentiment.
+  double negative_fraction = 0.6;
+  /// Causes present before the shift (pre-computed model knows these).
+  std::vector<std::string> initial_causes = {"flash", "screen"};
+  /// Weights of the initial causes before the shift (same order), with
+  /// the remainder assigned to a long tail of unknown causes.
+  std::vector<double> initial_weights = {0.5, 0.35};
+  /// Virtual time at which the emergent cause bursts.
+  double shift_time = 1e18;  // effectively "never" unless configured
+  std::string emergent_cause = "antenna";
+  /// Post-shift probability that a negative tweet complains about the
+  /// emergent cause.
+  double emergent_fraction = 0.75;
+
+  /// CallbackSource generator producing one tweet tuple:
+  /// {user, product, sentiment, cause, text}.
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
+/// Random-walk stock tick workload for the §5.2 Trend Calculator.
+///
+/// The tick at sequence number k is a deterministic function of `seed`,
+/// computed through a lazily extended shared series. Every replica of the
+/// Trend Calculator therefore observes the *identical* market feed — the
+/// paper's replicas all consume the same stock stream, which is what makes
+/// "the graphed output is identical" (Figure 9a) hold.
+struct StockWorkload {
+  double period = 0.5;
+  std::vector<std::string> symbols = {"IBM", "AAPL", "XYZ"};
+  double initial_price = 100.0;
+  /// Per-tick Gaussian step standard deviation.
+  double volatility = 0.4;
+  /// Mild mean drift per tick.
+  double drift = 0.01;
+  /// Seed of the market path; identical seeds give identical feeds.
+  uint64_t seed = 20120827;
+
+  /// Generator producing {symbol, price} ticks, one symbol per firing
+  /// (round-robin). Deterministic in the firing sequence number.
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
+/// Social-media profile workload for the §5.3 composition application.
+/// Each firing yields a profile update {user, source, negativePost}.
+struct ProfileWorkload {
+  double period = 0.05;
+  std::string source = "twitter";
+  /// Number of distinct users in this feed's population.
+  int64_t user_population = 100000;
+  /// Fraction of posts with negative sentiment about the product (C1
+  /// applications only forward profiles issuing negative posts).
+  double negative_fraction = 0.4;
+
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_WORKLOADS_H_

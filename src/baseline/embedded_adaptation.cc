@@ -1,0 +1,168 @@
+#include "baseline/embedded_adaptation.h"
+
+#include "ops/relational.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::baseline {
+
+using apps::SentimentApp;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+namespace {
+
+/// op8: watches the correlated stream and periodically emits a trigger
+/// tuple when unknown-cause tweets outnumber known-cause tweets within
+/// the check interval.
+class ThresholdDetector : public runtime::Operator {
+ public:
+  ThresholdDetector(double threshold, double check_period,
+                    std::shared_ptr<int64_t> control_tuples)
+      : threshold_(threshold),
+        check_period_(check_period),
+        control_tuples_(std::move(control_tuples)) {}
+
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    known_ = unknown_ = 0;
+    ctx->ScheduleAfter(check_period_, [this] { Check(); });
+  }
+
+  void ProcessTuple(size_t, const Tuple& tuple) override {
+    ++*control_tuples_;  // control work riding the data path
+    if (tuple.BoolOr("causeKnown", false)) {
+      ++known_;
+    } else {
+      ++unknown_;
+    }
+  }
+
+ private:
+  void Check() {
+    if (known_ + unknown_ > 0) {
+      double ratio = static_cast<double>(unknown_) /
+                     static_cast<double>(known_ > 0 ? known_ : 1);
+      if (ratio > threshold_) {
+        Tuple trigger;
+        trigger.Set("ratio", ratio);
+        ctx()->Submit(0, trigger);
+      }
+    }
+    known_ = unknown_ = 0;
+    ctx()->ScheduleAfter(check_period_, [this] { Check(); });
+  }
+
+  double threshold_;
+  double check_period_;
+  std::shared_ptr<int64_t> control_tuples_;
+  int64_t known_ = 0;
+  int64_t unknown_ = 0;
+};
+
+/// op9: "calls an external script that invokes the cause recomputation" —
+/// here, submits the simulated Hadoop job (with the 10-minute guard the
+/// §5.1 logic uses).
+class ScriptActuator : public runtime::Operator {
+ public:
+  ScriptActuator(apps::HadoopSim* hadoop,
+                 std::shared_ptr<apps::SharedCauseModel> model,
+                 std::shared_ptr<ops::TupleStore> store,
+                 std::shared_ptr<std::vector<sim::SimTime>> triggers,
+                 double retrigger_guard)
+      : hadoop_(hadoop),
+        model_(std::move(model)),
+        store_(std::move(store)),
+        triggers_(std::move(triggers)),
+        retrigger_guard_(retrigger_guard) {}
+
+  void ProcessTuple(size_t, const Tuple&) override {
+    if (ctx()->Now() - last_trigger_ < retrigger_guard_) return;
+    last_trigger_ = ctx()->Now();
+    triggers_->push_back(ctx()->Now());
+    auto model = model_;
+    hadoop_->SubmitCauseJob(store_, [model](apps::CauseModel next) {
+      model->Install(std::move(next));
+    });
+  }
+
+ private:
+  apps::HadoopSim* hadoop_;
+  std::shared_ptr<apps::SharedCauseModel> model_;
+  std::shared_ptr<ops::TupleStore> store_;
+  std::shared_ptr<std::vector<sim::SimTime>> triggers_;
+  double retrigger_guard_;
+  sim::SimTime last_trigger_ = -1e18;
+};
+
+}  // namespace
+
+EmbeddedAdaptation::Handles EmbeddedAdaptation::Register(
+    runtime::OperatorFactory* factory, const std::string& app_name,
+    const apps::TweetWorkload& workload, apps::CauseModel initial_model,
+    apps::HadoopSim* hadoop, double threshold, double retrigger_guard,
+    double check_period) {
+  Handles handles;
+  handles.base = SentimentApp::Register(factory, app_name, workload,
+                                        std::move(initial_model));
+  handles.triggers = std::make_shared<std::vector<sim::SimTime>>();
+  handles.control_tuples = std::make_shared<int64_t>(0);
+
+  auto control_tuples = handles.control_tuples;
+  factory->RegisterOrReplace(
+      app_name + ".ThresholdDetector",
+      [threshold, check_period, control_tuples] {
+        return std::make_unique<ThresholdDetector>(threshold, check_period,
+                                                   control_tuples);
+      });
+
+  auto model = handles.base.model;
+  auto store = handles.base.negative_store;
+  auto triggers = handles.triggers;
+  factory->RegisterOrReplace(
+      app_name + ".ScriptActuator",
+      [hadoop, model, store, triggers, retrigger_guard] {
+        return std::make_unique<ScriptActuator>(hadoop, model, store,
+                                                triggers, retrigger_guard);
+      });
+  return handles;
+}
+
+common::Result<ApplicationModel> EmbeddedAdaptation::Build(
+    const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("op1_source", app_name + ".TweetSource")
+      .Output("tweets");
+  builder.AddOperator("op2_model", app_name + ".ModelStamp")
+      .Input("tweets")
+      .Output("stamped");
+  builder.AddOperator("op3_categorize", app_name + ".Categorizer")
+      .Input("stamped")
+      .Output("categorized")
+      .Param("product", "iPhone");
+  builder.AddOperator("op4_model", app_name + ".ModelStamp")
+      .Input("categorized")
+      .Output("restamped");
+  builder.AddOperator(SentimentApp::kCorrelatorName,
+                      app_name + ".CauseCorrelator")
+      .Input("restamped")
+      .Output("correlated");
+  builder.AddOperator("op6_aggregate", "Aggregate")
+      .Input("correlated")
+      .Output("topCauses")
+      .Param("windowSeconds", 120.0)
+      .Param("outputPeriod", 15.0)
+      .Param("keyField", "correlatedCause")
+      .Param("aggregates", "count:modelVersion");
+  builder.AddOperator("op7_display", app_name + ".Display")
+      .Input("topCauses");
+  // The embedded control path (Figure 1's s', op8, op9).
+  builder.AddOperator("op8_detect", app_name + ".ThresholdDetector")
+      .Input("correlated")
+      .Output("adaptTrigger");
+  builder.AddOperator("op9_actuate", app_name + ".ScriptActuator")
+      .Input("adaptTrigger");
+  return builder.Build();
+}
+
+}  // namespace orcastream::baseline

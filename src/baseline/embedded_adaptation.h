@@ -1,0 +1,56 @@
+#ifndef ORCASTREAM_BASELINE_EMBEDDED_ADAPTATION_H_
+#define ORCASTREAM_BASELINE_EMBEDDED_ADAPTATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "runtime/operator_api.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::baseline {
+
+/// The Figure 1 baseline: the sentiment application with the adaptation
+/// logic EMBEDDED in the stream graph as two extra operators.
+///
+///   op8 detects the condition for adaptation (unknown-cause growth
+///   exceeding known-cause growth over a check interval) and
+///   op9 executes the actuation (invoking the external script that
+///   launches the Hadoop job).
+///
+/// "Because the control logic is embedded into the application graph,
+/// neither the data processing logic nor the adaptation logic can be
+/// reused by other applications" (§1) — the bench quantifies the other
+/// cost: every correlated tuple is additionally routed through op8,
+/// putting control work on the data path.
+class EmbeddedAdaptation {
+ public:
+  struct Handles {
+    apps::SentimentApp::Handles base;
+    /// Virtual times at which op9 fired the script.
+    std::shared_ptr<std::vector<sim::SimTime>> triggers;
+    /// Tuples processed by the embedded control operators (data-path
+    /// overhead accounting).
+    std::shared_ptr<int64_t> control_tuples;
+  };
+
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const apps::TweetWorkload& workload,
+                          apps::CauseModel initial_model,
+                          apps::HadoopSim* hadoop, double threshold,
+                          double retrigger_guard, double check_period);
+
+  /// The Figure 1 graph: the §5.1 pipeline plus op8 → op9.
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::baseline
+
+#endif  // ORCASTREAM_BASELINE_EMBEDDED_ADAPTATION_H_

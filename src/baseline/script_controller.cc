@@ -1,0 +1,63 @@
+#include "baseline/script_controller.h"
+
+namespace orcastream::baseline {
+
+using apps::SentimentApp;
+
+ScriptController::ScriptController(sim::Simulation* sim, runtime::Srm* srm,
+                                   apps::HadoopSim* hadoop,
+                                   apps::SentimentApp::Handles handles,
+                                   Config config)
+    : sim_(sim),
+      srm_(srm),
+      hadoop_(hadoop),
+      handles_(std::move(handles)),
+      config_(config),
+      poll_task_(sim, config.poll_period, [this] { Poll(); }) {}
+
+void ScriptController::Start(common::JobId job) {
+  job_ = job;
+  poll_task_.Start(config_.poll_period);
+}
+
+void ScriptController::Stop() { poll_task_.Stop(); }
+
+void ScriptController::Poll() {
+  ++polls_;
+  // The script greps the full tooling output: every metric of the job is
+  // scanned, unlike the ORCA service's registered subscopes.
+  runtime::MetricsSnapshot snapshot = srm_->QueryMetrics({job_});
+  int64_t known = -1, unknown = -1;
+  for (const auto& rec : snapshot.operator_metrics) {
+    ++records_scanned_;
+    if (rec.operator_name != SentimentApp::kCorrelatorName || rec.port != -1) {
+      continue;
+    }
+    if (rec.metric_name == SentimentApp::kKnownMetric) known = rec.value;
+    if (rec.metric_name == SentimentApp::kUnknownMetric) unknown = rec.value;
+  }
+  if (known < 0 || unknown < 0) return;
+
+  int64_t known_delta = known - prev_known_;
+  int64_t unknown_delta = unknown - prev_unknown_;
+  bool had_prev = have_prev_;
+  prev_known_ = known;
+  prev_unknown_ = unknown;
+  have_prev_ = true;
+  if (!had_prev || known_delta + unknown_delta <= 0) return;
+
+  double ratio = static_cast<double>(unknown_delta) /
+                 static_cast<double>(known_delta > 0 ? known_delta : 1);
+  if (ratio > config_.threshold &&
+      sim_->Now() - last_trigger_ >= config_.retrigger_guard) {
+    last_trigger_ = sim_->Now();
+    trigger_times_.push_back(sim_->Now());
+    auto model = handles_.model;
+    hadoop_->SubmitCauseJob(handles_.negative_store,
+                            [model](apps::CauseModel next) {
+                              model->Install(std::move(next));
+                            });
+  }
+}
+
+}  // namespace orcastream::baseline

@@ -1,0 +1,70 @@
+#ifndef ORCASTREAM_BASELINE_SCRIPT_CONTROLLER_H_
+#define ORCASTREAM_BASELINE_SCRIPT_CONTROLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "apps/hadoop_sim.h"
+#include "apps/sentiment_app.h"
+#include "common/ids.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+namespace orcastream::baseline {
+
+/// The "external script" baseline (§1): a cron-style script that
+/// periodically shells out to the streaming infrastructure's command-line
+/// tooling, scrapes the metric values, and launches the recomputation
+/// when the ratio crosses the threshold.
+///
+/// Compared to the orchestrator it has no event scoping (it re-reads and
+/// re-filters everything each poll), no epochs (it may compare metric
+/// values from different collection rounds), and a poll period bounded
+/// below by process-spawn cost — classically tens of seconds under cron.
+class ScriptController {
+ public:
+  struct Config {
+    /// Script poll period (cron-ish; much coarser than ORCA's pull).
+    double poll_period = 60.0;
+    double threshold = 1.0;
+    double retrigger_guard = 600.0;
+  };
+
+  ScriptController(sim::Simulation* sim, runtime::Srm* srm,
+                   apps::HadoopSim* hadoop,
+                   apps::SentimentApp::Handles handles, Config config);
+
+  /// Starts polling metrics of the given job.
+  void Start(common::JobId job);
+  void Stop();
+
+  const std::vector<sim::SimTime>& trigger_times() const {
+    return trigger_times_;
+  }
+  int64_t polls() const { return polls_; }
+  /// Metric records scanned across all polls (the no-scoping cost).
+  int64_t records_scanned() const { return records_scanned_; }
+
+ private:
+  void Poll();
+
+  sim::Simulation* sim_;
+  runtime::Srm* srm_;
+  apps::HadoopSim* hadoop_;
+  apps::SentimentApp::Handles handles_;
+  Config config_;
+  common::JobId job_;
+  sim::PeriodicTask poll_task_;
+
+  int64_t prev_known_ = 0;
+  int64_t prev_unknown_ = 0;
+  bool have_prev_ = false;
+  sim::SimTime last_trigger_ = -1e18;
+  std::vector<sim::SimTime> trigger_times_;
+  int64_t polls_ = 0;
+  int64_t records_scanned_ = 0;
+};
+
+}  // namespace orcastream::baseline
+
+#endif  // ORCASTREAM_BASELINE_SCRIPT_CONTROLLER_H_

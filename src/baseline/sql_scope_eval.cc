@@ -1,0 +1,122 @@
+#include "baseline/sql_scope_eval.h"
+
+#include <algorithm>
+
+namespace orcastream::baseline {
+
+using orca::OperatorMetricContext;
+using orca::OperatorMetricScope;
+
+SqlScopeEval::SqlScopeEval(const orca::GraphView::JobRecord& job) {
+  app_name_ = job.app_name;
+  for (const auto& op : job.model.operators()) {
+    operator_instances_.push_back(OperatorRow{op.name, op.kind, op.composite});
+  }
+  for (const auto& comp : job.model.composites()) {
+    composite_instances_.push_back(
+        CompositeRow{comp.name, comp.kind, comp.parent});
+  }
+  // Recursive CTE: seed with direct (comp, parent) pairs, then iterate
+  // CompPairs ⋈ CompositeInstances until fixpoint (semi-naive).
+  std::set<std::pair<std::string, std::string>> delta;
+  for (const auto& comp : composite_instances_) {
+    if (!comp.parent.empty()) {
+      delta.insert({comp.name, comp.parent});
+    }
+  }
+  comp_pairs_ = delta;
+  while (!delta.empty()) {
+    std::set<std::pair<std::string, std::string>> next;
+    for (const auto& comp : composite_instances_) {
+      if (comp.parent.empty()) continue;
+      for (const auto& [child, ancestor] : delta) {
+        // CI.parentName = CP.compName → (CI.compName, CP.parentName)
+        if (comp.parent == child) {
+          auto pair = std::make_pair(comp.name, ancestor);
+          if (comp_pairs_.insert(pair).second) next.insert(pair);
+        }
+      }
+    }
+    delta = std::move(next);
+  }
+}
+
+bool SqlScopeEval::Matches(const OperatorMetricScope& scope,
+                           const OperatorMetricContext& context) const {
+  // Port-level discrimination mirrors the matcher's event typing.
+  bool is_port_sample = context.port >= 0;
+  switch (scope.port_scope()) {
+    case OperatorMetricScope::PortScope::kOperatorLevel:
+      if (is_port_sample) return false;
+      break;
+    case OperatorMetricScope::PortScope::kPortLevel:
+      if (!is_port_sample) return false;
+      break;
+    case OperatorMetricScope::PortScope::kBoth:
+      break;
+  }
+
+  // Application predicate (disjunctive IN-list).
+  if (!scope.applications().empty() &&
+      std::find(scope.applications().begin(), scope.applications().end(),
+                context.application) == scope.applications().end()) {
+    return false;
+  }
+  // OM.metricName IN (...).
+  if (!scope.metric_names().empty() &&
+      std::find(scope.metric_names().begin(), scope.metric_names().end(),
+                context.metric) == scope.metric_names().end()) {
+    return false;
+  }
+  if (scope.has_kind_filter() && scope.metric_kind() != context.metric_kind) {
+    return false;
+  }
+
+  // Join OperatorMetrics to OperatorInstances on operName.
+  const OperatorRow* op = nullptr;
+  for (const auto& row : operator_instances_) {
+    if (row.name == context.instance_name) op = &row;
+  }
+  if (op == nullptr) return false;
+
+  // OI.operKind IN (...).
+  if (!scope.operator_types().empty() &&
+      std::find(scope.operator_types().begin(), scope.operator_types().end(),
+                op->kind) == scope.operator_types().end()) {
+    return false;
+  }
+  if (!scope.operator_names().empty() &&
+      std::find(scope.operator_names().begin(), scope.operator_names().end(),
+                op->name) == scope.operator_names().end()) {
+    return false;
+  }
+
+  // Containment predicates: OI.compName = CI.compName OR
+  // (OI.compName = CP.compName AND CI.compName = CP.parentName).
+  auto contained_in = [&](const std::string& instance) {
+    return op->comp_name == instance ||
+           comp_pairs_.count({op->comp_name, instance}) > 0;
+  };
+
+  if (!scope.composite_instances().empty()) {
+    bool any = std::any_of(scope.composite_instances().begin(),
+                           scope.composite_instances().end(), contained_in);
+    if (!any) return false;
+  }
+
+  if (!scope.composite_types().empty()) {
+    bool any = false;
+    for (const auto& comp : composite_instances_) {
+      if (std::find(scope.composite_types().begin(),
+                    scope.composite_types().end(),
+                    comp.kind) == scope.composite_types().end()) {
+        continue;
+      }
+      if (contained_in(comp.name)) any = true;
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace orcastream::baseline

@@ -1,0 +1,74 @@
+#ifndef ORCASTREAM_COMMON_IDS_H_
+#define ORCASTREAM_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace orcastream::common {
+
+/// Strongly-typed integer id. The Tag parameter makes JobId, PeId etc.
+/// mutually unassignable, preventing the classic "passed a PE id where a
+/// job id was expected" bug in the runtime daemons.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() : value_(kInvalidValue) {}
+  constexpr explicit TypedId(int64_t value) : value_(value) {}
+
+  constexpr int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr int64_t kInvalidValue = -1;
+  int64_t value_;
+};
+
+struct JobIdTag {};
+struct PeIdTag {};
+struct HostIdTag {};
+struct OperatorIdTag {};
+struct TimerIdTag {};
+struct OrcaIdTag {};
+
+/// Runtime job (one submitted application instance).
+using JobId = TypedId<JobIdTag>;
+/// Processing element (operator container; one OS process in System S).
+using PeId = TypedId<PeIdTag>;
+/// Simulated cluster host.
+using HostId = TypedId<HostIdTag>;
+/// Operator instance within a job's physical graph.
+using OperatorId = TypedId<OperatorIdTag>;
+/// ORCA service timer registration.
+using TimerId = TypedId<TimerIdTag>;
+/// Orchestrator instance registered with SAM.
+using OrcaId = TypedId<OrcaIdTag>;
+
+}  // namespace orcastream::common
+
+namespace std {
+template <typename Tag>
+struct hash<orcastream::common::TypedId<Tag>> {
+  size_t operator()(orcastream::common::TypedId<Tag> id) const {
+    return std::hash<int64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // ORCASTREAM_COMMON_IDS_H_

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace orcastream::common {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  };
+}
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::SwapSink(Sink sink) {
+  Sink old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace orcastream::common

@@ -1,0 +1,60 @@
+#ifndef ORCASTREAM_COMMON_LOGGING_H_
+#define ORCASTREAM_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace orcastream::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logger. Default sink writes to stderr; tests install a
+/// capturing sink. The logger is deliberately simple: orcastream runs
+/// single-threaded on the simulator, so no locking is needed.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink; returns the previous sink.
+  Sink SwapSink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder used by the ORCA_LOG macro.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define ORCA_LOG(severity)                                               \
+  if (::orcastream::common::Logger::Global().level() <=                  \
+      ::orcastream::common::LogLevel::severity)                          \
+  ::orcastream::common::LogStatement(                                    \
+      ::orcastream::common::LogLevel::severity)
+
+}  // namespace orcastream::common
+
+#endif  // ORCASTREAM_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef ORCASTREAM_COMMON_RNG_H_
+#define ORCASTREAM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace orcastream::common {
+
+/// Seeded deterministic random number generator. Every stochastic component
+/// in orcastream (workload generators, failure injectors, placement
+/// tie-breaks) draws from an explicitly seeded Rng so simulation runs are
+/// bit-for-bit reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Exponentially distributed value with the given rate (events/unit).
+  double Exponential(double rate) {
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+  }
+
+  /// Samples an index proportionally to the given non-negative weights.
+  /// Returns weights.size() - 1 on degenerate input (all zero).
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return weights.empty() ? 0 : weights.size() - 1;
+    double r = UniformDouble(0, total);
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; used to give each component
+  /// its own stream so adding a component does not perturb others.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace orcastream::common
+
+#endif  // ORCASTREAM_COMMON_RNG_H_

@@ -1,0 +1,159 @@
+#ifndef ORCASTREAM_COMMON_STATUS_H_
+#define ORCASTREAM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace orcastream::common {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kCancelled,
+  kParseError,
+};
+
+/// Returns a human-readable name for a status code (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object used for error handling across all
+/// public orcastream APIs. Functions that can fail return Status (or
+/// Result<T>); exceptions never cross API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Value-or-error holder, analogous to arrow::Result. A Result is either a
+/// value of T or a non-OK Status; accessing the wrong alternative aborts in
+/// debug builds via assert-like checks.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK status from an expression, Arrow-style.
+#define ORCA_RETURN_NOT_OK(expr)                            \
+  do {                                                      \
+    ::orcastream::common::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                              \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define ORCA_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value();
+
+#define ORCA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define ORCA_ASSIGN_OR_RETURN_NAME(a, b) ORCA_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define ORCA_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  ORCA_ASSIGN_OR_RETURN_IMPL(                                               \
+      ORCA_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace orcastream::common
+
+#endif  // ORCASTREAM_COMMON_STATUS_H_

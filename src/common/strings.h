@@ -1,0 +1,31 @@
+#ifndef ORCASTREAM_COMMON_STRINGS_H_
+#define ORCASTREAM_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orcastream::common {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delim`; empty pieces are preserved.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Returns `input` with leading/trailing ASCII whitespace removed.
+std::string_view StrTrim(std::string_view input);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace orcastream::common
+
+#endif  // ORCASTREAM_COMMON_STRINGS_H_

@@ -1,0 +1,98 @@
+#include "ops/aggregate.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace orcastream::ops {
+
+using common::StrSplit;
+using topology::Tuple;
+
+void Aggregate::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  window_seconds_ = ctx->DoubleParamOr("windowSeconds", 600);
+  output_period_ = ctx->DoubleParamOr("outputPeriod", 1);
+  key_field_ = ctx->ParamOr("keyField", "");
+  specs_.clear();
+  windows_.clear();
+  for (const std::string& piece :
+       StrSplit(ctx->ParamOr("aggregates", ""), ';')) {
+    if (piece.empty()) continue;
+    std::vector<std::string> parts = StrSplit(piece, ':');
+    if (parts.size() == 2) {
+      specs_.push_back(AggSpec{parts[0], parts[1]});
+    }
+  }
+  ctx->ScheduleAfter(output_period_, [this] { EmitAll(); });
+}
+
+void Aggregate::ProcessTuple(size_t, const Tuple& tuple) {
+  std::string key =
+      key_field_.empty() ? "" : tuple.StringOr(key_field_, "");
+  Sample sample;
+  sample.at = ctx()->Now();
+  for (const auto& spec : specs_) {
+    if (sample.values.count(spec.field) > 0) continue;
+    auto numeric = tuple.GetNumeric(spec.field);
+    if (numeric.ok()) sample.values[spec.field] = numeric.value();
+  }
+  std::deque<Sample>& window = windows_[key];
+  window.push_back(std::move(sample));
+  Evict(&window);
+}
+
+void Aggregate::Evict(std::deque<Sample>* window) const {
+  sim::SimTime cutoff = ctx()->Now() - window_seconds_;
+  while (!window->empty() && window->front().at < cutoff) {
+    window->pop_front();
+  }
+}
+
+void Aggregate::EmitAll() {
+  for (auto& [key, window] : windows_) {
+    Evict(&window);
+    if (window.empty()) continue;
+    Tuple out;
+    if (!key_field_.empty()) out.Set(key_field_, key);
+    out.Set("windowCount", static_cast<int64_t>(window.size()));
+    for (const auto& spec : specs_) {
+      double min = 0, max = 0, sum = 0, sum_sq = 0;
+      int64_t count = 0;
+      for (const auto& sample : window) {
+        auto it = sample.values.find(spec.field);
+        if (it == sample.values.end()) continue;
+        double v = it->second;
+        if (count == 0 || v < min) min = v;
+        if (count == 0 || v > max) max = v;
+        sum += v;
+        sum_sq += v * v;
+        ++count;
+      }
+      std::string name = spec.fn + "_" + spec.field;
+      if (count == 0) {
+        out.Set(name, 0.0);
+        continue;
+      }
+      double mean = sum / static_cast<double>(count);
+      if (spec.fn == "min") {
+        out.Set(name, min);
+      } else if (spec.fn == "max") {
+        out.Set(name, max);
+      } else if (spec.fn == "avg") {
+        out.Set(name, mean);
+      } else if (spec.fn == "sum") {
+        out.Set(name, sum);
+      } else if (spec.fn == "count") {
+        out.Set(name, count);
+      } else if (spec.fn == "stddev") {
+        double variance = sum_sq / static_cast<double>(count) - mean * mean;
+        out.Set(name, variance > 0 ? std::sqrt(variance) : 0.0);
+      }
+    }
+    ctx()->Submit(0, out);
+  }
+  ctx()->ScheduleAfter(output_period_, [this] { EmitAll(); });
+}
+
+}  // namespace orcastream::ops

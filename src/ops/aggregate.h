@@ -1,0 +1,59 @@
+#ifndef ORCASTREAM_OPS_AGGREGATE_H_
+#define ORCASTREAM_OPS_AGGREGATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/operator_api.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// Aggregate: per-key sliding time-window aggregation (the workhorse of
+/// the §5.2 Trend Calculator, which keeps 600-second windows per stock
+/// symbol). Emits one output tuple per key every `outputPeriod` seconds
+/// with the configured aggregates over tuples younger than `windowSeconds`.
+///
+/// Params:
+///  - "windowSeconds"  sliding window span (default 600, the paper's value)
+///  - "outputPeriod"   seconds between emissions (default 1)
+///  - "keyField"       grouping attribute; empty = single global group
+///  - "aggregates"     semicolon list of <fn>:<field> with fn in
+///                     {min,max,avg,sum,count,stddev}, e.g.
+///                     "min:price;max:price;avg:price;stddev:price"
+///
+/// Output tuples carry the key (if any), "windowCount", and one field per
+/// aggregate named "<fn>_<field>". Window state lives in operator memory
+/// only — a PE crash loses it and the window must refill, which is exactly
+/// the recovery behaviour Figure 9 shows.
+class Aggregate : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  struct Sample {
+    sim::SimTime at;
+    std::map<std::string, double> values;
+  };
+  struct AggSpec {
+    std::string fn;
+    std::string field;
+  };
+
+  void EmitAll();
+  void Evict(std::deque<Sample>* window) const;
+
+  double window_seconds_ = 600;
+  double output_period_ = 1;
+  std::string key_field_;
+  std::vector<AggSpec> specs_;
+  std::map<std::string, std::deque<Sample>> windows_;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_AGGREGATE_H_

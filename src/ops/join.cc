@@ -1,0 +1,82 @@
+#include "ops/join.h"
+
+namespace orcastream::ops {
+
+using topology::Tuple;
+
+void Join::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  key_field_ = ctx->ParamOr("keyField", "");
+  window_seconds_ = ctx->DoubleParamOr("windowSeconds", 60);
+  sides_[0].clear();
+  sides_[1].clear();
+}
+
+void Join::Evict(std::deque<Entry>* side) const {
+  sim::SimTime cutoff = ctx()->Now() - window_seconds_;
+  while (!side->empty() && side->front().at < cutoff) {
+    side->pop_front();
+  }
+}
+
+Tuple Join::Combine(const Tuple& left, const Tuple& right) const {
+  Tuple out = left;
+  for (const auto& [name, value] : right.fields()) {
+    if (!out.Has(name)) out.Set(name, value);
+  }
+  return out;
+}
+
+void Join::ProcessTuple(size_t port, const Tuple& tuple) {
+  if (port > 1) return;
+  std::string key = tuple.StringOr(key_field_, "");
+  if (key.empty()) {
+    auto numeric = tuple.GetNumeric(key_field_);
+    if (numeric.ok()) key = std::to_string(numeric.value());
+  }
+  size_t self = port;
+  size_t other = 1 - port;
+
+  std::deque<Entry>& other_window = sides_[other][key];
+  Evict(&other_window);
+  for (const Entry& match : other_window) {
+    // Output field order is always left-then-right regardless of which
+    // side arrived last.
+    Tuple combined = self == 0 ? Combine(tuple, match.tuple)
+                               : Combine(match.tuple, tuple);
+    ctx()->Submit(0, combined);
+  }
+
+  std::deque<Entry>& own_window = sides_[self][key];
+  Evict(&own_window);
+  own_window.push_back(Entry{ctx()->Now(), tuple});
+}
+
+void Barrier::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  pending_.assign(ctx->def().inputs.size(), {});
+}
+
+void Barrier::ProcessTuple(size_t port, const Tuple& tuple) {
+  if (port >= pending_.size()) return;
+  pending_[port].push_back(tuple);
+  // Emit as long as every port has a pending tuple.
+  while (true) {
+    bool ready = !pending_.empty();
+    for (const auto& queue : pending_) {
+      if (queue.empty()) ready = false;
+    }
+    if (!ready) return;
+    Tuple combined = pending_[0].front();
+    pending_[0].pop_front();
+    for (size_t i = 1; i < pending_.size(); ++i) {
+      for (const auto& [name, value] : pending_[i].front().fields()) {
+        if (!combined.Has(name)) combined.Set(name, value);
+      }
+      pending_[i].pop_front();
+    }
+    ctx()->Submit(0, combined);
+  }
+}
+
+}  // namespace orcastream::ops

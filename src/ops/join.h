@@ -1,0 +1,64 @@
+#ifndef ORCASTREAM_OPS_JOIN_H_
+#define ORCASTREAM_OPS_JOIN_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/operator_api.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// Join: windowed equi-join of two input streams (SPL's relational Join).
+/// Port 0 is the left stream, port 1 the right. Each side retains a
+/// sliding time window of tuples; an arriving tuple is matched against
+/// the opposite window on the key field and one output tuple is emitted
+/// per match, carrying the left tuple's fields followed by the right
+/// tuple's non-conflicting fields.
+///
+/// Params:
+///  - "keyField"       equi-join attribute (required)
+///  - "windowSeconds"  per-side retention (default 60)
+///
+/// Window state lives in operator memory and dies with the PE — like
+/// every stateful orcastream operator, which is what makes the §5.2
+/// failure model interesting.
+class Join : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  struct Entry {
+    sim::SimTime at;
+    topology::Tuple tuple;
+  };
+
+  void Evict(std::deque<Entry>* side) const;
+  topology::Tuple Combine(const topology::Tuple& left,
+                          const topology::Tuple& right) const;
+
+  std::string key_field_;
+  double window_seconds_ = 60;
+  /// Per-key windows, one map per side.
+  std::map<std::string, std::deque<Entry>> sides_[2];
+};
+
+/// Barrier: synchronizes its input ports (SPL's Barrier). Tuples queue per
+/// port; whenever every port has at least one pending tuple, the operator
+/// pops one from each and emits a single combined tuple (fields of port 0
+/// first, later ports fill in non-conflicting fields).
+class Barrier : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  std::vector<std::deque<topology::Tuple>> pending_;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_JOIN_H_

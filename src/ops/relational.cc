@@ -1,0 +1,117 @@
+#include "ops/relational.h"
+
+#include <cstdlib>
+
+namespace orcastream::ops {
+
+using topology::Tuple;
+
+void Filter::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  field_ = ctx->ParamOr("field", "");
+  op_ = ctx->ParamOr("op", "==");
+  value_ = ctx->ParamOr("value", "");
+  count_discarded_ = ctx->BoolParamOr("countDiscarded", false);
+  if (count_discarded_) ctx->CreateCustomMetric("nDiscarded");
+}
+
+bool Filter::Matches(const Tuple& tuple) const {
+  if (op_ == "contains") {
+    auto str = tuple.GetString(field_);
+    return str.ok() && str.value().find(value_) != std::string::npos;
+  }
+  // Numeric comparison when both the field and the literal parse as
+  // numbers; string comparison otherwise.
+  auto numeric = tuple.GetNumeric(field_);
+  char* end = nullptr;
+  double literal = std::strtod(value_.c_str(), &end);
+  bool literal_numeric = end != value_.c_str() && *end == '\0';
+  if (numeric.ok() && literal_numeric) {
+    double lhs = numeric.value();
+    if (op_ == "==") return lhs == literal;
+    if (op_ == "!=") return lhs != literal;
+    if (op_ == "<") return lhs < literal;
+    if (op_ == "<=") return lhs <= literal;
+    if (op_ == ">") return lhs > literal;
+    if (op_ == ">=") return lhs >= literal;
+    return false;
+  }
+  auto str = tuple.GetString(field_);
+  if (!str.ok()) return false;
+  const std::string& lhs = str.value();
+  if (op_ == "==") return lhs == value_;
+  if (op_ == "!=") return lhs != value_;
+  if (op_ == "<") return lhs < value_;
+  if (op_ == "<=") return lhs <= value_;
+  if (op_ == ">") return lhs > value_;
+  if (op_ == ">=") return lhs >= value_;
+  return false;
+}
+
+void Filter::ProcessTuple(size_t, const Tuple& tuple) {
+  if (Matches(tuple)) {
+    ctx()->Submit(0, tuple);
+  } else if (count_discarded_) {
+    ctx()->AddToCustomMetric("nDiscarded", 1);
+  }
+}
+
+void Split::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  mode_ = ctx->ParamOr("mode", "roundrobin");
+  field_ = ctx->ParamOr("field", "");
+  next_ = 0;
+}
+
+void Split::ProcessTuple(size_t, const Tuple& tuple) {
+  size_t ports = ctx()->def().outputs.size();
+  if (ports == 0) return;
+  size_t target = 0;
+  if (mode_ == "hash" && !field_.empty()) {
+    auto str = tuple.GetString(field_);
+    if (str.ok()) {
+      target = std::hash<std::string>()(str.value()) % ports;
+    } else {
+      auto num = tuple.GetNumeric(field_);
+      if (num.ok()) {
+        target = static_cast<size_t>(
+                     std::hash<int64_t>()(static_cast<int64_t>(num.value()))) %
+                 ports;
+      }
+    }
+  } else {
+    target = next_++ % ports;
+  }
+  ctx()->Submit(target, tuple);
+}
+
+void Throttle::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  double rate = ctx->DoubleParamOr("rate", 0);
+  min_gap_ = rate > 0 ? 1.0 / rate : 0;
+  next_allowed_ = 0;
+  pending_.clear();
+  drain_scheduled_ = false;
+}
+
+void Throttle::ProcessTuple(size_t, const Tuple& tuple) {
+  pending_.push_back(tuple);
+  Drain();
+}
+
+void Throttle::Drain() {
+  while (!pending_.empty() && ctx()->Now() >= next_allowed_) {
+    ctx()->Submit(0, pending_.front());
+    pending_.pop_front();
+    next_allowed_ = ctx()->Now() + min_gap_;
+  }
+  if (!pending_.empty() && !drain_scheduled_) {
+    drain_scheduled_ = true;
+    ctx()->ScheduleAfter(next_allowed_ - ctx()->Now(), [this] {
+      drain_scheduled_ = false;
+      Drain();
+    });
+  }
+}
+
+}  // namespace orcastream::ops

@@ -1,0 +1,103 @@
+#ifndef ORCASTREAM_OPS_RELATIONAL_H_
+#define ORCASTREAM_OPS_RELATIONAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "runtime/operator_api.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// Filter: forwards tuples matching a simple predicate over one field.
+///
+/// Params:
+///  - "field"  attribute to test (required)
+///  - "op"     one of ==, !=, <, <=, >, >=, contains (default ==)
+///  - "value"  comparison literal (numeric compare when both sides are
+///             numeric, string compare otherwise)
+///  - "countDiscarded" "true" to maintain the custom metric nDiscarded
+///    (the paper's example of a custom metric for a filter, §2.1)
+class Filter : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  bool Matches(const topology::Tuple& tuple) const;
+
+  std::string field_;
+  std::string op_ = "==";
+  std::string value_;
+  bool count_discarded_ = false;
+};
+
+/// Functor: programmable map/filter. Applications wrap this with closures
+/// registered under app-specific kinds. Returning nullopt drops the tuple.
+class Functor : public runtime::Operator {
+ public:
+  using MapFn = std::function<std::optional<topology::Tuple>(
+      const topology::Tuple&, runtime::OperatorContext*)>;
+
+  explicit Functor(MapFn fn) : fn_(std::move(fn)) {}
+
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override {
+    (void)port;
+    std::optional<topology::Tuple> out = fn_(tuple, ctx());
+    if (out.has_value()) ctx()->Submit(0, *out);
+  }
+
+ private:
+  MapFn fn_;
+};
+
+/// Split: routes each input tuple to exactly one of N output ports.
+///
+/// Params:
+///  - "mode"  "roundrobin" (default) or "hash"
+///  - "field" hashing attribute (required for hash mode)
+class Split : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  std::string mode_ = "roundrobin";
+  std::string field_;
+  uint64_t next_ = 0;
+};
+
+/// Merge: forwards every tuple from any input port to the single output
+/// port (SPL Union semantics).
+class Merge : public runtime::Operator {
+ public:
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override {
+    (void)port;
+    ctx()->Submit(0, tuple);
+  }
+};
+
+/// Throttle: forwards tuples at a maximum rate, queueing bursts.
+///
+/// Params:
+///  - "rate" maximum tuples per second (required, > 0)
+class Throttle : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  void Drain();
+
+  double min_gap_ = 0;
+  sim::SimTime next_allowed_ = 0;
+  std::deque<topology::Tuple> pending_;
+  bool drain_scheduled_ = false;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_RELATIONAL_H_

@@ -1,0 +1,92 @@
+#ifndef ORCASTREAM_OPS_SINKS_H_
+#define ORCASTREAM_OPS_SINKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/operator_api.h"
+#include "sim/simulation.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// CallbackSink: invokes an application callback per tuple and per
+/// punctuation. Outlives PE restarts (the closure is owned by the factory
+/// registration), so tests and GUIs can observe output across failures —
+/// like the paper's live graphs in Figure 9.
+class CallbackSink : public runtime::Operator {
+ public:
+  using TupleFn =
+      std::function<void(const topology::Tuple&, runtime::OperatorContext*)>;
+  using PunctFn =
+      std::function<void(topology::PunctKind, runtime::OperatorContext*)>;
+
+  explicit CallbackSink(TupleFn on_tuple, PunctFn on_punct = nullptr)
+      : on_tuple_(std::move(on_tuple)), on_punct_(std::move(on_punct)) {}
+
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override {
+    (void)port;
+    if (on_tuple_) on_tuple_(tuple, ctx());
+  }
+  void ProcessPunct(size_t port, topology::PunctKind kind) override {
+    (void)port;
+    if (on_punct_) on_punct_(kind, ctx());
+  }
+
+ private:
+  TupleFn on_tuple_;
+  PunctFn on_punct_;
+};
+
+/// A shared in-memory tuple log standing in for files / external data
+/// stores (the paper's applications write negative tweets to disk for the
+/// Hadoop job, and C2 applications integrate profiles into a data store).
+/// Records carry their write time so batch jobs can select recent data.
+class TupleStore {
+ public:
+  struct Record {
+    sim::SimTime at;
+    topology::Tuple tuple;
+  };
+
+  void Append(sim::SimTime at, const topology::Tuple& tuple) {
+    records_.push_back(Record{at, tuple});
+  }
+  const std::vector<Record>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  /// Records written at or after `since`.
+  std::vector<Record> Since(sim::SimTime since) const {
+    std::vector<Record> out;
+    for (const auto& record : records_) {
+      if (record.at >= since) out.push_back(record);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// StoreSink: appends every tuple to a TupleStore.
+class StoreSink : public runtime::Operator {
+ public:
+  explicit StoreSink(std::shared_ptr<TupleStore> store)
+      : store_(std::move(store)) {}
+
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override {
+    (void)port;
+    store_->Append(ctx()->Now(), tuple);
+  }
+
+ private:
+  std::shared_ptr<TupleStore> store_;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_SINKS_H_

@@ -1,0 +1,59 @@
+#include "ops/sources.h"
+
+namespace orcastream::ops {
+
+using topology::PunctKind;
+using topology::Tuple;
+
+void Beacon::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  period_ = ctx->DoubleParamOr("period", 1.0);
+  count_ = ctx->IntParamOr("count", 0);
+  final_mark_ = ctx->BoolParamOr("finalMark", count_ > 0);
+  emitted_ = 0;
+  ctx->ScheduleAfter(period_, [this] { Emit(); });
+}
+
+void Beacon::ProcessTuple(size_t, const Tuple&) {
+  // Beacon has no input ports.
+}
+
+void Beacon::Emit() {
+  if (count_ > 0 && emitted_ >= count_) return;
+  Tuple tuple;
+  tuple.Set("seq", emitted_);
+  ctx()->Submit(0, tuple);
+  ++emitted_;
+  if (count_ > 0 && emitted_ >= count_) {
+    if (final_mark_) ctx()->SubmitPunct(0, PunctKind::kFinal);
+    return;
+  }
+  ctx()->ScheduleAfter(period_, [this] { Emit(); });
+}
+
+void CallbackSource::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  fired_ = 0;
+  ctx->ScheduleAfter(options_.period, [this] { Emit(); });
+}
+
+void CallbackSource::ProcessTuple(size_t, const Tuple&) {}
+
+void CallbackSource::Emit() {
+  if (options_.count > 0 && fired_ >= options_.count) return;
+  std::optional<Tuple> tuple =
+      options_.generator
+          ? options_.generator(ctx()->rng(), ctx()->Now(), fired_)
+          : std::nullopt;
+  if (tuple.has_value()) {
+    ctx()->Submit(0, *tuple);
+  }
+  ++fired_;
+  if (options_.count > 0 && fired_ >= options_.count) {
+    if (options_.final_mark) ctx()->SubmitPunct(0, PunctKind::kFinal);
+    return;
+  }
+  ctx()->ScheduleAfter(options_.period, [this] { Emit(); });
+}
+
+}  // namespace orcastream::ops

@@ -1,0 +1,67 @@
+#ifndef ORCASTREAM_OPS_SOURCES_H_
+#define ORCASTREAM_OPS_SOURCES_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "runtime/operator_api.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// Beacon: emits synthetic tuples at a fixed period (SPL's Beacon).
+///
+/// Params:
+///  - "period"     seconds between tuples (default 1.0)
+///  - "count"      number of tuples to emit; 0 = unbounded (default 0)
+///  - "finalMark"  "true" to emit a final punctuation after `count`
+///                 tuples (default true when count > 0)
+///
+/// Emits tuples with an increasing int field "seq".
+class Beacon : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  void Emit();
+
+  double period_ = 1.0;
+  int64_t count_ = 0;
+  bool final_mark_ = true;
+  int64_t emitted_ = 0;
+};
+
+/// CallbackSource: a programmable periodic source. Each firing invokes the
+/// generator; returning nullopt skips that slot. A zero/negative `count`
+/// runs unbounded. Applications register kinds wrapping this class with
+/// their workload closures (tweets, stock ticks, profiles).
+class CallbackSource : public runtime::Operator {
+ public:
+  /// Generator: (rng, virtual time, sequence) -> tuple or skip.
+  using Generator = std::function<std::optional<topology::Tuple>(
+      common::Rng*, sim::SimTime, int64_t)>;
+
+  struct Options {
+    double period = 1.0;
+    int64_t count = 0;  // 0 = unbounded
+    bool final_mark = true;
+    Generator generator;
+  };
+
+  explicit CallbackSource(Options options) : options_(std::move(options)) {}
+
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  void Emit();
+
+  Options options_;
+  int64_t fired_ = 0;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_SOURCES_H_

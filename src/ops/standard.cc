@@ -1,0 +1,51 @@
+#include "ops/standard.h"
+
+#include <memory>
+
+#include "ops/aggregate.h"
+#include "ops/join.h"
+#include "ops/relational.h"
+#include "ops/sinks.h"
+#include "ops/sources.h"
+#include "ops/utility.h"
+
+namespace orcastream::ops {
+
+namespace {
+
+/// NullSink: consumes and discards tuples (terminates dangling streams).
+class NullSink : public runtime::Operator {
+ public:
+  void ProcessTuple(size_t, const topology::Tuple&) override {}
+};
+
+}  // namespace
+
+void RegisterStandardOperators(runtime::OperatorFactory* factory) {
+  factory->RegisterOrReplace(
+      "Beacon", [] { return std::make_unique<Beacon>(); });
+  factory->RegisterOrReplace(
+      "Filter", [] { return std::make_unique<Filter>(); });
+  factory->RegisterOrReplace(
+      "Split", [] { return std::make_unique<Split>(); });
+  factory->RegisterOrReplace(
+      "Merge", [] { return std::make_unique<Merge>(); });
+  factory->RegisterOrReplace(
+      "Aggregate", [] { return std::make_unique<Aggregate>(); });
+  factory->RegisterOrReplace(
+      "Throttle", [] { return std::make_unique<Throttle>(); });
+  factory->RegisterOrReplace(
+      "NullSink", [] { return std::make_unique<NullSink>(); });
+  factory->RegisterOrReplace(
+      "Delay", [] { return std::make_unique<Delay>(); });
+  factory->RegisterOrReplace(
+      "DeDuplicate", [] { return std::make_unique<DeDuplicate>(); });
+  factory->RegisterOrReplace(
+      "Sample", [] { return std::make_unique<Sample>(); });
+  factory->RegisterOrReplace(
+      "Join", [] { return std::make_unique<Join>(); });
+  factory->RegisterOrReplace(
+      "Barrier", [] { return std::make_unique<Barrier>(); });
+}
+
+}  // namespace orcastream::ops

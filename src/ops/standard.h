@@ -1,0 +1,18 @@
+#ifndef ORCASTREAM_OPS_STANDARD_H_
+#define ORCASTREAM_OPS_STANDARD_H_
+
+#include "runtime/operator_api.h"
+
+namespace orcastream::ops {
+
+/// Registers the stock operator kinds ("Beacon", "Filter", "Split",
+/// "Merge", "Aggregate", "Throttle", "NullSink", "Delay", "DeDuplicate",
+/// "Sample") with the factory.
+/// Programmable operators (CallbackSource, Functor, CallbackSink,
+/// StoreSink) are registered by applications under app-specific kinds with
+/// their closures.
+void RegisterStandardOperators(runtime::OperatorFactory* factory);
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_STANDARD_H_

@@ -1,0 +1,63 @@
+#include "ops/utility.h"
+
+namespace orcastream::ops {
+
+using topology::Tuple;
+
+void Delay::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  delay_ = ctx->DoubleParamOr("delay", 1.0);
+}
+
+void Delay::ProcessTuple(size_t, const Tuple& tuple) {
+  ctx()->ScheduleAfter(delay_, [this, tuple] { ctx()->Submit(0, tuple); });
+}
+
+void DeDuplicate::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  field_ = ctx->ParamOr("field", "");
+  expiry_ = ctx->DoubleParamOr("expirySeconds", 60.0);
+  last_seen_.clear();
+  ctx->CreateCustomMetric("nDuplicatesDropped");
+}
+
+void DeDuplicate::ProcessTuple(size_t, const Tuple& tuple) {
+  std::string key = tuple.StringOr(field_, "");
+  if (key.empty()) {
+    auto numeric = tuple.GetNumeric(field_);
+    if (numeric.ok()) {
+      key = std::to_string(numeric.value());
+    }
+  }
+  sim::SimTime now = ctx()->Now();
+  auto it = last_seen_.find(key);
+  if (it != last_seen_.end() && now - it->second < expiry_) {
+    ctx()->AddToCustomMetric("nDuplicatesDropped", 1);
+    return;
+  }
+  last_seen_[key] = now;
+  // Opportunistic expiry sweep to bound memory.
+  if (last_seen_.size() > 4096) {
+    for (auto sweep = last_seen_.begin(); sweep != last_seen_.end();) {
+      sweep = (now - sweep->second >= expiry_) ? last_seen_.erase(sweep)
+                                               : std::next(sweep);
+    }
+  }
+  ctx()->Submit(0, tuple);
+}
+
+void Sample::Open(runtime::OperatorContext* ctx) {
+  Operator::Open(ctx);
+  rate_ = ctx->DoubleParamOr("rate", 1.0);
+  ctx->CreateCustomMetric("nShed");
+}
+
+void Sample::ProcessTuple(size_t, const Tuple& tuple) {
+  if (rate_ >= 1.0 || ctx()->rng()->Bernoulli(rate_)) {
+    ctx()->Submit(0, tuple);
+  } else {
+    ctx()->AddToCustomMetric("nShed", 1);
+  }
+}
+
+}  // namespace orcastream::ops

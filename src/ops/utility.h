@@ -1,0 +1,63 @@
+#ifndef ORCASTREAM_OPS_UTILITY_H_
+#define ORCASTREAM_OPS_UTILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/operator_api.h"
+#include "topology/tuple.h"
+
+namespace orcastream::ops {
+
+/// Delay: forwards each tuple after a fixed delay (SPL's Delay operator).
+///
+/// Params:
+///  - "delay" seconds to hold each tuple (default 1.0)
+class Delay : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  double delay_ = 1.0;
+};
+
+/// DeDuplicate: drops tuples whose key was seen within the expiry window.
+///
+/// Params:
+///  - "field"          key attribute (required)
+///  - "expirySeconds"  how long a key suppresses duplicates (default 60)
+///
+/// Maintains the custom metric "nDuplicatesDropped".
+class DeDuplicate : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  std::string field_;
+  double expiry_ = 60.0;
+  std::map<std::string, sim::SimTime> last_seen_;
+};
+
+/// Sample: forwards each tuple with probability "rate" — the classic
+/// load-shedding primitive ([25] in the paper). The shed fraction is
+/// adjustable at runtime through the submission parameter, and the
+/// operator maintains the custom metric "nShed" so an orchestrator can
+/// monitor shedding intensity.
+///
+/// Params:
+///  - "rate" pass probability in [0,1] (default 1.0 = no shedding)
+class Sample : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override;
+  void ProcessTuple(size_t port, const topology::Tuple& tuple) override;
+
+ private:
+  double rate_ = 1.0;
+};
+
+}  // namespace orcastream::ops
+
+#endif  // ORCASTREAM_OPS_UTILITY_H_

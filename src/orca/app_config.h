@@ -1,0 +1,31 @@
+#ifndef ORCASTREAM_ORCA_APP_CONFIG_H_
+#define ORCASTREAM_ORCA_APP_CONFIG_H_
+
+#include <map>
+#include <string>
+
+namespace orcastream::orca {
+
+/// Application configuration (§4.4): the unit the dependency manager works
+/// with. One configuration describes how one application is submitted and
+/// whether the ORCA service may garbage-collect it when unused.
+struct AppConfig {
+  /// String identifier used by the ORCA logic to refer to this
+  /// application ("fb", "tw", ...).
+  std::string id;
+  /// The application (ADL) name to submit.
+  std::string application_name;
+  /// Submission-time application parameters.
+  std::map<std::string, std::string> parameters;
+  /// Whether the application can be automatically cancelled when no other
+  /// application uses it.
+  bool garbage_collectable = false;
+  /// How long (seconds) a garbage-collectable application keeps running
+  /// after becoming unused before it is automatically cancelled. A pending
+  /// cancellation is abandoned if the application is reused in time.
+  double gc_timeout_seconds = 0;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_APP_CONFIG_H_

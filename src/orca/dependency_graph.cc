@@ -1,0 +1,95 @@
+#include "orca/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace orcastream::orca {
+
+using common::Status;
+using common::StrFormat;
+
+void DependencyGraph::AddApp(const std::string& id) {
+  if (HasApp(id)) return;
+  order_.push_back(id);
+  edges_[id];
+}
+
+bool DependencyGraph::HasApp(const std::string& id) const {
+  return edges_.count(id) > 0;
+}
+
+bool DependencyGraph::Reaches(const std::string& from,
+                              const std::string& to) const {
+  if (from == to) return true;
+  auto it = edges_.find(from);
+  if (it == edges_.end()) return false;
+  for (const auto& edge : it->second) {
+    if (Reaches(edge.depends_on, to)) return true;
+  }
+  return false;
+}
+
+Status DependencyGraph::AddDependency(const std::string& app,
+                                      const std::string& depends_on,
+                                      double uptime_seconds) {
+  if (!HasApp(app)) {
+    return Status::NotFound(
+        StrFormat("application config '%s' not registered", app.c_str()));
+  }
+  if (!HasApp(depends_on)) {
+    return Status::NotFound(StrFormat("application config '%s' not registered",
+                                      depends_on.c_str()));
+  }
+  if (app == depends_on || Reaches(depends_on, app)) {
+    // §4.4: registration error if the dependency leads to a cycle.
+    return Status::InvalidArgument(
+        StrFormat("dependency '%s' -> '%s' would create a cycle",
+                  app.c_str(), depends_on.c_str()));
+  }
+  edges_[app].push_back(Edge{depends_on, uptime_seconds});
+  return Status::OK();
+}
+
+const std::vector<DependencyGraph::Edge>& DependencyGraph::DependenciesOf(
+    const std::string& app) const {
+  static const std::vector<Edge> kEmpty;
+  auto it = edges_.find(app);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> DependencyGraph::DependentsOf(
+    const std::string& app) const {
+  std::vector<std::string> out;
+  for (const auto& id : order_) {
+    for (const auto& edge : DependenciesOf(id)) {
+      if (edge.depends_on == app) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DependencyGraph::DependencyClosure(
+    const std::string& app) const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  // Post-order DFS: dependencies come before the applications that need
+  // them; sibling order follows edge registration order.
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        if (seen.count(node) > 0) return;
+        seen.insert(node);
+        for (const auto& edge : DependenciesOf(node)) {
+          visit(edge.depends_on);
+        }
+        out.push_back(node);
+      };
+  visit(app);
+  return out;
+}
+
+}  // namespace orcastream::orca

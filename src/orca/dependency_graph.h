@@ -1,0 +1,60 @@
+#ifndef ORCASTREAM_ORCA_DEPENDENCY_GRAPH_H_
+#define ORCASTREAM_ORCA_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orcastream::orca {
+
+/// The application dependency graph (§4.4): nodes are AppConfig ids and a
+/// directed edge "A depends on B with uptime u" means B must have been
+/// running for at least u seconds before A can be submitted (Figure 7's
+/// arc annotations). Registration rejects edges that would create a cycle.
+class DependencyGraph {
+ public:
+  struct Edge {
+    std::string depends_on;
+    double uptime_seconds = 0;
+  };
+
+  /// Registers a node (idempotent).
+  void AddApp(const std::string& id);
+  bool HasApp(const std::string& id) const;
+
+  /// Adds "app depends on depends_on" with the given uptime requirement.
+  /// Returns an error if either node is unknown or the edge would create
+  /// a cycle.
+  common::Status AddDependency(const std::string& app,
+                               const std::string& depends_on,
+                               double uptime_seconds);
+
+  /// Direct dependencies of `app` (the applications it needs).
+  const std::vector<Edge>& DependenciesOf(const std::string& app) const;
+
+  /// Applications that directly depend on `app` (the ones it feeds).
+  std::vector<std::string> DependentsOf(const std::string& app) const;
+
+  /// `app` plus every application it transitively depends on — the §4.4
+  /// submission-snapshot pruned to nodes connected to the submitted
+  /// application (deterministic order: dependencies before dependents,
+  /// registration order among peers).
+  std::vector<std::string> DependencyClosure(const std::string& app) const;
+
+  /// All registered app ids in registration order.
+  const std::vector<std::string>& apps() const { return order_; }
+
+ private:
+  bool Reaches(const std::string& from, const std::string& to) const;
+
+  std::vector<std::string> order_;
+  std::map<std::string, std::vector<Edge>> edges_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "orca/descriptor.h"
+
+#include <memory>
+
+#include "common/xml.h"
+
+namespace orcastream::orca {
+
+using common::Result;
+using common::Status;
+using common::XmlElement;
+
+Result<OrcaDescriptor> ParseOrcaDescriptor(const std::string& xml) {
+  ORCA_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root,
+                        common::ParseXml(xml));
+  if (root->name() != "orchestrator") {
+    return Status::ParseError("descriptor root must be <orchestrator>");
+  }
+  OrcaDescriptor descriptor;
+  ORCA_ASSIGN_OR_RETURN(descriptor.name, root->Attr("name"));
+  descriptor.logic_library = root->AttrOr("library", "");
+  if (const XmlElement* apps = root->FindChild("applications")) {
+    for (const XmlElement* elem : apps->FindChildren("application")) {
+      OrcaDescriptor::ManagedApp app;
+      ORCA_ASSIGN_OR_RETURN(app.config_id, elem->Attr("id"));
+      ORCA_ASSIGN_OR_RETURN(app.application_name, elem->Attr("name"));
+      ORCA_ASSIGN_OR_RETURN(app.adl_ref, elem->Attr("adl"));
+      if (elem->HasAttr("garbageCollectable")) {
+        ORCA_ASSIGN_OR_RETURN(app.garbage_collectable,
+                              elem->BoolAttr("garbageCollectable"));
+      }
+      if (elem->HasAttr("gcTimeout")) {
+        ORCA_ASSIGN_OR_RETURN(app.gc_timeout_seconds,
+                              elem->DoubleAttr("gcTimeout"));
+      }
+      for (const XmlElement* param : elem->FindChildren("parameter")) {
+        ORCA_ASSIGN_OR_RETURN(std::string key, param->Attr("key"));
+        ORCA_ASSIGN_OR_RETURN(std::string value, param->Attr("value"));
+        app.parameters[key] = value;
+      }
+      descriptor.applications.push_back(std::move(app));
+    }
+  }
+  return descriptor;
+}
+
+std::string WriteOrcaDescriptor(const OrcaDescriptor& descriptor) {
+  XmlElement root("orchestrator");
+  root.SetAttr("name", descriptor.name);
+  if (!descriptor.logic_library.empty()) {
+    root.SetAttr("library", descriptor.logic_library);
+  }
+  XmlElement* apps = root.AddChild("applications");
+  for (const auto& app : descriptor.applications) {
+    XmlElement* elem = apps->AddChild("application");
+    elem->SetAttr("id", app.config_id);
+    elem->SetAttr("name", app.application_name);
+    elem->SetAttr("adl", app.adl_ref);
+    if (app.garbage_collectable) {
+      elem->SetAttr("garbageCollectable", true);
+      elem->SetAttr("gcTimeout", app.gc_timeout_seconds);
+    }
+    for (const auto& [key, value] : app.parameters) {
+      XmlElement* param = elem->AddChild("parameter");
+      param->SetAttr("key", key);
+      param->SetAttr("value", value);
+    }
+  }
+  return root.ToString();
+}
+
+Status ApplyDescriptor(const OrcaDescriptor& descriptor,
+                       const AdlLoader& loader, OrcaService* service) {
+  for (const auto& app : descriptor.applications) {
+    ORCA_ASSIGN_OR_RETURN(topology::ApplicationModel model,
+                          loader(app.adl_ref));
+    AppConfig config;
+    config.id = app.config_id;
+    config.application_name = app.application_name;
+    config.parameters = app.parameters;
+    config.garbage_collectable = app.garbage_collectable;
+    config.gc_timeout_seconds = app.gc_timeout_seconds;
+    ORCA_RETURN_NOT_OK(service->RegisterApplication(config, std::move(model)));
+  }
+  return Status::OK();
+}
+
+}  // namespace orcastream::orca

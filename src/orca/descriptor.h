@@ -1,0 +1,59 @@
+#ifndef ORCASTREAM_ORCA_DESCRIPTOR_H_
+#define ORCASTREAM_ORCA_DESCRIPTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "orca/orca_service.h"
+#include "topology/app_model.h"
+
+namespace orcastream::orca {
+
+/// The orchestrator description file (§3's MyORCA.xml): the basic
+/// description of the ORCA logic artifacts and the list of all
+/// applications that can be controlled from the orchestrator. Each entry
+/// names the application and references its ADL. Users submit this
+/// document to SAM, which forks the ORCA service process.
+struct OrcaDescriptor {
+  struct ManagedApp {
+    /// AppConfig id used by the ORCA logic.
+    std::string config_id;
+    /// Application name (must match the ADL's name).
+    std::string application_name;
+    /// Reference to the ADL document (a path in System S; resolved by an
+    /// AdlLoader here).
+    std::string adl_ref;
+    bool garbage_collectable = false;
+    double gc_timeout_seconds = 0;
+    std::map<std::string, std::string> parameters;
+  };
+
+  /// Orchestrator name.
+  std::string name;
+  /// The shared library implementing the ORCA logic (MyORCA.so). Kept for
+  /// format fidelity; orcastream links the logic statically.
+  std::string logic_library;
+  std::vector<ManagedApp> applications;
+};
+
+/// Parses / serializes the XML descriptor format.
+common::Result<OrcaDescriptor> ParseOrcaDescriptor(const std::string& xml);
+std::string WriteOrcaDescriptor(const OrcaDescriptor& descriptor);
+
+/// Resolves an ADL reference to an application model (the System S runtime
+/// reads ADL files from disk; tests and examples supply in-memory docs).
+using AdlLoader =
+    std::function<common::Result<topology::ApplicationModel>(
+        const std::string& adl_ref)>;
+
+/// Registers every application in the descriptor with the service,
+/// resolving ADL references through `loader`.
+common::Status ApplyDescriptor(const OrcaDescriptor& descriptor,
+                               const AdlLoader& loader, OrcaService* service);
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_DESCRIPTOR_H_

@@ -1,0 +1,215 @@
+#ifndef ORCASTREAM_ORCA_EVENT_SCOPE_H_
+#define ORCASTREAM_ORCA_EVENT_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "runtime/metrics.h"
+
+namespace orcastream::orca {
+
+/// Event scopes (§4.1). The ORCA service event scope is a disjunction of
+/// subscopes; an event is delivered when it matches at least one subscope
+/// (and only once even if it matches several — the matched keys are
+/// delivered alongside the context). Each subscope carries attribute
+/// filters defined over the *logical* application view:
+///
+///   - filters on the same attribute are DISJUNCTIVE
+///     (application A or application B);
+///   - filters on different attributes are CONJUNCTIVE
+///     (application A and composite type composite1).
+///
+/// An empty filter list on an attribute means "any".
+
+/// Shared filter set used by all subscope types.
+class ScopeFilters {
+ public:
+  /// Restricts to events from the named application (repeatable: OR).
+  void AddApplicationFilter(const std::string& application) {
+    applications_.push_back(application);
+  }
+  const std::vector<std::string>& applications() const {
+    return applications_;
+  }
+
+ private:
+  std::vector<std::string> applications_;
+};
+
+/// Well-known metric names mirrored from the runtime's built-ins; the
+/// paper's `OperatorMetricScope::queueSize` style enumerators.
+struct BuiltinMetric {
+  static constexpr const char* kQueueSize = runtime::builtin_metrics::kQueueSize;
+  static constexpr const char* kNumTuplesProcessed =
+      runtime::builtin_metrics::kNumTuplesProcessed;
+  static constexpr const char* kNumTuplesSubmitted =
+      runtime::builtin_metrics::kNumTuplesSubmitted;
+  static constexpr const char* kNumFinalPunctsProcessed =
+      runtime::builtin_metrics::kNumFinalPunctsProcessed;
+  static constexpr const char* kNumTupleBytesProcessed =
+      runtime::builtin_metrics::kNumTupleBytesProcessed;
+};
+
+/// Subscope over operator metrics — the paper's Figure 5 example: deliver
+/// queueSize metric events for Split/Merge operators enclosed in any
+/// instance of composite type composite1.
+class OperatorMetricScope : public ScopeFilters {
+ public:
+  /// Whether the scope matches operator-level samples, port-level samples,
+  /// or both.
+  enum class PortScope { kOperatorLevel, kPortLevel, kBoth };
+
+  explicit OperatorMetricScope(std::string key) : key_(std::move(key)) {}
+
+  const std::string& key() const { return key_; }
+
+  /// Only operators residing (at any nesting depth) in a composite of the
+  /// given type (repeatable: OR).
+  void AddCompositeTypeFilter(const std::string& composite_type) {
+    composite_types_.push_back(composite_type);
+  }
+  /// Only operators residing in the given composite instance.
+  void AddCompositeInstanceFilter(const std::string& instance) {
+    composite_instances_.push_back(instance);
+  }
+  /// Only operators of the given type(s).
+  void AddOperatorTypeFilter(const std::string& kind) {
+    operator_types_.push_back(kind);
+  }
+  void AddOperatorTypeFilter(const std::vector<std::string>& kinds) {
+    for (const auto& kind : kinds) operator_types_.push_back(kind);
+  }
+  void AddOperatorTypeFilter(std::initializer_list<std::string> kinds) {
+    for (const auto& kind : kinds) operator_types_.push_back(kind);
+  }
+  /// Only the named operator instances.
+  void AddOperatorNameFilter(const std::string& name) {
+    operator_names_.push_back(name);
+  }
+  /// Only metrics with the given name (the paper's addOperatorMetric).
+  void AddOperatorMetric(const std::string& metric_name) {
+    metric_names_.push_back(metric_name);
+  }
+  /// Restricts to built-in or custom metrics.
+  void SetMetricKindFilter(runtime::MetricKind kind) {
+    has_kind_filter_ = true;
+    metric_kind_ = kind;
+  }
+  void SetPortScope(PortScope port_scope) { port_scope_ = port_scope; }
+
+  const std::vector<std::string>& composite_types() const {
+    return composite_types_;
+  }
+  const std::vector<std::string>& composite_instances() const {
+    return composite_instances_;
+  }
+  const std::vector<std::string>& operator_types() const {
+    return operator_types_;
+  }
+  const std::vector<std::string>& operator_names() const {
+    return operator_names_;
+  }
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+  bool has_kind_filter() const { return has_kind_filter_; }
+  runtime::MetricKind metric_kind() const { return metric_kind_; }
+  PortScope port_scope() const { return port_scope_; }
+
+ private:
+  std::string key_;
+  std::vector<std::string> composite_types_;
+  std::vector<std::string> composite_instances_;
+  std::vector<std::string> operator_types_;
+  std::vector<std::string> operator_names_;
+  std::vector<std::string> metric_names_;
+  bool has_kind_filter_ = false;
+  runtime::MetricKind metric_kind_ = runtime::MetricKind::kBuiltin;
+  PortScope port_scope_ = PortScope::kOperatorLevel;
+};
+
+/// Subscope over PE-level metrics.
+class PeMetricScope : public ScopeFilters {
+ public:
+  explicit PeMetricScope(std::string key) : key_(std::move(key)) {}
+  const std::string& key() const { return key_; }
+
+  void AddMetricNameFilter(const std::string& metric_name) {
+    metric_names_.push_back(metric_name);
+  }
+  void AddPeFilter(common::PeId pe) { pes_.push_back(pe); }
+
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+  const std::vector<common::PeId>& pes() const { return pes_; }
+
+ private:
+  std::string key_;
+  std::vector<std::string> metric_names_;
+  std::vector<common::PeId> pes_;
+};
+
+/// Subscope over PE failure events — the paper's Figure 5 PEFailureScope
+/// with an application filter.
+class PeFailureScope : public ScopeFilters {
+ public:
+  explicit PeFailureScope(std::string key) : key_(std::move(key)) {}
+  const std::string& key() const { return key_; }
+
+  /// Only failures whose PE hosts at least one operator enclosed in a
+  /// composite of the given type.
+  void AddCompositeTypeFilter(const std::string& composite_type) {
+    composite_types_.push_back(composite_type);
+  }
+  /// Only failures with the given crash reason.
+  void AddReasonFilter(const std::string& reason) {
+    reasons_.push_back(reason);
+  }
+
+  const std::vector<std::string>& composite_types() const {
+    return composite_types_;
+  }
+  const std::vector<std::string>& reasons() const { return reasons_; }
+
+ private:
+  std::string key_;
+  std::vector<std::string> composite_types_;
+  std::vector<std::string> reasons_;
+};
+
+/// Subscope over job submission / cancellation events generated by the
+/// ORCA service (§4.1).
+class JobEventScope : public ScopeFilters {
+ public:
+  enum class Kind { kSubmission, kCancellation, kBoth };
+
+  explicit JobEventScope(std::string key, Kind kind = Kind::kBoth)
+      : key_(std::move(key)), kind_(kind) {}
+  const std::string& key() const { return key_; }
+  Kind kind() const { return kind_; }
+
+ private:
+  std::string key_;
+  Kind kind_;
+};
+
+/// Subscope over user-generated events (injected via the command tool).
+class UserEventScope {
+ public:
+  explicit UserEventScope(std::string key) : key_(std::move(key)) {}
+  const std::string& key() const { return key_; }
+
+  void AddNameFilter(const std::string& name) { names_.push_back(name); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::string key_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_EVENT_SCOPE_H_

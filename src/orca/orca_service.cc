@@ -1,0 +1,656 @@
+#include "orca/orca_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "orca/scope_matcher.h"
+#include "topology/adl.h"
+
+namespace orcastream::orca {
+
+using common::JobId;
+using common::OrcaId;
+using common::PeId;
+using common::Result;
+using common::Status;
+using common::StrFormat;
+using common::TimerId;
+
+OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
+                         runtime::Srm* srm, Config config)
+    : sim_(sim),
+      sam_(sam),
+      srm_(srm),
+      config_(config),
+      pull_task_(sim, config.metric_pull_period,
+                 [this] { PullMetricsRound(); }) {}
+
+OrcaService::~OrcaService() { Shutdown(); }
+
+Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
+  if (logic_ != nullptr) {
+    return Status::FailedPrecondition("ORCA logic already loaded");
+  }
+  logic_ = std::move(logic);
+  logic_->orca_ = this;
+  orca_id_ = sam_->RegisterOrca(
+      config_.name, [this](const runtime::PeFailureNotice& notice) {
+        OnPeFailureNotice(notice);
+      });
+  pull_task_.Start(config_.metric_pull_period);
+  // The start signal is the only event that is always in scope (§4.1).
+  EnqueueDelivery("orcaStart", [this] {
+    OrcaStartContext context;
+    context.at = sim_->Now();
+    logic_->HandleOrcaStart(context);
+  });
+  return Status::OK();
+}
+
+void OrcaService::Shutdown() {
+  if (logic_ == nullptr) return;
+  pull_task_.Stop();
+  for (auto& [id, timer] : timers_) {
+    sim_->Cancel(timer.event);
+  }
+  timers_.clear();
+  sam_->UnregisterOrca(orca_id_);
+  logic_->orca_ = nullptr;
+  logic_.reset();
+}
+
+// --- Scope registration ---------------------------------------------------
+
+void OrcaService::RegisterEventScope(OperatorMetricScope scope) {
+  operator_metric_scopes_.push_back(std::move(scope));
+}
+void OrcaService::RegisterEventScope(PeMetricScope scope) {
+  pe_metric_scopes_.push_back(std::move(scope));
+}
+void OrcaService::RegisterEventScope(PeFailureScope scope) {
+  pe_failure_scopes_.push_back(std::move(scope));
+}
+void OrcaService::RegisterEventScope(JobEventScope scope) {
+  job_event_scopes_.push_back(std::move(scope));
+}
+void OrcaService::RegisterEventScope(UserEventScope scope) {
+  user_event_scopes_.push_back(std::move(scope));
+}
+void OrcaService::ClearEventScopes() {
+  operator_metric_scopes_.clear();
+  pe_metric_scopes_.clear();
+  pe_failure_scopes_.clear();
+  job_event_scopes_.clear();
+  user_event_scopes_.clear();
+}
+
+// --- Application registry --------------------------------------------------
+
+OrcaService::AppState* OrcaService::FindApp(const std::string& config_id) {
+  auto it = apps_.find(config_id);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+const OrcaService::AppState* OrcaService::FindApp(
+    const std::string& config_id) const {
+  auto it = apps_.find(config_id);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+OrcaService::AppState* OrcaService::FindAppByJob(JobId job) {
+  for (auto& [id, state] : apps_) {
+    if (state.job.has_value() && *state.job == job) return &state;
+  }
+  return nullptr;
+}
+
+Status OrcaService::RegisterApplication(AppConfig config,
+                                        topology::ApplicationModel model) {
+  if (config.id.empty()) {
+    return Status::InvalidArgument("AppConfig id must not be empty");
+  }
+  if (apps_.count(config.id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("application config '%s' already registered",
+                  config.id.c_str()));
+  }
+  ORCA_RETURN_NOT_OK(model.Validate());
+  AppState state;
+  state.config = std::move(config);
+  state.model = std::move(model);
+  std::string id = state.config.id;
+  apps_.emplace(id, std::move(state));
+  deps_.AddApp(id);
+  return Status::OK();
+}
+
+Status OrcaService::RegisterApplicationAdl(AppConfig config,
+                                           const std::string& adl_xml) {
+  ORCA_ASSIGN_OR_RETURN(topology::ApplicationModel model,
+                        topology::ParseAdl(adl_xml));
+  return RegisterApplication(std::move(config), std::move(model));
+}
+
+Status OrcaService::RegisterDependency(const std::string& app,
+                                       const std::string& depends_on,
+                                       double uptime_seconds) {
+  return deps_.AddDependency(app, depends_on, uptime_seconds);
+}
+
+Status OrcaService::SubmitApplication(const std::string& config_id) {
+  AppState* state = FindApp(config_id);
+  if (state == nullptr) {
+    return Status::NotFound(StrFormat("application config '%s' not registered",
+                                      config_id.c_str()));
+  }
+  JournalActuation(StrFormat("submitApplication(%s)", config_id.c_str()));
+  state->explicitly_submitted = true;
+  std::vector<std::string> closure = deps_.DependencyClosure(config_id);
+  // Resurrect any member enqueued for cancellation: it is immediately
+  // removed from the cancellation queue, avoiding an unnecessary
+  // application restart (§4.4).
+  for (const auto& member : closure) {
+    AppState* member_state = FindApp(member);
+    if (member_state != nullptr && member_state->gc_pending) {
+      sim_->Cancel(member_state->gc_event);
+      member_state->gc_pending = false;
+      ORCA_LOG(kInfo) << "resurrected '" << member
+                      << "' from the cancellation queue";
+    }
+  }
+  // Start the application submission thread (§4.4).
+  sim_->ScheduleAfter(0, [this, closure = std::move(closure)]() mutable {
+    ContinueSubmission(std::move(closure));
+  });
+  return Status::OK();
+}
+
+void OrcaService::ContinueSubmission(std::vector<std::string> closure) {
+  while (true) {
+    bool all_running = true;
+    AppState* best = nullptr;
+    double best_wait = std::numeric_limits<double>::infinity();
+    for (const auto& member : closure) {
+      AppState* state = FindApp(member);
+      if (state == nullptr) continue;
+      if (state->job.has_value()) continue;
+      all_running = false;
+      // The next target must have all of its dependencies satisfied
+      // (i.e., submitted); among those, the lowest required sleeping time
+      // wins (§4.4).
+      bool satisfied = true;
+      double wait = 0;
+      for (const auto& edge : deps_.DependenciesOf(member)) {
+        const AppState* dep = FindApp(edge.depends_on);
+        if (dep == nullptr || !dep->job.has_value()) {
+          satisfied = false;
+          break;
+        }
+        wait = std::max(wait,
+                        dep->submitted_at + edge.uptime_seconds - sim_->Now());
+      }
+      if (!satisfied) continue;
+      if (wait < best_wait) {
+        best_wait = wait;
+        best = state;
+      }
+    }
+    if (all_running || best == nullptr) return;
+    if (best_wait > 0) {
+      sim_->ScheduleAfter(best_wait,
+                          [this, closure = std::move(closure)]() mutable {
+                            ContinueSubmission(std::move(closure));
+                          });
+      return;
+    }
+    Status status = SubmitNow(best);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "submission of '" << best->config.id
+                       << "' failed: " << status;
+      return;
+    }
+  }
+}
+
+Status OrcaService::SubmitNow(AppState* state) {
+  ORCA_ASSIGN_OR_RETURN(
+      JobId job,
+      sam_->SubmitJob(state->model, state->config.parameters, orca_id_));
+  state->job = job;
+  state->submitted_at = sim_->Now();
+  state->gc_pending = false;
+  const runtime::JobInfo* info = sam_->FindJob(job);
+  if (info != nullptr) graph_.AddJob(*info);
+  DeliverJobEvent(*state, job, /*is_submission=*/true);
+  return Status::OK();
+}
+
+void OrcaService::DeliverJobEvent(const AppState& state, JobId job,
+                                  bool is_submission) {
+  JobEventContext context;
+  context.job = job;
+  context.application = state.config.application_name;
+  context.config_id = state.config.id;
+  context.at = sim_->Now();
+  std::vector<std::string> matched;
+  for (const auto& scope : job_event_scopes_) {
+    if (MatchJobEvent(scope, context, is_submission)) {
+      matched.push_back(scope.key());
+    }
+  }
+  if (matched.empty()) return;
+  EnqueueDelivery(
+      StrFormat("job%s(%s)", is_submission ? "Submission" : "Cancellation",
+                context.config_id.c_str()),
+      [this, context, matched, is_submission] {
+        if (is_submission) {
+          logic_->HandleJobSubmissionEvent(context, matched);
+        } else {
+          logic_->HandleJobCancellationEvent(context, matched);
+        }
+      });
+}
+
+Status OrcaService::CancelApplication(const std::string& config_id) {
+  AppState* state = FindApp(config_id);
+  if (state == nullptr) {
+    return Status::NotFound(StrFormat("application config '%s' not registered",
+                                      config_id.c_str()));
+  }
+  if (!state->job.has_value()) {
+    return Status::FailedPrecondition(
+        StrFormat("application '%s' is not running", config_id.c_str()));
+  }
+  // Starvation protection (§4.4): refuse to cancel an application that is
+  // feeding another running application.
+  for (const auto& dependent : deps_.DependentsOf(config_id)) {
+    const AppState* dep_state = FindApp(dependent);
+    if (dep_state != nullptr && dep_state->job.has_value()) {
+      return Status::FailedPrecondition(StrFormat(
+          "application '%s' feeds running application '%s'",
+          config_id.c_str(), dependent.c_str()));
+    }
+  }
+  JournalActuation(StrFormat("cancelApplication(%s)", config_id.c_str()));
+  state->explicitly_submitted = false;
+  return DoCancel(state);
+}
+
+Status OrcaService::DoCancel(AppState* state) {
+  if (!state->job.has_value()) return Status::OK();
+  JobId job = *state->job;
+  ORCA_RETURN_NOT_OK(sam_->CancelJob(job));
+  graph_.RemoveJob(job);
+  state->job.reset();
+  state->gc_pending = false;
+  DeliverJobEvent(*state, job, /*is_submission=*/false);
+  // Feeders of the cancelled application may now be unused; sweep them.
+  for (const auto& edge : deps_.DependenciesOf(state->config.id)) {
+    MaybeScheduleGc(edge.depends_on);
+  }
+  return Status::OK();
+}
+
+bool OrcaService::GcEligible(const AppState& state) const {
+  // §4.4: an application is NOT automatically cancelled when (i) it is not
+  // garbage collectable, (ii) it is being used by another running
+  // application, or (iii) it was explicitly submitted by the ORCA logic.
+  if (!state.job.has_value()) return false;
+  if (!state.config.garbage_collectable) return false;
+  if (state.explicitly_submitted) return false;
+  for (const auto& dependent : deps_.DependentsOf(state.config.id)) {
+    const AppState* dep_state = FindApp(dependent);
+    if (dep_state != nullptr && dep_state->job.has_value()) return false;
+  }
+  return true;
+}
+
+void OrcaService::MaybeScheduleGc(const std::string& config_id) {
+  AppState* state = FindApp(config_id);
+  if (state == nullptr || state->gc_pending || !GcEligible(*state)) return;
+  state->gc_pending = true;
+  ORCA_LOG(kInfo) << "enqueued '" << config_id
+                  << "' for cancellation (timeout "
+                  << state->config.gc_timeout_seconds << "s)";
+  state->gc_event = sim_->ScheduleAfter(
+      state->config.gc_timeout_seconds, [this, config_id] {
+        AppState* state = FindApp(config_id);
+        if (state == nullptr || !state->gc_pending) return;
+        state->gc_pending = false;
+        if (!GcEligible(*state)) return;  // reused meanwhile
+        Status status = DoCancel(state);
+        if (!status.ok()) {
+          ORCA_LOG(kError) << "garbage collection of '" << config_id
+                           << "' failed: " << status;
+        }
+      });
+}
+
+Result<JobId> OrcaService::RunningJob(const std::string& config_id) const {
+  const AppState* state = FindApp(config_id);
+  if (state == nullptr) {
+    return Status::NotFound(StrFormat("application config '%s' not registered",
+                                      config_id.c_str()));
+  }
+  if (!state->job.has_value()) {
+    return Status::FailedPrecondition(
+        StrFormat("application '%s' is not running", config_id.c_str()));
+  }
+  return *state->job;
+}
+
+bool OrcaService::IsRunning(const std::string& config_id) const {
+  const AppState* state = FindApp(config_id);
+  return state != nullptr && state->job.has_value();
+}
+
+bool OrcaService::IsGcPending(const std::string& config_id) const {
+  const AppState* state = FindApp(config_id);
+  return state != nullptr && state->gc_pending;
+}
+
+// --- Direct actuations -----------------------------------------------------
+
+Status OrcaService::CancelJob(JobId job) {
+  AppState* state = FindAppByJob(job);
+  if (state == nullptr) {
+    // §3: acting on jobs the ORCA logic did not start is a runtime error.
+    return Status::PermissionDenied(StrFormat(
+        "job %lld was not started through this ORCA service",
+        static_cast<long long>(job.value())));
+  }
+  JournalActuation(StrFormat("cancelJob(%lld)",
+                             static_cast<long long>(job.value())));
+  state->explicitly_submitted = false;
+  return DoCancel(state);
+}
+
+Status OrcaService::RestartPe(PeId pe) {
+  if (!graph_.HostOfPe(pe).ok()) {
+    return Status::PermissionDenied(StrFormat(
+        "PE %lld does not belong to a job managed by this ORCA service",
+        static_cast<long long>(pe.value())));
+  }
+  JournalActuation(StrFormat("restartPe(%lld)",
+                             static_cast<long long>(pe.value())));
+  return sam_->RestartPe(pe);
+}
+
+Status OrcaService::StopPe(PeId pe) {
+  if (!graph_.HostOfPe(pe).ok()) {
+    return Status::PermissionDenied(StrFormat(
+        "PE %lld does not belong to a job managed by this ORCA service",
+        static_cast<long long>(pe.value())));
+  }
+  JournalActuation(StrFormat("stopPe(%lld)",
+                             static_cast<long long>(pe.value())));
+  return sam_->StopPe(pe);
+}
+
+Status OrcaService::SetExclusiveHostPools(const std::string& config_id) {
+  AppState* state = FindApp(config_id);
+  if (state == nullptr) {
+    return Status::NotFound(StrFormat("application config '%s' not registered",
+                                      config_id.c_str()));
+  }
+  if (state->job.has_value()) {
+    // §4.3: the host pool configuration change must occur before the
+    // application is submitted.
+    return Status::FailedPrecondition(StrFormat(
+        "application '%s' already submitted; exclusive pools must be "
+        "configured before submission",
+        config_id.c_str()));
+  }
+  JournalActuation(
+      StrFormat("setExclusiveHostPools(%s)", config_id.c_str()));
+  state->model.MakeHostPoolsExclusive();
+  return Status::OK();
+}
+
+void OrcaService::SetMetricPullPeriod(double seconds) {
+  JournalActuation(StrFormat("setMetricPullPeriod(%g)", seconds));
+  pull_task_.set_period(seconds);
+}
+
+void OrcaService::PullMetricsNow() { PullMetricsRound(); }
+
+// --- Metric pull -------------------------------------------------------------
+
+void OrcaService::PullMetricsRound() {
+  if (logic_ == nullptr) return;
+  std::vector<JobId> jobs;
+  for (const auto& [id, state] : apps_) {
+    if (state.job.has_value()) jobs.push_back(*state.job);
+  }
+  if (jobs.empty()) return;
+  runtime::MetricsSnapshot snapshot = srm_->QueryMetrics(jobs);
+  // One epoch per SRM query round: the logical clock that lets handlers
+  // correlate metrics measured together (§4.2).
+  int64_t epoch = ++metric_epoch_;
+
+  for (const auto& rec : snapshot.operator_metrics) {
+    OperatorMetricContext context;
+    context.job = rec.job;
+    const GraphView::JobRecord* job_record = graph_.FindJob(rec.job);
+    if (job_record == nullptr) continue;
+    context.application = job_record->app_name;
+    context.pe = rec.pe;
+    context.instance_name = rec.operator_name;
+    auto kind = graph_.OperatorKind(rec.job, rec.operator_name);
+    context.operator_kind = kind.ok() ? kind.value() : "";
+    context.metric = rec.metric_name;
+    context.metric_kind = rec.kind;
+    context.value = rec.value;
+    context.port = rec.port;
+    context.output_port = rec.output_port;
+    context.epoch = epoch;
+    context.collected_at = snapshot.collected_at;
+
+    std::vector<std::string> matched;
+    for (const auto& scope : operator_metric_scopes_) {
+      if (MatchOperatorMetric(scope, context, graph_)) {
+        matched.push_back(scope.key());
+      }
+    }
+    if (matched.empty()) continue;
+    // Each event is delivered once even when it matches several subscopes
+    // (§4.1); the matched keys ride along.
+    EnqueueDelivery(
+        StrFormat("operatorMetric(%s.%s@%lld)",
+                  context.instance_name.c_str(), context.metric.c_str(),
+                  static_cast<long long>(context.epoch)),
+        [this, context, matched] {
+          logic_->HandleOperatorMetricEvent(context, matched);
+        });
+  }
+
+  for (const auto& rec : snapshot.pe_metrics) {
+    PeMetricContext context;
+    context.job = rec.job;
+    const GraphView::JobRecord* job_record = graph_.FindJob(rec.job);
+    if (job_record == nullptr) continue;
+    context.application = job_record->app_name;
+    context.pe = rec.pe;
+    context.metric = rec.metric_name;
+    context.metric_kind = rec.kind;
+    context.value = rec.value;
+    context.epoch = epoch;
+    context.collected_at = snapshot.collected_at;
+
+    std::vector<std::string> matched;
+    for (const auto& scope : pe_metric_scopes_) {
+      if (MatchPeMetric(scope, context)) matched.push_back(scope.key());
+    }
+    if (matched.empty()) continue;
+    EnqueueDelivery(
+        StrFormat("peMetric(pe%lld.%s@%lld)",
+                  static_cast<long long>(context.pe.value()),
+                  context.metric.c_str(),
+                  static_cast<long long>(context.epoch)),
+        [this, context, matched] {
+          logic_->HandlePeMetricEvent(context, matched);
+        });
+  }
+}
+
+// --- Failure push ---------------------------------------------------------
+
+void OrcaService::OnPeFailureNotice(const runtime::PeFailureNotice& notice) {
+  if (logic_ == nullptr) return;
+  PeFailureContext context;
+  context.job = notice.job;
+  context.application = notice.app_name;
+  context.pe = notice.pe;
+  context.host = notice.host;
+  context.reason = notice.reason;
+  context.detected_at = notice.detected_at;
+  context.operators = notice.operators;
+  // The failure epoch groups notifications caused by the same physical
+  // incident: it advances when the (reason, detection timestamp) pair
+  // changes (§4.2).
+  if (notice.reason != last_failure_reason_ ||
+      notice.detected_at != last_failure_detected_at_) {
+    ++failure_epoch_;
+    last_failure_reason_ = notice.reason;
+    last_failure_detected_at_ = notice.detected_at;
+  }
+  context.epoch = failure_epoch_;
+
+  std::vector<std::string> matched;
+  for (const auto& scope : pe_failure_scopes_) {
+    if (MatchPeFailure(scope, context, graph_)) {
+      matched.push_back(scope.key());
+    }
+  }
+  if (matched.empty()) return;
+  EnqueueDelivery(StrFormat("peFailure(pe%lld, %s)",
+                            static_cast<long long>(context.pe.value()),
+                            context.reason.c_str()),
+                  [this, context, matched] {
+                    logic_->HandlePeFailureEvent(context, matched);
+                  });
+}
+
+// --- Timers -----------------------------------------------------------------
+
+TimerId OrcaService::CreateTimer(double delay_seconds, const std::string& name,
+                                 bool recurring, double period_seconds) {
+  TimerId id(next_timer_id_++);
+  TimerState timer;
+  timer.id = id;
+  timer.name = name;
+  timer.recurring = recurring;
+  timer.period = period_seconds > 0 ? period_seconds : delay_seconds;
+  timer.event = sim_->ScheduleAfter(delay_seconds,
+                                    [this, id] { FireTimer(id); });
+  timers_.emplace(id, std::move(timer));
+  return id;
+}
+
+void OrcaService::FireTimer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end() || logic_ == nullptr) return;
+  TimerContext context;
+  context.id = id;
+  context.name = it->second.name;
+  context.at = sim_->Now();
+  EnqueueDelivery(StrFormat("timer(%s)", context.name.c_str()),
+                  [this, context] { logic_->HandleTimerEvent(context); });
+  if (it->second.recurring) {
+    it->second.event = sim_->ScheduleAfter(it->second.period,
+                                           [this, id] { FireTimer(id); });
+  } else {
+    timers_.erase(it);
+  }
+}
+
+void OrcaService::CancelTimer(TimerId timer) {
+  auto it = timers_.find(timer);
+  if (it == timers_.end()) return;
+  sim_->Cancel(it->second.event);
+  timers_.erase(it);
+}
+
+// --- User events -------------------------------------------------------------
+
+void OrcaService::InjectUserEvent(
+    const std::string& name, std::map<std::string, std::string> attributes) {
+  if (logic_ == nullptr) return;
+  UserEventContext context;
+  context.name = name;
+  context.attributes = std::move(attributes);
+  context.at = sim_->Now();
+  std::vector<std::string> matched;
+  for (const auto& scope : user_event_scopes_) {
+    if (MatchUserEvent(scope, context)) matched.push_back(scope.key());
+  }
+  if (matched.empty()) return;
+  EnqueueDelivery(StrFormat("userEvent(%s)", context.name.c_str()),
+                  [this, context, matched] {
+                    logic_->HandleUserEvent(context, matched);
+                  });
+}
+
+// --- Event queue ---------------------------------------------------------------
+
+void OrcaService::EnqueueDelivery(std::string summary,
+                                  std::function<void()> deliver) {
+  // Events are delivered one at a time; events occurring while a handler
+  // runs are queued in arrival order (§4.2).
+  event_queue_.push_back(QueuedEvent{std::move(summary), std::move(deliver)});
+  if (!dispatching_) {
+    dispatching_ = true;
+    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
+  }
+}
+
+void OrcaService::DispatchNext() {
+  if (event_queue_.empty() || logic_ == nullptr) {
+    dispatching_ = false;
+    return;
+  }
+  QueuedEvent event = std::move(event_queue_.front());
+  event_queue_.pop_front();
+  ++events_delivered_;
+  // Each delivery runs inside a transaction (§7 extension): the journal
+  // ties the event to every actuation its handler performs.
+  current_txn_ = txn_log_.Begin(event.summary, sim_->Now());
+  event.deliver();
+  txn_log_.Commit(current_txn_, sim_->Now());
+  current_txn_ = 0;
+  if (event_queue_.empty()) {
+    dispatching_ = false;
+    return;
+  }
+  sim_->ScheduleAfter(config_.dispatch_interval, [this] { DispatchNext(); });
+}
+
+void OrcaService::JournalActuation(const std::string& description) {
+  if (current_txn_ != 0) txn_log_.RecordActuation(current_txn_, description);
+}
+
+common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
+  if (logic_ == nullptr) {
+    return Status::FailedPrecondition("no ORCA logic loaded to replace");
+  }
+  logic_->orca_ = nullptr;
+  logic_ = std::move(logic);
+  logic_->orca_ = this;
+  // The replacement receives a fresh start event BEFORE any surviving
+  // queued events so it can initialize its own state; events that never
+  // committed under the old logic then flow to it (reliable delivery).
+  event_queue_.push_front(QueuedEvent{"orcaStart(replacement)", [this] {
+                                        OrcaStartContext context;
+                                        context.at = sim_->Now();
+                                        logic_->HandleOrcaStart(context);
+                                      }});
+  if (!dispatching_) {
+    dispatching_ = true;
+    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
+  }
+  return Status::OK();
+}
+
+}  // namespace orcastream::orca

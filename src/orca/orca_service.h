@@ -1,0 +1,273 @@
+#ifndef ORCASTREAM_ORCA_ORCA_SERVICE_H_
+#define ORCASTREAM_ORCA_ORCA_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "orca/app_config.h"
+#include "orca/dependency_graph.h"
+#include "orca/event_scope.h"
+#include "orca/events.h"
+#include "orca/graph_view.h"
+#include "orca/orchestrator.h"
+#include "orca/transaction_log.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::orca {
+
+/// The ORCA service (§3): the runtime daemon that hosts user-written ORCA
+/// logic. It detects changes and delivers relevant events (one at a time,
+/// queueing events that occur while a handler runs), maintains the
+/// in-memory stream-graph representation of all managed applications, and
+/// provides the actuation APIs the logic uses to adapt the application:
+/// job submission/cancellation with dependency management and garbage
+/// collection (§4.4), PE restart, exclusive host pools (§4.3), timers, and
+/// user events.
+///
+/// Metric events are pulled from SRM at a configurable period (default
+/// 15 s, §4.2); PE failure events are pushed by SAM as they are detected.
+/// The service only delivers events for — and only allows actuation on —
+/// applications started through it (§3).
+class OrcaService {
+ public:
+  struct Config {
+    std::string name = "orca";
+    /// SRM metric pull period (§4.2 default: 15 seconds).
+    double metric_pull_period = 15.0;
+    /// Spacing between successive queued event deliveries (models the
+    /// time consumed by user handlers; 0 = back-to-back).
+    double dispatch_interval = 0.0;
+  };
+
+  OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm,
+              Config config);
+  OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm)
+      : OrcaService(sim, sam, srm, Config{}) {}
+  ~OrcaService();
+
+  OrcaService(const OrcaService&) = delete;
+  OrcaService& operator=(const OrcaService&) = delete;
+
+  // --- Lifecycle ---------------------------------------------------------
+
+  /// Loads the ORCA logic (the MyORCA.so analog): registers the
+  /// orchestrator with SAM and enqueues the start event. The logic's
+  /// HandleOrcaStart runs on the next simulation step.
+  common::Status Load(std::unique_ptr<Orchestrator> logic);
+
+  /// Stops event generation and unregisters from SAM. Managed jobs keep
+  /// running.
+  void Shutdown();
+
+  /// Replaces the ORCA logic while the service keeps running — the
+  /// recovery path of the §7 fault-tolerance extension. Registered
+  /// scopes, managed jobs, and *queued events* survive: events whose
+  /// delivery transaction never committed under the old logic are
+  /// delivered to the replacement (reliable delivery), after a fresh
+  /// start event. The transaction journal shows which actuations the old
+  /// logic already performed, so replacement logic can avoid repeating
+  /// them.
+  common::Status ReplaceLogic(std::unique_ptr<Orchestrator> logic);
+
+  bool loaded() const { return logic_ != nullptr; }
+  const std::string& name() const { return config_.name; }
+
+  /// The event-delivery transaction journal (§7 extension).
+  const TransactionLog& transactions() const { return txn_log_; }
+  /// Transaction of the event currently being handled (0 outside
+  /// handlers).
+  TransactionId current_transaction() const { return current_txn_; }
+
+  // --- Event scope registration (§4.1) ------------------------------------
+
+  void RegisterEventScope(OperatorMetricScope scope);
+  void RegisterEventScope(PeMetricScope scope);
+  void RegisterEventScope(PeFailureScope scope);
+  void RegisterEventScope(JobEventScope scope);
+  void RegisterEventScope(UserEventScope scope);
+  void ClearEventScopes();
+
+  // --- Application registry and dependencies (§4.4) -----------------------
+
+  /// Registers an application configuration together with its model (the
+  /// descriptor's ADL reference, §3). Callable at any time — including
+  /// long after Load — which realizes §7's "dynamically add an
+  /// application to the orchestrator (e.g., applications developed after
+  /// orchestrator deployment)".
+  common::Status RegisterApplication(AppConfig config,
+                                     topology::ApplicationModel model);
+
+  /// Same, but parsing the application model from an ADL XML document
+  /// (the form a deployed orchestrator receives new applications in).
+  common::Status RegisterApplicationAdl(AppConfig config,
+                                        const std::string& adl_xml);
+
+  /// Registers "app depends on depends_on": the dependency is submitted
+  /// automatically before `app`, and `app` waits `uptime_seconds` after
+  /// the dependency's submission. Cycles are rejected.
+  common::Status RegisterDependency(const std::string& app,
+                                    const std::string& depends_on,
+                                    double uptime_seconds = 0);
+
+  /// Requests submission of an application. A submission task snapshots
+  /// the dependency graph, prunes nodes unconnected to the request,
+  /// submits dependency-free applications immediately, and walks the rest
+  /// in min-sleep order as uptime requirements become satisfied (§4.4). A
+  /// job submission event is delivered after every submission.
+  common::Status SubmitApplication(const std::string& config_id);
+
+  /// Requests cancellation. Fails if another running application depends
+  /// on this one (starvation protection). Otherwise cancels it and
+  /// garbage-collects feeders that are collectable, unused, and not
+  /// explicitly submitted — each after its GC timeout, with resurrection
+  /// if resubmitted in time (§4.4).
+  common::Status CancelApplication(const std::string& config_id);
+
+  common::Result<common::JobId> RunningJob(const std::string& config_id) const;
+  bool IsRunning(const std::string& config_id) const;
+  /// True if the app is running but enqueued for garbage collection.
+  bool IsGcPending(const std::string& config_id) const;
+
+  // --- Direct actuations ---------------------------------------------------
+
+  /// Cancels a managed job. PermissionDenied if this service did not
+  /// start it (§3).
+  common::Status CancelJob(common::JobId job);
+  /// Restarts a crashed/stopped PE of a managed job.
+  common::Status RestartPe(common::PeId pe);
+  /// Stops a running PE of a managed job.
+  common::Status StopPe(common::PeId pe);
+
+  /// Rewrites the stored application model to run only on exclusive host
+  /// pools (§4.3). Must be called before the application is submitted.
+  common::Status SetExclusiveHostPools(const std::string& config_id);
+
+  /// Changes the SRM metric pull period (§4.2: "developers can change it
+  /// at any point of the execution").
+  void SetMetricPullPeriod(double seconds);
+  double metric_pull_period() const { return pull_task_.period(); }
+  /// Forces an immediate metric pull round.
+  void PullMetricsNow();
+
+  // --- Timers ---------------------------------------------------------------
+
+  common::TimerId CreateTimer(double delay_seconds, const std::string& name,
+                              bool recurring = false,
+                              double period_seconds = 0);
+  void CancelTimer(common::TimerId timer);
+
+  // --- User events (§3's command tool) ---------------------------------------
+
+  void InjectUserEvent(const std::string& name,
+                       std::map<std::string, std::string> attributes = {});
+
+  // --- Inspection -------------------------------------------------------------
+
+  const GraphView& graph() const { return graph_; }
+  sim::SimTime Now() const { return sim_->Now(); }
+
+  // --- Introspection for tests and benches -------------------------------------
+
+  uint64_t events_delivered() const { return events_delivered_; }
+  size_t queue_depth() const { return event_queue_.size(); }
+  int64_t metric_epoch() const { return metric_epoch_; }
+
+ private:
+  struct AppState {
+    AppConfig config;
+    topology::ApplicationModel model;
+    std::optional<common::JobId> job;
+    sim::SimTime submitted_at = 0;
+    bool explicitly_submitted = false;
+    bool gc_pending = false;
+    sim::EventId gc_event = 0;
+  };
+  struct TimerState {
+    common::TimerId id;
+    std::string name;
+    bool recurring = false;
+    double period = 0;
+    sim::EventId event = 0;
+  };
+
+  AppState* FindApp(const std::string& config_id);
+  const AppState* FindApp(const std::string& config_id) const;
+  /// The config id owning a managed job, or nullptr.
+  AppState* FindAppByJob(common::JobId job);
+
+  void EnqueueDelivery(std::string summary, std::function<void()> deliver);
+  void DispatchNext();
+  /// Journals an actuation against the in-flight transaction.
+  void JournalActuation(const std::string& description);
+
+  void PullMetricsRound();
+  void OnPeFailureNotice(const runtime::PeFailureNotice& notice);
+  void FireTimer(common::TimerId id);
+
+  /// One step of a submission task; re-schedules itself while uptime
+  /// requirements keep it waiting.
+  void ContinueSubmission(std::vector<std::string> closure);
+  common::Status SubmitNow(AppState* state);
+  void DeliverJobEvent(const AppState& state, common::JobId job,
+                       bool is_submission);
+
+  /// Cancels a running app (explicit or GC) and sweeps its feeders.
+  common::Status DoCancel(AppState* state);
+  /// Enqueues `app` for garbage collection if eligible (§4.4's three
+  /// conditions), honouring its GC timeout.
+  void MaybeScheduleGc(const std::string& config_id);
+  bool GcEligible(const AppState& state) const;
+
+  sim::Simulation* sim_;
+  runtime::Sam* sam_;
+  runtime::Srm* srm_;
+  Config config_;
+
+  std::unique_ptr<Orchestrator> logic_;
+  common::OrcaId orca_id_;
+  GraphView graph_;
+
+  std::vector<OperatorMetricScope> operator_metric_scopes_;
+  std::vector<PeMetricScope> pe_metric_scopes_;
+  std::vector<PeFailureScope> pe_failure_scopes_;
+  std::vector<JobEventScope> job_event_scopes_;
+  std::vector<UserEventScope> user_event_scopes_;
+
+  std::map<std::string, AppState> apps_;
+  DependencyGraph deps_;
+
+  struct QueuedEvent {
+    std::string summary;
+    std::function<void()> deliver;
+  };
+  std::deque<QueuedEvent> event_queue_;
+  bool dispatching_ = false;
+  uint64_t events_delivered_ = 0;
+  TransactionLog txn_log_;
+  TransactionId current_txn_ = 0;
+
+  sim::PeriodicTask pull_task_;
+  int64_t metric_epoch_ = 0;
+
+  int64_t failure_epoch_ = 0;
+  std::string last_failure_reason_;
+  sim::SimTime last_failure_detected_at_ = -1;
+
+  int64_t next_timer_id_ = 1;
+  std::map<common::TimerId, TimerState> timers_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_ORCA_SERVICE_H_

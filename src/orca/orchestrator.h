@@ -1,0 +1,83 @@
+#ifndef ORCASTREAM_ORCA_ORCHESTRATOR_H_
+#define ORCASTREAM_ORCA_ORCHESTRATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "orca/events.h"
+
+namespace orcastream::orca {
+
+class OrcaService;
+
+/// Base class for the ORCA logic (§3): application developers write their
+/// runtime-adaptation policy by inheriting Orchestrator and specializing
+/// the event handling methods for the scopes they register. Every handler
+/// except HandleOrcaStart receives, alongside the context, the array of
+/// keys of all subscopes the event matched (§4.2).
+///
+/// The ORCA logic invokes ORCA service routines through `orca()` — the
+/// reference received when the service loads the logic. Acting on jobs the
+/// service did not start is reported as a runtime error by the service.
+class Orchestrator {
+ public:
+  virtual ~Orchestrator() = default;
+
+  /// Always in scope; delivered once when the orchestrator starts (§4.1).
+  /// Scope registrations typically happen here (Figure 5).
+  virtual void HandleOrcaStart(const OrcaStartContext& context) = 0;
+
+  virtual void HandleOperatorMetricEvent(
+      const OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+  virtual void HandlePeMetricEvent(const PeMetricContext& context,
+                                   const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+  virtual void HandlePeFailureEvent(const PeFailureContext& context,
+                                    const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+  virtual void HandleJobSubmissionEvent(
+      const JobEventContext& context, const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+  virtual void HandleJobCancellationEvent(
+      const JobEventContext& context, const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+  virtual void HandleTimerEvent(const TimerContext& context) {
+    (void)context;
+  }
+
+  virtual void HandleUserEvent(const UserEventContext& context,
+                               const std::vector<std::string>& scopes) {
+    (void)context;
+    (void)scopes;
+  }
+
+ protected:
+  /// The ORCA service this logic is loaded into (valid from
+  /// HandleOrcaStart onwards).
+  OrcaService* orca() const { return orca_; }
+
+ private:
+  friend class OrcaService;
+  OrcaService* orca_ = nullptr;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_ORCHESTRATOR_H_

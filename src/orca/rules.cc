@@ -1,0 +1,210 @@
+#include "orca/rules.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "orca/orca_service.h"
+
+namespace orcastream::orca {
+
+using common::StrFormat;
+
+std::string RuleOrchestrator::NextKey(const char* prefix) {
+  return StrFormat("%s#%lld", prefix,
+                   static_cast<long long>(next_rule_++));
+}
+
+bool RuleOrchestrator::Matched(const std::vector<std::string>& keys,
+                               const std::string& key) {
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+RuleOrchestrator& RuleOrchestrator::OnStart(StartAction action) {
+  start_action_ = std::move(action);
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenMetric(OperatorMetricScope scope,
+                                               MetricCondition condition,
+                                               MetricAction action) {
+  MetricRule rule{NextKey("metricRule"), std::move(scope),
+                  std::move(condition), std::move(action)};
+  metric_rules_.push_back(std::move(rule));
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenFailure(PeFailureScope scope,
+                                                FailureCondition condition,
+                                                FailureAction action) {
+  FailureRule rule{NextKey("failureRule"), std::move(scope),
+                   std::move(condition), std::move(action)};
+  failure_rules_.push_back(std::move(rule));
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WithDefaultPeRestart() {
+  default_pe_restart_ = true;
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenJobSubmitted(JobEventScope scope,
+                                                     JobAction action) {
+  job_rules_.push_back(JobRule{NextKey("jobRule"), std::move(scope),
+                               std::move(action), /*on_submission=*/true});
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenJobCancelled(JobEventScope scope,
+                                                     JobAction action) {
+  job_rules_.push_back(JobRule{NextKey("jobRule"), std::move(scope),
+                               std::move(action), /*on_submission=*/false});
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenTimer(const std::string& timer_name,
+                                              TimerAction action) {
+  timer_rules_[timer_name] = std::move(action);
+  return *this;
+}
+
+RuleOrchestrator& RuleOrchestrator::WhenUserEvent(UserEventScope scope,
+                                                  UserAction action) {
+  user_rules_.push_back(
+      UserRule{NextKey("userRule"), std::move(scope), std::move(action)});
+  return *this;
+}
+
+void RuleOrchestrator::HandleOrcaStart(const OrcaStartContext&) {
+  // Register every rule's scope under its generated key; dispatch then
+  // routes by matched keys, preserving the §4.1 semantics.
+  for (auto& rule : metric_rules_) {
+    // Rebuild the scope under the rule's generated key (scope keys are
+    // immutable once constructed).
+    OperatorMetricScope registered(rule.key);
+    for (const auto& application : rule.scope.applications()) {
+      registered.AddApplicationFilter(application);
+    }
+    for (const auto& type : rule.scope.composite_types()) {
+      registered.AddCompositeTypeFilter(type);
+    }
+    for (const auto& instance : rule.scope.composite_instances()) {
+      registered.AddCompositeInstanceFilter(instance);
+    }
+    for (const auto& kind : rule.scope.operator_types()) {
+      registered.AddOperatorTypeFilter(kind);
+    }
+    for (const auto& name : rule.scope.operator_names()) {
+      registered.AddOperatorNameFilter(name);
+    }
+    for (const auto& metric : rule.scope.metric_names()) {
+      registered.AddOperatorMetric(metric);
+    }
+    if (rule.scope.has_kind_filter()) {
+      registered.SetMetricKindFilter(rule.scope.metric_kind());
+    }
+    registered.SetPortScope(rule.scope.port_scope());
+    orca()->RegisterEventScope(registered);
+  }
+  for (auto& rule : failure_rules_) {
+    PeFailureScope registered(rule.key);
+    for (const auto& application : rule.scope.applications()) {
+      registered.AddApplicationFilter(application);
+    }
+    for (const auto& type : rule.scope.composite_types()) {
+      registered.AddCompositeTypeFilter(type);
+    }
+    for (const auto& reason : rule.scope.reasons()) {
+      registered.AddReasonFilter(reason);
+    }
+    orca()->RegisterEventScope(registered);
+  }
+  if (default_pe_restart_) {
+    // Catch-all failure scope backing the default action.
+    orca()->RegisterEventScope(PeFailureScope("defaultPeRestart"));
+  }
+  for (auto& rule : job_rules_) {
+    JobEventScope registered(rule.key, rule.scope.kind());
+    for (const auto& application : rule.scope.applications()) {
+      registered.AddApplicationFilter(application);
+    }
+    orca()->RegisterEventScope(registered);
+  }
+  for (auto& rule : user_rules_) {
+    UserEventScope registered(rule.key);
+    for (const auto& name : rule.scope.names()) {
+      registered.AddNameFilter(name);
+    }
+    orca()->RegisterEventScope(registered);
+  }
+  if (start_action_) start_action_(orca());
+}
+
+void RuleOrchestrator::HandleOperatorMetricEvent(
+    const OperatorMetricContext& context,
+    const std::vector<std::string>& scopes) {
+  for (const auto& rule : metric_rules_) {
+    if (!Matched(scopes, rule.key)) continue;
+    if (rule.condition && !rule.condition(context)) continue;
+    ++fire_counts_[rule.key];
+    if (rule.action) rule.action(orca(), context);
+  }
+}
+
+void RuleOrchestrator::HandlePeFailureEvent(
+    const PeFailureContext& context, const std::vector<std::string>& scopes) {
+  bool specialized = false;
+  for (const auto& rule : failure_rules_) {
+    if (!Matched(scopes, rule.key)) continue;
+    if (rule.condition && !rule.condition(context)) continue;
+    specialized = true;
+    ++fire_counts_[rule.key];
+    if (rule.action) rule.action(orca(), context);
+  }
+  // §7: take the default adaptation action when no specialization is
+  // provided for this event.
+  if (!specialized && default_pe_restart_ &&
+      Matched(scopes, "defaultPeRestart")) {
+    ++fire_counts_["defaultPeRestart"];
+    orca()->RestartPe(context.pe);
+  }
+}
+
+void RuleOrchestrator::HandleJobSubmissionEvent(
+    const JobEventContext& context, const std::vector<std::string>& scopes) {
+  for (const auto& rule : job_rules_) {
+    if (rule.on_submission && Matched(scopes, rule.key)) {
+      ++fire_counts_[rule.key];
+      if (rule.action) rule.action(orca(), context);
+    }
+  }
+}
+
+void RuleOrchestrator::HandleJobCancellationEvent(
+    const JobEventContext& context, const std::vector<std::string>& scopes) {
+  for (const auto& rule : job_rules_) {
+    if (!rule.on_submission && Matched(scopes, rule.key)) {
+      ++fire_counts_[rule.key];
+      if (rule.action) rule.action(orca(), context);
+    }
+  }
+}
+
+void RuleOrchestrator::HandleTimerEvent(const TimerContext& context) {
+  auto it = timer_rules_.find(context.name);
+  if (it != timer_rules_.end()) {
+    ++fire_counts_["timer:" + context.name];
+    if (it->second) it->second(orca(), context);
+  }
+}
+
+void RuleOrchestrator::HandleUserEvent(
+    const UserEventContext& context, const std::vector<std::string>& scopes) {
+  for (const auto& rule : user_rules_) {
+    if (Matched(scopes, rule.key)) {
+      ++fire_counts_[rule.key];
+      if (rule.action) rule.action(orca(), context);
+    }
+  }
+}
+
+}  // namespace orcastream::orca

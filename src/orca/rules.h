@@ -1,0 +1,143 @@
+#ifndef ORCASTREAM_ORCA_RULES_H_
+#define ORCASTREAM_ORCA_RULES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orca/event_scope.h"
+#include "orca/orchestrator.h"
+
+namespace orcastream::orca {
+
+class OrcaService;
+
+/// The §7 future-work option, implemented: rule-based orchestration
+/// "similar to complex event processing": users express event
+/// subscriptions as (scope, condition, action) rules instead of
+/// subclassing Orchestrator, with default adaptation actions when no
+/// specialization is provided — e.g. automatic PE restart.
+///
+///   auto logic = std::make_unique<RuleOrchestrator>();
+///   logic->OnStart([](OrcaService* orca) {
+///     orca->SubmitApplication("myapp");
+///   });
+///   OperatorMetricScope queue("q");
+///   queue.AddOperatorMetric(BuiltinMetric::kQueueSize);
+///   logic->WhenMetric(queue,
+///       [](const OperatorMetricContext& m) { return m.value > 1000; },
+///       [](OrcaService* orca, const OperatorMetricContext& m) {
+///         orca->InjectUserEvent("overload");
+///       });
+///   logic->WithDefaultPeRestart();  // any PE failure -> restart
+///
+/// Each rule's scope is registered under a generated key; event dispatch
+/// routes a delivered event to exactly the rules whose keys matched, so
+/// the §4.1 scope semantics carry over unchanged.
+class RuleOrchestrator : public Orchestrator {
+ public:
+  using StartAction = std::function<void(OrcaService*)>;
+  using MetricCondition = std::function<bool(const OperatorMetricContext&)>;
+  using MetricAction =
+      std::function<void(OrcaService*, const OperatorMetricContext&)>;
+  using FailureCondition = std::function<bool(const PeFailureContext&)>;
+  using FailureAction =
+      std::function<void(OrcaService*, const PeFailureContext&)>;
+  using JobAction = std::function<void(OrcaService*, const JobEventContext&)>;
+  using TimerAction = std::function<void(OrcaService*, const TimerContext&)>;
+  using UserAction =
+      std::function<void(OrcaService*, const UserEventContext&)>;
+
+  /// Runs once when the orchestrator starts (after rule registration).
+  RuleOrchestrator& OnStart(StartAction action);
+
+  /// Fires `action` for operator-metric events matching `scope` whose
+  /// context satisfies `condition` (null condition = always).
+  RuleOrchestrator& WhenMetric(OperatorMetricScope scope,
+                               MetricCondition condition,
+                               MetricAction action);
+
+  /// Fires `action` for PE failure events matching `scope`.
+  RuleOrchestrator& WhenFailure(PeFailureScope scope,
+                                FailureCondition condition,
+                                FailureAction action);
+
+  /// Default adaptation action (§7's example): every PE failure event not
+  /// consumed by an explicit WhenFailure rule restarts the failed PE.
+  RuleOrchestrator& WithDefaultPeRestart();
+
+  RuleOrchestrator& WhenJobSubmitted(JobEventScope scope, JobAction action);
+  RuleOrchestrator& WhenJobCancelled(JobEventScope scope, JobAction action);
+  RuleOrchestrator& WhenTimer(const std::string& timer_name,
+                              TimerAction action);
+  RuleOrchestrator& WhenUserEvent(UserEventScope scope, UserAction action);
+
+  /// Times each rule has fired (keyed by the generated rule key; default
+  /// restart counts under "defaultPeRestart").
+  const std::map<std::string, int64_t>& fire_counts() const {
+    return fire_counts_;
+  }
+
+  // --- Orchestrator plumbing -------------------------------------------
+
+  void HandleOrcaStart(const OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      const OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandlePeFailureEvent(const PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override;
+  void HandleJobSubmissionEvent(
+      const JobEventContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandleJobCancellationEvent(
+      const JobEventContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandleTimerEvent(const TimerContext& context) override;
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>& scopes) override;
+
+ private:
+  struct MetricRule {
+    std::string key;
+    OperatorMetricScope scope;
+    MetricCondition condition;
+    MetricAction action;
+  };
+  struct FailureRule {
+    std::string key;
+    PeFailureScope scope;
+    FailureCondition condition;
+    FailureAction action;
+  };
+  struct JobRule {
+    std::string key;
+    JobEventScope scope;
+    JobAction action;
+    bool on_submission;
+  };
+  struct UserRule {
+    std::string key;
+    UserEventScope scope;
+    UserAction action;
+  };
+
+  std::string NextKey(const char* prefix);
+  static bool Matched(const std::vector<std::string>& keys,
+                      const std::string& key);
+
+  int64_t next_rule_ = 0;
+  StartAction start_action_;
+  std::vector<MetricRule> metric_rules_;
+  std::vector<FailureRule> failure_rules_;
+  std::vector<JobRule> job_rules_;
+  std::map<std::string, TimerAction> timer_rules_;
+  std::vector<UserRule> user_rules_;
+  bool default_pe_restart_ = false;
+  std::map<std::string, int64_t> fire_counts_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_RULES_H_

@@ -1,0 +1,58 @@
+#include "orca/transaction_log.h"
+
+namespace orcastream::orca {
+
+TransactionId TransactionLog::Begin(const std::string& event_summary,
+                                    sim::SimTime now) {
+  TransactionId id = next_id_++;
+  Record record;
+  record.id = id;
+  record.event_summary = event_summary;
+  record.begun_at = now;
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+void TransactionLog::RecordActuation(TransactionId txn,
+                                     const std::string& description) {
+  auto it = records_.find(txn);
+  if (it == records_.end()) return;
+  it->second.actuations.push_back(description);
+}
+
+void TransactionLog::Commit(TransactionId txn, sim::SimTime now) {
+  auto it = records_.find(txn);
+  if (it == records_.end()) return;
+  it->second.state = State::kCommitted;
+  it->second.finished_at = now;
+  ++committed_;
+}
+
+void TransactionLog::Abort(TransactionId txn, sim::SimTime now) {
+  auto it = records_.find(txn);
+  if (it == records_.end()) return;
+  it->second.state = State::kAborted;
+  it->second.finished_at = now;
+}
+
+const TransactionLog::Record* TransactionLog::Find(TransactionId txn) const {
+  auto it = records_.find(txn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const TransactionLog::Record*> TransactionLog::records() const {
+  std::vector<const Record*> out;
+  for (const auto& [id, record] : records_) out.push_back(&record);
+  return out;
+}
+
+std::vector<const TransactionLog::Record*> TransactionLog::Uncommitted()
+    const {
+  std::vector<const Record*> out;
+  for (const auto& [id, record] : records_) {
+    if (record.state != State::kCommitted) out.push_back(&record);
+  }
+  return out;
+}
+
+}  // namespace orcastream::orca

@@ -1,0 +1,71 @@
+#ifndef ORCASTREAM_ORCA_TRANSACTION_LOG_H_
+#define ORCASTREAM_ORCA_TRANSACTION_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace orcastream::orca {
+
+/// Identifier of one event-delivery transaction.
+using TransactionId = int64_t;
+
+/// The §7 future-work feature, implemented: "make the orchestrator
+/// component fault-tolerant by adding transaction IDs to delivered events,
+/// and associating actuations taking place via the ORCA service to the
+/// event transaction ID. This enables reliable event delivery and
+/// actuation replay (when necessary)."
+///
+/// Each event delivery runs inside a transaction: the log records the
+/// event's summary, every actuation the handler performs, and whether the
+/// handler completed (committed). If the ORCA logic crashes mid-handler,
+/// the uncommitted transaction's event is redelivered to the replacement
+/// logic, and the journal shows which actuations the interrupted handler
+/// had already performed so replay can skip or compensate them.
+class TransactionLog {
+ public:
+  enum class State { kPending, kCommitted, kAborted };
+
+  struct Record {
+    TransactionId id = 0;
+    std::string event_summary;
+    sim::SimTime begun_at = 0;
+    sim::SimTime finished_at = 0;
+    State state = State::kPending;
+    /// Actuations performed within this transaction, in order.
+    std::vector<std::string> actuations;
+  };
+
+  /// Opens a transaction for an event delivery.
+  TransactionId Begin(const std::string& event_summary, sim::SimTime now);
+
+  /// Journals one actuation against the open transaction. No-op when the
+  /// transaction is unknown (e.g. actuations outside any delivery).
+  void RecordActuation(TransactionId txn, const std::string& description);
+
+  /// Marks the handler as completed.
+  void Commit(TransactionId txn, sim::SimTime now);
+  /// Marks the handler as interrupted (logic crash / shutdown mid-event).
+  void Abort(TransactionId txn, sim::SimTime now);
+
+  const Record* Find(TransactionId txn) const;
+  /// All records in id order.
+  std::vector<const Record*> records() const;
+  /// Transactions that began but never committed — the replay set.
+  std::vector<const Record*> Uncommitted() const;
+
+  int64_t committed_count() const { return committed_; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  TransactionId next_id_ = 1;
+  int64_t committed_ = 0;
+  std::map<TransactionId, Record> records_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_TRANSACTION_LOG_H_

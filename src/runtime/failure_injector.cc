@@ -1,0 +1,48 @@
+#include "runtime/failure_injector.h"
+
+#include "common/logging.h"
+
+namespace orcastream::runtime {
+
+void FailureInjector::KillPeAt(sim::SimTime at, common::PeId pe,
+                               const std::string& reason) {
+  sim_->ScheduleAt(at, [this, pe, reason] {
+    common::Status status = sam_->KillPe(pe, reason);
+    if (!status.ok()) {
+      ORCA_LOG(kWarn) << "failure injection skipped: " << status;
+    }
+  });
+}
+
+void FailureInjector::KillPeOfOperatorAt(sim::SimTime at, common::JobId job,
+                                         const std::string& operator_name,
+                                         const std::string& reason) {
+  sim_->ScheduleAt(at, [this, job, operator_name, reason] {
+    const JobInfo* info = sam_->FindJob(job);
+    if (info == nullptr || !info->running) {
+      ORCA_LOG(kWarn) << "failure injection skipped: job " << job
+                      << " not running";
+      return;
+    }
+    auto pe = info->PeOfOperator(operator_name);
+    if (!pe.ok()) {
+      ORCA_LOG(kWarn) << "failure injection skipped: " << pe.status();
+      return;
+    }
+    common::Status status = sam_->KillPe(pe.value(), reason);
+    if (!status.ok()) {
+      ORCA_LOG(kWarn) << "failure injection skipped: " << status;
+    }
+  });
+}
+
+void FailureInjector::KillHostAt(sim::SimTime at, common::HostId host) {
+  sim_->ScheduleAt(at, [this, host] {
+    common::Status status = sam_->srm()->KillHost(host);
+    if (!status.ok()) {
+      ORCA_LOG(kWarn) << "host failure injection skipped: " << status;
+    }
+  });
+}
+
+}  // namespace orcastream::runtime

@@ -1,0 +1,39 @@
+#ifndef ORCASTREAM_RUNTIME_FAILURE_INJECTOR_H_
+#define ORCASTREAM_RUNTIME_FAILURE_INJECTOR_H_
+
+#include <string>
+
+#include "common/ids.h"
+#include "runtime/sam.h"
+#include "sim/simulation.h"
+
+namespace orcastream::runtime {
+
+/// Schedules crash-stop failures at virtual times — the orcastream
+/// substitute for the paper's "we kill one of the PEs belonging to the
+/// active replica" (§5.2). All targets are resolved at fire time, so
+/// injections survive restarts and job churn.
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulation* sim, Sam* sam) : sim_(sim), sam_(sam) {}
+
+  /// Crashes a specific PE at time `at`.
+  void KillPeAt(sim::SimTime at, common::PeId pe,
+                const std::string& reason = "injected fault");
+
+  /// Crashes the PE hosting `operator_name` within `job` at time `at`.
+  void KillPeOfOperatorAt(sim::SimTime at, common::JobId job,
+                          const std::string& operator_name,
+                          const std::string& reason = "injected fault");
+
+  /// Fails an entire host at time `at` (crashes every PE on it).
+  void KillHostAt(sim::SimTime at, common::HostId host);
+
+ private:
+  sim::Simulation* sim_;
+  Sam* sam_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_FAILURE_INJECTOR_H_

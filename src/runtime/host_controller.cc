@@ -1,0 +1,53 @@
+#include "runtime/host_controller.h"
+
+#include <algorithm>
+
+#include "runtime/srm.h"
+
+namespace orcastream::runtime {
+
+HostController::HostController(sim::Simulation* sim, common::HostId host,
+                               Srm* srm, sim::SimTime push_period)
+    : sim_(sim),
+      host_(host),
+      srm_(srm),
+      push_task_(sim, push_period, [this] { PushMetricsNow(); }) {
+  push_task_.Start(push_period);
+}
+
+void HostController::AttachPe(std::shared_ptr<Pe> pe) {
+  pe->set_crash_handler(
+      [this](common::PeId pe_id, const std::string& reason) {
+        srm_->OnPeCrashed(host_, pe_id, reason);
+      });
+  pes_.push_back(std::move(pe));
+}
+
+void HostController::DetachPe(common::PeId pe) {
+  pes_.erase(std::remove_if(pes_.begin(), pes_.end(),
+                            [pe](const std::shared_ptr<Pe>& candidate) {
+                              return candidate->id() == pe;
+                            }),
+             pes_.end());
+}
+
+void HostController::CrashAll(const std::string& reason) {
+  // Copy: crash handlers may mutate pes_ reentrantly.
+  std::vector<std::shared_ptr<Pe>> local = pes_;
+  for (const auto& pe : local) {
+    pe->Crash(reason);
+  }
+}
+
+void HostController::PushMetricsNow() {
+  MetricsSnapshot snapshot;
+  snapshot.collected_at = sim_->Now();
+  for (const auto& pe : pes_) {
+    pe->CollectMetrics(&snapshot);
+  }
+  if (!snapshot.operator_metrics.empty() || !snapshot.pe_metrics.empty()) {
+    srm_->PushMetrics(snapshot);
+  }
+}
+
+}  // namespace orcastream::runtime

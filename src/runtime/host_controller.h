@@ -1,0 +1,52 @@
+#ifndef ORCASTREAM_RUNTIME_HOST_CONTROLLER_H_
+#define ORCASTREAM_RUNTIME_HOST_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "runtime/pe.h"
+#include "sim/simulation.h"
+
+namespace orcastream::runtime {
+
+class Srm;
+
+/// The Host Controller (§2.2): a per-host daemon that runs PEs on behalf
+/// of the central components, maintains their process status, and pushes
+/// locally collected metrics to SRM at a fixed period (3 seconds by
+/// default, matching System S).
+class HostController {
+ public:
+  HostController(sim::Simulation* sim, common::HostId host, Srm* srm,
+                 sim::SimTime push_period);
+  ~HostController() = default;
+
+  common::HostId host() const { return host_; }
+
+  /// Takes (shared) ownership of a PE placed on this host: installs the
+  /// crash handler and includes it in the metric push loop.
+  void AttachPe(std::shared_ptr<Pe> pe);
+  void DetachPe(common::PeId pe);
+
+  const std::vector<std::shared_ptr<Pe>>& pes() const { return pes_; }
+
+  /// Crashes every local PE (used when the host itself fails).
+  void CrashAll(const std::string& reason);
+
+  /// Collects metrics from all local running PEs and pushes them to SRM
+  /// immediately (also runs periodically).
+  void PushMetricsNow();
+
+ private:
+  sim::Simulation* sim_;
+  common::HostId host_;
+  Srm* srm_;
+  std::vector<std::shared_ptr<Pe>> pes_;
+  sim::PeriodicTask push_task_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_HOST_CONTROLLER_H_

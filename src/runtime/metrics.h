@@ -1,0 +1,59 @@
+#ifndef ORCASTREAM_RUNTIME_METRICS_H_
+#define ORCASTREAM_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/simulation.h"
+
+namespace orcastream::runtime {
+
+/// SPL runtime metrics (§2.1): built-in metrics are maintained for every
+/// operator and PE; custom metrics are created by operator code at any
+/// point during execution.
+enum class MetricKind { kBuiltin, kCustom };
+
+/// Built-in metric names used across the runtime.
+namespace builtin_metrics {
+inline constexpr char kNumTuplesProcessed[] = "nTuplesProcessed";
+inline constexpr char kNumTuplesSubmitted[] = "nTuplesSubmitted";
+inline constexpr char kQueueSize[] = "queueSize";
+inline constexpr char kNumFinalPunctsProcessed[] = "nFinalPunctsProcessed";
+inline constexpr char kNumTupleBytesProcessed[] = "nTupleBytesProcessed";
+}  // namespace builtin_metrics
+
+/// One operator-scoped metric sample. `port` is -1 for operator-level
+/// metrics and a port index for operator-port metrics.
+struct OperatorMetricRecord {
+  common::JobId job;
+  common::PeId pe;
+  std::string operator_name;
+  std::string metric_name;
+  MetricKind kind = MetricKind::kBuiltin;
+  int64_t value = 0;
+  int32_t port = -1;
+  bool output_port = false;
+};
+
+/// One PE-scoped metric sample.
+struct PeMetricRecord {
+  common::JobId job;
+  common::PeId pe;
+  std::string metric_name;
+  MetricKind kind = MetricKind::kBuiltin;
+  int64_t value = 0;
+};
+
+/// A batch of metric samples, as collected by a Host Controller and merged
+/// by SRM. `collected_at` is the virtual time of collection.
+struct MetricsSnapshot {
+  sim::SimTime collected_at = 0;
+  std::vector<OperatorMetricRecord> operator_metrics;
+  std::vector<PeMetricRecord> pe_metrics;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_METRICS_H_

@@ -1,0 +1,70 @@
+#include "runtime/operator_api.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace orcastream::runtime {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+int64_t OperatorContext::IntParamOr(const std::string& key,
+                                    int64_t fallback) const {
+  std::string raw = ParamOr(key, "");
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double OperatorContext::DoubleParamOr(const std::string& key,
+                                      double fallback) const {
+  std::string raw = ParamOr(key, "");
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool OperatorContext::BoolParamOr(const std::string& key,
+                                  bool fallback) const {
+  std::string raw = ParamOr(key, "");
+  if (raw == "true" || raw == "1") return true;
+  if (raw == "false" || raw == "0") return false;
+  return fallback;
+}
+
+Status OperatorFactory::Register(const std::string& kind, Creator creator) {
+  auto [it, inserted] = creators_.emplace(kind, std::move(creator));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("operator kind '%s' already registered", kind.c_str()));
+  }
+  return Status::OK();
+}
+
+void OperatorFactory::RegisterOrReplace(const std::string& kind,
+                                        Creator creator) {
+  creators_[kind] = std::move(creator);
+}
+
+bool OperatorFactory::Has(const std::string& kind) const {
+  return creators_.count(kind) > 0;
+}
+
+Result<std::unique_ptr<Operator>> OperatorFactory::Create(
+    const std::string& kind) const {
+  auto it = creators_.find(kind);
+  if (it == creators_.end()) {
+    return Status::NotFound(
+        StrFormat("operator kind '%s' not registered", kind.c_str()));
+  }
+  return it->second();
+}
+
+}  // namespace orcastream::runtime

@@ -1,0 +1,120 @@
+#ifndef ORCASTREAM_RUNTIME_OPERATOR_API_H_
+#define ORCASTREAM_RUNTIME_OPERATOR_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+#include "topology/tuple.h"
+
+namespace orcastream::runtime {
+
+/// Execution-time services the PE provides to an operator instance:
+/// tuple submission, custom metrics, parameters, timers, and randomness.
+/// The PE implements this; operator code only sees the interface.
+class OperatorContext {
+ public:
+  virtual ~OperatorContext() = default;
+
+  /// Fully-qualified operator instance name.
+  virtual const std::string& name() const = 0;
+  /// The logical definition this instance was created from.
+  virtual const topology::OperatorDef& def() const = 0;
+  /// Virtual time now.
+  virtual sim::SimTime Now() const = 0;
+
+  /// Emits a tuple on the given output port.
+  virtual void Submit(size_t port, const topology::Tuple& tuple) = 0;
+  /// Emits a punctuation on the given output port. Final punctuations mark
+  /// the port as closed (§5.3).
+  virtual void SubmitPunct(size_t port, topology::PunctKind kind) = 0;
+
+  /// Creates a custom metric (idempotent). Operators can create metrics at
+  /// any point during execution (§2.1).
+  virtual void CreateCustomMetric(const std::string& name) = 0;
+  virtual void SetCustomMetric(const std::string& name, int64_t value) = 0;
+  virtual void AddToCustomMetric(const std::string& name, int64_t delta) = 0;
+  virtual common::Result<int64_t> GetCustomMetric(
+      const std::string& name) const = 0;
+
+  /// Schedules a callback on the simulator. The registration dies with the
+  /// PE: callbacks never fire after a crash or stop (operators use this for
+  /// self-driven sources and window evictions).
+  virtual sim::EventId ScheduleAfter(sim::SimTime delay,
+                                     std::function<void()> fn) = 0;
+  virtual void CancelScheduled(sim::EventId id) = 0;
+
+  /// Deterministic per-operator random stream.
+  virtual common::Rng* rng() = 0;
+
+  /// Submission-time parameter lookup: operator params (from the model)
+  /// overlaid with job submission parameters.
+  virtual std::string ParamOr(const std::string& key,
+                              const std::string& fallback) const = 0;
+  int64_t IntParamOr(const std::string& key, int64_t fallback) const;
+  double DoubleParamOr(const std::string& key, double fallback) const;
+  bool BoolParamOr(const std::string& key, bool fallback) const;
+};
+
+/// Base class for all operator implementations (the generated-C++-operator
+/// analog of SPL). Lifecycle: Open → (ProcessTuple | ProcessPunct)* →
+/// Close. A crash destroys the instance without Close, losing its state —
+/// exactly the failure model §5.2 exercises.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once when the PE starts (or restarts) the operator.
+  virtual void Open(OperatorContext* ctx) { ctx_ = ctx; }
+
+  /// Called for each tuple arriving on `port`.
+  virtual void ProcessTuple(size_t port, const topology::Tuple& tuple) = 0;
+
+  /// Called for punctuations. The runtime auto-forwards final punctuations
+  /// once all input ports are finalized, so overrides rarely need to.
+  virtual void ProcessPunct(size_t port, topology::PunctKind kind) {
+    (void)port;
+    (void)kind;
+  }
+
+  /// Called on graceful stop (not on crash).
+  virtual void Close() {}
+
+ protected:
+  OperatorContext* ctx() const { return ctx_; }
+
+ private:
+  OperatorContext* ctx_ = nullptr;
+};
+
+/// Creates operator instances by kind name. SAM hands the factory to every
+/// PE; applications register custom kinds (closures capturing app logic)
+/// next to the stock library.
+class OperatorFactory {
+ public:
+  using Creator = std::function<std::unique_ptr<Operator>()>;
+
+  /// Registers a creator; fails if the kind already exists.
+  common::Status Register(const std::string& kind, Creator creator);
+  /// Registers or replaces a creator.
+  void RegisterOrReplace(const std::string& kind, Creator creator);
+
+  bool Has(const std::string& kind) const;
+  common::Result<std::unique_ptr<Operator>> Create(
+      const std::string& kind) const;
+
+ private:
+  std::unordered_map<std::string, Creator> creators_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_OPERATOR_API_H_

@@ -1,0 +1,103 @@
+#include "runtime/partitioner.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace orcastream::runtime {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+using topology::ApplicationModel;
+using topology::OperatorDef;
+
+namespace {
+
+/// Folds one operator's constraints into the partition, checking for
+/// conflicts among fused operators.
+Status MergeConstraints(const OperatorDef& op, PePartition* partition) {
+  if (!op.host_pool.empty()) {
+    if (!partition->host_pool.empty() && partition->host_pool != op.host_pool) {
+      return Status::InvalidArgument(StrFormat(
+          "operator '%s' requires host pool '%s' but its partition already "
+          "requires '%s'",
+          op.name.c_str(), op.host_pool.c_str(),
+          partition->host_pool.c_str()));
+    }
+    partition->host_pool = op.host_pool;
+  }
+  if (!op.host_exlocation.empty()) {
+    if (!partition->host_exlocation.empty() &&
+        partition->host_exlocation != op.host_exlocation) {
+      return Status::InvalidArgument(StrFormat(
+          "operator '%s' exlocation '%s' conflicts with partition "
+          "exlocation '%s'",
+          op.name.c_str(), op.host_exlocation.c_str(),
+          partition->host_exlocation.c_str()));
+    }
+    partition->host_exlocation = op.host_exlocation;
+  }
+  partition->operator_names.push_back(op.name);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PePartition>> PartitionOperators(
+    const ApplicationModel& model, PartitionPolicy policy) {
+  std::vector<PePartition> partitions;
+
+  switch (policy) {
+    case PartitionPolicy::kOnePerOperator: {
+      for (const auto& op : model.operators()) {
+        PePartition partition;
+        ORCA_RETURN_NOT_OK(MergeConstraints(op, &partition));
+        partitions.push_back(std::move(partition));
+      }
+      break;
+    }
+    case PartitionPolicy::kFuseAll: {
+      PePartition partition;
+      for (const auto& op : model.operators()) {
+        ORCA_RETURN_NOT_OK(MergeConstraints(op, &partition));
+      }
+      if (!partition.operator_names.empty()) {
+        partitions.push_back(std::move(partition));
+      }
+      break;
+    }
+    case PartitionPolicy::kByColocation: {
+      // Tagged operators fuse per tag (partition order = first appearance
+      // of the tag); untagged operators are singletons in declaration
+      // order, interleaved where they appear.
+      std::map<std::string, size_t> tag_to_partition;
+      for (const auto& op : model.operators()) {
+        if (op.partition_colocation.empty()) {
+          PePartition partition;
+          ORCA_RETURN_NOT_OK(MergeConstraints(op, &partition));
+          partitions.push_back(std::move(partition));
+          continue;
+        }
+        auto it = tag_to_partition.find(op.partition_colocation);
+        if (it == tag_to_partition.end()) {
+          PePartition partition;
+          ORCA_RETURN_NOT_OK(MergeConstraints(op, &partition));
+          partitions.push_back(std::move(partition));
+          tag_to_partition[op.partition_colocation] = partitions.size() - 1;
+        } else {
+          ORCA_RETURN_NOT_OK(MergeConstraints(op, &partitions[it->second]));
+        }
+      }
+      break;
+    }
+  }
+
+  if (partitions.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("application '%s' has no operators", model.name().c_str()));
+  }
+  return partitions;
+}
+
+}  // namespace orcastream::runtime

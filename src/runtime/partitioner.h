@@ -1,0 +1,44 @@
+#ifndef ORCASTREAM_RUNTIME_PARTITIONER_H_
+#define ORCASTREAM_RUNTIME_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "topology/app_model.h"
+
+namespace orcastream::runtime {
+
+/// One PE partition: the set of operators fused into a single PE, plus the
+/// placement constraints inherited from its members.
+struct PePartition {
+  std::vector<std::string> operator_names;
+  /// Host pool required by the partition's operators (empty = any host).
+  std::string host_pool;
+  /// Host exlocation tag (PEs with the same tag must land on distinct
+  /// hosts; empty = unconstrained).
+  std::string host_exlocation;
+};
+
+/// How operators are grouped into PEs (§2.1). The SPL compiler partitions
+/// based on profiling and developer partition constraints; orcastream
+/// honours the explicit constraints and offers deterministic defaults.
+enum class PartitionPolicy {
+  /// Operators sharing a partition-colocation tag fuse into one PE; every
+  /// other operator gets its own PE. This is the default and reproduces
+  /// layouts like Figure 3 when tags are set accordingly.
+  kByColocation,
+  /// Every operator in its own PE (ignores colocation tags).
+  kOnePerOperator,
+  /// All operators in a single PE (fails if host constraints conflict).
+  kFuseAll,
+};
+
+/// Computes the PE partitioning for an application. Fails if operators
+/// fused together declare conflicting host pools or exlocation tags.
+common::Result<std::vector<PePartition>> PartitionOperators(
+    const topology::ApplicationModel& model, PartitionPolicy policy);
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_PARTITIONER_H_

@@ -1,0 +1,390 @@
+#include "runtime/pe.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace orcastream::runtime {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+using topology::PunctKind;
+using topology::Tuple;
+
+/// Per-operator runtime state: the instance, its metrics, and punctuation
+/// bookkeeping.
+struct Pe::OperatorState {
+  topology::OperatorDef def;
+  std::unique_ptr<Operator> instance;
+  std::unique_ptr<ContextImpl> context;
+
+  // Built-in operator metrics.
+  int64_t tuples_processed = 0;
+  int64_t tuples_submitted = 0;
+  int64_t queue_size = 0;
+  int64_t final_puncts_processed = 0;
+  // Per-port built-ins.
+  std::vector<int64_t> port_tuples_processed;   // per input port
+  std::vector<int64_t> port_tuples_submitted;   // per output port
+  // Custom metrics, created by operator code.
+  std::map<std::string, int64_t> custom_metrics;
+  // Final punctuations received per input port. A port is finalized once
+  // it has received one final punctuation per statically subscribed
+  // stream (a port fed by two streams closes only when both close).
+  std::vector<int64_t> final_puncts_per_port;
+  std::set<size_t> finalized_inputs;
+  bool outputs_finalized = false;
+
+  int64_t RequiredFinalPuncts(size_t port) const {
+    if (port >= def.inputs.size()) return 1;
+    size_t streams = def.inputs[port].streams.size();
+    return streams > 0 ? static_cast<int64_t>(streams) : 1;
+  }
+};
+
+/// OperatorContext implementation bound to one operator within this PE.
+class Pe::ContextImpl : public OperatorContext {
+ public:
+  ContextImpl(Pe* pe, OperatorState* state, common::Rng rng)
+      : pe_(pe), state_(state), rng_(rng) {}
+
+  const std::string& name() const override { return state_->def.name; }
+  const topology::OperatorDef& def() const override { return state_->def; }
+  sim::SimTime Now() const override { return pe_->sim_->Now(); }
+
+  void Submit(size_t port, const Tuple& tuple) override {
+    if (!pe_->running() || port >= state_->def.outputs.size()) return;
+    // Note: submission is allowed even after the final punctuation has
+    // been auto-forwarded — buffering operators (Throttle, windowed
+    // Aggregate) legitimately drain after their inputs close.
+    state_->tuples_submitted++;
+    state_->port_tuples_submitted[port]++;
+    pe_->transport_->Send(pe_->config_.job, state_->def.outputs[port].stream,
+                          pe_, StreamItem::FromTuple(tuple));
+  }
+
+  void SubmitPunct(size_t port, PunctKind kind) override {
+    if (!pe_->running() || port >= state_->def.outputs.size()) return;
+    pe_->transport_->Send(pe_->config_.job, state_->def.outputs[port].stream,
+                          pe_, StreamItem::FromPunct(kind));
+  }
+
+  void CreateCustomMetric(const std::string& name) override {
+    state_->custom_metrics.emplace(name, 0);
+  }
+
+  void SetCustomMetric(const std::string& name, int64_t value) override {
+    state_->custom_metrics[name] = value;
+  }
+
+  void AddToCustomMetric(const std::string& name, int64_t delta) override {
+    state_->custom_metrics[name] += delta;
+  }
+
+  Result<int64_t> GetCustomMetric(const std::string& name) const override {
+    auto it = state_->custom_metrics.find(name);
+    if (it == state_->custom_metrics.end()) {
+      return Status::NotFound(
+          StrFormat("custom metric '%s' not found on operator '%s'",
+                    name.c_str(), state_->def.name.c_str()));
+    }
+    return it->second;
+  }
+
+  sim::EventId ScheduleAfter(sim::SimTime delay,
+                             std::function<void()> fn) override {
+    uint64_t incarnation = pe_->incarnation_;
+    // Weak capture: the PE may be destroyed (job cancellation) before the
+    // event fires; the callback must then be a no-op, not a dangling
+    // dereference.
+    std::weak_ptr<Pe> weak = pe_->weak_from_this();
+    return pe_->sim_->ScheduleAfter(
+        delay, [weak, incarnation, fn = std::move(fn)] {
+          std::shared_ptr<Pe> pe = weak.lock();
+          if (pe != nullptr && pe->running() &&
+              pe->incarnation_ == incarnation) {
+            fn();
+          }
+        });
+  }
+
+  void CancelScheduled(sim::EventId id) override { pe_->sim_->Cancel(id); }
+
+  common::Rng* rng() override { return &rng_; }
+
+  std::string ParamOr(const std::string& key,
+                      const std::string& fallback) const override {
+    auto it = state_->def.params.find(key);
+    if (it != state_->def.params.end()) {
+      const std::string& raw = it->second;
+      // "$name" resolves against job submission-time parameters (§4.4's
+      // submission-time application parameters).
+      if (!raw.empty() && raw[0] == '$') {
+        auto sub = pe_->submission_params_.find(raw.substr(1));
+        if (sub != pe_->submission_params_.end()) return sub->second;
+        return fallback;
+      }
+      return raw;
+    }
+    auto sub = pe_->submission_params_.find(key);
+    if (sub != pe_->submission_params_.end()) return sub->second;
+    return fallback;
+  }
+
+ private:
+  Pe* pe_;
+  OperatorState* state_;
+  common::Rng rng_;
+};
+
+Pe::Pe(sim::Simulation* sim, const OperatorFactory* factory,
+       Transport* transport, Config config,
+       std::vector<topology::OperatorDef> operators,
+       std::map<std::string, std::string> submission_params, common::Rng rng)
+    : sim_(sim),
+      factory_(factory),
+      transport_(transport),
+      config_(config),
+      operator_defs_(std::move(operators)),
+      submission_params_(std::move(submission_params)),
+      rng_(rng) {}
+
+Pe::~Pe() = default;
+
+Status Pe::Start() {
+  if (state_ == State::kRunning) {
+    return Status::FailedPrecondition(
+        StrFormat("PE %lld already running",
+                  static_cast<long long>(config_.id.value())));
+  }
+  ++incarnation_;
+  operators_.clear();
+  queue_.clear();
+  drain_scheduled_ = false;
+  busy_until_ = sim_->Now();
+  pe_tuples_processed_ = 0;
+  pe_tuple_bytes_processed_ = 0;
+
+  for (const auto& def : operator_defs_) {
+    auto created = factory_->Create(def.kind);
+    if (!created.ok()) return created.status();
+    auto state = std::make_unique<OperatorState>();
+    state->def = def;
+    state->instance = std::move(created).value();
+    state->port_tuples_processed.assign(def.inputs.size(), 0);
+    state->port_tuples_submitted.assign(def.outputs.size(), 0);
+    state->final_puncts_per_port.assign(def.inputs.size(), 0);
+    state->context = std::make_unique<ContextImpl>(this, state.get(),
+                                                   rng_.Fork());
+    operators_.push_back(std::move(state));
+  }
+  state_ = State::kRunning;
+  // Open after the full PE is marked running so operators can submit from
+  // Open (e.g. initial-load operators).
+  for (auto& state : operators_) {
+    state->instance->Open(state->context.get());
+  }
+  return Status::OK();
+}
+
+void Pe::Stop() {
+  if (state_ != State::kRunning) return;
+  for (auto& state : operators_) {
+    state->instance->Close();
+  }
+  TeardownOperators();
+  state_ = State::kStopped;
+}
+
+void Pe::Crash(const std::string& reason) {
+  if (state_ != State::kRunning) return;
+  TeardownOperators();
+  state_ = State::kCrashed;
+  ORCA_LOG(kInfo) << "PE " << config_.id << " crashed: " << reason;
+  if (crash_handler_) crash_handler_(config_.id, reason);
+}
+
+void Pe::TeardownOperators() {
+  ++incarnation_;  // invalidate scheduled operator callbacks
+  operators_.clear();
+  queue_.clear();
+  drain_scheduled_ = false;
+}
+
+bool Pe::HasOperator(const std::string& name) const {
+  return std::any_of(operator_defs_.begin(), operator_defs_.end(),
+                     [&](const auto& def) { return def.name == name; });
+}
+
+Pe::OperatorState* Pe::FindState(const std::string& op_name) {
+  for (auto& state : operators_) {
+    if (state->def.name == op_name) return state.get();
+  }
+  return nullptr;
+}
+
+const Pe::OperatorState* Pe::FindState(const std::string& op_name) const {
+  for (const auto& state : operators_) {
+    if (state->def.name == op_name) return state.get();
+  }
+  return nullptr;
+}
+
+void Pe::Execute(OperatorState* state, size_t port, const StreamItem& item) {
+  if (item.is_tuple()) {
+    const Tuple& tuple = item.tuple();
+    state->tuples_processed++;
+    if (port < state->port_tuples_processed.size()) {
+      state->port_tuples_processed[port]++;
+    }
+    pe_tuples_processed_++;
+    pe_tuple_bytes_processed_ += static_cast<int64_t>(tuple.ByteSize());
+    state->instance->ProcessTuple(port, tuple);
+    return;
+  }
+  PunctKind kind = item.punct();
+  state->instance->ProcessPunct(port, kind);
+  if (kind == PunctKind::kFinal) {
+    state->final_puncts_processed++;
+    if (port < state->final_puncts_per_port.size()) {
+      state->final_puncts_per_port[port]++;
+      if (state->final_puncts_per_port[port] >=
+          state->RequiredFinalPuncts(port)) {
+        state->finalized_inputs.insert(port);
+      }
+    }
+    // Auto-forward the final punctuation once every input port has been
+    // finalized; the SPL runtime manages this propagation (§5.3).
+    if (!state->outputs_finalized &&
+        state->finalized_inputs.size() >= state->def.inputs.size() &&
+        !state->def.outputs.empty()) {
+      for (size_t out = 0; out < state->def.outputs.size(); ++out) {
+        transport_->Send(config_.job, state->def.outputs[out].stream, this,
+                         StreamItem::FromPunct(PunctKind::kFinal));
+      }
+      state->outputs_finalized = true;
+    }
+  }
+}
+
+void Pe::Deliver(const std::string& op_name, size_t port,
+                 const StreamItem& item, bool local) {
+  if (!running()) return;  // dropped: tuple loss on crashed/stopped PEs
+  OperatorState* state = FindState(op_name);
+  if (state == nullptr) return;
+  if (local) {
+    // Fused operators call each other synchronously, like System S
+    // operators fused into one PE.
+    Execute(state, port, item);
+    return;
+  }
+  queue_.push_back(QueuedItem{op_name, port, item});
+  state->queue_size++;
+  ScheduleDrain();
+}
+
+void Pe::ScheduleDrain() {
+  if (drain_scheduled_ || queue_.empty()) return;
+  drain_scheduled_ = true;
+  sim::SimTime at = std::max(sim_->Now(), busy_until_);
+  uint64_t incarnation = incarnation_;
+  std::weak_ptr<Pe> weak = weak_from_this();
+  sim_->ScheduleAt(at, [weak, incarnation] {
+    std::shared_ptr<Pe> pe = weak.lock();
+    if (pe == nullptr || pe->incarnation_ != incarnation || !pe->running()) {
+      return;
+    }
+    pe->drain_scheduled_ = false;
+    pe->DrainOne();
+  });
+}
+
+void Pe::DrainOne() {
+  if (queue_.empty() || !running()) return;
+  QueuedItem item = std::move(queue_.front());
+  queue_.pop_front();
+  OperatorState* state = FindState(item.op_name);
+  if (state != nullptr) {
+    state->queue_size--;
+    busy_until_ = sim_->Now() + state->def.cost_per_tuple;
+    Execute(state, item.port, item.item);
+  }
+  ScheduleDrain();
+}
+
+void Pe::CollectMetrics(MetricsSnapshot* out) const {
+  if (!running()) return;
+  out->collected_at = sim_->Now();
+
+  PeMetricRecord tuples;
+  tuples.job = config_.job;
+  tuples.pe = config_.id;
+  tuples.metric_name = builtin_metrics::kNumTuplesProcessed;
+  tuples.value = pe_tuples_processed_;
+  out->pe_metrics.push_back(tuples);
+
+  PeMetricRecord bytes = tuples;
+  bytes.metric_name = builtin_metrics::kNumTupleBytesProcessed;
+  bytes.value = pe_tuple_bytes_processed_;
+  out->pe_metrics.push_back(bytes);
+
+  for (const auto& state : operators_) {
+    auto add_op_metric = [&](const char* name, int64_t value,
+                             MetricKind kind, int32_t port,
+                             bool output_port) {
+      OperatorMetricRecord rec;
+      rec.job = config_.job;
+      rec.pe = config_.id;
+      rec.operator_name = state->def.name;
+      rec.metric_name = name;
+      rec.kind = kind;
+      rec.value = value;
+      rec.port = port;
+      rec.output_port = output_port;
+      out->operator_metrics.push_back(std::move(rec));
+    };
+    add_op_metric(builtin_metrics::kNumTuplesProcessed,
+                  state->tuples_processed, MetricKind::kBuiltin, -1, false);
+    add_op_metric(builtin_metrics::kNumTuplesSubmitted,
+                  state->tuples_submitted, MetricKind::kBuiltin, -1, false);
+    add_op_metric(builtin_metrics::kQueueSize, state->queue_size,
+                  MetricKind::kBuiltin, -1, false);
+    add_op_metric(builtin_metrics::kNumFinalPunctsProcessed,
+                  state->final_puncts_processed, MetricKind::kBuiltin, -1,
+                  false);
+    for (size_t port = 0; port < state->port_tuples_processed.size();
+         ++port) {
+      add_op_metric(builtin_metrics::kNumTuplesProcessed,
+                    state->port_tuples_processed[port], MetricKind::kBuiltin,
+                    static_cast<int32_t>(port), false);
+    }
+    for (size_t port = 0; port < state->port_tuples_submitted.size();
+         ++port) {
+      add_op_metric(builtin_metrics::kNumTuplesSubmitted,
+                    state->port_tuples_submitted[port], MetricKind::kBuiltin,
+                    static_cast<int32_t>(port), true);
+    }
+    for (const auto& [name, value] : state->custom_metrics) {
+      add_op_metric(name.c_str(), value, MetricKind::kCustom, -1, false);
+    }
+  }
+}
+
+Result<int64_t> Pe::ReadCustomMetric(const std::string& op_name,
+                                     const std::string& metric) const {
+  const OperatorState* state = FindState(op_name);
+  if (state == nullptr) {
+    return Status::NotFound(
+        StrFormat("operator '%s' not in PE", op_name.c_str()));
+  }
+  auto it = state->custom_metrics.find(metric);
+  if (it == state->custom_metrics.end()) {
+    return Status::NotFound(
+        StrFormat("custom metric '%s' not found", metric.c_str()));
+  }
+  return it->second;
+}
+
+}  // namespace orcastream::runtime

@@ -1,0 +1,152 @@
+#ifndef ORCASTREAM_RUNTIME_PE_H_
+#define ORCASTREAM_RUNTIME_PE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/metrics.h"
+#include "runtime/operator_api.h"
+#include "runtime/transport.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::runtime {
+
+/// A Processing Element: the runtime container for one or more fused
+/// operators (§2.1). In System S a PE is an operating system process; here
+/// it is a simulation actor with the same lifecycle: it can be started,
+/// stopped gracefully, crashed (losing all operator state and queued
+/// tuples), and restarted fresh.
+///
+/// The PE maintains the built-in metrics for its operators and itself,
+/// hosts custom metrics created by operator code, models input queueing
+/// with per-operator service costs (feeding the queueSize metric), and
+/// auto-forwards final punctuations once an operator's input ports are all
+/// finalized.
+///
+/// PEs must be owned by std::shared_ptr (SAM creates them that way):
+/// operator-scheduled timer callbacks hold weak references so that events
+/// still pending when a job is cancelled cannot touch a destroyed PE.
+class Pe : public std::enable_shared_from_this<Pe> {
+ public:
+  enum class State { kStopped, kRunning, kCrashed };
+
+  struct Config {
+    common::PeId id;
+    common::JobId job;
+    common::HostId host;
+    std::string job_name;
+  };
+
+  /// Invoked when the PE crashes; wired to the local Host Controller.
+  using CrashHandler =
+      std::function<void(common::PeId, const std::string& reason)>;
+
+  Pe(sim::Simulation* sim, const OperatorFactory* factory,
+     Transport* transport, Config config,
+     std::vector<topology::OperatorDef> operators,
+     std::map<std::string, std::string> submission_params, common::Rng rng);
+  ~Pe();
+
+  Pe(const Pe&) = delete;
+  Pe& operator=(const Pe&) = delete;
+
+  /// Instantiates and opens all operators. Fails if any kind is not
+  /// registered with the factory.
+  common::Status Start();
+
+  /// Graceful stop: closes operators and discards the queue.
+  void Stop();
+
+  /// Crash-stop: operators are destroyed without Close (state loss), the
+  /// input queue is dropped, and the crash handler fires (§5.2).
+  void Crash(const std::string& reason);
+
+  State state() const { return state_; }
+  bool running() const { return state_ == State::kRunning; }
+
+  common::PeId id() const { return config_.id; }
+  common::JobId job() const { return config_.job; }
+  common::HostId host() const { return config_.host; }
+  const std::string& job_name() const { return config_.job_name; }
+
+  const std::vector<topology::OperatorDef>& operator_defs() const {
+    return operator_defs_;
+  }
+  bool HasOperator(const std::string& name) const;
+
+  void set_crash_handler(CrashHandler handler) {
+    crash_handler_ = std::move(handler);
+  }
+
+  /// Delivers an item to an operator input port. `local` deliveries (from
+  /// an operator fused in this same PE) are synchronous calls; remote
+  /// deliveries are queued and served at the operator's per-tuple cost.
+  /// Items delivered to a non-running PE are dropped (tuple loss).
+  void Deliver(const std::string& op_name, size_t port,
+               const StreamItem& item, bool local);
+
+  /// Appends this PE's current built-in and custom metric values.
+  void CollectMetrics(MetricsSnapshot* out) const;
+
+  /// Reads a custom metric directly (test/bench convenience).
+  common::Result<int64_t> ReadCustomMetric(const std::string& op_name,
+                                           const std::string& metric) const;
+
+  /// Number of items currently queued (all operators).
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  class ContextImpl;
+  struct OperatorState;
+
+  struct QueuedItem {
+    std::string op_name;
+    size_t port;
+    StreamItem item;
+  };
+
+  OperatorState* FindState(const std::string& op_name);
+  const OperatorState* FindState(const std::string& op_name) const;
+  void Execute(OperatorState* state, size_t port, const StreamItem& item);
+  void ScheduleDrain();
+  void DrainOne();
+  void TeardownOperators();
+
+  sim::Simulation* sim_;
+  const OperatorFactory* factory_;
+  Transport* transport_;
+  Config config_;
+  std::vector<topology::OperatorDef> operator_defs_;
+  std::map<std::string, std::string> submission_params_;
+  common::Rng rng_;
+
+  State state_ = State::kStopped;
+  /// Incremented on every stop/crash/restart; operator-scheduled callbacks
+  /// capture the value and refuse to fire across incarnations.
+  uint64_t incarnation_ = 0;
+
+  std::vector<std::unique_ptr<OperatorState>> operators_;
+  std::deque<QueuedItem> queue_;
+  bool drain_scheduled_ = false;
+  sim::SimTime busy_until_ = 0;
+
+  // PE-level built-in counters.
+  int64_t pe_tuples_processed_ = 0;
+  int64_t pe_tuple_bytes_processed_ = 0;
+
+  CrashHandler crash_handler_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_PE_H_

@@ -1,0 +1,62 @@
+#include "runtime/placement.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace orcastream::runtime {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+Result<common::HostId> ChooseHost(const std::vector<HostLoad>& hosts,
+                                  const topology::HostPoolDef* pool,
+                                  common::JobId job,
+                                  const std::set<common::HostId>& excluded) {
+  const HostLoad* best = nullptr;
+  for (const auto& host : hosts) {
+    if (!host.up) continue;
+    if (excluded.count(host.id) > 0) continue;
+
+    if (pool != nullptr && !pool->tags.empty()) {
+      bool tagged = std::any_of(
+          pool->tags.begin(), pool->tags.end(), [&](const std::string& tag) {
+            return std::find(host.tags.begin(), host.tags.end(), tag) !=
+                   host.tags.end();
+          });
+      if (!tagged) continue;
+    }
+
+    if (pool != nullptr && pool->exclusive) {
+      // The host must be dedicated to this job: nobody else may own or
+      // use it.
+      if (host.exclusive_owner.has_value() && *host.exclusive_owner != job) {
+        continue;
+      }
+      bool used_by_other = std::any_of(
+          host.jobs_using.begin(), host.jobs_using.end(),
+          [&](common::JobId user) { return user != job; });
+      if (used_by_other) continue;
+    } else {
+      // Cannot trespass on another job's exclusive hosts.
+      if (host.exclusive_owner.has_value() && *host.exclusive_owner != job) {
+        continue;
+      }
+    }
+
+    if (best == nullptr || host.pe_count < best->pe_count ||
+        (host.pe_count == best->pe_count && host.id < best->id)) {
+      best = &host;
+    }
+  }
+  if (best == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "no eligible host for job %lld (pool '%s')",
+        static_cast<long long>(job.value()),
+        pool != nullptr ? pool->name.c_str() : "<none>"));
+  }
+  return best->id;
+}
+
+}  // namespace orcastream::runtime

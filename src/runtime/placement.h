@@ -1,0 +1,44 @@
+#ifndef ORCASTREAM_RUNTIME_PLACEMENT_H_
+#define ORCASTREAM_RUNTIME_PLACEMENT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "topology/app_model.h"
+
+namespace orcastream::runtime {
+
+/// Host state the placement solver considers for one candidate host.
+struct HostLoad {
+  common::HostId id;
+  bool up = true;
+  std::vector<std::string> tags;
+  /// PEs currently placed on this host (load-balance criterion).
+  int pe_count = 0;
+  /// Job holding this host exclusively (via an exclusive host pool), if any.
+  std::optional<common::JobId> exclusive_owner;
+  /// Jobs currently running PEs on this host.
+  std::set<common::JobId> jobs_using;
+};
+
+/// Deterministic host selection for one PE (§2.1, §4.3):
+///  - the host must be up;
+///  - if `pool` has tags, the host must carry at least one of them;
+///  - exclusive pools (§4.3) only accept hosts that no other job uses or
+///    exclusively owns, so the job gets hosts "that cannot be used by any
+///    other application";
+///  - non-exclusive placements cannot use hosts another job owns
+///    exclusively;
+///  - hosts in `excluded` (exlocation constraints) are skipped;
+///  - among eligible hosts, the least loaded wins; ties break on lowest id.
+common::Result<common::HostId> ChooseHost(
+    const std::vector<HostLoad>& hosts, const topology::HostPoolDef* pool,
+    common::JobId job, const std::set<common::HostId>& excluded);
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_PLACEMENT_H_

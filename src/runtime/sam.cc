@@ -1,0 +1,365 @@
+#include "runtime/sam.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "runtime/placement.h"
+
+namespace orcastream::runtime {
+
+using common::JobId;
+using common::OrcaId;
+using common::PeId;
+using common::Result;
+using common::Status;
+using common::StrFormat;
+using topology::ApplicationModel;
+
+Result<PeId> JobInfo::PeOfOperator(const std::string& name) const {
+  auto it = op_to_pe.find(name);
+  if (it == op_to_pe.end()) {
+    return Status::NotFound(StrFormat("operator '%s' not in job %lld",
+                                      name.c_str(),
+                                      static_cast<long long>(id.value())));
+  }
+  return it->second;
+}
+
+Sam::Sam(sim::Simulation* sim, Srm* srm, OperatorFactory* factory,
+         Config config)
+    : sim_(sim),
+      srm_(srm),
+      factory_(factory),
+      config_(config),
+      transport_(sim, this, config.transport_latency),
+      rng_(config.seed) {
+  srm_->set_pe_failure_listener(
+      [this](const Srm::PeFailure& failure) { OnPeFailure(failure); });
+}
+
+Result<JobId> Sam::SubmitJob(
+    const ApplicationModel& model,
+    const std::map<std::string, std::string>& submission_params,
+    OrcaId owner) {
+  ORCA_RETURN_NOT_OK(model.Validate());
+  ORCA_ASSIGN_OR_RETURN(std::vector<PePartition> partitions,
+                        PartitionOperators(model, config_.partition_policy));
+
+  JobId job_id(next_job_id_++);
+  JobInfo info;
+  info.id = job_id;
+  info.app_name = model.name();
+  info.model = model;
+  info.submission_params = submission_params;
+  info.owner = owner;
+  info.submitted_at = sim_->Now();
+
+  // Place and create one PE per partition. Collect everything first so a
+  // placement failure leaves no side effects.
+  struct PlannedPe {
+    PePartition partition;
+    common::HostId host;
+    PeId id;
+  };
+  std::vector<PlannedPe> planned;
+  std::map<std::string, std::set<common::HostId>> exlocation_hosts;
+  // Local copies of the placement bookkeeping to plan transactionally.
+  auto pe_count = host_pe_count_;
+  auto exclusive_owner = host_exclusive_owner_;
+  auto jobs_using = host_jobs_;
+
+  for (auto& partition : partitions) {
+    const topology::HostPoolDef* pool = nullptr;
+    for (const auto& candidate : model.host_pools()) {
+      if (candidate.name == partition.host_pool) pool = &candidate;
+    }
+    if (!partition.host_pool.empty() && pool == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("partition references unknown host pool '%s'",
+                    partition.host_pool.c_str()));
+    }
+
+    std::vector<HostLoad> loads;
+    for (const auto& host : srm_->hosts()) {
+      HostLoad load;
+      load.id = host.id;
+      load.up = host.up;
+      load.tags = host.tags;
+      load.pe_count = pe_count[host.id];
+      auto owner_it = exclusive_owner.find(host.id);
+      if (owner_it != exclusive_owner.end()) {
+        load.exclusive_owner = owner_it->second;
+      }
+      load.jobs_using = jobs_using[host.id];
+      loads.push_back(std::move(load));
+    }
+
+    const std::set<common::HostId>& excluded =
+        partition.host_exlocation.empty()
+            ? std::set<common::HostId>{}
+            : exlocation_hosts[partition.host_exlocation];
+    ORCA_ASSIGN_OR_RETURN(common::HostId host,
+                          ChooseHost(loads, pool, job_id, excluded));
+
+    pe_count[host]++;
+    jobs_using[host].insert(job_id);
+    if (pool != nullptr && pool->exclusive) {
+      exclusive_owner[host] = job_id;
+    }
+    if (!partition.host_exlocation.empty()) {
+      exlocation_hosts[partition.host_exlocation].insert(host);
+    }
+    planned.push_back(PlannedPe{std::move(partition), host, PeId()});
+  }
+
+  // Commit: allocate ids, create PEs, wire routes, start.
+  host_pe_count_ = std::move(pe_count);
+  host_exclusive_owner_ = std::move(exclusive_owner);
+  host_jobs_ = std::move(jobs_using);
+
+  for (auto& plan : planned) {
+    plan.id = PeId(next_pe_id_++);
+    std::vector<topology::OperatorDef> defs;
+    for (const auto& op_name : plan.partition.operator_names) {
+      defs.push_back(*model.FindOperator(op_name));
+      info.op_to_pe[op_name] = plan.id;
+    }
+    Pe::Config pe_config{plan.id, job_id, plan.host, model.name()};
+    auto pe = std::make_shared<Pe>(sim_, factory_, &transport_, pe_config,
+                                   std::move(defs), submission_params,
+                                   rng_.Fork());
+    pes_[plan.id] = pe;
+    ORCA_RETURN_NOT_OK(srm_->AttachPe(plan.host, pe));
+    info.pes.push_back(
+        PeRecord{plan.id, plan.host, plan.partition.operator_names});
+  }
+
+  // Intra-job stream routes.
+  for (const auto& op : model.operators()) {
+    for (size_t port = 0; port < op.inputs.size(); ++port) {
+      for (const auto& stream : op.inputs[port].streams) {
+        transport_.AddRoute(job_id, stream,
+                            Endpoint{job_id, op.name, port, false});
+      }
+    }
+  }
+
+  // Import/export registry entries for this job.
+  for (const auto& op : model.operators()) {
+    for (size_t port = 0; port < op.outputs.size(); ++port) {
+      const auto& out = op.outputs[port];
+      if (out.exported) {
+        exports_.push_back(ExportRecord{job_id, out.stream, out.export_id,
+                                        out.export_properties});
+      }
+    }
+    for (size_t port = 0; port < op.inputs.size(); ++port) {
+      const auto& in = op.inputs[port];
+      if (in.imports()) {
+        imports_.push_back(ImportRecord{job_id, op.name, port, in.import_id,
+                                        in.import_properties});
+      }
+    }
+  }
+
+  info.running = true;
+  jobs_[job_id] = std::move(info);
+  ConnectImportsAndExports(job_id);
+
+  // Start PEs (after routes exist so Open() submissions flow).
+  for (const auto& plan : planned) {
+    ORCA_RETURN_NOT_OK(pes_[plan.id]->Start());
+  }
+  ORCA_LOG(kInfo) << "submitted job " << job_id << " (" << model.name()
+                  << ") with " << planned.size() << " PEs";
+  return job_id;
+}
+
+bool Sam::ImportMatchesExport(const ImportRecord& import,
+                              const ExportRecord& export_record) {
+  if (!import.import_id.empty()) {
+    return import.import_id == export_record.export_id;
+  }
+  if (import.properties.empty()) return false;
+  for (const auto& [key, value] : import.properties) {
+    auto it = export_record.properties.find(key);
+    if (it == export_record.properties.end() || it->second != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Sam::ConnectImportsAndExports(JobId new_job) {
+  // New imports against all exports; new exports against all imports.
+  // The SPL runtime connects exporter and importer automatically once both
+  // applications are running (§2.1).
+  for (const auto& import : imports_) {
+    for (const auto& export_record : exports_) {
+      bool involves_new_job =
+          import.job == new_job || export_record.job == new_job;
+      if (!involves_new_job) continue;
+      if (import.job == export_record.job) continue;
+      if (!ImportMatchesExport(import, export_record)) continue;
+      transport_.AddRoute(
+          export_record.job, export_record.stream,
+          Endpoint{import.job, import.operator_name, import.port, true});
+    }
+  }
+}
+
+Status Sam::CancelJob(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end() || !it->second.running) {
+    return Status::NotFound(
+        StrFormat("job %lld not running", static_cast<long long>(job.value())));
+  }
+  JobInfo& info = it->second;
+  for (const auto& record : info.pes) {
+    auto pe_it = pes_.find(record.id);
+    if (pe_it != pes_.end()) {
+      pe_it->second->Stop();
+      srm_->DetachPe(record.host, record.id);
+      pes_.erase(pe_it);
+    }
+    host_pe_count_[record.host]--;
+    host_jobs_[record.host].erase(job);
+    auto owner_it = host_exclusive_owner_.find(record.host);
+    if (owner_it != host_exclusive_owner_.end() && owner_it->second == job) {
+      host_exclusive_owner_.erase(owner_it);
+    }
+  }
+  transport_.RemoveJobRoutes(job);
+  exports_.erase(std::remove_if(exports_.begin(), exports_.end(),
+                                [job](const ExportRecord& record) {
+                                  return record.job == job;
+                                }),
+                 exports_.end());
+  imports_.erase(std::remove_if(imports_.begin(), imports_.end(),
+                                [job](const ImportRecord& record) {
+                                  return record.job == job;
+                                }),
+                 imports_.end());
+  srm_->DropJobMetrics(job);
+  info.running = false;
+  ORCA_LOG(kInfo) << "cancelled job " << job << " (" << info.app_name << ")";
+  return Status::OK();
+}
+
+Status Sam::RestartPe(PeId pe) {
+  auto it = pes_.find(pe);
+  if (it == pes_.end()) {
+    return Status::NotFound(
+        StrFormat("PE %lld not found", static_cast<long long>(pe.value())));
+  }
+  if (it->second->running()) {
+    return Status::FailedPrecondition(
+        StrFormat("PE %lld is running; stop or crash it first",
+                  static_cast<long long>(pe.value())));
+  }
+  return it->second->Start();
+}
+
+Status Sam::StopPe(PeId pe) {
+  auto it = pes_.find(pe);
+  if (it == pes_.end()) {
+    return Status::NotFound(
+        StrFormat("PE %lld not found", static_cast<long long>(pe.value())));
+  }
+  it->second->Stop();
+  return Status::OK();
+}
+
+Status Sam::KillPe(PeId pe, const std::string& reason) {
+  auto it = pes_.find(pe);
+  if (it == pes_.end()) {
+    return Status::NotFound(
+        StrFormat("PE %lld not found", static_cast<long long>(pe.value())));
+  }
+  if (!it->second->running()) {
+    return Status::FailedPrecondition(
+        StrFormat("PE %lld not running", static_cast<long long>(pe.value())));
+  }
+  it->second->Crash(reason);
+  return Status::OK();
+}
+
+const JobInfo* Sam::FindJob(JobId job) const {
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+Result<JobId> Sam::FindJobByName(const std::string& name) const {
+  const JobInfo* latest = nullptr;
+  for (const auto& [id, info] : jobs_) {
+    if (info.app_name == name && info.running) {
+      if (latest == nullptr || latest->id < info.id) latest = &info;
+    }
+  }
+  if (latest == nullptr) {
+    return Status::NotFound(
+        StrFormat("no running job for application '%s'", name.c_str()));
+  }
+  return latest->id;
+}
+
+std::vector<const JobInfo*> Sam::jobs() const {
+  std::vector<const JobInfo*> out;
+  for (const auto& [id, info] : jobs_) out.push_back(&info);
+  return out;
+}
+
+Pe* Sam::FindPe(PeId pe) {
+  auto it = pes_.find(pe);
+  return it == pes_.end() ? nullptr : it->second.get();
+}
+
+Pe* Sam::ResolvePe(JobId job, const std::string& operator_name) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end() || !it->second.running) return nullptr;
+  auto pe_it = it->second.op_to_pe.find(operator_name);
+  if (pe_it == it->second.op_to_pe.end()) return nullptr;
+  return FindPe(pe_it->second);
+}
+
+OrcaId Sam::RegisterOrca(const std::string& name,
+                         OrcaFailureCallback callback) {
+  OrcaId id(next_orca_id_++);
+  orcas_.push_back(OrcaRecord{id, name, std::move(callback)});
+  return id;
+}
+
+void Sam::UnregisterOrca(OrcaId orca) {
+  orcas_.erase(std::remove_if(orcas_.begin(), orcas_.end(),
+                              [orca](const OrcaRecord& record) {
+                                return record.id == orca;
+                              }),
+               orcas_.end());
+}
+
+void Sam::OnPeFailure(const Srm::PeFailure& failure) {
+  // Identify the job the PE belongs to.
+  for (const auto& [job_id, info] : jobs_) {
+    if (!info.running) continue;
+    for (const auto& record : info.pes) {
+      if (record.id != failure.pe) continue;
+      if (!info.owner.valid()) return;  // unmanaged job: nothing to route
+      // SAM identifies which ORCA service manages the crashed PE and
+      // informs it (§4.2) — one extra RPC on the recovery path (§3).
+      for (const auto& orca : orcas_) {
+        if (orca.id != info.owner) continue;
+        PeFailureNotice notice{job_id,      info.app_name,
+                               failure.pe,  failure.host,
+                               failure.reason, failure.detected_at,
+                               record.operators};
+        auto callback = orca.callback;
+        sim_->ScheduleAfter(config_.notification_latency,
+                            [callback, notice] { callback(notice); });
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace orcastream::runtime

@@ -1,0 +1,179 @@
+#ifndef ORCASTREAM_RUNTIME_SAM_H_
+#define ORCASTREAM_RUNTIME_SAM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/operator_api.h"
+#include "runtime/partitioner.h"
+#include "runtime/pe.h"
+#include "runtime/srm.h"
+#include "runtime/transport.h"
+#include "sim/simulation.h"
+#include "topology/app_model.h"
+
+namespace orcastream::runtime {
+
+/// Physical record of one PE within a job.
+struct PeRecord {
+  common::PeId id;
+  common::HostId host;
+  std::vector<std::string> operators;
+};
+
+/// Everything SAM knows about one submitted job: the logical model, the
+/// physical layout (PEs and hosts), submission parameters, and which
+/// orchestrator (if any) manages it.
+struct JobInfo {
+  common::JobId id;
+  std::string app_name;
+  topology::ApplicationModel model;
+  std::map<std::string, std::string> submission_params;
+  common::OrcaId owner;  // invalid when unmanaged
+  std::vector<PeRecord> pes;
+  std::map<std::string, common::PeId> op_to_pe;
+  sim::SimTime submitted_at = 0;
+  bool running = false;
+
+  common::Result<common::PeId> PeOfOperator(const std::string& name) const;
+};
+
+/// A PE failure notification, as SAM pushes it to the owning orchestrator
+/// (§3, §4.2): PE id, detection timestamp, crash reason, and enough job
+/// context to disambiguate.
+struct PeFailureNotice {
+  common::JobId job;
+  std::string app_name;
+  common::PeId pe;
+  common::HostId host;
+  std::string reason;
+  sim::SimTime detected_at = 0;
+  std::vector<std::string> operators;
+};
+
+/// The Streams Application Manager (§2.2): receives application submission
+/// and cancellation requests, spawns PEs according to partitioning and
+/// placement constraints, stops/restarts PEs, resolves dynamic
+/// import/export connections, and — per §3's orchestration extension —
+/// tracks orchestrators as first-class manageable entities and routes PE
+/// failure notifications to the orchestrator managing the affected job.
+class Sam : public PeResolver {
+ public:
+  struct Config {
+    /// Inter-PE transport latency.
+    sim::SimTime transport_latency = 0.001;
+    /// SAM -> ORCA service notification latency (the "one extra remote
+    /// procedure call" of §3).
+    sim::SimTime notification_latency = 0.001;
+    PartitionPolicy partition_policy = PartitionPolicy::kByColocation;
+    uint64_t seed = 42;
+  };
+
+  Sam(sim::Simulation* sim, Srm* srm, OperatorFactory* factory,
+      Config config);
+  Sam(sim::Simulation* sim, Srm* srm, OperatorFactory* factory)
+      : Sam(sim, srm, factory, Config{}) {}
+
+  // --- Job lifecycle ---------------------------------------------------
+
+  /// Submits an application as a new job: validates, partitions, places,
+  /// spawns PEs, wires streams, resolves imports/exports, starts PEs.
+  common::Result<common::JobId> SubmitJob(
+      const topology::ApplicationModel& model,
+      const std::map<std::string, std::string>& submission_params = {},
+      common::OrcaId owner = common::OrcaId::Invalid());
+
+  /// Cancels a running job: stops PEs, tears down routes and exports.
+  common::Status CancelJob(common::JobId job);
+
+  // --- PE control --------------------------------------------------------
+
+  /// Restarts a crashed or stopped PE in place (state starts fresh).
+  common::Status RestartPe(common::PeId pe);
+  common::Status StopPe(common::PeId pe);
+  /// Failure injection: crash a PE with the given reason.
+  common::Status KillPe(common::PeId pe, const std::string& reason);
+
+  // --- Introspection -----------------------------------------------------
+
+  const JobInfo* FindJob(common::JobId job) const;
+  /// Latest running job submitted under the application name.
+  common::Result<common::JobId> FindJobByName(const std::string& name) const;
+  std::vector<const JobInfo*> jobs() const;
+  Pe* FindPe(common::PeId pe);
+
+  /// PeResolver: live PE for (job, operator), nullptr if gone.
+  Pe* ResolvePe(common::JobId job, const std::string& operator_name) override;
+
+  // --- Orchestrator registry (§3) ----------------------------------------
+
+  using OrcaFailureCallback = std::function<void(const PeFailureNotice&)>;
+
+  /// Registers an orchestrator; SAM will push PE failure notifications for
+  /// jobs owned by it through `callback` (after notification latency).
+  common::OrcaId RegisterOrca(const std::string& name,
+                              OrcaFailureCallback callback);
+  void UnregisterOrca(common::OrcaId orca);
+
+  Transport* transport() { return &transport_; }
+  const Config& config() const { return config_; }
+  sim::Simulation* simulation() { return sim_; }
+  Srm* srm() { return srm_; }
+
+ private:
+  struct ExportRecord {
+    common::JobId job;
+    std::string stream;
+    std::string export_id;
+    std::map<std::string, std::string> properties;
+  };
+  struct ImportRecord {
+    common::JobId job;
+    std::string operator_name;
+    size_t port;
+    std::string import_id;
+    std::map<std::string, std::string> properties;
+  };
+  struct OrcaRecord {
+    common::OrcaId id;
+    std::string name;
+    OrcaFailureCallback callback;
+  };
+
+  static bool ImportMatchesExport(const ImportRecord& import,
+                                  const ExportRecord& export_record);
+  void ConnectImportsAndExports(common::JobId new_job);
+  void OnPeFailure(const Srm::PeFailure& failure);
+
+  sim::Simulation* sim_;
+  Srm* srm_;
+  OperatorFactory* factory_;
+  Config config_;
+  Transport transport_;
+  common::Rng rng_;
+
+  int64_t next_job_id_ = 1;
+  int64_t next_pe_id_ = 1;
+  int64_t next_orca_id_ = 1;
+  std::map<common::JobId, JobInfo> jobs_;
+  std::map<common::PeId, std::shared_ptr<Pe>> pes_;
+  std::vector<ExportRecord> exports_;
+  std::vector<ImportRecord> imports_;
+  std::vector<OrcaRecord> orcas_;
+
+  // Placement bookkeeping.
+  std::map<common::HostId, int> host_pe_count_;
+  std::map<common::HostId, common::JobId> host_exclusive_owner_;
+  std::map<common::HostId, std::set<common::JobId>> host_jobs_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_SAM_H_

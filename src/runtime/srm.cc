@@ -1,0 +1,146 @@
+#include "runtime/srm.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace orcastream::runtime {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+Srm::Srm(sim::Simulation* sim, Config config) : sim_(sim), config_(config) {}
+
+common::HostId Srm::AddHost(const std::string& name,
+                            const std::vector<std::string>& tags) {
+  common::HostId id(static_cast<int64_t>(hosts_.size()));
+  hosts_.push_back(HostInfo{id, name, tags, /*up=*/true});
+  controllers_.push_back(std::make_unique<HostController>(
+      sim_, id, this, config_.hc_push_period));
+  return id;
+}
+
+const HostInfo* Srm::FindHost(common::HostId id) const {
+  if (id.value() < 0 || static_cast<size_t>(id.value()) >= hosts_.size()) {
+    return nullptr;
+  }
+  return &hosts_[static_cast<size_t>(id.value())];
+}
+
+Result<common::HostId> Srm::FindHostByName(const std::string& name) const {
+  for (const auto& host : hosts_) {
+    if (host.name == name) return host.id;
+  }
+  return Status::NotFound(StrFormat("host '%s' not found", name.c_str()));
+}
+
+HostController* Srm::host_controller(common::HostId id) {
+  if (id.value() < 0 ||
+      static_cast<size_t>(id.value()) >= controllers_.size()) {
+    return nullptr;
+  }
+  return controllers_[static_cast<size_t>(id.value())].get();
+}
+
+Status Srm::KillHost(common::HostId id) {
+  if (FindHost(id) == nullptr) {
+    return Status::NotFound(StrFormat("host %lld not found",
+                                      static_cast<long long>(id.value())));
+  }
+  HostInfo& host = hosts_[static_cast<size_t>(id.value())];
+  if (!host.up) {
+    return Status::FailedPrecondition(
+        StrFormat("host '%s' already down", host.name.c_str()));
+  }
+  host.up = false;
+  ORCA_LOG(kInfo) << "host " << host.name << " failed";
+  controllers_[static_cast<size_t>(id.value())]->CrashAll("host failure");
+  return Status::OK();
+}
+
+Status Srm::ReviveHost(common::HostId id) {
+  if (FindHost(id) == nullptr) {
+    return Status::NotFound(StrFormat("host %lld not found",
+                                      static_cast<long long>(id.value())));
+  }
+  hosts_[static_cast<size_t>(id.value())].up = true;
+  return Status::OK();
+}
+
+Status Srm::AttachPe(common::HostId host, std::shared_ptr<Pe> pe) {
+  HostController* controller = host_controller(host);
+  if (controller == nullptr) {
+    return Status::NotFound(StrFormat("host %lld not found",
+                                      static_cast<long long>(host.value())));
+  }
+  controller->AttachPe(std::move(pe));
+  return Status::OK();
+}
+
+void Srm::DetachPe(common::HostId host, common::PeId pe) {
+  HostController* controller = host_controller(host);
+  if (controller != nullptr) controller->DetachPe(pe);
+  DropPeMetrics(pe);
+}
+
+void Srm::PushMetrics(const MetricsSnapshot& snapshot) {
+  last_push_at_ = snapshot.collected_at;
+  for (const auto& rec : snapshot.operator_metrics) {
+    op_store_[OpMetricKey{rec.pe, rec.operator_name, rec.metric_name,
+                          rec.port, rec.output_port}] = rec;
+  }
+  for (const auto& rec : snapshot.pe_metrics) {
+    pe_store_[PeMetricKey{rec.pe, rec.metric_name}] = rec;
+  }
+}
+
+MetricsSnapshot Srm::QueryMetrics(
+    const std::vector<common::JobId>& jobs) const {
+  MetricsSnapshot out;
+  out.collected_at = sim_->Now();
+  auto in_scope = [&jobs](common::JobId job) {
+    for (common::JobId candidate : jobs) {
+      if (candidate == job) return true;
+    }
+    return false;
+  };
+  for (const auto& [key, rec] : op_store_) {
+    if (in_scope(rec.job)) out.operator_metrics.push_back(rec);
+  }
+  for (const auto& [key, rec] : pe_store_) {
+    if (in_scope(rec.job)) out.pe_metrics.push_back(rec);
+  }
+  return out;
+}
+
+void Srm::DropJobMetrics(common::JobId job) {
+  for (auto it = op_store_.begin(); it != op_store_.end();) {
+    it = (it->second.job == job) ? op_store_.erase(it) : std::next(it);
+  }
+  for (auto it = pe_store_.begin(); it != pe_store_.end();) {
+    it = (it->second.job == job) ? pe_store_.erase(it) : std::next(it);
+  }
+}
+
+void Srm::DropPeMetrics(common::PeId pe) {
+  for (auto it = op_store_.begin(); it != op_store_.end();) {
+    it = (it->second.pe == pe) ? op_store_.erase(it) : std::next(it);
+  }
+  for (auto it = pe_store_.begin(); it != pe_store_.end();) {
+    it = (it->second.pe == pe) ? pe_store_.erase(it) : std::next(it);
+  }
+}
+
+void Srm::OnPeCrashed(common::HostId host, common::PeId pe,
+                      const std::string& reason) {
+  DropPeMetrics(pe);
+  sim_->ScheduleAfter(config_.failure_detection_delay,
+                      [this, host, pe, reason] {
+                        if (pe_failure_listener_) {
+                          pe_failure_listener_(
+                              PeFailure{host, pe, reason, sim_->Now()});
+                        }
+                      });
+}
+
+}  // namespace orcastream::runtime

@@ -1,0 +1,139 @@
+#ifndef ORCASTREAM_RUNTIME_SRM_H_
+#define ORCASTREAM_RUNTIME_SRM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "runtime/host_controller.h"
+#include "runtime/metrics.h"
+#include "sim/simulation.h"
+
+namespace orcastream::runtime {
+
+/// A simulated cluster host.
+struct HostInfo {
+  common::HostId id;
+  std::string name;
+  std::vector<std::string> tags;
+  bool up = true;
+};
+
+/// The Streams Resource Manager (§2.2): maintains which hosts are
+/// available, tracks component liveness, detects and notifies PE/host
+/// failures, and serves as the collector for all built-in and custom
+/// metrics pushed by the Host Controllers.
+class Srm {
+ public:
+  struct Config {
+    /// HC metric push period (System S default: every 3 seconds).
+    sim::SimTime hc_push_period = 3.0;
+    /// Delay between a PE dying and SRM learning about it.
+    sim::SimTime failure_detection_delay = 0.5;
+  };
+
+  Srm(sim::Simulation* sim, Config config);
+  explicit Srm(sim::Simulation* sim) : Srm(sim, Config{}) {}
+
+  // --- Host registry -------------------------------------------------
+
+  common::HostId AddHost(const std::string& name,
+                         const std::vector<std::string>& tags = {});
+  const std::vector<HostInfo>& hosts() const { return hosts_; }
+  const HostInfo* FindHost(common::HostId id) const;
+  common::Result<common::HostId> FindHostByName(const std::string& name) const;
+  HostController* host_controller(common::HostId id);
+
+  /// Marks the host down and crashes all PEs on it ("host failure").
+  common::Status KillHost(common::HostId id);
+  /// Brings a failed host back into the available set.
+  common::Status ReviveHost(common::HostId id);
+
+  // --- PE lifecycle (driven by SAM) ----------------------------------
+
+  common::Status AttachPe(common::HostId host, std::shared_ptr<Pe> pe);
+  void DetachPe(common::HostId host, common::PeId pe);
+
+  // --- Metrics ---------------------------------------------------------
+
+  /// Merges a metric push from a Host Controller; newer values overwrite
+  /// older ones per (pe, operator, metric, port) key.
+  void PushMetrics(const MetricsSnapshot& snapshot);
+
+  /// Returns the latest known metric values for the given jobs. This is
+  /// what the ORCA service pulls on its metric loop (§4.2) — the response
+  /// contains all metrics associated with the set of jobs.
+  MetricsSnapshot QueryMetrics(const std::vector<common::JobId>& jobs) const;
+
+  /// Drops stored metrics for a cancelled job / crashed PE.
+  void DropJobMetrics(common::JobId job);
+  void DropPeMetrics(common::PeId pe);
+
+  // --- Failure notification -------------------------------------------
+
+  struct PeFailure {
+    common::HostId host;
+    common::PeId pe;
+    std::string reason;
+    sim::SimTime detected_at = 0;
+  };
+  using PeFailureListener = std::function<void(const PeFailure&)>;
+
+  /// SAM subscribes here to learn about PE crashes.
+  void set_pe_failure_listener(PeFailureListener listener) {
+    pe_failure_listener_ = std::move(listener);
+  }
+
+  /// Invoked by Host Controllers when a local PE dies. Notifies the
+  /// listener after the configured detection delay.
+  void OnPeCrashed(common::HostId host, common::PeId pe,
+                   const std::string& reason);
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct OpMetricKey {
+    common::PeId pe;
+    std::string operator_name;
+    std::string metric_name;
+    int32_t port;
+    bool output_port;
+    bool operator<(const OpMetricKey& other) const {
+      if (pe != other.pe) return pe < other.pe;
+      if (operator_name != other.operator_name) {
+        return operator_name < other.operator_name;
+      }
+      if (metric_name != other.metric_name) {
+        return metric_name < other.metric_name;
+      }
+      if (port != other.port) return port < other.port;
+      return output_port < other.output_port;
+    }
+  };
+  struct PeMetricKey {
+    common::PeId pe;
+    std::string metric_name;
+    bool operator<(const PeMetricKey& other) const {
+      if (pe != other.pe) return pe < other.pe;
+      return metric_name < other.metric_name;
+    }
+  };
+
+  sim::Simulation* sim_;
+  Config config_;
+  std::vector<HostInfo> hosts_;
+  std::vector<std::unique_ptr<HostController>> controllers_;
+  std::map<OpMetricKey, OperatorMetricRecord> op_store_;
+  std::map<PeMetricKey, PeMetricRecord> pe_store_;
+  sim::SimTime last_push_at_ = 0;
+  PeFailureListener pe_failure_listener_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_SRM_H_

@@ -1,0 +1,73 @@
+#include "runtime/transport.h"
+
+#include <algorithm>
+
+#include "runtime/pe.h"
+
+namespace orcastream::runtime {
+
+void Transport::AddRoute(common::JobId producer_job, const std::string& stream,
+                         Endpoint consumer) {
+  routes_[RouteKey{producer_job, stream}].push_back(std::move(consumer));
+}
+
+void Transport::RemoveJobRoutes(common::JobId job) {
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->first.job == job) {
+      it = routes_.erase(it);
+      continue;
+    }
+    auto& endpoints = it->second;
+    endpoints.erase(std::remove_if(endpoints.begin(), endpoints.end(),
+                                   [job](const Endpoint& endpoint) {
+                                     return endpoint.job == job;
+                                   }),
+                    endpoints.end());
+    ++it;
+  }
+}
+
+void Transport::RemoveDynamicRoutesForJob(common::JobId job) {
+  for (auto& [key, endpoints] : routes_) {
+    bool producer_is_job = key.job == job;
+    endpoints.erase(
+        std::remove_if(endpoints.begin(), endpoints.end(),
+                       [&](const Endpoint& endpoint) {
+                         return endpoint.dynamic &&
+                                (producer_is_job || endpoint.job == job);
+                       }),
+        endpoints.end());
+  }
+}
+
+void Transport::Send(common::JobId producer_job, const std::string& stream,
+                     const Pe* producer_pe, const StreamItem& item) {
+  auto it = routes_.find(RouteKey{producer_job, stream});
+  if (it == routes_.end()) return;
+  // Copy endpoints: consumer operators may alter routes while processing
+  // (e.g. an ORCA actuation cancelling a job mid-delivery).
+  std::vector<Endpoint> endpoints = it->second;
+  for (const Endpoint& endpoint : endpoints) {
+    ++items_sent_;
+    Pe* target = resolver_->ResolvePe(endpoint.job, endpoint.operator_name);
+    if (target == nullptr) continue;
+    if (target == producer_pe) {
+      target->Deliver(endpoint.operator_name, endpoint.port, item,
+                      /*local=*/true);
+      continue;
+    }
+    // Remote hop: re-resolve at delivery time so restarts/cancellations in
+    // flight are honoured.
+    common::JobId job = endpoint.job;
+    std::string op_name = endpoint.operator_name;
+    size_t port = endpoint.port;
+    StreamItem copy = item;
+    sim_->ScheduleAfter(latency_, [this, job, op_name, port,
+                                   copy = std::move(copy)] {
+      Pe* pe = resolver_->ResolvePe(job, op_name);
+      if (pe != nullptr) pe->Deliver(op_name, port, copy, /*local=*/false);
+    });
+  }
+}
+
+}  // namespace orcastream::runtime

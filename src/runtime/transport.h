@@ -1,0 +1,110 @@
+#ifndef ORCASTREAM_RUNTIME_TRANSPORT_H_
+#define ORCASTREAM_RUNTIME_TRANSPORT_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/simulation.h"
+#include "topology/tuple.h"
+
+namespace orcastream::runtime {
+
+class Pe;
+
+/// A data item travelling on a stream connection: tuple or punctuation.
+struct StreamItem {
+  std::variant<topology::Tuple, topology::Punctuation> payload;
+
+  static StreamItem FromTuple(topology::Tuple tuple) {
+    return StreamItem{std::move(tuple)};
+  }
+  static StreamItem FromPunct(topology::PunctKind kind) {
+    return StreamItem{topology::Punctuation{kind}};
+  }
+
+  bool is_tuple() const {
+    return std::holds_alternative<topology::Tuple>(payload);
+  }
+  const topology::Tuple& tuple() const {
+    return std::get<topology::Tuple>(payload);
+  }
+  topology::PunctKind punct() const {
+    return std::get<topology::Punctuation>(payload).kind;
+  }
+};
+
+/// A consuming endpoint of a stream connection.
+struct Endpoint {
+  common::JobId job;
+  std::string operator_name;
+  size_t port = 0;
+  /// True for import/export connections created at runtime (§2.1); these
+  /// are torn down when either side's job is cancelled.
+  bool dynamic = false;
+};
+
+/// Resolves (job, operator) to the PE currently hosting it. Implemented by
+/// SAM, which owns the placement tables. Resolution happens per delivery so
+/// that restarts and cancellations are honoured without rewiring routes.
+class PeResolver {
+ public:
+  virtual ~PeResolver() = default;
+  virtual Pe* ResolvePe(common::JobId job, const std::string& operator_name) = 0;
+};
+
+/// Routes stream items from producing output ports to consuming input
+/// ports. Deliveries between operators fused into the same PE are
+/// synchronous function calls; deliveries that cross PEs incur the
+/// configured network latency (§2.1's physical layout makes this
+/// difference observable, e.g. Figure 3).
+class Transport {
+ public:
+  Transport(sim::Simulation* sim, PeResolver* resolver,
+            sim::SimTime inter_pe_latency)
+      : sim_(sim), resolver_(resolver), latency_(inter_pe_latency) {}
+
+  /// Adds a consumer for the (producing job, stream) pair.
+  void AddRoute(common::JobId producer_job, const std::string& stream,
+                Endpoint consumer);
+
+  /// Removes every route whose producer or consumer belongs to `job`.
+  void RemoveJobRoutes(common::JobId job);
+
+  /// Removes dynamic (import/export) routes between `job` and others,
+  /// leaving intra-job routes alone.
+  void RemoveDynamicRoutesForJob(common::JobId job);
+
+  /// Fans `item` out to all consumers of the stream. `producer_pe` is used
+  /// to decide local (synchronous) vs. remote (delayed) delivery.
+  void Send(common::JobId producer_job, const std::string& stream,
+            const Pe* producer_pe, const StreamItem& item);
+
+  sim::SimTime latency() const { return latency_; }
+  void set_latency(sim::SimTime latency) { latency_ = latency; }
+
+  /// Total items sent (for tests and benches).
+  uint64_t items_sent() const { return items_sent_; }
+
+ private:
+  struct RouteKey {
+    common::JobId job;
+    std::string stream;
+    bool operator<(const RouteKey& other) const {
+      if (job != other.job) return job < other.job;
+      return stream < other.stream;
+    }
+  };
+
+  sim::Simulation* sim_;
+  PeResolver* resolver_;
+  sim::SimTime latency_;
+  uint64_t items_sent_ = 0;
+  std::map<RouteKey, std::vector<Endpoint>> routes_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_TRANSPORT_H_

@@ -1,0 +1,87 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace orcastream::sim {
+
+EventId Simulation::ScheduleAt(SimTime time, std::function<void()> fn) {
+  if (time < now_) time = now_;
+  EventId id = next_id_++;
+  heap_.push(Entry{time, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::Cancel(EventId id) {
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulation::PopAndRunOne() {
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;
+    live_.erase(entry.id);
+    now_ = entry.time;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  stopped_ = false;
+  while (!stopped_ && PopAndRunOne()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek through cancelled entries to find the next live event time.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > deadline) break;
+    PopAndRunOne();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+bool Simulation::Step() { return PopAndRunOne(); }
+
+PeriodicTask::PeriodicTask(Simulation* sim, SimTime period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start(SimTime initial_delay) {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_->ScheduleAfter(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->Cancel(pending_);
+}
+
+void PeriodicTask::Fire() {
+  if (!running_) return;
+  fn_();
+  if (!running_) return;  // fn_ may have stopped us.
+  pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+}
+
+}  // namespace orcastream::sim

@@ -1,0 +1,178 @@
+#include "topology/adl.h"
+
+#include <memory>
+
+#include "common/strings.h"
+#include "common/xml.h"
+
+namespace orcastream::topology {
+
+using common::Result;
+using common::Status;
+using common::XmlElement;
+
+namespace {
+
+void WriteProperties(XmlElement* parent, const char* element_name,
+                     const std::map<std::string, std::string>& props) {
+  for (const auto& [key, value] : props) {
+    XmlElement* prop = parent->AddChild(element_name);
+    prop->SetAttr("key", key);
+    prop->SetAttr("value", value);
+  }
+}
+
+Result<std::map<std::string, std::string>> ReadProperties(
+    const XmlElement* parent, const char* element_name) {
+  std::map<std::string, std::string> props;
+  for (const XmlElement* prop : parent->FindChildren(element_name)) {
+    ORCA_ASSIGN_OR_RETURN(std::string key, prop->Attr("key"));
+    ORCA_ASSIGN_OR_RETURN(std::string value, prop->Attr("value"));
+    props[key] = value;
+  }
+  return props;
+}
+
+}  // namespace
+
+std::string WriteAdl(const ApplicationModel& model) {
+  XmlElement root("application");
+  root.SetAttr("name", model.name());
+
+  XmlElement* pools = root.AddChild("hostPools");
+  for (const auto& pool : model.host_pools()) {
+    XmlElement* elem = pools->AddChild("hostPool");
+    elem->SetAttr("name", pool.name);
+    elem->SetAttr("exclusive", pool.exclusive);
+    for (const auto& tag : pool.tags) {
+      elem->AddChild("tag")->SetAttr("name", tag);
+    }
+  }
+
+  XmlElement* comps = root.AddChild("composites");
+  for (const auto& comp : model.composites()) {
+    XmlElement* elem = comps->AddChild("compositeInstance");
+    elem->SetAttr("name", comp.name);
+    elem->SetAttr("kind", comp.kind);
+    if (!comp.parent.empty()) elem->SetAttr("parent", comp.parent);
+  }
+
+  XmlElement* ops = root.AddChild("operators");
+  for (const auto& op : model.operators()) {
+    XmlElement* elem = ops->AddChild("operatorInstance");
+    elem->SetAttr("name", op.name);
+    elem->SetAttr("kind", op.kind);
+    if (!op.composite.empty()) elem->SetAttr("composite", op.composite);
+    if (!op.partition_colocation.empty()) {
+      elem->SetAttr("partitionColocation", op.partition_colocation);
+    }
+    if (!op.host_pool.empty()) elem->SetAttr("hostPool", op.host_pool);
+    if (!op.host_exlocation.empty()) {
+      elem->SetAttr("hostExlocation", op.host_exlocation);
+    }
+    if (op.cost_per_tuple != 0) {
+      elem->SetAttr("costPerTuple", op.cost_per_tuple);
+    }
+    WriteProperties(elem, "param", op.params);
+    for (const auto& input : op.inputs) {
+      XmlElement* port = elem->AddChild("inputPort");
+      for (const auto& stream : input.streams) {
+        port->AddChild("subscription")->SetAttr("stream", stream);
+      }
+      if (!input.import_id.empty()) {
+        port->SetAttr("importId", input.import_id);
+      }
+      WriteProperties(port, "importProperty", input.import_properties);
+    }
+    for (const auto& output : op.outputs) {
+      XmlElement* port = elem->AddChild("outputPort");
+      port->SetAttr("stream", output.stream);
+      if (output.exported) {
+        port->SetAttr("exported", true);
+        if (!output.export_id.empty()) {
+          port->SetAttr("exportId", output.export_id);
+        }
+        WriteProperties(port, "exportProperty", output.export_properties);
+      }
+    }
+  }
+  return root.ToString();
+}
+
+Result<ApplicationModel> ParseAdl(const std::string& xml) {
+  ORCA_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root,
+                        common::ParseXml(xml));
+  if (root->name() != "application") {
+    return Status::ParseError("ADL root element must be <application>");
+  }
+  ORCA_ASSIGN_OR_RETURN(std::string name, root->Attr("name"));
+  ApplicationModel model(name);
+
+  if (const XmlElement* pools = root->FindChild("hostPools")) {
+    for (const XmlElement* elem : pools->FindChildren("hostPool")) {
+      HostPoolDef pool;
+      ORCA_ASSIGN_OR_RETURN(pool.name, elem->Attr("name"));
+      ORCA_ASSIGN_OR_RETURN(pool.exclusive, elem->BoolAttr("exclusive"));
+      for (const XmlElement* tag : elem->FindChildren("tag")) {
+        ORCA_ASSIGN_OR_RETURN(std::string tag_name, tag->Attr("name"));
+        pool.tags.push_back(tag_name);
+      }
+      model.host_pools().push_back(std::move(pool));
+    }
+  }
+
+  if (const XmlElement* comps = root->FindChild("composites")) {
+    for (const XmlElement* elem : comps->FindChildren("compositeInstance")) {
+      CompositeInstanceDef comp;
+      ORCA_ASSIGN_OR_RETURN(comp.name, elem->Attr("name"));
+      ORCA_ASSIGN_OR_RETURN(comp.kind, elem->Attr("kind"));
+      comp.parent = elem->AttrOr("parent", "");
+      model.composites().push_back(std::move(comp));
+    }
+  }
+
+  if (const XmlElement* ops = root->FindChild("operators")) {
+    for (const XmlElement* elem : ops->FindChildren("operatorInstance")) {
+      OperatorDef op;
+      ORCA_ASSIGN_OR_RETURN(op.name, elem->Attr("name"));
+      ORCA_ASSIGN_OR_RETURN(op.kind, elem->Attr("kind"));
+      op.composite = elem->AttrOr("composite", "");
+      op.partition_colocation = elem->AttrOr("partitionColocation", "");
+      op.host_pool = elem->AttrOr("hostPool", "");
+      op.host_exlocation = elem->AttrOr("hostExlocation", "");
+      if (elem->HasAttr("costPerTuple")) {
+        ORCA_ASSIGN_OR_RETURN(op.cost_per_tuple,
+                              elem->DoubleAttr("costPerTuple"));
+      }
+      ORCA_ASSIGN_OR_RETURN(op.params, ReadProperties(elem, "param"));
+      for (const XmlElement* port : elem->FindChildren("inputPort")) {
+        InputPortDef input;
+        for (const XmlElement* sub : port->FindChildren("subscription")) {
+          ORCA_ASSIGN_OR_RETURN(std::string stream, sub->Attr("stream"));
+          input.streams.push_back(stream);
+        }
+        input.import_id = port->AttrOr("importId", "");
+        ORCA_ASSIGN_OR_RETURN(input.import_properties,
+                              ReadProperties(port, "importProperty"));
+        op.inputs.push_back(std::move(input));
+      }
+      for (const XmlElement* port : elem->FindChildren("outputPort")) {
+        OutputPortDef output;
+        ORCA_ASSIGN_OR_RETURN(output.stream, port->Attr("stream"));
+        if (port->HasAttr("exported")) {
+          ORCA_ASSIGN_OR_RETURN(output.exported, port->BoolAttr("exported"));
+        }
+        output.export_id = port->AttrOr("exportId", "");
+        ORCA_ASSIGN_OR_RETURN(output.export_properties,
+                              ReadProperties(port, "exportProperty"));
+        op.outputs.push_back(std::move(output));
+      }
+      model.operators().push_back(std::move(op));
+    }
+  }
+
+  ORCA_RETURN_NOT_OK(model.Validate());
+  return model;
+}
+
+}  // namespace orcastream::topology

@@ -1,0 +1,25 @@
+#ifndef ORCASTREAM_TOPOLOGY_ADL_H_
+#define ORCASTREAM_TOPOLOGY_ADL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "topology/app_model.h"
+
+namespace orcastream::topology {
+
+/// ADL — the Application Description Language (§2.1). System S emits an
+/// XML description of each compiled application that the runtime and
+/// tooling consume; the ORCA service loads ADL files to start applications
+/// and build its in-memory stream-graph representation. These functions
+/// round-trip an ApplicationModel through that XML format.
+
+/// Serializes the model as an ADL XML document.
+std::string WriteAdl(const ApplicationModel& model);
+
+/// Parses an ADL XML document back into a model (validating it).
+common::Result<ApplicationModel> ParseAdl(const std::string& xml);
+
+}  // namespace orcastream::topology
+
+#endif  // ORCASTREAM_TOPOLOGY_ADL_H_

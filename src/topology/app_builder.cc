@@ -1,0 +1,185 @@
+#include "topology/app_builder.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace orcastream::topology {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+OperatorDef& OperatorBuilder::def() {
+  return builder_->model_.operators()[index_];
+}
+
+const std::string& OperatorBuilder::name() const {
+  return builder_->model_.operators()[index_].name;
+}
+
+OperatorBuilder& OperatorBuilder::Input(
+    const std::vector<std::string>& streams) {
+  InputPortDef port;
+  port.streams = streams;  // resolved against composite scopes at Build()
+  def().inputs.push_back(std::move(port));
+  builder_->pending_inputs_.push_back(AppBuilder::PendingInput{
+      index_, def().inputs.size() - 1, builder_->scope_});
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Output(const std::string& stream) {
+  OutputPortDef port;
+  port.stream = builder_->Qualify(stream);
+  def().outputs.push_back(std::move(port));
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::ImportByProperties(
+    const std::map<std::string, std::string>& properties) {
+  InputPortDef port;
+  port.import_properties = properties;
+  def().inputs.push_back(std::move(port));
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::ImportById(const std::string& export_id) {
+  InputPortDef port;
+  port.import_id = export_id;
+  def().inputs.push_back(std::move(port));
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Export(
+    const std::string& export_id,
+    const std::map<std::string, std::string>& properties) {
+  if (!def().outputs.empty()) {
+    OutputPortDef& port = def().outputs.back();
+    port.exported = true;
+    port.export_id = export_id;
+    port.export_properties = properties;
+  }
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Param(const std::string& key,
+                                        const std::string& value) {
+  def().params[key] = value;
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Param(const std::string& key,
+                                        int64_t value) {
+  return Param(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+OperatorBuilder& OperatorBuilder::Param(const std::string& key, double value) {
+  return Param(key, StrFormat("%.17g", value));
+}
+
+OperatorBuilder& OperatorBuilder::Colocate(const std::string& tag) {
+  def().partition_colocation = tag;
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Pool(const std::string& pool_name) {
+  def().host_pool = pool_name;
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::Exlocate(const std::string& tag) {
+  def().host_exlocation = tag;
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::CostPerTuple(double seconds) {
+  def().cost_per_tuple = seconds;
+  return *this;
+}
+
+AppBuilder::AppBuilder(std::string app_name) : model_(std::move(app_name)) {}
+
+std::string AppBuilder::Qualify(const std::string& local_name) const {
+  if (scope_.empty()) return local_name;
+  return scope_.back() + "." + local_name;
+}
+
+OperatorBuilder AppBuilder::AddOperator(const std::string& local_name,
+                                        const std::string& kind) {
+  OperatorDef op;
+  op.name = Qualify(local_name);
+  op.kind = kind;
+  op.composite = scope_.empty() ? "" : scope_.back();
+  model_.operators().push_back(std::move(op));
+  return OperatorBuilder(this, model_.operators().size() - 1);
+}
+
+AppBuilder& AppBuilder::BeginComposite(const std::string& type_name,
+                                       const std::string& instance_name) {
+  CompositeInstanceDef comp;
+  comp.parent = scope_.empty() ? "" : scope_.back();
+  comp.name = Qualify(instance_name);
+  comp.kind = type_name;
+  model_.composites().push_back(comp);
+  scope_.push_back(comp.name);
+  return *this;
+}
+
+AppBuilder& AppBuilder::EndComposite() {
+  if (!scope_.empty()) scope_.pop_back();
+  return *this;
+}
+
+AppBuilder& AppBuilder::AddHostPool(const std::string& name,
+                                    const std::vector<std::string>& tags,
+                                    bool exclusive) {
+  HostPoolDef pool;
+  pool.name = name;
+  pool.tags = tags;
+  pool.exclusive = exclusive;
+  model_.host_pools().push_back(std::move(pool));
+  return *this;
+}
+
+AppBuilder& AppBuilder::Instantiate(const std::string& type_name,
+                                    const std::string& instance_name,
+                                    const CompositeTemplate& body) {
+  BeginComposite(type_name, instance_name);
+  body(*this);
+  EndComposite();
+  return *this;
+}
+
+Result<ApplicationModel> AppBuilder::Build() {
+  if (!scope_.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("unclosed composite scope '%s'", scope_.back().c_str()));
+  }
+  // Resolve input subscriptions: innermost enclosing scope first, then
+  // outer scopes, then the raw (top-level or already-qualified) name.
+  std::set<std::string> declared;
+  for (const auto& op : model_.operators()) {
+    for (const auto& out : op.outputs) declared.insert(out.stream);
+  }
+  for (const auto& pending : pending_inputs_) {
+    InputPortDef& port =
+        model_.operators()[pending.op_index].inputs[pending.port_index];
+    for (auto& stream : port.streams) {
+      bool resolved = false;
+      for (auto it = pending.scope_stack.rbegin();
+           it != pending.scope_stack.rend() && !resolved; ++it) {
+        std::string candidate = *it + "." + stream;
+        if (declared.count(candidate) > 0) {
+          stream = candidate;
+          resolved = true;
+        }
+      }
+      // Unresolved names stay raw; Validate reports them if unknown.
+    }
+  }
+  pending_inputs_.clear();
+  ORCA_RETURN_NOT_OK(model_.Validate());
+  return model_;
+}
+
+}  // namespace orcastream::topology

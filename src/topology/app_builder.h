@@ -1,0 +1,137 @@
+#ifndef ORCASTREAM_TOPOLOGY_APP_BUILDER_H_
+#define ORCASTREAM_TOPOLOGY_APP_BUILDER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "topology/app_model.h"
+
+namespace orcastream::topology {
+
+class AppBuilder;
+
+/// Fluent handle for configuring one operator while building an
+/// application. Returned by AppBuilder::AddOperator.
+class OperatorBuilder {
+ public:
+  /// Adds an input port subscribing to the given streams (names are
+  /// resolved within the current composite scope).
+  OperatorBuilder& Input(const std::vector<std::string>& streams);
+  OperatorBuilder& Input(std::initializer_list<std::string> streams) {
+    return Input(std::vector<std::string>(streams));
+  }
+  OperatorBuilder& Input(const std::string& stream) {
+    return Input(std::vector<std::string>{stream});
+  }
+
+  /// Adds an output port producing the named stream.
+  OperatorBuilder& Output(const std::string& stream);
+
+  /// Adds an input port importing streams exported by other applications
+  /// with all of the given properties.
+  OperatorBuilder& ImportByProperties(
+      const std::map<std::string, std::string>& properties);
+  /// Adds an input port importing streams exported under the given id.
+  OperatorBuilder& ImportById(const std::string& export_id);
+
+  /// Exports the most recently added output port under an id and/or
+  /// properties, making it consumable by other applications (§2.1).
+  OperatorBuilder& Export(const std::string& export_id,
+                          const std::map<std::string, std::string>&
+                              properties = {});
+
+  /// Sets an operator parameter.
+  OperatorBuilder& Param(const std::string& key, const std::string& value);
+  OperatorBuilder& Param(const std::string& key, int64_t value);
+  OperatorBuilder& Param(const std::string& key, int value) {
+    return Param(key, static_cast<int64_t>(value));
+  }
+  OperatorBuilder& Param(const std::string& key, double value);
+
+  /// Partition colocation tag: operators sharing a tag fuse into one PE.
+  OperatorBuilder& Colocate(const std::string& tag);
+  /// Host pool constraint (§4.3).
+  OperatorBuilder& Pool(const std::string& pool_name);
+  /// Host exlocation tag: operators sharing a tag land on distinct hosts.
+  OperatorBuilder& Exlocate(const std::string& tag);
+  /// Simulated per-tuple processing cost in seconds.
+  OperatorBuilder& CostPerTuple(double seconds);
+
+  /// Fully-qualified operator name (includes composite path).
+  const std::string& name() const;
+
+ private:
+  friend class AppBuilder;
+  OperatorBuilder(AppBuilder* builder, size_t index)
+      : builder_(builder), index_(index) {}
+  OperatorDef& def();
+
+  AppBuilder* builder_;
+  size_t index_;
+};
+
+/// Builds ApplicationModel instances programmatically — the orcastream
+/// analog of writing an SPL program. Composite operators are supported via
+/// BeginComposite/EndComposite scoping: operators added inside a composite
+/// scope get qualified names ("<instance>.<op>") and recorded containment,
+/// reproducing the logical hierarchy the paper's scope filters navigate.
+class AppBuilder {
+ public:
+  explicit AppBuilder(std::string app_name);
+
+  /// Adds an operator with the given local name and kind. The local name
+  /// is qualified with the current composite scope.
+  OperatorBuilder AddOperator(const std::string& local_name,
+                              const std::string& kind);
+
+  /// Opens a composite instance scope of the given type. Nested calls
+  /// create nested composites.
+  AppBuilder& BeginComposite(const std::string& type_name,
+                             const std::string& instance_name);
+  AppBuilder& EndComposite();
+
+  /// Declares a host pool (§4.3).
+  AppBuilder& AddHostPool(const std::string& name,
+                          const std::vector<std::string>& tags,
+                          bool exclusive = false);
+
+  /// A reusable composite template: a function that adds the composite's
+  /// operators through the builder. `Instantiate` wraps the call in a
+  /// Begin/EndComposite pair — this mirrors SPL composite reuse (Figure 2
+  /// instantiates `composite1` twice).
+  using CompositeTemplate = std::function<void(AppBuilder&)>;
+  AppBuilder& Instantiate(const std::string& type_name,
+                          const std::string& instance_name,
+                          const CompositeTemplate& body);
+
+  /// Qualifies a name declared in the current composite scope (operator
+  /// and output stream names).
+  std::string Qualify(const std::string& local_name) const;
+
+  /// Finalizes and validates the model. Input subscriptions are resolved
+  /// here: a stream name used inside a composite scope resolves to the
+  /// innermost enclosing scope that declares it, falling back to the
+  /// top-level name — so composite bodies can reference both their own
+  /// streams and streams passed in from outside.
+  common::Result<ApplicationModel> Build();
+
+ private:
+  friend class OperatorBuilder;
+
+  struct PendingInput {
+    size_t op_index;
+    size_t port_index;
+    std::vector<std::string> scope_stack;
+  };
+
+  ApplicationModel model_;
+  std::vector<std::string> scope_;  // composite instance name stack
+  std::vector<PendingInput> pending_inputs_;
+};
+
+}  // namespace orcastream::topology
+
+#endif  // ORCASTREAM_TOPOLOGY_APP_BUILDER_H_

@@ -1,0 +1,169 @@
+#include "topology/app_model.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace orcastream::topology {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+const OperatorDef* ApplicationModel::FindOperator(
+    const std::string& name) const {
+  for (const auto& op : operators_) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+OperatorDef* ApplicationModel::FindOperator(const std::string& name) {
+  for (auto& op : operators_) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+const CompositeInstanceDef* ApplicationModel::FindComposite(
+    const std::string& name) const {
+  for (const auto& comp : composites_) {
+    if (comp.name == name) return &comp;
+  }
+  return nullptr;
+}
+
+Result<ApplicationModel::StreamProducer> ApplicationModel::FindStreamProducer(
+    const std::string& stream) const {
+  for (const auto& op : operators_) {
+    for (size_t port = 0; port < op.outputs.size(); ++port) {
+      if (op.outputs[port].stream == stream) {
+        return StreamProducer{&op, port};
+      }
+    }
+  }
+  return Status::NotFound(
+      StrFormat("no producer for stream '%s' in application '%s'",
+                stream.c_str(), name_.c_str()));
+}
+
+std::vector<std::string> ApplicationModel::EnclosingComposites(
+    const std::string& operator_name) const {
+  std::vector<std::string> chain;
+  const OperatorDef* op = FindOperator(operator_name);
+  if (op == nullptr) return chain;
+  std::string current = op->composite;
+  while (!current.empty()) {
+    chain.push_back(current);
+    const CompositeInstanceDef* comp = FindComposite(current);
+    if (comp == nullptr) break;
+    current = comp->parent;
+  }
+  return chain;
+}
+
+Status ApplicationModel::Validate() const {
+  if (name_.empty()) {
+    return Status::InvalidArgument("application has no name");
+  }
+  std::unordered_set<std::string> op_names;
+  std::unordered_set<std::string> stream_names;
+  std::unordered_set<std::string> pool_names;
+  std::unordered_set<std::string> comp_names;
+
+  for (const auto& pool : host_pools_) {
+    if (!pool_names.insert(pool.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate host pool '%s'", pool.name.c_str()));
+    }
+  }
+  for (const auto& comp : composites_) {
+    if (!comp_names.insert(comp.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate composite instance '%s'", comp.name.c_str()));
+    }
+  }
+  for (const auto& comp : composites_) {
+    if (!comp.parent.empty() && comp_names.count(comp.parent) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("composite '%s' has unknown parent '%s'",
+                    comp.name.c_str(), comp.parent.c_str()));
+    }
+  }
+
+  for (const auto& op : operators_) {
+    if (!op_names.insert(op.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate operator '%s'", op.name.c_str()));
+    }
+    if (op.kind.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("operator '%s' has no kind", op.name.c_str()));
+    }
+    if (!op.composite.empty() && comp_names.count(op.composite) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("operator '%s' references unknown composite '%s'",
+                    op.name.c_str(), op.composite.c_str()));
+    }
+    if (!op.host_pool.empty() && pool_names.count(op.host_pool) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("operator '%s' references unknown host pool '%s'",
+                    op.name.c_str(), op.host_pool.c_str()));
+    }
+    for (size_t port = 0; port < op.outputs.size(); ++port) {
+      const auto& out = op.outputs[port];
+      if (out.stream.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("operator '%s' output port %zu has no stream name",
+                      op.name.c_str(), port));
+      }
+      if (!stream_names.insert(out.stream).second) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate stream '%s'", out.stream.c_str()));
+      }
+    }
+  }
+
+  for (const auto& op : operators_) {
+    for (size_t port = 0; port < op.inputs.size(); ++port) {
+      const auto& in = op.inputs[port];
+      if (in.streams.empty() && !in.imports()) {
+        return Status::InvalidArgument(
+            StrFormat("operator '%s' input port %zu subscribes to nothing",
+                      op.name.c_str(), port));
+      }
+      for (const auto& stream : in.streams) {
+        if (stream_names.count(stream) == 0) {
+          return Status::InvalidArgument(StrFormat(
+              "operator '%s' input port %zu subscribes to unknown "
+              "stream '%s'",
+              op.name.c_str(), port, stream.c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void ApplicationModel::MakeHostPoolsExclusive() {
+  if (host_pools_.empty()) {
+    HostPoolDef pool;
+    pool.name = name_ + "_exclusivePool";
+    pool.exclusive = true;
+    host_pools_.push_back(pool);
+    for (auto& op : operators_) {
+      if (op.host_pool.empty()) op.host_pool = pool.name;
+    }
+    return;
+  }
+  for (auto& pool : host_pools_) pool.exclusive = true;
+  // Operators without an explicit pool join the first pool so the whole
+  // application lands on exclusive hosts.
+  for (auto& op : operators_) {
+    if (op.host_pool.empty()) op.host_pool = host_pools_.front().name;
+  }
+}
+
+}  // namespace orcastream::topology

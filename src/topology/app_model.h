@@ -1,0 +1,155 @@
+#ifndef ORCASTREAM_TOPOLOGY_APP_MODEL_H_
+#define ORCASTREAM_TOPOLOGY_APP_MODEL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orcastream::topology {
+
+/// Logical application model — the orcastream analog of what the SPL
+/// compiler emits. An ApplicationModel carries the full logical view
+/// (operators, streams, composite containment) plus the compile-time
+/// physical directives (partition colocation, host pools/placement), and is
+/// what the ADL file serializes (§2.1).
+
+/// One input port of an operator: subscribes to one or more named streams,
+/// and may additionally import streams from other applications.
+struct InputPortDef {
+  /// Streams within this application feeding the port.
+  std::vector<std::string> streams;
+  /// Import-by-properties: the port receives exported streams of other
+  /// applications whose export properties contain all of these entries.
+  std::map<std::string, std::string> import_properties;
+  /// Import-by-id: the port receives streams exported under this id.
+  std::string import_id;
+
+  bool imports() const {
+    return !import_properties.empty() || !import_id.empty();
+  }
+};
+
+/// One output port of an operator: produces exactly one named stream,
+/// optionally exported to other applications.
+struct OutputPortDef {
+  std::string stream;
+  /// If true, the stream is visible to importers in other applications.
+  bool exported = false;
+  /// Export id (optional; importers can match on it).
+  std::string export_id;
+  /// Export properties (optional; importers match on subsets).
+  std::map<std::string, std::string> export_properties;
+};
+
+/// A logical operator instance. Names are fully qualified with the
+/// composite-instance path, e.g. "composite1_a.op3" (the paper's op3').
+struct OperatorDef {
+  std::string name;
+  /// Operator type (the SPL operator kind), e.g. "Split", "Merge".
+  std::string kind;
+  /// Fully-qualified name of the directly enclosing composite instance;
+  /// empty for top-level operators.
+  std::string composite;
+  std::vector<InputPortDef> inputs;
+  std::vector<OutputPortDef> outputs;
+  /// Operator configuration parameters (SPL operator parameters).
+  std::map<std::string, std::string> params;
+  /// Operators sharing a non-empty colocation tag are fused into the same
+  /// PE by the partitioner (§2.1 partition constraints).
+  std::string partition_colocation;
+  /// Name of the host pool this operator's PE must be placed on; empty
+  /// means any host.
+  std::string host_pool;
+  /// Operators sharing a non-empty exlocation tag must land on distinct
+  /// hosts (used e.g. by replica policies).
+  std::string host_exlocation;
+  /// Simulated per-tuple processing cost in seconds (0 = instantaneous).
+  /// Lets workloads create realistic queue buildup for queueSize metrics.
+  double cost_per_tuple = 0;
+};
+
+/// A composite operator instance: a logically related sub-graph (§2.1).
+/// Instances form a containment tree via `parent`.
+struct CompositeInstanceDef {
+  /// Fully-qualified instance name, e.g. "comp1_a" or "comp1_a.inner_b".
+  std::string name;
+  /// Composite type name, e.g. "composite1".
+  std::string kind;
+  /// Fully-qualified parent instance name; empty for top-level instances.
+  std::string parent;
+};
+
+/// A named set of hosts used for placement (§4.3). Pools list host tags;
+/// the placement solver resolves tags to concrete hosts at submit time.
+struct HostPoolDef {
+  std::string name;
+  /// Hosts are eligible if they carry any of these tags. Empty = all hosts.
+  std::vector<std::string> tags;
+  /// If true, hosts chosen for this pool must not run PEs of any other
+  /// application (the ORCA SetExclusiveHostPools actuation flips this).
+  bool exclusive = false;
+};
+
+/// The complete logical + compile-time-physical description of one
+/// application.
+class ApplicationModel {
+ public:
+  ApplicationModel() = default;
+  explicit ApplicationModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::vector<OperatorDef>& operators() { return operators_; }
+  const std::vector<OperatorDef>& operators() const { return operators_; }
+
+  std::vector<CompositeInstanceDef>& composites() { return composites_; }
+  const std::vector<CompositeInstanceDef>& composites() const {
+    return composites_;
+  }
+
+  std::vector<HostPoolDef>& host_pools() { return host_pools_; }
+  const std::vector<HostPoolDef>& host_pools() const { return host_pools_; }
+
+  /// Finds an operator by fully-qualified name; nullptr if absent.
+  const OperatorDef* FindOperator(const std::string& name) const;
+  OperatorDef* FindOperator(const std::string& name);
+
+  /// Finds a composite instance by fully-qualified name; nullptr if absent.
+  const CompositeInstanceDef* FindComposite(const std::string& name) const;
+
+  /// Finds the operator + output port producing the named stream.
+  struct StreamProducer {
+    const OperatorDef* op;
+    size_t port;
+  };
+  common::Result<StreamProducer> FindStreamProducer(
+      const std::string& stream) const;
+
+  /// All composite instances that (transitively) contain the operator:
+  /// innermost first. Used by scope matching for composite-type filters.
+  std::vector<std::string> EnclosingComposites(
+      const std::string& operator_name) const;
+
+  /// Validates structural invariants: unique operator/stream/composite
+  /// names, every subscribed stream has a producer, composite parents
+  /// exist, host pools referenced by operators exist.
+  common::Status Validate() const;
+
+  /// Marks all host pools exclusive (the §4.3 actuation). Applications
+  /// with no explicit pool get a synthetic exclusive default pool.
+  void MakeHostPoolsExclusive();
+
+ private:
+  std::string name_;
+  std::vector<OperatorDef> operators_;
+  std::vector<CompositeInstanceDef> composites_;
+  std::vector<HostPoolDef> host_pools_;
+};
+
+}  // namespace orcastream::topology
+
+#endif  // ORCASTREAM_TOPOLOGY_APP_MODEL_H_

@@ -1,0 +1,145 @@
+#include "topology/tuple.h"
+
+#include "common/strings.h"
+
+namespace orcastream::topology {
+
+using common::Result;
+using common::Status;
+using common::StrFormat;
+
+std::string ValueToString(const Value& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return StrFormat("%lld", static_cast<long long>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StrFormat("%g", *d);
+  }
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return StrFormat("\"%s\"", s->c_str());
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return *b ? "true" : "false";
+  }
+  return "?";
+}
+
+Tuple& Tuple::Set(const std::string& name, Value value) {
+  for (auto& [k, v] : fields_) {
+    if (k == name) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(name, std::move(value));
+  return *this;
+}
+
+const Value* Tuple::Find(const std::string& name) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool Tuple::Has(const std::string& name) const { return Find(name) != nullptr; }
+
+Result<int64_t> Tuple::GetInt(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("field '%s' not found", name.c_str()));
+  }
+  if (const auto* i = std::get_if<int64_t>(v)) return *i;
+  return Status::InvalidArgument(
+      StrFormat("field '%s' is not an int", name.c_str()));
+}
+
+Result<double> Tuple::GetDouble(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("field '%s' not found", name.c_str()));
+  }
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  return Status::InvalidArgument(
+      StrFormat("field '%s' is not a double", name.c_str()));
+}
+
+Result<std::string> Tuple::GetString(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("field '%s' not found", name.c_str()));
+  }
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return Status::InvalidArgument(
+      StrFormat("field '%s' is not a string", name.c_str()));
+}
+
+Result<bool> Tuple::GetBool(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("field '%s' not found", name.c_str()));
+  }
+  if (const auto* b = std::get_if<bool>(v)) return *b;
+  return Status::InvalidArgument(
+      StrFormat("field '%s' is not a bool", name.c_str()));
+}
+
+int64_t Tuple::IntOr(const std::string& name, int64_t fallback) const {
+  auto r = GetInt(name);
+  return r.ok() ? r.value() : fallback;
+}
+
+double Tuple::DoubleOr(const std::string& name, double fallback) const {
+  auto r = GetDouble(name);
+  return r.ok() ? r.value() : fallback;
+}
+
+std::string Tuple::StringOr(const std::string& name,
+                            const std::string& fallback) const {
+  auto r = GetString(name);
+  return r.ok() ? r.value() : fallback;
+}
+
+bool Tuple::BoolOr(const std::string& name, bool fallback) const {
+  auto r = GetBool(name);
+  return r.ok() ? r.value() : fallback;
+}
+
+Result<double> Tuple::GetNumeric(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("field '%s' not found", name.c_str()));
+  }
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(v)) return static_cast<double>(*i);
+  if (const auto* b = std::get_if<bool>(v)) return *b ? 1.0 : 0.0;
+  return Status::InvalidArgument(
+      StrFormat("field '%s' is not numeric", name.c_str()));
+}
+
+size_t Tuple::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [k, v] : fields_) {
+    bytes += k.size();
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      bytes += s->size();
+    } else {
+      bytes += 8;
+    }
+  }
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].first;
+    out += "=";
+    out += ValueToString(fields_[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace orcastream::topology

@@ -1,0 +1,104 @@
+#ifndef ORCASTREAM_TOPOLOGY_TUPLE_H_
+#define ORCASTREAM_TOPOLOGY_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orcastream::topology {
+
+/// A single tuple attribute value. SPL tuples are strongly typed records;
+/// orcastream uses a small dynamic value union which is sufficient for the
+/// paper's applications (tweets, stock ticks, social profiles).
+using Value = std::variant<int64_t, double, std::string, bool>;
+
+/// Renders a Value for debugging ("42", "3.14", "\"text\"", "true").
+std::string ValueToString(const Value& value);
+
+/// A stream data item: an ordered list of named attributes. Field order is
+/// preserved (insertion order) so serialized tuples are deterministic.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Sets (or overwrites) a field. The exact-type overloads exist so that
+  /// standard conversions (double→int, bool→int, const char*→bool) cannot
+  /// outrank the Value user-conversion and silently change the stored type.
+  Tuple& Set(const std::string& name, Value value);
+  Tuple& Set(const std::string& name, const char* value) {
+    return Set(name, Value(std::string(value)));
+  }
+  Tuple& Set(const std::string& name, const std::string& value) {
+    return Set(name, Value(value));
+  }
+  Tuple& Set(const std::string& name, int value) {
+    return Set(name, Value(static_cast<int64_t>(value)));
+  }
+  Tuple& Set(const std::string& name, int64_t value) {
+    return Set(name, Value(value));
+  }
+  Tuple& Set(const std::string& name, double value) {
+    return Set(name, Value(value));
+  }
+  Tuple& Set(const std::string& name, bool value) {
+    return Set(name, Value(value));
+  }
+
+  bool Has(const std::string& name) const;
+
+  /// Typed accessors; return an error Status if the field is missing or has
+  /// a different type.
+  common::Result<int64_t> GetInt(const std::string& name) const;
+  common::Result<double> GetDouble(const std::string& name) const;
+  common::Result<std::string> GetString(const std::string& name) const;
+  common::Result<bool> GetBool(const std::string& name) const;
+
+  /// Convenience accessors with fallback values.
+  int64_t IntOr(const std::string& name, int64_t fallback) const;
+  double DoubleOr(const std::string& name, double fallback) const;
+  std::string StringOr(const std::string& name,
+                       const std::string& fallback) const;
+  bool BoolOr(const std::string& name, bool fallback) const;
+
+  /// Numeric accessor that accepts either int64 or double fields.
+  common::Result<double> GetNumeric(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+  size_t size() const { return fields_.size(); }
+
+  /// Approximate encoded size in bytes; feeds the nTupleBytesProcessed
+  /// built-in metric.
+  size_t ByteSize() const;
+
+  /// "{a=1, b=\"x\"}" rendering for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return fields_ == other.fields_; }
+
+ private:
+  const Value* Find(const std::string& name) const;
+
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Stream punctuations (§5.3): window markers and the final punctuation
+/// that signals an operator will produce no more tuples.
+enum class PunctKind {
+  kWindow,
+  kFinal,
+};
+
+/// A stream item is either a tuple or a punctuation.
+struct Punctuation {
+  PunctKind kind;
+};
+
+}  // namespace orcastream::topology
+
+#endif  // ORCASTREAM_TOPOLOGY_TUPLE_H_

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "topology/adl.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::topology {
+namespace {
+
+ApplicationModel BuildRichModel() {
+  AppBuilder builder("RichApp");
+  builder.AddHostPool("fast", {"ssd", "10g"}, true);
+  builder.BeginComposite("compType", "inst");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 0.5)
+      .Colocate("grp")
+      .Pool("fast")
+      .CostPerTuple(0.002);
+  builder.EndComposite();
+  builder.AddOperator("worker", "Filter")
+      .Input("inst.raw")
+      .Output("filtered")
+      .Export("filteredId", {{"topic", "sentiment"}})
+      .Exlocate("xl");
+  builder.AddOperator("importer", "Merge")
+      .ImportByProperties({{"topic", "other"}})
+      .Output("merged");
+  builder.AddOperator("byId", "Merge").ImportById("someId").Output("m2");
+  builder.AddOperator("sink", "NullSink").Input({"filtered", "merged", "m2"});
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+TEST(AdlTest, RoundTripPreservesEverything) {
+  ApplicationModel original = BuildRichModel();
+  std::string xml = WriteAdl(original);
+  auto parsed = ParseAdl(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ApplicationModel& model = *parsed;
+
+  EXPECT_EQ(model.name(), "RichApp");
+  ASSERT_EQ(model.host_pools().size(), 1u);
+  EXPECT_EQ(model.host_pools()[0].name, "fast");
+  EXPECT_TRUE(model.host_pools()[0].exclusive);
+  EXPECT_EQ(model.host_pools()[0].tags,
+            (std::vector<std::string>{"ssd", "10g"}));
+
+  ASSERT_EQ(model.composites().size(), 1u);
+  EXPECT_EQ(model.composites()[0].kind, "compType");
+
+  const OperatorDef* src = model.FindOperator("inst.src");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->kind, "Beacon");
+  EXPECT_EQ(src->composite, "inst");
+  EXPECT_EQ(src->params.at("period"), "0.5");
+  EXPECT_EQ(src->partition_colocation, "grp");
+  EXPECT_EQ(src->host_pool, "fast");
+  EXPECT_EQ(src->cost_per_tuple, 0.002);
+
+  const OperatorDef* worker = model.FindOperator("worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->host_exlocation, "xl");
+  ASSERT_EQ(worker->outputs.size(), 1u);
+  EXPECT_TRUE(worker->outputs[0].exported);
+  EXPECT_EQ(worker->outputs[0].export_id, "filteredId");
+  EXPECT_EQ(worker->outputs[0].export_properties.at("topic"), "sentiment");
+
+  const OperatorDef* importer = model.FindOperator("importer");
+  ASSERT_NE(importer, nullptr);
+  ASSERT_EQ(importer->inputs.size(), 1u);
+  EXPECT_EQ(importer->inputs[0].import_properties.at("topic"), "other");
+
+  const OperatorDef* by_id = model.FindOperator("byId");
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(by_id->inputs[0].import_id, "someId");
+
+  const OperatorDef* sink = model.FindOperator("sink");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->inputs[0].streams,
+            (std::vector<std::string>{"filtered", "merged", "m2"}));
+
+  // Second round-trip must be byte-identical (canonical form).
+  EXPECT_EQ(WriteAdl(model), xml);
+}
+
+TEST(AdlTest, RejectsWrongRoot) {
+  EXPECT_TRUE(ParseAdl("<notAnApplication name=\"x\"/>")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(AdlTest, RejectsInvalidModel) {
+  // Well-formed XML, but the subscription references an unknown stream, so
+  // model validation must fail.
+  std::string xml =
+      "<application name=\"Bad\"><operators>"
+      "<operatorInstance name=\"snk\" kind=\"NullSink\">"
+      "<inputPort><subscription stream=\"ghost\"/></inputPort>"
+      "</operatorInstance>"
+      "</operators></application>";
+  EXPECT_TRUE(ParseAdl(xml).status().IsInvalidArgument());
+}
+
+TEST(AdlTest, RejectsMalformedXml) {
+  EXPECT_TRUE(ParseAdl("<application name=\"x\">").status().IsParseError());
+}
+
+TEST(AdlTest, MinimalApplication) {
+  AppBuilder builder("Mini");
+  builder.AddOperator("src", "Beacon").Output("s");
+  builder.AddOperator("sink", "NullSink").Input("s");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto parsed = ParseAdl(WriteAdl(*model));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->operators().size(), 2u);
+}
+
+}  // namespace
+}  // namespace orcastream::topology

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+#include <functional>
+
+#include "baseline/embedded_adaptation.h"
+#include "baseline/script_controller.h"
+#include "baseline/sql_scope_eval.h"
+#include "common/rng.h"
+#include "orca/scope_matcher.h"
+#include "tests/test_util.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::baseline {
+namespace {
+
+using apps::CauseModel;
+using apps::HadoopSim;
+using apps::SentimentApp;
+using apps::TweetWorkload;
+using common::Rng;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+
+// --- Embedded adaptation (Figure 1 baseline) --------------------------------
+
+class EmbeddedAdaptationTest : public ::testing::Test {
+ protected:
+  EmbeddedAdaptationTest() : cluster_(4) {
+    TweetWorkload workload;
+    workload.period = 0.05;
+    workload.shift_time = 150;
+    CauseModel initial;
+    initial.known_causes = {"flash", "screen"};
+    HadoopSim::Config hadoop_config;
+    hadoop_config.job_duration = 60;
+    hadoop_ = std::make_unique<HadoopSim>(&cluster_.sim(), hadoop_config);
+    handles_ = EmbeddedAdaptation::Register(
+        &cluster_.factory(), "EmbeddedSentiment", workload, initial,
+        hadoop_.get(), /*threshold=*/1.0, /*retrigger_guard=*/120,
+        /*check_period=*/15);
+  }
+
+  ClusterHarness cluster_;
+  std::unique_ptr<HadoopSim> hadoop_;
+  EmbeddedAdaptation::Handles handles_;
+};
+
+TEST_F(EmbeddedAdaptationTest, AdaptsLikeTheOrchestratorVersion) {
+  auto model = EmbeddedAdaptation::Build("EmbeddedSentiment");
+  ASSERT_TRUE(model.ok()) << model.status();
+  // The graph carries the two extra control operators (9 total).
+  EXPECT_EQ(model->operators().size(), 9u);
+  ASSERT_TRUE(cluster_.sam().SubmitJob(*model).ok());
+
+  cluster_.sim().RunUntil(140);
+  EXPECT_TRUE(handles_.triggers->empty());
+  cluster_.sim().RunUntil(250);
+  ASSERT_EQ(handles_.triggers->size(), 1u);
+  EXPECT_GT((*handles_.triggers)[0], 150);
+  cluster_.sim().RunUntil(400);
+  EXPECT_EQ(hadoop_->jobs_completed(), 1);
+  EXPECT_TRUE(handles_.base.model->Get()->Knows("antenna"));
+}
+
+TEST_F(EmbeddedAdaptationTest, ControlWorkRidesTheDataPath) {
+  auto model = EmbeddedAdaptation::Build("EmbeddedSentiment");
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster_.sam().SubmitJob(*model).ok());
+  cluster_.sim().RunUntil(100);
+  // Every correlated (negative product) tuple is also processed by the
+  // embedded detector: pure overhead the orchestrator design removes.
+  EXPECT_GT(*handles_.control_tuples, 400);
+}
+
+// --- External script baseline ------------------------------------------------
+
+TEST(ScriptControllerTest, TriggersButWithCoarserLatency) {
+  ClusterHarness cluster(4);
+  TweetWorkload workload;
+  workload.period = 0.05;
+  workload.shift_time = 150;
+  CauseModel initial;
+  initial.known_causes = {"flash", "screen"};
+  auto handles = SentimentApp::Register(&cluster.factory(),
+                                        "SentimentAnalysis", workload,
+                                        initial);
+  HadoopSim hadoop(&cluster.sim(), HadoopSim::Config{60, 20});
+  auto model = SentimentApp::Build("SentimentAnalysis");
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+
+  ScriptController::Config config;
+  config.poll_period = 60;  // cron-style
+  config.threshold = 1.0;
+  config.retrigger_guard = 120;
+  ScriptController controller(&cluster.sim(), &cluster.srm(), &hadoop,
+                              handles, config);
+  controller.Start(*job);
+
+  cluster.sim().RunUntil(500);
+  ASSERT_GE(controller.trigger_times().size(), 1u);
+  // The script reacted within one poll period of the shift, not faster.
+  EXPECT_GT(controller.trigger_times()[0], 150);
+  EXPECT_LE(controller.trigger_times()[0], 150 + 2 * config.poll_period);
+  EXPECT_GE(controller.polls(), 7);
+  // No scoping: the script scanned every metric record of the job on
+  // every poll.
+  EXPECT_GT(controller.records_scanned(),
+            controller.polls() * 10);
+}
+
+// --- SQL scope evaluation: property test against the matcher ------------------
+
+/// Builds a random application with nested composites and loads it into a
+/// GraphView job record.
+orca::GraphView::JobRecord RandomJob(uint64_t seed) {
+  Rng rng(seed);
+  AppBuilder builder("RandomApp");
+  static const char* kKinds[] = {"Split", "Merge", "Filter", "Beacon",
+                                 "Aggregate"};
+  static const char* kCompKinds[] = {"compA", "compB", "compC"};
+
+  int op_counter = 0;
+  std::vector<std::string> streams;
+  // Root-level source so every graph is valid.
+  builder.AddOperator("src", "Beacon").Output("s0");
+  streams.push_back("s0");
+
+  std::function<void(int)> fill = [&](int depth) {
+    int members = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < members; ++i) {
+      std::string name = "op" + std::to_string(op_counter++);
+      const char* kind = kKinds[rng.UniformInt(0, 4)];
+      std::string input = streams[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(streams.size()) - 1))];
+      std::string output = "s" + std::to_string(op_counter);
+      auto op = builder.AddOperator(name, kind);
+      op.Input({input});
+      op.Output(output);
+      streams.push_back(builder.Qualify(output));
+    }
+    if (depth < 3 && rng.Bernoulli(0.7)) {
+      std::string inst = "c" + std::to_string(op_counter++);
+      builder.BeginComposite(kCompKinds[rng.UniformInt(0, 2)], inst);
+      fill(depth + 1);
+      builder.EndComposite();
+    }
+  };
+  fill(0);
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+
+  orca::GraphView::JobRecord record;
+  record.id = common::JobId(1);
+  record.app_name = "RandomApp";
+  record.model = model.ValueOr(ApplicationModel("invalid"));
+  return record;
+}
+
+/// Random scope with random filter combinations.
+orca::OperatorMetricScope RandomScope(Rng* rng) {
+  orca::OperatorMetricScope scope("s");
+  if (rng->Bernoulli(0.3)) scope.AddApplicationFilter("RandomApp");
+  if (rng->Bernoulli(0.2)) scope.AddApplicationFilter("OtherApp");
+  if (rng->Bernoulli(0.5)) {
+    static const char* kCompKinds[] = {"compA", "compB", "compC"};
+    scope.AddCompositeTypeFilter(kCompKinds[rng->UniformInt(0, 2)]);
+  }
+  if (rng->Bernoulli(0.4)) {
+    static const char* kKinds[] = {"Split", "Merge", "Filter"};
+    scope.AddOperatorTypeFilter(std::string(kKinds[rng->UniformInt(0, 2)]));
+  }
+  if (rng->Bernoulli(0.3)) scope.AddOperatorMetric("queueSize");
+  if (rng->Bernoulli(0.2)) scope.AddOperatorMetric("nTuplesProcessed");
+  return scope;
+}
+
+class SqlEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlEquivalenceTest, MatcherAgreesWithRecursiveSql) {
+  uint64_t seed = GetParam();
+  orca::GraphView::JobRecord job = RandomJob(seed);
+  orca::GraphView view;
+  runtime::JobInfo info;
+  info.id = job.id;
+  info.app_name = job.app_name;
+  info.model = job.model;
+  view.AddJob(info);
+  SqlScopeEval sql(job);
+
+  Rng rng(seed * 7919 + 13);
+  static const char* kMetrics[] = {"queueSize", "nTuplesProcessed",
+                                   "customX"};
+  for (int trial = 0; trial < 50; ++trial) {
+    orca::OperatorMetricScope scope = RandomScope(&rng);
+    for (const auto& op : job.model.operators()) {
+      orca::OperatorMetricContext context;
+      context.job = job.id;
+      context.application = "RandomApp";
+      context.instance_name = op.name;
+      context.operator_kind = op.kind;
+      context.metric = kMetrics[rng.UniformInt(0, 2)];
+      context.port = -1;
+      bool matcher = orca::MatchOperatorMetric(scope, context, view);
+      bool sql_result = sql.Matches(scope, context);
+      ASSERT_EQ(matcher, sql_result)
+          << "divergence on operator " << op.name << " (composite '"
+          << op.composite << "', kind " << op.kind << ", metric "
+          << context.metric << ") seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SqlEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(SqlScopeEvalTest, ClosureMatchesNestedContainment) {
+  AppBuilder builder("App");
+  builder.BeginComposite("outer", "o");
+  builder.BeginComposite("middle", "m");
+  builder.BeginComposite("inner", "i");
+  builder.AddOperator("src", "Beacon").Output("s");
+  builder.EndComposite();
+  builder.EndComposite();
+  builder.EndComposite();
+  builder.AddOperator("snk", "NullSink").Input("o.m.i.s");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  orca::GraphView::JobRecord job;
+  job.id = common::JobId(1);
+  job.app_name = "App";
+  job.model = *model;
+  SqlScopeEval sql(job);
+  // Pairs: (m,o), (i,m), (i,o) — wait, (m,o) seed + derived (i,o).
+  EXPECT_EQ(sql.closure_size(), 3u);
+
+  orca::OperatorMetricScope scope("s");
+  scope.AddCompositeTypeFilter("outer");
+  orca::OperatorMetricContext context;
+  context.application = "App";
+  context.instance_name = "o.m.i.src";
+  context.operator_kind = "Beacon";
+  context.metric = "m";
+  context.port = -1;
+  EXPECT_TRUE(sql.Matches(scope, context));
+}
+
+}  // namespace
+}  // namespace orcastream::baseline

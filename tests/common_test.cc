@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace orcastream::common {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+// --- Result ------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_EQ(result.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Doubled(Result<int> input) {
+  ORCA_ASSIGN_OR_RETURN(int value, input);
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto err = Doubled(Status::NotFound("no input"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+// --- Strings -------------------------------------------------------------------
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"one"}, ","), "one");
+}
+
+TEST(StringsTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("composite1.op3", "composite1"));
+  EXPECT_FALSE(StartsWith("op3", "composite1"));
+  EXPECT_TRUE(EndsWith("stream_out", "_out"));
+  EXPECT_FALSE(EndsWith("x", "long_suffix"));
+}
+
+// --- Ids -----------------------------------------------------------------------
+
+TEST(IdsTest, InvalidByDefault) {
+  JobId job;
+  EXPECT_FALSE(job.valid());
+  EXPECT_EQ(job, JobId::Invalid());
+}
+
+TEST(IdsTest, DistinctTypesAndOrdering) {
+  JobId a(1), b(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(JobId(1), a);
+  // Different tag types with equal values are different C++ types; this
+  // must not compile if uncommented:
+  // EXPECT_EQ(JobId(1), PeId(1));
+  PeId pe(1);
+  EXPECT_TRUE(pe.valid());
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_map<JobId, int> map;
+  map[JobId(3)] = 7;
+  EXPECT_EQ(map.at(JobId(3)), 7);
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+    double d = rng.UniformDouble(0.0, 1.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+  // Degenerate all-zero weights fall back to the last index.
+  EXPECT_EQ(rng.WeightedIndex({0.0, 0.0}), 1u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The child stream must not simply mirror the parent.
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (parent.UniformInt(0, 1 << 30) != child.UniformInt(0, 1 << 30)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// --- Logging ---------------------------------------------------------------------
+
+TEST(LoggingTest, RespectsLevelAndSink) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  auto old_sink = Logger::Global().SwapSink(
+      [&captured](LogLevel level, const std::string& message) {
+        captured.emplace_back(level, message);
+      });
+  LogLevel old_level = Logger::Global().level();
+  Logger::Global().set_level(LogLevel::kInfo);
+
+  ORCA_LOG(kDebug) << "hidden";
+  ORCA_LOG(kInfo) << "shown " << 42;
+  ORCA_LOG(kError) << "error";
+
+  Logger::Global().set_level(old_level);
+  Logger::Global().SwapSink(old_sink);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "shown 42");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace orcastream::common

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "orca/orca_service.h"
+#include "orca/rules.h"
+#include "tests/test_util.h"
+#include "topology/app_builder.h"
+
+namespace orcastream {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+
+ApplicationModel TinyApp(const std::string& name) {
+  AppBuilder builder(name);
+  builder.AddOperator("src", "Beacon").Output("s").Param("period", 1.0);
+  builder.AddOperator("snk", "NullSink").Input("s");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+// --- SAM edge cases ---------------------------------------------------------
+
+TEST(SamEdgeTest, OperationsOnUnknownIdsFailCleanly) {
+  ClusterHarness cluster(2);
+  EXPECT_TRUE(cluster.sam().CancelJob(common::JobId(99)).IsNotFound());
+  EXPECT_TRUE(cluster.sam().RestartPe(common::PeId(99)).IsNotFound());
+  EXPECT_TRUE(cluster.sam().StopPe(common::PeId(99)).IsNotFound());
+  EXPECT_EQ(cluster.sam().FindJob(common::JobId(99)), nullptr);
+  EXPECT_EQ(cluster.sam().FindPe(common::PeId(99)), nullptr);
+  EXPECT_TRUE(cluster.sam().FindJobByName("ghost").status().IsNotFound());
+  EXPECT_EQ(cluster.sam().ResolvePe(common::JobId(99), "op"), nullptr);
+}
+
+TEST(SamEdgeTest, SubmitFailsWhenClusterHasNoHosts) {
+  sim::Simulation sim;
+  runtime::Srm srm(&sim);  // zero hosts
+  runtime::OperatorFactory factory;
+  ops::RegisterStandardOperators(&factory);
+  runtime::Sam sam(&sim, &srm, &factory);
+  auto job = sam.SubmitJob(TinyApp("App"));
+  EXPECT_TRUE(job.status().IsFailedPrecondition());
+}
+
+TEST(SamEdgeTest, CancelledJobsFreeExclusiveHostsForNewJobs) {
+  // One host; an exclusive job occupies it; after cancellation a second
+  // exclusive job must be placeable.
+  ClusterHarness cluster(1);
+  AppBuilder builder("Excl");
+  builder.AddHostPool("own", {}, true);
+  builder.AddOperator("src", "Beacon").Output("s").Pool("own").Colocate("c");
+  builder.AddOperator("snk", "NullSink").Input("s").Pool("own").Colocate("c");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto first = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(first.ok());
+  // Second copy cannot be placed while the first holds the host.
+  EXPECT_FALSE(cluster.sam().SubmitJob(*model).ok());
+  ASSERT_TRUE(cluster.sam().CancelJob(*first).ok());
+  EXPECT_TRUE(cluster.sam().SubmitJob(*model).ok());
+}
+
+TEST(SamEdgeTest, ResolvePeReturnsNullForCancelledJob) {
+  ClusterHarness cluster(2);
+  auto job = cluster.sam().SubmitJob(TinyApp("App"));
+  ASSERT_TRUE(job.ok());
+  EXPECT_NE(cluster.sam().ResolvePe(*job, "src"), nullptr);
+  ASSERT_TRUE(cluster.sam().CancelJob(*job).ok());
+  EXPECT_EQ(cluster.sam().ResolvePe(*job, "src"), nullptr);
+}
+
+// --- ORCA service edge cases ---------------------------------------------------
+
+TEST(OrcaEdgeTest, ManagedPeBecomesForeignAfterAppCancellation) {
+  ClusterHarness cluster(2);
+  orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  orca::AppConfig config;
+  config.id = "app";
+  config.application_name = "App";
+  ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
+  auto rules = std::make_unique<orca::RuleOrchestrator>();
+  rules->OnStart(
+      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+  ASSERT_TRUE(service.Load(std::move(rules)).ok());
+  cluster.sim().RunUntil(1);
+
+  auto job = service.RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  auto pe = cluster.sam().FindJob(job.value())->PeOfOperator("src");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(service.CancelApplication("app").ok());
+  // The PE no longer belongs to a managed job: actuation refused.
+  EXPECT_TRUE(service.RestartPe(pe.value()).IsPermissionDenied());
+}
+
+TEST(OrcaEdgeTest, ResubmissionAfterCancellationGetsFreshJob) {
+  ClusterHarness cluster(2);
+  orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  orca::AppConfig config;
+  config.id = "app";
+  config.application_name = "App";
+  ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
+  auto rules = std::make_unique<orca::RuleOrchestrator>();
+  rules->OnStart(
+      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+  ASSERT_TRUE(service.Load(std::move(rules)).ok());
+  cluster.sim().RunUntil(1);
+  auto first = service.RunningJob("app");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(service.CancelApplication("app").ok());
+  ASSERT_TRUE(service.SubmitApplication("app").ok());
+  cluster.sim().RunUntil(2);
+  auto second = service.RunningJob("app");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value(), second.value());
+  EXPECT_TRUE(service.graph().HasJob(second.value()));
+  EXPECT_FALSE(service.graph().HasJob(first.value()));
+}
+
+TEST(OrcaEdgeTest, DoubleSubmitIsIdempotentWhileRunning) {
+  ClusterHarness cluster(2);
+  orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  orca::AppConfig config;
+  config.id = "app";
+  config.application_name = "App";
+  ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
+  auto rules = std::make_unique<orca::RuleOrchestrator>();
+  rules->OnStart(
+      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+  ASSERT_TRUE(service.Load(std::move(rules)).ok());
+  cluster.sim().RunUntil(1);
+  auto job = service.RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(service.SubmitApplication("app").ok());  // already running
+  cluster.sim().RunUntil(2);
+  EXPECT_EQ(service.RunningJob("app").value(), job.value());
+  // Exactly one job with this name exists.
+  int running = 0;
+  for (const auto* info : cluster.sam().jobs()) {
+    if (info->running && info->app_name == "App") ++running;
+  }
+  EXPECT_EQ(running, 1);
+}
+
+TEST(OrcaEdgeTest, TimersSurviveAcrossManyFirings) {
+  ClusterHarness cluster(2);
+  orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  auto rules = std::make_unique<orca::RuleOrchestrator>();
+  int fired = 0;
+  rules->OnStart([](orca::OrcaService* orca) {
+    orca->CreateTimer(1.0, "tick", /*recurring=*/true, 1.0);
+  });
+  rules->WhenTimer("tick", [&fired](orca::OrcaService*,
+                                    const orca::TimerContext&) { ++fired; });
+  ASSERT_TRUE(service.Load(std::move(rules)).ok());
+  cluster.sim().RunUntil(100.5);
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(OrcaEdgeTest, CancelUnknownTimerIsNoop) {
+  ClusterHarness cluster(2);
+  orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  service.CancelTimer(common::TimerId(123));  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace orcastream

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace orcastream::runtime {
+namespace {
+
+using common::HostId;
+using common::JobId;
+using common::PeId;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+/// Stateful counter operator: accumulates a count in operator memory so a
+/// crash visibly loses state.
+class StatefulCounter : public runtime::Operator {
+ public:
+  void ProcessTuple(size_t, const Tuple& tuple) override {
+    ++count_;
+    Tuple out = tuple;
+    out.Set("count", count_);
+    ctx()->Submit(0, out);
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+ApplicationModel CounterApp() {
+  AppBuilder builder("CounterApp");
+  builder.AddOperator("src", "Beacon").Output("raw").Param("period", 1.0);
+  builder.AddOperator("counter", "Counter").Input("raw").Output("counted");
+  builder.AddOperator("snk", "LogSink").Input("counted");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() {
+    log_ = cluster_.AddSinkKind("LogSink");
+    cluster_.factory().RegisterOrReplace(
+        "Counter", [] { return std::make_unique<StatefulCounter>(); });
+  }
+  ClusterHarness cluster_;
+  std::vector<Tuple>* log_;
+};
+
+TEST_F(FailureTest, CrashStopsOutputAndDropsTuples) {
+  auto job = cluster_.sam().SubmitJob(CounterApp());
+  ASSERT_TRUE(job.ok());
+  cluster_.sim().RunUntil(5.5);
+  size_t before = log_->size();
+  EXPECT_GE(before, 4u);
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(cluster_.sam().KillPe(pe.value(), "segfault").ok());
+  cluster_.sim().RunUntil(10.5);
+  // Tuples sent to the crashed PE are lost; no output.
+  EXPECT_EQ(log_->size(), before);
+  EXPECT_EQ(cluster_.sam().FindPe(pe.value())->state(), Pe::State::kCrashed);
+}
+
+TEST_F(FailureTest, RestartLosesOperatorState) {
+  auto job = cluster_.sam().SubmitJob(CounterApp());
+  ASSERT_TRUE(job.ok());
+  cluster_.sim().RunUntil(5.5);
+  ASSERT_GE(log_->size(), 4u);
+  int64_t last_count = log_->back().GetInt("count").value();
+  EXPECT_GE(last_count, 4);
+
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(cluster_.sam().KillPe(pe.value(), "segfault").ok());
+  ASSERT_TRUE(cluster_.sam().RestartPe(pe.value()).ok());
+  size_t before = log_->size();
+  cluster_.sim().RunUntil(8.5);
+  ASSERT_GT(log_->size(), before);
+  // The counter restarted from zero: state was lost (§5.2's motivation
+  // for replica failover).
+  EXPECT_LT(log_->back().GetInt("count").value(), last_count);
+}
+
+TEST_F(FailureTest, CrashNotificationReachesRegisteredOrca) {
+  std::vector<PeFailureNotice> notices;
+  common::OrcaId orca = cluster_.sam().RegisterOrca(
+      "test-orca",
+      [&notices](const PeFailureNotice& notice) { notices.push_back(notice); });
+  auto job = cluster_.sam().SubmitJob(CounterApp(), {}, orca);
+  ASSERT_TRUE(job.ok());
+  cluster_.sim().RunUntil(2);
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(cluster_.sam().KillPe(pe.value(), "uncaught exception").ok());
+  cluster_.sim().RunUntil(5);
+  ASSERT_EQ(notices.size(), 1u);
+  EXPECT_EQ(notices[0].job, *job);
+  EXPECT_EQ(notices[0].pe, pe.value());
+  EXPECT_EQ(notices[0].reason, "uncaught exception");
+  EXPECT_EQ(notices[0].operators, (std::vector<std::string>{"counter"}));
+  EXPECT_GT(notices[0].detected_at, 2.0);
+}
+
+TEST_F(FailureTest, UnmanagedJobFailureNotRouted) {
+  std::vector<PeFailureNotice> notices;
+  cluster_.sam().RegisterOrca(
+      "test-orca",
+      [&notices](const PeFailureNotice& notice) { notices.push_back(notice); });
+  // Job submitted WITHOUT an owner: no notification should be routed.
+  auto job = cluster_.sam().SubmitJob(CounterApp());
+  ASSERT_TRUE(job.ok());
+  cluster_.sim().RunUntil(2);
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(cluster_.sam().KillPe(pe.value(), "crash").ok());
+  cluster_.sim().RunUntil(5);
+  EXPECT_TRUE(notices.empty());
+}
+
+TEST_F(FailureTest, DetectionDelayIsHonoured) {
+  Srm::Config srm_config;
+  srm_config.failure_detection_delay = 2.5;
+  ClusterHarness cluster(3, Sam::Config{}, srm_config);
+  cluster.factory().RegisterOrReplace(
+      "Counter", [] { return std::make_unique<StatefulCounter>(); });
+  cluster.AddSinkKind("LogSink");
+  std::vector<PeFailureNotice> notices;
+  common::OrcaId orca = cluster.sam().RegisterOrca(
+      "o", [&notices](const PeFailureNotice& n) { notices.push_back(n); });
+  auto job = cluster.sam().SubmitJob(CounterApp(), {}, orca);
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(2);
+  auto pe = cluster.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(cluster.sam().KillPe(pe.value(), "crash").ok());
+  cluster.sim().RunUntil(4);
+  EXPECT_TRUE(notices.empty());  // detection takes 2.5 s
+  cluster.sim().RunUntil(5);
+  ASSERT_EQ(notices.size(), 1u);
+  EXPECT_NEAR(notices[0].detected_at, 4.5, 1e-6);
+}
+
+TEST_F(FailureTest, HostFailureCrashesAllPesAndNotifiesPerPe) {
+  std::vector<PeFailureNotice> notices;
+  common::OrcaId orca = cluster_.sam().RegisterOrca(
+      "o", [&notices](const PeFailureNotice& n) { notices.push_back(n); });
+  // Fuse everything onto one PE? No — use one host so all PEs land there.
+  ClusterHarness single(1);
+  single.factory().RegisterOrReplace(
+      "Counter", [] { return std::make_unique<StatefulCounter>(); });
+  single.AddSinkKind("LogSink");
+  std::vector<PeFailureNotice> single_notices;
+  common::OrcaId single_orca = single.sam().RegisterOrca(
+      "o", [&single_notices](const PeFailureNotice& n) {
+        single_notices.push_back(n);
+      });
+  (void)orca;
+  auto job = single.sam().SubmitJob(CounterApp(), {}, single_orca);
+  ASSERT_TRUE(job.ok());
+  single.sim().RunUntil(2);
+  ASSERT_TRUE(single.srm().KillHost(HostId(0)).ok());
+  single.sim().RunUntil(5);
+  // Three PEs on the host → three failure notices, same reason.
+  ASSERT_EQ(single_notices.size(), 3u);
+  for (const auto& notice : single_notices) {
+    EXPECT_EQ(notice.reason, "host failure");
+    EXPECT_EQ(notice.host, HostId(0));
+  }
+  EXPECT_FALSE(single.srm().hosts()[0].up);
+  // Placement refuses a new job: the only host is down.
+  EXPECT_FALSE(single.sam().SubmitJob(CounterApp()).ok());
+  ASSERT_TRUE(single.srm().ReviveHost(HostId(0)).ok());
+  EXPECT_TRUE(single.sam().SubmitJob(CounterApp()).ok());
+}
+
+TEST_F(FailureTest, FailureInjectorTargetsOperatorPe) {
+  auto job = cluster_.sam().SubmitJob(CounterApp());
+  ASSERT_TRUE(job.ok());
+  FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  injector.KillPeOfOperatorAt(3.0, *job, "counter", "injected");
+  cluster_.sim().RunUntil(5);
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(pe.ok());
+  EXPECT_EQ(cluster_.sam().FindPe(pe.value())->state(), Pe::State::kCrashed);
+}
+
+TEST_F(FailureTest, KillPeOnStoppedPeFails) {
+  auto job = cluster_.sam().SubmitJob(CounterApp());
+  ASSERT_TRUE(job.ok());
+  auto pe = cluster_.sam().FindJob(*job)->PeOfOperator("counter");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(cluster_.sam().StopPe(pe.value()).ok());
+  EXPECT_TRUE(
+      cluster_.sam().KillPe(pe.value(), "x").IsFailedPrecondition());
+  EXPECT_TRUE(cluster_.sam().KillPe(PeId(999), "x").IsNotFound());
+}
+
+}  // namespace
+}  // namespace orcastream::runtime

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace orcastream::runtime {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+ApplicationModel ExporterApp(const std::string& name,
+                             const std::string& export_id,
+                             const std::map<std::string, std::string>& props,
+                             double period = 1.0) {
+  AppBuilder builder(name);
+  builder.AddOperator("src", "Beacon")
+      .Output("results")
+      .Param("period", period)
+      .Export(export_id, props);
+  builder.AddOperator("local", "NullSink").Input("results");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+ApplicationModel ImporterByPropsApp(
+    const std::string& name, const std::string& sink_kind,
+    const std::map<std::string, std::string>& props) {
+  AppBuilder builder(name);
+  builder.AddOperator("in", sink_kind).ImportByProperties(props);
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+TEST(ImportExportTest, PropertyMatchedConnection) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ExporterApp("Exp", "", {{"topic", "scores"}}))
+                  .ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("Imp", "LogSink",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(5.5);
+  EXPECT_GE(log->size(), 4u);
+}
+
+TEST(ImportExportTest, PropertySubsetSemantics) {
+  // The importer's properties must all be present on the export; extra
+  // export properties are fine.
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ExporterApp(
+                      "Exp", "", {{"topic", "scores"}, {"extra", "yes"}}))
+                  .ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("Imp", "LogSink",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(3.5);
+  EXPECT_GE(log->size(), 2u);
+}
+
+TEST(ImportExportTest, MismatchedPropertiesDoNotConnect) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ExporterApp("Exp", "", {{"topic", "scores"}}))
+                  .ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("Imp", "LogSink",
+                                                {{"topic", "other"}}))
+                  .ok());
+  cluster.sim().RunUntil(5);
+  EXPECT_EQ(log->size(), 0u);
+}
+
+TEST(ImportExportTest, IdMatchedConnection) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  ASSERT_TRUE(
+      cluster.sam().SubmitJob(ExporterApp("Exp", "resultsFeed", {})).ok());
+  AppBuilder builder("Imp");
+  builder.AddOperator("in", "LogSink").ImportById("resultsFeed");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(4.5);
+  EXPECT_GE(log->size(), 3u);
+}
+
+TEST(ImportExportTest, LateExporterConnectsToWaitingImporter) {
+  // Importer submitted first; exporter arrives later — the SPL runtime
+  // connects them automatically when both run (§2.1).
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("Imp", "LogSink",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(10);
+  EXPECT_EQ(log->size(), 0u);
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ExporterApp("Exp", "", {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(15.5);
+  EXPECT_GE(log->size(), 4u);
+}
+
+TEST(ImportExportTest, CancellingExporterSevereConnection) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  auto exporter = cluster.sam().SubmitJob(
+      ExporterApp("Exp", "", {{"topic", "scores"}}));
+  ASSERT_TRUE(exporter.ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("Imp", "LogSink",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(3.5);
+  size_t before = log->size();
+  EXPECT_GE(before, 2u);
+  ASSERT_TRUE(cluster.sam().CancelJob(*exporter).ok());
+  cluster.sim().RunUntil(10);
+  EXPECT_EQ(log->size(), before);
+}
+
+TEST(ImportExportTest, MultipleImportersShareOneExporter) {
+  // Dynamic composition's resource benefit (§4.4): the reused application
+  // is instantiated once, its output routed to every consumer.
+  ClusterHarness cluster;
+  auto* log_a = cluster.AddSinkKind("SinkA");
+  auto* log_b = cluster.AddSinkKind("SinkB");
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ExporterApp("Exp", "", {{"topic", "scores"}}))
+                  .ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("ImpA", "SinkA",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  ASSERT_TRUE(cluster.sam()
+                  .SubmitJob(ImporterByPropsApp("ImpB", "SinkB",
+                                                {{"topic", "scores"}}))
+                  .ok());
+  cluster.sim().RunUntil(4.5);
+  EXPECT_GE(log_a->size(), 3u);
+  EXPECT_EQ(log_a->size(), log_b->size());
+}
+
+}  // namespace
+}  // namespace orcastream::runtime

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "ops/sources.h"
+#include "tests/test_util.h"
+
+namespace orcastream::ops {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::Tuple;
+
+/// Registers a source kind emitting `count` tuples with the given fields,
+/// one per `period` seconds; the key alternates between "k0" and "k1".
+void RegisterKeyedSource(ClusterHarness* cluster, const std::string& kind,
+                         double period, int64_t count,
+                         const std::string& value_field) {
+  cluster->factory().RegisterOrReplace(kind, [period, count, value_field] {
+    CallbackSource::Options options;
+    options.period = period;
+    options.count = count;
+    options.generator = [value_field](common::Rng*, sim::SimTime,
+                                      int64_t seq) -> std::optional<Tuple> {
+      Tuple t;
+      t.Set("key", seq % 2 == 0 ? "k0" : "k1");
+      t.Set(value_field, seq);
+      return t;
+    };
+    return std::make_unique<CallbackSource>(options);
+  });
+}
+
+TEST(JoinTest, EquiJoinMatchesWithinWindow) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  RegisterKeyedSource(&cluster, "Left", 1.0, 4, "leftSeq");
+  RegisterKeyedSource(&cluster, "Right", 1.0, 4, "rightSeq");
+  AppBuilder builder("App");
+  builder.AddOperator("l", "Left").Output("left");
+  builder.AddOperator("r", "Right").Output("right");
+  builder.AddOperator("join", "Join")
+      .Input("left")   // port 0
+      .Input("right")  // port 1
+      .Output("joined")
+      .Param("keyField", "key")
+      .Param("windowSeconds", 100.0);
+  builder.AddOperator("snk", "LogSink").Input("joined");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(20);
+  // Per key: 2 left × 2 right = 4 matches; two keys → 8 output tuples.
+  ASSERT_EQ(log->size(), 8u);
+  for (const auto& joined : *log) {
+    EXPECT_TRUE(joined.Has("leftSeq"));
+    EXPECT_TRUE(joined.Has("rightSeq"));
+    // Join key agreement: both sides were generated with the same parity
+    // scheme, so leftSeq and rightSeq have equal parity per key.
+    EXPECT_EQ(joined.GetInt("leftSeq").value() % 2,
+              joined.GetInt("rightSeq").value() % 2);
+  }
+}
+
+TEST(JoinTest, WindowExpiryPreventsOldMatches) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  // Left emits early and stops; right arrives after the window expires.
+  RegisterKeyedSource(&cluster, "Left", 1.0, 2, "leftSeq");
+  cluster.factory().RegisterOrReplace("LateRight", [] {
+    CallbackSource::Options options;
+    options.period = 50.0;  // first tuple at t=50
+    options.count = 2;
+    options.generator = [](common::Rng*, sim::SimTime,
+                           int64_t seq) -> std::optional<Tuple> {
+      Tuple t;
+      t.Set("key", seq % 2 == 0 ? "k0" : "k1");
+      t.Set("rightSeq", seq);
+      return t;
+    };
+    return std::make_unique<CallbackSource>(options);
+  });
+  AppBuilder builder("App");
+  builder.AddOperator("l", "Left").Output("left");
+  builder.AddOperator("r", "LateRight").Output("right");
+  builder.AddOperator("join", "Join")
+      .Input("left")
+      .Input("right")
+      .Output("joined")
+      .Param("keyField", "key")
+      .Param("windowSeconds", 10.0);
+  builder.AddOperator("snk", "LogSink").Input("joined");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(150);
+  // Left tuples (t=1,2) are long expired when right arrives (t=50,100).
+  EXPECT_EQ(log->size(), 0u);
+}
+
+TEST(JoinTest, FieldOrderIsLeftThenRight) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  RegisterKeyedSource(&cluster, "Left", 1.0, 1, "leftSeq");
+  RegisterKeyedSource(&cluster, "Right", 1.5, 1, "rightSeq");
+  AppBuilder builder("App");
+  builder.AddOperator("l", "Left").Output("left");
+  builder.AddOperator("r", "Right").Output("right");
+  builder.AddOperator("join", "Join")
+      .Input("left")
+      .Input("right")
+      .Output("joined")
+      .Param("keyField", "key")
+      .Param("windowSeconds", 100.0);
+  builder.AddOperator("snk", "LogSink").Input("joined");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(10);
+  ASSERT_EQ(log->size(), 1u);
+  // Right tuple arrived second, yet left fields come first.
+  EXPECT_EQ((*log)[0].fields()[0].first, "key");
+  EXPECT_EQ((*log)[0].fields()[1].first, "leftSeq");
+  EXPECT_EQ((*log)[0].fields()[2].first, "rightSeq");
+}
+
+TEST(BarrierTest, PairsTuplesAcrossPorts) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  RegisterKeyedSource(&cluster, "Fast", 0.5, 6, "fastSeq");
+  RegisterKeyedSource(&cluster, "Slow", 2.0, 3, "slowSeq");
+  AppBuilder builder("App");
+  builder.AddOperator("f", "Fast").Output("fast");
+  builder.AddOperator("s", "Slow").Output("slow");
+  builder.AddOperator("barrier", "Barrier")
+      .Input("fast")
+      .Input("slow")
+      .Output("paired");
+  builder.AddOperator("snk", "LogSink").Input("paired");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(20);
+  // Limited by the slow side: 3 pairs, matched in arrival order.
+  ASSERT_EQ(log->size(), 3u);
+  for (size_t i = 0; i < log->size(); ++i) {
+    EXPECT_EQ((*log)[i].GetInt("fastSeq").value(), static_cast<int64_t>(i));
+    EXPECT_EQ((*log)[i].GetInt("slowSeq").value(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(BarrierTest, SinglePortDegeneratesToForwarding) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("s")
+      .Param("period", 1.0)
+      .Param("count", 4);
+  builder.AddOperator("barrier", "Barrier").Input("s").Output("out");
+  builder.AddOperator("snk", "LogSink").Input("out");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(10);
+  EXPECT_EQ(log->size(), 4u);
+}
+
+}  // namespace
+}  // namespace orcastream::ops

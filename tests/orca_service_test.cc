@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "orca/orca_service.h"
+#include "tests/test_util.h"
+
+namespace orcastream::orca {
+namespace {
+
+using common::JobId;
+using common::PeId;
+using common::TimerId;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+ApplicationModel CountingApp(const std::string& name) {
+  AppBuilder builder(name);
+  builder.AddOperator("src", "Beacon").Output("raw").Param("period", 1.0);
+  builder.AddOperator("snk", "CountingSink").Input("raw");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+/// Recording orchestrator: registers broad scopes on start and records
+/// every delivered event for inspection.
+class RecordingOrca : public Orchestrator {
+ public:
+  void HandleOrcaStart(const OrcaStartContext& context) override {
+    start_count++;
+    start_at = context.at;
+    OperatorMetricScope oms("allOpMetrics");
+    oms.SetMetricKindFilter(runtime::MetricKind::kCustom);
+    orca()->RegisterEventScope(oms);
+    PeFailureScope pfs("allFailures");
+    orca()->RegisterEventScope(pfs);
+    JobEventScope jes("allJobs");
+    orca()->RegisterEventScope(jes);
+    UserEventScope ues("allUser");
+    orca()->RegisterEventScope(ues);
+  }
+  void HandleOperatorMetricEvent(
+      const OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override {
+    metric_events.push_back(context);
+    metric_scopes.push_back(scopes);
+  }
+  void HandlePeFailureEvent(const PeFailureContext& context,
+                            const std::vector<std::string>&) override {
+    failure_events.push_back(context);
+  }
+  void HandleJobSubmissionEvent(const JobEventContext& context,
+                                const std::vector<std::string>&) override {
+    submissions.push_back(context);
+  }
+  void HandleJobCancellationEvent(const JobEventContext& context,
+                                  const std::vector<std::string>&) override {
+    cancellations.push_back(context);
+  }
+  void HandleTimerEvent(const TimerContext& context) override {
+    timer_events.push_back(context);
+  }
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    user_events.push_back(context);
+  }
+
+  int start_count = 0;
+  double start_at = -1;
+  std::vector<OperatorMetricContext> metric_events;
+  std::vector<std::vector<std::string>> metric_scopes;
+  std::vector<PeFailureContext> failure_events;
+  std::vector<JobEventContext> submissions;
+  std::vector<JobEventContext> cancellations;
+  std::vector<TimerContext> timer_events;
+  std::vector<UserEventContext> user_events;
+};
+
+class OrcaServiceTest : public ::testing::Test {
+ protected:
+  OrcaServiceTest() : cluster_(3) {
+    cluster_.factory().RegisterOrReplace("CountingSink", [] {
+      return std::make_unique<ops::CallbackSink>(
+          [](const Tuple&, runtime::OperatorContext* ctx) {
+            ctx->CreateCustomMetric("nSeen");
+            ctx->AddToCustomMetric("nSeen", 1);
+          });
+    });
+    service_ = std::make_unique<OrcaService>(&cluster_.sim(), &cluster_.sam(),
+                                             &cluster_.srm());
+    auto logic = std::make_unique<RecordingOrca>();
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  void RegisterAndRun(const std::string& id, const std::string& app_name,
+                      double until) {
+    AppConfig config;
+    config.id = id;
+    config.application_name = app_name;
+    ASSERT_TRUE(
+        service_->RegisterApplication(config, CountingApp(app_name)).ok());
+    ASSERT_TRUE(service_->SubmitApplication(id).ok());
+    cluster_.sim().RunUntil(until);
+  }
+
+  ClusterHarness cluster_;
+  std::unique_ptr<OrcaService> service_;
+  RecordingOrca* logic_;
+};
+
+TEST_F(OrcaServiceTest, StartEventDeliveredOnce) {
+  cluster_.sim().RunUntil(1);
+  EXPECT_EQ(logic_->start_count, 1);
+  EXPECT_GE(logic_->start_at, 0.0);
+}
+
+TEST_F(OrcaServiceTest, DoubleLoadRejected) {
+  EXPECT_TRUE(service_->Load(std::make_unique<RecordingOrca>())
+                  .IsFailedPrecondition());
+}
+
+TEST_F(OrcaServiceTest, MetricEventsCarryEpochAndScopeKeys) {
+  RegisterAndRun("app", "App", /*until=*/31);
+  // First pull at t=15 sees the custom metric, second at t=30.
+  ASSERT_GE(logic_->metric_events.size(), 2u);
+  const auto& first = logic_->metric_events.front();
+  EXPECT_EQ(first.application, "App");
+  EXPECT_EQ(first.instance_name, "snk");
+  EXPECT_EQ(first.metric, "nSeen");
+  EXPECT_EQ(first.metric_kind, runtime::MetricKind::kCustom);
+  EXPECT_GT(first.value, 0);
+  EXPECT_EQ(first.epoch, 1);
+  EXPECT_EQ(logic_->metric_scopes.front(),
+            (std::vector<std::string>{"allOpMetrics"}));
+  // Values grow across pulls, epochs advance.
+  const auto& last = logic_->metric_events.back();
+  EXPECT_EQ(last.epoch, 2);
+  EXPECT_GT(last.value, first.value);
+}
+
+TEST_F(OrcaServiceTest, MetricsMeasuredTogetherShareEpoch) {
+  RegisterAndRun("a", "AppA", 0.5);
+  RegisterAndRun("b", "AppB", 16);
+  // Both jobs' metrics come from the same pull round → same epoch.
+  ASSERT_GE(logic_->metric_events.size(), 2u);
+  std::set<std::string> apps;
+  for (const auto& event : logic_->metric_events) {
+    EXPECT_EQ(event.epoch, 1);
+    apps.insert(event.application);
+  }
+  EXPECT_EQ(apps, (std::set<std::string>{"AppA", "AppB"}));
+}
+
+TEST_F(OrcaServiceTest, PullPeriodIsAdjustable) {
+  service_->SetMetricPullPeriod(2.0);
+  EXPECT_EQ(service_->metric_pull_period(), 2.0);
+  RegisterAndRun("app", "App", 15.5);
+  // Pull task fires on its old schedule once (t=15) unless already
+  // rescheduled; with the period change taking effect after the next
+  // firing, we simply require more rounds than the default would give.
+  cluster_.sim().RunUntil(30);
+  EXPECT_GE(service_->metric_epoch(), 5);
+}
+
+TEST_F(OrcaServiceTest, PeFailureEventDelivered) {
+  RegisterAndRun("app", "App", 5);
+  auto job = service_->RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator("snk");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(cluster_.sam().KillPe(pe.value(), "segfault").ok());
+  cluster_.sim().RunUntil(8);
+  ASSERT_EQ(logic_->failure_events.size(), 1u);
+  const auto& event = logic_->failure_events[0];
+  EXPECT_EQ(event.pe, pe.value());
+  EXPECT_EQ(event.application, "App");
+  EXPECT_EQ(event.reason, "segfault");
+  EXPECT_EQ(event.operators, (std::vector<std::string>{"snk"}));
+  EXPECT_EQ(event.epoch, 1);
+}
+
+TEST_F(OrcaServiceTest, HostFailureSharesOneEpoch) {
+  // All PEs on one host: a host failure produces several PE failure
+  // events grouped under a single epoch (§4.2).
+  ClusterHarness single(1);
+  single.factory().RegisterOrReplace("CountingSink", [] {
+    return std::make_unique<ops::CallbackSink>(
+        [](const Tuple&, runtime::OperatorContext*) {});
+  });
+  OrcaService service(&single.sim(), &single.sam(), &single.srm());
+  auto logic_holder = std::make_unique<RecordingOrca>();
+  RecordingOrca* logic = logic_holder.get();
+  ASSERT_TRUE(service.Load(std::move(logic_holder)).ok());
+  AppConfig config;
+  config.id = "app";
+  config.application_name = "App";
+  ASSERT_TRUE(service.RegisterApplication(config, CountingApp("App")).ok());
+  ASSERT_TRUE(service.SubmitApplication("app").ok());
+  single.sim().RunUntil(2);
+  ASSERT_TRUE(single.srm().KillHost(common::HostId(0)).ok());
+  single.sim().RunUntil(5);
+  ASSERT_EQ(logic->failure_events.size(), 2u);  // two PEs
+  EXPECT_EQ(logic->failure_events[0].epoch, logic->failure_events[1].epoch);
+  EXPECT_EQ(logic->failure_events[0].reason, "host failure");
+
+  // A later, separate crash gets a new epoch.
+  auto job = service.RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(single.srm().ReviveHost(common::HostId(0)).ok());
+  auto pe = single.sam().FindJob(job.value())->PeOfOperator("snk");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(single.sam().RestartPe(pe.value()).ok());
+  single.sim().RunUntil(6);
+  ASSERT_TRUE(single.sam().KillPe(pe.value(), "segfault").ok());
+  single.sim().RunUntil(9);
+  ASSERT_EQ(logic->failure_events.size(), 3u);
+  EXPECT_GT(logic->failure_events[2].epoch, logic->failure_events[0].epoch);
+}
+
+TEST_F(OrcaServiceTest, ActingOnUnmanagedJobIsPermissionDenied) {
+  // A job submitted directly through SAM is invisible to the service.
+  auto foreign = cluster_.sam().SubmitJob(CountingApp("Foreign"));
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_TRUE(service_->CancelJob(*foreign).IsPermissionDenied());
+  auto pe = cluster_.sam().FindJob(*foreign)->PeOfOperator("snk");
+  ASSERT_TRUE(pe.ok());
+  EXPECT_TRUE(service_->RestartPe(pe.value()).IsPermissionDenied());
+  EXPECT_TRUE(service_->StopPe(pe.value()).IsPermissionDenied());
+}
+
+TEST_F(OrcaServiceTest, ManagedJobActuationsWork) {
+  RegisterAndRun("app", "App", 2);
+  auto job = service_->RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator("snk");
+  ASSERT_TRUE(pe.ok());
+  ASSERT_TRUE(service_->StopPe(pe.value()).ok());
+  ASSERT_TRUE(service_->RestartPe(pe.value()).ok());
+  ASSERT_TRUE(service_->CancelJob(job.value()).ok());
+  EXPECT_FALSE(service_->IsRunning("app"));
+  cluster_.sim().RunUntil(4);
+  ASSERT_EQ(logic_->cancellations.size(), 1u);
+  EXPECT_EQ(logic_->cancellations[0].config_id, "app");
+}
+
+TEST_F(OrcaServiceTest, JobEventsDelivered) {
+  RegisterAndRun("app", "App", 2);
+  ASSERT_EQ(logic_->submissions.size(), 1u);
+  EXPECT_EQ(logic_->submissions[0].application, "App");
+  EXPECT_EQ(logic_->submissions[0].config_id, "app");
+  ASSERT_TRUE(service_->CancelApplication("app").ok());
+  cluster_.sim().RunUntil(4);
+  ASSERT_EQ(logic_->cancellations.size(), 1u);
+}
+
+TEST_F(OrcaServiceTest, ExclusivePoolsMustPrecedeSubmission) {
+  AppConfig config;
+  config.id = "app";
+  config.application_name = "App";
+  ASSERT_TRUE(
+      service_->RegisterApplication(config, CountingApp("App")).ok());
+  ASSERT_TRUE(service_->SetExclusiveHostPools("app").ok());
+  ASSERT_TRUE(service_->SubmitApplication("app").ok());
+  cluster_.sim().RunUntil(1);
+  EXPECT_TRUE(service_->SetExclusiveHostPools("app").IsFailedPrecondition());
+  // The submitted job landed on hosts nobody else can use now; a second
+  // exclusive copy lands elsewhere.
+  auto job = service_->RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(cluster_.sam().FindJob(job.value())->running);
+}
+
+TEST_F(OrcaServiceTest, TimersOneShotAndRecurring) {
+  TimerId once = service_->CreateTimer(5.0, "once");
+  TimerId recurring = service_->CreateTimer(2.0, "tick", true, 2.0);
+  cluster_.sim().RunUntil(9);
+  // tick at 2,4,6,8 + once at 5 = 5 events.
+  ASSERT_EQ(logic_->timer_events.size(), 5u);
+  int once_count = 0, tick_count = 0;
+  for (const auto& event : logic_->timer_events) {
+    if (event.name == "once") {
+      ++once_count;
+      EXPECT_EQ(event.id, once);
+    }
+    if (event.name == "tick") ++tick_count;
+  }
+  EXPECT_EQ(once_count, 1);
+  EXPECT_EQ(tick_count, 4);
+  service_->CancelTimer(recurring);
+  cluster_.sim().RunUntil(20);
+  EXPECT_EQ(logic_->timer_events.size(), 5u);
+}
+
+TEST_F(OrcaServiceTest, UserEventsReachLogic) {
+  cluster_.sim().RunUntil(1);
+  service_->InjectUserEvent("modelRefresh", {{"reason", "manual"}});
+  cluster_.sim().RunUntil(2);
+  ASSERT_EQ(logic_->user_events.size(), 1u);
+  EXPECT_EQ(logic_->user_events[0].name, "modelRefresh");
+  EXPECT_EQ(logic_->user_events[0].attributes.at("reason"), "manual");
+}
+
+TEST_F(OrcaServiceTest, GraphViewTracksManagedJobs) {
+  RegisterAndRun("app", "App", 2);
+  auto job = service_->RunningJob("app");
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(service_->graph().HasJob(job.value()));
+  auto pe = service_->graph().PeOfOperator(job.value(), "src");
+  EXPECT_TRUE(pe.ok());
+  ASSERT_TRUE(service_->CancelApplication("app").ok());
+  EXPECT_FALSE(service_->graph().HasJob(job.value()));
+}
+
+TEST_F(OrcaServiceTest, EventsDeliveredOneAtATimeInOrder) {
+  cluster_.sim().RunUntil(1);
+  // Inject a burst of user events; they must arrive in injection order.
+  for (int i = 0; i < 10; ++i) {
+    service_->InjectUserEvent("burst" + std::to_string(i));
+  }
+  EXPECT_GE(service_->queue_depth(), 9u);  // queued, not yet delivered
+  cluster_.sim().RunUntil(2);
+  ASSERT_EQ(logic_->user_events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(logic_->user_events[i].name, "burst" + std::to_string(i));
+  }
+  EXPECT_EQ(service_->queue_depth(), 0u);
+  EXPECT_GE(service_->events_delivered(), 11u);  // + start event
+}
+
+TEST_F(OrcaServiceTest, ShutdownStopsEventFlow) {
+  RegisterAndRun("app", "App", 2);
+  service_->Shutdown();
+  EXPECT_FALSE(service_->loaded());
+  cluster_.sim().RunUntil(40);
+  EXPECT_TRUE(logic_ != nullptr);  // logic destroyed; pointer just dangles
+  // No crash and no further pulls: nothing to assert beyond survival.
+}
+
+}  // namespace
+}  // namespace orcastream::orca

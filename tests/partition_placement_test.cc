@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "runtime/partitioner.h"
+#include "runtime/placement.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::runtime {
+namespace {
+
+using common::HostId;
+using common::JobId;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::HostPoolDef;
+
+ApplicationModel FourOpChain() {
+  AppBuilder builder("Chain");
+  builder.AddOperator("a", "Beacon").Output("s1").Colocate("g1");
+  builder.AddOperator("b", "Filter").Input("s1").Output("s2").Colocate("g1");
+  builder.AddOperator("c", "Filter").Input("s2").Output("s3");
+  builder.AddOperator("d", "NullSink").Input("s3").Colocate("g2");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+TEST(PartitionerTest, ByColocationFusesTaggedOperators) {
+  auto partitions =
+      PartitionOperators(FourOpChain(), PartitionPolicy::kByColocation);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 3u);
+  EXPECT_EQ((*partitions)[0].operator_names,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*partitions)[1].operator_names,
+            (std::vector<std::string>{"c"}));
+  EXPECT_EQ((*partitions)[2].operator_names,
+            (std::vector<std::string>{"d"}));
+}
+
+TEST(PartitionerTest, OnePerOperator) {
+  auto partitions =
+      PartitionOperators(FourOpChain(), PartitionPolicy::kOnePerOperator);
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_EQ(partitions->size(), 4u);
+}
+
+TEST(PartitionerTest, FuseAll) {
+  auto partitions =
+      PartitionOperators(FourOpChain(), PartitionPolicy::kFuseAll);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 1u);
+  EXPECT_EQ((*partitions)[0].operator_names.size(), 4u);
+}
+
+TEST(PartitionerTest, CompositeMembersCanFuseAcrossComposites) {
+  // Reproduces the Figure 3 situation: operators from different composite
+  // instances land in the same PE via a shared colocation tag.
+  AppBuilder builder("Fig3");
+  builder.BeginComposite("composite1", "ca");
+  builder.AddOperator("op", "Filter").Input({"src"}).Output("oa").Colocate("pe2");
+  builder.EndComposite();
+  builder.BeginComposite("composite1", "cb");
+  builder.AddOperator("op", "Filter").Input({"src"}).Output("ob").Colocate("pe2");
+  builder.EndComposite();
+  builder.AddOperator("s", "Beacon").Output("src");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto partitions =
+      PartitionOperators(*model, PartitionPolicy::kByColocation);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 2u);
+  EXPECT_EQ((*partitions)[0].operator_names,
+            (std::vector<std::string>{"ca.op", "cb.op"}));
+}
+
+TEST(PartitionerTest, ConflictingHostPoolsInOnePartitionRejected) {
+  AppBuilder builder("Conflict");
+  builder.AddHostPool("p1", {}, false);
+  builder.AddHostPool("p2", {}, false);
+  builder.AddOperator("a", "Beacon").Output("s").Colocate("g").Pool("p1");
+  builder.AddOperator("b", "NullSink").Input("s").Colocate("g").Pool("p2");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto partitions =
+      PartitionOperators(*model, PartitionPolicy::kByColocation);
+  EXPECT_TRUE(partitions.status().IsInvalidArgument());
+}
+
+TEST(PartitionerTest, PartitionInheritsConstraints) {
+  AppBuilder builder("Inherit");
+  builder.AddHostPool("p1", {"t"}, true);
+  builder.AddOperator("a", "Beacon").Output("s").Colocate("g").Pool("p1");
+  builder.AddOperator("b", "NullSink").Input("s").Colocate("g").Exlocate("x");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto partitions =
+      PartitionOperators(*model, PartitionPolicy::kByColocation);
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_EQ((*partitions)[0].host_pool, "p1");
+  EXPECT_EQ((*partitions)[0].host_exlocation, "x");
+}
+
+TEST(PartitionerTest, EmptyApplicationRejected) {
+  ApplicationModel model("Empty");
+  auto partitions =
+      PartitionOperators(model, PartitionPolicy::kByColocation);
+  EXPECT_TRUE(partitions.status().IsInvalidArgument());
+}
+
+// --- Placement -----------------------------------------------------------
+
+std::vector<HostLoad> ThreeHosts() {
+  std::vector<HostLoad> hosts(3);
+  for (int i = 0; i < 3; ++i) {
+    hosts[i].id = HostId(i);
+    hosts[i].up = true;
+  }
+  return hosts;
+}
+
+TEST(PlacementTest, PicksLeastLoaded) {
+  auto hosts = ThreeHosts();
+  hosts[0].pe_count = 2;
+  hosts[1].pe_count = 1;
+  hosts[2].pe_count = 3;
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(1));
+}
+
+TEST(PlacementTest, TieBreaksOnLowestId) {
+  auto hosts = ThreeHosts();
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(0));
+}
+
+TEST(PlacementTest, SkipsDownHosts) {
+  auto hosts = ThreeHosts();
+  hosts[0].up = false;
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(1));
+}
+
+TEST(PlacementTest, HonoursTagFilter) {
+  auto hosts = ThreeHosts();
+  hosts[2].tags = {"gpu"};
+  HostPoolDef pool;
+  pool.name = "gpuPool";
+  pool.tags = {"gpu"};
+  auto chosen = ChooseHost(hosts, &pool, JobId(1), {});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(2));
+}
+
+TEST(PlacementTest, ExclusivePoolAvoidsSharedHosts) {
+  auto hosts = ThreeHosts();
+  hosts[0].jobs_using.insert(JobId(9));  // used by another job
+  HostPoolDef pool;
+  pool.name = "excl";
+  pool.exclusive = true;
+  auto chosen = ChooseHost(hosts, &pool, JobId(1), {});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(1));
+}
+
+TEST(PlacementTest, ExclusiveOwnerAllowsSameJob) {
+  auto hosts = ThreeHosts();
+  hosts[0].exclusive_owner = JobId(1);
+  hosts[0].jobs_using.insert(JobId(1));
+  hosts[1].pe_count = 0;
+  // Same job may keep stacking onto its own exclusive host.
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {HostId(1), HostId(2)});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(0));
+}
+
+TEST(PlacementTest, NonExclusiveCannotTrespassExclusiveHost) {
+  auto hosts = ThreeHosts();
+  hosts[0].exclusive_owner = JobId(9);
+  hosts[1].exclusive_owner = JobId(9);
+  hosts[2].exclusive_owner = JobId(9);
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {});
+  EXPECT_TRUE(chosen.status().IsFailedPrecondition());
+}
+
+TEST(PlacementTest, ExlocationExcludesHosts) {
+  auto hosts = ThreeHosts();
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {HostId(0), HostId(1)});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value(), HostId(2));
+}
+
+TEST(PlacementTest, NoEligibleHostIsError) {
+  std::vector<HostLoad> hosts;
+  auto chosen = ChooseHost(hosts, nullptr, JobId(1), {});
+  EXPECT_TRUE(chosen.status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace orcastream::runtime

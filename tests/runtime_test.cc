@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace orcastream::runtime {
+namespace {
+
+using common::JobId;
+using common::PeId;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+ApplicationModel BeaconToSink(const std::string& sink_kind, double period,
+                              int64_t count) {
+  AppBuilder builder("BeaconApp");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", period)
+      .Param("count", count);
+  builder.AddOperator("snk", sink_kind).Input("raw");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ValueOr(ApplicationModel("invalid"));
+}
+
+TEST(RuntimeTest, EndToEndTupleFlow) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 1.0, 5));
+  ASSERT_TRUE(job.ok()) << job.status();
+  cluster.sim().RunUntil(100);
+  ASSERT_EQ(log->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*log)[i].GetInt("seq").value(), i);
+  }
+}
+
+TEST(RuntimeTest, JobInfoRecordsPhysicalLayout) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 1.0, 1));
+  ASSERT_TRUE(job.ok());
+  const JobInfo* info = cluster.sam().FindJob(*job);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->running);
+  EXPECT_EQ(info->app_name, "BeaconApp");
+  // No colocation tags: one PE per operator.
+  EXPECT_EQ(info->pes.size(), 2u);
+  EXPECT_TRUE(info->PeOfOperator("src").ok());
+  EXPECT_TRUE(info->PeOfOperator("snk").ok());
+  EXPECT_TRUE(info->PeOfOperator("ghost").status().IsNotFound());
+}
+
+TEST(RuntimeTest, ColocatedOperatorsShareOnePe) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  AppBuilder builder("Fused");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 1.0)
+      .Param("count", 3)
+      .Colocate("together");
+  builder.AddOperator("snk", "LogSink").Input("raw").Colocate("together");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  const JobInfo* info = cluster.sam().FindJob(*job);
+  EXPECT_EQ(info->pes.size(), 1u);
+}
+
+TEST(RuntimeTest, CancelJobStopsDataFlow) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 1.0, 0));
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(10.5);
+  size_t seen = log->size();
+  EXPECT_GE(seen, 9u);
+  ASSERT_TRUE(cluster.sam().CancelJob(*job).ok());
+  cluster.sim().RunUntil(20);
+  EXPECT_EQ(log->size(), seen);
+  EXPECT_FALSE(cluster.sam().FindJob(*job)->running);
+  // Double cancel is an error.
+  EXPECT_TRUE(cluster.sam().CancelJob(*job).IsNotFound());
+}
+
+TEST(RuntimeTest, SubmissionParamsReachOperators) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("Param");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", "$tickPeriod")  // resolved at submission time
+      .Param("count", 2);
+  builder.AddOperator("snk", "LogSink").Input("raw");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model, {{"tickPeriod", "5"}});
+  ASSERT_TRUE(job.ok());
+  // With the resolved period of 5 s, ticks land at t=5 and t=10.
+  cluster.sim().RunUntil(6);
+  EXPECT_EQ(log->size(), 1u);
+  cluster.sim().RunUntil(11);
+  EXPECT_EQ(log->size(), 2u);
+}
+
+TEST(RuntimeTest, BuiltinMetricsFlowToSrm) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 0.5, 10));
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(30);  // plenty of 3 s HC pushes
+  MetricsSnapshot snapshot = cluster.srm().QueryMetrics({*job});
+  int64_t src_submitted = -1, snk_processed = -1;
+  for (const auto& rec : snapshot.operator_metrics) {
+    if (rec.port != -1) continue;
+    if (rec.operator_name == "src" &&
+        rec.metric_name == builtin_metrics::kNumTuplesSubmitted) {
+      src_submitted = rec.value;
+    }
+    if (rec.operator_name == "snk" &&
+        rec.metric_name == builtin_metrics::kNumTuplesProcessed) {
+      snk_processed = rec.value;
+    }
+  }
+  EXPECT_EQ(src_submitted, 10);
+  EXPECT_EQ(snk_processed, 10);
+  // PE-level metrics present too.
+  bool pe_bytes_seen = false;
+  for (const auto& rec : snapshot.pe_metrics) {
+    if (rec.metric_name == builtin_metrics::kNumTupleBytesProcessed &&
+        rec.value > 0) {
+      pe_bytes_seen = true;
+    }
+  }
+  EXPECT_TRUE(pe_bytes_seen);
+}
+
+TEST(RuntimeTest, PortLevelMetricsReported) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 0.5, 4));
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(10);
+  MetricsSnapshot snapshot = cluster.srm().QueryMetrics({*job});
+  bool in_port_seen = false, out_port_seen = false;
+  for (const auto& rec : snapshot.operator_metrics) {
+    if (rec.port == 0 && !rec.output_port && rec.operator_name == "snk" &&
+        rec.metric_name == builtin_metrics::kNumTuplesProcessed &&
+        rec.value == 4) {
+      in_port_seen = true;
+    }
+    if (rec.port == 0 && rec.output_port && rec.operator_name == "src" &&
+        rec.metric_name == builtin_metrics::kNumTuplesSubmitted &&
+        rec.value == 4) {
+      out_port_seen = true;
+    }
+  }
+  EXPECT_TRUE(in_port_seen);
+  EXPECT_TRUE(out_port_seen);
+}
+
+TEST(RuntimeTest, CustomMetricsFlowToSrm) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  cluster.factory().RegisterOrReplace("Counting", [] {
+    return std::make_unique<ops::CallbackSink>(
+        [](const Tuple&, runtime::OperatorContext* ctx) {
+          ctx->CreateCustomMetric("nSeen");
+          ctx->AddToCustomMetric("nSeen", 1);
+        });
+  });
+  auto job = cluster.sam().SubmitJob(BeaconToSink("Counting", 0.5, 6));
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(10);
+  MetricsSnapshot snapshot = cluster.srm().QueryMetrics({*job});
+  bool seen = false;
+  for (const auto& rec : snapshot.operator_metrics) {
+    if (rec.metric_name == "nSeen") {
+      EXPECT_EQ(rec.kind, MetricKind::kCustom);
+      EXPECT_EQ(rec.value, 6);
+      seen = true;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(RuntimeTest, QueueBuildsUpUnderCost) {
+  // Source at 100 tuples/s into an operator that takes 0.05 s per tuple:
+  // the queue must grow and the queueSize metric must report it.
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  AppBuilder builder("Overload");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 0.01)
+      .Param("count", 0);
+  builder.AddOperator("slow", "LogSink").Input("raw").CostPerTuple(0.05);
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(10);
+  MetricsSnapshot snapshot = cluster.srm().QueryMetrics({*job});
+  int64_t queue_size = -1;
+  for (const auto& rec : snapshot.operator_metrics) {
+    if (rec.operator_name == "slow" && rec.port == -1 &&
+        rec.metric_name == builtin_metrics::kQueueSize) {
+      queue_size = rec.value;
+    }
+  }
+  EXPECT_GT(queue_size, 10);
+}
+
+TEST(RuntimeTest, StopAndRestartPe) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  auto job = cluster.sam().SubmitJob(BeaconToSink("LogSink", 1.0, 0));
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(5.5);
+  size_t before = log->size();
+  EXPECT_GE(before, 4u);
+
+  auto src_pe = cluster.sam().FindJob(*job)->PeOfOperator("src");
+  ASSERT_TRUE(src_pe.ok());
+  // Restarting a running PE is refused.
+  EXPECT_TRUE(
+      cluster.sam().RestartPe(src_pe.value()).IsFailedPrecondition());
+  ASSERT_TRUE(cluster.sam().StopPe(src_pe.value()).ok());
+  cluster.sim().RunUntil(10);
+  EXPECT_EQ(log->size(), before);  // source stopped, no new tuples
+
+  ASSERT_TRUE(cluster.sam().RestartPe(src_pe.value()).ok());
+  cluster.sim().RunUntil(15);
+  EXPECT_GT(log->size(), before);  // flowing again
+}
+
+TEST(RuntimeTest, UnknownOperatorKindFailsSubmit) {
+  ClusterHarness cluster;
+  AppBuilder builder("Unknown");
+  builder.AddOperator("src", "NoSuchKind").Output("s");
+  builder.AddOperator("snk", "NullSink").Input("s");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  EXPECT_FALSE(job.ok());
+}
+
+TEST(RuntimeTest, FindJobByNameReturnsLatestRunning) {
+  ClusterHarness cluster;
+  cluster.AddSinkKind("LogSink");
+  auto model = BeaconToSink("LogSink", 1.0, 1);
+  auto job1 = cluster.sam().SubmitJob(model);
+  auto job2 = cluster.sam().SubmitJob(model);
+  ASSERT_TRUE(job1.ok());
+  ASSERT_TRUE(job2.ok());
+  auto found = cluster.sam().FindJobByName("BeaconApp");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), *job2);
+  ASSERT_TRUE(cluster.sam().CancelJob(*job2).ok());
+  found = cluster.sam().FindJobByName("BeaconApp");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), *job1);
+}
+
+TEST(RuntimeTest, ExclusivePoolKeepsJobsApart) {
+  ClusterHarness cluster(/*hosts=*/4);
+  cluster.AddSinkKind("LogSink");
+  AppBuilder builder("Excl");
+  builder.AddHostPool("own", {}, /*exclusive=*/true);
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 1.0)
+      .Pool("own")
+      .Colocate("one");
+  builder.AddOperator("snk", "LogSink").Input("raw").Pool("own").Colocate(
+      "one");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job1 = cluster.sam().SubmitJob(*model);
+  auto job2 = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job1.ok());
+  ASSERT_TRUE(job2.ok());
+  common::HostId host1 = cluster.sam().FindJob(*job1)->pes[0].host;
+  common::HostId host2 = cluster.sam().FindJob(*job2)->pes[0].host;
+  EXPECT_NE(host1, host2);
+}
+
+TEST(RuntimeTest, ExlocationSeparatesReplicaPes) {
+  ClusterHarness cluster(/*hosts=*/3);
+  cluster.AddSinkKind("LogSink");
+  AppBuilder builder("Exloc");
+  builder.AddOperator("a", "Beacon").Output("s1").Exlocate("spread");
+  builder.AddOperator("b", "Beacon").Output("s2").Exlocate("spread");
+  builder.AddOperator("c", "NullSink").Input({"s1", "s2"});
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  const JobInfo* info = cluster.sam().FindJob(*job);
+  common::HostId host_a, host_b;
+  for (const auto& pe : info->pes) {
+    if (pe.operators[0] == "a") host_a = pe.host;
+    if (pe.operators[0] == "b") host_b = pe.host;
+  }
+  EXPECT_NE(host_a, host_b);
+}
+
+}  // namespace
+}  // namespace orcastream::runtime

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "orca/scope_matcher.h"
+#include "tests/test_util.h"
+
+namespace orcastream::orca {
+namespace {
+
+using common::JobId;
+using common::PeId;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+
+/// Builds the Figure 2 application and loads it into a GraphView.
+class ScopeTest : public ::testing::Test {
+ protected:
+  ScopeTest() : cluster_(2) {
+    AppBuilder builder("Figure2");
+    builder.AddOperator("op1", "Beacon").Output("src1");
+    auto body = [](AppBuilder& b, const std::string& in) {
+      b.AddOperator("op3", "Split").Input({in}).Output("s3");
+      b.AddOperator("op6", "Merge").Input("s3").Output("out");
+    };
+    builder.BeginComposite("composite1", "c1a");
+    body(builder, "src1");
+    builder.EndComposite();
+    builder.BeginComposite("composite2", "c2");
+    builder.AddOperator("op7", "Split").Input({"c1a.out"}).Output("s7");
+    builder.BeginComposite("composite1", "nested");
+    body(builder, "c2.s7");
+    builder.EndComposite();
+    builder.EndComposite();
+    builder.AddOperator("snk", "NullSink").Input("c2.nested.out");
+    auto model = builder.Build();
+    EXPECT_TRUE(model.ok()) << model.status();
+    auto job = cluster_.sam().SubmitJob(*model);
+    EXPECT_TRUE(job.ok()) << job.status();
+    job_ = *job;
+    view_.AddJob(*cluster_.sam().FindJob(job_));
+  }
+
+  OperatorMetricContext MetricContext(const std::string& op,
+                                      const std::string& kind,
+                                      const std::string& metric,
+                                      int32_t port = -1) {
+    OperatorMetricContext context;
+    context.job = job_;
+    context.application = "Figure2";
+    context.instance_name = op;
+    context.operator_kind = kind;
+    context.metric = metric;
+    context.metric_kind = runtime::MetricKind::kBuiltin;
+    context.port = port;
+    return context;
+  }
+
+  ClusterHarness cluster_;
+  JobId job_;
+  GraphView view_;
+};
+
+TEST_F(ScopeTest, EmptyScopeMatchesEverything) {
+  OperatorMetricScope scope("all");
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("op1", "Beacon", "queueSize"), view_));
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "anything"), view_));
+}
+
+TEST_F(ScopeTest, Figure5ScopeSemantics) {
+  // The paper's example: queueSize metrics of Split/Merge operators inside
+  // composites of type composite1.
+  OperatorMetricScope scope("opMetricScope");
+  scope.AddCompositeTypeFilter("composite1");
+  scope.AddOperatorTypeFilter({"Split", "Merge"});
+  scope.AddOperatorMetric(BuiltinMetric::kQueueSize);
+
+  // Direct member of composite1 instance c1a.
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "queueSize"), view_));
+  // Nested composite1 inside composite2.
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c2.nested.op6", "Merge", "queueSize"), view_));
+  // Wrong metric name.
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "nTuplesProcessed"), view_));
+  // Right kind, but only in composite2 (op7 is a Split in c2).
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("c2.op7", "Split", "queueSize"), view_));
+  // Right composite, wrong operator type would be needed — op1 is
+  // top-level Beacon.
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("op1", "Beacon", "queueSize"), view_));
+}
+
+TEST_F(ScopeTest, SameAttributeFiltersAreDisjunctive) {
+  OperatorMetricScope scope("s");
+  scope.AddApplicationFilter("Figure2");
+  scope.AddApplicationFilter("OtherApp");
+  auto context = MetricContext("op1", "Beacon", "m");
+  EXPECT_TRUE(MatchOperatorMetric(scope, context, view_));
+  context.application = "OtherApp";
+  EXPECT_TRUE(MatchOperatorMetric(scope, context, view_));
+  context.application = "ThirdApp";
+  EXPECT_FALSE(MatchOperatorMetric(scope, context, view_));
+}
+
+TEST_F(ScopeTest, DifferentAttributeFiltersAreConjunctive) {
+  OperatorMetricScope scope("s");
+  scope.AddApplicationFilter("Figure2");
+  scope.AddOperatorTypeFilter("Split");
+  // Application matches but type does not.
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("op1", "Beacon", "m"), view_));
+  // Both match.
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "m"), view_));
+}
+
+TEST_F(ScopeTest, CompositeInstanceFilter) {
+  OperatorMetricScope scope("s");
+  scope.AddCompositeInstanceFilter("c2.nested");
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c2.nested.op3", "Split", "m"), view_));
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "m"), view_));
+  // Parent composite instance also matches operators in nested children.
+  OperatorMetricScope parent_scope("p");
+  parent_scope.AddCompositeInstanceFilter("c2");
+  EXPECT_TRUE(MatchOperatorMetric(
+      parent_scope, MetricContext("c2.nested.op3", "Split", "m"), view_));
+}
+
+TEST_F(ScopeTest, OperatorNameFilter) {
+  OperatorMetricScope scope("s");
+  scope.AddOperatorNameFilter("c1a.op3");
+  EXPECT_TRUE(MatchOperatorMetric(
+      scope, MetricContext("c1a.op3", "Split", "m"), view_));
+  EXPECT_FALSE(MatchOperatorMetric(
+      scope, MetricContext("c2.nested.op3", "Split", "m"), view_));
+}
+
+TEST_F(ScopeTest, MetricKindFilter) {
+  OperatorMetricScope scope("s");
+  scope.SetMetricKindFilter(runtime::MetricKind::kCustom);
+  auto context = MetricContext("op1", "Beacon", "myMetric");
+  context.metric_kind = runtime::MetricKind::kBuiltin;
+  EXPECT_FALSE(MatchOperatorMetric(scope, context, view_));
+  context.metric_kind = runtime::MetricKind::kCustom;
+  EXPECT_TRUE(MatchOperatorMetric(scope, context, view_));
+}
+
+TEST_F(ScopeTest, PortScopeSelection) {
+  OperatorMetricScope op_level("op");
+  OperatorMetricScope port_level("port");
+  port_level.SetPortScope(OperatorMetricScope::PortScope::kPortLevel);
+  OperatorMetricScope both("both");
+  both.SetPortScope(OperatorMetricScope::PortScope::kBoth);
+
+  auto op_sample = MetricContext("op1", "Beacon", "m", -1);
+  auto port_sample = MetricContext("op1", "Beacon", "m", 0);
+  EXPECT_TRUE(MatchOperatorMetric(op_level, op_sample, view_));
+  EXPECT_FALSE(MatchOperatorMetric(op_level, port_sample, view_));
+  EXPECT_FALSE(MatchOperatorMetric(port_level, op_sample, view_));
+  EXPECT_TRUE(MatchOperatorMetric(port_level, port_sample, view_));
+  EXPECT_TRUE(MatchOperatorMetric(both, op_sample, view_));
+  EXPECT_TRUE(MatchOperatorMetric(both, port_sample, view_));
+}
+
+TEST_F(ScopeTest, PeMetricScopeFilters) {
+  PeMetricScope scope("s");
+  scope.AddApplicationFilter("Figure2");
+  scope.AddMetricNameFilter("nTupleBytesProcessed");
+  PeMetricContext context;
+  context.application = "Figure2";
+  context.metric = "nTupleBytesProcessed";
+  context.pe = PeId(1);
+  EXPECT_TRUE(MatchPeMetric(scope, context));
+  context.metric = "other";
+  EXPECT_FALSE(MatchPeMetric(scope, context));
+  context.metric = "nTupleBytesProcessed";
+  scope.AddPeFilter(PeId(2));
+  EXPECT_FALSE(MatchPeMetric(scope, context));
+  scope.AddPeFilter(PeId(1));
+  EXPECT_TRUE(MatchPeMetric(scope, context));
+}
+
+TEST_F(ScopeTest, PeFailureScopeFilters) {
+  PeFailureScope scope("failureScope");
+  scope.AddApplicationFilter("Figure2");
+  PeFailureContext context;
+  context.job = job_;
+  context.application = "Figure2";
+  context.reason = "segfault";
+  context.operators = {"c1a.op3"};
+  EXPECT_TRUE(MatchPeFailure(scope, context, view_));
+  context.application = "Other";
+  EXPECT_FALSE(MatchPeFailure(scope, context, view_));
+  context.application = "Figure2";
+
+  scope.AddReasonFilter("host failure");
+  EXPECT_FALSE(MatchPeFailure(scope, context, view_));
+  scope.AddReasonFilter("segfault");
+  EXPECT_TRUE(MatchPeFailure(scope, context, view_));
+
+  PeFailureScope comp_scope("c");
+  comp_scope.AddCompositeTypeFilter("composite1");
+  EXPECT_TRUE(MatchPeFailure(comp_scope, context, view_));
+  context.operators = {"op1"};  // top-level operator, no composite
+  EXPECT_FALSE(MatchPeFailure(comp_scope, context, view_));
+}
+
+TEST_F(ScopeTest, JobEventScopeKinds) {
+  JobEventContext context;
+  context.application = "Figure2";
+  JobEventScope submissions("s", JobEventScope::Kind::kSubmission);
+  JobEventScope cancellations("c", JobEventScope::Kind::kCancellation);
+  JobEventScope both("b");
+  EXPECT_TRUE(MatchJobEvent(submissions, context, true));
+  EXPECT_FALSE(MatchJobEvent(submissions, context, false));
+  EXPECT_FALSE(MatchJobEvent(cancellations, context, true));
+  EXPECT_TRUE(MatchJobEvent(cancellations, context, false));
+  EXPECT_TRUE(MatchJobEvent(both, context, true));
+  EXPECT_TRUE(MatchJobEvent(both, context, false));
+  JobEventScope filtered("f");
+  filtered.AddApplicationFilter("Other");
+  EXPECT_FALSE(MatchJobEvent(filtered, context, true));
+}
+
+TEST_F(ScopeTest, UserEventScopeNames) {
+  UserEventScope scope("u");
+  UserEventContext context;
+  context.name = "modelRefreshRequested";
+  EXPECT_TRUE(MatchUserEvent(scope, context));  // empty filter = all
+  scope.AddNameFilter("somethingElse");
+  EXPECT_FALSE(MatchUserEvent(scope, context));
+  scope.AddNameFilter("modelRefreshRequested");
+  EXPECT_TRUE(MatchUserEvent(scope, context));
+}
+
+}  // namespace
+}  // namespace orcastream::orca

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "apps/sentiment_app.h"
+#include "apps/sentiment_orca.h"
+#include "orca/orca_service.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+/// End-to-end §5.1 scenario (Figure 8), time-compressed: the tweet cause
+/// distribution shifts at t=300; the orchestrator must observe the
+/// unknown/known ratio crossing 1.0, trigger exactly one Hadoop job
+/// (respecting the re-trigger guard), and the ratio must drop back below
+/// 1.0 once the recomputed model is installed.
+class SentimentUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr double kShiftTime = 300;
+  static constexpr double kHadoopDuration = 60;
+  static constexpr double kGuard = 120;
+
+  SentimentUseCaseTest() : cluster_(4) {
+    TweetWorkload workload;
+    workload.period = 0.05;  // 20 tweets/s
+    workload.shift_time = kShiftTime;
+    CauseModel initial;
+    initial.known_causes = {"flash", "screen"};
+    handles_ = SentimentApp::Register(&cluster_.factory(),
+                                      "SentimentAnalysis", workload, initial);
+
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm());
+    HadoopSim::Config hadoop_config;
+    hadoop_config.job_duration = kHadoopDuration;
+    hadoop_config.min_support = 20;
+    hadoop_ = std::make_unique<HadoopSim>(&cluster_.sim(), hadoop_config);
+
+    orca::AppConfig config;
+    config.id = "sentiment";
+    config.application_name = "SentimentAnalysis";
+    auto model = SentimentApp::Build("SentimentAnalysis");
+    EXPECT_TRUE(model.ok()) << model.status();
+    EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+
+    SentimentOrca::Config orca_config;
+    orca_config.threshold = 1.0;
+    orca_config.retrigger_guard = kGuard;
+    auto logic = std::make_unique<SentimentOrca>(orca_config, hadoop_.get(),
+                                                 handles_);
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  ClusterHarness cluster_;
+  SentimentApp::Handles handles_;
+  std::unique_ptr<orca::OrcaService> service_;
+  std::unique_ptr<HadoopSim> hadoop_;
+  SentimentOrca* logic_;
+};
+
+TEST_F(SentimentUseCaseTest, Figure8Trajectory) {
+  cluster_.sim().RunUntil(kShiftTime - 10);
+  // Phase 1: causes are known, ratio below threshold, no triggers.
+  ASSERT_FALSE(logic_->measurements().empty());
+  for (const auto& m : logic_->measurements()) {
+    EXPECT_LT(m.ratio, 1.0) << "pre-shift ratio must stay below 1.0";
+  }
+  EXPECT_TRUE(logic_->trigger_times().empty());
+  EXPECT_EQ(hadoop_->jobs_submitted(), 0);
+
+  // Phase 2: the antenna burst drives the ratio over the threshold; the
+  // orchestrator submits the Hadoop job once.
+  cluster_.sim().RunUntil(kShiftTime + 60);
+  ASSERT_EQ(logic_->trigger_times().size(), 1u);
+  EXPECT_GT(logic_->trigger_times()[0], kShiftTime);
+  EXPECT_EQ(hadoop_->jobs_submitted(), 1);
+  double peak = 0;
+  for (const auto& m : logic_->measurements()) peak = std::max(peak, m.ratio);
+  EXPECT_GT(peak, 1.0);
+
+  // Phase 3: the job completes, the model refreshes, and the ratio falls
+  // back under the threshold (Figure 8's tail).
+  cluster_.sim().RunUntil(kShiftTime + kHadoopDuration + 120);
+  EXPECT_EQ(hadoop_->jobs_completed(), 1);
+  EXPECT_EQ(handles_.model->version(), 1);
+  EXPECT_TRUE(handles_.model->Get()->Knows("antenna"));
+  ASSERT_FALSE(logic_->measurements().empty());
+  const auto& tail = logic_->measurements().back();
+  EXPECT_LT(tail.ratio, 1.0) << "post-adaptation ratio must recover";
+  EXPECT_EQ(tail.model_version, 1);
+}
+
+TEST_F(SentimentUseCaseTest, RetriggerGuardLimitsJobRate) {
+  // While the model is stale (job still running) the ratio keeps
+  // exceeding the threshold, but the guard must prevent a second job
+  // within kGuard seconds.
+  cluster_.sim().RunUntil(kShiftTime + kGuard - 5);
+  EXPECT_LE(hadoop_->jobs_submitted(), 1);
+  ASSERT_EQ(logic_->trigger_times().size(), 1u);
+}
+
+TEST_F(SentimentUseCaseTest, NegativeTweetsReachTheDiskStore) {
+  cluster_.sim().RunUntil(120);
+  // ~20 tweets/s * 0.8 product * 0.6 negative ≈ 9.6/s.
+  EXPECT_GT(handles_.negative_store->size(), 500u);
+  for (const auto& record : handles_.negative_store->records()) {
+    EXPECT_EQ(record.tuple.StringOr("sentiment", ""), "negative");
+    EXPECT_EQ(record.tuple.StringOr("product", ""), "iPhone");
+  }
+}
+
+TEST_F(SentimentUseCaseTest, DisplayReceivesAggregatedCauses) {
+  cluster_.sim().RunUntil(120);
+  ASSERT_GT(handles_.display->size(), 0u);
+  // Pre-shift, the top causes must be the known ones.
+  std::set<std::string> seen;
+  for (const auto& record : handles_.display->records()) {
+    seen.insert(record.tuple.StringOr("correlatedCause", ""));
+  }
+  EXPECT_TRUE(seen.count("flash") > 0 || seen.count("screen") > 0);
+}
+
+}  // namespace
+}  // namespace orcastream::apps

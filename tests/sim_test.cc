@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace orcastream::sim {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulationTest, FifoAtSameTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 7.5);
+}
+
+TEST(SimulationTest, PastTimesClampToNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAt(1.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelAfterFireIsNoop) {
+  Simulation sim;
+  EventId id = sim.ScheduleAt(1.0, [] {});
+  sim.Run();
+  sim.Cancel(id);  // must not corrupt bookkeeping
+  EXPECT_EQ(sim.pending_events(), 0u);
+  bool fired = false;
+  sim.ScheduleAfter(1.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<double> fired;
+  sim.ScheduleAt(1.0, [&] { fired.push_back(1.0); });
+  sim.ScheduleAt(2.0, [&] { fired.push_back(2.0); });
+  sim.ScheduleAt(10.0, [&] { fired.push_back(10.0); });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.Now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunFor(5.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWithEmptyQueue) {
+  Simulation sim;
+  sim.RunUntil(42.0);
+  EXPECT_EQ(sim.Now(), 42.0);
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(i, [&] {
+      ++count;
+      if (count == 3) sim.Stop();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(1.0, [&] { ++count; });
+  sim.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.ScheduleAt(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleAfter(1.0, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(&sim, 3.0, [&] { fired.push_back(sim.Now()); });
+  task.Start(3.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, (std::vector<double>{3.0, 6.0, 9.0}));
+}
+
+TEST(PeriodicTaskTest, StopCancelsFutureFirings) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++count; });
+  task.Start(1.0);
+  sim.RunUntil(2.5);
+  EXPECT_EQ(count, 2);
+  task.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, PeriodChangeTakesEffectAfterPendingFiring) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(&sim, 1.0, [&] { fired.push_back(sim.Now()); });
+  task.Start(1.0);
+  sim.RunUntil(2.0);  // fires at 1, 2; next firing already armed for 3
+  task.set_period(5.0);
+  sim.RunUntil(12.0);  // fires at 3, then every 5 s: 8
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 8.0}));
+}
+
+TEST(PeriodicTaskTest, CallbackCanStopItself) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, [&] {
+    ++count;
+    if (count == 2) task.Stop();
+  });
+  task.Start(1.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++count; });
+  task.Start(1.0);
+  sim.RunUntil(1.5);
+  task.Stop();
+  task.Start(1.0);
+  sim.RunUntil(2.5);
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace orcastream::sim

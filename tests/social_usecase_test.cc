@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "apps/social_app.h"
+#include "apps/social_orca.h"
+#include "orca/orca_service.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+/// End-to-end §5.3 scenario (Figure 10), threshold scaled down: C2 apps
+/// depend on C1 apps (auto-submission), discovered-profile metrics drive
+/// C3 expansion, and C3 final punctuation drives contraction.
+class SocialUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kThreshold = 150;
+
+  SocialUseCaseTest() : cluster_(6) {
+    handles_ = SocialApps::Register(&cluster_.factory(), &cluster_.sim());
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm());
+
+    // C1 readers.
+    RegisterApp("c1_twitter", "TwitterStreamReader", true, 30, [&] {
+      ProfileWorkload workload;
+      workload.period = 0.05;
+      workload.source = "twitter";
+      return SocialApps::BuildReader("TwitterStreamReader", workload,
+                                     &cluster_.factory());
+    }());
+    RegisterApp("c1_myspace", "MySpaceStreamReader", true, 30, [&] {
+      ProfileWorkload workload;
+      workload.period = 0.1;
+      workload.source = "myspace";
+      return SocialApps::BuildReader("MySpaceStreamReader", workload,
+                                     &cluster_.factory());
+    }());
+
+    // C2 query apps with different discovery profiles.
+    RegisterApp("c2_twitter", "TwitterQuery", true, 30,
+                SocialApps::BuildQuery("TwitterQuery",
+                                       {{"gender", 0.5}, {"location", 0.3}},
+                                       &cluster_.factory(), handles_));
+    RegisterApp("c2_blog", "BlogQuery", true, 30,
+                SocialApps::BuildQuery("BlogQuery",
+                                       {{"age", 0.4}, {"location", 0.2}},
+                                       &cluster_.factory(), handles_));
+    RegisterApp("c2_facebook", "FacebookQuery", true, 30,
+                SocialApps::BuildQuery(
+                    "FacebookQuery",
+                    {{"age", 0.3}, {"gender", 0.4}, {"location", 0.3}},
+                    &cluster_.factory(), handles_));
+
+    // C3 aggregators, one per attribute, parameterized by $attribute.
+    for (const auto& attr : SocialApps::Attributes()) {
+      std::string app_name = "AttributeAggregator_" + attr;
+      orca::AppConfig config;
+      config.id = "c3_" + attr;
+      config.application_name = app_name;
+      config.parameters["attribute"] = attr;
+      config.garbage_collectable = true;
+      config.gc_timeout_seconds = 5;
+      auto model = SocialApps::BuildAggregator(app_name);
+      EXPECT_TRUE(model.ok()) << model.status();
+      EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+    }
+
+    SocialOrca::Config orca_config;
+    orca_config.profile_threshold = kThreshold;
+    auto logic = std::make_unique<SocialOrca>(orca_config);
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  void RegisterApp(const std::string& id, const std::string& app_name,
+                   bool collectable, double gc_timeout,
+                   common::Result<topology::ApplicationModel> model) {
+    ASSERT_TRUE(model.ok()) << model.status();
+    orca::AppConfig config;
+    config.id = id;
+    config.application_name = app_name;
+    config.garbage_collectable = collectable;
+    config.gc_timeout_seconds = gc_timeout;
+    ASSERT_TRUE(service_->RegisterApplication(config, *model).ok());
+  }
+
+  ClusterHarness cluster_;
+  SocialApps::Handles handles_;
+  std::unique_ptr<orca::OrcaService> service_;
+  SocialOrca* logic_;
+};
+
+TEST_F(SocialUseCaseTest, C1AppsComeUpThroughDependencies) {
+  cluster_.sim().RunUntil(2);
+  for (const auto& id : {"c1_twitter", "c1_myspace", "c2_twitter", "c2_blog",
+                         "c2_facebook"}) {
+    EXPECT_TRUE(service_->IsRunning(id)) << id;
+  }
+  // No C3 yet: nothing discovered.
+  for (const auto& attr : SocialApps::Attributes()) {
+    EXPECT_FALSE(service_->IsRunning("c3_" + attr));
+  }
+}
+
+TEST_F(SocialUseCaseTest, ProfilesFlowIntoTheStore) {
+  cluster_.sim().RunUntil(60);
+  EXPECT_GT(handles_.store->size(), 100u);
+  // The store de-duplicates by user while the metric counts discoveries.
+  int64_t aggregate = 0;
+  for (const auto& attr : SocialApps::Attributes()) {
+    aggregate += logic_->AggregateCount(attr);
+  }
+  EXPECT_GT(aggregate, 0);
+}
+
+TEST_F(SocialUseCaseTest, Figure10ExpansionAndContraction) {
+  cluster_.sim().RunUntil(400);
+  // Expansion: at least one C3 must have been spawned once some attribute
+  // crossed the threshold.
+  int expansions = 0, contractions = 0;
+  for (const auto& event : logic_->events()) {
+    if (event.what == "expand") ++expansions;
+    if (event.what == "contract") ++contractions;
+  }
+  EXPECT_GT(expansions, 0);
+  // Contraction: C3 apps finish (final punctuation) and get cancelled.
+  EXPECT_GT(contractions, 0);
+  EXPECT_LE(contractions, expansions);
+  // Correlation results were produced before cancellation.
+  ASSERT_GT(handles_.correlations->size(), 0u);
+  // C3 results carry the segmentation fields.
+  const auto& sample = handles_.correlations->records().front().tuple;
+  EXPECT_TRUE(sample.Has("value"));
+  EXPECT_TRUE(sample.Has("count_negValue") || sample.Has("sentiment"));
+}
+
+TEST_F(SocialUseCaseTest, ExpansionRequiresNewProfilesSinceLastLaunch) {
+  cluster_.sim().RunUntil(400);
+  // Between two expansions for the same attribute, the aggregate count
+  // must have grown by at least the threshold.
+  std::map<std::string, int> per_attr;
+  for (const auto& event : logic_->events()) {
+    if (event.what == "expand") per_attr[event.attribute]++;
+  }
+  for (const auto& [attr, launches] : per_attr) {
+    EXPECT_LE(static_cast<int64_t>(launches),
+              logic_->AggregateCount(attr) / kThreshold + 1)
+        << attr;
+  }
+}
+
+TEST_F(SocialUseCaseTest, CancellingAllC2AppsReleasesC1ViaGc) {
+  cluster_.sim().RunUntil(10);
+  for (const auto& id : {"c2_twitter", "c2_blog", "c2_facebook"}) {
+    ASSERT_TRUE(service_->CancelApplication(id).ok()) << id;
+  }
+  // C1 readers become unused; they are GC'd after their 30 s timeout.
+  cluster_.sim().RunUntil(15);
+  EXPECT_TRUE(service_->IsRunning("c1_twitter"));
+  EXPECT_TRUE(service_->IsGcPending("c1_twitter"));
+  cluster_.sim().RunUntil(60);
+  EXPECT_FALSE(service_->IsRunning("c1_twitter"));
+  EXPECT_FALSE(service_->IsRunning("c1_myspace"));
+}
+
+}  // namespace
+}  // namespace orcastream::apps

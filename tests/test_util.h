@@ -1,0 +1,63 @@
+#ifndef ORCASTREAM_TESTS_TEST_UTIL_H_
+#define ORCASTREAM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/sinks.h"
+#include "ops/standard.h"
+#include "runtime/failure_injector.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::testing {
+
+/// Spins up a small simulated cluster (SRM + SAM + standard operators) for
+/// runtime-level tests. Collected sink output is recorded per sink kind.
+class ClusterHarness {
+ public:
+  explicit ClusterHarness(int hosts = 3,
+                          runtime::Sam::Config sam_config = {},
+                          runtime::Srm::Config srm_config = {})
+      : srm_(&sim_, srm_config) {
+    for (int i = 0; i < hosts; ++i) {
+      srm_.AddHost("host" + std::to_string(i));
+    }
+    ops::RegisterStandardOperators(&factory_);
+    sam_ = std::make_unique<runtime::Sam>(&sim_, &srm_, &factory_,
+                                          sam_config);
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  runtime::Srm& srm() { return srm_; }
+  runtime::Sam& sam() { return *sam_; }
+  runtime::OperatorFactory& factory() { return factory_; }
+
+  /// Registers a CallbackSink kind that appends tuples to an internal log.
+  /// Returns a pointer to the log (stable for the harness lifetime).
+  std::vector<topology::Tuple>* AddSinkKind(const std::string& kind) {
+    auto log = std::make_shared<std::vector<topology::Tuple>>();
+    logs_.push_back(log);
+    factory_.RegisterOrReplace(kind, [log] {
+      return std::make_unique<ops::CallbackSink>(
+          [log](const topology::Tuple& tuple, runtime::OperatorContext*) {
+            log->push_back(tuple);
+          });
+    });
+    return log.get();
+  }
+
+ private:
+  sim::Simulation sim_;
+  runtime::Srm srm_;
+  runtime::OperatorFactory factory_;
+  std::unique_ptr<runtime::Sam> sam_;
+  std::vector<std::shared_ptr<std::vector<topology::Tuple>>> logs_;
+};
+
+}  // namespace orcastream::testing
+
+#endif  // ORCASTREAM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "topology/app_builder.h"
+#include "topology/app_model.h"
+
+namespace orcastream::topology {
+namespace {
+
+/// Builds the paper's Figure 2 application: op1/op2 feeding two instances
+/// of a split-and-merge composite (composite1), followed by op10..op40
+/// style consumers (abbreviated as sink operators here).
+ApplicationModel BuildFigure2() {
+  AppBuilder builder("Figure2");
+  auto split_merge = [](AppBuilder& b) {
+    b.AddOperator("op3", "Split").Input("in").Output("s3a").Output("s3b");
+    b.AddOperator("op4", "Filter").Input("s3a").Output("s4");
+    b.AddOperator("op5", "Filter").Input("s3b").Output("s5");
+    b.AddOperator("op6", "Merge").Input({"s4", "s5"}).Output("out");
+  };
+  builder.AddOperator("op1", "Beacon").Output("src1");
+  builder.AddOperator("op2", "Beacon").Output("src2");
+
+  builder.BeginComposite("composite1", "c1a");
+  builder.AddOperator("in_fwd", "Merge").Input({"src1"}).Output("in");
+  split_merge(builder);
+  builder.EndComposite();
+
+  builder.BeginComposite("composite1", "c1b");
+  builder.AddOperator("in_fwd", "Merge").Input({"src2"}).Output("in");
+  split_merge(builder);
+  builder.EndComposite();
+
+  builder.AddOperator("sinkA", "NullSink").Input("c1a.out");
+  builder.AddOperator("sinkB", "NullSink").Input("c1b.out");
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status();
+  return built.ValueOr(ApplicationModel("invalid"));
+}
+
+TEST(AppBuilderTest, QualifiesNamesWithCompositeScope) {
+  ApplicationModel model = BuildFigure2();
+  EXPECT_NE(model.FindOperator("op1"), nullptr);
+  EXPECT_NE(model.FindOperator("c1a.op3"), nullptr);
+  EXPECT_NE(model.FindOperator("c1b.op6"), nullptr);
+  EXPECT_EQ(model.FindOperator("op3"), nullptr);  // only qualified names
+}
+
+TEST(AppBuilderTest, RecordsCompositeContainment) {
+  ApplicationModel model = BuildFigure2();
+  const OperatorDef* op = model.FindOperator("c1a.op4");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->composite, "c1a");
+  const CompositeInstanceDef* comp = model.FindComposite("c1a");
+  ASSERT_NE(comp, nullptr);
+  EXPECT_EQ(comp->kind, "composite1");
+  EXPECT_EQ(comp->parent, "");
+  EXPECT_EQ(model.EnclosingComposites("c1a.op4"),
+            (std::vector<std::string>{"c1a"}));
+  EXPECT_TRUE(model.EnclosingComposites("op1").empty());
+}
+
+TEST(AppBuilderTest, NestedComposites) {
+  AppBuilder builder("Nested");
+  builder.BeginComposite("outer", "o");
+  builder.AddOperator("src", "Beacon").Output("s");
+  builder.BeginComposite("inner", "i");
+  builder.AddOperator("sink", "NullSink").Input({"o.s"});
+  builder.EndComposite();
+  builder.EndComposite();
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_NE(model->FindOperator("o.i.sink"), nullptr);
+  EXPECT_EQ(model->FindComposite("o.i")->parent, "o");
+  EXPECT_EQ(model->EnclosingComposites("o.i.sink"),
+            (std::vector<std::string>{"o.i", "o"}));
+}
+
+TEST(AppBuilderTest, InstantiateTemplateTwice) {
+  AppBuilder builder("Reuse");
+  builder.AddOperator("src", "Beacon").Output("raw");
+  AppBuilder::CompositeTemplate tmpl = [](AppBuilder& b) {
+    b.AddOperator("stage", "Filter").Input({"raw"}).Output("filtered");
+  };
+  builder.Instantiate("stageComp", "a", tmpl);
+  builder.Instantiate("stageComp", "b", tmpl);
+  builder.AddOperator("sinkA", "NullSink").Input("a.filtered");
+  builder.AddOperator("sinkB", "NullSink").Input("b.filtered");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_NE(model->FindOperator("a.stage"), nullptr);
+  EXPECT_NE(model->FindOperator("b.stage"), nullptr);
+  EXPECT_EQ(model->FindComposite("a")->kind, "stageComp");
+  EXPECT_EQ(model->FindComposite("b")->kind, "stageComp");
+}
+
+TEST(AppBuilderTest, UnclosedCompositeFailsBuild) {
+  AppBuilder builder("Bad");
+  builder.BeginComposite("c", "x");
+  builder.AddOperator("src", "Beacon").Output("s");
+  auto model = builder.Build();
+  EXPECT_TRUE(model.status().IsFailedPrecondition());
+}
+
+TEST(AppModelValidateTest, DuplicateOperatorRejected) {
+  AppBuilder builder("Dup");
+  builder.AddOperator("x", "Beacon").Output("s1");
+  builder.AddOperator("x", "Beacon").Output("s2");
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(AppModelValidateTest, DuplicateStreamRejected) {
+  AppBuilder builder("Dup");
+  builder.AddOperator("a", "Beacon").Output("s");
+  builder.AddOperator("b", "Beacon").Output("s");
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(AppModelValidateTest, UnknownStreamSubscriptionRejected) {
+  AppBuilder builder("Bad");
+  builder.AddOperator("sink", "NullSink").Input("ghost");
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(AppModelValidateTest, UnknownHostPoolRejected) {
+  AppBuilder builder("Bad");
+  builder.AddOperator("src", "Beacon").Output("s").Pool("nonexistent");
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(AppModelValidateTest, EmptyInputPortRejected) {
+  ApplicationModel model("Bad");
+  OperatorDef op;
+  op.name = "x";
+  op.kind = "NullSink";
+  op.inputs.push_back(InputPortDef{});  // subscribes to nothing
+  model.operators().push_back(op);
+  EXPECT_TRUE(model.Validate().IsInvalidArgument());
+}
+
+TEST(AppModelValidateTest, ImportOnlyPortIsValid) {
+  AppBuilder builder("Importer");
+  builder.AddOperator("sink", "NullSink")
+      .ImportByProperties({{"kind", "profiles"}});
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(AppModelTest, FindStreamProducer) {
+  ApplicationModel model = BuildFigure2();
+  auto producer = model.FindStreamProducer("c1a.s4");
+  ASSERT_TRUE(producer.ok());
+  EXPECT_EQ(producer->op->name, "c1a.op4");
+  EXPECT_EQ(producer->port, 0u);
+  EXPECT_TRUE(model.FindStreamProducer("nope").status().IsNotFound());
+}
+
+TEST(AppModelTest, MakeHostPoolsExclusiveWithPools) {
+  AppBuilder builder("App");
+  builder.AddHostPool("pool1", {"rack1"}, false);
+  builder.AddOperator("src", "Beacon").Output("s").Pool("pool1");
+  builder.AddOperator("sink", "NullSink").Input("s");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  model->MakeHostPoolsExclusive();
+  EXPECT_TRUE(model->host_pools()[0].exclusive);
+  // The untagged operator joins the first pool.
+  EXPECT_EQ(model->FindOperator("sink")->host_pool, "pool1");
+}
+
+TEST(AppModelTest, MakeHostPoolsExclusiveSynthesizesPool) {
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon").Output("s");
+  builder.AddOperator("sink", "NullSink").Input("s");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  model->MakeHostPoolsExclusive();
+  ASSERT_EQ(model->host_pools().size(), 1u);
+  EXPECT_TRUE(model->host_pools()[0].exclusive);
+  EXPECT_EQ(model->FindOperator("src")->host_pool,
+            model->host_pools()[0].name);
+}
+
+TEST(AppBuilderTest, ParamsAndConstraints) {
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("s")
+      .Param("period", 0.5)
+      .Param("count", static_cast<int64_t>(10))
+      .Param("mode", "fast")
+      .Colocate("grp")
+      .Exlocate("xl")
+      .CostPerTuple(0.001);
+  builder.AddOperator("sink", "NullSink").Input("s").Colocate("grp");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  const OperatorDef* op = model->FindOperator("src");
+  EXPECT_EQ(op->params.at("mode"), "fast");
+  EXPECT_EQ(op->params.at("count"), "10");
+  EXPECT_EQ(op->partition_colocation, "grp");
+  EXPECT_EQ(op->host_exlocation, "xl");
+  EXPECT_EQ(op->cost_per_tuple, 0.001);
+}
+
+TEST(AppBuilderTest, ExportAndImportSpecs) {
+  AppBuilder builder("Exporter");
+  builder.AddOperator("src", "Beacon")
+      .Output("results")
+      .Export("resultsId", {{"kind", "aggregated"}});
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  const OutputPortDef& out = model->FindOperator("src")->outputs[0];
+  EXPECT_TRUE(out.exported);
+  EXPECT_EQ(out.export_id, "resultsId");
+  EXPECT_EQ(out.export_properties.at("kind"), "aggregated");
+}
+
+}  // namespace
+}  // namespace orcastream::topology

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "apps/trend_app.h"
+#include "apps/trend_orca.h"
+#include "runtime/failure_injector.h"
+#include "orca/orca_service.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+/// End-to-end §5.2 scenario (Figure 9), with the 600 s window compressed
+/// to 60 s: three replicas on exclusive hosts; killing a PE of the active
+/// replica triggers failover to the oldest healthy replica, the failed PE
+/// restarts, and the restarted replica produces under-filled (incorrect)
+/// windows until its history refills.
+class TrendUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr double kWindow = 60;
+  static constexpr double kOutputPeriod = 5;
+  static constexpr double kCrashTime = 100;
+
+  TrendUseCaseTest() : cluster_(8) {
+    StockWorkload workload;
+    workload.period = 0.5;
+    workload.symbols = {"IBM"};
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm());
+
+    TrendOrca::Config orca_config;
+    for (const auto& replica : orca_config.replica_ids) {
+      std::string app_name = "TrendCalculator_" + replica;
+      handles_[replica] =
+          TrendApp::Register(&cluster_.factory(), app_name, workload);
+      auto model = TrendApp::Build(app_name, kWindow, kOutputPeriod);
+      EXPECT_TRUE(model.ok()) << model.status();
+      orca::AppConfig config;
+      config.id = replica;
+      config.application_name = app_name;
+      config.parameters["replica"] = replica;
+      EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+    }
+    auto logic = std::make_unique<TrendOrca>(orca_config);
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  /// PE of the stateful (compute) partition of a replica.
+  common::PeId ComputePe(const std::string& replica) {
+    auto job = service_->RunningJob(replica);
+    EXPECT_TRUE(job.ok());
+    auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator(
+        TrendApp::kAggregateName);
+    EXPECT_TRUE(pe.ok());
+    return pe.ValueOr(common::PeId());
+  }
+
+  ClusterHarness cluster_;
+  std::map<std::string, TrendApp::Handles> handles_;
+  std::unique_ptr<orca::OrcaService> service_;
+  TrendOrca* logic_;
+};
+
+TEST_F(TrendUseCaseTest, ReplicasStartOnDistinctExclusiveHosts) {
+  cluster_.sim().RunUntil(5);
+  std::set<common::HostId> hosts;
+  for (const auto& replica : {"replica0", "replica1", "replica2"}) {
+    ASSERT_TRUE(service_->IsRunning(replica));
+    auto job = service_->RunningJob(replica);
+    ASSERT_TRUE(job.ok());
+    for (const auto& pe : cluster_.sam().FindJob(job.value())->pes) {
+      hosts.insert(pe.host);
+    }
+  }
+  // Exclusive pools: no host is shared across replicas. Each replica has
+  // 2 PEs which may stack on one exclusive host, so ≥3 distinct hosts.
+  EXPECT_GE(hosts.size(), 3u);
+  // Status board: replica0 active, others backup.
+  EXPECT_EQ(logic_->active_replica(), "replica0");
+  EXPECT_EQ(logic_->status_board().at("replica0"), "active");
+  EXPECT_EQ(logic_->status_board().at("replica1"), "backup");
+}
+
+TEST_F(TrendUseCaseTest, HealthyReplicasProduceIdenticalOutput) {
+  cluster_.sim().RunUntil(kCrashTime);
+  // "When both replicas are healthy, the graphed output is identical."
+  const auto& out0 = (*handles_["replica0"].outputs)["replica0"];
+  const auto& out1 = (*handles_["replica1"].outputs)["replica1"];
+  ASSERT_GT(out0.size(), 10u);
+  ASSERT_EQ(out0.size(), out1.size());
+  for (size_t i = 0; i < out0.size(); ++i) {
+    EXPECT_EQ(out0[i].avg, out1[i].avg);
+    EXPECT_EQ(out0[i].upper, out1[i].upper);
+    EXPECT_EQ(out0[i].window_count, out1[i].window_count);
+  }
+}
+
+TEST_F(TrendUseCaseTest, Figure9FailoverOnActiveReplicaCrash) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(kCrashTime - 1);
+  common::PeId crashed_pe = ComputePe("replica0");
+  injector.KillPeAt(kCrashTime, crashed_pe, "killed active replica PE");
+
+  cluster_.sim().RunUntil(kCrashTime + 10);
+  // Failover happened: oldest healthy backup (replica1) is active.
+  ASSERT_EQ(logic_->failovers().size(), 1u);
+  const auto& failover = logic_->failovers()[0];
+  EXPECT_TRUE(failover.active_failed);
+  EXPECT_EQ(failover.failed_replica, "replica0");
+  EXPECT_EQ(failover.new_active, "replica1");
+  EXPECT_EQ(logic_->active_replica(), "replica1");
+  EXPECT_EQ(logic_->status_board().at("replica0"), "backup");
+  EXPECT_EQ(logic_->status_board().at("replica1"), "active");
+  // The failed PE was restarted by the ORCA logic.
+  EXPECT_TRUE(cluster_.sam().FindPe(crashed_pe)->running());
+
+  // The promoted replica keeps producing full windows throughout.
+  const auto& active_out = (*handles_["replica1"].outputs)["replica1"];
+  ASSERT_FALSE(active_out.empty());
+  EXPECT_GT(active_out.back().window_count, 100);
+
+  // The restarted replica produces under-filled windows (incorrect
+  // output) until kWindow seconds pass — Figure 9's dashed box.
+  cluster_.sim().RunUntil(kCrashTime + kWindow / 2);
+  const auto& failed_out = (*handles_["replica0"].outputs)["replica0"];
+  ASSERT_FALSE(failed_out.empty());
+  int64_t partial = failed_out.back().window_count;
+  int64_t full = active_out.back().window_count;
+  EXPECT_LT(partial, full) << "restarted replica must still be refilling";
+
+  // After a full window span the replica has recovered.
+  cluster_.sim().RunUntil(kCrashTime + kWindow + 30);
+  EXPECT_NEAR(static_cast<double>(failed_out.back().window_count),
+              static_cast<double>(active_out.back().window_count), 2.0);
+}
+
+TEST_F(TrendUseCaseTest, BackupCrashDoesNotChangeActive) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(kCrashTime - 1);
+  injector.KillPeAt(kCrashTime, ComputePe("replica2"), "backup crash");
+  cluster_.sim().RunUntil(kCrashTime + 10);
+  ASSERT_EQ(logic_->failovers().size(), 1u);
+  EXPECT_FALSE(logic_->failovers()[0].active_failed);
+  EXPECT_EQ(logic_->active_replica(), "replica0");
+  // Backup was still restarted.
+  EXPECT_TRUE(cluster_.sam().FindPe(logic_->failovers()[0].failed_pe) !=
+              nullptr);
+}
+
+TEST_F(TrendUseCaseTest, SecondFailoverPrefersLongestHistory) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(5);
+  // Crash active replica0 at t=100 → replica1 active. Crash replica1 at
+  // t=130: replica2 (healthy since 0) must win over replica0 (healthy
+  // since ~100).
+  injector.KillPeAt(100, ComputePe("replica0"), "crash0");
+  injector.KillPeAt(130, ComputePe("replica1"), "crash1");
+  cluster_.sim().RunUntil(150);
+  ASSERT_EQ(logic_->failovers().size(), 2u);
+  EXPECT_EQ(logic_->failovers()[1].new_active, "replica2");
+  EXPECT_EQ(logic_->active_replica(), "replica2");
+}
+
+TEST_F(TrendUseCaseTest, BollingerBandsBracketTheAverage) {
+  cluster_.sim().RunUntil(120);
+  const auto& out = (*handles_["replica0"].outputs)["replica0"];
+  ASSERT_GT(out.size(), 5u);
+  for (const auto& point : out) {
+    EXPECT_GE(point.upper, point.avg);
+    EXPECT_LE(point.lower, point.avg);
+    EXPECT_GE(point.avg, point.min - 1e-9);
+    EXPECT_LE(point.avg, point.max + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace orcastream::apps

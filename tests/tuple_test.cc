@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "topology/tuple.h"
+
+namespace orcastream::topology {
+namespace {
+
+TEST(TupleTest, SetAndGetTypedFields) {
+  Tuple t;
+  t.Set("count", static_cast<int64_t>(7))
+      .Set("price", 3.5)
+      .Set("symbol", "IBM")
+      .Set("negative", true);
+  EXPECT_EQ(t.GetInt("count").value(), 7);
+  EXPECT_EQ(t.GetDouble("price").value(), 3.5);
+  EXPECT_EQ(t.GetString("symbol").value(), "IBM");
+  EXPECT_EQ(t.GetBool("negative").value(), true);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TupleTest, OverwritePreservesOrder) {
+  Tuple t;
+  t.Set("a", 1).Set("b", 2).Set("a", 3);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.fields()[0].first, "a");
+  EXPECT_EQ(t.GetInt("a").value(), 3);
+}
+
+TEST(TupleTest, MissingFieldIsNotFound) {
+  Tuple t;
+  EXPECT_TRUE(t.GetInt("nope").status().IsNotFound());
+  EXPECT_FALSE(t.Has("nope"));
+}
+
+TEST(TupleTest, WrongTypeIsInvalidArgument) {
+  Tuple t;
+  t.Set("s", "text");
+  EXPECT_TRUE(t.GetInt("s").status().IsInvalidArgument());
+  EXPECT_TRUE(t.GetDouble("s").status().IsInvalidArgument());
+  EXPECT_TRUE(t.GetBool("s").status().IsInvalidArgument());
+}
+
+TEST(TupleTest, FallbackAccessors) {
+  Tuple t;
+  t.Set("x", 5);
+  EXPECT_EQ(t.IntOr("x", 0), 5);
+  EXPECT_EQ(t.IntOr("y", -1), -1);
+  EXPECT_EQ(t.DoubleOr("y", 2.5), 2.5);
+  EXPECT_EQ(t.StringOr("y", "dflt"), "dflt");
+  EXPECT_EQ(t.BoolOr("y", true), true);
+}
+
+TEST(TupleTest, NumericAcceptsIntAndDouble) {
+  Tuple t;
+  t.Set("i", 4).Set("d", 2.5).Set("s", "x");
+  EXPECT_EQ(t.GetNumeric("i").value(), 4.0);
+  EXPECT_EQ(t.GetNumeric("d").value(), 2.5);
+  EXPECT_FALSE(t.GetNumeric("s").ok());
+}
+
+TEST(TupleTest, ByteSizeAccountsForStrings) {
+  Tuple t;
+  t.Set("k", "abcd");  // 1 (key) + 4 (value)
+  EXPECT_EQ(t.ByteSize(), 5u);
+  t.Set("n", 1);  // + 1 + 8
+  EXPECT_EQ(t.ByteSize(), 14u);
+}
+
+TEST(TupleTest, ToStringRendering) {
+  Tuple t;
+  t.Set("a", 1).Set("b", "x").Set("c", true);
+  EXPECT_EQ(t.ToString(), "{a=1, b=\"x\", c=true}");
+  EXPECT_EQ(Tuple().ToString(), "{}");
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a, b;
+  a.Set("x", 1);
+  b.Set("x", 1);
+  EXPECT_TRUE(a == b);
+  b.Set("x", 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ValueTest, ValueToStringVariants) {
+  EXPECT_EQ(ValueToString(Value(static_cast<int64_t>(3))), "3");
+  EXPECT_EQ(ValueToString(Value(1.5)), "1.5");
+  EXPECT_EQ(ValueToString(Value(std::string("s"))), "\"s\"");
+  EXPECT_EQ(ValueToString(Value(false)), "false");
+}
+
+}  // namespace
+}  // namespace orcastream::topology

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ops/sources.h"
+#include "tests/test_util.h"
+
+namespace orcastream::ops {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::Tuple;
+
+TEST(DelayTest, ShiftsTuplesInTime) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 1.0)
+      .Param("count", 3);
+  builder.AddOperator("delay", "Delay")
+      .Input("raw")
+      .Output("late")
+      .Param("delay", 5.0);
+  builder.AddOperator("snk", "LogSink").Input("late");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(5.5);
+  EXPECT_EQ(log->size(), 0u);  // first tuple at t=1 arrives at ~6
+  cluster.sim().RunUntil(8.5);
+  EXPECT_EQ(log->size(), 3u);
+}
+
+TEST(DelayTest, CrashDropsHeldTuples) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 1.0)
+      .Param("count", 3);
+  builder.AddOperator("delay", "Delay")
+      .Input("raw")
+      .Output("late")
+      .Param("delay", 10.0);
+  builder.AddOperator("snk", "LogSink").Input("late");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(5);
+  auto pe = cluster.sam().FindJob(*job)->PeOfOperator("delay");
+  ASSERT_TRUE(cluster.sam().KillPe(pe.value(), "crash").ok());
+  cluster.sim().RunUntil(30);
+  // Held tuples died with the PE (timers are incarnation-guarded).
+  EXPECT_EQ(log->size(), 0u);
+}
+
+TEST(DeDuplicateTest, DropsDuplicatesWithinExpiry) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  cluster.factory().RegisterOrReplace("Gen", [] {
+    CallbackSource::Options options;
+    options.period = 1.0;
+    options.count = 6;
+    options.generator = [](common::Rng*, sim::SimTime,
+                           int64_t seq) -> std::optional<Tuple> {
+      Tuple t;
+      t.Set("user", seq % 2 == 0 ? "alice" : "bob");
+      t.Set("seq", seq);
+      return t;
+    };
+    return std::make_unique<CallbackSource>(options);
+  });
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Gen").Output("raw");
+  builder.AddOperator("dedup", "DeDuplicate")
+      .Input("raw")
+      .Output("unique")
+      .Param("field", "user")
+      .Param("expirySeconds", 100.0);
+  builder.AddOperator("snk", "LogSink").Input("unique");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(10);
+  // Only the first alice and the first bob pass.
+  ASSERT_EQ(log->size(), 2u);
+  auto pe = cluster.sam().FindJob(*job)->PeOfOperator("dedup");
+  auto dropped =
+      cluster.sam().FindPe(pe.value())->ReadCustomMetric("dedup",
+                                                         "nDuplicatesDropped");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value(), 4);
+}
+
+TEST(DeDuplicateTest, KeysExpireAndPassAgain) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  cluster.factory().RegisterOrReplace("Gen", [] {
+    CallbackSource::Options options;
+    options.period = 2.0;
+    options.count = 4;
+    options.generator = [](common::Rng*, sim::SimTime,
+                           int64_t seq) -> std::optional<Tuple> {
+      Tuple t;
+      t.Set("user", "alice").Set("seq", seq);
+      return t;
+    };
+    return std::make_unique<CallbackSource>(options);
+  });
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Gen").Output("raw");
+  builder.AddOperator("dedup", "DeDuplicate")
+      .Input("raw")
+      .Output("unique")
+      .Param("field", "user")
+      .Param("expirySeconds", 3.0);
+  builder.AddOperator("snk", "LogSink").Input("unique");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(12);
+  // Arrivals at 2,4,6,8 with 3 s expiry: pass at 2, drop at 4 (2 s gap),
+  // pass at 6, drop at 8.
+  EXPECT_EQ(log->size(), 2u);
+}
+
+TEST(SampleTest, ShedsApproximatelyTheConfiguredFraction) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 0.01)
+      .Param("count", 2000);
+  builder.AddOperator("shed", "Sample")
+      .Input("raw")
+      .Output("kept")
+      .Param("rate", 0.25);
+  builder.AddOperator("snk", "LogSink").Input("kept");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  auto job = cluster.sam().SubmitJob(*model);
+  ASSERT_TRUE(job.ok());
+  cluster.sim().RunUntil(30);
+  double fraction = static_cast<double>(log->size()) / 2000.0;
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+  auto pe = cluster.sam().FindJob(*job)->PeOfOperator("shed");
+  auto shed = cluster.sam().FindPe(pe.value())->ReadCustomMetric("shed",
+                                                                 "nShed");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.value() + static_cast<int64_t>(log->size()), 2000);
+}
+
+TEST(SampleTest, RateOneIsLossless) {
+  ClusterHarness cluster;
+  auto* log = cluster.AddSinkKind("LogSink");
+  AppBuilder builder("App");
+  builder.AddOperator("src", "Beacon")
+      .Output("raw")
+      .Param("period", 0.1)
+      .Param("count", 50);
+  builder.AddOperator("shed", "Sample").Input("raw").Output("kept");
+  builder.AddOperator("snk", "LogSink").Input("kept");
+  auto model = builder.Build();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(cluster.sam().SubmitJob(*model).ok());
+  cluster.sim().RunUntil(20);
+  EXPECT_EQ(log->size(), 50u);
+}
+
+}  // namespace
+}  // namespace orcastream::ops
