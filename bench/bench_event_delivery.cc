@@ -1,10 +1,12 @@
 // §4.2 ablation: one-at-a-time event delivery.
 //
-// Measures (a) dispatch throughput of the ORCA service's event queue for
-// bursts of user events, (b) how registered-subscope count scales the
-// metric-round matching cost, and (c) queue buildup when handlers are slow
-// (dispatch_interval models handler execution time) — the paper's "events
-// are queued in the order they were received".
+// Measures (a) dispatch throughput of the EventBus for bursts of user
+// events — both through the full ORCA service and against the bus layer
+// directly, (b) how registered-subscope count scales the metric-round
+// matching cost now that the ScopeRegistry routes samples through inverted
+// indexes, and (c) queue buildup when handlers are slow (dispatch_interval
+// models handler execution time) — the paper's "events are queued in the
+// order they were received".
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +14,7 @@
 #include <string>
 
 #include "ops/standard.h"
+#include "orca/event_bus.h"
 #include "orca/orca_service.h"
 #include "orca/orchestrator.h"
 #include "runtime/sam.h"
@@ -132,9 +135,44 @@ void BM_SlowHandlerQueueing(benchmark::State& state) {
   state.SetLabel("handler=" + std::to_string(state.range(0)) + "ms");
 }
 
+/// The bus layer alone: raw envelope publish + dispatch cost without the
+/// service's scope matching and context construction.
+void BM_EventBusRawDispatch(benchmark::State& state) {
+  class NullLogic : public orca::Orchestrator {
+   public:
+    void HandleOrcaStart(const orca::OrcaStartContext&) override {}
+    void HandleUserEvent(const orca::UserEventContext&,
+                         const std::vector<std::string>&) override {
+      ++delivered;
+    }
+    int64_t delivered = 0;
+  };
+  sim::Simulation sim;
+  orca::EventBus bus(&sim, {});
+  NullLogic logic;
+  bus.set_logic(&logic);
+  int64_t burst = state.range(0);
+  for (auto _ : state) {
+    for (int64_t i = 0; i < burst; ++i) {
+      orca::Event event;
+      event.type = orca::Event::Type::kUser;
+      event.summary = "userEvent(bench)";
+      event.matched = {"scope"};
+      orca::UserEventContext context;
+      context.name = "bench";
+      event.context = std::move(context);
+      bus.Publish(std::move(event));
+    }
+    sim.RunFor(1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+  state.SetLabel("delivered=" + std::to_string(logic.delivered));
+}
+
 }  // namespace
 
 BENCHMARK(BM_UserEventBurstDispatch)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EventBusRawDispatch)->Arg(100)->Arg(1000);
 BENCHMARK(BM_MetricRoundVsScopeCount)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 BENCHMARK(BM_SlowHandlerQueueing)->Arg(1)->Arg(10)->Arg(100);
 

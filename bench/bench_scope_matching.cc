@@ -6,6 +6,11 @@
 // over the GraphView and (b) baseline::SqlScopeEval's materialized
 // recursive-closure evaluation, plus the closure construction cost the SQL
 // side pays up front.
+//
+// The BM_Registry* cases compare the ScopeRegistry's inverted-index routing
+// against its preserved linear-scan reference path at scale (1k registered
+// subscopes x 10k samples) — the event-routing hot path of the refactored
+// delivery pipeline.
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +21,7 @@
 #include "baseline/sql_scope_eval.h"
 #include "common/rng.h"
 #include "orca/scope_matcher.h"
+#include "orca/scope_registry.h"
 #include "topology/app_builder.h"
 
 using namespace orcastream;  // NOLINT — bench brevity
@@ -120,6 +126,87 @@ void BM_SqlClosureConstruction(benchmark::State& state) {
   }
 }
 
+// --- ScopeRegistry: indexed routing vs the linear-scan reference ----------
+
+/// 1k subscopes as a production orchestrator would register them: most
+/// filter on a metric name (indexable), some on an application only, and a
+/// handful are wildcards that land in the always-checked residual set.
+orca::ScopeRegistry MakeRegistry(int scopes) {
+  orca::ScopeRegistry registry;
+  for (int i = 0; i < scopes; ++i) {
+    orca::OperatorMetricScope scope("scope" + std::to_string(i));
+    if (i % 100 == 99) {
+      // Wildcard subscope: no indexable filter.
+      scope.AddOperatorTypeFilter(std::string("Filter"));
+    } else if (i % 10 == 9) {
+      scope.AddApplicationFilter("App" + std::to_string(i % 7));
+    } else {
+      scope.AddOperatorMetric("metric" + std::to_string(i));
+      scope.AddApplicationFilter("BenchApp");
+    }
+    registry.Register(std::move(scope));
+  }
+  return registry;
+}
+
+std::vector<orca::OperatorMetricContext> MakeSamples(int samples,
+                                                     int metric_space) {
+  common::Rng rng(7);
+  std::vector<orca::OperatorMetricContext> contexts;
+  contexts.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    orca::OperatorMetricContext context;
+    context.job = common::JobId(1);
+    context.application = "BenchApp";
+    context.instance_name = "op" + std::to_string(i % 64);
+    context.operator_kind = "Beacon";
+    context.metric =
+        "metric" + std::to_string(rng.UniformInt(0, metric_space - 1));
+    context.port = -1;
+    contexts.push_back(std::move(context));
+  }
+  return contexts;
+}
+
+/// Indexed path: candidates = index buckets + residual set.
+void BM_RegistryIndexed(benchmark::State& state) {
+  auto registry = MakeRegistry(static_cast<int>(state.range(0)));
+  auto samples = MakeSamples(static_cast<int>(state.range(1)),
+                             static_cast<int>(state.range(0)));
+  orca::GraphView view;
+  size_t matched_total = 0;
+  for (auto _ : state) {
+    for (const auto& context : samples) {
+      auto keys = registry.MatchedKeys(context, view);
+      matched_total += keys.size();
+      benchmark::DoNotOptimize(keys);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(samples.size()));
+  state.SetLabel("matched=" + std::to_string(matched_total));
+}
+
+/// Reference path: every sample tested against every registered subscope
+/// (the seed's per-record scan in OrcaService::PullMetricsRound).
+void BM_RegistryLinearScan(benchmark::State& state) {
+  auto registry = MakeRegistry(static_cast<int>(state.range(0)));
+  auto samples = MakeSamples(static_cast<int>(state.range(1)),
+                             static_cast<int>(state.range(0)));
+  orca::GraphView view;
+  size_t matched_total = 0;
+  for (auto _ : state) {
+    for (const auto& context : samples) {
+      auto keys = registry.MatchedKeysLinear(context, view);
+      matched_total += keys.size();
+      benchmark::DoNotOptimize(keys);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(samples.size()));
+  state.SetLabel("matched=" + std::to_string(matched_total));
+}
+
 }  // namespace
 
 // Args: {operators per composite level, nesting depth}.
@@ -136,5 +223,10 @@ BENCHMARK(BM_SqlScopeEval)
     ->Args({64, 4})
     ->Args({128, 8});
 BENCHMARK(BM_SqlClosureConstruction)->Args({16, 8})->Args({128, 8});
+
+// Args: {registered subscopes, samples per round}. The 1k x 10k case is the
+// routing-scale target tracked in BENCH_event_routing.json.
+BENCHMARK(BM_RegistryIndexed)->Args({100, 10000})->Args({1000, 10000});
+BENCHMARK(BM_RegistryLinearScan)->Args({100, 10000})->Args({1000, 10000});
 
 BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs the event-routing benchmarks and emits BENCH_event_routing.json at
+# the repo root — the perf trajectory record for the EventBus +
+# ScopeRegistry delivery pipeline (see ARCHITECTURE.md).
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+if [[ ! -x "$BUILD_DIR/bench_scope_matching" ]]; then
+  echo "building benches in $BUILD_DIR ..." >&2
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j --target bench_scope_matching bench_event_delivery
+fi
+
+SCOPE_JSON="$BUILD_DIR/bench_scope_matching.json"
+DELIVERY_JSON="$BUILD_DIR/bench_event_delivery.json"
+
+"$BUILD_DIR/bench_scope_matching" \
+  --benchmark_filter='Registry' \
+  --benchmark_format=json >"$SCOPE_JSON"
+"$BUILD_DIR/bench_event_delivery" \
+  --benchmark_filter='BM_UserEventBurstDispatch|BM_EventBusRawDispatch' \
+  --benchmark_format=json >"$DELIVERY_JSON"
+
+python3 - "$SCOPE_JSON" "$DELIVERY_JSON" "$REPO_ROOT/BENCH_event_routing.json" <<'EOF'
+import json
+import sys
+
+scope_path, delivery_path, out_path = sys.argv[1:4]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["benchmarks"]
+
+def items_per_second(benches, name):
+    for bench in benches:
+        if bench["name"] == name:
+            return bench.get("items_per_second")
+    return None
+
+scope = load(scope_path)
+delivery = load(delivery_path)
+
+indexed = items_per_second(scope, "BM_RegistryIndexed/1000/10000")
+linear = items_per_second(scope, "BM_RegistryLinearScan/1000/10000")
+
+result = {
+    "bench": "event_routing",
+    "description": "ScopeRegistry indexed routing vs preserved linear-scan "
+                   "reference at 1k subscopes x 10k samples, plus EventBus "
+                   "dispatch throughput (events/s)",
+    "scope_matching": {
+        "indexed_items_per_second": indexed,
+        "linear_items_per_second": linear,
+        "speedup": (indexed / linear) if indexed and linear else None,
+        "required_speedup": 5.0,
+    },
+    "event_delivery": {
+        "service_burst_1000_items_per_second":
+            items_per_second(delivery, "BM_UserEventBurstDispatch/1000"),
+        "bus_raw_1000_items_per_second":
+            items_per_second(delivery, "BM_EventBusRawDispatch/1000"),
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+speedup = result["scope_matching"]["speedup"]
+print(f"wrote {out_path}")
+print(f"indexed vs linear speedup: "
+      f"{speedup:.1f}x" if speedup else "speedup: n/a")
+if speedup is not None and speedup < 5.0:
+    print("FAIL: speedup below required 5x", file=sys.stderr)
+    sys.exit(1)
+EOF

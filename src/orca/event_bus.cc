@@ -1,0 +1,167 @@
+#include "orca/event_bus.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace orcastream::orca {
+
+using common::StrFormat;
+
+void EventBus::set_logic(Orchestrator* logic) {
+  logic_ = logic;
+  // Events retained while no logic was attached must not stall until the
+  // next Publish.
+  if (logic_ != nullptr && !queue_.empty()) EnsureDispatching();
+}
+
+void EventBus::Publish(Event event) {
+  // Events are delivered one at a time; events occurring while a handler
+  // runs are queued in arrival order (§4.2).
+  queue_.push_back(std::move(event));
+  EnsureDispatching();
+}
+
+void EventBus::PublishFront(Event event) {
+  queue_.push_front(std::move(event));
+  EnsureDispatching();
+}
+
+void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
+                                      int64_t epoch,
+                                      const ScopeRegistry& registry,
+                                      const GraphView& graph) {
+  for (const auto& rec : snapshot.operator_metrics) {
+    const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
+    if (job_record == nullptr) continue;
+    OperatorMetricContext context;
+    context.job = rec.job;
+    context.application = job_record->app_name;
+    context.pe = rec.pe;
+    context.instance_name = rec.operator_name;
+    auto kind = graph.OperatorKind(rec.job, rec.operator_name);
+    context.operator_kind = kind.ok() ? kind.value() : "";
+    context.metric = rec.metric_name;
+    context.metric_kind = rec.kind;
+    context.value = rec.value;
+    context.port = rec.port;
+    context.output_port = rec.output_port;
+    context.epoch = epoch;
+    context.collected_at = snapshot.collected_at;
+
+    std::vector<std::string> matched = registry.MatchedKeys(context, graph);
+    if (matched.empty()) continue;
+    // Each event is delivered once even when it matches several subscopes
+    // (§4.1); the matched keys ride along.
+    Event event;
+    event.type = Event::Type::kOperatorMetric;
+    event.summary = StrFormat("operatorMetric(%s.%s@%lld)",
+                              context.instance_name.c_str(),
+                              context.metric.c_str(),
+                              static_cast<long long>(context.epoch));
+    event.matched = std::move(matched);
+    event.context = std::move(context);
+    Publish(std::move(event));
+  }
+
+  for (const auto& rec : snapshot.pe_metrics) {
+    const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
+    if (job_record == nullptr) continue;
+    PeMetricContext context;
+    context.job = rec.job;
+    context.application = job_record->app_name;
+    context.pe = rec.pe;
+    context.metric = rec.metric_name;
+    context.metric_kind = rec.kind;
+    context.value = rec.value;
+    context.epoch = epoch;
+    context.collected_at = snapshot.collected_at;
+
+    std::vector<std::string> matched = registry.MatchedKeys(context);
+    if (matched.empty()) continue;
+    Event event;
+    event.type = Event::Type::kPeMetric;
+    event.summary = StrFormat("peMetric(pe%lld.%s@%lld)",
+                              static_cast<long long>(context.pe.value()),
+                              context.metric.c_str(),
+                              static_cast<long long>(context.epoch));
+    event.matched = std::move(matched);
+    event.context = std::move(context);
+    Publish(std::move(event));
+  }
+}
+
+void EventBus::JournalActuation(const std::string& description) {
+  if (current_txn_ != 0) txn_log_.RecordActuation(current_txn_, description);
+}
+
+void EventBus::EnsureDispatching() {
+  if (!dispatching_) {
+    dispatching_ = true;
+    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
+  }
+}
+
+void EventBus::DispatchNext() {
+  if (queue_.empty() || logic_ == nullptr) {
+    dispatching_ = false;
+    return;
+  }
+  Event event = std::move(queue_.front());
+  queue_.pop_front();
+  ++events_delivered_;
+  // Each delivery runs inside a transaction (§7 extension): the journal
+  // ties the event to every actuation its handler performs.
+  current_txn_ = txn_log_.Begin(event.summary, sim_->Now());
+  Deliver(event);
+  txn_log_.Commit(current_txn_, sim_->Now());
+  current_txn_ = 0;
+  if (queue_.empty()) {
+    dispatching_ = false;
+    return;
+  }
+  sim_->ScheduleAfter(config_.dispatch_interval, [this] { DispatchNext(); });
+}
+
+void EventBus::Deliver(const Event& event) {
+  switch (event.type) {
+    case Event::Type::kOrcaStart: {
+      // The start timestamp is when the logic actually starts running,
+      // not when the start event was enqueued (they differ under
+      // dispatch_interval pacing or a mid-queue ReplaceLogic).
+      OrcaStartContext context = std::get<OrcaStartContext>(event.context);
+      context.at = sim_->Now();
+      logic_->HandleOrcaStart(context);
+      break;
+    }
+    case Event::Type::kOperatorMetric:
+      logic_->HandleOperatorMetricEvent(
+          std::get<OperatorMetricContext>(event.context), event.matched);
+      break;
+    case Event::Type::kPeMetric:
+      logic_->HandlePeMetricEvent(std::get<PeMetricContext>(event.context),
+                                  event.matched);
+      break;
+    case Event::Type::kPeFailure:
+      logic_->HandlePeFailureEvent(std::get<PeFailureContext>(event.context),
+                                   event.matched);
+      break;
+    case Event::Type::kJobSubmission:
+      logic_->HandleJobSubmissionEvent(
+          std::get<JobEventContext>(event.context), event.matched);
+      break;
+    case Event::Type::kJobCancellation:
+      logic_->HandleJobCancellationEvent(
+          std::get<JobEventContext>(event.context), event.matched);
+      break;
+    case Event::Type::kTimer:
+      logic_->HandleTimerEvent(std::get<TimerContext>(event.context));
+      break;
+    case Event::Type::kUser:
+      logic_->HandleUserEvent(std::get<UserEventContext>(event.context),
+                              event.matched);
+      break;
+  }
+}
+
+}  // namespace orcastream::orca

@@ -1,0 +1,126 @@
+#ifndef ORCASTREAM_ORCA_EVENT_BUS_H_
+#define ORCASTREAM_ORCA_EVENT_BUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "orca/events.h"
+#include "orca/graph_view.h"
+#include "orca/orchestrator.h"
+#include "orca/scope_registry.h"
+#include "orca/transaction_log.h"
+#include "runtime/metrics.h"
+#include "sim/simulation.h"
+
+namespace orcastream::orca {
+
+/// Typed envelope for one event awaiting delivery. Both the SRM metric
+/// pull path and the SAM failure push path feed these into the bus; the
+/// bus owns dispatch order, pacing, and the delivery transaction journal.
+struct Event {
+  enum class Type {
+    kOrcaStart,
+    kOperatorMetric,
+    kPeMetric,
+    kPeFailure,
+    kJobSubmission,
+    kJobCancellation,
+    kTimer,
+    kUser,
+  };
+
+  Type type = Type::kOrcaStart;
+  /// Human-readable summary journaled with the delivery transaction.
+  std::string summary;
+  /// Keys of the subscopes the event matched (§4.1: delivered alongside
+  /// the context; empty for start and timer events, which have no scopes).
+  std::vector<std::string> matched;
+  std::variant<OrcaStartContext, OperatorMetricContext, PeMetricContext,
+               PeFailureContext, JobEventContext, TimerContext,
+               UserEventContext>
+      context;
+};
+
+/// The unified delivery queue of the ORCA service (§4.2): events are
+/// delivered one at a time, in arrival order; events occurring while a
+/// handler runs are queued. Successive queued deliveries are spaced by
+/// `dispatch_interval` (models handler execution time). Every delivery
+/// runs inside a transaction (§7 extension): the journal ties the event to
+/// every actuation its handler performs, and events whose transaction
+/// never committed are redelivered to replacement logic.
+class EventBus {
+ public:
+  struct Config {
+    /// Spacing between successive queued event deliveries (0 =
+    /// back-to-back).
+    double dispatch_interval = 0.0;
+  };
+
+  EventBus(sim::Simulation* sim, Config config)
+      : sim_(sim), config_(config) {}
+
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Points the bus at the logic handling deliveries. Passing nullptr
+  /// stops dispatch; queued events are retained for a future logic (the
+  /// §7 reliable-delivery path) and resume dispatching when one is set.
+  void set_logic(Orchestrator* logic);
+  Orchestrator* logic() const { return logic_; }
+
+  // --- Publication --------------------------------------------------------
+
+  /// Appends an event to the delivery queue and (re)starts dispatch.
+  void Publish(Event event);
+
+  /// Inserts an event at the head of the queue — used for the replacement
+  /// logic's fresh start event, which must precede surviving queued
+  /// events (§7).
+  void PublishFront(Event event);
+
+  /// Routes one SRM snapshot through the registry in a single pass (§4.2):
+  /// builds the metric contexts against the graph view, matches each
+  /// sample, and publishes an event per sample that crossed the scope.
+  /// `epoch` is the logical clock of the pull round.
+  void PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
+                              int64_t epoch, const ScopeRegistry& registry,
+                              const GraphView& graph);
+
+  // --- Transactions (§7) --------------------------------------------------
+
+  const TransactionLog& transactions() const { return txn_log_; }
+  /// Transaction of the event currently being handled (0 outside
+  /// handlers).
+  TransactionId current_transaction() const { return current_txn_; }
+  /// Journals an actuation against the in-flight transaction.
+  void JournalActuation(const std::string& description);
+
+  // --- Introspection ------------------------------------------------------
+
+  uint64_t events_delivered() const { return events_delivered_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void EnsureDispatching();
+  void DispatchNext();
+  /// Invokes the logic handler matching the event's type.
+  void Deliver(const Event& event);
+
+  sim::Simulation* sim_;
+  Config config_;
+  Orchestrator* logic_ = nullptr;
+
+  std::deque<Event> queue_;
+  bool dispatching_ = false;
+  uint64_t events_delivered_ = 0;
+
+  TransactionLog txn_log_;
+  TransactionId current_txn_ = 0;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_EVENT_BUS_H_

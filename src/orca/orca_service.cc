@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/strings.h"
-#include "orca/scope_matcher.h"
 #include "topology/adl.h"
 
 namespace orcastream::orca {
@@ -18,12 +18,26 @@ using common::Status;
 using common::StrFormat;
 using common::TimerId;
 
+namespace {
+
+/// The start context's timestamp is stamped by the bus at delivery time.
+Event MakeStartEvent(std::string summary) {
+  Event event;
+  event.type = Event::Type::kOrcaStart;
+  event.summary = std::move(summary);
+  event.context = OrcaStartContext{};
+  return event;
+}
+
+}  // namespace
+
 OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
                          runtime::Srm* srm, Config config)
     : sim_(sim),
       sam_(sam),
       srm_(srm),
       config_(config),
+      bus_(sim, EventBus::Config{config.dispatch_interval}),
       pull_task_(sim, config.metric_pull_period,
                  [this] { PullMetricsRound(); }) {}
 
@@ -35,17 +49,14 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   }
   logic_ = std::move(logic);
   logic_->orca_ = this;
-  orca_id_ = sam_->RegisterOrca(
-      config_.name, [this](const runtime::PeFailureNotice& notice) {
-        OnPeFailureNotice(notice);
-      });
+  bus_.set_logic(logic_.get());
+  orca_id_ = sam_->RegisterOrca(config_.name, this);
   pull_task_.Start(config_.metric_pull_period);
-  // The start signal is the only event that is always in scope (§4.1).
-  EnqueueDelivery("orcaStart", [this] {
-    OrcaStartContext context;
-    context.at = sim_->Now();
-    logic_->HandleOrcaStart(context);
-  });
+  // The start signal is the only event that is always in scope (§4.1). It
+  // goes to the front so that events retained across a Shutdown → Load
+  // cycle are delivered after the new logic has initialized, mirroring
+  // ReplaceLogic.
+  bus_.PublishFront(MakeStartEvent("orcaStart"));
   return Status::OK();
 }
 
@@ -57,34 +68,44 @@ void OrcaService::Shutdown() {
   }
   timers_.clear();
   sam_->UnregisterOrca(orca_id_);
+  bus_.set_logic(nullptr);
   logic_->orca_ = nullptr;
   logic_.reset();
+}
+
+common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
+  if (logic_ == nullptr) {
+    return Status::FailedPrecondition("no ORCA logic loaded to replace");
+  }
+  logic_->orca_ = nullptr;
+  logic_ = std::move(logic);
+  logic_->orca_ = this;
+  bus_.set_logic(logic_.get());
+  // The replacement receives a fresh start event BEFORE any surviving
+  // queued events so it can initialize its own state; events that never
+  // committed under the old logic then flow to it (reliable delivery).
+  bus_.PublishFront(MakeStartEvent("orcaStart(replacement)"));
+  return Status::OK();
 }
 
 // --- Scope registration ---------------------------------------------------
 
 void OrcaService::RegisterEventScope(OperatorMetricScope scope) {
-  operator_metric_scopes_.push_back(std::move(scope));
+  scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeMetricScope scope) {
-  pe_metric_scopes_.push_back(std::move(scope));
+  scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeFailureScope scope) {
-  pe_failure_scopes_.push_back(std::move(scope));
+  scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(JobEventScope scope) {
-  job_event_scopes_.push_back(std::move(scope));
+  scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(UserEventScope scope) {
-  user_event_scopes_.push_back(std::move(scope));
+  scopes_.Register(std::move(scope));
 }
-void OrcaService::ClearEventScopes() {
-  operator_metric_scopes_.clear();
-  pe_metric_scopes_.clear();
-  pe_failure_scopes_.clear();
-  job_event_scopes_.clear();
-  user_event_scopes_.clear();
-}
+void OrcaService::ClearEventScopes() { scopes_.Clear(); }
 
 // --- Application registry --------------------------------------------------
 
@@ -234,23 +255,18 @@ void OrcaService::DeliverJobEvent(const AppState& state, JobId job,
   context.application = state.config.application_name;
   context.config_id = state.config.id;
   context.at = sim_->Now();
-  std::vector<std::string> matched;
-  for (const auto& scope : job_event_scopes_) {
-    if (MatchJobEvent(scope, context, is_submission)) {
-      matched.push_back(scope.key());
-    }
-  }
+  std::vector<std::string> matched = scopes_.MatchedKeys(context,
+                                                         is_submission);
   if (matched.empty()) return;
-  EnqueueDelivery(
+  Event event;
+  event.type = is_submission ? Event::Type::kJobSubmission
+                             : Event::Type::kJobCancellation;
+  event.summary =
       StrFormat("job%s(%s)", is_submission ? "Submission" : "Cancellation",
-                context.config_id.c_str()),
-      [this, context, matched, is_submission] {
-        if (is_submission) {
-          logic_->HandleJobSubmissionEvent(context, matched);
-        } else {
-          logic_->HandleJobCancellationEvent(context, matched);
-        }
-      });
+                context.config_id.c_str());
+  event.matched = std::move(matched);
+  event.context = std::move(context);
+  bus_.Publish(std::move(event));
 }
 
 Status OrcaService::CancelApplication(const std::string& config_id) {
@@ -427,77 +443,15 @@ void OrcaService::PullMetricsRound() {
   if (jobs.empty()) return;
   runtime::MetricsSnapshot snapshot = srm_->QueryMetrics(jobs);
   // One epoch per SRM query round: the logical clock that lets handlers
-  // correlate metrics measured together (§4.2).
+  // correlate metrics measured together (§4.2). The whole snapshot is
+  // batched through the registry in one pass.
   int64_t epoch = ++metric_epoch_;
-
-  for (const auto& rec : snapshot.operator_metrics) {
-    OperatorMetricContext context;
-    context.job = rec.job;
-    const GraphView::JobRecord* job_record = graph_.FindJob(rec.job);
-    if (job_record == nullptr) continue;
-    context.application = job_record->app_name;
-    context.pe = rec.pe;
-    context.instance_name = rec.operator_name;
-    auto kind = graph_.OperatorKind(rec.job, rec.operator_name);
-    context.operator_kind = kind.ok() ? kind.value() : "";
-    context.metric = rec.metric_name;
-    context.metric_kind = rec.kind;
-    context.value = rec.value;
-    context.port = rec.port;
-    context.output_port = rec.output_port;
-    context.epoch = epoch;
-    context.collected_at = snapshot.collected_at;
-
-    std::vector<std::string> matched;
-    for (const auto& scope : operator_metric_scopes_) {
-      if (MatchOperatorMetric(scope, context, graph_)) {
-        matched.push_back(scope.key());
-      }
-    }
-    if (matched.empty()) continue;
-    // Each event is delivered once even when it matches several subscopes
-    // (§4.1); the matched keys ride along.
-    EnqueueDelivery(
-        StrFormat("operatorMetric(%s.%s@%lld)",
-                  context.instance_name.c_str(), context.metric.c_str(),
-                  static_cast<long long>(context.epoch)),
-        [this, context, matched] {
-          logic_->HandleOperatorMetricEvent(context, matched);
-        });
-  }
-
-  for (const auto& rec : snapshot.pe_metrics) {
-    PeMetricContext context;
-    context.job = rec.job;
-    const GraphView::JobRecord* job_record = graph_.FindJob(rec.job);
-    if (job_record == nullptr) continue;
-    context.application = job_record->app_name;
-    context.pe = rec.pe;
-    context.metric = rec.metric_name;
-    context.metric_kind = rec.kind;
-    context.value = rec.value;
-    context.epoch = epoch;
-    context.collected_at = snapshot.collected_at;
-
-    std::vector<std::string> matched;
-    for (const auto& scope : pe_metric_scopes_) {
-      if (MatchPeMetric(scope, context)) matched.push_back(scope.key());
-    }
-    if (matched.empty()) continue;
-    EnqueueDelivery(
-        StrFormat("peMetric(pe%lld.%s@%lld)",
-                  static_cast<long long>(context.pe.value()),
-                  context.metric.c_str(),
-                  static_cast<long long>(context.epoch)),
-        [this, context, matched] {
-          logic_->HandlePeMetricEvent(context, matched);
-        });
-  }
+  bus_.PublishMetricsSnapshot(snapshot, epoch, scopes_, graph_);
 }
 
 // --- Failure push ---------------------------------------------------------
 
-void OrcaService::OnPeFailureNotice(const runtime::PeFailureNotice& notice) {
+void OrcaService::OnPeFailure(const runtime::PeFailureNotice& notice) {
   if (logic_ == nullptr) return;
   PeFailureContext context;
   context.job = notice.job;
@@ -518,19 +472,16 @@ void OrcaService::OnPeFailureNotice(const runtime::PeFailureNotice& notice) {
   }
   context.epoch = failure_epoch_;
 
-  std::vector<std::string> matched;
-  for (const auto& scope : pe_failure_scopes_) {
-    if (MatchPeFailure(scope, context, graph_)) {
-      matched.push_back(scope.key());
-    }
-  }
+  std::vector<std::string> matched = scopes_.MatchedKeys(context, graph_);
   if (matched.empty()) return;
-  EnqueueDelivery(StrFormat("peFailure(pe%lld, %s)",
+  Event event;
+  event.type = Event::Type::kPeFailure;
+  event.summary = StrFormat("peFailure(pe%lld, %s)",
                             static_cast<long long>(context.pe.value()),
-                            context.reason.c_str()),
-                  [this, context, matched] {
-                    logic_->HandlePeFailureEvent(context, matched);
-                  });
+                            context.reason.c_str());
+  event.matched = std::move(matched);
+  event.context = std::move(context);
+  bus_.Publish(std::move(event));
 }
 
 // --- Timers -----------------------------------------------------------------
@@ -556,8 +507,11 @@ void OrcaService::FireTimer(TimerId id) {
   context.id = id;
   context.name = it->second.name;
   context.at = sim_->Now();
-  EnqueueDelivery(StrFormat("timer(%s)", context.name.c_str()),
-                  [this, context] { logic_->HandleTimerEvent(context); });
+  Event event;
+  event.type = Event::Type::kTimer;
+  event.summary = StrFormat("timer(%s)", context.name.c_str());
+  event.context = std::move(context);
+  bus_.Publish(std::move(event));
   if (it->second.recurring) {
     it->second.event = sim_->ScheduleAfter(it->second.period,
                                            [this, id] { FireTimer(id); });
@@ -582,75 +536,18 @@ void OrcaService::InjectUserEvent(
   context.name = name;
   context.attributes = std::move(attributes);
   context.at = sim_->Now();
-  std::vector<std::string> matched;
-  for (const auto& scope : user_event_scopes_) {
-    if (MatchUserEvent(scope, context)) matched.push_back(scope.key());
-  }
+  std::vector<std::string> matched = scopes_.MatchedKeys(context);
   if (matched.empty()) return;
-  EnqueueDelivery(StrFormat("userEvent(%s)", context.name.c_str()),
-                  [this, context, matched] {
-                    logic_->HandleUserEvent(context, matched);
-                  });
-}
-
-// --- Event queue ---------------------------------------------------------------
-
-void OrcaService::EnqueueDelivery(std::string summary,
-                                  std::function<void()> deliver) {
-  // Events are delivered one at a time; events occurring while a handler
-  // runs are queued in arrival order (§4.2).
-  event_queue_.push_back(QueuedEvent{std::move(summary), std::move(deliver)});
-  if (!dispatching_) {
-    dispatching_ = true;
-    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
-  }
-}
-
-void OrcaService::DispatchNext() {
-  if (event_queue_.empty() || logic_ == nullptr) {
-    dispatching_ = false;
-    return;
-  }
-  QueuedEvent event = std::move(event_queue_.front());
-  event_queue_.pop_front();
-  ++events_delivered_;
-  // Each delivery runs inside a transaction (§7 extension): the journal
-  // ties the event to every actuation its handler performs.
-  current_txn_ = txn_log_.Begin(event.summary, sim_->Now());
-  event.deliver();
-  txn_log_.Commit(current_txn_, sim_->Now());
-  current_txn_ = 0;
-  if (event_queue_.empty()) {
-    dispatching_ = false;
-    return;
-  }
-  sim_->ScheduleAfter(config_.dispatch_interval, [this] { DispatchNext(); });
+  Event event;
+  event.type = Event::Type::kUser;
+  event.summary = StrFormat("userEvent(%s)", context.name.c_str());
+  event.matched = std::move(matched);
+  event.context = std::move(context);
+  bus_.Publish(std::move(event));
 }
 
 void OrcaService::JournalActuation(const std::string& description) {
-  if (current_txn_ != 0) txn_log_.RecordActuation(current_txn_, description);
-}
-
-common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
-  if (logic_ == nullptr) {
-    return Status::FailedPrecondition("no ORCA logic loaded to replace");
-  }
-  logic_->orca_ = nullptr;
-  logic_ = std::move(logic);
-  logic_->orca_ = this;
-  // The replacement receives a fresh start event BEFORE any surviving
-  // queued events so it can initialize its own state; events that never
-  // committed under the old logic then flow to it (reliable delivery).
-  event_queue_.push_front(QueuedEvent{"orcaStart(replacement)", [this] {
-                                        OrcaStartContext context;
-                                        context.at = sim_->Now();
-                                        logic_->HandleOrcaStart(context);
-                                      }});
-  if (!dispatching_) {
-    dispatching_ = true;
-    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
-  }
-  return Status::OK();
+  bus_.JournalActuation(description);
 }
 
 }  // namespace orcastream::orca

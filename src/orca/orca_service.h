@@ -2,7 +2,6 @@
 #define ORCASTREAM_ORCA_ORCA_SERVICE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,11 +13,14 @@
 #include "common/status.h"
 #include "orca/app_config.h"
 #include "orca/dependency_graph.h"
+#include "orca/event_bus.h"
 #include "orca/event_scope.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
 #include "orca/orchestrator.h"
+#include "orca/scope_registry.h"
 #include "orca/transaction_log.h"
+#include "runtime/event_sink.h"
 #include "runtime/sam.h"
 #include "runtime/srm.h"
 #include "sim/simulation.h"
@@ -27,19 +29,24 @@
 namespace orcastream::orca {
 
 /// The ORCA service (§3): the runtime daemon that hosts user-written ORCA
-/// logic. It detects changes and delivers relevant events (one at a time,
-/// queueing events that occur while a handler runs), maintains the
-/// in-memory stream-graph representation of all managed applications, and
-/// provides the actuation APIs the logic uses to adapt the application:
-/// job submission/cancellation with dependency management and garbage
-/// collection (§4.4), PE restart, exclusive host pools (§4.3), timers, and
-/// user events.
+/// logic. It maintains the in-memory stream-graph representation of all
+/// managed applications and provides the actuation APIs the logic uses to
+/// adapt the application: job submission/cancellation with dependency
+/// management and garbage collection (§4.4), PE restart, exclusive host
+/// pools (§4.3), timers, and user events.
+///
+/// Change detection and delivery are layered (see ARCHITECTURE.md): the
+/// service feeds detected changes through a ScopeRegistry (which subscope
+/// keys does this event match? §4.1) into an EventBus (one-at-a-time
+/// delivery with transaction journaling, §4.2/§7); the service itself is
+/// lifecycle + actuation.
 ///
 /// Metric events are pulled from SRM at a configurable period (default
-/// 15 s, §4.2); PE failure events are pushed by SAM as they are detected.
-/// The service only delivers events for — and only allows actuation on —
-/// applications started through it (§3).
-class OrcaService {
+/// 15 s, §4.2); PE failure events are pushed by SAM through the
+/// runtime::EventSink interface as they are detected. The service only
+/// delivers events for — and only allows actuation on — applications
+/// started through it (§3).
+class OrcaService : private runtime::EventSink {
  public:
   struct Config {
     std::string name = "orca";
@@ -84,10 +91,12 @@ class OrcaService {
   const std::string& name() const { return config_.name; }
 
   /// The event-delivery transaction journal (§7 extension).
-  const TransactionLog& transactions() const { return txn_log_; }
+  const TransactionLog& transactions() const { return bus_.transactions(); }
   /// Transaction of the event currently being handled (0 outside
   /// handlers).
-  TransactionId current_transaction() const { return current_txn_; }
+  TransactionId current_transaction() const {
+    return bus_.current_transaction();
+  }
 
   // --- Event scope registration (§4.1) ------------------------------------
 
@@ -97,6 +106,9 @@ class OrcaService {
   void RegisterEventScope(JobEventScope scope);
   void RegisterEventScope(UserEventScope scope);
   void ClearEventScopes();
+
+  /// The indexed registry holding every registered subscope.
+  const ScopeRegistry& scopes() const { return scopes_; }
 
   // --- Application registry and dependencies (§4.4) -----------------------
 
@@ -179,8 +191,8 @@ class OrcaService {
 
   // --- Introspection for tests and benches -------------------------------------
 
-  uint64_t events_delivered() const { return events_delivered_; }
-  size_t queue_depth() const { return event_queue_.size(); }
+  uint64_t events_delivered() const { return bus_.events_delivered(); }
+  size_t queue_depth() const { return bus_.queue_depth(); }
   int64_t metric_epoch() const { return metric_epoch_; }
 
  private:
@@ -206,13 +218,13 @@ class OrcaService {
   /// The config id owning a managed job, or nullptr.
   AppState* FindAppByJob(common::JobId job);
 
-  void EnqueueDelivery(std::string summary, std::function<void()> deliver);
-  void DispatchNext();
   /// Journals an actuation against the in-flight transaction.
   void JournalActuation(const std::string& description);
 
   void PullMetricsRound();
-  void OnPeFailureNotice(const runtime::PeFailureNotice& notice);
+  /// runtime::EventSink — SAM pushes PE failure notifications for managed
+  /// jobs here (§4.2).
+  void OnPeFailure(const runtime::PeFailureNotice& notice) override;
   void FireTimer(common::TimerId id);
 
   /// One step of a submission task; re-schedules itself while uptime
@@ -238,24 +250,11 @@ class OrcaService {
   common::OrcaId orca_id_;
   GraphView graph_;
 
-  std::vector<OperatorMetricScope> operator_metric_scopes_;
-  std::vector<PeMetricScope> pe_metric_scopes_;
-  std::vector<PeFailureScope> pe_failure_scopes_;
-  std::vector<JobEventScope> job_event_scopes_;
-  std::vector<UserEventScope> user_event_scopes_;
+  ScopeRegistry scopes_;
+  EventBus bus_;
 
   std::map<std::string, AppState> apps_;
   DependencyGraph deps_;
-
-  struct QueuedEvent {
-    std::string summary;
-    std::function<void()> deliver;
-  };
-  std::deque<QueuedEvent> event_queue_;
-  bool dispatching_ = false;
-  uint64_t events_delivered_ = 0;
-  TransactionLog txn_log_;
-  TransactionId current_txn_ = 0;
 
   sim::PeriodicTask pull_task_;
   int64_t metric_epoch_ = 0;

@@ -1,0 +1,273 @@
+#include "orca/scope_registry.h"
+
+#include <algorithm>
+
+#include "orca/scope_matcher.h"
+
+namespace orcastream::orca {
+
+namespace {
+
+/// Runs `match` over the candidate positions (already in registration
+/// order) and collects the keys of the matching subscopes.
+template <typename Scope, typename Match>
+std::vector<std::string> KeysOf(const std::vector<Scope>& scopes,
+                                const std::vector<uint32_t>& candidates,
+                                Match match) {
+  std::vector<std::string> matched;
+  for (uint32_t position : candidates) {
+    const Scope& scope = scopes[position];
+    if (match(scope)) matched.push_back(scope.key());
+  }
+  return matched;
+}
+
+/// The seed's linear scan: every subscope, in registration order.
+template <typename Scope, typename Match>
+std::vector<std::string> KeysOfAll(const std::vector<Scope>& scopes,
+                                   Match match) {
+  std::vector<std::string> matched;
+  for (const Scope& scope : scopes) {
+    if (match(scope)) matched.push_back(scope.key());
+  }
+  return matched;
+}
+
+}  // namespace
+
+// --- Registration -----------------------------------------------------------
+
+void ScopeRegistry::Register(OperatorMetricScope scope) {
+  uint32_t position = static_cast<uint32_t>(operator_metric_scopes_.size());
+  if (!scope.metric_names().empty()) {
+    for (const auto& metric : scope.metric_names()) {
+      operator_metric_by_metric_[metric].push_back(position);
+    }
+  } else if (!scope.applications().empty()) {
+    for (const auto& application : scope.applications()) {
+      operator_metric_by_application_[application].push_back(position);
+    }
+  } else {
+    operator_metric_residual_.push_back(position);
+  }
+  operator_metric_scopes_.push_back(std::move(scope));
+}
+
+void ScopeRegistry::Register(PeMetricScope scope) {
+  uint32_t position = static_cast<uint32_t>(pe_metric_scopes_.size());
+  if (!scope.metric_names().empty()) {
+    for (const auto& metric : scope.metric_names()) {
+      pe_metric_by_metric_[metric].push_back(position);
+    }
+  } else if (!scope.pes().empty()) {
+    for (common::PeId pe : scope.pes()) {
+      pe_metric_by_pe_[pe.value()].push_back(position);
+    }
+  } else if (!scope.applications().empty()) {
+    for (const auto& application : scope.applications()) {
+      pe_metric_by_application_[application].push_back(position);
+    }
+  } else {
+    pe_metric_residual_.push_back(position);
+  }
+  pe_metric_scopes_.push_back(std::move(scope));
+}
+
+void ScopeRegistry::Register(PeFailureScope scope) {
+  uint32_t position = static_cast<uint32_t>(pe_failure_scopes_.size());
+  if (!scope.applications().empty()) {
+    for (const auto& application : scope.applications()) {
+      pe_failure_by_application_[application].push_back(position);
+    }
+  } else {
+    pe_failure_residual_.push_back(position);
+  }
+  pe_failure_scopes_.push_back(std::move(scope));
+}
+
+void ScopeRegistry::Register(JobEventScope scope) {
+  uint32_t position = static_cast<uint32_t>(job_event_scopes_.size());
+  if (!scope.applications().empty()) {
+    for (const auto& application : scope.applications()) {
+      job_event_by_application_[application].push_back(position);
+    }
+  } else {
+    job_event_residual_.push_back(position);
+  }
+  job_event_scopes_.push_back(std::move(scope));
+}
+
+void ScopeRegistry::Register(UserEventScope scope) {
+  uint32_t position = static_cast<uint32_t>(user_event_scopes_.size());
+  if (!scope.names().empty()) {
+    for (const auto& name : scope.names()) {
+      user_event_by_name_[name].push_back(position);
+    }
+  } else {
+    user_event_residual_.push_back(position);
+  }
+  user_event_scopes_.push_back(std::move(scope));
+}
+
+void ScopeRegistry::Clear() {
+  operator_metric_scopes_.clear();
+  operator_metric_by_metric_.clear();
+  operator_metric_by_application_.clear();
+  operator_metric_residual_.clear();
+  pe_metric_scopes_.clear();
+  pe_metric_by_metric_.clear();
+  pe_metric_by_pe_.clear();
+  pe_metric_by_application_.clear();
+  pe_metric_residual_.clear();
+  pe_failure_scopes_.clear();
+  pe_failure_by_application_.clear();
+  pe_failure_residual_.clear();
+  job_event_scopes_.clear();
+  job_event_by_application_.clear();
+  job_event_residual_.clear();
+  user_event_scopes_.clear();
+  user_event_by_name_.clear();
+  user_event_residual_.clear();
+}
+
+size_t ScopeRegistry::size() const {
+  return operator_metric_scopes_.size() + pe_metric_scopes_.size() +
+         pe_failure_scopes_.size() + job_event_scopes_.size() +
+         user_event_scopes_.size();
+}
+
+// --- Candidate gathering ----------------------------------------------------
+
+const ScopeRegistry::Bucket* ScopeRegistry::Lookup(const StringIndex& index,
+                                                   const std::string& key) {
+  auto it = index.find(key);
+  return it == index.end() ? nullptr : &it->second;
+}
+
+const ScopeRegistry::Bucket* ScopeRegistry::Lookup(const PeIndex& index,
+                                                   common::PeId pe) {
+  auto it = index.find(pe.value());
+  return it == index.end() ? nullptr : &it->second;
+}
+
+std::vector<uint32_t> ScopeRegistry::GatherCandidates(
+    std::initializer_list<const Bucket*> buckets) {
+  size_t total = 0;
+  for (const Bucket* bucket : buckets) {
+    if (bucket != nullptr) total += bucket->size();
+  }
+  std::vector<uint32_t> candidates;
+  candidates.reserve(total);
+  for (const Bucket* bucket : buckets) {
+    if (bucket == nullptr) continue;
+    candidates.insert(candidates.end(), bucket->begin(), bucket->end());
+  }
+  // Each bucket is ascending (positions are appended in registration
+  // order); the merged list must be restored to registration order, and a
+  // subscope indexed under several values of one attribute must still be
+  // tested only once.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+// --- Indexed matching -------------------------------------------------------
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const OperatorMetricContext& context, const GraphView& graph) const {
+  auto candidates = GatherCandidates(
+      {Lookup(operator_metric_by_metric_, context.metric),
+       Lookup(operator_metric_by_application_, context.application),
+       &operator_metric_residual_});
+  return KeysOf(operator_metric_scopes_, candidates,
+                [&](const OperatorMetricScope& scope) {
+                  return MatchOperatorMetric(scope, context, graph);
+                });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const PeMetricContext& context) const {
+  auto candidates = GatherCandidates(
+      {Lookup(pe_metric_by_metric_, context.metric),
+       Lookup(pe_metric_by_pe_, context.pe),
+       Lookup(pe_metric_by_application_, context.application),
+       &pe_metric_residual_});
+  return KeysOf(pe_metric_scopes_, candidates,
+                [&](const PeMetricScope& scope) {
+                  return MatchPeMetric(scope, context);
+                });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const PeFailureContext& context, const GraphView& graph) const {
+  auto candidates = GatherCandidates(
+      {Lookup(pe_failure_by_application_, context.application),
+       &pe_failure_residual_});
+  return KeysOf(pe_failure_scopes_, candidates,
+                [&](const PeFailureScope& scope) {
+                  return MatchPeFailure(scope, context, graph);
+                });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const JobEventContext& context, bool is_submission) const {
+  auto candidates = GatherCandidates(
+      {Lookup(job_event_by_application_, context.application),
+       &job_event_residual_});
+  return KeysOf(job_event_scopes_, candidates,
+                [&](const JobEventScope& scope) {
+                  return MatchJobEvent(scope, context, is_submission);
+                });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const UserEventContext& context) const {
+  auto candidates =
+      GatherCandidates({Lookup(user_event_by_name_, context.name),
+                        &user_event_residual_});
+  return KeysOf(user_event_scopes_, candidates,
+                [&](const UserEventScope& scope) {
+                  return MatchUserEvent(scope, context);
+                });
+}
+
+// --- Linear-scan reference path ---------------------------------------------
+
+std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
+    const OperatorMetricContext& context, const GraphView& graph) const {
+  return KeysOfAll(operator_metric_scopes_,
+                   [&](const OperatorMetricScope& scope) {
+                     return MatchOperatorMetric(scope, context, graph);
+                   });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
+    const PeMetricContext& context) const {
+  return KeysOfAll(pe_metric_scopes_, [&](const PeMetricScope& scope) {
+    return MatchPeMetric(scope, context);
+  });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
+    const PeFailureContext& context, const GraphView& graph) const {
+  return KeysOfAll(pe_failure_scopes_, [&](const PeFailureScope& scope) {
+    return MatchPeFailure(scope, context, graph);
+  });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
+    const JobEventContext& context, bool is_submission) const {
+  return KeysOfAll(job_event_scopes_, [&](const JobEventScope& scope) {
+    return MatchJobEvent(scope, context, is_submission);
+  });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
+    const UserEventContext& context) const {
+  return KeysOfAll(user_event_scopes_, [&](const UserEventScope& scope) {
+    return MatchUserEvent(scope, context);
+  });
+}
+
+}  // namespace orcastream::orca

@@ -1,0 +1,119 @@
+#ifndef ORCASTREAM_ORCA_SCOPE_REGISTRY_H_
+#define ORCASTREAM_ORCA_SCOPE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orca/event_scope.h"
+#include "orca/events.h"
+#include "orca/graph_view.h"
+
+namespace orcastream::orca {
+
+/// Owns every subscope registered with the ORCA service (§4.1) and answers
+/// "which subscope keys does this event match?".
+///
+/// Instead of testing each event against every registered subscope (the
+/// seed's linear scan), the registry builds inverted indexes keyed by the
+/// cheap discriminating attributes — metric name, application name,
+/// user-event name, PE id. Each subscope is indexed under exactly one
+/// attribute (the cheapest one it filters on); subscopes with no indexable
+/// filter live in a small always-checked residual set. A lookup gathers
+/// the candidate subscopes from the relevant index buckets plus the
+/// residual set and only runs the full match predicates
+/// (MatchOperatorMetric etc.) against those, so the result — including the
+/// registration order of the returned keys — is identical to the linear
+/// scan, which is preserved as the *Linear reference path for equivalence
+/// tests and benchmarks.
+class ScopeRegistry {
+ public:
+  // --- Registration (§4.1) ----------------------------------------------
+
+  void Register(OperatorMetricScope scope);
+  void Register(PeMetricScope scope);
+  void Register(PeFailureScope scope);
+  void Register(JobEventScope scope);
+  void Register(UserEventScope scope);
+  void Clear();
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // --- Indexed matching (the hot path) ----------------------------------
+
+  /// Keys of all subscopes the event matches, in registration order.
+  std::vector<std::string> MatchedKeys(const OperatorMetricContext& context,
+                                       const GraphView& graph) const;
+  std::vector<std::string> MatchedKeys(const PeMetricContext& context) const;
+  std::vector<std::string> MatchedKeys(const PeFailureContext& context,
+                                       const GraphView& graph) const;
+  std::vector<std::string> MatchedKeys(const JobEventContext& context,
+                                       bool is_submission) const;
+  std::vector<std::string> MatchedKeys(const UserEventContext& context) const;
+
+  // --- Linear-scan reference path ----------------------------------------
+
+  /// Byte-identical semantics to MatchedKeys, implemented as the seed's
+  /// scan over every registered subscope. Kept as the equivalence oracle
+  /// and the benchmark baseline.
+  std::vector<std::string> MatchedKeysLinear(
+      const OperatorMetricContext& context, const GraphView& graph) const;
+  std::vector<std::string> MatchedKeysLinear(
+      const PeMetricContext& context) const;
+  std::vector<std::string> MatchedKeysLinear(const PeFailureContext& context,
+                                             const GraphView& graph) const;
+  std::vector<std::string> MatchedKeysLinear(const JobEventContext& context,
+                                             bool is_submission) const;
+  std::vector<std::string> MatchedKeysLinear(
+      const UserEventContext& context) const;
+
+ private:
+  using Bucket = std::vector<uint32_t>;
+  using StringIndex = std::unordered_map<std::string, Bucket>;
+  using PeIndex = std::unordered_map<int64_t, Bucket>;
+
+  /// Candidate subscope positions for an event: the union of the relevant
+  /// index buckets and the residual set, deduplicated and restored to
+  /// registration order.
+  static std::vector<uint32_t> GatherCandidates(
+      std::initializer_list<const Bucket*> buckets);
+  static const Bucket* Lookup(const StringIndex& index,
+                              const std::string& key);
+  static const Bucket* Lookup(const PeIndex& index, common::PeId pe);
+
+  // Operator metric subscopes: indexed by metric name, else by
+  // application, else residual.
+  std::vector<OperatorMetricScope> operator_metric_scopes_;
+  StringIndex operator_metric_by_metric_;
+  StringIndex operator_metric_by_application_;
+  Bucket operator_metric_residual_;
+
+  // PE metric subscopes: indexed by metric name, else PE id, else
+  // application, else residual.
+  std::vector<PeMetricScope> pe_metric_scopes_;
+  StringIndex pe_metric_by_metric_;
+  PeIndex pe_metric_by_pe_;
+  StringIndex pe_metric_by_application_;
+  Bucket pe_metric_residual_;
+
+  // PE failure subscopes: indexed by application, else residual.
+  std::vector<PeFailureScope> pe_failure_scopes_;
+  StringIndex pe_failure_by_application_;
+  Bucket pe_failure_residual_;
+
+  // Job event subscopes: indexed by application, else residual.
+  std::vector<JobEventScope> job_event_scopes_;
+  StringIndex job_event_by_application_;
+  Bucket job_event_residual_;
+
+  // User event subscopes: indexed by event name, else residual.
+  std::vector<UserEventScope> user_event_scopes_;
+  StringIndex user_event_by_name_;
+  Bucket user_event_residual_;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_SCOPE_REGISTRY_H_

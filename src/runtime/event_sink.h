@@ -1,0 +1,60 @@
+#ifndef ORCASTREAM_RUNTIME_EVENT_SINK_H_
+#define ORCASTREAM_RUNTIME_EVENT_SINK_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/simulation.h"
+
+namespace orcastream::runtime {
+
+/// A PE failure notification, as SAM pushes it to the owning orchestrator
+/// (§3, §4.2): PE id, detection timestamp, crash reason, and enough job
+/// context to disambiguate.
+struct PeFailureNotice {
+  common::JobId job;
+  std::string app_name;
+  common::PeId pe;
+  common::HostId host;
+  std::string reason;
+  sim::SimTime detected_at = 0;
+  std::vector<std::string> operators;
+};
+
+/// The narrow interface the runtime daemons push events through. SAM routes
+/// PE failure notifications for managed jobs to the sink registered for the
+/// owning orchestrator (§4.2) — the runtime never calls into the ORCA
+/// service directly, which keeps the runtime layer free of orca types and
+/// lets tests observe the push path with a stub sink.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Pushed by SAM (after notification latency) when a PE of a job owned
+  /// by this sink's orchestrator crashes.
+  virtual void OnPeFailure(const PeFailureNotice& notice) = 0;
+};
+
+/// Adapts a plain callback to the EventSink interface; used by tests and
+/// lightweight controllers that do not implement a full sink.
+class CallbackEventSink : public EventSink {
+ public:
+  using Callback = std::function<void(const PeFailureNotice&)>;
+
+  explicit CallbackEventSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  void OnPeFailure(const PeFailureNotice& notice) override {
+    if (callback_) callback_(notice);
+  }
+
+ private:
+  Callback callback_;
+};
+
+}  // namespace orcastream::runtime
+
+#endif  // ORCASTREAM_RUNTIME_EVENT_SINK_H_

@@ -323,10 +323,17 @@ Pe* Sam::ResolvePe(JobId job, const std::string& operator_name) {
   return FindPe(pe_it->second);
 }
 
+OrcaId Sam::RegisterOrca(const std::string& name, EventSink* sink) {
+  OrcaId id(next_orca_id_++);
+  orcas_.push_back(OrcaRecord{id, name, sink, nullptr});
+  return id;
+}
+
 OrcaId Sam::RegisterOrca(const std::string& name,
                          OrcaFailureCallback callback) {
+  auto owned = std::make_shared<CallbackEventSink>(std::move(callback));
   OrcaId id(next_orca_id_++);
-  orcas_.push_back(OrcaRecord{id, name, std::move(callback)});
+  orcas_.push_back(OrcaRecord{id, name, owned.get(), std::move(owned)});
   return id;
 }
 
@@ -353,9 +360,20 @@ void Sam::OnPeFailure(const Srm::PeFailure& failure) {
                                failure.pe,  failure.host,
                                failure.reason, failure.detected_at,
                                record.operators};
-        auto callback = orca.callback;
+        // The sink is resolved again when the notification latency
+        // elapses: an orchestrator that unregistered in the meantime
+        // (e.g. was shut down and destroyed) is silently skipped instead
+        // of being called through a dangling pointer.
+        OrcaId owner = orca.id;
         sim_->ScheduleAfter(config_.notification_latency,
-                            [callback, notice] { callback(notice); });
+                            [this, owner, notice] {
+                              for (const auto& record : orcas_) {
+                                if (record.id == owner) {
+                                  record.sink->OnPeFailure(notice);
+                                  return;
+                                }
+                              }
+                            });
       }
       return;
     }

@@ -11,6 +11,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "runtime/event_sink.h"
 #include "runtime/operator_api.h"
 #include "runtime/partitioner.h"
 #include "runtime/pe.h"
@@ -43,19 +44,6 @@ struct JobInfo {
   bool running = false;
 
   common::Result<common::PeId> PeOfOperator(const std::string& name) const;
-};
-
-/// A PE failure notification, as SAM pushes it to the owning orchestrator
-/// (§3, §4.2): PE id, detection timestamp, crash reason, and enough job
-/// context to disambiguate.
-struct PeFailureNotice {
-  common::JobId job;
-  std::string app_name;
-  common::PeId pe;
-  common::HostId host;
-  std::string reason;
-  sim::SimTime detected_at = 0;
-  std::vector<std::string> operators;
 };
 
 /// The Streams Application Manager (§2.2): receives application submission
@@ -117,7 +105,12 @@ class Sam : public PeResolver {
   using OrcaFailureCallback = std::function<void(const PeFailureNotice&)>;
 
   /// Registers an orchestrator; SAM will push PE failure notifications for
-  /// jobs owned by it through `callback` (after notification latency).
+  /// jobs owned by it through `sink` (after notification latency). The
+  /// sink must stay valid until UnregisterOrca; notifications still in
+  /// flight when it unregisters are dropped.
+  common::OrcaId RegisterOrca(const std::string& name, EventSink* sink);
+  /// Convenience overload wrapping a plain callback in an owned
+  /// CallbackEventSink.
   common::OrcaId RegisterOrca(const std::string& name,
                               OrcaFailureCallback callback);
   void UnregisterOrca(common::OrcaId orca);
@@ -144,7 +137,9 @@ class Sam : public PeResolver {
   struct OrcaRecord {
     common::OrcaId id;
     std::string name;
-    OrcaFailureCallback callback;
+    EventSink* sink = nullptr;
+    /// Set when the registration came in as a plain callback.
+    std::shared_ptr<EventSink> owned_sink;
   };
 
   static bool ImportMatchesExport(const ImportRecord& import,

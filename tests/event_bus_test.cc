@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "orca/event_bus.h"
+#include "orca/orca_service.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+#include "tests/test_util.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::orca {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+
+Event UserEvent(const std::string& name, sim::SimTime at = 0) {
+  Event event;
+  event.type = Event::Type::kUser;
+  event.summary = "userEvent(" + name + ")";
+  event.matched = {"scope"};
+  UserEventContext context;
+  context.name = name;
+  context.at = at;
+  event.context = std::move(context);
+  return event;
+}
+
+/// Records user-event deliveries with their delivery times; can publish
+/// more events from inside a handler to exercise queued-while-handling.
+class RecordingLogic : public Orchestrator {
+ public:
+  RecordingLogic(sim::Simulation* sim, EventBus* bus)
+      : sim_(sim), bus_(bus) {}
+
+  void HandleOrcaStart(const OrcaStartContext&) override { ++starts; }
+
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    delivered.push_back(context.name);
+    delivered_at.push_back(sim_->Now());
+    if (!publish_on.empty() && context.name == publish_on.front()) {
+      publish_on.erase(publish_on.begin());
+      bus_->Publish(UserEvent(context.name + ".child"));
+    }
+  }
+
+  int starts = 0;
+  std::vector<std::string> delivered;
+  std::vector<sim::SimTime> delivered_at;
+  /// Event names whose handler publishes a ".child" follow-up.
+  std::vector<std::string> publish_on;
+
+ private:
+  sim::Simulation* sim_;
+  EventBus* bus_;
+};
+
+TEST(EventBusTest, DeliversInFifoOrder) {
+  sim::Simulation sim;
+  EventBus bus(&sim, {});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  for (int i = 0; i < 5; ++i) {
+    bus.Publish(UserEvent("e" + std::to_string(i)));
+  }
+  EXPECT_EQ(bus.queue_depth(), 5u);
+  sim.RunUntil(1);
+  EXPECT_EQ(logic.delivered,
+            (std::vector<std::string>{"e0", "e1", "e2", "e3", "e4"}));
+  EXPECT_EQ(bus.queue_depth(), 0u);
+  EXPECT_EQ(bus.events_delivered(), 5u);
+}
+
+TEST(EventBusTest, EventsPublishedWhileHandlingAreQueuedFifo) {
+  sim::Simulation sim;
+  EventBus bus(&sim, {});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  // e0's handler publishes e0.child; the child must be delivered AFTER the
+  // already-queued e1/e2, preserving arrival order (§4.2).
+  logic.publish_on = {"e0"};
+  bus.Publish(UserEvent("e0"));
+  bus.Publish(UserEvent("e1"));
+  bus.Publish(UserEvent("e2"));
+  sim.RunUntil(1);
+  EXPECT_EQ(logic.delivered,
+            (std::vector<std::string>{"e0", "e1", "e2", "e0.child"}));
+}
+
+TEST(EventBusTest, DispatchIntervalPacesQueuedDeliveries) {
+  sim::Simulation sim;
+  EventBus bus(&sim, EventBus::Config{0.5});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  for (int i = 0; i < 4; ++i) {
+    bus.Publish(UserEvent("e" + std::to_string(i)));
+  }
+  sim.RunUntil(10);
+  ASSERT_EQ(logic.delivered_at.size(), 4u);
+  // First delivery fires immediately; each successive queued delivery is
+  // spaced by the dispatch interval.
+  EXPECT_DOUBLE_EQ(logic.delivered_at[0], 0.0);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[1], 0.5);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[2], 1.0);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[3], 1.5);
+}
+
+TEST(EventBusTest, NullLogicRetainsQueueUntilReplacement) {
+  sim::Simulation sim;
+  EventBus bus(&sim, {});
+  bus.Publish(UserEvent("early"));
+  sim.RunUntil(1);
+  // No logic attached: nothing delivered, nothing lost.
+  EXPECT_EQ(bus.events_delivered(), 0u);
+  EXPECT_EQ(bus.queue_depth(), 1u);
+
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  // Attaching logic alone resumes dispatch — the retained event must not
+  // stall until the next Publish.
+  sim.RunUntil(2);
+  EXPECT_EQ(logic.delivered, (std::vector<std::string>{"early"}));
+  bus.Publish(UserEvent("late"));
+  sim.RunUntil(3);
+  EXPECT_EQ(logic.delivered, (std::vector<std::string>{"early", "late"}));
+}
+
+TEST(EventBusTest, EveryDeliveryIsJournaled) {
+  sim::Simulation sim;
+  EventBus bus(&sim, {});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  bus.Publish(UserEvent("one"));
+  bus.Publish(UserEvent("two"));
+  sim.RunUntil(1);
+  EXPECT_EQ(bus.transactions().committed_count(), 2);
+  EXPECT_TRUE(bus.transactions().Uncommitted().empty());
+  EXPECT_EQ(bus.current_transaction(), 0);
+  auto records = bus.transactions().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->event_summary, "userEvent(one)");
+  EXPECT_EQ(records[1]->event_summary, "userEvent(two)");
+}
+
+// --- Service-level: pacing and reliable redelivery through the bus ----------
+
+class PacedOrca : public Orchestrator {
+ public:
+  void HandleOrcaStart(const OrcaStartContext&) override {
+    orca()->RegisterEventScope(UserEventScope("user"));
+    ++starts;
+  }
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    delivered.push_back(context.name);
+    delivered_at.push_back(orca()->Now());
+  }
+  int starts = 0;
+  std::vector<std::string> delivered;
+  std::vector<sim::SimTime> delivered_at;
+};
+
+TEST(EventBusServiceTest, DispatchIntervalRespectedThroughService) {
+  ClusterHarness cluster(2);
+  OrcaService::Config config;
+  config.dispatch_interval = 1.0;
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm(),
+                      config);
+  auto logic_holder = std::make_unique<PacedOrca>();
+  PacedOrca* logic = logic_holder.get();
+  ASSERT_TRUE(service.Load(std::move(logic_holder)).ok());
+  cluster.sim().RunUntil(2);  // start event delivered and paced out
+  for (int i = 0; i < 3; ++i) {
+    service.InjectUserEvent("b" + std::to_string(i));
+  }
+  cluster.sim().RunUntil(20);
+  ASSERT_EQ(logic->delivered_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(logic->delivered_at[1] - logic->delivered_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(logic->delivered_at[2] - logic->delivered_at[1], 1.0);
+}
+
+TEST(EventBusServiceTest, ReplaceLogicRedeliversUncommittedEvents) {
+  ClusterHarness cluster(2);
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  auto logic_holder = std::make_unique<PacedOrca>();
+  ASSERT_TRUE(service.Load(std::move(logic_holder)).ok());
+  cluster.sim().RunUntil(1);
+  // Queue events without running the simulator: their transactions never
+  // begin under the old logic.
+  service.InjectUserEvent("pending1");
+  service.InjectUserEvent("pending2");
+  ASSERT_GE(service.queue_depth(), 2u);
+
+  auto replacement_holder = std::make_unique<PacedOrca>();
+  PacedOrca* replacement = replacement_holder.get();
+  ASSERT_TRUE(service.ReplaceLogic(std::move(replacement_holder)).ok());
+  cluster.sim().RunUntil(2);
+
+  // Fresh start first, then the surviving queued events, in order (§7).
+  EXPECT_EQ(replacement->starts, 1);
+  EXPECT_EQ(replacement->delivered,
+            (std::vector<std::string>{"pending1", "pending2"}));
+}
+
+}  // namespace
+}  // namespace orcastream::orca

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "orca/scope_registry.h"
+#include "tests/test_util.h"
+
+namespace orcastream::orca {
+namespace {
+
+using common::PeId;
+using common::Rng;
+using orcastream::testing::ClusterHarness;
+using topology::AppBuilder;
+
+/// Builds the Figure 2 application (nested composites) and loads it into a
+/// GraphView so composite-type and containment filters are exercised.
+class ScopeRegistryTest : public ::testing::Test {
+ protected:
+  ScopeRegistryTest() : cluster_(2) {
+    AppBuilder builder("Figure2");
+    builder.AddOperator("op1", "Beacon").Output("src1");
+    auto body = [](AppBuilder& b, const std::string& in) {
+      b.AddOperator("op3", "Split").Input({in}).Output("s3");
+      b.AddOperator("op6", "Merge").Input("s3").Output("out");
+    };
+    builder.BeginComposite("composite1", "c1a");
+    body(builder, "src1");
+    builder.EndComposite();
+    builder.BeginComposite("composite2", "c2");
+    builder.AddOperator("op7", "Split").Input({"c1a.out"}).Output("s7");
+    builder.BeginComposite("composite1", "nested");
+    body(builder, "c2.s7");
+    builder.EndComposite();
+    builder.EndComposite();
+    builder.AddOperator("snk", "NullSink").Input("c2.nested.out");
+    auto model = builder.Build();
+    EXPECT_TRUE(model.ok()) << model.status();
+    auto job = cluster_.sam().SubmitJob(*model);
+    EXPECT_TRUE(job.ok()) << job.status();
+    job_ = *job;
+    view_.AddJob(*cluster_.sam().FindJob(job_));
+  }
+
+  /// Attribute pools the random scopes and contexts draw from. The pools
+  /// deliberately mix values present in the graph with absent ones so both
+  /// match and miss paths are exercised.
+  std::string Pick(Rng& rng, const std::vector<std::string>& pool) {
+    return pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+
+  OperatorMetricScope RandomOperatorMetricScope(Rng& rng, int i) {
+    OperatorMetricScope scope("s" + std::to_string(i));
+    // Each filter is present with some probability; absent = wildcard.
+    if (rng.Bernoulli(0.5)) scope.AddOperatorMetric(Pick(rng, kMetrics));
+    if (rng.Bernoulli(0.3)) scope.AddOperatorMetric(Pick(rng, kMetrics));
+    if (rng.Bernoulli(0.5)) scope.AddApplicationFilter(Pick(rng, kApps));
+    if (rng.Bernoulli(0.4)) scope.AddCompositeTypeFilter(Pick(rng, kComposites));
+    if (rng.Bernoulli(0.3)) scope.AddCompositeInstanceFilter(Pick(rng, kInstances));
+    if (rng.Bernoulli(0.4)) scope.AddOperatorTypeFilter(Pick(rng, kKinds));
+    if (rng.Bernoulli(0.3)) scope.AddOperatorNameFilter(Pick(rng, kOperators));
+    if (rng.Bernoulli(0.3)) {
+      scope.SetMetricKindFilter(rng.Bernoulli(0.5)
+                                    ? runtime::MetricKind::kBuiltin
+                                    : runtime::MetricKind::kCustom);
+    }
+    int port = static_cast<int>(rng.UniformInt(0, 2));
+    scope.SetPortScope(port == 0 ? OperatorMetricScope::PortScope::kOperatorLevel
+                       : port == 1 ? OperatorMetricScope::PortScope::kPortLevel
+                                   : OperatorMetricScope::PortScope::kBoth);
+    return scope;
+  }
+
+  OperatorMetricContext RandomOperatorMetricContext(Rng& rng) {
+    OperatorMetricContext context;
+    context.job = job_;
+    context.application = Pick(rng, kApps);
+    context.instance_name = Pick(rng, kOperators);
+    context.operator_kind = Pick(rng, kKinds);
+    context.metric = Pick(rng, kMetrics);
+    context.metric_kind = rng.Bernoulli(0.5) ? runtime::MetricKind::kBuiltin
+                                             : runtime::MetricKind::kCustom;
+    context.port = rng.Bernoulli(0.3) ? static_cast<int32_t>(rng.UniformInt(0, 2))
+                                      : -1;
+    return context;
+  }
+
+  const std::vector<std::string> kMetrics = {
+      "queueSize", "nTuplesProcessed", "nSeen", "latency", "absentMetric"};
+  const std::vector<std::string> kApps = {"Figure2", "OtherApp", "ThirdApp"};
+  const std::vector<std::string> kComposites = {"composite1", "composite2",
+                                                "compositeX"};
+  const std::vector<std::string> kInstances = {"c1a", "c2", "c2.nested",
+                                               "missing"};
+  const std::vector<std::string> kKinds = {"Beacon", "Split", "Merge",
+                                           "NullSink", "Filter"};
+  const std::vector<std::string> kOperators = {
+      "op1", "c1a.op3", "c1a.op6", "c2.op7", "c2.nested.op3", "c2.nested.op6",
+      "snk", "ghost"};
+
+  ClusterHarness cluster_;
+  common::JobId job_;
+  GraphView view_;
+};
+
+TEST_F(ScopeRegistryTest, RandomizedOperatorMetricEquivalence) {
+  Rng rng(20260728);
+  ScopeRegistry registry;
+  for (int i = 0; i < 200; ++i) {
+    registry.Register(RandomOperatorMetricScope(rng, i));
+  }
+  for (int i = 0; i < 500; ++i) {
+    OperatorMetricContext context = RandomOperatorMetricContext(rng);
+    EXPECT_EQ(registry.MatchedKeys(context, view_),
+              registry.MatchedKeysLinear(context, view_))
+        << "divergence on context app=" << context.application
+        << " op=" << context.instance_name << " metric=" << context.metric;
+  }
+}
+
+TEST_F(ScopeRegistryTest, RandomizedPeMetricEquivalence) {
+  Rng rng(7);
+  ScopeRegistry registry;
+  for (int i = 0; i < 150; ++i) {
+    PeMetricScope scope("p" + std::to_string(i));
+    if (rng.Bernoulli(0.5)) scope.AddMetricNameFilter(Pick(rng, kMetrics));
+    if (rng.Bernoulli(0.4)) scope.AddPeFilter(PeId(rng.UniformInt(1, 6)));
+    if (rng.Bernoulli(0.3)) scope.AddPeFilter(PeId(rng.UniformInt(1, 6)));
+    if (rng.Bernoulli(0.5)) scope.AddApplicationFilter(Pick(rng, kApps));
+    registry.Register(std::move(scope));
+  }
+  for (int i = 0; i < 500; ++i) {
+    PeMetricContext context;
+    context.job = job_;
+    context.application = Pick(rng, kApps);
+    context.pe = PeId(rng.UniformInt(1, 6));
+    context.metric = Pick(rng, kMetrics);
+    EXPECT_EQ(registry.MatchedKeys(context),
+              registry.MatchedKeysLinear(context));
+  }
+}
+
+TEST_F(ScopeRegistryTest, RandomizedFailureJobAndUserEquivalence) {
+  Rng rng(42);
+  ScopeRegistry registry;
+  const std::vector<std::string> reasons = {"segfault", "host failure",
+                                            "oom"};
+  const std::vector<std::string> user_names = {"poke", "refresh", "drain"};
+  for (int i = 0; i < 60; ++i) {
+    PeFailureScope failure("f" + std::to_string(i));
+    if (rng.Bernoulli(0.5)) failure.AddApplicationFilter(Pick(rng, kApps));
+    if (rng.Bernoulli(0.4)) failure.AddReasonFilter(Pick(rng, reasons));
+    if (rng.Bernoulli(0.4)) failure.AddCompositeTypeFilter(Pick(rng, kComposites));
+    registry.Register(std::move(failure));
+
+    JobEventScope job_scope(
+        "j" + std::to_string(i),
+        i % 3 == 0 ? JobEventScope::Kind::kSubmission
+        : i % 3 == 1 ? JobEventScope::Kind::kCancellation
+                     : JobEventScope::Kind::kBoth);
+    if (rng.Bernoulli(0.5)) job_scope.AddApplicationFilter(Pick(rng, kApps));
+    registry.Register(std::move(job_scope));
+
+    UserEventScope user("u" + std::to_string(i));
+    if (rng.Bernoulli(0.5)) user.AddNameFilter(Pick(rng, user_names));
+    if (rng.Bernoulli(0.3)) user.AddNameFilter(Pick(rng, user_names));
+    registry.Register(std::move(user));
+  }
+  for (int i = 0; i < 300; ++i) {
+    PeFailureContext failure;
+    failure.job = job_;
+    failure.application = Pick(rng, kApps);
+    failure.reason = Pick(rng, reasons);
+    failure.operators = {Pick(rng, kOperators)};
+    EXPECT_EQ(registry.MatchedKeys(failure, view_),
+              registry.MatchedKeysLinear(failure, view_));
+
+    JobEventContext job_event;
+    job_event.job = job_;
+    job_event.application = Pick(rng, kApps);
+    bool is_submission = rng.Bernoulli(0.5);
+    EXPECT_EQ(registry.MatchedKeys(job_event, is_submission),
+              registry.MatchedKeysLinear(job_event, is_submission));
+
+    UserEventContext user;
+    user.name = Pick(rng, user_names);
+    EXPECT_EQ(registry.MatchedKeys(user), registry.MatchedKeysLinear(user));
+  }
+}
+
+TEST_F(ScopeRegistryTest, MatchedKeysComeBackInRegistrationOrder) {
+  ScopeRegistry registry;
+  // "late" is indexed under the metric name, "wild" sits in the residual
+  // set, "appy" under the application index — yet keys must come back in
+  // registration order, not index-bucket order.
+  OperatorMetricScope wild("wild");
+  registry.Register(std::move(wild));
+  OperatorMetricScope appy("appy");
+  appy.AddApplicationFilter("Figure2");
+  registry.Register(std::move(appy));
+  OperatorMetricScope late("late");
+  late.AddOperatorMetric("queueSize");
+  registry.Register(std::move(late));
+
+  OperatorMetricContext context;
+  context.job = job_;
+  context.application = "Figure2";
+  context.instance_name = "op1";
+  context.operator_kind = "Beacon";
+  context.metric = "queueSize";
+  EXPECT_EQ(registry.MatchedKeys(context, view_),
+            (std::vector<std::string>{"wild", "appy", "late"}));
+  EXPECT_EQ(registry.MatchedKeys(context, view_),
+            registry.MatchedKeysLinear(context, view_));
+}
+
+TEST_F(ScopeRegistryTest, ScopeIndexedUnderSeveralValuesMatchesOnce) {
+  ScopeRegistry registry;
+  // Two metric-name filters on ONE attribute are disjunctive; the subscope
+  // must still be tested (and its key returned) only once per event.
+  OperatorMetricScope multi("multi");
+  multi.AddOperatorMetric("queueSize");
+  multi.AddOperatorMetric("nTuplesProcessed");
+  registry.Register(std::move(multi));
+
+  OperatorMetricContext context;
+  context.job = job_;
+  context.application = "Figure2";
+  context.instance_name = "op1";
+  context.operator_kind = "Beacon";
+  context.metric = "queueSize";
+  EXPECT_EQ(registry.MatchedKeys(context, view_),
+            (std::vector<std::string>{"multi"}));
+}
+
+TEST_F(ScopeRegistryTest, WildcardScopesAlwaysChecked) {
+  ScopeRegistry registry;
+  UserEventScope any("any");
+  registry.Register(std::move(any));
+  UserEventScope named("named");
+  named.AddNameFilter("poke");
+  registry.Register(std::move(named));
+
+  UserEventContext poke;
+  poke.name = "poke";
+  EXPECT_EQ(registry.MatchedKeys(poke),
+            (std::vector<std::string>{"any", "named"}));
+  UserEventContext other;
+  other.name = "somethingElse";
+  EXPECT_EQ(registry.MatchedKeys(other), (std::vector<std::string>{"any"}));
+}
+
+TEST_F(ScopeRegistryTest, ClearEmptiesEverything) {
+  ScopeRegistry registry;
+  registry.Register(OperatorMetricScope("a"));
+  registry.Register(PeMetricScope("b"));
+  registry.Register(PeFailureScope("c"));
+  registry.Register(JobEventScope("d"));
+  registry.Register(UserEventScope("e"));
+  EXPECT_EQ(registry.size(), 5u);
+  registry.Clear();
+  EXPECT_TRUE(registry.empty());
+  UserEventContext context;
+  context.name = "poke";
+  EXPECT_TRUE(registry.MatchedKeys(context).empty());
+}
+
+}  // namespace
+}  // namespace orcastream::orca
