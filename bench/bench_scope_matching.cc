@@ -128,23 +128,29 @@ void BM_SqlClosureConstruction(benchmark::State& state) {
 
 // --- ScopeRegistry: indexed routing vs the linear-scan reference ----------
 
-/// 1k subscopes as a production orchestrator would register them: most
-/// filter on a metric name (indexable), some on an application only, and a
+/// Subscope #i as a production orchestrator would register it: most filter
+/// on a metric name (indexable), some on an application only, and a
 /// handful are wildcards that land in the always-checked residual set.
+/// Metric names wrap at `metric_space` so replacements registered during
+/// churn keep matching the sampled metric range.
+orca::OperatorMetricScope MakeBenchScope(int i, int metric_space) {
+  orca::OperatorMetricScope scope("scope" + std::to_string(i));
+  if (i % 100 == 99) {
+    // Wildcard subscope: no indexable filter.
+    scope.AddOperatorTypeFilter(std::string("Filter"));
+  } else if (i % 10 == 9) {
+    scope.AddApplicationFilter("App" + std::to_string(i % 7));
+  } else {
+    scope.AddOperatorMetric("metric" + std::to_string(i % metric_space));
+    scope.AddApplicationFilter("BenchApp");
+  }
+  return scope;
+}
+
 orca::ScopeRegistry MakeRegistry(int scopes) {
   orca::ScopeRegistry registry;
   for (int i = 0; i < scopes; ++i) {
-    orca::OperatorMetricScope scope("scope" + std::to_string(i));
-    if (i % 100 == 99) {
-      // Wildcard subscope: no indexable filter.
-      scope.AddOperatorTypeFilter(std::string("Filter"));
-    } else if (i % 10 == 9) {
-      scope.AddApplicationFilter("App" + std::to_string(i % 7));
-    } else {
-      scope.AddOperatorMetric("metric" + std::to_string(i));
-      scope.AddApplicationFilter("BenchApp");
-    }
-    registry.Register(std::move(scope));
+    registry.Register(MakeBenchScope(i, scopes));
   }
   return registry;
 }
@@ -207,6 +213,49 @@ void BM_RegistryLinearScan(benchmark::State& state) {
   state.SetLabel("matched=" + std::to_string(matched_total));
 }
 
+// --- Registry churn: register/match/unregister interleavings ---------------
+
+/// One churn round = retire the 16 oldest subscopes, register 16
+/// replacements (exercising tombstoning + amortized compaction on the
+/// indexed path), then route a full sample burst. Items processed counts
+/// the routed samples, so items/s is match throughput *under churn* —
+/// comparable between the indexed and linear variants, which perform
+/// identical mutations.
+template <bool kIndexed>
+void RegistryChurnLoop(benchmark::State& state) {
+  const int scopes = static_cast<int>(state.range(0));
+  auto registry = MakeRegistry(scopes);
+  auto samples = MakeSamples(static_cast<int>(state.range(1)), scopes);
+  orca::GraphView view;
+  int next_dead = 0;
+  int next_new = scopes;
+  size_t matched_total = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      registry.Unregister("scope" + std::to_string(next_dead++));
+      registry.Register(MakeBenchScope(next_new++, scopes));
+    }
+    for (const auto& context : samples) {
+      auto keys = kIndexed ? registry.MatchedKeys(context, view)
+                           : registry.MatchedKeysLinear(context, view);
+      matched_total += keys.size();
+      benchmark::DoNotOptimize(keys);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(samples.size()));
+  state.SetLabel("matched=" + std::to_string(matched_total) +
+                 " compactions=" + std::to_string(registry.compaction_count()));
+}
+
+void BM_RegistryChurnIndexed(benchmark::State& state) {
+  RegistryChurnLoop<true>(state);
+}
+
+void BM_RegistryChurnLinear(benchmark::State& state) {
+  RegistryChurnLoop<false>(state);
+}
+
 }  // namespace
 
 // Args: {operators per composite level, nesting depth}.
@@ -228,5 +277,10 @@ BENCHMARK(BM_SqlClosureConstruction)->Args({16, 8})->Args({128, 8});
 // routing-scale target tracked in BENCH_event_routing.json.
 BENCHMARK(BM_RegistryIndexed)->Args({100, 10000})->Args({1000, 10000});
 BENCHMARK(BM_RegistryLinearScan)->Args({100, 10000})->Args({1000, 10000});
+
+// Churn workload (register/match/unregister mix) at the same routing
+// scale; also tracked in BENCH_event_routing.json.
+BENCHMARK(BM_RegistryChurnIndexed)->Args({1000, 10000});
+BENCHMARK(BM_RegistryChurnLinear)->Args({1000, 10000});
 
 BENCHMARK_MAIN();

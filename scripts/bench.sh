@@ -47,16 +47,26 @@ delivery = load(delivery_path)
 
 indexed = items_per_second(scope, "BM_RegistryIndexed/1000/10000")
 linear = items_per_second(scope, "BM_RegistryLinearScan/1000/10000")
+churn_indexed = items_per_second(scope, "BM_RegistryChurnIndexed/1000/10000")
+churn_linear = items_per_second(scope, "BM_RegistryChurnLinear/1000/10000")
 
 result = {
     "bench": "event_routing",
     "description": "ScopeRegistry indexed routing vs preserved linear-scan "
-                   "reference at 1k subscopes x 10k samples, plus EventBus "
-                   "dispatch throughput (events/s)",
+                   "reference at 1k subscopes x 10k samples (static and "
+                   "register/match/unregister churn workloads), plus "
+                   "EventBus dispatch throughput (events/s)",
     "scope_matching": {
         "indexed_items_per_second": indexed,
         "linear_items_per_second": linear,
         "speedup": (indexed / linear) if indexed and linear else None,
+        "required_speedup": 5.0,
+    },
+    "scope_matching_churn": {
+        "indexed_items_per_second": churn_indexed,
+        "linear_items_per_second": churn_linear,
+        "speedup": (churn_indexed / churn_linear)
+                   if churn_indexed and churn_linear else None,
         "required_speedup": 5.0,
     },
     "event_delivery": {
@@ -71,11 +81,15 @@ with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
 
-speedup = result["scope_matching"]["speedup"]
 print(f"wrote {out_path}")
-print(f"indexed vs linear speedup: "
-      f"{speedup:.1f}x" if speedup else "speedup: n/a")
-if speedup is not None and speedup < 5.0:
-    print("FAIL: speedup below required 5x", file=sys.stderr)
+failed = False
+for label in ("scope_matching", "scope_matching_churn"):
+    speedup = result[label]["speedup"]
+    print(f"{label} indexed vs linear speedup: "
+          + (f"{speedup:.1f}x" if speedup else "n/a"))
+    if speedup is not None and speedup < 5.0:
+        print(f"FAIL: {label} speedup below required 5x", file=sys.stderr)
+        failed = True
+if failed:
     sys.exit(1)
 EOF

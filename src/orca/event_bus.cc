@@ -1,5 +1,6 @@
 #include "orca/event_bus.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/strings.h"
@@ -13,6 +14,15 @@ void EventBus::set_logic(Orchestrator* logic) {
   // Events retained while no logic was attached must not stall until the
   // next Publish.
   if (logic_ != nullptr && !queue_.empty()) EnsureDispatching();
+}
+
+void EventBus::DisposeAfterDispatch(std::unique_ptr<Orchestrator> logic) {
+  if (logic == nullptr) return;
+  // current_txn_ != 0 means a handler frame is on the stack — possibly
+  // the very object being disposed; park it until the delivery unwinds.
+  if (current_txn_ != 0) {
+    retired_logics_.push_back(std::move(logic));
+  }
 }
 
 void EventBus::Publish(Event event) {
@@ -96,10 +106,18 @@ void EventBus::JournalActuation(const std::string& description) {
 }
 
 void EventBus::EnsureDispatching() {
-  if (!dispatching_) {
-    dispatching_ = true;
-    sim_->ScheduleAfter(0, [this] { DispatchNext(); });
+  if (dispatching_) return;
+  dispatching_ = true;
+  // The dispatch interval is owed relative to the LAST delivery, not to
+  // this Publish: when the queue drained moments ago, the next delivery
+  // must still wait out the remainder of the interval instead of firing
+  // at delay 0.
+  double delay = 0;
+  if (events_delivered_ > 0) {
+    delay = std::max(
+        0.0, (last_delivery_at_ + config_.dispatch_interval) - sim_->Now());
   }
+  sim_->ScheduleAfter(delay, [this] { DispatchNext(); });
 }
 
 void EventBus::DispatchNext() {
@@ -116,6 +134,10 @@ void EventBus::DispatchNext() {
   Deliver(event);
   txn_log_.Commit(current_txn_, sim_->Now());
   current_txn_ = 0;
+  last_delivery_at_ = sim_->Now();
+  // The handler frame has unwound; logic it retired from inside itself
+  // (in-handler ReplaceLogic/Shutdown) can be destroyed now.
+  retired_logics_.clear();
   if (queue_.empty()) {
     dispatching_ = false;
     return;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -46,8 +47,11 @@ struct Event {
 
 /// The unified delivery queue of the ORCA service (§4.2): events are
 /// delivered one at a time, in arrival order; events occurring while a
-/// handler runs are queued. Successive queued deliveries are spaced by
-/// `dispatch_interval` (models handler execution time). Every delivery
+/// handler runs are queued. Successive deliveries are spaced by
+/// `dispatch_interval` (models handler execution time) — measured from
+/// the previous delivery, whether or not the queue drained in between, so
+/// a Publish right after the queue empties still waits out the remainder
+/// of the interval. Every delivery
 /// runs inside a transaction (§7 extension): the journal ties the event to
 /// every actuation its handler performs, and events whose transaction
 /// never committed are redelivered to replacement logic.
@@ -70,6 +74,13 @@ class EventBus {
   /// §7 reliable-delivery path) and resume dispatching when one is set.
   void set_logic(Orchestrator* logic);
   Orchestrator* logic() const { return logic_; }
+
+  /// Destroys a replaced/unloaded Orchestrator — immediately if no
+  /// delivery is in flight, otherwise once the current delivery unwinds:
+  /// logic may call ReplaceLogic/Shutdown from inside its own handler
+  /// (§7 self-recovery), and the object whose handler frame is still
+  /// executing must not be freed under it.
+  void DisposeAfterDispatch(std::unique_ptr<Orchestrator> logic);
 
   // --- Publication --------------------------------------------------------
 
@@ -114,8 +125,14 @@ class EventBus {
   Orchestrator* logic_ = nullptr;
 
   std::deque<Event> queue_;
+  /// Orchestrators retired mid-delivery; destroyed when the delivery
+  /// unwinds (see DisposeAfterDispatch).
+  std::vector<std::unique_ptr<Orchestrator>> retired_logics_;
   bool dispatching_ = false;
   uint64_t events_delivered_ = 0;
+  /// When the last delivery ran; pacing is enforced relative to it even
+  /// across a queue drain (meaningful only once events_delivered_ > 0).
+  sim::SimTime last_delivery_at_ = 0;
 
   TransactionLog txn_log_;
   TransactionId current_txn_ = 0;

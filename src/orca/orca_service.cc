@@ -49,6 +49,9 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   }
   logic_ = std::move(logic);
   logic_->orca_ = this;
+  // Scopes this logic registers (typically from HandleOrcaStart) belong
+  // to its generation and are retired when it is replaced or unloaded.
+  logic_generation_ = scopes_.BeginGeneration();
   bus_.set_logic(logic_.get());
   orca_id_ = sam_->RegisterOrca(config_.name, this);
   pull_task_.Start(config_.metric_pull_period);
@@ -69,8 +72,17 @@ void OrcaService::Shutdown() {
   timers_.clear();
   sam_->UnregisterOrca(orca_id_);
   bus_.set_logic(nullptr);
+  // Retire the outgoing logic's scopes; queued events keep their matched
+  // keys and survive for a future Load (§7 reliable delivery). Opening a
+  // fresh generation afterwards fences the retired id: scopes registered
+  // while no logic is loaded land in a generation nobody ever retires.
+  scopes_.RetireGeneration(logic_generation_);
+  scopes_.BeginGeneration();
+  logic_generation_ = 0;
   logic_->orca_ = nullptr;
-  logic_.reset();
+  // Shutdown may be invoked from inside the logic's own handler; its
+  // destruction is deferred until the delivery unwinds.
+  bus_.DisposeAfterDispatch(std::move(logic_));
 }
 
 common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
@@ -78,9 +90,17 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
     return Status::FailedPrecondition("no ORCA logic loaded to replace");
   }
   logic_->orca_ = nullptr;
+  // Retire the outgoing orchestrator's scopes atomically: stale subscope
+  // keys must not keep matching and reaching the replacement (§4.1, §7).
+  scopes_.RetireGeneration(logic_generation_);
+  // The outgoing logic may be the caller (§7 self-recovery from inside
+  // its own handler); defer its destruction until the delivery unwinds.
+  std::unique_ptr<Orchestrator> outgoing = std::move(logic_);
   logic_ = std::move(logic);
   logic_->orca_ = this;
+  logic_generation_ = scopes_.BeginGeneration();
   bus_.set_logic(logic_.get());
+  bus_.DisposeAfterDispatch(std::move(outgoing));
   // The replacement receives a fresh start event BEFORE any surviving
   // queued events so it can initialize its own state; events that never
   // committed under the old logic then flow to it (reliable delivery).
@@ -105,6 +125,9 @@ void OrcaService::RegisterEventScope(JobEventScope scope) {
 void OrcaService::RegisterEventScope(UserEventScope scope) {
   scopes_.Register(std::move(scope));
 }
+size_t OrcaService::UnregisterEventScope(const std::string& key) {
+  return scopes_.Unregister(key);
+}
 void OrcaService::ClearEventScopes() { scopes_.Clear(); }
 
 // --- Application registry --------------------------------------------------
@@ -121,10 +144,8 @@ const OrcaService::AppState* OrcaService::FindApp(
 }
 
 OrcaService::AppState* OrcaService::FindAppByJob(JobId job) {
-  for (auto& [id, state] : apps_) {
-    if (state.job.has_value() && *state.job == job) return &state;
-  }
-  return nullptr;
+  auto it = job_index_.find(job.value());
+  return it == job_index_.end() ? nullptr : FindApp(it->second);
 }
 
 Status OrcaService::RegisterApplication(AppConfig config,
@@ -240,6 +261,7 @@ Status OrcaService::SubmitNow(AppState* state) {
       JobId job,
       sam_->SubmitJob(state->model, state->config.parameters, orca_id_));
   state->job = job;
+  job_index_[job.value()] = state->config.id;
   state->submitted_at = sim_->Now();
   state->gc_pending = false;
   const runtime::JobInfo* info = sam_->FindJob(job);
@@ -300,6 +322,7 @@ Status OrcaService::DoCancel(AppState* state) {
   ORCA_RETURN_NOT_OK(sam_->CancelJob(job));
   graph_.RemoveJob(job);
   state->job.reset();
+  job_index_.erase(job.value());
   state->gc_pending = false;
   DeliverJobEvent(*state, job, /*is_submission=*/false);
   // Feeders of the cancelled application may now be unused; sweep them.

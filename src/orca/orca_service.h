@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -100,11 +101,24 @@ class OrcaService : private runtime::EventSink {
 
   // --- Event scope registration (§4.1) ------------------------------------
 
+  /// Scope registration is a managed lifecycle: scopes registered while a
+  /// logic is loaded are tagged with that logic's *generation* and retired
+  /// atomically when the logic is replaced (ReplaceLogic) or unloaded
+  /// (Shutdown) — replacement logic registers its own scopes on its fresh
+  /// start event (§7) and never receives matches for its predecessor's
+  /// subscope keys. Scopes registered while no logic is loaded are
+  /// unowned and survive logic turnover.
   void RegisterEventScope(OperatorMetricScope scope);
   void RegisterEventScope(PeMetricScope scope);
   void RegisterEventScope(PeFailureScope scope);
   void RegisterEventScope(JobEventScope scope);
   void RegisterEventScope(UserEventScope scope);
+
+  /// Removes every subscope registered under `key` (the paper's dynamic
+  /// counterpart to registerEventScope). Returns the number of subscopes
+  /// removed.
+  size_t UnregisterEventScope(const std::string& key);
+
   void ClearEventScopes();
 
   /// The indexed registry holding every registered subscope.
@@ -215,7 +229,8 @@ class OrcaService : private runtime::EventSink {
 
   AppState* FindApp(const std::string& config_id);
   const AppState* FindApp(const std::string& config_id) const;
-  /// The config id owning a managed job, or nullptr.
+  /// The app state owning a managed job, or nullptr. O(1) via the
+  /// job-to-config index maintained on submit/cancel.
   AppState* FindAppByJob(common::JobId job);
 
   /// Journals an actuation against the in-flight transaction.
@@ -251,9 +266,15 @@ class OrcaService : private runtime::EventSink {
   GraphView graph_;
 
   ScopeRegistry scopes_;
+  /// Generation tag of the currently loaded logic's scope registrations
+  /// (0 while no logic is loaded — see RegisterEventScope).
+  ScopeRegistry::Generation logic_generation_ = 0;
   EventBus bus_;
 
   std::map<std::string, AppState> apps_;
+  /// JobId value → config id for every running managed job; keeps
+  /// FindAppByJob O(1) on the failure/metric hot paths.
+  std::unordered_map<int64_t, std::string> job_index_;
   DependencyGraph deps_;
 
   sim::PeriodicTask pull_task_;

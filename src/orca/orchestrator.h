@@ -19,6 +19,13 @@ class OrcaService;
 /// The ORCA logic invokes ORCA service routines through `orca()` — the
 /// reference received when the service loads the logic. Acting on jobs the
 /// service did not start is reported as a runtime error by the service.
+///
+/// Scope registration is dynamic (§4.1): logic typically registers scopes
+/// in HandleOrcaStart, may register or drop them at any later point via
+/// `orca()->RegisterEventScope(...)` / `orca()->UnregisterEventScope(key)`,
+/// and everything it registered is retired automatically when the logic is
+/// replaced or the service shuts down — replacement logic starts from a
+/// clean slate and registers its own scopes on its fresh start event (§7).
 class Orchestrator {
  public:
   virtual ~Orchestrator() = default;

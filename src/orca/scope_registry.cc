@@ -1,6 +1,7 @@
 #include "orca/scope_registry.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "orca/scope_matcher.h"
 
@@ -9,36 +10,38 @@ namespace orcastream::orca {
 namespace {
 
 /// Runs `match` over the candidate positions (already in registration
-/// order) and collects the keys of the matching subscopes.
-template <typename Scope, typename Match>
-std::vector<std::string> KeysOf(const std::vector<Scope>& scopes,
+/// order) and collects the keys of the matching live subscopes. Tombstoned
+/// slots are skipped here rather than scrubbed from the index buckets, so
+/// unregistration stays O(1) until compaction reclaims the positions.
+template <typename Slot, typename Match>
+std::vector<std::string> KeysOf(const std::vector<Slot>& slots,
                                 const std::vector<uint32_t>& candidates,
                                 Match match) {
   std::vector<std::string> matched;
   for (uint32_t position : candidates) {
-    const Scope& scope = scopes[position];
-    if (match(scope)) matched.push_back(scope.key());
+    const Slot& slot = slots[position];
+    if (slot.live && match(slot.scope)) matched.push_back(slot.scope.key());
   }
   return matched;
 }
 
-/// The seed's linear scan: every subscope, in registration order.
-template <typename Scope, typename Match>
-std::vector<std::string> KeysOfAll(const std::vector<Scope>& scopes,
+/// The seed's linear scan: every live subscope, in registration order.
+template <typename Slot, typename Match>
+std::vector<std::string> KeysOfAll(const std::vector<Slot>& slots,
                                    Match match) {
   std::vector<std::string> matched;
-  for (const Scope& scope : scopes) {
-    if (match(scope)) matched.push_back(scope.key());
+  for (const Slot& slot : slots) {
+    if (slot.live && match(slot.scope)) matched.push_back(slot.scope.key());
   }
   return matched;
 }
 
 }  // namespace
 
-// --- Registration -----------------------------------------------------------
+// --- Index insertion --------------------------------------------------------
 
-void ScopeRegistry::Register(OperatorMetricScope scope) {
-  uint32_t position = static_cast<uint32_t>(operator_metric_scopes_.size());
+void ScopeRegistry::IndexScope(const OperatorMetricScope& scope,
+                               uint32_t position) {
   if (!scope.metric_names().empty()) {
     for (const auto& metric : scope.metric_names()) {
       operator_metric_by_metric_[metric].push_back(position);
@@ -50,11 +53,9 @@ void ScopeRegistry::Register(OperatorMetricScope scope) {
   } else {
     operator_metric_residual_.push_back(position);
   }
-  operator_metric_scopes_.push_back(std::move(scope));
 }
 
-void ScopeRegistry::Register(PeMetricScope scope) {
-  uint32_t position = static_cast<uint32_t>(pe_metric_scopes_.size());
+void ScopeRegistry::IndexScope(const PeMetricScope& scope, uint32_t position) {
   if (!scope.metric_names().empty()) {
     for (const auto& metric : scope.metric_names()) {
       pe_metric_by_metric_[metric].push_back(position);
@@ -70,11 +71,10 @@ void ScopeRegistry::Register(PeMetricScope scope) {
   } else {
     pe_metric_residual_.push_back(position);
   }
-  pe_metric_scopes_.push_back(std::move(scope));
 }
 
-void ScopeRegistry::Register(PeFailureScope scope) {
-  uint32_t position = static_cast<uint32_t>(pe_failure_scopes_.size());
+void ScopeRegistry::IndexScope(const PeFailureScope& scope,
+                               uint32_t position) {
   if (!scope.applications().empty()) {
     for (const auto& application : scope.applications()) {
       pe_failure_by_application_[application].push_back(position);
@@ -82,11 +82,9 @@ void ScopeRegistry::Register(PeFailureScope scope) {
   } else {
     pe_failure_residual_.push_back(position);
   }
-  pe_failure_scopes_.push_back(std::move(scope));
 }
 
-void ScopeRegistry::Register(JobEventScope scope) {
-  uint32_t position = static_cast<uint32_t>(job_event_scopes_.size());
+void ScopeRegistry::IndexScope(const JobEventScope& scope, uint32_t position) {
   if (!scope.applications().empty()) {
     for (const auto& application : scope.applications()) {
       job_event_by_application_[application].push_back(position);
@@ -94,11 +92,10 @@ void ScopeRegistry::Register(JobEventScope scope) {
   } else {
     job_event_residual_.push_back(position);
   }
-  job_event_scopes_.push_back(std::move(scope));
 }
 
-void ScopeRegistry::Register(UserEventScope scope) {
-  uint32_t position = static_cast<uint32_t>(user_event_scopes_.size());
+void ScopeRegistry::IndexScope(const UserEventScope& scope,
+                               uint32_t position) {
   if (!scope.names().empty()) {
     for (const auto& name : scope.names()) {
       user_event_by_name_[name].push_back(position);
@@ -106,34 +103,243 @@ void ScopeRegistry::Register(UserEventScope scope) {
   } else {
     user_event_residual_.push_back(position);
   }
-  user_event_scopes_.push_back(std::move(scope));
 }
 
-void ScopeRegistry::Clear() {
-  operator_metric_scopes_.clear();
+void ScopeRegistry::ClearIndexesFor(const Store<OperatorMetricScope>&) {
   operator_metric_by_metric_.clear();
   operator_metric_by_application_.clear();
   operator_metric_residual_.clear();
-  pe_metric_scopes_.clear();
+}
+
+void ScopeRegistry::ClearIndexesFor(const Store<PeMetricScope>&) {
   pe_metric_by_metric_.clear();
   pe_metric_by_pe_.clear();
   pe_metric_by_application_.clear();
   pe_metric_residual_.clear();
-  pe_failure_scopes_.clear();
+}
+
+void ScopeRegistry::ClearIndexesFor(const Store<PeFailureScope>&) {
   pe_failure_by_application_.clear();
   pe_failure_residual_.clear();
-  job_event_scopes_.clear();
+}
+
+void ScopeRegistry::ClearIndexesFor(const Store<JobEventScope>&) {
   job_event_by_application_.clear();
   job_event_residual_.clear();
-  user_event_scopes_.clear();
+}
+
+void ScopeRegistry::ClearIndexesFor(const Store<UserEventScope>&) {
   user_event_by_name_.clear();
   user_event_residual_.clear();
 }
 
+// --- Registration lifecycle -------------------------------------------------
+
+template <typename Scope>
+void ScopeRegistry::RegisterIn(Store<Scope>& store, ScopeType type,
+                               Scope scope) {
+  uint32_t position = static_cast<uint32_t>(store.slots.size());
+  IndexScope(scope, position);
+  key_map_[scope.key()].push_back(SlotRef{type, position});
+  store.slots.push_back(Slot<Scope>{std::move(scope), current_generation_,
+                                    /*live=*/true});
+}
+
+void ScopeRegistry::Register(OperatorMetricScope scope) {
+  RegisterIn(operator_metric_, ScopeType::kOperatorMetric, std::move(scope));
+}
+void ScopeRegistry::Register(PeMetricScope scope) {
+  RegisterIn(pe_metric_, ScopeType::kPeMetric, std::move(scope));
+}
+void ScopeRegistry::Register(PeFailureScope scope) {
+  RegisterIn(pe_failure_, ScopeType::kPeFailure, std::move(scope));
+}
+void ScopeRegistry::Register(JobEventScope scope) {
+  RegisterIn(job_event_, ScopeType::kJobEvent, std::move(scope));
+}
+void ScopeRegistry::Register(UserEventScope scope) {
+  RegisterIn(user_event_, ScopeType::kUserEvent, std::move(scope));
+}
+
+template <typename Scope>
+bool ScopeRegistry::Kill(Store<Scope>& store, uint32_t position) {
+  Slot<Scope>& slot = store.slots[position];
+  if (!slot.live) return false;
+  slot.live = false;
+  ++store.dead;
+  return true;
+}
+
+size_t ScopeRegistry::Unregister(const std::string& key) {
+  auto it = key_map_.find(key);
+  if (it == key_map_.end()) return 0;
+  size_t removed = 0;
+  for (const SlotRef& ref : it->second) {
+    switch (ref.type) {
+      case ScopeType::kOperatorMetric:
+        removed += Kill(operator_metric_, ref.position) ? 1 : 0;
+        break;
+      case ScopeType::kPeMetric:
+        removed += Kill(pe_metric_, ref.position) ? 1 : 0;
+        break;
+      case ScopeType::kPeFailure:
+        removed += Kill(pe_failure_, ref.position) ? 1 : 0;
+        break;
+      case ScopeType::kJobEvent:
+        removed += Kill(job_event_, ref.position) ? 1 : 0;
+        break;
+      case ScopeType::kUserEvent:
+        removed += Kill(user_event_, ref.position) ? 1 : 0;
+        break;
+    }
+  }
+  key_map_.erase(it);
+  MaybeCompact();
+  return removed;
+}
+
+ScopeRegistry::Generation ScopeRegistry::BeginGeneration() {
+  return ++current_generation_;
+}
+
+template <typename Scope>
+size_t ScopeRegistry::RetireGenerationIn(
+    Store<Scope>& store, Generation generation,
+    std::vector<std::string>& retired_keys) {
+  size_t removed = 0;
+  for (Slot<Scope>& slot : store.slots) {
+    if (slot.live && slot.generation == generation) {
+      slot.live = false;
+      ++store.dead;
+      ++removed;
+      retired_keys.push_back(slot.scope.key());
+    }
+  }
+  return removed;
+}
+
+bool ScopeRegistry::RefLive(const SlotRef& ref) const {
+  switch (ref.type) {
+    case ScopeType::kOperatorMetric:
+      return operator_metric_.slots[ref.position].live;
+    case ScopeType::kPeMetric:
+      return pe_metric_.slots[ref.position].live;
+    case ScopeType::kPeFailure:
+      return pe_failure_.slots[ref.position].live;
+    case ScopeType::kJobEvent:
+      return job_event_.slots[ref.position].live;
+    case ScopeType::kUserEvent:
+      return user_event_.slots[ref.position].live;
+  }
+  return false;
+}
+
+size_t ScopeRegistry::RetireGeneration(Generation generation) {
+  std::vector<std::string> retired_keys;
+  size_t removed =
+      RetireGenerationIn(operator_metric_, generation, retired_keys) +
+      RetireGenerationIn(pe_metric_, generation, retired_keys) +
+      RetireGenerationIn(pe_failure_, generation, retired_keys) +
+      RetireGenerationIn(job_event_, generation, retired_keys) +
+      RetireGenerationIn(user_event_, generation, retired_keys);
+  if (removed > 0) {
+    // Scrub only the retired keys' refs — a key shared with another
+    // (live) generation keeps its surviving refs. Compaction (if it
+    // fires) rebuilds the whole map with renumbered positions anyway.
+    for (const std::string& key : retired_keys) {
+      auto it = key_map_.find(key);
+      if (it == key_map_.end()) continue;
+      auto& refs = it->second;
+      refs.erase(std::remove_if(refs.begin(), refs.end(),
+                                [this](const SlotRef& ref) {
+                                  return !RefLive(ref);
+                                }),
+                 refs.end());
+      if (refs.empty()) key_map_.erase(it);
+    }
+    MaybeCompact();
+  }
+  return removed;
+}
+
+void ScopeRegistry::Clear() {
+  operator_metric_ = {};
+  pe_metric_ = {};
+  pe_failure_ = {};
+  job_event_ = {};
+  user_event_ = {};
+  ClearIndexesFor(operator_metric_);
+  ClearIndexesFor(pe_metric_);
+  ClearIndexesFor(pe_failure_);
+  ClearIndexesFor(job_event_);
+  ClearIndexesFor(user_event_);
+  key_map_.clear();
+  // current_generation_ stays monotonic so a stale generation id can never
+  // alias a later logic's registrations.
+}
+
 size_t ScopeRegistry::size() const {
-  return operator_metric_scopes_.size() + pe_metric_scopes_.size() +
-         pe_failure_scopes_.size() + job_event_scopes_.size() +
-         user_event_scopes_.size();
+  return operator_metric_.live_count() + pe_metric_.live_count() +
+         pe_failure_.live_count() + job_event_.live_count() +
+         user_event_.live_count();
+}
+
+size_t ScopeRegistry::dead_count() const {
+  return operator_metric_.dead + pe_metric_.dead + pe_failure_.dead +
+         job_event_.dead + user_event_.dead;
+}
+
+// --- Compaction -------------------------------------------------------------
+
+template <typename Scope, typename ClearIndexes>
+bool ScopeRegistry::CompactStore(Store<Scope>& store,
+                                 ClearIndexes clear_indexes) {
+  if (store.dead < compaction_threshold_) return false;
+  if (store.dead * 2 < store.slots.size()) return false;
+  std::vector<Slot<Scope>> live;
+  live.reserve(store.live_count());
+  for (Slot<Scope>& slot : store.slots) {
+    if (slot.live) live.push_back(std::move(slot));
+  }
+  store.slots = std::move(live);
+  store.dead = 0;
+  clear_indexes();
+  for (uint32_t position = 0;
+       position < static_cast<uint32_t>(store.slots.size()); ++position) {
+    IndexScope(store.slots[position].scope, position);
+  }
+  ++compactions_;
+  return true;
+}
+
+void ScopeRegistry::MaybeCompact() {
+  bool moved = false;
+  moved |= CompactStore(operator_metric_,
+                        [this] { ClearIndexesFor(operator_metric_); });
+  moved |= CompactStore(pe_metric_, [this] { ClearIndexesFor(pe_metric_); });
+  moved |= CompactStore(pe_failure_,
+                        [this] { ClearIndexesFor(pe_failure_); });
+  moved |= CompactStore(job_event_, [this] { ClearIndexesFor(job_event_); });
+  moved |= CompactStore(user_event_,
+                        [this] { ClearIndexesFor(user_event_); });
+  if (moved) RebuildKeyMap();
+}
+
+void ScopeRegistry::RebuildKeyMap() {
+  key_map_.clear();
+  auto add_store = [this](const auto& store, ScopeType type) {
+    for (uint32_t position = 0;
+         position < static_cast<uint32_t>(store.slots.size()); ++position) {
+      const auto& slot = store.slots[position];
+      if (!slot.live) continue;
+      key_map_[slot.scope.key()].push_back(SlotRef{type, position});
+    }
+  };
+  add_store(operator_metric_, ScopeType::kOperatorMetric);
+  add_store(pe_metric_, ScopeType::kPeMetric);
+  add_store(pe_failure_, ScopeType::kPeFailure);
+  add_store(job_event_, ScopeType::kJobEvent);
+  add_store(user_event_, ScopeType::kUserEvent);
 }
 
 // --- Candidate gathering ----------------------------------------------------
@@ -180,7 +386,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
       {Lookup(operator_metric_by_metric_, context.metric),
        Lookup(operator_metric_by_application_, context.application),
        &operator_metric_residual_});
-  return KeysOf(operator_metric_scopes_, candidates,
+  return KeysOf(operator_metric_.slots, candidates,
                 [&](const OperatorMetricScope& scope) {
                   return MatchOperatorMetric(scope, context, graph);
                 });
@@ -193,7 +399,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
        Lookup(pe_metric_by_pe_, context.pe),
        Lookup(pe_metric_by_application_, context.application),
        &pe_metric_residual_});
-  return KeysOf(pe_metric_scopes_, candidates,
+  return KeysOf(pe_metric_.slots, candidates,
                 [&](const PeMetricScope& scope) {
                   return MatchPeMetric(scope, context);
                 });
@@ -204,7 +410,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
   auto candidates = GatherCandidates(
       {Lookup(pe_failure_by_application_, context.application),
        &pe_failure_residual_});
-  return KeysOf(pe_failure_scopes_, candidates,
+  return KeysOf(pe_failure_.slots, candidates,
                 [&](const PeFailureScope& scope) {
                   return MatchPeFailure(scope, context, graph);
                 });
@@ -215,7 +421,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
   auto candidates = GatherCandidates(
       {Lookup(job_event_by_application_, context.application),
        &job_event_residual_});
-  return KeysOf(job_event_scopes_, candidates,
+  return KeysOf(job_event_.slots, candidates,
                 [&](const JobEventScope& scope) {
                   return MatchJobEvent(scope, context, is_submission);
                 });
@@ -226,7 +432,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
   auto candidates =
       GatherCandidates({Lookup(user_event_by_name_, context.name),
                         &user_event_residual_});
-  return KeysOf(user_event_scopes_, candidates,
+  return KeysOf(user_event_.slots, candidates,
                 [&](const UserEventScope& scope) {
                   return MatchUserEvent(scope, context);
                 });
@@ -236,7 +442,7 @@ std::vector<std::string> ScopeRegistry::MatchedKeys(
 
 std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
     const OperatorMetricContext& context, const GraphView& graph) const {
-  return KeysOfAll(operator_metric_scopes_,
+  return KeysOfAll(operator_metric_.slots,
                    [&](const OperatorMetricScope& scope) {
                      return MatchOperatorMetric(scope, context, graph);
                    });
@@ -244,28 +450,28 @@ std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
 
 std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
     const PeMetricContext& context) const {
-  return KeysOfAll(pe_metric_scopes_, [&](const PeMetricScope& scope) {
+  return KeysOfAll(pe_metric_.slots, [&](const PeMetricScope& scope) {
     return MatchPeMetric(scope, context);
   });
 }
 
 std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
     const PeFailureContext& context, const GraphView& graph) const {
-  return KeysOfAll(pe_failure_scopes_, [&](const PeFailureScope& scope) {
+  return KeysOfAll(pe_failure_.slots, [&](const PeFailureScope& scope) {
     return MatchPeFailure(scope, context, graph);
   });
 }
 
 std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
     const JobEventContext& context, bool is_submission) const {
-  return KeysOfAll(job_event_scopes_, [&](const JobEventScope& scope) {
+  return KeysOfAll(job_event_.slots, [&](const JobEventScope& scope) {
     return MatchJobEvent(scope, context, is_submission);
   });
 }
 
 std::vector<std::string> ScopeRegistry::MatchedKeysLinear(
     const UserEventContext& context) const {
-  return KeysOfAll(user_event_scopes_, [&](const UserEventScope& scope) {
+  return KeysOfAll(user_event_.slots, [&](const UserEventScope& scope) {
     return MatchUserEvent(scope, context);
   });
 }

@@ -27,23 +27,58 @@ namespace orcastream::orca {
 /// registration order of the returned keys — is identical to the linear
 /// scan, which is preserved as the *Linear reference path for equivalence
 /// tests and benchmarks.
+///
+/// Registration is a managed lifecycle, not append-only: the paper's
+/// registerEventScope is a dynamic call (orchestration logic registers
+/// scopes when it initializes, replacement logic registers its own on its
+/// fresh start event, §7), so scopes can also be *unregistered* — either
+/// individually by key, or wholesale by retiring the *generation* the
+/// owning logic registered them under. Removal tombstones the stored slot
+/// (index buckets keep the dead position and lookups skip it); once dead
+/// slots pass a threshold the affected store is compacted — slots are
+/// renumbered preserving registration order and the indexes rebuilt — so
+/// `MatchedKeys` stays allocation-light under arbitrary register/unregister
+/// churn while remaining byte-identical to `MatchedKeysLinear`.
 class ScopeRegistry {
  public:
-  // --- Registration (§4.1) ----------------------------------------------
+  /// Ownership tag for a batch of registrations (one per loaded ORCA
+  /// logic). Registrations under a generation nobody retires — e.g. the
+  /// initial generation 0, or a fresh one begun after a retire — are
+  /// effectively unowned and survive logic turnover.
+  using Generation = uint64_t;
+
+  // --- Registration lifecycle (§4.1, §7) ---------------------------------
 
   void Register(OperatorMetricScope scope);
   void Register(PeMetricScope scope);
   void Register(PeFailureScope scope);
   void Register(JobEventScope scope);
   void Register(UserEventScope scope);
+
+  /// Removes every live subscope registered under `key`, across all five
+  /// scope types. Returns the number of subscopes removed.
+  size_t Unregister(const std::string& key);
+
+  /// Opens a new scope generation; subsequent Register calls are tagged
+  /// with it until the next BeginGeneration. Used by OrcaService to tag
+  /// each loaded logic's registrations so they can be retired atomically.
+  Generation BeginGeneration();
+
+  /// Removes every live subscope registered under `generation`. Returns
+  /// the number of subscopes removed.
+  size_t RetireGeneration(Generation generation);
+
+  Generation current_generation() const { return current_generation_; }
+
   void Clear();
 
+  /// Number of live (registered and not unregistered) subscopes.
   size_t size() const;
   bool empty() const { return size() == 0; }
 
   // --- Indexed matching (the hot path) ----------------------------------
 
-  /// Keys of all subscopes the event matches, in registration order.
+  /// Keys of all live subscopes the event matches, in registration order.
   std::vector<std::string> MatchedKeys(const OperatorMetricContext& context,
                                        const GraphView& graph) const;
   std::vector<std::string> MatchedKeys(const PeMetricContext& context) const;
@@ -69,49 +104,148 @@ class ScopeRegistry {
   std::vector<std::string> MatchedKeysLinear(
       const UserEventContext& context) const;
 
+  // --- Tombstone / compaction introspection (tests, benches) -------------
+
+  /// Tombstoned slots not yet reclaimed by compaction, across all stores.
+  size_t dead_count() const;
+  /// How many store compactions have run since construction.
+  size_t compaction_count() const { return compactions_; }
+  /// A store compacts once it holds at least `threshold` dead slots AND
+  /// dead slots are at least half the store (the ratio keeps compaction
+  /// cost amortized O(1) per unregister). Default 16; tests lower it to
+  /// force compaction under small workloads.
+  void set_compaction_threshold(size_t threshold) {
+    compaction_threshold_ = threshold == 0 ? 1 : threshold;
+  }
+  size_t compaction_threshold() const { return compaction_threshold_; }
+
  private:
   using Bucket = std::vector<uint32_t>;
   using StringIndex = std::unordered_map<std::string, Bucket>;
   using PeIndex = std::unordered_map<int64_t, Bucket>;
 
+  /// One stored subscope. Unregistration tombstones the slot in place
+  /// (live = false) so index bucket positions stay valid until the next
+  /// compaction renumbers them.
+  template <typename Scope>
+  struct Slot {
+    Scope scope;
+    Generation generation = 0;
+    bool live = true;
+  };
+
+  /// Per-scope-type storage: the slots in registration order plus the
+  /// count of tombstoned slots awaiting compaction.
+  template <typename Scope>
+  struct Store {
+    std::vector<Slot<Scope>> slots;
+    size_t dead = 0;
+
+    size_t live_count() const { return slots.size() - dead; }
+  };
+
+  enum class ScopeType : uint8_t {
+    kOperatorMetric,
+    kPeMetric,
+    kPeFailure,
+    kJobEvent,
+    kUserEvent,
+  };
+  /// Locates one stored subscope for the key map.
+  struct SlotRef {
+    ScopeType type;
+    uint32_t position;
+  };
+
   /// Candidate subscope positions for an event: the union of the relevant
   /// index buckets and the residual set, deduplicated and restored to
-  /// registration order.
+  /// registration order. Tombstoned positions are filtered later, at match
+  /// time.
   static std::vector<uint32_t> GatherCandidates(
       std::initializer_list<const Bucket*> buckets);
   static const Bucket* Lookup(const StringIndex& index,
                               const std::string& key);
   static const Bucket* Lookup(const PeIndex& index, common::PeId pe);
 
+  // Index-insert for one scope at a given position; used by Register and
+  // replayed over live slots when a store is rebuilt after compaction.
+  void IndexScope(const OperatorMetricScope& scope, uint32_t position);
+  void IndexScope(const PeMetricScope& scope, uint32_t position);
+  void IndexScope(const PeFailureScope& scope, uint32_t position);
+  void IndexScope(const JobEventScope& scope, uint32_t position);
+  void IndexScope(const UserEventScope& scope, uint32_t position);
+
+  // Clears every index member belonging to one store — the single place
+  // that knows which index members a store owns (Clear and compaction
+  // must stay in lockstep with IndexScope).
+  void ClearIndexesFor(const Store<OperatorMetricScope>&);
+  void ClearIndexesFor(const Store<PeMetricScope>&);
+  void ClearIndexesFor(const Store<PeFailureScope>&);
+  void ClearIndexesFor(const Store<JobEventScope>&);
+  void ClearIndexesFor(const Store<UserEventScope>&);
+
+  template <typename Scope>
+  void RegisterIn(Store<Scope>& store, ScopeType type, Scope scope);
+
+  /// Tombstones the slot if live; updates the store's dead count.
+  template <typename Scope>
+  bool Kill(Store<Scope>& store, uint32_t position);
+
+  /// Tombstones the generation's slots; appends their keys to
+  /// `retired_keys` so RetireGeneration can scrub the key map in time
+  /// proportional to the retired set, not the whole registry.
+  template <typename Scope>
+  size_t RetireGenerationIn(Store<Scope>& store, Generation generation,
+                            std::vector<std::string>& retired_keys);
+
+  /// Whether the slot a key-map ref points at is still live.
+  bool RefLive(const SlotRef& ref) const;
+
+  /// Compacts any store whose dead count passed the threshold, then
+  /// rebuilds the key map if anything moved.
+  void MaybeCompact();
+  template <typename Scope, typename ClearIndexes>
+  bool CompactStore(Store<Scope>& store, ClearIndexes clear_indexes);
+  void RebuildKeyMap();
+
   // Operator metric subscopes: indexed by metric name, else by
   // application, else residual.
-  std::vector<OperatorMetricScope> operator_metric_scopes_;
+  Store<OperatorMetricScope> operator_metric_;
   StringIndex operator_metric_by_metric_;
   StringIndex operator_metric_by_application_;
   Bucket operator_metric_residual_;
 
   // PE metric subscopes: indexed by metric name, else PE id, else
   // application, else residual.
-  std::vector<PeMetricScope> pe_metric_scopes_;
+  Store<PeMetricScope> pe_metric_;
   StringIndex pe_metric_by_metric_;
   PeIndex pe_metric_by_pe_;
   StringIndex pe_metric_by_application_;
   Bucket pe_metric_residual_;
 
   // PE failure subscopes: indexed by application, else residual.
-  std::vector<PeFailureScope> pe_failure_scopes_;
+  Store<PeFailureScope> pe_failure_;
   StringIndex pe_failure_by_application_;
   Bucket pe_failure_residual_;
 
   // Job event subscopes: indexed by application, else residual.
-  std::vector<JobEventScope> job_event_scopes_;
+  Store<JobEventScope> job_event_;
   StringIndex job_event_by_application_;
   Bucket job_event_residual_;
 
   // User event subscopes: indexed by event name, else residual.
-  std::vector<UserEventScope> user_event_scopes_;
+  Store<UserEventScope> user_event_;
   StringIndex user_event_by_name_;
   Bucket user_event_residual_;
+
+  /// key → live slots registered under it (keys are normally unique, but
+  /// duplicates are tolerated: Unregister removes them all). Rebuilt
+  /// whenever compaction renumbers positions.
+  std::unordered_map<std::string, std::vector<SlotRef>> key_map_;
+
+  Generation current_generation_ = 0;
+  size_t compaction_threshold_ = 16;
+  size_t compactions_ = 0;
 };
 
 }  // namespace orcastream::orca

@@ -110,6 +110,48 @@ TEST(EventBusTest, DispatchIntervalPacesQueuedDeliveries) {
   EXPECT_DOUBLE_EQ(logic.delivered_at[3], 1.5);
 }
 
+TEST(EventBusTest, PacingEnforcedAcrossQueueDrain) {
+  sim::Simulation sim;
+  EventBus bus(&sim, EventBus::Config{0.5});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  bus.Publish(UserEvent("e0"));
+  sim.RunUntil(0.1);  // e0 delivered at t=0, queue drains
+  ASSERT_EQ(logic.delivered_at, (std::vector<sim::SimTime>{0.0}));
+  // Published 0.1 s after the last delivery: the remaining 0.4 s of the
+  // dispatch interval is still owed — the event must NOT fire at delay 0
+  // just because the queue emptied in between.
+  bus.Publish(UserEvent("e1"));
+  sim.RunUntil(5);
+  ASSERT_EQ(logic.delivered_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[1], 0.5);
+  // Once a full interval has elapsed since the last delivery, dispatch is
+  // immediate again.
+  sim.RunUntil(10);
+  bus.Publish(UserEvent("e2"));
+  sim.RunUntil(20);
+  ASSERT_EQ(logic.delivered_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[2], 10.0);
+}
+
+TEST(EventBusTest, PacingAppliesWhenLogicReattaches) {
+  sim::Simulation sim;
+  EventBus bus(&sim, EventBus::Config{2.0});
+  RecordingLogic logic(&sim, &bus);
+  bus.set_logic(&logic);
+  bus.Publish(UserEvent("e0"));
+  sim.RunUntil(1);  // delivered at t=0
+  bus.set_logic(nullptr);
+  bus.Publish(UserEvent("e1"));  // retained: no logic attached
+  sim.RunUntil(1.5);
+  EXPECT_EQ(bus.queue_depth(), 1u);
+  // Reattaching at t=1.5 owes 0.5 s of the interval from the t=0 delivery.
+  bus.set_logic(&logic);
+  sim.RunUntil(10);
+  ASSERT_EQ(logic.delivered_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(logic.delivered_at[1], 2.0);
+}
+
 TEST(EventBusTest, NullLogicRetainsQueueUntilReplacement) {
   sim::Simulation sim;
   EventBus bus(&sim, {});
@@ -205,6 +247,39 @@ TEST(EventBusServiceTest, ReplaceLogicRedeliversUncommittedEvents) {
   EXPECT_EQ(replacement->starts, 1);
   EXPECT_EQ(replacement->delivered,
             (std::vector<std::string>{"pending1", "pending2"}));
+}
+
+TEST(EventBusServiceTest, ShutdownToLoadRedeliversQueuedEvents) {
+  ClusterHarness cluster(2);
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
+  ASSERT_TRUE(service.Load(std::make_unique<PacedOrca>()).ok());
+  cluster.sim().RunUntil(1);  // start delivered, "user" scope registered
+  // Queue events without running the simulator: their delivery
+  // transactions never begin under the first logic.
+  service.InjectUserEvent("pending1");
+  service.InjectUserEvent("pending2");
+  ASSERT_GE(service.queue_depth(), 2u);
+
+  // Full service teardown — not just ReplaceLogic. The outgoing logic's
+  // scopes are retired, but the queued-yet-uncommitted events survive
+  // (§7 reliable delivery).
+  service.Shutdown();
+  EXPECT_FALSE(service.loaded());
+  EXPECT_TRUE(service.scopes().empty());
+  EXPECT_EQ(service.queue_depth(), 2u);
+  cluster.sim().RunUntil(2);
+  EXPECT_EQ(service.queue_depth(), 2u);  // retained, not delivered
+
+  auto second_holder = std::make_unique<PacedOrca>();
+  PacedOrca* second = second_holder.get();
+  ASSERT_TRUE(service.Load(std::move(second_holder)).ok());
+  cluster.sim().RunUntil(3);
+
+  // Fresh start first, then the surviving events, in order (§7).
+  EXPECT_EQ(second->starts, 1);
+  EXPECT_EQ(second->delivered,
+            (std::vector<std::string>{"pending1", "pending2"}));
+  EXPECT_EQ(service.queue_depth(), 0u);
 }
 
 }  // namespace

@@ -338,5 +338,151 @@ TEST_F(OrcaServiceTest, ShutdownStopsEventFlow) {
   // No crash and no further pulls: nothing to assert beyond survival.
 }
 
+// --- Scope lifecycle across logic turnover ---------------------------------
+
+/// Registers one filtered user-event scope under its own key on start and
+/// records every delivery with its matched keys.
+class NamedScopeOrca : public Orchestrator {
+ public:
+  NamedScopeOrca(std::string scope_key, std::string name_filter)
+      : scope_key_(std::move(scope_key)),
+        name_filter_(std::move(name_filter)) {}
+
+  void HandleOrcaStart(const OrcaStartContext&) override {
+    UserEventScope scope(scope_key_);
+    scope.AddNameFilter(name_filter_);
+    orca()->RegisterEventScope(std::move(scope));
+  }
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>& scopes) override {
+    delivered.push_back(context.name);
+    matched.push_back(scopes);
+  }
+
+  std::vector<std::string> delivered;
+  std::vector<std::vector<std::string>> matched;
+
+ private:
+  std::string scope_key_;
+  std::string name_filter_;
+};
+
+TEST_F(OrcaServiceTest, ReplaceLogicRetiresPredecessorScopes) {
+  cluster_.sim().RunUntil(1);
+  // The fixture's RecordingOrca registered 4 scopes on start, among them
+  // the wildcard user-event scope "allUser".
+  EXPECT_EQ(service_->scopes().size(), 4u);
+
+  auto replacement_holder =
+      std::make_unique<NamedScopeOrca>("b-scope", "beta");
+  NamedScopeOrca* replacement = replacement_holder.get();
+  ASSERT_TRUE(service_->ReplaceLogic(std::move(replacement_holder)).ok());
+  cluster_.sim().RunUntil(2);
+
+  // Only the replacement's own registration is live.
+  EXPECT_EQ(service_->scopes().size(), 1u);
+
+  // An event only the predecessor's wildcard scope would have matched must
+  // NOT reach the replacement: the predecessor's subscopes are retired,
+  // not left matching forever.
+  service_->InjectUserEvent("alpha");
+  cluster_.sim().RunUntil(3);
+  EXPECT_TRUE(replacement->delivered.empty());
+
+  // The replacement's own scope still works, and the matched keys carry
+  // only its key — never the predecessor's.
+  service_->InjectUserEvent("beta");
+  cluster_.sim().RunUntil(4);
+  ASSERT_EQ(replacement->delivered, (std::vector<std::string>{"beta"}));
+  ASSERT_EQ(replacement->matched.size(), 1u);
+  EXPECT_EQ(replacement->matched[0], (std::vector<std::string>{"b-scope"}));
+}
+
+TEST_F(OrcaServiceTest, ShutdownRetiresLoadedLogicScopes) {
+  cluster_.sim().RunUntil(1);
+  EXPECT_EQ(service_->scopes().size(), 4u);
+  service_->Shutdown();
+  EXPECT_TRUE(service_->scopes().empty());
+}
+
+TEST_F(OrcaServiceTest, UnownedScopesSurviveLogicTurnover) {
+  cluster_.sim().RunUntil(1);
+  service_->Shutdown();
+  // Registered while no logic is loaded: owned by no generation.
+  service_->RegisterEventScope(UserEventScope("standing"));
+  auto logic_holder = std::make_unique<NamedScopeOrca>("own", "beta");
+  ASSERT_TRUE(service_->Load(std::move(logic_holder)).ok());
+  cluster_.sim().RunUntil(2);
+  EXPECT_EQ(service_->scopes().size(), 2u);
+  service_->Shutdown();
+  // The logic's scope is retired with it; the unowned one stands.
+  EXPECT_EQ(service_->scopes().size(), 1u);
+}
+
+/// §7 self-recovery: replaces itself with a NamedScopeOrca from inside
+/// its own user-event handler, then keeps touching its members — the
+/// service must defer destroying it until the handler frame unwinds.
+class SelfReplacingOrca : public Orchestrator {
+ public:
+  void HandleOrcaStart(const OrcaStartContext&) override {
+    orca()->RegisterEventScope(UserEventScope("self"));
+  }
+  void HandleUserEvent(const UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    OrcaService* service = orca();
+    replaced = service
+                   ->ReplaceLogic(
+                       std::make_unique<NamedScopeOrca>("next", "beta"))
+                   .ok();
+    // Our frame is still executing: member access after the replacement
+    // must be safe (ASan guards this in CI).
+    last_event = context.name;
+  }
+  bool replaced = false;
+  std::string last_event;
+};
+
+TEST_F(OrcaServiceTest, InHandlerSelfReplacementIsSafe) {
+  cluster_.sim().RunUntil(1);
+  ASSERT_TRUE(
+      service_->ReplaceLogic(std::make_unique<SelfReplacingOrca>()).ok());
+  cluster_.sim().RunUntil(2);
+  EXPECT_EQ(service_->scopes().size(), 1u);  // just "self"
+  service_->InjectUserEvent("go");
+  cluster_.sim().RunUntil(3);
+  // The replacement installed from inside the handler is live, its start
+  // event ran, and only its own scope remains registered.
+  EXPECT_TRUE(service_->loaded());
+  EXPECT_EQ(service_->scopes().size(), 1u);  // just "next"
+  service_->InjectUserEvent("beta");
+  cluster_.sim().RunUntil(4);
+  EXPECT_GE(service_->events_delivered(), 4u);  // 2 starts + go + beta
+}
+
+TEST_F(OrcaServiceTest, ShutdownFencesRetiredGeneration) {
+  cluster_.sim().RunUntil(1);
+  auto loaded_generation = service_->scopes().current_generation();
+  service_->Shutdown();
+  // Scopes registered from now on must land in a fresh generation, not
+  // the retired one — anything retiring the stale id a second time must
+  // not be able to claim them.
+  EXPECT_GT(service_->scopes().current_generation(), loaded_generation);
+}
+
+TEST_F(OrcaServiceTest, UnregisterEventScopeStopsDelivery) {
+  cluster_.sim().RunUntil(1);
+  service_->InjectUserEvent("ping");
+  cluster_.sim().RunUntil(2);
+  EXPECT_EQ(logic_->user_events.size(), 1u);
+
+  EXPECT_EQ(service_->UnregisterEventScope("allUser"), 1u);
+  service_->InjectUserEvent("ping");
+  cluster_.sim().RunUntil(3);
+  // No live scope matches: the event is filtered out before publication.
+  EXPECT_EQ(logic_->user_events.size(), 1u);
+  // Unknown keys are a no-op.
+  EXPECT_EQ(service_->UnregisterEventScope("allUser"), 0u);
+}
+
 }  // namespace
 }  // namespace orcastream::orca

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -52,8 +56,9 @@ class ScopeRegistryTest : public ::testing::Test {
         rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
   }
 
-  OperatorMetricScope RandomOperatorMetricScope(Rng& rng, int i) {
-    OperatorMetricScope scope("s" + std::to_string(i));
+  OperatorMetricScope RandomOperatorMetricScope(Rng& rng,
+                                                const std::string& key) {
+    OperatorMetricScope scope(key);
     // Each filter is present with some probability; absent = wildcard.
     if (rng.Bernoulli(0.5)) scope.AddOperatorMetric(Pick(rng, kMetrics));
     if (rng.Bernoulli(0.3)) scope.AddOperatorMetric(Pick(rng, kMetrics));
@@ -110,7 +115,7 @@ TEST_F(ScopeRegistryTest, RandomizedOperatorMetricEquivalence) {
   Rng rng(20260728);
   ScopeRegistry registry;
   for (int i = 0; i < 200; ++i) {
-    registry.Register(RandomOperatorMetricScope(rng, i));
+    registry.Register(RandomOperatorMetricScope(rng, "s" + std::to_string(i)));
   }
   for (int i = 0; i < 500; ++i) {
     OperatorMetricContext context = RandomOperatorMetricContext(rng);
@@ -251,6 +256,260 @@ TEST_F(ScopeRegistryTest, WildcardScopesAlwaysChecked) {
   UserEventContext other;
   other.name = "somethingElse";
   EXPECT_EQ(registry.MatchedKeys(other), (std::vector<std::string>{"any"}));
+}
+
+// --- Lifecycle: Unregister / generations / tombstones / compaction ----------
+
+TEST_F(ScopeRegistryTest, UnregisterRemovesIndexedAndResidualScopes) {
+  ScopeRegistry registry;
+  UserEventScope wild("wild");  // residual set
+  registry.Register(std::move(wild));
+  UserEventScope named("named");  // name index
+  named.AddNameFilter("poke");
+  registry.Register(std::move(named));
+
+  UserEventContext poke;
+  poke.name = "poke";
+  EXPECT_EQ(registry.MatchedKeys(poke),
+            (std::vector<std::string>{"wild", "named"}));
+
+  EXPECT_EQ(registry.Unregister("named"), 1u);
+  EXPECT_EQ(registry.MatchedKeys(poke), (std::vector<std::string>{"wild"}));
+  EXPECT_EQ(registry.MatchedKeys(poke), registry.MatchedKeysLinear(poke));
+
+  EXPECT_EQ(registry.Unregister("wild"), 1u);
+  EXPECT_TRUE(registry.MatchedKeys(poke).empty());
+  EXPECT_TRUE(registry.empty());
+  // Unknown or already-removed keys are no-ops.
+  EXPECT_EQ(registry.Unregister("named"), 0u);
+  EXPECT_EQ(registry.Unregister("ghost"), 0u);
+}
+
+TEST_F(ScopeRegistryTest, UnregisterByKeyRemovesAcrossAllScopeTypes) {
+  ScopeRegistry registry;
+  registry.Register(OperatorMetricScope("shared"));
+  registry.Register(PeMetricScope("shared"));
+  registry.Register(PeFailureScope("shared"));
+  registry.Register(JobEventScope("shared"));
+  registry.Register(UserEventScope("shared"));
+  registry.Register(UserEventScope("kept"));
+  EXPECT_EQ(registry.size(), 6u);
+  EXPECT_EQ(registry.Unregister("shared"), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+  UserEventContext context;
+  context.name = "anything";
+  EXPECT_EQ(registry.MatchedKeys(context), (std::vector<std::string>{"kept"}));
+}
+
+TEST_F(ScopeRegistryTest, RegisteringAfterUnregisterReusesKeyCleanly) {
+  ScopeRegistry registry;
+  UserEventScope first("key");
+  first.AddNameFilter("old");
+  registry.Register(std::move(first));
+  EXPECT_EQ(registry.Unregister("key"), 1u);
+
+  UserEventScope second("key");
+  second.AddNameFilter("new");
+  registry.Register(std::move(second));
+
+  UserEventContext old_event;
+  old_event.name = "old";
+  EXPECT_TRUE(registry.MatchedKeys(old_event).empty());
+  UserEventContext new_event;
+  new_event.name = "new";
+  EXPECT_EQ(registry.MatchedKeys(new_event),
+            (std::vector<std::string>{"key"}));
+  EXPECT_EQ(registry.Unregister("key"), 1u);
+  EXPECT_TRUE(registry.empty());
+}
+
+TEST_F(ScopeRegistryTest, RetireGenerationRemovesOnlyThatGeneration) {
+  ScopeRegistry registry;
+  registry.Register(UserEventScope("unowned"));  // generation 0
+
+  ScopeRegistry::Generation first = registry.BeginGeneration();
+  registry.Register(UserEventScope("a1"));
+  registry.Register(PeFailureScope("a2"));
+
+  ScopeRegistry::Generation second = registry.BeginGeneration();
+  registry.Register(UserEventScope("b1"));
+
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.RetireGeneration(first), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  UserEventContext context;
+  context.name = "anything";
+  EXPECT_EQ(registry.MatchedKeys(context),
+            (std::vector<std::string>{"unowned", "b1"}));
+  EXPECT_EQ(registry.MatchedKeys(context),
+            registry.MatchedKeysLinear(context));
+
+  // A generation retires at most once; scopes individually unregistered
+  // beforehand are not double-counted.
+  EXPECT_EQ(registry.RetireGeneration(first), 0u);
+  EXPECT_EQ(registry.RetireGeneration(second), 1u);
+  EXPECT_EQ(registry.MatchedKeys(context),
+            (std::vector<std::string>{"unowned"}));
+}
+
+TEST_F(ScopeRegistryTest, CompactionPreservesRegistrationOrder) {
+  ScopeRegistry registry;
+  registry.set_compaction_threshold(1);  // compact as soon as half is dead
+  for (int i = 0; i < 8; ++i) {
+    UserEventScope scope("u" + std::to_string(i));
+    if (i % 2 == 1) scope.AddNameFilter("poke");
+    registry.Register(std::move(scope));
+  }
+  // Kill every scope divisible by 4 (u0, u4): residual + indexed victims.
+  EXPECT_EQ(registry.Unregister("u0"), 1u);
+  EXPECT_EQ(registry.Unregister("u4"), 1u);
+  EXPECT_EQ(registry.Unregister("u2"), 1u);
+  EXPECT_EQ(registry.Unregister("u6"), 1u);
+  EXPECT_GT(registry.compaction_count(), 0u);
+  EXPECT_EQ(registry.dead_count(), 0u);
+
+  UserEventContext poke;
+  poke.name = "poke";
+  EXPECT_EQ(registry.MatchedKeys(poke),
+            (std::vector<std::string>{"u1", "u3", "u5", "u7"}));
+  EXPECT_EQ(registry.MatchedKeys(poke), registry.MatchedKeysLinear(poke));
+
+  // Registrations after a compaction land behind the survivors and keys
+  // remain individually removable (positions were renumbered).
+  UserEventScope late("u8");
+  late.AddNameFilter("poke");
+  registry.Register(std::move(late));
+  EXPECT_EQ(registry.Unregister("u3"), 1u);
+  EXPECT_EQ(registry.MatchedKeys(poke),
+            (std::vector<std::string>{"u1", "u5", "u7", "u8"}));
+  EXPECT_EQ(registry.MatchedKeys(poke), registry.MatchedKeysLinear(poke));
+}
+
+TEST_F(ScopeRegistryTest, RandomizedChurnEquivalence) {
+  Rng rng(424242);
+  ScopeRegistry registry;
+  registry.set_compaction_threshold(4);
+  const std::vector<std::string> reasons = {"segfault", "host failure",
+                                            "oom"};
+  const std::vector<std::string> user_names = {"poke", "refresh", "drain"};
+
+  int next_key = 0;
+  std::vector<std::string> live_keys;
+  // Model bookkeeping: every key's owning generation (the registry's
+  // current generation at registration time) and every generation begun.
+  std::unordered_map<std::string, ScopeRegistry::Generation> key_generation;
+  std::vector<ScopeRegistry::Generation> generations = {0};
+
+  auto register_random = [&] {
+    std::string key = "k" + std::to_string(next_key++);
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        registry.Register(RandomOperatorMetricScope(rng, key));
+        break;
+      case 1: {
+        PeMetricScope scope(key);
+        if (rng.Bernoulli(0.5)) scope.AddMetricNameFilter(Pick(rng, kMetrics));
+        if (rng.Bernoulli(0.4)) scope.AddPeFilter(PeId(rng.UniformInt(1, 6)));
+        if (rng.Bernoulli(0.5)) scope.AddApplicationFilter(Pick(rng, kApps));
+        registry.Register(std::move(scope));
+        break;
+      }
+      case 2: {
+        PeFailureScope scope(key);
+        if (rng.Bernoulli(0.5)) scope.AddApplicationFilter(Pick(rng, kApps));
+        if (rng.Bernoulli(0.4)) scope.AddReasonFilter(Pick(rng, reasons));
+        registry.Register(std::move(scope));
+        break;
+      }
+      case 3: {
+        JobEventScope scope(key, rng.Bernoulli(0.5)
+                                     ? JobEventScope::Kind::kSubmission
+                                     : JobEventScope::Kind::kBoth);
+        if (rng.Bernoulli(0.5)) scope.AddApplicationFilter(Pick(rng, kApps));
+        registry.Register(std::move(scope));
+        break;
+      }
+      default: {
+        UserEventScope scope(key);
+        if (rng.Bernoulli(0.6)) scope.AddNameFilter(Pick(rng, user_names));
+        registry.Register(std::move(scope));
+        break;
+      }
+    }
+    live_keys.push_back(key);
+    key_generation[key] = registry.current_generation();
+  };
+
+  auto drop_key = [&](const std::string& key) {
+    live_keys.erase(std::remove(live_keys.begin(), live_keys.end(), key),
+                    live_keys.end());
+  };
+
+  auto check_equivalence = [&] {
+    OperatorMetricContext op = RandomOperatorMetricContext(rng);
+    ASSERT_EQ(registry.MatchedKeys(op, view_),
+              registry.MatchedKeysLinear(op, view_));
+
+    PeMetricContext pe;
+    pe.job = job_;
+    pe.application = Pick(rng, kApps);
+    pe.pe = PeId(rng.UniformInt(1, 6));
+    pe.metric = Pick(rng, kMetrics);
+    ASSERT_EQ(registry.MatchedKeys(pe), registry.MatchedKeysLinear(pe));
+
+    PeFailureContext failure;
+    failure.job = job_;
+    failure.application = Pick(rng, kApps);
+    failure.reason = Pick(rng, reasons);
+    failure.operators = {Pick(rng, kOperators)};
+    ASSERT_EQ(registry.MatchedKeys(failure, view_),
+              registry.MatchedKeysLinear(failure, view_));
+
+    JobEventContext job_event;
+    job_event.job = job_;
+    job_event.application = Pick(rng, kApps);
+    bool is_submission = rng.Bernoulli(0.5);
+    ASSERT_EQ(registry.MatchedKeys(job_event, is_submission),
+              registry.MatchedKeysLinear(job_event, is_submission));
+
+    UserEventContext user;
+    user.name = Pick(rng, user_names);
+    ASSERT_EQ(registry.MatchedKeys(user), registry.MatchedKeysLinear(user));
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    double roll = rng.UniformDouble(0.0, 1.0);
+    if (roll < 0.50 || live_keys.empty()) {
+      register_random();
+    } else if (roll < 0.85) {
+      // Unregister a random live key.
+      size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(live_keys.size()) - 1));
+      std::string key = live_keys[pick];
+      ASSERT_EQ(registry.Unregister(key), 1u) << "key " << key;
+      drop_key(key);
+    } else if (roll < 0.92) {
+      // Open a fresh generation (a newly loaded logic).
+      generations.push_back(registry.BeginGeneration());
+    } else {
+      // Retire a random generation (ReplaceLogic/Shutdown of that logic).
+      size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(generations.size()) - 1));
+      ScopeRegistry::Generation gen = generations[pick];
+      registry.RetireGeneration(gen);
+      std::vector<std::string> still_live;
+      for (const auto& key : live_keys) {
+        if (key_generation[key] != gen) still_live.push_back(key);
+      }
+      live_keys = std::move(still_live);
+    }
+    ASSERT_EQ(registry.size(), live_keys.size());
+    if (step % 5 == 0) check_equivalence();
+  }
+  check_equivalence();
+  // The churn volume must have driven tombstone reclamation.
+  EXPECT_GT(registry.compaction_count(), 0u);
 }
 
 TEST_F(ScopeRegistryTest, ClearEmptiesEverything) {
