@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "orca/scope_matcher.h"
 #include "orca/scope_registry.h"
+#include "orca/sharded_scope_registry.h"
 #include "topology/app_builder.h"
 
 using namespace orcastream;  // NOLINT — bench brevity
@@ -256,6 +257,95 @@ void BM_RegistryChurnLinear(benchmark::State& state) {
   RegistryChurnLoop<false>(state);
 }
 
+// --- Sharded registry: one multi-app SRM round, matched shard-parallel ------
+
+constexpr int kShardedApps = 8;
+
+/// Subscope #i of a multi-application deployment: most filter on their
+/// application plus a metric name, a few are app-only, and a handful are
+/// wildcards that land in the always-consulted residual shard.
+orca::OperatorMetricScope MakeShardedScope(int i, int metric_space) {
+  orca::OperatorMetricScope scope("scope" + std::to_string(i));
+  if (i % 100 == 99) {
+    scope.AddOperatorTypeFilter(std::string("Filter"));  // wildcard
+  } else if (i % 10 == 9) {
+    // App-indexed candidates that still run the full predicate chain.
+    scope.AddApplicationFilter("App" + std::to_string(i % kShardedApps));
+    scope.AddOperatorTypeFilter(std::string("Filter"));
+  } else {
+    scope.AddApplicationFilter("App" + std::to_string(i % kShardedApps));
+    scope.AddOperatorMetric("metric" + std::to_string(i % metric_space));
+  }
+  return scope;
+}
+
+/// One SRM round's operator-metric samples, spread across the apps.
+std::vector<orca::OperatorMetricContext> MakeShardedSamples(int samples,
+                                                            int metric_space) {
+  common::Rng rng(13);
+  std::vector<orca::OperatorMetricContext> contexts;
+  contexts.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    orca::OperatorMetricContext context;
+    context.job = common::JobId(1);
+    context.application =
+        "App" + std::to_string(rng.UniformInt(0, kShardedApps - 1));
+    context.instance_name = "op" + std::to_string(i % 64);
+    context.operator_kind = "Beacon";
+    context.metric =
+        "metric" + std::to_string(rng.UniformInt(0, metric_space - 1));
+    context.port = -1;
+    contexts.push_back(std::move(context));
+  }
+  return contexts;
+}
+
+/// Sharded path: the whole round batched through the shard-parallel
+/// matcher (the path EventBus::PublishMetricsSnapshot takes for a
+/// ShardedScopeRegistry).
+void BM_ShardedSnapshot(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int scopes = static_cast<int>(state.range(1));
+  orca::ShardedScopeRegistry registry(static_cast<size_t>(shards));
+  for (int i = 0; i < scopes; ++i) {
+    registry.Register(MakeShardedScope(i, scopes));
+  }
+  auto samples = MakeShardedSamples(static_cast<int>(state.range(2)), scopes);
+  orca::GraphView view;
+  size_t matched_total = 0;
+  for (auto _ : state) {
+    auto results = registry.MatchOperatorMetricBatch(samples, view);
+    for (const auto& keys : results) matched_total += keys.size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(samples.size()));
+  state.SetLabel("matched=" + std::to_string(matched_total));
+}
+
+/// Linear baseline for the same multi-app round: every sample tested
+/// against every subscope of one unsharded registry (the seed's scan).
+void BM_ShardedSnapshotLinear(benchmark::State& state) {
+  const int scopes = static_cast<int>(state.range(0));
+  orca::ScopeRegistry registry;
+  for (int i = 0; i < scopes; ++i) {
+    registry.Register(MakeShardedScope(i, scopes));
+  }
+  auto samples = MakeShardedSamples(static_cast<int>(state.range(1)), scopes);
+  orca::GraphView view;
+  size_t matched_total = 0;
+  for (auto _ : state) {
+    for (const auto& context : samples) {
+      auto keys = registry.MatchedKeysLinear(context, view);
+      matched_total += keys.size();
+      benchmark::DoNotOptimize(keys);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(samples.size()));
+  state.SetLabel("matched=" + std::to_string(matched_total));
+}
+
 }  // namespace
 
 // Args: {operators per composite level, nesting depth}.
@@ -282,5 +372,17 @@ BENCHMARK(BM_RegistryLinearScan)->Args({100, 10000})->Args({1000, 10000});
 // scale; also tracked in BENCH_event_routing.json.
 BENCHMARK(BM_RegistryChurnIndexed)->Args({1000, 10000});
 BENCHMARK(BM_RegistryChurnLinear)->Args({1000, 10000});
+
+// Args: {shards, registered subscopes, samples per SRM round}. One whole
+// multi-app round matched shard-parallel vs the linear scan over the same
+// population; the 4-shard case is the `scope_matching_sharded` target
+// tracked in BENCH_event_routing.json (≥5× over linear required).
+BENCHMARK(BM_ShardedSnapshot)
+    ->Args({1, 1000, 10000})
+    ->Args({2, 1000, 10000})
+    ->Args({4, 1000, 10000})
+    ->Args({8, 1000, 10000})
+    ->UseRealTime();
+BENCHMARK(BM_ShardedSnapshotLinear)->Args({1000, 10000});
 
 BENCHMARK_MAIN();

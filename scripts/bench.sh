@@ -20,7 +20,7 @@ SCOPE_JSON="$BUILD_DIR/bench_scope_matching.json"
 DELIVERY_JSON="$BUILD_DIR/bench_event_delivery.json"
 
 "$BUILD_DIR/bench_scope_matching" \
-  --benchmark_filter='Registry' \
+  --benchmark_filter='Registry|Sharded' \
   --benchmark_format=json >"$SCOPE_JSON"
 "$BUILD_DIR/bench_event_delivery" \
   --benchmark_filter='BM_UserEventBurstDispatch|BM_EventBusRawDispatch' \
@@ -49,13 +49,19 @@ indexed = items_per_second(scope, "BM_RegistryIndexed/1000/10000")
 linear = items_per_second(scope, "BM_RegistryLinearScan/1000/10000")
 churn_indexed = items_per_second(scope, "BM_RegistryChurnIndexed/1000/10000")
 churn_linear = items_per_second(scope, "BM_RegistryChurnLinear/1000/10000")
+sharded = {
+    n: items_per_second(scope, f"BM_ShardedSnapshot/{n}/1000/10000/real_time")
+    for n in (1, 2, 4, 8)
+}
+sharded_linear = items_per_second(scope, "BM_ShardedSnapshotLinear/1000/10000")
 
 result = {
     "bench": "event_routing",
     "description": "ScopeRegistry indexed routing vs preserved linear-scan "
                    "reference at 1k subscopes x 10k samples (static and "
-                   "register/match/unregister churn workloads), plus "
-                   "EventBus dispatch throughput (events/s)",
+                   "register/match/unregister churn workloads), "
+                   "ShardedScopeRegistry multi-app SRM rounds at 1/2/4/8 "
+                   "shards, plus EventBus dispatch throughput (events/s)",
     "scope_matching": {
         "indexed_items_per_second": indexed,
         "linear_items_per_second": linear,
@@ -67,6 +73,19 @@ result = {
         "linear_items_per_second": churn_linear,
         "speedup": (churn_indexed / churn_linear)
                    if churn_indexed and churn_linear else None,
+        "required_speedup": 5.0,
+    },
+    # One whole multi-app SRM round (8 apps, 1k subscopes x 10k samples)
+    # matched shard-parallel through ShardedScopeRegistry, vs the linear
+    # scan over the same subscope population. The 4-shard case is gated.
+    "scope_matching_sharded": {
+        "sharded_items_per_second": {
+            f"shards_{n}": value for n, value in sharded.items()
+        },
+        "indexed_items_per_second": sharded[4],
+        "linear_items_per_second": sharded_linear,
+        "speedup": (sharded[4] / sharded_linear)
+                   if sharded.get(4) and sharded_linear else None,
         "required_speedup": 5.0,
     },
     "event_delivery": {
@@ -83,7 +102,8 @@ with open(out_path, "w") as f:
 
 print(f"wrote {out_path}")
 failed = False
-for label in ("scope_matching", "scope_matching_churn"):
+for label in ("scope_matching", "scope_matching_churn",
+              "scope_matching_sharded"):
     speedup = result[label]["speedup"]
     print(f"{label} indexed vs linear speedup: "
           + (f"{speedup:.1f}x" if speedup else "n/a"))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Link-checks the repo's markdown suite.
+
+Two passes over every tracked .md file:
+
+1. Markdown links: every relative `[text](target)` must resolve to an
+   existing file or directory (external http(s)/mailto links and pure
+   #anchor links are skipped; a #fragment on a relative link is stripped
+   before checking).
+2. File references: every backticked repo path (`src/...`, `tests/...`,
+   `bench/...`, `docs/...`, `examples/...`, `scripts/...`, .github
+   workflows, and repo-root files like ARCHITECTURE.md) must exist.
+   `X.{h,cc}` brace shorthand expands to both members. This is what
+   keeps docs/PAPER_MAP.md honest when files move.
+
+Exits non-zero listing every dangling reference.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backticked repo-relative path, optionally with {a,b} brace shorthand.
+FILE_REF = re.compile(
+    r"`((?:src|tests|bench|docs|examples|scripts|\.github)/[\w./{},-]+"
+    r"|[A-Z][\w.-]*\.(?:md|json|txt))`"
+)
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
+    ).stdout
+    return [REPO_ROOT / line for line in out.splitlines() if line]
+
+
+def expand_braces(ref):
+    """`a/b.{h,cc}` -> [`a/b.h`, `a/b.cc`] (single level is enough)."""
+    match = re.search(r"\{([^}]*)\}", ref)
+    if not match:
+        return [ref]
+    head, tail = ref[: match.start()], ref[match.end():]
+    return [head + option + tail for option in match.group(1).split(",")]
+
+
+def check_file(md_path):
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    rel = md_path.relative_to(REPO_ROOT)
+
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (md_path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{rel}: dangling link ({target})")
+
+    for ref in FILE_REF.findall(text):
+        for candidate in expand_braces(ref):
+            if not (REPO_ROOT / candidate).exists():
+                errors.append(f"{rel}: dangling file reference (`{candidate}`)")
+
+    return errors
+
+
+def main():
+    errors = []
+    for md_path in tracked_markdown():
+        errors.extend(check_file(md_path))
+    if errors:
+        print(f"{len(errors)} dangling reference(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"docs link check OK ({len(tracked_markdown())} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

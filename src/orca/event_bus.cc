@@ -1,13 +1,89 @@
 #include "orca/event_bus.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/strings.h"
+#include "orca/sharded_scope_registry.h"
 
 namespace orcastream::orca {
 
 using common::StrFormat;
+
+namespace {
+
+/// Context construction shared by the single-registry and sharded
+/// snapshot paths (field-for-field identical so the two event streams
+/// stay byte-identical). Returns nullopt for samples of unmanaged jobs.
+std::optional<OperatorMetricContext> BuildOperatorMetricContext(
+    const runtime::OperatorMetricRecord& rec, int64_t epoch,
+    sim::SimTime collected_at, const GraphView& graph) {
+  const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
+  if (job_record == nullptr) return std::nullopt;
+  OperatorMetricContext context;
+  context.job = rec.job;
+  context.application = job_record->app_name;
+  context.pe = rec.pe;
+  context.instance_name = rec.operator_name;
+  auto kind = graph.OperatorKind(rec.job, rec.operator_name);
+  context.operator_kind = kind.ok() ? kind.value() : "";
+  context.metric = rec.metric_name;
+  context.metric_kind = rec.kind;
+  context.value = rec.value;
+  context.port = rec.port;
+  context.output_port = rec.output_port;
+  context.epoch = epoch;
+  context.collected_at = collected_at;
+  return context;
+}
+
+std::optional<PeMetricContext> BuildPeMetricContext(
+    const runtime::PeMetricRecord& rec, int64_t epoch,
+    sim::SimTime collected_at, const GraphView& graph) {
+  const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
+  if (job_record == nullptr) return std::nullopt;
+  PeMetricContext context;
+  context.job = rec.job;
+  context.application = job_record->app_name;
+  context.pe = rec.pe;
+  context.metric = rec.metric_name;
+  context.metric_kind = rec.kind;
+  context.value = rec.value;
+  context.epoch = epoch;
+  context.collected_at = collected_at;
+  return context;
+}
+
+/// Each event is delivered once even when it matches several subscopes
+/// (§4.1); the matched keys ride along.
+Event MakeOperatorMetricEvent(OperatorMetricContext context,
+                              std::vector<std::string> matched) {
+  Event event;
+  event.type = Event::Type::kOperatorMetric;
+  event.summary = StrFormat("operatorMetric(%s.%s@%lld)",
+                            context.instance_name.c_str(),
+                            context.metric.c_str(),
+                            static_cast<long long>(context.epoch));
+  event.matched = std::move(matched);
+  event.context = std::move(context);
+  return event;
+}
+
+Event MakePeMetricEvent(PeMetricContext context,
+                        std::vector<std::string> matched) {
+  Event event;
+  event.type = Event::Type::kPeMetric;
+  event.summary = StrFormat("peMetric(pe%lld.%s@%lld)",
+                            static_cast<long long>(context.pe.value()),
+                            context.metric.c_str(),
+                            static_cast<long long>(context.epoch));
+  event.matched = std::move(matched);
+  event.context = std::move(context);
+  return event;
+}
+
+}  // namespace
 
 void EventBus::set_logic(Orchestrator* logic) {
   logic_ = logic;
@@ -42,62 +118,60 @@ void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
                                       const ScopeRegistry& registry,
                                       const GraphView& graph) {
   for (const auto& rec : snapshot.operator_metrics) {
-    const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
-    if (job_record == nullptr) continue;
-    OperatorMetricContext context;
-    context.job = rec.job;
-    context.application = job_record->app_name;
-    context.pe = rec.pe;
-    context.instance_name = rec.operator_name;
-    auto kind = graph.OperatorKind(rec.job, rec.operator_name);
-    context.operator_kind = kind.ok() ? kind.value() : "";
-    context.metric = rec.metric_name;
-    context.metric_kind = rec.kind;
-    context.value = rec.value;
-    context.port = rec.port;
-    context.output_port = rec.output_port;
-    context.epoch = epoch;
-    context.collected_at = snapshot.collected_at;
-
-    std::vector<std::string> matched = registry.MatchedKeys(context, graph);
+    auto context = BuildOperatorMetricContext(rec, epoch,
+                                              snapshot.collected_at, graph);
+    if (!context.has_value()) continue;
+    std::vector<std::string> matched = registry.MatchedKeys(*context, graph);
     if (matched.empty()) continue;
-    // Each event is delivered once even when it matches several subscopes
-    // (§4.1); the matched keys ride along.
-    Event event;
-    event.type = Event::Type::kOperatorMetric;
-    event.summary = StrFormat("operatorMetric(%s.%s@%lld)",
-                              context.instance_name.c_str(),
-                              context.metric.c_str(),
-                              static_cast<long long>(context.epoch));
-    event.matched = std::move(matched);
-    event.context = std::move(context);
-    Publish(std::move(event));
+    Publish(MakeOperatorMetricEvent(std::move(*context), std::move(matched)));
   }
 
   for (const auto& rec : snapshot.pe_metrics) {
-    const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
-    if (job_record == nullptr) continue;
-    PeMetricContext context;
-    context.job = rec.job;
-    context.application = job_record->app_name;
-    context.pe = rec.pe;
-    context.metric = rec.metric_name;
-    context.metric_kind = rec.kind;
-    context.value = rec.value;
-    context.epoch = epoch;
-    context.collected_at = snapshot.collected_at;
-
-    std::vector<std::string> matched = registry.MatchedKeys(context);
+    auto context = BuildPeMetricContext(rec, epoch, snapshot.collected_at,
+                                        graph);
+    if (!context.has_value()) continue;
+    std::vector<std::string> matched = registry.MatchedKeys(*context);
     if (matched.empty()) continue;
-    Event event;
-    event.type = Event::Type::kPeMetric;
-    event.summary = StrFormat("peMetric(pe%lld.%s@%lld)",
-                              static_cast<long long>(context.pe.value()),
-                              context.metric.c_str(),
-                              static_cast<long long>(context.epoch));
-    event.matched = std::move(matched);
-    event.context = std::move(context);
-    Publish(std::move(event));
+    Publish(MakePeMetricEvent(std::move(*context), std::move(matched)));
+  }
+}
+
+void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
+                                      int64_t epoch,
+                                      const ShardedScopeRegistry& registry,
+                                      const GraphView& graph) {
+  // Phase 1: build every sample's context up front (cheap graph lookups),
+  // so the whole round can be matched in one shard-parallel batch.
+  std::vector<OperatorMetricContext> op_contexts;
+  op_contexts.reserve(snapshot.operator_metrics.size());
+  for (const auto& rec : snapshot.operator_metrics) {
+    auto context = BuildOperatorMetricContext(rec, epoch,
+                                              snapshot.collected_at, graph);
+    if (context.has_value()) op_contexts.push_back(std::move(*context));
+  }
+  std::vector<PeMetricContext> pe_contexts;
+  pe_contexts.reserve(snapshot.pe_metrics.size());
+  for (const auto& rec : snapshot.pe_metrics) {
+    auto context = BuildPeMetricContext(rec, epoch, snapshot.collected_at,
+                                        graph);
+    if (context.has_value()) pe_contexts.push_back(std::move(*context));
+  }
+
+  // Phase 2: match shard-parallel (threads never touch the bus).
+  auto op_matched = registry.MatchOperatorMetricBatch(op_contexts, graph);
+  auto pe_matched = registry.MatchPeMetricBatch(pe_contexts);
+
+  // Phase 3: publish serially in snapshot order — delivery order (and the
+  // whole event stream) is identical to the single-registry overload.
+  for (size_t i = 0; i < op_contexts.size(); ++i) {
+    if (op_matched[i].empty()) continue;
+    Publish(MakeOperatorMetricEvent(std::move(op_contexts[i]),
+                                    std::move(op_matched[i])));
+  }
+  for (size_t i = 0; i < pe_contexts.size(); ++i) {
+    if (pe_matched[i].empty()) continue;
+    Publish(MakePeMetricEvent(std::move(pe_contexts[i]),
+                              std::move(pe_matched[i])));
   }
 }
 

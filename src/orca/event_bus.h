@@ -18,6 +18,8 @@
 
 namespace orcastream::orca {
 
+class ShardedScopeRegistry;
+
 /// Typed envelope for one event awaiting delivery. Both the SRM metric
 /// pull path and the SAM failure push path feed these into the bus; the
 /// bus owns dispatch order, pacing, and the delivery transaction journal.
@@ -98,6 +100,15 @@ class EventBus {
   /// `epoch` is the logical clock of the pull round.
   void PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
                               int64_t epoch, const ScopeRegistry& registry,
+                              const GraphView& graph);
+
+  /// Same contract against a sharded registry: the snapshot's samples are
+  /// matched shard-parallel (bucketed by owning application shard), then
+  /// published serially in snapshot order — the resulting event stream is
+  /// byte-identical to the single-registry overload's.
+  void PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
+                              int64_t epoch,
+                              const ShardedScopeRegistry& registry,
                               const GraphView& graph);
 
   // --- Transactions (§7) --------------------------------------------------

@@ -37,6 +37,7 @@ OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
       sam_(sam),
       srm_(srm),
       config_(config),
+      scopes_(config.scope_shards),
       bus_(sim, EventBus::Config{config.dispatch_interval}),
       pull_task_(sim, config.metric_pull_period,
                  [this] { PullMetricsRound(); }) {}

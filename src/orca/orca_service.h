@@ -20,6 +20,7 @@
 #include "orca/graph_view.h"
 #include "orca/orchestrator.h"
 #include "orca/scope_registry.h"
+#include "orca/sharded_scope_registry.h"
 #include "orca/transaction_log.h"
 #include "runtime/event_sink.h"
 #include "runtime/sam.h"
@@ -56,6 +57,11 @@ class OrcaService : private runtime::EventSink {
     /// Spacing between successive queued event deliveries (models the
     /// time consumed by user handlers; 0 = back-to-back).
     double dispatch_interval = 0.0;
+    /// Number of per-application ScopeRegistry shards the service
+    /// partitions its subscopes across (see ShardedScopeRegistry; clamped
+    /// to at least 1). Match results are independent of the setting; it
+    /// controls how far SRM snapshot matching can parallelize.
+    size_t scope_shards = 4;
   };
 
   OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm,
@@ -121,8 +127,8 @@ class OrcaService : private runtime::EventSink {
 
   void ClearEventScopes();
 
-  /// The indexed registry holding every registered subscope.
-  const ScopeRegistry& scopes() const { return scopes_; }
+  /// The sharded indexed registry holding every registered subscope.
+  const ShardedScopeRegistry& scopes() const { return scopes_; }
 
   // --- Application registry and dependencies (§4.4) -----------------------
 
@@ -265,7 +271,7 @@ class OrcaService : private runtime::EventSink {
   common::OrcaId orca_id_;
   GraphView graph_;
 
-  ScopeRegistry scopes_;
+  ShardedScopeRegistry scopes_;
   /// Generation tag of the currently loaded logic's scope registrations
   /// (0 while no logic is loaded — see RegisterEventScope).
   ScopeRegistry::Generation logic_generation_ = 0;

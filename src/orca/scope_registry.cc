@@ -10,19 +10,30 @@ namespace orcastream::orca {
 namespace {
 
 /// Runs `match` over the candidate positions (already in registration
-/// order) and collects the keys of the matching live subscopes. Tombstoned
-/// slots are skipped here rather than scrubbed from the index buckets, so
-/// unregistration stays O(1) until compaction reclaims the positions.
+/// order) and collects key + registration sequence of the matching live
+/// subscopes. Tombstoned slots are skipped here rather than scrubbed from
+/// the index buckets, so unregistration stays O(1) until compaction
+/// reclaims the positions.
 template <typename Slot, typename Match>
-std::vector<std::string> KeysOf(const std::vector<Slot>& slots,
-                                const std::vector<uint32_t>& candidates,
-                                Match match) {
-  std::vector<std::string> matched;
+std::vector<SeqKey> SeqKeysOf(const std::vector<Slot>& slots,
+                              const std::vector<uint32_t>& candidates,
+                              Match match) {
+  std::vector<SeqKey> matched;
   for (uint32_t position : candidates) {
     const Slot& slot = slots[position];
-    if (slot.live && match(slot.scope)) matched.push_back(slot.scope.key());
+    if (slot.live && match(slot.scope)) {
+      matched.push_back(SeqKey{slot.sequence, slot.scope.key()});
+    }
   }
   return matched;
+}
+
+/// MatchedKeys = MatchedSeqKeys minus the sequence annotations.
+std::vector<std::string> StripSeq(std::vector<SeqKey> seq_keys) {
+  std::vector<std::string> keys;
+  keys.reserve(seq_keys.size());
+  for (SeqKey& seq_key : seq_keys) keys.push_back(std::move(seq_key.key));
+  return keys;
 }
 
 /// The seed's linear scan: every live subscope, in registration order.
@@ -142,7 +153,7 @@ void ScopeRegistry::RegisterIn(Store<Scope>& store, ScopeType type,
   IndexScope(scope, position);
   key_map_[scope.key()].push_back(SlotRef{type, position});
   store.slots.push_back(Slot<Scope>{std::move(scope), current_generation_,
-                                    /*live=*/true});
+                                    next_sequence_++, /*live=*/true});
 }
 
 void ScopeRegistry::Register(OperatorMetricScope scope) {
@@ -274,8 +285,9 @@ void ScopeRegistry::Clear() {
   ClearIndexesFor(job_event_);
   ClearIndexesFor(user_event_);
   key_map_.clear();
-  // current_generation_ stays monotonic so a stale generation id can never
-  // alias a later logic's registrations.
+  // current_generation_ and next_sequence_ stay monotonic so a stale
+  // generation id can never alias a later logic's registrations and
+  // sequence-based merge order survives a Clear.
 }
 
 size_t ScopeRegistry::size() const {
@@ -380,62 +392,87 @@ std::vector<uint32_t> ScopeRegistry::GatherCandidates(
 
 // --- Indexed matching -------------------------------------------------------
 
-std::vector<std::string> ScopeRegistry::MatchedKeys(
+std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const OperatorMetricContext& context, const GraphView& graph) const {
   auto candidates = GatherCandidates(
       {Lookup(operator_metric_by_metric_, context.metric),
        Lookup(operator_metric_by_application_, context.application),
        &operator_metric_residual_});
-  return KeysOf(operator_metric_.slots, candidates,
-                [&](const OperatorMetricScope& scope) {
-                  return MatchOperatorMetric(scope, context, graph);
-                });
+  return SeqKeysOf(operator_metric_.slots, candidates,
+                   [&](const OperatorMetricScope& scope) {
+                     return MatchOperatorMetric(scope, context, graph);
+                   });
 }
 
-std::vector<std::string> ScopeRegistry::MatchedKeys(
+std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const PeMetricContext& context) const {
   auto candidates = GatherCandidates(
       {Lookup(pe_metric_by_metric_, context.metric),
        Lookup(pe_metric_by_pe_, context.pe),
        Lookup(pe_metric_by_application_, context.application),
        &pe_metric_residual_});
-  return KeysOf(pe_metric_.slots, candidates,
-                [&](const PeMetricScope& scope) {
-                  return MatchPeMetric(scope, context);
-                });
+  return SeqKeysOf(pe_metric_.slots, candidates,
+                   [&](const PeMetricScope& scope) {
+                     return MatchPeMetric(scope, context);
+                   });
 }
 
-std::vector<std::string> ScopeRegistry::MatchedKeys(
+std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const PeFailureContext& context, const GraphView& graph) const {
   auto candidates = GatherCandidates(
       {Lookup(pe_failure_by_application_, context.application),
        &pe_failure_residual_});
-  return KeysOf(pe_failure_.slots, candidates,
-                [&](const PeFailureScope& scope) {
-                  return MatchPeFailure(scope, context, graph);
-                });
+  return SeqKeysOf(pe_failure_.slots, candidates,
+                   [&](const PeFailureScope& scope) {
+                     return MatchPeFailure(scope, context, graph);
+                   });
 }
 
-std::vector<std::string> ScopeRegistry::MatchedKeys(
+std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const JobEventContext& context, bool is_submission) const {
   auto candidates = GatherCandidates(
       {Lookup(job_event_by_application_, context.application),
        &job_event_residual_});
-  return KeysOf(job_event_.slots, candidates,
-                [&](const JobEventScope& scope) {
-                  return MatchJobEvent(scope, context, is_submission);
-                });
+  return SeqKeysOf(job_event_.slots, candidates,
+                   [&](const JobEventScope& scope) {
+                     return MatchJobEvent(scope, context, is_submission);
+                   });
 }
 
-std::vector<std::string> ScopeRegistry::MatchedKeys(
+std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const UserEventContext& context) const {
   auto candidates =
       GatherCandidates({Lookup(user_event_by_name_, context.name),
                         &user_event_residual_});
-  return KeysOf(user_event_.slots, candidates,
-                [&](const UserEventScope& scope) {
-                  return MatchUserEvent(scope, context);
-                });
+  return SeqKeysOf(user_event_.slots, candidates,
+                   [&](const UserEventScope& scope) {
+                     return MatchUserEvent(scope, context);
+                   });
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const OperatorMetricContext& context, const GraphView& graph) const {
+  return StripSeq(MatchedSeqKeys(context, graph));
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const PeMetricContext& context) const {
+  return StripSeq(MatchedSeqKeys(context));
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const PeFailureContext& context, const GraphView& graph) const {
+  return StripSeq(MatchedSeqKeys(context, graph));
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const JobEventContext& context, bool is_submission) const {
+  return StripSeq(MatchedSeqKeys(context, is_submission));
+}
+
+std::vector<std::string> ScopeRegistry::MatchedKeys(
+    const UserEventContext& context) const {
+  return StripSeq(MatchedSeqKeys(context));
 }
 
 // --- Linear-scan reference path ---------------------------------------------

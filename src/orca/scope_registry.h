@@ -12,6 +12,17 @@
 
 namespace orcastream::orca {
 
+/// One matched subscope key together with the registration *sequence
+/// number* of the subscope that produced it. Sequence numbers are assigned
+/// monotonically at registration time, never reused, and preserved across
+/// compaction, so results from two registries whose registrations were
+/// interleaved under one shared counter can be merged back into overall
+/// registration order — the contract ShardedScopeRegistry builds on.
+struct SeqKey {
+  uint64_t sequence = 0;
+  std::string key;
+};
+
 /// Owns every subscope registered with the ORCA service (§4.1) and answers
 /// "which subscope keys does this event match?".
 ///
@@ -70,6 +81,14 @@ class ScopeRegistry {
 
   Generation current_generation() const { return current_generation_; }
 
+  /// Sequence number the next Register call will stamp its subscope with.
+  /// ShardedScopeRegistry drives the counters of all its shards from one
+  /// global counter (set before every Register) so per-shard results can
+  /// be merged back into overall registration order; a standalone registry
+  /// just consumes its own monotonic counter.
+  uint64_t next_sequence() const { return next_sequence_; }
+  void set_next_sequence(uint64_t sequence) { next_sequence_ = sequence; }
+
   void Clear();
 
   /// Number of live (registered and not unregistered) subscopes.
@@ -87,6 +106,20 @@ class ScopeRegistry {
   std::vector<std::string> MatchedKeys(const JobEventContext& context,
                                        bool is_submission) const;
   std::vector<std::string> MatchedKeys(const UserEventContext& context) const;
+
+  /// Same results as MatchedKeys, annotated with each matching subscope's
+  /// registration sequence number (ascending — registration order within
+  /// one registry is ascending sequence order). This is the shard-facing
+  /// form: ShardedScopeRegistry merges one shard's result with the
+  /// residual shard's by sequence to restore overall registration order.
+  std::vector<SeqKey> MatchedSeqKeys(const OperatorMetricContext& context,
+                                     const GraphView& graph) const;
+  std::vector<SeqKey> MatchedSeqKeys(const PeMetricContext& context) const;
+  std::vector<SeqKey> MatchedSeqKeys(const PeFailureContext& context,
+                                     const GraphView& graph) const;
+  std::vector<SeqKey> MatchedSeqKeys(const JobEventContext& context,
+                                     bool is_submission) const;
+  std::vector<SeqKey> MatchedSeqKeys(const UserEventContext& context) const;
 
   // --- Linear-scan reference path ----------------------------------------
 
@@ -131,6 +164,7 @@ class ScopeRegistry {
   struct Slot {
     Scope scope;
     Generation generation = 0;
+    uint64_t sequence = 0;
     bool live = true;
   };
 
@@ -244,6 +278,7 @@ class ScopeRegistry {
   std::unordered_map<std::string, std::vector<SlotRef>> key_map_;
 
   Generation current_generation_ = 0;
+  uint64_t next_sequence_ = 0;
   size_t compaction_threshold_ = 16;
   size_t compactions_ = 0;
 };
