@@ -10,10 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "ops/standard.h"
+#include "orca/dispatch_executor.h"
 #include "orca/event_bus.h"
 #include "orca/orca_service.h"
 #include "orca/orchestrator.h"
@@ -169,10 +173,91 @@ void BM_EventBusRawDispatch(benchmark::State& state) {
   state.SetLabel("delivered=" + std::to_string(logic.delivered));
 }
 
+// --- Multi-application async dispatch vs the serial FIFO --------------------
+
+/// Handler latency model for the async-vs-serial comparison: production
+/// ORCA handlers spend their time on blocking actuation work (RPCs to
+/// SAM, external notifications), which is what per-application queues
+/// overlap across applications. A sleep models that blocking time.
+constexpr std::chrono::microseconds kHandlerLatency(200);
+
+class BlockingLogic : public orca::Orchestrator {
+ public:
+  void HandleOrcaStart(const orca::OrcaStartContext&) override {}
+  void HandlePeMetricEvent(const orca::PeMetricContext&,
+                           const std::vector<std::string>&) override {
+    std::this_thread::sleep_for(kHandlerLatency);
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<int64_t> delivered{0};
+};
+
+orca::Event AppMetricEvent(const std::string& app, int64_t value) {
+  orca::Event event;
+  event.type = orca::Event::Type::kPeMetric;
+  event.summary = "peMetric(" + app + "#" + std::to_string(value) + ")";
+  event.matched = {"scope"};
+  orca::PeMetricContext context;
+  context.application = app;
+  context.metric = "m";
+  context.value = value;
+  event.context = std::move(context);
+  return event;
+}
+
+constexpr int64_t kEventsPerApp = 16;
+
+/// Baseline: one serial FIFO delivers every application's events
+/// back-to-back — total time ~ events x handler latency.
+void BM_MultiAppDeliverySerial(benchmark::State& state) {
+  int64_t apps = state.range(0);
+  sim::Simulation sim;
+  orca::EventBus bus(&sim, orca::EventBus::Config{});
+  BlockingLogic logic;
+  bus.set_logic(&logic);
+  for (auto _ : state) {
+    for (int64_t value = 0; value < kEventsPerApp; ++value) {
+      for (int64_t app = 0; app < apps; ++app) {
+        bus.Publish(AppMetricEvent("app" + std::to_string(app), value));
+      }
+    }
+    sim.RunFor(1.0);  // drains: dispatch_interval 0, same timestamp
+  }
+  state.SetItemsProcessed(state.iterations() * apps * kEventsPerApp);
+  state.SetLabel("delivered=" + std::to_string(logic.delivered.load()));
+}
+
+/// Async dispatch: per-application ordered queues on a ThreadPoolExecutor
+/// overlap the blocking handler latency across applications (the
+/// `event_delivery_async` record; scripts/bench.sh gates >=2x over serial
+/// at 8 applications).
+void BM_MultiAppDeliveryAsync(benchmark::State& state) {
+  int64_t apps = state.range(0);
+  sim::Simulation sim;
+  auto pool = std::make_shared<orca::ThreadPoolExecutor>(8);
+  orca::EventBus::Config config;
+  config.executor = pool;
+  orca::EventBus bus(&sim, config);
+  BlockingLogic logic;
+  bus.set_logic(&logic);
+  for (auto _ : state) {
+    for (int64_t value = 0; value < kEventsPerApp; ++value) {
+      for (int64_t app = 0; app < apps; ++app) {
+        bus.Publish(AppMetricEvent("app" + std::to_string(app), value));
+      }
+    }
+    pool->Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * apps * kEventsPerApp);
+  state.SetLabel("delivered=" + std::to_string(logic.delivered.load()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_UserEventBurstDispatch)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK(BM_EventBusRawDispatch)->Arg(100)->Arg(1000);
+BENCHMARK(BM_MultiAppDeliverySerial)->Arg(1)->Arg(8)->UseRealTime();
+BENCHMARK(BM_MultiAppDeliveryAsync)->Arg(1)->Arg(8)->UseRealTime();
 BENCHMARK(BM_MetricRoundVsScopeCount)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 BENCHMARK(BM_SlowHandlerQueueing)->Arg(1)->Arg(10)->Arg(100);
 

@@ -23,7 +23,7 @@ DELIVERY_JSON="$BUILD_DIR/bench_event_delivery.json"
   --benchmark_filter='Registry|Sharded' \
   --benchmark_format=json >"$SCOPE_JSON"
 "$BUILD_DIR/bench_event_delivery" \
-  --benchmark_filter='BM_UserEventBurstDispatch|BM_EventBusRawDispatch' \
+  --benchmark_filter='BM_UserEventBurstDispatch|BM_EventBusRawDispatch|BM_MultiAppDelivery' \
   --benchmark_format=json >"$DELIVERY_JSON"
 
 python3 - "$SCOPE_JSON" "$DELIVERY_JSON" "$REPO_ROOT/BENCH_event_routing.json" <<'EOF'
@@ -94,7 +94,24 @@ result = {
         "bus_raw_1000_items_per_second":
             items_per_second(delivery, "BM_EventBusRawDispatch/1000"),
     },
+    # Per-application ordered queues on the ThreadPoolExecutor vs the
+    # serial FIFO, 8 applications with blocking (sleep-modelled) handler
+    # latency. The async layer overlaps the latency across applications,
+    # so it must clear >=2x even on a single-core host.
+    "event_delivery_async": {
+        "async_items_per_second":
+            items_per_second(delivery, "BM_MultiAppDeliveryAsync/8/real_time"),
+        "serial_items_per_second":
+            items_per_second(delivery,
+                             "BM_MultiAppDeliverySerial/8/real_time"),
+        "speedup": None,
+        "required_speedup": 2.0,
+    },
 }
+async_ips = result["event_delivery_async"]["async_items_per_second"]
+serial_ips = result["event_delivery_async"]["serial_items_per_second"]
+if async_ips and serial_ips:
+    result["event_delivery_async"]["speedup"] = async_ips / serial_ips
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
@@ -103,12 +120,15 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 failed = False
 for label in ("scope_matching", "scope_matching_churn",
-              "scope_matching_sharded"):
+              "scope_matching_sharded", "event_delivery_async"):
     speedup = result[label]["speedup"]
-    print(f"{label} indexed vs linear speedup: "
-          + (f"{speedup:.1f}x" if speedup else "n/a"))
-    if speedup is not None and speedup < 5.0:
-        print(f"FAIL: {label} speedup below required 5x", file=sys.stderr)
+    required = result[label]["required_speedup"]
+    print(f"{label} speedup: "
+          + (f"{speedup:.1f}x" if speedup else "n/a")
+          + f" (required {required:g}x)")
+    if speedup is not None and speedup < required:
+        print(f"FAIL: {label} speedup below required {required:g}x",
+              file=sys.stderr)
         failed = True
 if failed:
     sys.exit(1)

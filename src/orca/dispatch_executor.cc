@@ -1,0 +1,194 @@
+#include "orca/dispatch_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace orcastream::orca {
+
+// --- ThreadPoolExecutor -----------------------------------------------------
+
+ThreadPoolExecutor::ThreadPoolExecutor(size_t worker_count)
+    : epoch_(std::chrono::steady_clock::now()) {
+  if (worker_count == 0) worker_count = 1;
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() { Stop(); }
+
+void ThreadPoolExecutor::Attach(QueueRunner runner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  runner_ = std::move(runner);
+}
+
+void ThreadPoolExecutor::Submit(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    ready_.push_back(key);
+  }
+  work_cv_.notify_one();
+}
+
+double ThreadPoolExecutor::NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ThreadPoolExecutor::PromoteDue(double now) {
+  while (!timed_.empty() && timed_.top().due <= now) {
+    ready_.push_back(timed_.top().key);
+    timed_.pop();
+  }
+}
+
+void ThreadPoolExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    PromoteDue(NowSeconds());
+    if (stopping_) return;
+    if (!ready_.empty() && runner_) {
+      std::string key = std::move(ready_.front());
+      ready_.pop_front();
+      QueueRunner runner = runner_;
+      ++busy_;
+      lock.unlock();
+      QueueStepResult result = runner(key);
+      lock.lock();
+      --busy_;
+      if (!stopping_) {
+        if (result.kind == QueueStepResult::Kind::kDelivered && result.more) {
+          // Back of the deque: round-robin fairness between queues when
+          // there are more runnable queues than workers.
+          ready_.push_back(std::move(key));
+          work_cv_.notify_one();
+        } else if (result.kind == QueueStepResult::Kind::kWaiting) {
+          timed_.push(TimedEntry{NowSeconds() + result.retry_delay,
+                                 next_seq_++, std::move(key)});
+          // Another worker may be able to serve the deadline sooner.
+          work_cv_.notify_one();
+        }
+      }
+      if (QuiescentLocked()) drain_cv_.notify_all();
+      continue;
+    }
+    if (timed_.empty()) {
+      work_cv_.wait(lock);
+    } else {
+      double wait = timed_.top().due - NowSeconds();
+      work_cv_.wait_for(lock, std::chrono::duration<double>(
+                                  std::max(wait, 0.0)));
+    }
+  }
+}
+
+void ThreadPoolExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return stopping_ || QuiescentLocked(); });
+}
+
+void ThreadPoolExecutor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    ready_.clear();
+    while (!timed_.empty()) timed_.pop();
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+// --- DeterministicExecutor --------------------------------------------------
+
+DeterministicExecutor::DeterministicExecutor(sim::Simulation* sim,
+                                             uint64_t seed)
+    : sim_(sim), seed_(seed), rng_(seed) {}
+
+void DeterministicExecutor::Attach(QueueRunner runner) {
+  runner_ = std::move(runner);
+}
+
+void DeterministicExecutor::Submit(const std::string& key) {
+  if (stopped_) return;
+  // The active-flag contract means a key is never submitted while already
+  // runnable, but a pacing retry can race a gate reopen in principle;
+  // dedup keeps the ready set an exact set either way.
+  if (std::find(ready_.begin(), ready_.end(), key) == ready_.end()) {
+    ready_.push_back(key);
+  }
+  SchedulePump();
+}
+
+double DeterministicExecutor::NowSeconds() { return sim_->Now(); }
+
+void DeterministicExecutor::SchedulePump() {
+  if (pump_scheduled_ || stopped_ || ready_.empty()) return;
+  pump_scheduled_ = true;
+  std::weak_ptr<DeterministicExecutor> weak = weak_from_this();
+  sim_->ScheduleAfter(0, [weak] {
+    if (auto self = weak.lock()) self->Pump();
+  });
+}
+
+void DeterministicExecutor::HandleStepResult(std::string key,
+                                             const QueueStepResult& result) {
+  if (result.kind == QueueStepResult::Kind::kDelivered && result.more) {
+    ready_.push_back(std::move(key));
+  } else if (result.kind == QueueStepResult::Kind::kWaiting) {
+    // The queue stays active in the bus until this retry runs: dropping
+    // it would strand the queue forever.
+    std::weak_ptr<DeterministicExecutor> weak = weak_from_this();
+    sim_->ScheduleAfter(result.retry_delay, [weak, key = std::move(key)] {
+      if (auto self = weak.lock()) self->Submit(key);
+    });
+  }
+}
+
+void DeterministicExecutor::Pump() {
+  pump_scheduled_ = false;
+  if (stopped_ || ready_.empty() || !runner_) return;
+  // One step of one seeded-random runnable queue per pump event: the
+  // schedule interleaves queues at event granularity, which is exactly
+  // the nondeterminism a worker pool exhibits — minus the
+  // irreproducibility.
+  size_t index = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(ready_.size()) - 1));
+  std::string key = std::move(ready_[index]);
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++steps_;
+  QueueStepResult result = runner_(key);
+  HandleStepResult(std::move(key), result);
+  SchedulePump();
+}
+
+void DeterministicExecutor::Drain() {
+  // Single-threaded: nothing can be mid-step when Drain is callable, so
+  // draining runs every runnable queue's steps until it parks. A queue
+  // that hits a pacing wait keeps its owed retry as a scheduled sim
+  // event (sim time cannot advance inside Drain) and resumes when the
+  // simulation runs; it is not re-added to the ready set, so the loop
+  // terminates once every queue is parked or waiting.
+  while (!ready_.empty() && runner_ && !stopped_) {
+    std::string key = std::move(ready_.front());
+    ready_.erase(ready_.begin());
+    ++steps_;
+    QueueStepResult result = runner_(key);
+    HandleStepResult(std::move(key), result);
+  }
+}
+
+void DeterministicExecutor::Stop() {
+  stopped_ = true;
+  ready_.clear();
+  runner_ = nullptr;
+}
+
+}  // namespace orcastream::orca

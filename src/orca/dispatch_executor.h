@@ -1,0 +1,213 @@
+#ifndef ORCASTREAM_ORCA_DISPATCH_EXECUTOR_H_
+#define ORCASTREAM_ORCA_DISPATCH_EXECUTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace orcastream::orca {
+
+/// Outcome of running one step (at most one event delivery) on a
+/// per-application queue. The EventBus produces these from
+/// `RunQueueStep`; the executor reacts:
+///
+///   - kIdle      — the queue parked itself (empty, no logic attached, or
+///                  blocked behind a start-event gate). The bus will
+///                  Submit it again when it becomes runnable; the
+///                  executor forgets it.
+///   - kDelivered — one event was delivered. If `more`, the queue still
+///                  holds events and must be submitted again (the
+///                  executor re-enqueues it, giving other queues a turn
+///                  between events).
+///   - kWaiting   — dispatch-interval pacing owes `retry_delay` seconds
+///                  before this queue's next delivery. The queue stays
+///                  marked active in the bus; the executor must run it
+///                  again after the delay on its own clock.
+struct QueueStepResult {
+  enum class Kind { kIdle, kDelivered, kWaiting };
+  Kind kind = Kind::kIdle;
+  /// kWaiting: seconds (executor clock) until the queue is runnable.
+  double retry_delay = 0;
+  /// kDelivered: the queue still holds events.
+  bool more = false;
+};
+
+/// Strategy interface for the EventBus's async dispatch layer: the bus
+/// keys ordered event queues by application and hands runnable queue keys
+/// to an executor, which decides *where and when* each queue's next
+/// delivery step runs. Two implementations ship:
+///
+///   - ThreadPoolExecutor      — production: a worker pool delivers
+///                               distinct applications' events
+///                               concurrently (wall-clock pacing).
+///   - DeterministicExecutor   — tests: single-threaded, driven by the
+///                               simulation, interleaving chosen by a
+///                               seeded RNG so every async schedule is
+///                               reproducible (sim-time pacing).
+///
+/// Contract: for a given key, the bus Submits only when the queue
+/// transitions to runnable (it tracks an `active` flag), so an executor
+/// never runs the same queue's steps concurrently — per-application FIFO
+/// order is preserved by construction. Steps for different keys may run
+/// concurrently.
+class DispatchExecutor {
+ public:
+  /// Runs one step of the named queue; provided by the EventBus.
+  using QueueRunner = std::function<QueueStepResult(const std::string& key)>;
+
+  virtual ~DispatchExecutor() = default;
+
+  /// Installs the bus callback. Called once, before any Submit. An
+  /// executor serves a single bus at a time.
+  virtual void Attach(QueueRunner runner) = 0;
+
+  /// Queue `key` became runnable; the executor must eventually run its
+  /// steps (and keep running them per QueueStepResult) until it parks.
+  virtual void Submit(const std::string& key) = 0;
+
+  /// The executor's delivery clock in seconds — simulation time for the
+  /// DeterministicExecutor, wall time for the ThreadPoolExecutor. Pacing
+  /// deadlines and transaction-journal timestamps use this clock.
+  virtual double NowSeconds() = 0;
+
+  /// True when NowSeconds is the simulation clock. Event-context
+  /// timestamps (e.g. the start event's `at`) are sim-time fields, so a
+  /// wall-clock executor's bus stamps them at publication (on the sim
+  /// thread) instead of at delivery.
+  virtual bool UsesSimTime() const { return false; }
+
+  /// Blocks until no queue step is running or scheduled. The
+  /// ThreadPoolExecutor waits out pending pacing deadlines; the
+  /// sim-driven DeterministicExecutor cannot advance virtual time, so
+  /// its pacing retries stay scheduled in the simulation (never
+  /// dropped) and resume when it runs. Queues parked by the bus (no
+  /// logic / gated) do not count as scheduled. Must not be called from
+  /// inside a delivery.
+  virtual void Drain() = 0;
+
+  /// Stops the executor: discards scheduled work, waits for any running
+  /// step to finish, and (for pooled executors) joins the workers. After
+  /// Stop the runner is never invoked again; Submit becomes a no-op. The
+  /// EventBus calls this from its destructor so workers can never touch
+  /// a dead bus.
+  virtual void Stop() = 0;
+};
+
+/// Production executor: `worker_count` threads deliver runnable queues
+/// concurrently. One queue is only ever held by one worker at a time (the
+/// bus's active-flag contract), so per-application order holds while
+/// distinct applications overlap — the point of the pool is overlapping
+/// blocking handler work (actuation RPCs, I/O) across applications.
+/// Pacing retries are kept in a deadline heap and run when due
+/// (dispatch_interval is interpreted as wall-clock seconds here).
+class ThreadPoolExecutor : public DispatchExecutor {
+ public:
+  explicit ThreadPoolExecutor(size_t worker_count);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void Attach(QueueRunner runner) override;
+  void Submit(const std::string& key) override;
+  double NowSeconds() override;
+  void Drain() override;
+  void Stop() override;
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct TimedEntry {
+    double due = 0;
+    uint64_t seq = 0;
+    std::string key;
+    bool operator>(const TimedEntry& other) const {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  void WorkerLoop();
+  /// Moves due timed entries into the ready deque. Caller holds mu_.
+  void PromoteDue(double now);
+  bool QuiescentLocked() const {
+    return ready_.empty() && timed_.empty() && busy_ == 0;
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  QueueRunner runner_;
+  std::deque<std::string> ready_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_;
+  uint64_t next_seq_ = 0;
+  size_t busy_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Test executor: single-threaded and driven entirely by the simulation,
+/// so async-dispatch tests stay deterministic and can fast-forward
+/// virtual time. Each runnable queue sits in a ready set; a pump event
+/// (scheduled at the current sim time) runs ONE step of ONE queue chosen
+/// by the seeded RNG, then reschedules itself while work remains. Pacing
+/// retries are sim ScheduleAfter calls, so dispatch_interval is exact
+/// sim-time spacing per queue. Two runs with the same seed and the same
+/// publish schedule produce the same interleaving; different seeds
+/// explore different (per-application-order-preserving) interleavings.
+///
+/// Must be owned by std::shared_ptr (pump events hold weak references so
+/// a pending sim event never touches a destroyed executor).
+class DeterministicExecutor
+    : public DispatchExecutor,
+      public std::enable_shared_from_this<DeterministicExecutor> {
+ public:
+  DeterministicExecutor(sim::Simulation* sim, uint64_t seed);
+
+  void Attach(QueueRunner runner) override;
+  void Submit(const std::string& key) override;
+  double NowSeconds() override;
+  bool UsesSimTime() const override { return true; }
+  void Drain() override;
+  void Stop() override;
+
+  uint64_t seed() const { return seed_; }
+  /// Queue steps executed so far (delivered or parked).
+  uint64_t steps() const { return steps_; }
+
+ private:
+  void SchedulePump();
+  void Pump();
+  /// Common step-result handling for Pump and Drain: re-enqueue a queue
+  /// with more events, schedule the pacing retry for a waiting one.
+  void HandleStepResult(std::string key, const QueueStepResult& result);
+
+  sim::Simulation* sim_;
+  uint64_t seed_;
+  common::Rng rng_;
+  QueueRunner runner_;
+  /// Runnable queue keys, in submission order; the pump picks an index
+  /// at random so the container must be order-deterministic.
+  std::vector<std::string> ready_;
+  bool pump_scheduled_ = false;
+  bool stopped_ = false;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_DISPATCH_EXECUTOR_H_

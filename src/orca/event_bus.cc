@@ -13,10 +13,19 @@ using common::StrFormat;
 
 namespace {
 
+/// The delivery executing on this thread: which bus it belongs to and its
+/// transaction. Per-thread because async deliveries for distinct
+/// applications run concurrently, each inside its own transaction.
+struct ThreadDelivery {
+  const EventBus* bus = nullptr;
+  TransactionId txn = 0;
+};
+thread_local ThreadDelivery tls_delivery;
+
 /// Context construction shared by the single-registry and sharded
 /// snapshot paths (field-for-field identical so the two event streams
 /// stay byte-identical). Returns nullopt for samples of unmanaged jobs.
-std::optional<OperatorMetricContext> BuildOperatorMetricContext(
+std::optional<OperatorMetricContext> BuildMetricContext(
     const runtime::OperatorMetricRecord& rec, int64_t epoch,
     sim::SimTime collected_at, const GraphView& graph) {
   const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
@@ -38,7 +47,7 @@ std::optional<OperatorMetricContext> BuildOperatorMetricContext(
   return context;
 }
 
-std::optional<PeMetricContext> BuildPeMetricContext(
+std::optional<PeMetricContext> BuildMetricContext(
     const runtime::PeMetricRecord& rec, int64_t epoch,
     sim::SimTime collected_at, const GraphView& graph) {
   const GraphView::JobRecord* job_record = graph.FindJob(rec.job);
@@ -57,8 +66,8 @@ std::optional<PeMetricContext> BuildPeMetricContext(
 
 /// Each event is delivered once even when it matches several subscopes
 /// (§4.1); the matched keys ride along.
-Event MakeOperatorMetricEvent(OperatorMetricContext context,
-                              std::vector<std::string> matched) {
+Event MakeMetricEvent(OperatorMetricContext context,
+                      std::vector<std::string> matched) {
   Event event;
   event.type = Event::Type::kOperatorMetric;
   event.summary = StrFormat("operatorMetric(%s.%s@%lld)",
@@ -70,8 +79,8 @@ Event MakeOperatorMetricEvent(OperatorMetricContext context,
   return event;
 }
 
-Event MakePeMetricEvent(PeMetricContext context,
-                        std::vector<std::string> matched) {
+Event MakeMetricEvent(PeMetricContext context,
+                      std::vector<std::string> matched) {
   Event event;
   event.type = Event::Type::kPeMetric;
   event.summary = StrFormat("peMetric(pe%lld.%s@%lld)",
@@ -83,25 +92,148 @@ Event MakePeMetricEvent(PeMetricContext context,
   return event;
 }
 
+/// The per-sample snapshot path, shared by the operator- and PE-metric
+/// record types: build the context, match it, publish when it crossed a
+/// scope.
+template <typename Record, typename Matcher>
+void MatchAndPublish(EventBus* bus, const std::vector<Record>& records,
+                     int64_t epoch, sim::SimTime collected_at,
+                     const GraphView& graph, Matcher matcher) {
+  for (const Record& rec : records) {
+    auto context = BuildMetricContext(rec, epoch, collected_at, graph);
+    if (!context.has_value()) continue;
+    std::vector<std::string> matched = matcher(*context);
+    if (matched.empty()) continue;
+    bus->Publish(MakeMetricEvent(std::move(*context), std::move(matched)));
+  }
+}
+
+/// Batch phase 1 (sharded path): every sample's context up front (cheap
+/// graph lookups), so the whole round can be matched in one
+/// shard-parallel batch.
+template <typename Record>
+auto BuildContextBatch(const std::vector<Record>& records, int64_t epoch,
+                       sim::SimTime collected_at, const GraphView& graph) {
+  using Context = typename decltype(BuildMetricContext(
+      records.front(), epoch, collected_at, graph))::value_type;
+  std::vector<Context> contexts;
+  contexts.reserve(records.size());
+  for (const Record& rec : records) {
+    auto context = BuildMetricContext(rec, epoch, collected_at, graph);
+    if (context.has_value()) contexts.push_back(std::move(*context));
+  }
+  return contexts;
+}
+
+/// Batch phase 3: publish serially in snapshot order — delivery order
+/// (and the whole event stream) is identical to the single-registry
+/// overload.
+template <typename Context>
+void PublishMatchedBatch(EventBus* bus, std::vector<Context>& contexts,
+                         std::vector<std::vector<std::string>>& matched) {
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    if (matched[i].empty()) continue;
+    bus->Publish(MakeMetricEvent(std::move(contexts[i]),
+                                 std::move(matched[i])));
+  }
+}
+
 }  // namespace
 
+EventBus::EventBus(sim::Simulation* sim, Config config)
+    : sim_(sim), config_(std::move(config)), executor_(config_.executor) {
+  if (executor_ != nullptr) {
+    executor_->Attach(
+        [this](const std::string& key) { return RunQueueStep(key); });
+  }
+}
+
+EventBus::~EventBus() {
+  // Workers must never touch a dead bus: stop the executor (runs nothing
+  // further, joins pooled workers) before any member is destroyed.
+  if (executor_ != nullptr) executor_->Stop();
+}
+
+std::string EventBus::QueueKeyOf(const Event& event) {
+  switch (event.type) {
+    case Event::Type::kOperatorMetric:
+      return std::get<OperatorMetricContext>(event.context).application;
+    case Event::Type::kPeMetric:
+      return std::get<PeMetricContext>(event.context).application;
+    case Event::Type::kPeFailure:
+      return std::get<PeFailureContext>(event.context).application;
+    case Event::Type::kJobSubmission:
+    case Event::Type::kJobCancellation:
+      return std::get<JobEventContext>(event.context).application;
+    case Event::Type::kOrcaStart:
+    case Event::Type::kTimer:
+    case Event::Type::kUser:
+      // No application: start events, timers, and user events share the
+      // residual queue (they may match wildcard scopes of any
+      // application, so they stay mutually FIFO).
+      return std::string();
+  }
+  return std::string();
+}
+
+bool EventBus::InHandler() const {
+  return tls_delivery.bus == this && tls_delivery.txn != 0;
+}
+
+TransactionId EventBus::current_transaction() const {
+  return tls_delivery.bus == this ? tls_delivery.txn : 0;
+}
+
 void EventBus::set_logic(Orchestrator* logic) {
-  logic_ = logic;
-  // Events retained while no logic was attached must not stall until the
-  // next Publish.
-  if (logic_ != nullptr && !queue_.empty()) EnsureDispatching();
+  if (!async()) {
+    logic_ = logic;
+    // Events retained while no logic was attached must not stall until
+    // the next Publish.
+    if (logic_ != nullptr && !queue_.empty()) EnsureDispatching();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logic_ = logic;
+  }
+  if (logic != nullptr) SubmitRunnableQueues();
 }
 
 void EventBus::DisposeAfterDispatch(std::unique_ptr<Orchestrator> logic) {
   if (logic == nullptr) return;
-  // current_txn_ != 0 means a handler frame is on the stack — possibly
-  // the very object being disposed; park it until the delivery unwinds.
-  if (current_txn_ != 0) {
-    retired_logics_.push_back(std::move(logic));
+  if (!async()) {
+    // Serial mode is single-threaded: a delivery is in flight iff this
+    // thread is inside a handler (the §7 self-replacement path) — no
+    // locking or per-logic counting needed on the default path.
+    if (InHandler()) retired_logics_.push_back(std::move(logic));
+    return;  // otherwise destroyed here, no handler frame can be inside
   }
+  std::unique_ptr<Orchestrator> dispose_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A nonzero in-flight count means some handler frame of this very
+    // object is still on a stack (its own, on self-replacement, or a
+    // concurrent worker's); park it until the last delivery unwinds.
+    auto it = inflight_.find(logic.get());
+    if (it != inflight_.end() && it->second > 0) {
+      retired_logics_.push_back(std::move(logic));
+    } else {
+      dispose_now = std::move(logic);
+    }
+  }
+  // Destroyed outside the lock (destructors are foreign code).
+}
+
+void EventBus::DrainDeliveries() {
+  if (!async() || InHandler()) return;
+  executor_->Drain();
 }
 
 void EventBus::Publish(Event event) {
+  if (async()) {
+    PublishAsync(std::move(event), /*front=*/false);
+    return;
+  }
   // Events are delivered one at a time; events occurring while a handler
   // runs are queued in arrival order (§4.2).
   queue_.push_back(std::move(event));
@@ -109,75 +241,222 @@ void EventBus::Publish(Event event) {
 }
 
 void EventBus::PublishFront(Event event) {
+  if (async()) {
+    PublishAsync(std::move(event), /*front=*/true);
+    return;
+  }
   queue_.push_front(std::move(event));
   EnsureDispatching();
+}
+
+void EventBus::PublishAsync(Event event, bool front) {
+  // Front-published start events go to the head of the residual queue and
+  // gate the application queues until delivered: the replacement logic's
+  // fresh start must precede every surviving queued event (§7), across
+  // all queues.
+  const std::string key = front ? std::string() : QueueKeyOf(event);
+  // Context timestamps are sim-time fields. Under a wall-clock executor
+  // the delivery thread cannot read the simulation clock, so the start
+  // timestamp is stamped here, at publication on the sim thread (a
+  // sim-clock executor stamps at delivery, like the serial path).
+  if (event.type == Event::Type::kOrcaStart && !executor_->UsesSimTime()) {
+    std::get<OrcaStartContext>(event.context).at = sim_->Now();
+  }
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AppQueue& queue = queues_[key];
+    AppQueue::Entry entry;
+    entry.event = std::move(event);
+    entry.gate = front;
+    if (front) {
+      queue.events.push_front(std::move(entry));
+      ++gate_depth_;
+    } else {
+      queue.events.push_back(std::move(entry));
+    }
+    if (!queue.active && RunnableLocked(key)) {
+      queue.active = true;
+      submit = true;
+    }
+  }
+  if (submit) executor_->Submit(key);
+}
+
+bool EventBus::RunnableLocked(const std::string& key) const {
+  if (logic_ == nullptr) return false;
+  return gate_depth_ == 0 || key.empty();
+}
+
+void EventBus::SubmitRunnableQueues() {
+  std::vector<std::string> submits;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, queue] : queues_) {
+      if (!queue.events.empty() && !queue.active && RunnableLocked(key)) {
+        queue.active = true;
+        submits.push_back(key);
+      }
+    }
+  }
+  for (const std::string& key : submits) executor_->Submit(key);
+}
+
+QueueStepResult EventBus::RunQueueStep(const std::string& key) {
+  Orchestrator* logic = nullptr;
+  Event event;
+  bool gate = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(key);
+    if (it == queues_.end()) return QueueStepResult{};
+    AppQueue& queue = it->second;
+    if (queue.events.empty() || !RunnableLocked(key)) {
+      // Parked: the bus re-Submits when the queue becomes runnable
+      // (Publish, set_logic, gate reopen).
+      queue.active = false;
+      return QueueStepResult{};
+    }
+    if (queue.delivered > 0 && config_.dispatch_interval > 0) {
+      // Per-queue pacing, enforced relative to THIS queue's last
+      // delivery even across its drains (the serial cross-drain rule,
+      // applied independently per application queue).
+      double wait = queue.last_delivery_at + config_.dispatch_interval -
+                    executor_->NowSeconds();
+      if (wait > 1e-12) {
+        QueueStepResult result;
+        result.kind = QueueStepResult::Kind::kWaiting;
+        result.retry_delay = wait;
+        return result;  // queue stays active: the executor owes a retry
+      }
+    }
+    logic = logic_;
+    // The in-flight reference is taken in the SAME critical section that
+    // captures the logic pointer: a concurrently self-replacing handler
+    // on another worker must see this delivery when it disposes the
+    // outgoing logic, or it could be destroyed before Deliver runs.
+    ++inflight_[logic];
+    gate = queue.events.front().gate;
+    event = std::move(queue.events.front().event);
+    queue.events.pop_front();
+  }
+
+  double now = executor_->NowSeconds();
+  TransactionId txn = BeginDelivery(event.summary, now);
+  Deliver(logic, event, now);
+  FinishDelivery(logic, txn, executor_->NowSeconds());
+
+  QueueStepResult result;
+  result.kind = QueueStepResult::Kind::kDelivered;
+  bool reopened = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AppQueue& queue = queues_[key];
+    queue.last_delivery_at = executor_->NowSeconds();
+    ++queue.delivered;
+    if (gate && --gate_depth_ == 0) reopened = true;
+    if (!queue.events.empty() && RunnableLocked(key)) {
+      result.more = true;  // stays active; the executor re-enqueues it
+    } else {
+      queue.active = false;
+    }
+  }
+  // The start event is out: wake every application queue it was holding
+  // back.
+  if (reopened) SubmitRunnableQueues();
+  return result;
 }
 
 void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
                                       int64_t epoch,
                                       const ScopeRegistry& registry,
                                       const GraphView& graph) {
-  for (const auto& rec : snapshot.operator_metrics) {
-    auto context = BuildOperatorMetricContext(rec, epoch,
-                                              snapshot.collected_at, graph);
-    if (!context.has_value()) continue;
-    std::vector<std::string> matched = registry.MatchedKeys(*context, graph);
-    if (matched.empty()) continue;
-    Publish(MakeOperatorMetricEvent(std::move(*context), std::move(matched)));
-  }
-
-  for (const auto& rec : snapshot.pe_metrics) {
-    auto context = BuildPeMetricContext(rec, epoch, snapshot.collected_at,
-                                        graph);
-    if (!context.has_value()) continue;
-    std::vector<std::string> matched = registry.MatchedKeys(*context);
-    if (matched.empty()) continue;
-    Publish(MakePeMetricEvent(std::move(*context), std::move(matched)));
-  }
+  MatchAndPublish(this, snapshot.operator_metrics, epoch,
+                  snapshot.collected_at, graph,
+                  [&](const OperatorMetricContext& context) {
+                    return registry.MatchedKeys(context, graph);
+                  });
+  MatchAndPublish(this, snapshot.pe_metrics, epoch, snapshot.collected_at,
+                  graph, [&](const PeMetricContext& context) {
+                    return registry.MatchedKeys(context);
+                  });
 }
 
 void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,
                                       int64_t epoch,
                                       const ShardedScopeRegistry& registry,
                                       const GraphView& graph) {
-  // Phase 1: build every sample's context up front (cheap graph lookups),
-  // so the whole round can be matched in one shard-parallel batch.
-  std::vector<OperatorMetricContext> op_contexts;
-  op_contexts.reserve(snapshot.operator_metrics.size());
-  for (const auto& rec : snapshot.operator_metrics) {
-    auto context = BuildOperatorMetricContext(rec, epoch,
-                                              snapshot.collected_at, graph);
-    if (context.has_value()) op_contexts.push_back(std::move(*context));
-  }
-  std::vector<PeMetricContext> pe_contexts;
-  pe_contexts.reserve(snapshot.pe_metrics.size());
-  for (const auto& rec : snapshot.pe_metrics) {
-    auto context = BuildPeMetricContext(rec, epoch, snapshot.collected_at,
-                                        graph);
-    if (context.has_value()) pe_contexts.push_back(std::move(*context));
-  }
-
-  // Phase 2: match shard-parallel (threads never touch the bus).
+  // Phase 1: build every sample's context up front; phase 2: match
+  // shard-parallel (threads never touch the bus); phase 3: publish
+  // serially in snapshot order.
+  auto op_contexts = BuildContextBatch(snapshot.operator_metrics, epoch,
+                                       snapshot.collected_at, graph);
+  auto pe_contexts = BuildContextBatch(snapshot.pe_metrics, epoch,
+                                       snapshot.collected_at, graph);
   auto op_matched = registry.MatchOperatorMetricBatch(op_contexts, graph);
   auto pe_matched = registry.MatchPeMetricBatch(pe_contexts);
-
-  // Phase 3: publish serially in snapshot order — delivery order (and the
-  // whole event stream) is identical to the single-registry overload.
-  for (size_t i = 0; i < op_contexts.size(); ++i) {
-    if (op_matched[i].empty()) continue;
-    Publish(MakeOperatorMetricEvent(std::move(op_contexts[i]),
-                                    std::move(op_matched[i])));
-  }
-  for (size_t i = 0; i < pe_contexts.size(); ++i) {
-    if (pe_matched[i].empty()) continue;
-    Publish(MakePeMetricEvent(std::move(pe_contexts[i]),
-                              std::move(pe_matched[i])));
-  }
+  PublishMatchedBatch(this, op_contexts, op_matched);
+  PublishMatchedBatch(this, pe_contexts, pe_matched);
 }
 
 void EventBus::JournalActuation(const std::string& description) {
-  if (current_txn_ != 0) txn_log_.RecordActuation(current_txn_, description);
+  TransactionId txn = current_transaction();
+  if (txn != 0) txn_log_.RecordActuation(txn, description);
 }
+
+// --- Delivery bookkeeping (both modes) --------------------------------------
+
+TransactionId EventBus::BeginDelivery(const std::string& summary,
+                                      double now) {
+  events_delivered_.fetch_add(1, std::memory_order_relaxed);
+  // Each delivery runs inside a transaction (§7 extension): the journal
+  // ties the event to every actuation its handler performs.
+  TransactionId txn = txn_log_.Begin(summary, now);
+  tls_delivery = ThreadDelivery{this, txn};
+  return txn;
+}
+
+void EventBus::FinishDelivery(Orchestrator* logic, TransactionId txn,
+                              double now) {
+  txn_log_.Commit(txn, now);
+  tls_delivery = ThreadDelivery{};
+  if (!async()) {
+    // The handler frame has unwound; logic it retired from inside itself
+    // (in-handler ReplaceLogic/Shutdown) can be destroyed now.
+    retired_logics_.clear();
+    return;
+  }
+  std::vector<std::unique_ptr<Orchestrator>> dispose;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(logic);
+    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+    // Logic retired mid-delivery (in-handler ReplaceLogic/Shutdown, or a
+    // main-thread replace while workers deliver) can be destroyed once
+    // its last handler frame has unwound.
+    auto still_inflight = [this](const std::unique_ptr<Orchestrator>& l) {
+      auto entry = inflight_.find(l.get());
+      return entry != inflight_.end() && entry->second > 0;
+    };
+    for (auto& retired : retired_logics_) {
+      if (!still_inflight(retired)) dispose.push_back(std::move(retired));
+    }
+    retired_logics_.erase(
+        std::remove(retired_logics_.begin(), retired_logics_.end(), nullptr),
+        retired_logics_.end());
+  }
+  // Destroyed outside the lock (destructors are foreign code).
+}
+
+size_t EventBus::queue_depth() const {
+  if (!async()) return queue_.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, queue] : queues_) total += queue.events.size();
+  return total;
+}
+
+// --- Serial dispatch --------------------------------------------------------
 
 void EventBus::EnsureDispatching() {
   if (dispatching_) return;
@@ -187,7 +466,7 @@ void EventBus::EnsureDispatching() {
   // must still wait out the remainder of the interval instead of firing
   // at delay 0.
   double delay = 0;
-  if (events_delivered_ > 0) {
+  if (events_delivered() > 0) {
     delay = std::max(
         0.0, (last_delivery_at_ + config_.dispatch_interval) - sim_->Now());
   }
@@ -201,17 +480,11 @@ void EventBus::DispatchNext() {
   }
   Event event = std::move(queue_.front());
   queue_.pop_front();
-  ++events_delivered_;
-  // Each delivery runs inside a transaction (§7 extension): the journal
-  // ties the event to every actuation its handler performs.
-  current_txn_ = txn_log_.Begin(event.summary, sim_->Now());
-  Deliver(event);
-  txn_log_.Commit(current_txn_, sim_->Now());
-  current_txn_ = 0;
+  Orchestrator* logic = logic_;
+  TransactionId txn = BeginDelivery(event.summary, sim_->Now());
+  Deliver(logic, event, sim_->Now());
+  FinishDelivery(logic, txn, sim_->Now());
   last_delivery_at_ = sim_->Now();
-  // The handler frame has unwound; logic it retired from inside itself
-  // (in-handler ReplaceLogic/Shutdown) can be destroyed now.
-  retired_logics_.clear();
   if (queue_.empty()) {
     dispatching_ = false;
     return;
@@ -219,43 +492,45 @@ void EventBus::DispatchNext() {
   sim_->ScheduleAfter(config_.dispatch_interval, [this] { DispatchNext(); });
 }
 
-void EventBus::Deliver(const Event& event) {
+void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
   switch (event.type) {
     case Event::Type::kOrcaStart: {
       // The start timestamp is when the logic actually starts running,
       // not when the start event was enqueued (they differ under
-      // dispatch_interval pacing or a mid-queue ReplaceLogic).
+      // dispatch_interval pacing or a mid-queue ReplaceLogic). Under a
+      // wall-clock executor `now` is not simulation time; the context
+      // keeps the publication-time stamp from PublishAsync instead.
       OrcaStartContext context = std::get<OrcaStartContext>(event.context);
-      context.at = sim_->Now();
-      logic_->HandleOrcaStart(context);
+      if (executor_ == nullptr || executor_->UsesSimTime()) context.at = now;
+      logic->HandleOrcaStart(context);
       break;
     }
     case Event::Type::kOperatorMetric:
-      logic_->HandleOperatorMetricEvent(
+      logic->HandleOperatorMetricEvent(
           std::get<OperatorMetricContext>(event.context), event.matched);
       break;
     case Event::Type::kPeMetric:
-      logic_->HandlePeMetricEvent(std::get<PeMetricContext>(event.context),
-                                  event.matched);
+      logic->HandlePeMetricEvent(std::get<PeMetricContext>(event.context),
+                                 event.matched);
       break;
     case Event::Type::kPeFailure:
-      logic_->HandlePeFailureEvent(std::get<PeFailureContext>(event.context),
-                                   event.matched);
+      logic->HandlePeFailureEvent(std::get<PeFailureContext>(event.context),
+                                  event.matched);
       break;
     case Event::Type::kJobSubmission:
-      logic_->HandleJobSubmissionEvent(
+      logic->HandleJobSubmissionEvent(
           std::get<JobEventContext>(event.context), event.matched);
       break;
     case Event::Type::kJobCancellation:
-      logic_->HandleJobCancellationEvent(
+      logic->HandleJobCancellationEvent(
           std::get<JobEventContext>(event.context), event.matched);
       break;
     case Event::Type::kTimer:
-      logic_->HandleTimerEvent(std::get<TimerContext>(event.context));
+      logic->HandleTimerEvent(std::get<TimerContext>(event.context));
       break;
     case Event::Type::kUser:
-      logic_->HandleUserEvent(std::get<UserEventContext>(event.context),
-                              event.matched);
+      logic->HandleUserEvent(std::get<UserEventContext>(event.context),
+                             event.matched);
       break;
   }
 }

@@ -1,13 +1,17 @@
 #ifndef ORCASTREAM_ORCA_EVENT_BUS_H_
 #define ORCASTREAM_ORCA_EVENT_BUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
+#include "orca/dispatch_executor.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
 #include "orca/orchestrator.h"
@@ -47,26 +51,47 @@ struct Event {
       context;
 };
 
-/// The unified delivery queue of the ORCA service (§4.2): events are
-/// delivered one at a time, in arrival order; events occurring while a
-/// handler runs are queued. Successive deliveries are spaced by
-/// `dispatch_interval` (models handler execution time) — measured from
-/// the previous delivery, whether or not the queue drained in between, so
-/// a Publish right after the queue empties still waits out the remainder
-/// of the interval. Every delivery
-/// runs inside a transaction (§7 extension): the journal ties the event to
-/// every actuation its handler performs, and events whose transaction
-/// never committed are redelivered to replacement logic.
+/// The unified delivery queue of the ORCA service (§4.2) with two dispatch
+/// modes behind one publication API:
+///
+/// **Serial (default, no executor).** Events are delivered one at a time,
+/// in arrival order; events occurring while a handler runs are queued.
+/// Successive deliveries are spaced by `dispatch_interval` (models handler
+/// execution time) — measured from the previous delivery, whether or not
+/// the queue drained in between, so a Publish right after the queue
+/// empties still waits out the remainder of the interval.
+///
+/// **Async (Config::executor set).** Events are keyed into per-application
+/// ordered queues: events for the same application — and all
+/// wildcard/app-less events, which share the *residual* queue — stay FIFO
+/// relative to each other, while distinct applications deliver
+/// concurrently on the executor (a worker pool in production, the seeded
+/// DeterministicExecutor in tests). `dispatch_interval` pacing is enforced
+/// per queue (including across that queue's drains), the transaction
+/// journal records every delivery exactly as in serial mode, and
+/// ReplaceLogic redelivery keeps its semantics per queue: a start event
+/// published with PublishFront gates every other queue until it is
+/// delivered, so replacement logic still initializes before any surviving
+/// queued event reaches it.
+///
+/// Every delivery runs inside a transaction (§7 extension): the journal
+/// ties the event to every actuation its handler performs, and events
+/// whose transaction never committed are redelivered to replacement
+/// logic.
 class EventBus {
  public:
   struct Config {
     /// Spacing between successive queued event deliveries (0 =
-    /// back-to-back).
+    /// back-to-back). Serial mode: global, in sim time. Async mode: per
+    /// application queue, on the executor's clock (sim time under the
+    /// DeterministicExecutor, wall time under the ThreadPoolExecutor).
     double dispatch_interval = 0.0;
+    /// Async dispatch strategy; nullptr keeps the serial queue.
+    std::shared_ptr<DispatchExecutor> executor;
   };
 
-  EventBus(sim::Simulation* sim, Config config)
-      : sim_(sim), config_(config) {}
+  EventBus(sim::Simulation* sim, Config config);
+  ~EventBus();
 
   EventBus(const EventBus&) = delete;
   EventBus& operator=(const EventBus&) = delete;
@@ -74,24 +99,54 @@ class EventBus {
   /// Points the bus at the logic handling deliveries. Passing nullptr
   /// stops dispatch; queued events are retained for a future logic (the
   /// §7 reliable-delivery path) and resume dispatching when one is set.
+  /// Async mode: deliveries already in flight on workers complete against
+  /// the previous logic (see DisposeAfterDispatch / DrainDeliveries).
   void set_logic(Orchestrator* logic);
   Orchestrator* logic() const { return logic_; }
 
-  /// Destroys a replaced/unloaded Orchestrator — immediately if no
-  /// delivery is in flight, otherwise once the current delivery unwinds:
+  /// Destroys a replaced/unloaded Orchestrator — immediately if none of
+  /// its deliveries is in flight, otherwise once the last one unwinds:
   /// logic may call ReplaceLogic/Shutdown from inside its own handler
-  /// (§7 self-recovery), and the object whose handler frame is still
-  /// executing must not be freed under it.
+  /// (§7 self-recovery), and under async dispatch other workers may still
+  /// be inside the retiring object's handlers — the object must not be
+  /// freed under any executing handler frame.
   void DisposeAfterDispatch(std::unique_ptr<Orchestrator> logic);
+
+  /// Blocks until no delivery is running or scheduled on the executor.
+  /// No-op in serial mode, and when called from inside a handler (the
+  /// self-replacement path — waiting for yourself would deadlock; the
+  /// caller relies on DisposeAfterDispatch instead). The service calls
+  /// this on ReplaceLogic/Shutdown after detaching the logic so the
+  /// retiring orchestrator's in-flight deliveries unwind before it is
+  /// touched.
+  void DrainDeliveries();
+
+  /// True when an async executor is installed.
+  bool async() const { return executor_ != nullptr; }
+
+  /// True on a thread currently inside one of this bus's deliveries.
+  bool InHandler() const;
+
+  /// True inside one of this bus's deliveries under a wall-clock
+  /// executor — i.e. on a worker thread, off the simulation thread. The
+  /// service asserts against this in its entry points: calling back into
+  /// the simulated service from a pool worker races the sim thread.
+  bool InWallClockHandler() const {
+    return InHandler() && executor_ != nullptr && !executor_->UsesSimTime();
+  }
 
   // --- Publication --------------------------------------------------------
 
   /// Appends an event to the delivery queue and (re)starts dispatch.
+  /// Async mode: appended to the queue keyed by the event's application
+  /// (residual queue for app-less events).
   void Publish(Event event);
 
   /// Inserts an event at the head of the queue — used for the replacement
   /// logic's fresh start event, which must precede surviving queued
-  /// events (§7).
+  /// events (§7). Async mode: goes to the head of the residual queue and
+  /// *gates* every other queue until delivered, preserving the
+  /// start-before-survivors ordering across all application queues.
   void PublishFront(Event event);
 
   /// Routes one SRM snapshot through the registry in a single pass (§4.2):
@@ -114,39 +169,107 @@ class EventBus {
   // --- Transactions (§7) --------------------------------------------------
 
   const TransactionLog& transactions() const { return txn_log_; }
-  /// Transaction of the event currently being handled (0 outside
-  /// handlers).
-  TransactionId current_transaction() const { return current_txn_; }
-  /// Journals an actuation against the in-flight transaction.
+  /// Transaction of the event being handled on the CALLING thread
+  /// (0 outside handlers) — per-thread, since async deliveries for
+  /// distinct applications run concurrently.
+  TransactionId current_transaction() const;
+  /// Journals an actuation against the calling thread's in-flight
+  /// transaction.
   void JournalActuation(const std::string& description);
 
   // --- Introspection ------------------------------------------------------
 
-  uint64_t events_delivered() const { return events_delivered_; }
-  size_t queue_depth() const { return queue_.size(); }
+  uint64_t events_delivered() const {
+    return events_delivered_.load(std::memory_order_relaxed);
+  }
+  /// Total undelivered events across all queues.
+  size_t queue_depth() const;
+
+  /// Async mode: the queue key an event routes to — its application, or
+  /// "" (the residual queue) for app-less/wildcard events. Exposed for
+  /// tests and docs.
+  static std::string QueueKeyOf(const Event& event);
 
  private:
+  /// One per-application ordered delivery queue (async mode).
+  struct AppQueue {
+    struct Entry {
+      Event event;
+      /// PublishFront start events gate the other queues until delivered.
+      bool gate = false;
+    };
+    std::deque<Entry> events;
+    /// True while the executor owes this queue a step (submitted,
+    /// running, or in a pacing wait). The bus only Submits on the
+    /// false→true transition, so one queue never has two concurrent
+    /// steps.
+    bool active = false;
+    uint64_t delivered = 0;
+    /// When this queue's last delivery ran (executor clock); per-queue
+    /// pacing is enforced relative to it even across a queue drain.
+    double last_delivery_at = 0;
+  };
+
+  // Serial path.
   void EnsureDispatching();
   void DispatchNext();
-  /// Invokes the logic handler matching the event's type.
-  void Deliver(const Event& event);
+
+  // Async path.
+  void PublishAsync(Event event, bool front);
+  /// Executor callback: runs at most one delivery of queue `key`.
+  QueueStepResult RunQueueStep(const std::string& key);
+  /// Marks every runnable queue active and Submits it (after logic
+  /// attach / gate reopen). Caller must NOT hold mu_.
+  void SubmitRunnableQueues();
+  /// True if `key`'s queue may deliver now (logic attached; not blocked
+  /// behind a start-event gate). Caller holds mu_.
+  bool RunnableLocked(const std::string& key) const;
+
+  /// Invokes the logic handler matching the event's type on `logic`.
+  void Deliver(Orchestrator* logic, const Event& event, double now);
+  /// Delivery bookkeeping shared by both modes: transaction + journal
+  /// and the deferred disposal sweep. In async mode the caller takes the
+  /// in-flight reference (++inflight_[logic]) in the same critical
+  /// section that captures the logic pointer — a concurrently retiring
+  /// logic must see the delivery before it decides it can be destroyed;
+  /// FinishDelivery releases it. Serial mode needs neither lock nor
+  /// count (single-threaded; InHandler() is the in-flight signal).
+  TransactionId BeginDelivery(const std::string& summary, double now);
+  void FinishDelivery(Orchestrator* logic, TransactionId txn, double now);
 
   sim::Simulation* sim_;
   Config config_;
+  std::shared_ptr<DispatchExecutor> executor_;
   Orchestrator* logic_ = nullptr;
 
+  // Serial-mode state (single-threaded; only touched when !async()).
   std::deque<Event> queue_;
-  /// Orchestrators retired mid-delivery; destroyed when the delivery
-  /// unwinds (see DisposeAfterDispatch).
-  std::vector<std::unique_ptr<Orchestrator>> retired_logics_;
   bool dispatching_ = false;
-  uint64_t events_delivered_ = 0;
-  /// When the last delivery ran; pacing is enforced relative to it even
-  /// across a queue drain (meaningful only once events_delivered_ > 0).
+  /// When the last serial delivery ran; pacing is enforced relative to it
+  /// even across a queue drain (meaningful only once events_delivered_
+  /// > 0).
   sim::SimTime last_delivery_at_ = 0;
 
+  // Async-mode state, guarded by mu_ (never held across a handler call).
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, AppQueue> queues_;
+  /// Undelivered PublishFront start events; while > 0 only the residual
+  /// queue delivers.
+  int gate_depth_ = 0;
+
+  // Shared state.
+  std::atomic<uint64_t> events_delivered_{0};
+  /// Async mode: deliveries currently inside a handler, per logic
+  /// object; guarded by mu_. A retired logic is destroyed only when its
+  /// count reaches zero. (Serial mode tracks nothing: at most one
+  /// delivery exists and InHandler() detects it.)
+  std::unordered_map<const Orchestrator*, uint64_t> inflight_;
+  /// Orchestrators retired mid-delivery; destroyed when their last
+  /// delivery unwinds (see DisposeAfterDispatch). Guarded by mu_ in
+  /// async mode.
+  std::vector<std::unique_ptr<Orchestrator>> retired_logics_;
+
   TransactionLog txn_log_;
-  TransactionId current_txn_ = 0;
 };
 
 }  // namespace orcastream::orca

@@ -1,6 +1,7 @@
 #include "orca/orca_service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <utility>
 
@@ -29,6 +30,21 @@ Event MakeStartEvent(std::string summary) {
   return event;
 }
 
+/// Dispatch strategy from the service config: an explicit executor wins
+/// (tests inject a seeded DeterministicExecutor), dispatch_threads > 0
+/// builds the production worker pool, otherwise the bus stays serial.
+EventBus::Config MakeBusConfig(const OrcaService::Config& config) {
+  EventBus::Config bus_config;
+  bus_config.dispatch_interval = config.dispatch_interval;
+  if (config.dispatch_executor != nullptr) {
+    bus_config.executor = config.dispatch_executor;
+  } else if (config.dispatch_threads > 0) {
+    bus_config.executor =
+        std::make_shared<ThreadPoolExecutor>(config.dispatch_threads);
+  }
+  return bus_config;
+}
+
 }  // namespace
 
 OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
@@ -38,13 +54,14 @@ OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
       srm_(srm),
       config_(config),
       scopes_(config.scope_shards),
-      bus_(sim, EventBus::Config{config.dispatch_interval}),
+      bus_(sim, MakeBusConfig(config)),
       pull_task_(sim, config.metric_pull_period,
                  [this] { PullMetricsRound(); }) {}
 
 OrcaService::~OrcaService() { Shutdown(); }
 
 Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
+  CheckNotInWorkerHandler();
   if (logic_ != nullptr) {
     return Status::FailedPrecondition("ORCA logic already loaded");
   }
@@ -53,18 +70,21 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   // Scopes this logic registers (typically from HandleOrcaStart) belong
   // to its generation and are retired when it is replaced or unloaded.
   logic_generation_ = scopes_.BeginGeneration();
-  bus_.set_logic(logic_.get());
   orca_id_ = sam_->RegisterOrca(config_.name, this);
   pull_task_.Start(config_.metric_pull_period);
   // The start signal is the only event that is always in scope (§4.1). It
   // goes to the front so that events retained across a Shutdown → Load
   // cycle are delivered after the new logic has initialized, mirroring
-  // ReplaceLogic.
+  // ReplaceLogic. Published BEFORE the logic is attached: under async
+  // dispatch the front-published start gates the application queues, and
+  // attaching first would let surviving queued events race ahead of it.
   bus_.PublishFront(MakeStartEvent("orcaStart"));
+  bus_.set_logic(logic_.get());
   return Status::OK();
 }
 
 void OrcaService::Shutdown() {
+  CheckNotInWorkerHandler();
   if (logic_ == nullptr) return;
   pull_task_.Stop();
   for (auto& [id, timer] : timers_) {
@@ -73,6 +93,11 @@ void OrcaService::Shutdown() {
   timers_.clear();
   sam_->UnregisterOrca(orca_id_);
   bus_.set_logic(nullptr);
+  // Async dispatch: the retiring orchestrator's in-flight deliveries must
+  // unwind before the service touches it below (no-op in serial mode or
+  // when shutting down from inside a handler — there DisposeAfterDispatch
+  // defers destruction instead).
+  bus_.DrainDeliveries();
   // Retire the outgoing logic's scopes; queued events keep their matched
   // keys and survive for a future Load (§7 reliable delivery). Opening a
   // fresh generation afterwards fences the retired id: scopes registered
@@ -87,8 +112,17 @@ void OrcaService::Shutdown() {
 }
 
 common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
+  CheckNotInWorkerHandler();
   if (logic_ == nullptr) {
     return Status::FailedPrecondition("no ORCA logic loaded to replace");
+  }
+  // Async dispatch: park the queues and let the outgoing orchestrator's
+  // in-flight deliveries unwind before it is detached (no-op in serial
+  // mode or on §7 self-replacement from inside a handler, where
+  // DisposeAfterDispatch defers destruction instead).
+  if (bus_.async()) {
+    bus_.set_logic(nullptr);
+    bus_.DrainDeliveries();
   }
   logic_->orca_ = nullptr;
   // Retire the outgoing orchestrator's scopes atomically: stale subscope
@@ -100,36 +134,47 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
   logic_ = std::move(logic);
   logic_->orca_ = this;
   logic_generation_ = scopes_.BeginGeneration();
-  bus_.set_logic(logic_.get());
-  bus_.DisposeAfterDispatch(std::move(outgoing));
   // The replacement receives a fresh start event BEFORE any surviving
   // queued events so it can initialize its own state; events that never
   // committed under the old logic then flow to it (reliable delivery).
+  // Published before attaching the logic: the front-published start gates
+  // the per-application queues under async dispatch.
   bus_.PublishFront(MakeStartEvent("orcaStart(replacement)"));
+  bus_.set_logic(logic_.get());
+  bus_.DisposeAfterDispatch(std::move(outgoing));
   return Status::OK();
 }
 
 // --- Scope registration ---------------------------------------------------
 
 void OrcaService::RegisterEventScope(OperatorMetricScope scope) {
+  CheckNotInWorkerHandler();
   scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeMetricScope scope) {
+  CheckNotInWorkerHandler();
   scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeFailureScope scope) {
+  CheckNotInWorkerHandler();
   scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(JobEventScope scope) {
+  CheckNotInWorkerHandler();
   scopes_.Register(std::move(scope));
 }
 void OrcaService::RegisterEventScope(UserEventScope scope) {
+  CheckNotInWorkerHandler();
   scopes_.Register(std::move(scope));
 }
 size_t OrcaService::UnregisterEventScope(const std::string& key) {
+  CheckNotInWorkerHandler();
   return scopes_.Unregister(key);
 }
-void OrcaService::ClearEventScopes() { scopes_.Clear(); }
+void OrcaService::ClearEventScopes() {
+  CheckNotInWorkerHandler();
+  scopes_.Clear();
+}
 
 // --- Application registry --------------------------------------------------
 
@@ -151,6 +196,7 @@ OrcaService::AppState* OrcaService::FindAppByJob(JobId job) {
 
 Status OrcaService::RegisterApplication(AppConfig config,
                                         topology::ApplicationModel model) {
+  CheckNotInWorkerHandler();
   if (config.id.empty()) {
     return Status::InvalidArgument("AppConfig id must not be empty");
   }
@@ -179,10 +225,12 @@ Status OrcaService::RegisterApplicationAdl(AppConfig config,
 Status OrcaService::RegisterDependency(const std::string& app,
                                        const std::string& depends_on,
                                        double uptime_seconds) {
+  CheckNotInWorkerHandler();
   return deps_.AddDependency(app, depends_on, uptime_seconds);
 }
 
 Status OrcaService::SubmitApplication(const std::string& config_id) {
+  CheckNotInWorkerHandler();
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -293,6 +341,7 @@ void OrcaService::DeliverJobEvent(const AppState& state, JobId job,
 }
 
 Status OrcaService::CancelApplication(const std::string& config_id) {
+  CheckNotInWorkerHandler();
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -394,6 +443,7 @@ bool OrcaService::IsGcPending(const std::string& config_id) const {
 // --- Direct actuations -----------------------------------------------------
 
 Status OrcaService::CancelJob(JobId job) {
+  CheckNotInWorkerHandler();
   AppState* state = FindAppByJob(job);
   if (state == nullptr) {
     // §3: acting on jobs the ORCA logic did not start is a runtime error.
@@ -408,6 +458,7 @@ Status OrcaService::CancelJob(JobId job) {
 }
 
 Status OrcaService::RestartPe(PeId pe) {
+  CheckNotInWorkerHandler();
   if (!graph_.HostOfPe(pe).ok()) {
     return Status::PermissionDenied(StrFormat(
         "PE %lld does not belong to a job managed by this ORCA service",
@@ -419,6 +470,7 @@ Status OrcaService::RestartPe(PeId pe) {
 }
 
 Status OrcaService::StopPe(PeId pe) {
+  CheckNotInWorkerHandler();
   if (!graph_.HostOfPe(pe).ok()) {
     return Status::PermissionDenied(StrFormat(
         "PE %lld does not belong to a job managed by this ORCA service",
@@ -430,6 +482,7 @@ Status OrcaService::StopPe(PeId pe) {
 }
 
 Status OrcaService::SetExclusiveHostPools(const std::string& config_id) {
+  CheckNotInWorkerHandler();
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -450,11 +503,15 @@ Status OrcaService::SetExclusiveHostPools(const std::string& config_id) {
 }
 
 void OrcaService::SetMetricPullPeriod(double seconds) {
+  CheckNotInWorkerHandler();
   JournalActuation(StrFormat("setMetricPullPeriod(%g)", seconds));
   pull_task_.set_period(seconds);
 }
 
-void OrcaService::PullMetricsNow() { PullMetricsRound(); }
+void OrcaService::PullMetricsNow() {
+  CheckNotInWorkerHandler();
+  PullMetricsRound();
+}
 
 // --- Metric pull -------------------------------------------------------------
 
@@ -512,6 +569,7 @@ void OrcaService::OnPeFailure(const runtime::PeFailureNotice& notice) {
 
 TimerId OrcaService::CreateTimer(double delay_seconds, const std::string& name,
                                  bool recurring, double period_seconds) {
+  CheckNotInWorkerHandler();
   TimerId id(next_timer_id_++);
   TimerState timer;
   timer.id = id;
@@ -545,6 +603,7 @@ void OrcaService::FireTimer(TimerId id) {
 }
 
 void OrcaService::CancelTimer(TimerId timer) {
+  CheckNotInWorkerHandler();
   auto it = timers_.find(timer);
   if (it == timers_.end()) return;
   sim_->Cancel(it->second.event);
@@ -555,6 +614,7 @@ void OrcaService::CancelTimer(TimerId timer) {
 
 void OrcaService::InjectUserEvent(
     const std::string& name, std::map<std::string, std::string> attributes) {
+  CheckNotInWorkerHandler();
   if (logic_ == nullptr) return;
   UserEventContext context;
   context.name = name;
@@ -572,6 +632,18 @@ void OrcaService::InjectUserEvent(
 
 void OrcaService::JournalActuation(const std::string& description) {
   bus_.JournalActuation(description);
+}
+
+void OrcaService::CheckNotInWorkerHandler() const {
+  // Logic running under the wall-clock ThreadPoolExecutor must be
+  // self-contained (see Config::dispatch_threads): a handler on a worker
+  // thread calling back into the service would silently corrupt the
+  // registry/graph/app state it shares with the simulation thread. Fail
+  // loudly instead.
+  assert(!bus_.InWallClockHandler() &&
+         "ORCA service API called from a worker-thread handler; logic "
+         "that calls back into the service needs the serial or "
+         "DeterministicExecutor dispatch mode");
 }
 
 }  // namespace orcastream::orca

@@ -62,6 +62,21 @@ class OrcaService : private runtime::EventSink {
     /// to at least 1). Match results are independent of the setting; it
     /// controls how far SRM snapshot matching can parallelize.
     size_t scope_shards = 4;
+    /// Async event dispatch: 0 (default) keeps the serial one-at-a-time
+    /// delivery queue; N > 0 installs a ThreadPoolExecutor with N workers
+    /// delivering per-application ordered queues concurrently (same-app
+    /// events stay FIFO; `dispatch_interval` paces each queue on the
+    /// wall clock). Handlers then run on worker threads: they must be
+    /// self-contained (own their state, talk to external systems) rather
+    /// than call back into the simulated service, which is not
+    /// thread-safe against the simulation thread. Simulation tests that
+    /// want async *semantics* deterministically should pass a
+    /// DeterministicExecutor via `dispatch_executor` instead.
+    size_t dispatch_threads = 0;
+    /// Overrides the executor regardless of dispatch_threads (tests: a
+    /// seeded DeterministicExecutor makes every async schedule
+    /// reproducible and keeps handlers on the simulation thread).
+    std::shared_ptr<DispatchExecutor> dispatch_executor;
   };
 
   OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm,
@@ -241,6 +256,13 @@ class OrcaService : private runtime::EventSink {
 
   /// Journals an actuation against the in-flight transaction.
   void JournalActuation(const std::string& description);
+
+  /// Debug guard for Config::dispatch_threads misuse: service entry
+  /// points must not be reached from a worker-thread handler (they would
+  /// race the simulation thread over the registry/graph/app state).
+  /// Handlers on the serial and DeterministicExecutor paths run on the
+  /// sim thread and pass. Asserts in Debug builds, no cost in Release.
+  void CheckNotInWorkerHandler() const;
 
   void PullMetricsRound();
   /// runtime::EventSink — SAM pushes PE failure notifications for managed

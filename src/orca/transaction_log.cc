@@ -4,6 +4,7 @@ namespace orcastream::orca {
 
 TransactionId TransactionLog::Begin(const std::string& event_summary,
                                     sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   TransactionId id = next_id_++;
   Record record;
   record.id = id;
@@ -15,12 +16,14 @@ TransactionId TransactionLog::Begin(const std::string& event_summary,
 
 void TransactionLog::RecordActuation(TransactionId txn,
                                      const std::string& description) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(txn);
   if (it == records_.end()) return;
   it->second.actuations.push_back(description);
 }
 
 void TransactionLog::Commit(TransactionId txn, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(txn);
   if (it == records_.end()) return;
   it->second.state = State::kCommitted;
@@ -29,6 +32,7 @@ void TransactionLog::Commit(TransactionId txn, sim::SimTime now) {
 }
 
 void TransactionLog::Abort(TransactionId txn, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(txn);
   if (it == records_.end()) return;
   it->second.state = State::kAborted;
@@ -36,11 +40,13 @@ void TransactionLog::Abort(TransactionId txn, sim::SimTime now) {
 }
 
 const TransactionLog::Record* TransactionLog::Find(TransactionId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(txn);
   return it == records_.end() ? nullptr : &it->second;
 }
 
 std::vector<const TransactionLog::Record*> TransactionLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Record*> out;
   for (const auto& [id, record] : records_) out.push_back(&record);
   return out;
@@ -48,11 +54,22 @@ std::vector<const TransactionLog::Record*> TransactionLog::records() const {
 
 std::vector<const TransactionLog::Record*> TransactionLog::Uncommitted()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Record*> out;
   for (const auto& [id, record] : records_) {
     if (record.state != State::kCommitted) out.push_back(&record);
   }
   return out;
+}
+
+int64_t TransactionLog::committed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+size_t TransactionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
 }
 
 }  // namespace orcastream::orca

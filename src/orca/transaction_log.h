@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,13 @@ using TransactionId = int64_t;
 /// the uncommitted transaction's event is redelivered to the replacement
 /// logic, and the journal shows which actuations the interrupted handler
 /// had already performed so replay can skip or compensate them.
+///
+/// Thread-safe: under the EventBus's async dispatch mode, deliveries for
+/// distinct applications run concurrently on a worker pool, so
+/// begin/append/ack are serialized internally. Record pointers returned
+/// by the accessors stay valid for the log's lifetime (records are never
+/// erased); a record's contents are stable once its transaction
+/// committed or aborted.
 class TransactionLog {
  public:
   enum class State { kPending, kCommitted, kAborted };
@@ -57,10 +65,13 @@ class TransactionLog {
   /// Transactions that began but never committed — the replay set.
   std::vector<const Record*> Uncommitted() const;
 
-  int64_t committed_count() const { return committed_; }
-  size_t size() const { return records_.size(); }
+  int64_t committed_count() const;
+  size_t size() const;
 
  private:
+  /// Serializes every mutation and read; never held while running
+  /// foreign code.
+  mutable std::mutex mu_;
   TransactionId next_id_ = 1;
   int64_t committed_ = 0;
   std::map<TransactionId, Record> records_;

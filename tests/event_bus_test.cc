@@ -92,9 +92,15 @@ TEST(EventBusTest, EventsPublishedWhileHandlingAreQueuedFifo) {
             (std::vector<std::string>{"e0", "e1", "e2", "e0.child"}));
 }
 
+EventBus::Config PacedConfig(double interval) {
+  EventBus::Config config;
+  config.dispatch_interval = interval;
+  return config;
+}
+
 TEST(EventBusTest, DispatchIntervalPacesQueuedDeliveries) {
   sim::Simulation sim;
-  EventBus bus(&sim, EventBus::Config{0.5});
+  EventBus bus(&sim, PacedConfig(0.5));
   RecordingLogic logic(&sim, &bus);
   bus.set_logic(&logic);
   for (int i = 0; i < 4; ++i) {
@@ -112,7 +118,7 @@ TEST(EventBusTest, DispatchIntervalPacesQueuedDeliveries) {
 
 TEST(EventBusTest, PacingEnforcedAcrossQueueDrain) {
   sim::Simulation sim;
-  EventBus bus(&sim, EventBus::Config{0.5});
+  EventBus bus(&sim, PacedConfig(0.5));
   RecordingLogic logic(&sim, &bus);
   bus.set_logic(&logic);
   bus.Publish(UserEvent("e0"));
@@ -136,7 +142,7 @@ TEST(EventBusTest, PacingEnforcedAcrossQueueDrain) {
 
 TEST(EventBusTest, PacingAppliesWhenLogicReattaches) {
   sim::Simulation sim;
-  EventBus bus(&sim, EventBus::Config{2.0});
+  EventBus bus(&sim, PacedConfig(2.0));
   RecordingLogic logic(&sim, &bus);
   bus.set_logic(&logic);
   bus.Publish(UserEvent("e0"));
