@@ -24,10 +24,12 @@ namespace {
 
 class CountingOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {
-    orca()->RegisterEventScope(orca::JobEventScope("jobs"));
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
+    orca.RegisterEventScope(orca::JobEventScope("jobs"));
   }
-  void HandleJobSubmissionEvent(const orca::JobEventContext& context,
+  void HandleJobSubmissionEvent(orca::OrcaContext&,
+                                const orca::JobEventContext& context,
                                 const std::vector<std::string>&) override {
     ++submissions;
     last_at = context.at;

@@ -32,20 +32,22 @@ namespace {
 
 class CountingOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
     orca::UserEventScope scope("user");
-    orca()->RegisterEventScope(scope);
+    orca.RegisterEventScope(scope);
     for (int i = 0; i < extra_metric_scopes; ++i) {
       orca::OperatorMetricScope metrics("m" + std::to_string(i));
       metrics.AddOperatorMetric("metric" + std::to_string(i));
-      orca()->RegisterEventScope(metrics);
+      orca.RegisterEventScope(metrics);
     }
   }
-  void HandleUserEvent(const orca::UserEventContext&,
+  void HandleUserEvent(orca::OrcaContext&, const orca::UserEventContext&,
                        const std::vector<std::string>&) override {
     ++delivered;
   }
-  void HandleOperatorMetricEvent(const orca::OperatorMetricContext&,
+  void HandleOperatorMetricEvent(orca::OrcaContext&,
+                                 const orca::OperatorMetricContext&,
                                  const std::vector<std::string>&) override {
     ++delivered;
   }
@@ -144,8 +146,9 @@ void BM_SlowHandlerQueueing(benchmark::State& state) {
 void BM_EventBusRawDispatch(benchmark::State& state) {
   class NullLogic : public orca::Orchestrator {
    public:
-    void HandleOrcaStart(const orca::OrcaStartContext&) override {}
-    void HandleUserEvent(const orca::UserEventContext&,
+    void HandleOrcaStart(orca::OrcaContext&,
+                         const orca::OrcaStartContext&) override {}
+    void HandleUserEvent(orca::OrcaContext&, const orca::UserEventContext&,
                          const std::vector<std::string>&) override {
       ++delivered;
     }
@@ -183,8 +186,9 @@ constexpr std::chrono::microseconds kHandlerLatency(200);
 
 class BlockingLogic : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {}
-  void HandlePeMetricEvent(const orca::PeMetricContext&,
+  void HandleOrcaStart(orca::OrcaContext&,
+                       const orca::OrcaStartContext&) override {}
+  void HandlePeMetricEvent(orca::OrcaContext&, const orca::PeMetricContext&,
                            const std::vector<std::string>&) override {
     std::this_thread::sleep_for(kHandlerLatency);
     delivered.fetch_add(1, std::memory_order_relaxed);
@@ -252,12 +256,96 @@ void BM_MultiAppDeliveryAsync(benchmark::State& state) {
   state.SetLabel("delivered=" + std::to_string(logic.delivered.load()));
 }
 
+// --- Actuating handlers: staged OrcaContext vs immediate ---------------------
+
+/// Handler for the actuating variant: the same blocking latency, plus two
+/// OrcaContext actuations per event — immediate against the service on
+/// the serial path, staged into the per-delivery batch (and applied by
+/// ApplyStagedActuations on the publishing thread) on the pool path. The
+/// ≥2× async win must survive the staging overhead.
+class BlockingActuatingLogic : public orca::Orchestrator {
+ public:
+  void HandleOrcaStart(orca::OrcaContext&,
+                       const orca::OrcaStartContext&) override {}
+  void HandlePeMetricEvent(orca::OrcaContext& orca,
+                           const orca::PeMetricContext&,
+                           const std::vector<std::string>&) override {
+    std::this_thread::sleep_for(kHandlerLatency);
+    orca.SetMetricPullPeriod(15.0);
+    orca.UnregisterEventScope("missing-scope");
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<int64_t> delivered{0};
+};
+
+/// A minimal service for the OrcaContext to actuate against; the bench
+/// bus binds to it exactly as the service wires its own bus.
+struct ActuatingFixture {
+  ActuatingFixture() : srm(&sim) {
+    srm.AddHost("host0");
+    ops::RegisterStandardOperators(&factory);
+    sam = std::make_unique<runtime::Sam>(&sim, &srm, &factory);
+    service = std::make_unique<orca::OrcaService>(&sim, sam.get(), &srm);
+  }
+  sim::Simulation sim;
+  runtime::Srm srm;
+  runtime::OperatorFactory factory;
+  std::unique_ptr<runtime::Sam> sam;
+  std::unique_ptr<orca::OrcaService> service;
+};
+
+void BM_MultiAppDeliveryActuatingSerial(benchmark::State& state) {
+  int64_t apps = state.range(0);
+  ActuatingFixture fixture;
+  orca::EventBus bus(&fixture.sim, orca::EventBus::Config{});
+  bus.BindService(fixture.service.get());
+  BlockingActuatingLogic logic;
+  bus.set_logic(&logic);
+  for (auto _ : state) {
+    for (int64_t value = 0; value < kEventsPerApp; ++value) {
+      for (int64_t app = 0; app < apps; ++app) {
+        bus.Publish(AppMetricEvent("app" + std::to_string(app), value));
+      }
+    }
+    fixture.sim.RunFor(1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * apps * kEventsPerApp);
+  state.SetLabel("delivered=" + std::to_string(logic.delivered.load()));
+}
+
+void BM_MultiAppDeliveryActuatingAsync(benchmark::State& state) {
+  int64_t apps = state.range(0);
+  ActuatingFixture fixture;
+  auto pool = std::make_shared<orca::ThreadPoolExecutor>(8);
+  orca::EventBus::Config config;
+  config.executor = pool;
+  orca::EventBus bus(&fixture.sim, config);
+  bus.BindService(fixture.service.get());
+  BlockingActuatingLogic logic;
+  bus.set_logic(&logic);
+  for (auto _ : state) {
+    for (int64_t value = 0; value < kEventsPerApp; ++value) {
+      for (int64_t app = 0; app < apps; ++app) {
+        bus.Publish(AppMetricEvent("app" + std::to_string(app), value));
+      }
+    }
+    pool->Drain();
+    // The simulation thread's share of the staged path: marshal every
+    // batch the workers committed.
+    fixture.service->ApplyStagedActuations();
+  }
+  state.SetItemsProcessed(state.iterations() * apps * kEventsPerApp);
+  state.SetLabel("delivered=" + std::to_string(logic.delivered.load()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_UserEventBurstDispatch)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK(BM_EventBusRawDispatch)->Arg(100)->Arg(1000);
 BENCHMARK(BM_MultiAppDeliverySerial)->Arg(1)->Arg(8)->UseRealTime();
 BENCHMARK(BM_MultiAppDeliveryAsync)->Arg(1)->Arg(8)->UseRealTime();
+BENCHMARK(BM_MultiAppDeliveryActuatingSerial)->Arg(8)->UseRealTime();
+BENCHMARK(BM_MultiAppDeliveryActuatingAsync)->Arg(8)->UseRealTime();
 BENCHMARK(BM_MetricRoundVsScopeCount)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 BENCHMARK(BM_SlowHandlerQueueing)->Arg(1)->Arg(10)->Arg(100);
 

@@ -27,16 +27,19 @@ namespace {
 
 class RecordingOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {
-    orca()->RegisterEventScope(orca::JobEventScope("jobs"));
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
+    orca.RegisterEventScope(orca::JobEventScope("jobs"));
   }
-  void HandleJobSubmissionEvent(const orca::JobEventContext& context,
+  void HandleJobSubmissionEvent(orca::OrcaContext&,
+                                const orca::JobEventContext& context,
                                 const std::vector<std::string>&) override {
     std::printf("  t=%6.1f  submitted  %-6s (job %lld)\n", context.at,
                 context.config_id.c_str(),
                 static_cast<long long>(context.job.value()));
   }
-  void HandleJobCancellationEvent(const orca::JobEventContext& context,
+  void HandleJobCancellationEvent(orca::OrcaContext&,
+                                  const orca::JobEventContext& context,
                                   const std::vector<std::string>&) override {
     std::printf("  t=%6.1f  cancelled  %-6s\n", context.at,
                 context.config_id.c_str());

@@ -27,23 +27,26 @@ namespace {
 
 class BroadOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
     orca::OperatorMetricScope metrics("all");
     metrics.SetPortScope(orca::OperatorMetricScope::PortScope::kBoth);
-    orca()->RegisterEventScope(metrics);
+    orca.RegisterEventScope(metrics);
     orca::PeFailureScope failures("failures");
-    orca()->RegisterEventScope(failures);
-    if (pull_period > 0) orca()->SetMetricPullPeriod(pull_period);
-    orca()->SubmitApplication("app");
+    orca.RegisterEventScope(failures);
+    if (pull_period > 0) orca.SetMetricPullPeriod(pull_period);
+    orca.SubmitApplication("app");
   }
-  void HandleOperatorMetricEvent(const orca::OperatorMetricContext&,
+  void HandleOperatorMetricEvent(orca::OrcaContext&,
+                                 const orca::OperatorMetricContext&,
                                  const std::vector<std::string>&) override {
     ++metric_events;
   }
-  void HandlePeFailureEvent(const orca::PeFailureContext& context,
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
                             const std::vector<std::string>&) override {
-    failure_handled_at = orca()->Now();
-    orca()->RestartPe(context.pe);
+    failure_handled_at = orca.Now();
+    orca.RestartPe(context.pe);
   }
   double pull_period = 0;
   int64_t metric_events = 0;

@@ -112,10 +112,10 @@ int main() {
     bool switched = false;
   };
   auto state = std::make_shared<SwitchState>();
-  rules->OnStart([](orca::OrcaService* orca) {
-    orca->SubmitApplication("fast");
+  rules->OnStart([](orca::OrcaContext& orca) {
+    orca.SubmitApplication("fast");
     std::printf("[%6.1fs] deployed algorithm A (fast, cheap)\n",
-                orca->Now());
+                orca.Now());
   });
   orca::OperatorMetricScope accuracy("acc");
   accuracy.AddOperatorNameFilter("scorer");
@@ -123,7 +123,7 @@ int main() {
   accuracy.AddOperatorMetric("nScored");
   rules->WhenMetric(
       accuracy, nullptr,
-      [state](orca::OrcaService* orca,
+      [state](orca::OrcaContext& orca,
               const orca::OperatorMetricContext& context) {
         if (state->switched) return;
         if (context.metric == "nCorrect") {
@@ -141,14 +141,14 @@ int main() {
         if (d_scored < 20) return;
         double acc = static_cast<double>(d_correct) /
                      static_cast<double>(d_scored);
-        std::printf("[%6.1fs] epoch %lld accuracy %.2f\n", orca->Now(),
+        std::printf("[%6.1fs] epoch %lld accuracy %.2f\n", orca.Now(),
                     static_cast<long long>(context.epoch), acc);
         if (acc < 0.70) {
           std::printf("[%6.1fs] low accuracy detected -> switching to "
                       "algorithm B (accurate, 3x cost)\n",
-                      orca->Now());
-          orca->CancelApplication("fast");
-          orca->SubmitApplication("accurate");
+                      orca.Now());
+          orca.CancelApplication("fast");
+          orca.SubmitApplication("accurate");
           state->switched = true;
         }
       });

@@ -25,23 +25,25 @@ namespace {
 /// throughput metric events.
 class QuickstartOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext& context) override {
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override {
     std::printf("[%6.1fs] orchestrator started\n", context.at);
 
     orca::OperatorMetricScope metrics("throughput");
     metrics.AddOperatorNameFilter("source");
     metrics.AddOperatorMetric(orca::BuiltinMetric::kNumTuplesSubmitted);
-    orca()->RegisterEventScope(metrics);
+    orca.RegisterEventScope(metrics);
 
     orca::PeFailureScope failures("failures");
     failures.AddApplicationFilter("QuickstartApp");
-    orca()->RegisterEventScope(failures);
+    orca.RegisterEventScope(failures);
 
-    orca()->SetMetricPullPeriod(15.0);
-    orca()->SubmitApplication("quickstart");
+    orca.SetMetricPullPeriod(15.0);
+    orca.SubmitApplication("quickstart");
   }
 
-  void HandleOperatorMetricEvent(const orca::OperatorMetricContext& context,
+  void HandleOperatorMetricEvent(orca::OrcaContext&,
+                                 const orca::OperatorMetricContext& context,
                                  const std::vector<std::string>&) override {
     std::printf("[%6.1fs] epoch %lld: %s.%s = %lld\n", context.collected_at,
                 static_cast<long long>(context.epoch),
@@ -49,12 +51,13 @@ class QuickstartOrca : public orca::Orchestrator {
                 static_cast<long long>(context.value));
   }
 
-  void HandlePeFailureEvent(const orca::PeFailureContext& context,
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
                             const std::vector<std::string>&) override {
     std::printf("[%6.1fs] PE %lld failed (%s) — restarting\n",
-                orca()->Now(), static_cast<long long>(context.pe.value()),
+                orca.Now(), static_cast<long long>(context.pe.value()),
                 context.reason.c_str());
-    orca()->RestartPe(context.pe);
+    orca.RestartPe(context.pe);
   }
 };
 

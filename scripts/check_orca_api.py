@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate against the retired `orca()` service backdoor creeping back.
+
+PR 5 replaced the protected `Orchestrator::orca()` raw service pointer
+with the per-delivery OrcaContext capability object (src/orca/
+orca_context.h): handlers receive the context by reference, its calls
+are immediate on the serial/DeterministicExecutor paths and staged on
+ThreadPoolExecutor worker threads. A raw `orca()->...` call would bypass
+that routing and race the simulation thread under async dispatch, so no
+such call site may exist anywhere in the tree — there is deliberately no
+deprecation shim.
+
+Scans every tracked file under src/, tests/, bench/, examples/, and
+docs/ (plus root-level markdown) for `orca()->` and exits non-zero
+listing the offenders.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BACKDOOR = re.compile(r"orca\(\)\s*->")
+
+SCANNED_PREFIXES = ("src/", "tests/", "bench/", "examples/", "docs/")
+
+
+def tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
+    ).stdout
+    for line in out.splitlines():
+        # ISSUE.md / CHANGES.md are the driver's task log; they describe
+        # this gate and the retirement itself.
+        if line in ("ISSUE.md", "CHANGES.md"):
+            continue
+        if line.startswith(SCANNED_PREFIXES) or (
+            "/" not in line and line.endswith(".md")
+        ):
+            yield REPO_ROOT / line
+
+
+def main():
+    offenders = []
+    for path in tracked_files():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        # Search the whole text, not per line: `orca()\n    ->Call()` is
+        # the standard continuation style at the column limit and must
+        # not slip past the gate.
+        for match in BACKDOOR.finditer(text):
+            number = text.count("\n", 0, match.start()) + 1
+            line = text.splitlines()[number - 1]
+            offenders.append(f"{path.relative_to(REPO_ROOT)}:{number}: "
+                             f"{line.strip()}")
+    if offenders:
+        print(f"{len(offenders)} retired `orca()->` call site(s) — use the "
+              "handler's OrcaContext instead:", file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print("orca() backdoor check OK (no call sites)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,12 @@
 #include "apps/sentiment_orca.h"
 
 #include "common/logging.h"
-#include "orca/orca_service.h"
+#include "orca/orca_context.h"
 
 namespace orcastream::apps {
 
-void SentimentOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
+void SentimentOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                    const orca::OrcaStartContext&) {
   // Scope: the two custom metrics maintained by the correlator (§5.1
   // "during the execution of the orchestrator start callback, we add to
   // the scope the two custom operator metrics").
@@ -14,16 +15,16 @@ void SentimentOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
   scope.AddOperatorNameFilter(SentimentApp::kCorrelatorName);
   scope.AddOperatorMetric(SentimentApp::kKnownMetric);
   scope.AddOperatorMetric(SentimentApp::kUnknownMetric);
-  orca()->RegisterEventScope(scope);
-  orca()->SetMetricPullPeriod(config_.metric_pull_period);
-  common::Status status = orca()->SubmitApplication(config_.app_config_id);
+  orca.RegisterEventScope(scope);
+  orca.SetMetricPullPeriod(config_.metric_pull_period);
+  common::Status status = orca.SubmitApplication(config_.app_config_id);
   if (!status.ok()) {
     ORCA_LOG(kError) << "sentiment app submission failed: " << status;
   }
 }
 
 void SentimentOrca::HandleOperatorMetricEvent(
-    const orca::OperatorMetricContext& context,
+    orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
     const std::vector<std::string>&) {
   if (context.metric == SentimentApp::kKnownMetric) {
     known_epoch_ = context.epoch;
@@ -38,11 +39,11 @@ void SentimentOrca::HandleOperatorMetricEvent(
   // Epoch check: both metrics must come from the same SRM query round
   // before they can be compared (§4.2's logical clock).
   if (known_epoch_ == unknown_epoch_) {
-    MaybeActuate();
+    MaybeActuate(orca);
   }
 }
 
-void SentimentOrca::MaybeActuate() {
+void SentimentOrca::MaybeActuate(orca::OrcaContext& orca) {
   // Per-round growth of the two counters; the cumulative totals would
   // dilute a burst, the deltas track the live distribution.
   int64_t known_delta = known_value_ - prev_known_;
@@ -59,9 +60,9 @@ void SentimentOrca::MaybeActuate() {
                                       handles_.model->version()});
 
   if (ratio > config_.threshold &&
-      orca()->Now() - last_trigger_ >= config_.retrigger_guard) {
-    last_trigger_ = orca()->Now();
-    trigger_times_.push_back(orca()->Now());
+      orca.Now() - last_trigger_ >= config_.retrigger_guard) {
+    last_trigger_ = orca.Now();
+    trigger_times_.push_back(orca.Now());
     ORCA_LOG(kInfo) << "unknown/known ratio " << ratio
                     << " crossed threshold; submitting Hadoop job";
     auto model = handles_.model;

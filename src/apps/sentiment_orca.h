@@ -48,9 +48,10 @@ class SentimentOrca : public orca::Orchestrator {
         hadoop_(hadoop),
         handles_(std::move(handles)) {}
 
-  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
   void HandleOperatorMetricEvent(
-      const orca::OperatorMetricContext& context,
+      orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
       const std::vector<std::string>& scopes) override;
 
   const std::vector<Measurement>& measurements() const {
@@ -61,7 +62,7 @@ class SentimentOrca : public orca::Orchestrator {
   }
 
  private:
-  void MaybeActuate();
+  void MaybeActuate(orca::OrcaContext& orca);
 
   Config config_;
   HadoopSim* hadoop_;

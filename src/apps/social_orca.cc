@@ -4,26 +4,27 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
-#include "orca/orca_service.h"
+#include "orca/orca_context.h"
 
 namespace orcastream::apps {
 
 using common::StartsWith;
 
-void SocialOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
+void SocialOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                 const orca::OrcaStartContext&) {
   // §5.3: establish C2 → C1 dependencies with uptime requirement zero
   // (none of the C1 applications build internal state), then submit all
   // C2 applications — C1 readers come up automatically.
   for (const auto& c2 : config_.c2_ids) {
     for (const auto& c1 : config_.c1_ids) {
-      common::Status status = orca()->RegisterDependency(c2, c1, 0);
+      common::Status status = orca.RegisterDependency(c2, c1, 0);
       if (!status.ok()) {
         ORCA_LOG(kError) << "dependency registration failed: " << status;
       }
     }
   }
   for (const auto& c2 : config_.c2_ids) {
-    common::Status status = orca()->SubmitApplication(c2);
+    common::Status status = orca.SubmitApplication(c2);
     if (!status.ok()) {
       ORCA_LOG(kError) << "C2 submission failed: " << status;
     }
@@ -36,7 +37,7 @@ void SocialOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
   for (const auto& attr : SocialApps::Attributes()) {
     c2_metrics.AddOperatorMetric("nProfiles_" + attr);
   }
-  orca()->RegisterEventScope(c2_metrics);
+  orca.RegisterEventScope(c2_metrics);
 
   // Scope 2: the final punctuation built-in metric of C3 sink operators
   // (§5.3 uses it to detect that the application processed all tuples).
@@ -46,13 +47,13 @@ void SocialOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
   for (const auto& [attr, app_name] : config_.c3_app_names) {
     c3_final.AddApplicationFilter(app_name);
   }
-  orca()->RegisterEventScope(c3_final);
+  orca.RegisterEventScope(c3_final);
 
-  orca()->SetMetricPullPeriod(config_.metric_pull_period);
+  orca.SetMetricPullPeriod(config_.metric_pull_period);
 }
 
 void SocialOrca::HandleOperatorMetricEvent(
-    const orca::OperatorMetricContext& context,
+    orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
     const std::vector<std::string>& scopes) {
   bool is_final_scope = false;
   bool is_profile_scope = false;
@@ -66,11 +67,11 @@ void SocialOrca::HandleOperatorMetricEvent(
     for (const auto& [attr, app_name] : config_.c3_app_names) {
       if (context.application != app_name) continue;
       const std::string& config_id = config_.c3_ids.at(attr);
-      if (!orca()->IsRunning(config_id)) return;
-      common::Status status = orca()->CancelApplication(config_id);
+      if (!orca.IsRunning(config_id)) return;
+      common::Status status = orca.CancelApplication(config_id);
       if (status.ok()) {
         events_.push_back(
-            CompositionEvent{orca()->Now(), "contract", attr});
+            CompositionEvent{orca.Now(), "contract", attr});
         ORCA_LOG(kInfo) << "C3 for '" << attr << "' finished; cancelled";
       }
       return;
@@ -83,13 +84,13 @@ void SocialOrca::HandleOperatorMetricEvent(
   std::string attribute = context.metric.substr(strlen("nProfiles_"));
   // Identify which C2 config this application corresponds to.
   for (const auto& c2 : config_.c2_ids) {
-    auto job = orca()->RunningJob(c2);
+    auto job = orca.RunningJob(c2);
     if (job.ok() && job.value() == context.job) {
       counts_[attribute][c2] = context.value;
       break;
     }
   }
-  EvaluateExpansion(attribute);
+  EvaluateExpansion(orca, attribute);
 }
 
 int64_t SocialOrca::AggregateCount(const std::string& attribute) const {
@@ -100,11 +101,12 @@ int64_t SocialOrca::AggregateCount(const std::string& attribute) const {
   return total;
 }
 
-void SocialOrca::EvaluateExpansion(const std::string& attribute) {
+void SocialOrca::EvaluateExpansion(orca::OrcaContext& orca,
+                                   const std::string& attribute) {
   auto c3_it = config_.c3_ids.find(attribute);
   if (c3_it == config_.c3_ids.end()) return;
   const std::string& config_id = c3_it->second;
-  if (orca()->IsRunning(config_id)) return;  // one aggregator at a time
+  if (orca.IsRunning(config_id)) return;  // one aggregator at a time
 
   // §5.3: the number of *new* available profiles since the last C3
   // submission for this attribute (the aggregate may contain duplicates;
@@ -113,14 +115,14 @@ void SocialOrca::EvaluateExpansion(const std::string& attribute) {
   int64_t since_last = total - last_launch_counts_[attribute];
   if (since_last < config_.profile_threshold) return;
 
-  common::Status status = orca()->SubmitApplication(config_id);
+  common::Status status = orca.SubmitApplication(config_id);
   if (!status.ok()) {
     ORCA_LOG(kError) << "C3 submission for '" << attribute
                      << "' failed: " << status;
     return;
   }
   last_launch_counts_[attribute] = total;
-  events_.push_back(CompositionEvent{orca()->Now(), "expand", attribute});
+  events_.push_back(CompositionEvent{orca.Now(), "expand", attribute});
   ORCA_LOG(kInfo) << "spawned C3 aggregator for '" << attribute << "' ("
                   << since_last << " new profiles)";
 }

@@ -54,9 +54,10 @@ class SocialOrca : public orca::Orchestrator {
 
   explicit SocialOrca(Config config) : config_(std::move(config)) {}
 
-  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
   void HandleOperatorMetricEvent(
-      const orca::OperatorMetricContext& context,
+      orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
       const std::vector<std::string>& scopes) override;
 
   const std::vector<CompositionEvent>& events() const { return events_; }
@@ -64,7 +65,8 @@ class SocialOrca : public orca::Orchestrator {
   int64_t AggregateCount(const std::string& attribute) const;
 
  private:
-  void EvaluateExpansion(const std::string& attribute);
+  void EvaluateExpansion(orca::OrcaContext& orca,
+                         const std::string& attribute);
 
   Config config_;
   /// attribute → (c2 config id → latest metric value).

@@ -1,25 +1,26 @@
 #include "apps/trend_orca.h"
 
 #include "common/logging.h"
-#include "orca/orca_service.h"
+#include "orca/orca_context.h"
 
 namespace orcastream::apps {
 
-void TrendOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
+void TrendOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                const orca::OrcaStartContext&) {
   // §5.2: set the application to execute in an exclusive host pool and
   // submit three copies; then register for PE failure events.
   for (const auto& replica : config_.replica_ids) {
-    common::Status status = orca()->SetExclusiveHostPools(replica);
+    common::Status status = orca.SetExclusiveHostPools(replica);
     if (!status.ok()) {
       ORCA_LOG(kError) << "exclusive pool config failed for " << replica
                        << ": " << status;
     }
-    status = orca()->SubmitApplication(replica);
+    status = orca.SubmitApplication(replica);
     if (!status.ok()) {
       ORCA_LOG(kError) << "replica submission failed for " << replica << ": "
                        << status;
     }
-    healthy_since_[replica] = orca()->Now();
+    healthy_since_[replica] = orca.Now();
   }
   Promote(config_.replica_ids.empty() ? "" : config_.replica_ids.front());
 
@@ -29,7 +30,7 @@ void TrendOrca::HandleOrcaStart(const orca::OrcaStartContext&) {
   for (const auto& replica : config_.replica_ids) {
     scope.AddApplicationFilter(config_.app_name_prefix + "_" + replica);
   }
-  orca()->RegisterEventScope(scope);
+  orca.RegisterEventScope(scope);
 }
 
 void TrendOrca::Promote(const std::string& replica) {
@@ -55,21 +56,22 @@ std::string TrendOrca::OldestHealthyReplica(
   return best;
 }
 
-void TrendOrca::HandlePeFailureEvent(const orca::PeFailureContext& context,
+void TrendOrca::HandlePeFailureEvent(orca::OrcaContext& orca,
+                                     const orca::PeFailureContext& context,
                                      const std::vector<std::string>&) {
   // Identify the replica whose job crashed.
   std::string failed;
   for (const auto& replica : config_.replica_ids) {
-    auto job = orca()->RunningJob(replica);
+    auto job = orca.RunningJob(replica);
     if (job.ok() && job.value() == context.job) failed = replica;
   }
   if (failed.empty()) return;
 
   // The replica's history restarts now: its windows must refill.
-  healthy_since_[failed] = orca()->Now();
+  healthy_since_[failed] = orca.Now();
 
   FailoverEvent event;
-  event.at = orca()->Now();
+  event.at = orca.Now();
   event.failed_replica = failed;
   event.failed_pe = context.pe;
   event.active_failed = failed == active_;
@@ -87,7 +89,7 @@ void TrendOrca::HandlePeFailureEvent(const orca::PeFailureContext& context,
   failovers_.push_back(event);
 
   // Restart the failed PE regardless of the replica's role.
-  common::Status status = orca()->RestartPe(context.pe);
+  common::Status status = orca.RestartPe(context.pe);
   if (!status.ok()) {
     ORCA_LOG(kError) << "failed to restart PE " << context.pe << ": "
                      << status;

@@ -40,8 +40,10 @@ class TrendOrca : public orca::Orchestrator {
 
   explicit TrendOrca(Config config) : config_(std::move(config)) {}
 
-  void HandleOrcaStart(const orca::OrcaStartContext& context) override;
-  void HandlePeFailureEvent(const orca::PeFailureContext& context,
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
                             const std::vector<std::string>& scopes) override;
 
   /// The status board: replica id → "active" / "backup" (the §5.2 status

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "orca/orca_context.h"
 #include "orca/sharded_scope_registry.h"
 
 namespace orcastream::orca {
@@ -237,6 +238,7 @@ void EventBus::Publish(Event event) {
   // Events are delivered one at a time; events occurring while a handler
   // runs are queued in arrival order (§4.2).
   queue_.push_back(std::move(event));
+  queue_size_.fetch_add(1, std::memory_order_relaxed);
   EnsureDispatching();
 }
 
@@ -246,6 +248,7 @@ void EventBus::PublishFront(Event event) {
     return;
   }
   queue_.push_front(std::move(event));
+  queue_size_.fetch_add(1, std::memory_order_relaxed);
   EnsureDispatching();
 }
 
@@ -275,6 +278,7 @@ void EventBus::PublishAsync(Event event, bool front) {
     } else {
       queue.events.push_back(std::move(entry));
     }
+    queue_size_.fetch_add(1, std::memory_order_relaxed);
     if (!queue.active && RunnableLocked(key)) {
       queue.active = true;
       submit = true;
@@ -339,6 +343,7 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
     gate = queue.events.front().gate;
     event = std::move(queue.events.front().event);
     queue.events.pop_front();
+    queue_size_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   double now = executor_->NowSeconds();
@@ -404,6 +409,11 @@ void EventBus::JournalActuation(const std::string& description) {
   if (txn != 0) txn_log_.RecordActuation(txn, description);
 }
 
+void EventBus::JournalActuationFor(TransactionId txn,
+                                   const std::string& description) {
+  if (txn != 0) txn_log_.RecordActuation(txn, description);
+}
+
 // --- Delivery bookkeeping (both modes) --------------------------------------
 
 TransactionId EventBus::BeginDelivery(const std::string& summary,
@@ -448,14 +458,6 @@ void EventBus::FinishDelivery(Orchestrator* logic, TransactionId txn,
   // Destroyed outside the lock (destructors are foreign code).
 }
 
-size_t EventBus::queue_depth() const {
-  if (!async()) return queue_.size();
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t total = 0;
-  for (const auto& [key, queue] : queues_) total += queue.events.size();
-  return total;
-}
-
 // --- Serial dispatch --------------------------------------------------------
 
 void EventBus::EnsureDispatching() {
@@ -480,6 +482,7 @@ void EventBus::DispatchNext() {
   }
   Event event = std::move(queue_.front());
   queue_.pop_front();
+  queue_size_.fetch_sub(1, std::memory_order_relaxed);
   Orchestrator* logic = logic_;
   TransactionId txn = BeginDelivery(event.summary, sim_->Now());
   Deliver(logic, event, sim_->Now());
@@ -493,6 +496,14 @@ void EventBus::DispatchNext() {
 }
 
 void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
+  // The per-delivery capability object (§3): immediate on the simulation
+  // thread (serial / DeterministicExecutor — byte-identical semantics to
+  // calling the service directly), staged on wall-clock worker threads
+  // (actuations batch up and apply in call order on the sim thread at
+  // commit; reads come from the snapshot pinned here, at dispatch).
+  OrcaContext orca(service_, this,
+                   WallClockAsync() ? OrcaContext::Mode::kStaged
+                                    : OrcaContext::Mode::kImmediate);
   switch (event.type) {
     case Event::Type::kOrcaStart: {
       // The start timestamp is when the logic actually starts running,
@@ -502,37 +513,44 @@ void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
       // keeps the publication-time stamp from PublishAsync instead.
       OrcaStartContext context = std::get<OrcaStartContext>(event.context);
       if (executor_ == nullptr || executor_->UsesSimTime()) context.at = now;
-      logic->HandleOrcaStart(context);
+      logic->HandleOrcaStart(orca, context);
       break;
     }
     case Event::Type::kOperatorMetric:
       logic->HandleOperatorMetricEvent(
-          std::get<OperatorMetricContext>(event.context), event.matched);
+          orca, std::get<OperatorMetricContext>(event.context),
+          event.matched);
       break;
     case Event::Type::kPeMetric:
-      logic->HandlePeMetricEvent(std::get<PeMetricContext>(event.context),
+      logic->HandlePeMetricEvent(orca,
+                                 std::get<PeMetricContext>(event.context),
                                  event.matched);
       break;
     case Event::Type::kPeFailure:
-      logic->HandlePeFailureEvent(std::get<PeFailureContext>(event.context),
+      logic->HandlePeFailureEvent(orca,
+                                  std::get<PeFailureContext>(event.context),
                                   event.matched);
       break;
     case Event::Type::kJobSubmission:
       logic->HandleJobSubmissionEvent(
-          std::get<JobEventContext>(event.context), event.matched);
+          orca, std::get<JobEventContext>(event.context), event.matched);
       break;
     case Event::Type::kJobCancellation:
       logic->HandleJobCancellationEvent(
-          std::get<JobEventContext>(event.context), event.matched);
+          orca, std::get<JobEventContext>(event.context), event.matched);
       break;
     case Event::Type::kTimer:
-      logic->HandleTimerEvent(std::get<TimerContext>(event.context));
+      logic->HandleTimerEvent(orca, std::get<TimerContext>(event.context));
       break;
     case Event::Type::kUser:
-      logic->HandleUserEvent(std::get<UserEventContext>(event.context),
+      logic->HandleUserEvent(orca,
+                             std::get<UserEventContext>(event.context),
                              event.matched);
       break;
   }
+  // Hand the staged batch to the service's commit mailbox while the
+  // delivery transaction is still current (no-op in immediate mode).
+  orca.CommitStaged();
 }
 
 }  // namespace orcastream::orca

@@ -22,6 +22,7 @@
 
 namespace orcastream::orca {
 
+class OrcaService;
 class ShardedScopeRegistry;
 
 /// Typed envelope for one event awaiting delivery. Both the SRM metric
@@ -96,6 +97,12 @@ class EventBus {
   EventBus(const EventBus&) = delete;
   EventBus& operator=(const EventBus&) = delete;
 
+  /// Binds the ORCA service whose capability surface the per-delivery
+  /// OrcaContext exposes to handlers. A bare bus (unit tests) leaves it
+  /// unbound: handlers still receive a context, but its actuations report
+  /// FailedPrecondition. Called once by OrcaService's constructor.
+  void BindService(OrcaService* service) { service_ = service; }
+
   /// Points the bus at the logic handling deliveries. Passing nullptr
   /// stops dispatch; queued events are retained for a future logic (the
   /// §7 reliable-delivery path) and resume dispatching when one is set.
@@ -127,13 +134,20 @@ class EventBus {
   /// True on a thread currently inside one of this bus's deliveries.
   bool InHandler() const;
 
+  /// True when deliveries run on wall-clock worker threads (the
+  /// ThreadPoolExecutor), i.e. off the simulation thread. Handlers then
+  /// get a *staged* OrcaContext, and the service refuses direct
+  /// entry-point calls from inside such handlers.
+  bool WallClockAsync() const {
+    return executor_ != nullptr && !executor_->UsesSimTime();
+  }
+
   /// True inside one of this bus's deliveries under a wall-clock
   /// executor — i.e. on a worker thread, off the simulation thread. The
-  /// service asserts against this in its entry points: calling back into
-  /// the simulated service from a pool worker races the sim thread.
-  bool InWallClockHandler() const {
-    return InHandler() && executor_ != nullptr && !executor_->UsesSimTime();
-  }
+  /// service guards its entry points against this: calling back into
+  /// the simulated service from a pool worker races the sim thread (use
+  /// the handler's OrcaContext instead).
+  bool InWallClockHandler() const { return InHandler() && WallClockAsync(); }
 
   // --- Publication --------------------------------------------------------
 
@@ -176,14 +190,23 @@ class EventBus {
   /// Journals an actuation against the calling thread's in-flight
   /// transaction.
   void JournalActuation(const std::string& description);
+  /// Appends an entry to a specific (possibly already committed)
+  /// transaction — the staged-actuation path records apply-time outcomes
+  /// against the delivery that staged the call.
+  void JournalActuationFor(TransactionId txn, const std::string& description);
 
   // --- Introspection ------------------------------------------------------
 
+  // Both counters are lock-free atomics so monitoring threads can poll
+  // them during ThreadPoolExecutor runs without taking the bus lock (and
+  // without TSan findings).
   uint64_t events_delivered() const {
     return events_delivered_.load(std::memory_order_relaxed);
   }
   /// Total undelivered events across all queues.
-  size_t queue_depth() const;
+  size_t queue_depth() const {
+    return queue_size_.load(std::memory_order_relaxed);
+  }
 
   /// Async mode: the queue key an event routes to — its application, or
   /// "" (the residual queue) for app-less/wildcard events. Exposed for
@@ -241,6 +264,8 @@ class EventBus {
   Config config_;
   std::shared_ptr<DispatchExecutor> executor_;
   Orchestrator* logic_ = nullptr;
+  /// Capability target of per-delivery OrcaContexts (see BindService).
+  OrcaService* service_ = nullptr;
 
   // Serial-mode state (single-threaded; only touched when !async()).
   std::deque<Event> queue_;
@@ -259,6 +284,9 @@ class EventBus {
 
   // Shared state.
   std::atomic<uint64_t> events_delivered_{0};
+  /// Undelivered events across all queues; maintained in both modes so
+  /// queue_depth() never needs mu_.
+  std::atomic<size_t> queue_size_{0};
   /// Async mode: deliveries currently inside a handler, per logic
   /// object; guarded by mu_. A retired logic is destroyed only when its
   /// count reaches zero. (Serial mode tracks nothing: at most one

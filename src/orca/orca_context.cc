@@ -1,0 +1,294 @@
+#include "orca/orca_context.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "orca/event_bus.h"
+#include "orca/orca_service.h"
+
+namespace orcastream::orca {
+
+using common::JobId;
+using common::PeId;
+using common::Result;
+using common::Status;
+using common::StrFormat;
+using common::TimerId;
+
+namespace {
+
+Status NoService() {
+  return Status::FailedPrecondition(
+      "OrcaContext is not bound to an ORCA service (bare EventBus)");
+}
+
+const GraphView& EmptyGraph() {
+  static const GraphView* empty = new GraphView();
+  return *empty;
+}
+
+}  // namespace
+
+OrcaContext::OrcaContext(OrcaService* service, EventBus* bus, Mode mode)
+    : service_(service), bus_(bus), mode_(mode) {
+  // The consistent read view is pinned once, at dispatch: every query this
+  // delivery performs sees the same state regardless of what the
+  // simulation thread does while the handler runs.
+  if (mode_ == Mode::kStaged && service_ != nullptr) {
+    snapshot_ = service_->SnapshotForDelivery();
+    staged_now_ = service_->StagedClock();
+  }
+}
+
+void OrcaContext::Stage(std::string description,
+                        std::function<Status(OrcaService&)> apply) {
+  // Journal at staging time, against the delivery transaction: the §7
+  // journal ties the event to every actuation its handler requested, in
+  // call order, even though application happens at commit.
+  if (bus_ != nullptr) bus_->JournalActuation(description);
+  staged_.push_back(StagedCall{std::move(description), std::move(apply)});
+}
+
+void OrcaContext::CommitStaged() {
+  if (staged_.empty() || service_ == nullptr) return;
+  service_->EnqueueStagedBatch(current_transaction(), std::move(staged_));
+  staged_.clear();
+}
+
+Status OrcaContext::Route(std::string description,
+                          std::function<Status(OrcaService&)> apply) {
+  if (service_ == nullptr) return NoService();
+  if (mode_ == Mode::kImmediate) return apply(*service_);
+  Stage(std::move(description), std::move(apply));
+  return Status::OK();  // staged; outcome is applied at commit
+}
+
+// --- Event scope registration ----------------------------------------------
+
+// The five overloads share one shape: immediate mode registers against the
+// live registry on the simulation thread; staged mode captures the scope
+// by value and registers at commit.
+#define ORCASTREAM_CONTEXT_REGISTER_SCOPE(ScopeType)                       \
+  void OrcaContext::RegisterEventScope(ScopeType scope) {                  \
+    if (service_ == nullptr) return;                                       \
+    if (mode_ == Mode::kImmediate) {                                       \
+      service_->RegisterEventScopeImpl(std::move(scope));                  \
+      return;                                                              \
+    }                                                                      \
+    std::string description =                                              \
+        StrFormat("registerEventScope(%s)", scope.key().c_str());          \
+    Stage(std::move(description),                                          \
+          [scope = std::move(scope)](OrcaService& service) mutable {       \
+            service.RegisterEventScopeImpl(std::move(scope));              \
+            return Status::OK();                                           \
+          });                                                              \
+  }
+
+ORCASTREAM_CONTEXT_REGISTER_SCOPE(OperatorMetricScope)
+ORCASTREAM_CONTEXT_REGISTER_SCOPE(PeMetricScope)
+ORCASTREAM_CONTEXT_REGISTER_SCOPE(PeFailureScope)
+ORCASTREAM_CONTEXT_REGISTER_SCOPE(JobEventScope)
+ORCASTREAM_CONTEXT_REGISTER_SCOPE(UserEventScope)
+
+#undef ORCASTREAM_CONTEXT_REGISTER_SCOPE
+
+size_t OrcaContext::UnregisterEventScope(const std::string& key) {
+  if (service_ == nullptr) return 0;
+  if (mode_ == Mode::kImmediate) {
+    return service_->UnregisterEventScopeImpl(key);
+  }
+  Stage(StrFormat("unregisterEventScope(%s)", key.c_str()),
+        [key](OrcaService& service) {
+          service.UnregisterEventScopeImpl(key);
+          return Status::OK();
+        });
+  return 0;
+}
+
+// --- Applications and dependencies ------------------------------------------
+
+Status OrcaContext::SubmitApplication(const std::string& config_id) {
+  return Route(StrFormat("submitApplication(%s)", config_id.c_str()),
+               [config_id](OrcaService& service) {
+                 return service.SubmitApplicationImpl(config_id);
+               });
+}
+
+Status OrcaContext::CancelApplication(const std::string& config_id) {
+  return Route(StrFormat("cancelApplication(%s)", config_id.c_str()),
+               [config_id](OrcaService& service) {
+                 return service.CancelApplicationImpl(config_id);
+               });
+}
+
+Status OrcaContext::RegisterDependency(const std::string& app,
+                                       const std::string& depends_on,
+                                       double uptime_seconds) {
+  return Route(StrFormat("registerDependency(%s->%s)", app.c_str(),
+                         depends_on.c_str()),
+               [app, depends_on, uptime_seconds](OrcaService& service) {
+                 return service.RegisterDependencyImpl(app, depends_on,
+                                                       uptime_seconds);
+               });
+}
+
+Status OrcaContext::SetExclusiveHostPools(const std::string& config_id) {
+  return Route(StrFormat("setExclusiveHostPools(%s)", config_id.c_str()),
+               [config_id](OrcaService& service) {
+                 return service.SetExclusiveHostPoolsImpl(config_id);
+               });
+}
+
+// --- Direct actuations ------------------------------------------------------
+
+Status OrcaContext::CancelJob(JobId job) {
+  return Route(
+      StrFormat("cancelJob(%lld)", static_cast<long long>(job.value())),
+      [job](OrcaService& service) { return service.CancelJobImpl(job); });
+}
+
+Status OrcaContext::RestartPe(PeId pe) {
+  return Route(
+      StrFormat("restartPe(%lld)", static_cast<long long>(pe.value())),
+      [pe](OrcaService& service) { return service.RestartPeImpl(pe); });
+}
+
+Status OrcaContext::StopPe(PeId pe) {
+  return Route(
+      StrFormat("stopPe(%lld)", static_cast<long long>(pe.value())),
+      [pe](OrcaService& service) { return service.StopPeImpl(pe); });
+}
+
+// --- Timers, user events, metric pull ---------------------------------------
+
+TimerId OrcaContext::CreateTimer(double delay_seconds, const std::string& name,
+                                 bool recurring, double period_seconds) {
+  if (service_ == nullptr) return TimerId(0);
+  // Ids come from an atomic counter so staged mode can hand the caller a
+  // valid handle before the timer is actually scheduled at commit.
+  TimerId id = service_->AllocateTimerId();
+  if (mode_ == Mode::kImmediate) {
+    service_->ScheduleTimerImpl(id, delay_seconds, name, recurring,
+                                period_seconds);
+    return id;
+  }
+  Stage(StrFormat("createTimer(%s)", name.c_str()),
+        [id, delay_seconds, name, recurring,
+         period_seconds](OrcaService& service) {
+          service.ScheduleTimerImpl(id, delay_seconds, name, recurring,
+                                    period_seconds);
+          return Status::OK();
+        });
+  return id;
+}
+
+void OrcaContext::CancelTimer(TimerId timer) {
+  if (service_ == nullptr) return;
+  if (mode_ == Mode::kImmediate) {
+    service_->CancelTimerImpl(timer);
+    return;
+  }
+  Stage(StrFormat("cancelTimer(%lld)",
+                  static_cast<long long>(timer.value())),
+        [timer](OrcaService& service) {
+          service.CancelTimerImpl(timer);
+          return Status::OK();
+        });
+}
+
+void OrcaContext::InjectUserEvent(const std::string& name,
+                                  std::map<std::string, std::string>
+                                      attributes) {
+  if (service_ == nullptr) return;
+  if (mode_ == Mode::kImmediate) {
+    service_->InjectUserEventImpl(name, std::move(attributes));
+    return;
+  }
+  Stage(StrFormat("injectUserEvent(%s)", name.c_str()),
+        [name, attributes = std::move(attributes)](OrcaService& service) {
+          service.InjectUserEventImpl(name, attributes);
+          return Status::OK();
+        });
+}
+
+void OrcaContext::SetMetricPullPeriod(double seconds) {
+  if (service_ == nullptr) return;
+  if (mode_ == Mode::kImmediate) {
+    service_->SetMetricPullPeriodImpl(seconds);
+    return;
+  }
+  Stage(StrFormat("setMetricPullPeriod(%g)", seconds),
+        [seconds](OrcaService& service) {
+          service.SetMetricPullPeriodImpl(seconds);
+          return Status::OK();
+        });
+}
+
+// --- Read-only queries ------------------------------------------------------
+
+sim::SimTime OrcaContext::Now() const {
+  if (mode_ == Mode::kStaged) return staged_now_;
+  return service_ != nullptr ? service_->Now() : 0;
+}
+
+TransactionId OrcaContext::current_transaction() const {
+  return bus_ != nullptr ? bus_->current_transaction() : 0;
+}
+
+const TransactionLog& OrcaContext::transactions() const {
+  if (bus_ != nullptr) return bus_->transactions();
+  static const TransactionLog* empty = new TransactionLog();
+  return *empty;
+}
+
+const GraphView& OrcaContext::graph() const {
+  if (mode_ == Mode::kStaged) {
+    return snapshot_ != nullptr ? snapshot_->graph : EmptyGraph();
+  }
+  return service_ != nullptr ? service_->graph() : EmptyGraph();
+}
+
+bool OrcaContext::IsRunning(const std::string& config_id) const {
+  if (mode_ == Mode::kStaged) {
+    if (snapshot_ == nullptr) return false;
+    auto it = snapshot_->apps.find(config_id);
+    return it != snapshot_->apps.end() && it->second.job.has_value();
+  }
+  return service_ != nullptr && service_->IsRunning(config_id);
+}
+
+Result<JobId> OrcaContext::RunningJob(const std::string& config_id) const {
+  if (mode_ == Mode::kStaged) {
+    if (snapshot_ == nullptr) return NoService();
+    auto it = snapshot_->apps.find(config_id);
+    if (it == snapshot_->apps.end()) {
+      return Status::NotFound(StrFormat(
+          "application config '%s' not registered", config_id.c_str()));
+    }
+    if (!it->second.job.has_value()) {
+      return Status::FailedPrecondition(
+          StrFormat("application '%s' is not running", config_id.c_str()));
+    }
+    return *it->second.job;
+  }
+  if (service_ == nullptr) return NoService();
+  return service_->RunningJob(config_id);
+}
+
+bool OrcaContext::IsGcPending(const std::string& config_id) const {
+  if (mode_ == Mode::kStaged) {
+    if (snapshot_ == nullptr) return false;
+    auto it = snapshot_->apps.find(config_id);
+    return it != snapshot_->apps.end() && it->second.gc_pending;
+  }
+  return service_ != nullptr && service_->IsGcPending(config_id);
+}
+
+double OrcaContext::metric_pull_period() const {
+  if (mode_ == Mode::kStaged) {
+    return snapshot_ != nullptr ? snapshot_->metric_pull_period : 0;
+  }
+  return service_ != nullptr ? service_->metric_pull_period() : 0;
+}
+
+}  // namespace orcastream::orca

@@ -1,7 +1,6 @@
 #include "orca/orca_service.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <utility>
 
@@ -56,17 +55,21 @@ OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
       scopes_(config.scope_shards),
       bus_(sim, MakeBusConfig(config)),
       pull_task_(sim, config.metric_pull_period,
-                 [this] { PullMetricsRound(); }) {}
+                 [this] { PullMetricsRound(); }) {
+  // Per-delivery OrcaContexts actuate against this service (immediate on
+  // the sim thread, staged from worker threads).
+  bus_.BindService(this);
+  RefreshSnapshot();
+}
 
 OrcaService::~OrcaService() { Shutdown(); }
 
 Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("Load"));
   if (logic_ != nullptr) {
     return Status::FailedPrecondition("ORCA logic already loaded");
   }
   logic_ = std::move(logic);
-  logic_->orca_ = this;
   // Scopes this logic registers (typically from HandleOrcaStart) belong
   // to its generation and are retired when it is replaced or unloaded.
   logic_generation_ = scopes_.BeginGeneration();
@@ -78,13 +81,14 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   // ReplaceLogic. Published BEFORE the logic is attached: under async
   // dispatch the front-published start gates the application queues, and
   // attaching first would let surviving queued events race ahead of it.
+  TouchStagedClock();  // staged start handlers pin Now() from this instant
   bus_.PublishFront(MakeStartEvent("orcaStart"));
   bus_.set_logic(logic_.get());
   return Status::OK();
 }
 
 void OrcaService::Shutdown() {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("Shutdown").ok()) return;
   if (logic_ == nullptr) return;
   pull_task_.Stop();
   for (auto& [id, timer] : timers_) {
@@ -98,6 +102,10 @@ void OrcaService::Shutdown() {
   // when shutting down from inside a handler — there DisposeAfterDispatch
   // defers destruction instead).
   bus_.DrainDeliveries();
+  // Actuations the retiring logic staged from worker handlers are applied
+  // before it is detached, so a shutdown never silently drops committed
+  // batches.
+  ApplyStagedActuations();
   // Retire the outgoing logic's scopes; queued events keep their matched
   // keys and survive for a future Load (§7 reliable delivery). Opening a
   // fresh generation afterwards fences the retired id: scopes registered
@@ -105,14 +113,14 @@ void OrcaService::Shutdown() {
   scopes_.RetireGeneration(logic_generation_);
   scopes_.BeginGeneration();
   logic_generation_ = 0;
-  logic_->orca_ = nullptr;
   // Shutdown may be invoked from inside the logic's own handler; its
   // destruction is deferred until the delivery unwinds.
   bus_.DisposeAfterDispatch(std::move(logic_));
+  RefreshSnapshot();
 }
 
 common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("ReplaceLogic"));
   if (logic_ == nullptr) {
     return Status::FailedPrecondition("no ORCA logic loaded to replace");
   }
@@ -123,8 +131,10 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
   if (bus_.async()) {
     bus_.set_logic(nullptr);
     bus_.DrainDeliveries();
+    // Batches the outgoing logic staged must apply before its scopes are
+    // retired — they belong to its committed transactions.
+    ApplyStagedActuations();
   }
-  logic_->orca_ = nullptr;
   // Retire the outgoing orchestrator's scopes atomically: stale subscope
   // keys must not keep matching and reaching the replacement (§4.1, §7).
   scopes_.RetireGeneration(logic_generation_);
@@ -132,48 +142,141 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
   // its own handler); defer its destruction until the delivery unwinds.
   std::unique_ptr<Orchestrator> outgoing = std::move(logic_);
   logic_ = std::move(logic);
-  logic_->orca_ = this;
   logic_generation_ = scopes_.BeginGeneration();
   // The replacement receives a fresh start event BEFORE any surviving
   // queued events so it can initialize its own state; events that never
   // committed under the old logic then flow to it (reliable delivery).
   // Published before attaching the logic: the front-published start gates
   // the per-application queues under async dispatch.
+  TouchStagedClock();  // staged start handlers pin Now() from this instant
   bus_.PublishFront(MakeStartEvent("orcaStart(replacement)"));
   bus_.set_logic(logic_.get());
   bus_.DisposeAfterDispatch(std::move(outgoing));
   return Status::OK();
 }
 
+// --- Staged actuation -------------------------------------------------------
+
+void OrcaService::EnqueueStagedBatch(
+    TransactionId txn, std::vector<OrcaContext::StagedCall> calls) {
+  if (calls.empty()) return;
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  staged_batches_.push_back(StagedBatch{txn, std::move(calls)});
+}
+
+size_t OrcaService::staged_actuations_pending() const {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  size_t total = 0;
+  for (const auto& batch : staged_batches_) total += batch.calls.size();
+  return total;
+}
+
+size_t OrcaService::ApplyStagedActuations() {
+  // Take the whole mailbox in one swap: batches enqueued by workers while
+  // this drain applies are picked up by the next call, keeping apply
+  // order equal to commit order.
+  std::deque<StagedBatch> batches;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    batches.swap(staged_batches_);
+  }
+  size_t applied = 0;
+  for (StagedBatch& batch : batches) {
+    for (OrcaContext::StagedCall& call : batch.calls) {
+      Status status = call.apply(*this);
+      ++applied;
+      if (!status.ok()) {
+        // The staged entry journaled at handler time records *intent*; a
+        // failure at apply time is the same runtime-error report a
+        // direct call would have produced (§3). Append the outcome to
+        // the staging delivery's transaction so §7 replay logic never
+        // mistakes the intent record for a performed actuation.
+        bus_.JournalActuationFor(
+            batch.txn,
+            "failed:" + call.description + ": " + status.ToString());
+        ORCA_LOG(kError) << "staged actuation '" << call.description
+                         << "' (txn " << batch.txn
+                         << ") failed: " << status;
+      }
+    }
+  }
+  if (applied > 0) RefreshSnapshot();
+  return applied;
+}
+
+std::shared_ptr<const OrcaSnapshot> OrcaService::SnapshotForDelivery() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void OrcaService::TouchStagedClock() {
+  if (!WallClockDispatch()) return;
+  staged_clock_.store(sim_->Now(), std::memory_order_relaxed);
+}
+
+void OrcaService::RefreshSnapshot() {
+  // Snapshots are only read by wall-clock worker deliveries; the serial
+  // and DeterministicExecutor paths read the live state directly.
+  if (!WallClockDispatch()) return;
+  staged_clock_.store(sim_->Now(), std::memory_order_relaxed);
+  auto snapshot = std::make_shared<OrcaSnapshot>();
+  snapshot->metric_pull_period = pull_task_.period();
+  snapshot->graph = graph_;
+  for (const auto& [id, state] : apps_) {
+    snapshot->apps[id] = OrcaSnapshot::AppInfo{state.job, state.gc_pending};
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
 // --- Scope registration ---------------------------------------------------
 
 void OrcaService::RegisterEventScope(OperatorMetricScope scope) {
-  CheckNotInWorkerHandler();
-  scopes_.Register(std::move(scope));
+  if (!GuardWorkerEntry("RegisterEventScope").ok()) return;
+  RegisterEventScopeImpl(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeMetricScope scope) {
-  CheckNotInWorkerHandler();
-  scopes_.Register(std::move(scope));
+  if (!GuardWorkerEntry("RegisterEventScope").ok()) return;
+  RegisterEventScopeImpl(std::move(scope));
 }
 void OrcaService::RegisterEventScope(PeFailureScope scope) {
-  CheckNotInWorkerHandler();
-  scopes_.Register(std::move(scope));
+  if (!GuardWorkerEntry("RegisterEventScope").ok()) return;
+  RegisterEventScopeImpl(std::move(scope));
 }
 void OrcaService::RegisterEventScope(JobEventScope scope) {
-  CheckNotInWorkerHandler();
-  scopes_.Register(std::move(scope));
+  if (!GuardWorkerEntry("RegisterEventScope").ok()) return;
+  RegisterEventScopeImpl(std::move(scope));
 }
 void OrcaService::RegisterEventScope(UserEventScope scope) {
-  CheckNotInWorkerHandler();
-  scopes_.Register(std::move(scope));
+  if (!GuardWorkerEntry("RegisterEventScope").ok()) return;
+  RegisterEventScopeImpl(std::move(scope));
 }
 size_t OrcaService::UnregisterEventScope(const std::string& key) {
-  CheckNotInWorkerHandler();
-  return scopes_.Unregister(key);
+  if (!GuardWorkerEntry("UnregisterEventScope").ok()) return 0;
+  return UnregisterEventScopeImpl(key);
 }
 void OrcaService::ClearEventScopes() {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("ClearEventScopes").ok()) return;
   scopes_.Clear();
+}
+
+void OrcaService::RegisterEventScopeImpl(OperatorMetricScope scope) {
+  scopes_.Register(std::move(scope));
+}
+void OrcaService::RegisterEventScopeImpl(PeMetricScope scope) {
+  scopes_.Register(std::move(scope));
+}
+void OrcaService::RegisterEventScopeImpl(PeFailureScope scope) {
+  scopes_.Register(std::move(scope));
+}
+void OrcaService::RegisterEventScopeImpl(JobEventScope scope) {
+  scopes_.Register(std::move(scope));
+}
+void OrcaService::RegisterEventScopeImpl(UserEventScope scope) {
+  scopes_.Register(std::move(scope));
+}
+size_t OrcaService::UnregisterEventScopeImpl(const std::string& key) {
+  return scopes_.Unregister(key);
 }
 
 // --- Application registry --------------------------------------------------
@@ -196,7 +299,7 @@ OrcaService::AppState* OrcaService::FindAppByJob(JobId job) {
 
 Status OrcaService::RegisterApplication(AppConfig config,
                                         topology::ApplicationModel model) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("RegisterApplication"));
   if (config.id.empty()) {
     return Status::InvalidArgument("AppConfig id must not be empty");
   }
@@ -212,6 +315,7 @@ Status OrcaService::RegisterApplication(AppConfig config,
   std::string id = state.config.id;
   apps_.emplace(id, std::move(state));
   deps_.AddApp(id);
+  RefreshSnapshot();
   return Status::OK();
 }
 
@@ -225,12 +329,22 @@ Status OrcaService::RegisterApplicationAdl(AppConfig config,
 Status OrcaService::RegisterDependency(const std::string& app,
                                        const std::string& depends_on,
                                        double uptime_seconds) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("RegisterDependency"));
+  return RegisterDependencyImpl(app, depends_on, uptime_seconds);
+}
+
+Status OrcaService::RegisterDependencyImpl(const std::string& app,
+                                           const std::string& depends_on,
+                                           double uptime_seconds) {
   return deps_.AddDependency(app, depends_on, uptime_seconds);
 }
 
 Status OrcaService::SubmitApplication(const std::string& config_id) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("SubmitApplication"));
+  return SubmitApplicationImpl(config_id);
+}
+
+Status OrcaService::SubmitApplicationImpl(const std::string& config_id) {
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -315,6 +429,7 @@ Status OrcaService::SubmitNow(AppState* state) {
   state->gc_pending = false;
   const runtime::JobInfo* info = sam_->FindJob(job);
   if (info != nullptr) graph_.AddJob(*info);
+  RefreshSnapshot();
   DeliverJobEvent(*state, job, /*is_submission=*/true);
   return Status::OK();
 }
@@ -341,7 +456,11 @@ void OrcaService::DeliverJobEvent(const AppState& state, JobId job,
 }
 
 Status OrcaService::CancelApplication(const std::string& config_id) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("CancelApplication"));
+  return CancelApplicationImpl(config_id);
+}
+
+Status OrcaService::CancelApplicationImpl(const std::string& config_id) {
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -374,6 +493,7 @@ Status OrcaService::DoCancel(AppState* state) {
   state->job.reset();
   job_index_.erase(job.value());
   state->gc_pending = false;
+  RefreshSnapshot();
   DeliverJobEvent(*state, job, /*is_submission=*/false);
   // Feeders of the cancelled application may now be unused; sweep them.
   for (const auto& edge : deps_.DependenciesOf(state->config.id)) {
@@ -415,6 +535,7 @@ void OrcaService::MaybeScheduleGc(const std::string& config_id) {
                            << "' failed: " << status;
         }
       });
+  RefreshSnapshot();
 }
 
 Result<JobId> OrcaService::RunningJob(const std::string& config_id) const {
@@ -443,7 +564,11 @@ bool OrcaService::IsGcPending(const std::string& config_id) const {
 // --- Direct actuations -----------------------------------------------------
 
 Status OrcaService::CancelJob(JobId job) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("CancelJob"));
+  return CancelJobImpl(job);
+}
+
+Status OrcaService::CancelJobImpl(JobId job) {
   AppState* state = FindAppByJob(job);
   if (state == nullptr) {
     // §3: acting on jobs the ORCA logic did not start is a runtime error.
@@ -458,7 +583,11 @@ Status OrcaService::CancelJob(JobId job) {
 }
 
 Status OrcaService::RestartPe(PeId pe) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("RestartPe"));
+  return RestartPeImpl(pe);
+}
+
+Status OrcaService::RestartPeImpl(PeId pe) {
   if (!graph_.HostOfPe(pe).ok()) {
     return Status::PermissionDenied(StrFormat(
         "PE %lld does not belong to a job managed by this ORCA service",
@@ -470,7 +599,11 @@ Status OrcaService::RestartPe(PeId pe) {
 }
 
 Status OrcaService::StopPe(PeId pe) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("StopPe"));
+  return StopPeImpl(pe);
+}
+
+Status OrcaService::StopPeImpl(PeId pe) {
   if (!graph_.HostOfPe(pe).ok()) {
     return Status::PermissionDenied(StrFormat(
         "PE %lld does not belong to a job managed by this ORCA service",
@@ -482,7 +615,11 @@ Status OrcaService::StopPe(PeId pe) {
 }
 
 Status OrcaService::SetExclusiveHostPools(const std::string& config_id) {
-  CheckNotInWorkerHandler();
+  ORCA_RETURN_NOT_OK(GuardWorkerEntry("SetExclusiveHostPools"));
+  return SetExclusiveHostPoolsImpl(config_id);
+}
+
+Status OrcaService::SetExclusiveHostPoolsImpl(const std::string& config_id) {
   AppState* state = FindApp(config_id);
   if (state == nullptr) {
     return Status::NotFound(StrFormat("application config '%s' not registered",
@@ -503,19 +640,28 @@ Status OrcaService::SetExclusiveHostPools(const std::string& config_id) {
 }
 
 void OrcaService::SetMetricPullPeriod(double seconds) {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("SetMetricPullPeriod").ok()) return;
+  SetMetricPullPeriodImpl(seconds);
+}
+
+void OrcaService::SetMetricPullPeriodImpl(double seconds) {
   JournalActuation(StrFormat("setMetricPullPeriod(%g)", seconds));
   pull_task_.set_period(seconds);
+  RefreshSnapshot();
 }
 
 void OrcaService::PullMetricsNow() {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("PullMetricsNow").ok()) return;
   PullMetricsRound();
 }
 
 // --- Metric pull -------------------------------------------------------------
 
 void OrcaService::PullMetricsRound() {
+  // Each pull round first marshals any actuations worker-thread handlers
+  // staged since the last round — the steady-state heartbeat that applies
+  // OrcaContext batches under wall-clock dispatch.
+  ApplyStagedActuations();
   if (logic_ == nullptr) return;
   std::vector<JobId> jobs;
   for (const auto& [id, state] : apps_) {
@@ -527,6 +673,9 @@ void OrcaService::PullMetricsRound() {
   // correlate metrics measured together (§4.2). The whole snapshot is
   // batched through the registry in one pass.
   int64_t epoch = ++metric_epoch_;
+  // Staged deliveries of this round's events read the clock as of the
+  // round (graph/app state was already refreshed by whatever mutated it).
+  TouchStagedClock();
   bus_.PublishMetricsSnapshot(snapshot, epoch, scopes_, graph_);
 }
 
@@ -555,6 +704,7 @@ void OrcaService::OnPeFailure(const runtime::PeFailureNotice& notice) {
 
   std::vector<std::string> matched = scopes_.MatchedKeys(context, graph_);
   if (matched.empty()) return;
+  TouchStagedClock();
   Event event;
   event.type = Event::Type::kPeFailure;
   event.summary = StrFormat("peFailure(pe%lld, %s)",
@@ -569,8 +719,15 @@ void OrcaService::OnPeFailure(const runtime::PeFailureNotice& notice) {
 
 TimerId OrcaService::CreateTimer(double delay_seconds, const std::string& name,
                                  bool recurring, double period_seconds) {
-  CheckNotInWorkerHandler();
-  TimerId id(next_timer_id_++);
+  if (!GuardWorkerEntry("CreateTimer").ok()) return TimerId(0);
+  TimerId id = AllocateTimerId();
+  ScheduleTimerImpl(id, delay_seconds, name, recurring, period_seconds);
+  return id;
+}
+
+void OrcaService::ScheduleTimerImpl(TimerId id, double delay_seconds,
+                                    const std::string& name, bool recurring,
+                                    double period_seconds) {
   TimerState timer;
   timer.id = id;
   timer.name = name;
@@ -579,7 +736,6 @@ TimerId OrcaService::CreateTimer(double delay_seconds, const std::string& name,
   timer.event = sim_->ScheduleAfter(delay_seconds,
                                     [this, id] { FireTimer(id); });
   timers_.emplace(id, std::move(timer));
-  return id;
 }
 
 void OrcaService::FireTimer(TimerId id) {
@@ -589,6 +745,7 @@ void OrcaService::FireTimer(TimerId id) {
   context.id = id;
   context.name = it->second.name;
   context.at = sim_->Now();
+  TouchStagedClock();
   Event event;
   event.type = Event::Type::kTimer;
   event.summary = StrFormat("timer(%s)", context.name.c_str());
@@ -603,7 +760,11 @@ void OrcaService::FireTimer(TimerId id) {
 }
 
 void OrcaService::CancelTimer(TimerId timer) {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("CancelTimer").ok()) return;
+  CancelTimerImpl(timer);
+}
+
+void OrcaService::CancelTimerImpl(TimerId timer) {
   auto it = timers_.find(timer);
   if (it == timers_.end()) return;
   sim_->Cancel(it->second.event);
@@ -614,7 +775,12 @@ void OrcaService::CancelTimer(TimerId timer) {
 
 void OrcaService::InjectUserEvent(
     const std::string& name, std::map<std::string, std::string> attributes) {
-  CheckNotInWorkerHandler();
+  if (!GuardWorkerEntry("InjectUserEvent").ok()) return;
+  InjectUserEventImpl(name, std::move(attributes));
+}
+
+void OrcaService::InjectUserEventImpl(
+    const std::string& name, std::map<std::string, std::string> attributes) {
   if (logic_ == nullptr) return;
   UserEventContext context;
   context.name = name;
@@ -622,6 +788,7 @@ void OrcaService::InjectUserEvent(
   context.at = sim_->Now();
   std::vector<std::string> matched = scopes_.MatchedKeys(context);
   if (matched.empty()) return;
+  TouchStagedClock();
   Event event;
   event.type = Event::Type::kUser;
   event.summary = StrFormat("userEvent(%s)", context.name.c_str());
@@ -634,16 +801,21 @@ void OrcaService::JournalActuation(const std::string& description) {
   bus_.JournalActuation(description);
 }
 
-void OrcaService::CheckNotInWorkerHandler() const {
-  // Logic running under the wall-clock ThreadPoolExecutor must be
-  // self-contained (see Config::dispatch_threads): a handler on a worker
-  // thread calling back into the service would silently corrupt the
-  // registry/graph/app state it shares with the simulation thread. Fail
-  // loudly instead.
-  assert(!bus_.InWallClockHandler() &&
-         "ORCA service API called from a worker-thread handler; logic "
-         "that calls back into the service needs the serial or "
-         "DeterministicExecutor dispatch mode");
+Status OrcaService::GuardWorkerEntry(const char* method) const {
+  // Logic running under the wall-clock ThreadPoolExecutor shares the
+  // registry/graph/app state with the simulation thread; a handler on a
+  // worker thread calling back into the service would silently corrupt
+  // it. The per-delivery OrcaContext is the supported path (it stages
+  // such calls for the simulation thread) — direct entry is refused, in
+  // every build mode.
+  if (!bus_.InWallClockHandler()) return Status::OK();
+  Status status = Status::FailedPrecondition(StrFormat(
+      "OrcaService::%s called directly from a worker-thread handler; use "
+      "the OrcaContext passed to the handler (its calls are staged and "
+      "applied on the simulation thread at commit)",
+      method));
+  ORCA_LOG(kError) << status;
+  return status;
 }
 
 }  // namespace orcastream::orca

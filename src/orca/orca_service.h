@@ -1,10 +1,13 @@
 #ifndef ORCASTREAM_ORCA_ORCA_SERVICE_H_
 #define ORCASTREAM_ORCA_ORCA_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +21,7 @@
 #include "orca/event_scope.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
+#include "orca/orca_context.h"
 #include "orca/orchestrator.h"
 #include "orca/scope_registry.h"
 #include "orca/sharded_scope_registry.h"
@@ -66,11 +70,14 @@ class OrcaService : private runtime::EventSink {
     /// delivery queue; N > 0 installs a ThreadPoolExecutor with N workers
     /// delivering per-application ordered queues concurrently (same-app
     /// events stay FIFO; `dispatch_interval` paces each queue on the
-    /// wall clock). Handlers then run on worker threads: they must be
-    /// self-contained (own their state, talk to external systems) rather
-    /// than call back into the simulated service, which is not
-    /// thread-safe against the simulation thread. Simulation tests that
-    /// want async *semantics* deterministically should pass a
+    /// wall clock). Handlers then run on worker threads and actuate
+    /// through their per-delivery OrcaContext: calls are staged, then
+    /// applied in order on the simulation thread by
+    /// ApplyStagedActuations() (called from metric pull rounds and the
+    /// lifecycle entry points; drivers may also call it directly).
+    /// Direct OrcaService entry-point calls from a worker handler are
+    /// rejected with FailedPrecondition. Simulation tests that want
+    /// async *semantics* deterministically should pass a
     /// DeterministicExecutor via `dispatch_executor` instead.
     size_t dispatch_threads = 0;
     /// Overrides the executor regardless of dispatch_threads (tests: a
@@ -119,6 +126,23 @@ class OrcaService : private runtime::EventSink {
   TransactionId current_transaction() const {
     return bus_.current_transaction();
   }
+
+  // --- Staged actuation (wall-clock async dispatch) ------------------------
+
+  /// Applies every staged actuation batch committed by worker-thread
+  /// handlers since the last call, in commit order (and, within a batch,
+  /// in handler call order). Must run on the simulation thread — it is
+  /// what marshals OrcaContext actuations out of the worker pool. Invoked
+  /// automatically from every metric pull round, Shutdown, and
+  /// ReplaceLogic; drivers of a wall-clock service should also call it
+  /// from their run loop. Returns the number of actuations applied.
+  /// Failures are logged and recorded, never applied partially out of
+  /// order.
+  size_t ApplyStagedActuations();
+
+  /// Staged actuations waiting for ApplyStagedActuations (0 on the serial
+  /// and DeterministicExecutor paths, which apply immediately).
+  size_t staged_actuations_pending() const;
 
   // --- Event scope registration (§4.1) ------------------------------------
 
@@ -257,12 +281,76 @@ class OrcaService : private runtime::EventSink {
   /// Journals an actuation against the in-flight transaction.
   void JournalActuation(const std::string& description);
 
-  /// Debug guard for Config::dispatch_threads misuse: service entry
-  /// points must not be reached from a worker-thread handler (they would
-  /// race the simulation thread over the registry/graph/app state).
+  /// Release-mode guard for Config::dispatch_threads misuse: public entry
+  /// points must not be reached from a wall-clock worker-thread handler
+  /// (they would race the simulation thread over the registry/graph/app
+  /// state — the handler's OrcaContext is the safe path). Returns
+  /// FailedPrecondition, and logs, when called from such a handler.
   /// Handlers on the serial and DeterministicExecutor paths run on the
-  /// sim thread and pass. Asserts in Debug builds, no cost in Release.
-  void CheckNotInWorkerHandler() const;
+  /// sim thread and pass.
+  common::Status GuardWorkerEntry(const char* method) const;
+
+  // --- Actuation core -------------------------------------------------------
+  // The *Impl methods are the single implementation behind both the
+  // guarded public entry points (direct service calls on the simulation
+  // thread) and the per-delivery OrcaContext (immediate calls on the
+  // serial/DeterministicExecutor paths; staged batches applied by
+  // ApplyStagedActuations on the ThreadPoolExecutor path). They never
+  // guard and always run on the simulation thread.
+  friend class OrcaContext;
+
+  void RegisterEventScopeImpl(OperatorMetricScope scope);
+  void RegisterEventScopeImpl(PeMetricScope scope);
+  void RegisterEventScopeImpl(PeFailureScope scope);
+  void RegisterEventScopeImpl(JobEventScope scope);
+  void RegisterEventScopeImpl(UserEventScope scope);
+  size_t UnregisterEventScopeImpl(const std::string& key);
+  common::Status RegisterDependencyImpl(const std::string& app,
+                                        const std::string& depends_on,
+                                        double uptime_seconds);
+  common::Status SubmitApplicationImpl(const std::string& config_id);
+  common::Status CancelApplicationImpl(const std::string& config_id);
+  common::Status CancelJobImpl(common::JobId job);
+  common::Status RestartPeImpl(common::PeId pe);
+  common::Status StopPeImpl(common::PeId pe);
+  common::Status SetExclusiveHostPoolsImpl(const std::string& config_id);
+  void SetMetricPullPeriodImpl(double seconds);
+  /// Schedules a timer under a pre-allocated id (see AllocateTimerId —
+  /// eager allocation is what lets a staged CreateTimer return a valid
+  /// handle from a worker thread).
+  void ScheduleTimerImpl(common::TimerId id, double delay_seconds,
+                         const std::string& name, bool recurring,
+                         double period_seconds);
+  void CancelTimerImpl(common::TimerId timer);
+  void InjectUserEventImpl(const std::string& name,
+                           std::map<std::string, std::string> attributes);
+  common::TimerId AllocateTimerId() {
+    return common::TimerId(next_timer_id_.fetch_add(1));
+  }
+
+  // --- Staged-dispatch support ---------------------------------------------
+
+  /// True when handlers run on wall-clock worker threads (ThreadPool
+  /// dispatch) and therefore read through OrcaSnapshots.
+  bool WallClockDispatch() const { return bus_.WallClockAsync(); }
+  /// The consistent read view a staged delivery pins at dispatch.
+  std::shared_ptr<const OrcaSnapshot> SnapshotForDelivery() const;
+  /// The simulation clock as of the most recent sim-thread publication
+  /// or state change — what a staged delivery pins as its Now().
+  sim::SimTime StagedClock() const {
+    return staged_clock_.load(std::memory_order_relaxed);
+  }
+  /// Rebuilds the snapshot from live state; called on the simulation
+  /// thread after every state mutation (no-op outside wall-clock
+  /// dispatch).
+  void RefreshSnapshot();
+  /// Publication paths mutate no graph/app state, so they only advance
+  /// the staged clock — a relaxed atomic store, not a snapshot rebuild.
+  void TouchStagedClock();
+  /// Worker-side: appends one delivery's ordered actuation batch to the
+  /// commit mailbox (drained by ApplyStagedActuations on the sim thread).
+  void EnqueueStagedBatch(TransactionId txn,
+                          std::vector<OrcaContext::StagedCall> calls);
 
   void PullMetricsRound();
   /// runtime::EventSink — SAM pushes PE failure notifications for managed
@@ -312,8 +400,27 @@ class OrcaService : private runtime::EventSink {
   std::string last_failure_reason_;
   sim::SimTime last_failure_detected_at_ = -1;
 
-  int64_t next_timer_id_ = 1;
+  /// Atomic so staged CreateTimer calls can allocate ids on worker
+  /// threads (the timer itself is scheduled at commit on the sim thread).
+  std::atomic<int64_t> next_timer_id_{1};
   std::map<common::TimerId, TimerState> timers_;
+
+  /// Wall-clock dispatch only: the current consistent read view served to
+  /// staged deliveries, swapped copy-on-write on the simulation thread.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const OrcaSnapshot> snapshot_;
+  /// The staged deliveries' clock (see StagedClock).
+  std::atomic<double> staged_clock_{0};
+
+  /// Commit mailbox for staged actuation batches: pushed by workers (in
+  /// commit order), drained FIFO by ApplyStagedActuations on the sim
+  /// thread.
+  struct StagedBatch {
+    TransactionId txn = 0;
+    std::vector<OrcaContext::StagedCall> calls;
+  };
+  mutable std::mutex staged_mu_;
+  std::deque<StagedBatch> staged_batches_;
 };
 
 }  // namespace orcastream::orca

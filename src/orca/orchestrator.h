@@ -8,81 +8,102 @@
 
 namespace orcastream::orca {
 
-class OrcaService;
+class OrcaContext;
 
 /// Base class for the ORCA logic (§3): application developers write their
 /// runtime-adaptation policy by inheriting Orchestrator and specializing
 /// the event handling methods for the scopes they register. Every handler
-/// except HandleOrcaStart receives, alongside the context, the array of
-/// keys of all subscopes the event matched (§4.2).
+/// receives a per-delivery OrcaContext — the capability through which the
+/// logic invokes ORCA service routines — plus the event context, and (for
+/// every event but the start event) the array of keys of all subscopes the
+/// event matched (§4.2).
 ///
-/// The ORCA logic invokes ORCA service routines through `orca()` — the
-/// reference received when the service loads the logic. Acting on jobs the
-/// service did not start is reported as a runtime error by the service.
+/// The OrcaContext is valid only for the duration of the handler call; it
+/// must not be stored or handed to another thread. On the serial and
+/// DeterministicExecutor dispatch paths its calls apply immediately; on
+/// ThreadPoolExecutor worker threads actuations are staged and applied in
+/// call order on the simulation thread at commit (see orca_context.h), so
+/// the same logic is safe under 8-way concurrent delivery. Acting on jobs
+/// the service did not start is reported as a runtime error.
 ///
 /// Scope registration is dynamic (§4.1): logic typically registers scopes
 /// in HandleOrcaStart, may register or drop them at any later point via
-/// `orca()->RegisterEventScope(...)` / `orca()->UnregisterEventScope(key)`,
-/// and everything it registered is retired automatically when the logic is
+/// `orca.RegisterEventScope(...)` / `orca.UnregisterEventScope(key)`, and
+/// everything it registered is retired automatically when the logic is
 /// replaced or the service shuts down — replacement logic starts from a
 /// clean slate and registers its own scopes on its fresh start event (§7).
+///
+/// Caveat for worker-pool dispatch (Config::dispatch_threads > 0): a
+/// registration staged from a handler only starts matching once the
+/// simulation thread applies it (ApplyStagedActuations), and events that
+/// match no live scope at publication are dropped, not retried — so
+/// register delivery-critical scopes on the service up front, before
+/// Load, where they are unowned and survive logic turnover (see
+/// docs/ORCA_COOKBOOK.md recipes 9–10). On the serial and
+/// DeterministicExecutor paths in-handler registration takes effect
+/// immediately, before the next event is matched.
 class Orchestrator {
  public:
   virtual ~Orchestrator() = default;
 
   /// Always in scope; delivered once when the orchestrator starts (§4.1).
   /// Scope registrations typically happen here (Figure 5).
-  virtual void HandleOrcaStart(const OrcaStartContext& context) = 0;
+  virtual void HandleOrcaStart(OrcaContext& orca,
+                               const OrcaStartContext& context) = 0;
 
   virtual void HandleOperatorMetricEvent(
-      const OperatorMetricContext& context,
+      OrcaContext& orca, const OperatorMetricContext& context,
       const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
 
-  virtual void HandlePeMetricEvent(const PeMetricContext& context,
+  virtual void HandlePeMetricEvent(OrcaContext& orca,
+                                   const PeMetricContext& context,
                                    const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
 
-  virtual void HandlePeFailureEvent(const PeFailureContext& context,
+  virtual void HandlePeFailureEvent(OrcaContext& orca,
+                                    const PeFailureContext& context,
                                     const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
 
   virtual void HandleJobSubmissionEvent(
-      const JobEventContext& context, const std::vector<std::string>& scopes) {
+      OrcaContext& orca, const JobEventContext& context,
+      const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
 
   virtual void HandleJobCancellationEvent(
-      const JobEventContext& context, const std::vector<std::string>& scopes) {
+      OrcaContext& orca, const JobEventContext& context,
+      const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
 
-  virtual void HandleTimerEvent(const TimerContext& context) {
+  virtual void HandleTimerEvent(OrcaContext& orca,
+                                const TimerContext& context) {
+    (void)orca;
     (void)context;
   }
 
-  virtual void HandleUserEvent(const UserEventContext& context,
+  virtual void HandleUserEvent(OrcaContext& orca,
+                               const UserEventContext& context,
                                const std::vector<std::string>& scopes) {
+    (void)orca;
     (void)context;
     (void)scopes;
   }
-
- protected:
-  /// The ORCA service this logic is loaded into (valid from
-  /// HandleOrcaStart onwards).
-  OrcaService* orca() const { return orca_; }
-
- private:
-  friend class OrcaService;
-  OrcaService* orca_ = nullptr;
 };
 
 }  // namespace orcastream::orca

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/strings.h"
-#include "orca/orca_service.h"
 
 namespace orcastream::orca {
 
@@ -74,7 +73,8 @@ RuleOrchestrator& RuleOrchestrator::WhenUserEvent(UserEventScope scope,
   return *this;
 }
 
-void RuleOrchestrator::HandleOrcaStart(const OrcaStartContext&) {
+void RuleOrchestrator::HandleOrcaStart(OrcaContext& orca,
+                                       const OrcaStartContext&) {
   // Register every rule's scope under its generated key; dispatch then
   // routes by matched keys, preserving the §4.1 semantics.
   for (auto& rule : metric_rules_) {
@@ -103,7 +103,7 @@ void RuleOrchestrator::HandleOrcaStart(const OrcaStartContext&) {
       registered.SetMetricKindFilter(rule.scope.metric_kind());
     }
     registered.SetPortScope(rule.scope.port_scope());
-    orca()->RegisterEventScope(registered);
+    orca.RegisterEventScope(registered);
   }
   for (auto& rule : failure_rules_) {
     PeFailureScope registered(rule.key);
@@ -116,93 +116,98 @@ void RuleOrchestrator::HandleOrcaStart(const OrcaStartContext&) {
     for (const auto& reason : rule.scope.reasons()) {
       registered.AddReasonFilter(reason);
     }
-    orca()->RegisterEventScope(registered);
+    orca.RegisterEventScope(registered);
   }
   if (default_pe_restart_) {
     // Catch-all failure scope backing the default action.
-    orca()->RegisterEventScope(PeFailureScope("defaultPeRestart"));
+    orca.RegisterEventScope(PeFailureScope("defaultPeRestart"));
   }
   for (auto& rule : job_rules_) {
     JobEventScope registered(rule.key, rule.scope.kind());
     for (const auto& application : rule.scope.applications()) {
       registered.AddApplicationFilter(application);
     }
-    orca()->RegisterEventScope(registered);
+    orca.RegisterEventScope(registered);
   }
   for (auto& rule : user_rules_) {
     UserEventScope registered(rule.key);
     for (const auto& name : rule.scope.names()) {
       registered.AddNameFilter(name);
     }
-    orca()->RegisterEventScope(registered);
+    orca.RegisterEventScope(registered);
   }
-  if (start_action_) start_action_(orca());
+  if (start_action_) start_action_(orca);
 }
 
 void RuleOrchestrator::HandleOperatorMetricEvent(
-    const OperatorMetricContext& context,
+    OrcaContext& orca, const OperatorMetricContext& context,
     const std::vector<std::string>& scopes) {
   for (const auto& rule : metric_rules_) {
     if (!Matched(scopes, rule.key)) continue;
     if (rule.condition && !rule.condition(context)) continue;
     ++fire_counts_[rule.key];
-    if (rule.action) rule.action(orca(), context);
+    if (rule.action) rule.action(orca, context);
   }
 }
 
 void RuleOrchestrator::HandlePeFailureEvent(
-    const PeFailureContext& context, const std::vector<std::string>& scopes) {
+    OrcaContext& orca, const PeFailureContext& context,
+    const std::vector<std::string>& scopes) {
   bool specialized = false;
   for (const auto& rule : failure_rules_) {
     if (!Matched(scopes, rule.key)) continue;
     if (rule.condition && !rule.condition(context)) continue;
     specialized = true;
     ++fire_counts_[rule.key];
-    if (rule.action) rule.action(orca(), context);
+    if (rule.action) rule.action(orca, context);
   }
   // §7: take the default adaptation action when no specialization is
   // provided for this event.
   if (!specialized && default_pe_restart_ &&
       Matched(scopes, "defaultPeRestart")) {
     ++fire_counts_["defaultPeRestart"];
-    orca()->RestartPe(context.pe);
+    orca.RestartPe(context.pe);
   }
 }
 
 void RuleOrchestrator::HandleJobSubmissionEvent(
-    const JobEventContext& context, const std::vector<std::string>& scopes) {
+    OrcaContext& orca, const JobEventContext& context,
+    const std::vector<std::string>& scopes) {
   for (const auto& rule : job_rules_) {
     if (rule.on_submission && Matched(scopes, rule.key)) {
       ++fire_counts_[rule.key];
-      if (rule.action) rule.action(orca(), context);
+      if (rule.action) rule.action(orca, context);
     }
   }
 }
 
 void RuleOrchestrator::HandleJobCancellationEvent(
-    const JobEventContext& context, const std::vector<std::string>& scopes) {
+    OrcaContext& orca, const JobEventContext& context,
+    const std::vector<std::string>& scopes) {
   for (const auto& rule : job_rules_) {
     if (!rule.on_submission && Matched(scopes, rule.key)) {
       ++fire_counts_[rule.key];
-      if (rule.action) rule.action(orca(), context);
+      if (rule.action) rule.action(orca, context);
     }
   }
 }
 
-void RuleOrchestrator::HandleTimerEvent(const TimerContext& context) {
+void RuleOrchestrator::HandleTimerEvent(OrcaContext& orca,
+                                        const TimerContext& context) {
   auto it = timer_rules_.find(context.name);
   if (it != timer_rules_.end()) {
     ++fire_counts_["timer:" + context.name];
-    if (it->second) it->second(orca(), context);
+    if (it->second) it->second(orca, context);
   }
 }
 
 void RuleOrchestrator::HandleUserEvent(
-    const UserEventContext& context, const std::vector<std::string>& scopes) {
+    OrcaContext& orca, const UserEventContext& context,
+    const std::vector<std::string>& scopes) {
   for (const auto& rule : user_rules_) {
     if (Matched(scopes, rule.key)) {
       ++fire_counts_[rule.key];
-      if (rule.action) rule.action(orca(), context);
+      if (rule.action) rule.action(orca, context);
     }
   }
 }

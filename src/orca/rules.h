@@ -8,11 +8,10 @@
 #include <vector>
 
 #include "orca/event_scope.h"
+#include "orca/orca_context.h"
 #include "orca/orchestrator.h"
 
 namespace orcastream::orca {
-
-class OrcaService;
 
 /// The §7 future-work option, implemented: rule-based orchestration
 /// "similar to complex event processing": users express event
@@ -21,34 +20,43 @@ class OrcaService;
 /// specialization is provided — e.g. automatic PE restart.
 ///
 ///   auto logic = std::make_unique<RuleOrchestrator>();
-///   logic->OnStart([](OrcaService* orca) {
-///     orca->SubmitApplication("myapp");
+///   logic->OnStart([](OrcaContext& orca) {
+///     orca.SubmitApplication("myapp");
 ///   });
 ///   OperatorMetricScope queue("q");
 ///   queue.AddOperatorMetric(BuiltinMetric::kQueueSize);
 ///   logic->WhenMetric(queue,
 ///       [](const OperatorMetricContext& m) { return m.value > 1000; },
-///       [](OrcaService* orca, const OperatorMetricContext& m) {
-///         orca->InjectUserEvent("overload");
+///       [](OrcaContext& orca, const OperatorMetricContext& m) {
+///         orca.InjectUserEvent("overload");
 ///       });
 ///   logic->WithDefaultPeRestart();  // any PE failure -> restart
 ///
 /// Each rule's scope is registered under a generated key; event dispatch
 /// routes a delivered event to exactly the rules whose keys matched, so
 /// the §4.1 scope semantics carry over unchanged.
+///
+/// Rule scopes are registered from the start-event handler, so under
+/// worker-pool dispatch (Config::dispatch_threads > 0) they only start
+/// matching once the simulation thread applies the staged registrations
+/// — events published before then are dropped (see the registration
+/// caveat in orchestrator.h). Rule logic is best run on the serial or
+/// DeterministicExecutor dispatch paths.
 class RuleOrchestrator : public Orchestrator {
  public:
-  using StartAction = std::function<void(OrcaService*)>;
+  // Actions receive the delivery's OrcaContext: valid for the duration
+  // of the action only, safe in every dispatch mode (see orca_context.h).
+  using StartAction = std::function<void(OrcaContext&)>;
   using MetricCondition = std::function<bool(const OperatorMetricContext&)>;
   using MetricAction =
-      std::function<void(OrcaService*, const OperatorMetricContext&)>;
+      std::function<void(OrcaContext&, const OperatorMetricContext&)>;
   using FailureCondition = std::function<bool(const PeFailureContext&)>;
   using FailureAction =
-      std::function<void(OrcaService*, const PeFailureContext&)>;
-  using JobAction = std::function<void(OrcaService*, const JobEventContext&)>;
-  using TimerAction = std::function<void(OrcaService*, const TimerContext&)>;
+      std::function<void(OrcaContext&, const PeFailureContext&)>;
+  using JobAction = std::function<void(OrcaContext&, const JobEventContext&)>;
+  using TimerAction = std::function<void(OrcaContext&, const TimerContext&)>;
   using UserAction =
-      std::function<void(OrcaService*, const UserEventContext&)>;
+      std::function<void(OrcaContext&, const UserEventContext&)>;
 
   /// Runs once when the orchestrator starts (after rule registration).
   RuleOrchestrator& OnStart(StartAction action);
@@ -82,20 +90,23 @@ class RuleOrchestrator : public Orchestrator {
 
   // --- Orchestrator plumbing -------------------------------------------
 
-  void HandleOrcaStart(const OrcaStartContext& context) override;
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext& context) override;
   void HandleOperatorMetricEvent(
-      const OperatorMetricContext& context,
+      OrcaContext& orca, const OperatorMetricContext& context,
       const std::vector<std::string>& scopes) override;
-  void HandlePeFailureEvent(const PeFailureContext& context,
+  void HandlePeFailureEvent(OrcaContext& orca,
+                            const PeFailureContext& context,
                             const std::vector<std::string>& scopes) override;
   void HandleJobSubmissionEvent(
-      const JobEventContext& context,
+      OrcaContext& orca, const JobEventContext& context,
       const std::vector<std::string>& scopes) override;
   void HandleJobCancellationEvent(
-      const JobEventContext& context,
+      OrcaContext& orca, const JobEventContext& context,
       const std::vector<std::string>& scopes) override;
-  void HandleTimerEvent(const TimerContext& context) override;
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleTimerEvent(OrcaContext& orca,
+                        const TimerContext& context) override;
+  void HandleUserEvent(OrcaContext& orca, const UserEventContext& context,
                        const std::vector<std::string>& scopes) override;
 
  private:

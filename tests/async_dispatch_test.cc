@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,11 +77,11 @@ class DetRecordingLogic : public Orchestrator {
   DetRecordingLogic(sim::Simulation* sim, EventBus* bus)
       : sim_(sim), bus_(bus) {}
 
-  void HandleOrcaStart(const OrcaStartContext&) override {
+  void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {
     order.push_back("<start>");
   }
 
-  void HandlePeMetricEvent(const PeMetricContext& context,
+  void HandlePeMetricEvent(OrcaContext&, const PeMetricContext& context,
                            const std::vector<std::string>& scopes) override {
     std::string payload = context.application + "#" +
                           std::to_string(context.value) + "/" +
@@ -98,7 +99,7 @@ class DetRecordingLogic : public Orchestrator {
     }
   }
 
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     order.push_back("u:" + context.name);
     per_app["<residual>"].push_back("u:" + context.name);
@@ -342,19 +343,21 @@ TEST(DeterministicDispatchTest, FrontPublishedStartGatesApplicationQueues) {
 
 class ScopedOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
-    orca()->RegisterEventScope(UserEventScope("user"));
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
+    orca.RegisterEventScope(UserEventScope("user"));
     OperatorMetricScope metrics("metrics");
-    orca()->RegisterEventScope(metrics);
+    orca.RegisterEventScope(metrics);
     start_order = next_index++;
     ++starts;
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     delivered.push_back("u:" + context.name);
     ++next_index;
   }
-  void HandleOperatorMetricEvent(const OperatorMetricContext& context,
+  void HandleOperatorMetricEvent(OrcaContext&,
+                                 const OperatorMetricContext& context,
                                  const std::vector<std::string>&) override {
     delivered.push_back("m:" + context.instance_name + "." + context.metric);
     ++next_index;
@@ -447,8 +450,8 @@ TEST(AsyncServiceTest, ShutdownToLoadRedeliversQueuedEventsDeterministic) {
 /// asserted via strictly-increasing values.
 class PoolRecordingLogic : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {}
-  void HandlePeMetricEvent(const PeMetricContext& context,
+  void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {}
+  void HandlePeMetricEvent(OrcaContext&, const PeMetricContext& context,
                            const std::vector<std::string>&) override {
     std::lock_guard<std::mutex> lock(mu);
     std::vector<int64_t>& values = per_app[context.application];
@@ -495,7 +498,8 @@ TEST(ThreadPoolDispatchTest, StartEventKeepsSimTimeStamp) {
   EventBus bus(&sim, AsyncConfig(pool));
   class StartLogic : public Orchestrator {
    public:
-    void HandleOrcaStart(const OrcaStartContext& context) override {
+    void HandleOrcaStart(OrcaContext&,
+                         const OrcaStartContext& context) override {
       start_at = context.at;
     }
     std::atomic<double> start_at{-1};
@@ -523,8 +527,8 @@ struct StressState;
 class StressLogic : public Orchestrator {
  public:
   explicit StressLogic(StressState* state) : state_(state) {}
-  void HandleOrcaStart(const OrcaStartContext&) override {}
-  void HandlePeMetricEvent(const PeMetricContext& context,
+  void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {}
+  void HandlePeMetricEvent(OrcaContext&, const PeMetricContext& context,
                            const std::vector<std::string>& scopes) override;
 
  private:
@@ -567,8 +571,9 @@ struct StressState {
   }
 };
 
-void StressLogic::HandlePeMetricEvent(const PeMetricContext& context,
-                                      const std::vector<std::string>& scopes) {
+void StressLogic::HandlePeMetricEvent(
+    OrcaContext&, const PeMetricContext& context,
+    const std::vector<std::string>& scopes) {
   state_->Record(context.application, context.value, scopes.size());
   int64_t n = state_->total.fetch_add(1) + 1;
   if (n % 97 == 0) state_->SelfReplace(this);
@@ -631,6 +636,449 @@ TEST(ThreadPoolDispatchTest, ChurnAndSelfReplacementSoak) {
   bus.set_logic(nullptr);
 }
 
+// --- Actuating handlers: async-vs-serial equivalence ------------------------
+
+/// Satellite: the OrcaContext equivalence suite with *actuating*
+/// handlers. The logic registers/unregisters scopes, restarts PEs,
+/// submits and cancels applications mid-delivery — all through the
+/// per-delivery context. Per-application delivery streams and
+/// transaction journals must stay byte-identical between the serial bus
+/// and the DeterministicExecutor across seeds (the context's immediate
+/// mode is the serial oracle, preserved).
+class ActuatingOrca : public Orchestrator {
+ public:
+  explicit ActuatingOrca(std::vector<std::string> hub_apps)
+      : hub_apps_(std::move(hub_apps)) {}
+
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
+    per_app["<residual>"].push_back("<start>");
+    OperatorMetricScope ops("ops");
+    ops.SetMetricKindFilter(runtime::MetricKind::kCustom);
+    for (const auto& hub : hub_apps_) ops.AddApplicationFilter(hub);
+    orca.RegisterEventScope(ops);
+    orca.RegisterEventScope(JobEventScope("jobs"));
+    orca.RegisterEventScope(UserEventScope("user"));
+    orca.RegisterEventScope(PeFailureScope("fail"));
+    orca.SetMetricPullPeriod(5.0);
+    for (const auto& hub : hub_apps_) {
+      // hub0 -> "hub0" config id (apps are named Hub<k>).
+      orca.SubmitApplication("hub" + hub.substr(3));
+    }
+  }
+
+  void HandleOperatorMetricEvent(
+      OrcaContext& orca, const OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override {
+    std::string keys;
+    for (const auto& key : scopes) keys += key + "+";
+    Record(context.application,
+           "m:" + context.instance_name + "." + context.metric + "=" +
+               std::to_string(context.value) + "@" +
+               std::to_string(context.epoch) + "/" + keys,
+           orca);
+    // Scope churn keyed off the (deterministic) metric value: toggling
+    // "dyn-<app>" changes which keys later events of THIS application
+    // match — divergence in registry handling shows up in the streams.
+    if (context.value % 5 == 3) {
+      std::string key = "dyn-" + context.application;
+      if (dyn_registered_.count(key) == 0) {
+        OperatorMetricScope dyn(key);
+        dyn.AddApplicationFilter(context.application);
+        dyn.SetMetricKindFilter(runtime::MetricKind::kCustom);
+        orca.RegisterEventScope(dyn);
+        dyn_registered_.insert(key);
+      } else {
+        orca.UnregisterEventScope(key);
+        dyn_registered_.erase(key);
+      }
+    }
+    // Journaled runtime-error path (§3): the PE is running, so the
+    // restart is refused — deterministically — after being journaled.
+    if (context.value % 7 == 2) orca.RestartPe(context.pe);
+    // Expand/contract the child application of this hub, driven purely
+    // by logic-local state so the decision is schedule-independent.
+    if (context.metric == "nSeen") {
+      std::string child = "child" + context.application.substr(3);
+      bool& submitted = child_submitted_[child];
+      if (context.epoch % 2 == 0 && !submitted) {
+        orca.SubmitApplication(child);
+        submitted = true;
+      } else if (context.epoch % 2 == 1 && submitted) {
+        orca.CancelApplication(child);
+        submitted = false;
+      }
+    }
+  }
+
+  void HandlePeFailureEvent(OrcaContext& orca,
+                            const PeFailureContext& context,
+                            const std::vector<std::string>&) override {
+    Record(context.application, "f:" + context.reason, orca);
+    orca.RestartPe(context.pe);  // a real restart: the PE crashed
+  }
+
+  void HandleJobSubmissionEvent(OrcaContext& orca,
+                                const JobEventContext& context,
+                                const std::vector<std::string>&) override {
+    Record(context.application, "j+:" + context.config_id, orca);
+  }
+
+  void HandleJobCancellationEvent(OrcaContext& orca,
+                                  const JobEventContext& context,
+                                  const std::vector<std::string>&) override {
+    Record(context.application, "j-:" + context.config_id, orca);
+  }
+
+  void HandleUserEvent(OrcaContext& orca, const UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    Record("<residual>", "u:" + context.name, orca);
+  }
+
+  std::map<std::string, std::vector<std::string>> per_app;
+  /// Per application: the delivery transactions its events ran in, in
+  /// delivery order (joined with the journal after the run).
+  std::map<std::string, std::vector<TransactionId>> txns;
+
+ private:
+  void Record(const std::string& app, std::string payload,
+              OrcaContext& orca) {
+    per_app[app].push_back(std::move(payload));
+    txns[app].push_back(orca.current_transaction());
+  }
+
+  std::vector<std::string> hub_apps_;
+  std::set<std::string> dyn_registered_;
+  std::map<std::string, bool> child_submitted_;
+};
+
+struct ActuatingRun {
+  std::map<std::string, std::vector<std::string>> per_app;
+  std::map<std::string, std::vector<std::string>> journal;
+  uint64_t delivered = 0;
+};
+
+ActuatingRun RunActuatingWorkload(uint64_t seed, bool async) {
+  ClusterHarness cluster(4);
+  cluster.factory().RegisterOrReplace("CountingSink", [] {
+    return std::make_unique<ops::CallbackSink>(
+        [](const topology::Tuple&, runtime::OperatorContext* ctx) {
+          ctx->CreateCustomMetric("nSeen");
+          ctx->AddToCustomMetric("nSeen", 1);
+        });
+  });
+  OrcaService::Config config;
+  if (async) {
+    config.dispatch_executor =
+        std::make_shared<DeterministicExecutor>(&cluster.sim(), seed);
+  }
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm(),
+                      config);
+
+  constexpr int kHubs = 4;
+  std::vector<std::string> hub_apps;
+  for (int i = 0; i < kHubs; ++i) {
+    std::string hub = "Hub" + std::to_string(i);
+    hub_apps.push_back(hub);
+    AppBuilder builder(hub);
+    builder.AddOperator("src", "Beacon").Output("raw").Param("period", 0.5);
+    builder.AddOperator("snk", "CountingSink").Input("raw");
+    AppConfig app_config;
+    app_config.id = "hub" + std::to_string(i);
+    app_config.application_name = hub;
+    EXPECT_TRUE(
+        service.RegisterApplication(app_config, *builder.Build()).ok());
+    AppBuilder child_builder("Child" + std::to_string(i));
+    child_builder.AddOperator("src", "Beacon")
+        .Output("raw")
+        .Param("period", 1.0);
+    child_builder.AddOperator("snk", "NullSink").Input("raw");
+    AppConfig child_config;
+    child_config.id = "child" + std::to_string(i);
+    child_config.application_name = "Child" + std::to_string(i);
+    EXPECT_TRUE(
+        service.RegisterApplication(child_config, *child_builder.Build())
+            .ok());
+  }
+
+  auto logic_holder = std::make_unique<ActuatingOrca>(hub_apps);
+  ActuatingOrca* logic = logic_holder.get();
+  EXPECT_TRUE(service.Load(std::move(logic_holder)).ok());
+  cluster.sim().RunFor(0.5);
+
+  common::Rng rng(seed * 77 + 1);
+  int kills = 0;
+  for (int step = 0; step < 60; ++step) {
+    int64_t pick = rng.UniformInt(0, 9);
+    if (pick <= 2) {
+      service.InjectUserEvent("u" + std::to_string(step));
+    } else if (pick <= 4) {
+      service.PullMetricsNow();
+    } else if (pick == 5 && kills < 3) {
+      // Crash a hub sink PE; the failure handler restarts it.
+      std::string hub = "hub" + std::to_string(rng.UniformInt(0, kHubs - 1));
+      auto job = service.RunningJob(hub);
+      if (job.ok()) {
+        auto pe = cluster.sam().FindJob(job.value())->PeOfOperator("snk");
+        if (pe.ok() && cluster.sam().KillPe(pe.value(), "crash").ok()) {
+          ++kills;
+        }
+      }
+    } else {
+      cluster.sim().RunFor(1.0);
+    }
+  }
+  cluster.sim().RunFor(5.0);
+
+  ActuatingRun result;
+  result.per_app = logic->per_app;
+  result.delivered = service.events_delivered();
+  // Join the per-app transaction streams with the journal: summary +
+  // actuations + commit state, in delivery order per application.
+  for (const auto& [app, txn_list] : logic->txns) {
+    for (TransactionId txn : txn_list) {
+      const TransactionLog::Record* record =
+          service.transactions().Find(txn);
+      std::string entry = record == nullptr ? "<none>"
+                                            : record->event_summary;
+      if (record != nullptr) {
+        for (const auto& actuation : record->actuations) {
+          entry += "|" + actuation;
+        }
+        entry += record->state == TransactionLog::State::kCommitted
+                     ? "|committed"
+                     : "|uncommitted";
+      }
+      result.journal[app].push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+TEST(ActuatingDispatchTest, AsyncMatchesSerialWithActuatingHandlers) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ActuatingRun serial = RunActuatingWorkload(seed, /*async=*/false);
+    ActuatingRun async = RunActuatingWorkload(seed, /*async=*/true);
+    EXPECT_EQ(serial.delivered, async.delivered) << "seed " << seed;
+    EXPECT_EQ(serial.per_app, async.per_app) << "seed " << seed;
+    EXPECT_EQ(serial.journal, async.journal) << "seed " << seed;
+    // The workload must actually exercise the actuation surface.
+    bool any_restart = false;
+    for (const auto& [app, entries] : serial.journal) {
+      for (const auto& entry : entries) {
+        if (entry.find("restartPe(") != std::string::npos) {
+          any_restart = true;
+        }
+      }
+    }
+    EXPECT_TRUE(any_restart) << "seed " << seed;
+    EXPECT_GE(serial.per_app.size(), 2u) << "seed " << seed;
+  }
+}
+
+// --- ThreadPool: staged actuation through the OrcaContext -------------------
+
+/// Satellite: the actuating ThreadPool soak. Worker-thread handlers
+/// actuate through their (staged) OrcaContext — scope churn, application
+/// submissions, pull-period changes, timers — while the simulation
+/// thread concurrently applies the staged batches and pumps the
+/// simulation. ASan/TSan watch the marshalling path; the guard
+/// regression asserts that *direct* service calls from the worker are
+/// refused with a Status instead of racing (the old Debug-only assert,
+/// now a Release-mode guard).
+TEST(ThreadPoolServiceTest, ActuatingHandlersStageAndApply) {
+  ClusterHarness cluster(3);
+  OrcaService::Config config;
+  config.dispatch_threads = 4;
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm(),
+                      config);
+  // Delivery depends on this unowned scope, registered from the sim
+  // thread up front — handler-registered scopes apply asynchronously at
+  // commit, so the soak only uses them for churn, not for delivery.
+  service.RegisterEventScope(UserEventScope("user"));
+
+  constexpr int kChildren = 3;
+  for (int i = 0; i < kChildren; ++i) {
+    AppBuilder builder("Child" + std::to_string(i));
+    builder.AddOperator("src", "Beacon").Output("raw").Param("period", 1.0);
+    builder.AddOperator("snk", "NullSink").Input("raw");
+    AppConfig app_config;
+    app_config.id = "child" + std::to_string(i);
+    app_config.application_name = "Child" + std::to_string(i);
+    ASSERT_TRUE(
+        service.RegisterApplication(app_config, *builder.Build()).ok());
+  }
+
+  struct SoakState {
+    OrcaService* service = nullptr;
+    std::atomic<int64_t> delivered{0};
+    std::atomic<int> submits_staged{0};
+    std::atomic<int> timers_created{0};
+    std::atomic<bool> guard_failed_precondition{true};
+    std::atomic<bool> staged_calls_returned_ok{true};
+    std::atomic<bool> timer_ids_valid{true};
+    std::atomic<bool> snapshot_reads_ok{true};
+    std::atomic<double> start_now{-1};
+  } state;
+  state.service = &service;
+
+  class SoakLogic : public Orchestrator {
+   public:
+    explicit SoakLogic(SoakState* state) : state_(state) {}
+    void HandleOrcaStart(OrcaContext& orca,
+                         const OrcaStartContext&) override {
+      EXPECT_TRUE(orca.staged());
+      // The staged clock is pinned at the Load-time publication, not at
+      // service construction.
+      state_->start_now = orca.Now();
+    }
+    void HandleUserEvent(OrcaContext& orca, const UserEventContext& context,
+                         const std::vector<std::string>&) override {
+      int64_t n = state_->delivered.fetch_add(1) + 1;
+      // Snapshot reads: consistent, lock-free against the sim thread.
+      if (orca.Now() < 0) state_->snapshot_reads_ok = false;
+      (void)orca.graph().jobs();
+      (void)orca.IsRunning("child0");
+      (void)orca.metric_pull_period();
+      // Staged actuations, exercised across the surface.
+      if (n <= 3) {
+        std::string child = "child" + std::to_string(n - 1);
+        if (!orca.SubmitApplication(child).ok()) {
+          state_->staged_calls_returned_ok = false;
+        }
+        ++state_->submits_staged;
+      }
+      if (n % 50 == 0) {
+        OperatorMetricScope churn("churn-" + std::to_string(n));
+        orca.RegisterEventScope(churn);
+        orca.UnregisterEventScope("churn-" + std::to_string(n));
+        orca.SetMetricPullPeriod(7.0 + static_cast<double>(n % 3));
+      }
+      if (n % 97 == 0) {
+        common::TimerId id =
+            orca.CreateTimer(1e9, "soak-" + std::to_string(n));
+        if (id.value() == 0) state_->timer_ids_valid = false;
+        ++state_->timers_created;
+        orca.CancelTimer(id);
+      }
+      if (context.name == "probe-guard") {
+        // Regression (old CheckNotInWorkerHandler assert): a residual
+        // DIRECT service call from a worker-thread handler must be
+        // refused with FailedPrecondition in every build mode — and must
+        // not take effect.
+        common::Status direct = state_->service->SubmitApplication("child0");
+        if (!direct.IsFailedPrecondition()) {
+          state_->guard_failed_precondition = false;
+        }
+        if (state_->service->CreateTimer(1.0, "never").value() != 0) {
+          state_->timer_ids_valid = false;
+        }
+      }
+    }
+
+   private:
+    SoakState* state_;
+  };
+
+  cluster.sim().RunUntil(3);  // the clock must be pinned at Load, not t=0
+  ASSERT_TRUE(service.Load(std::make_unique<SoakLogic>(&state)).ok());
+  // Let the start event deliver before anything else publishes, so its
+  // handler's pinned Now() is unambiguously the Load-time clock.
+  while (service.events_delivered() < 1) std::this_thread::yield();
+  EXPECT_DOUBLE_EQ(state.start_now.load(), 3.0);
+
+  constexpr int64_t kEvents = 1500;
+  for (int64_t i = 0; i < kEvents; ++i) {
+    service.InjectUserEvent(i == 200 ? "probe-guard"
+                                     : "evt" + std::to_string(i));
+    if (i % 64 == 0) {
+      // The simulation thread's run loop: marshal staged batches out of
+      // the mailbox and advance the simulation (atomic introspection
+      // reads race harmlessly with the workers — TSan-clean by design).
+      service.ApplyStagedActuations();
+      (void)service.events_delivered();
+      (void)service.queue_depth();
+      cluster.sim().RunFor(0.01);
+    }
+  }
+  while (service.events_delivered() < kEvents + 1) {
+    service.ApplyStagedActuations();
+    std::this_thread::yield();
+  }
+  service.ApplyStagedActuations();
+  cluster.sim().RunFor(2.0);  // complete the staged submissions' tasks
+  EXPECT_EQ(service.staged_actuations_pending(), 0u);
+
+  EXPECT_EQ(state.delivered.load(), kEvents);
+  EXPECT_EQ(state.submits_staged.load(), 3);
+  EXPECT_TRUE(state.staged_calls_returned_ok.load());
+  EXPECT_TRUE(state.guard_failed_precondition.load());
+  EXPECT_TRUE(state.timer_ids_valid.load());
+  EXPECT_TRUE(state.snapshot_reads_ok.load());
+  EXPECT_GT(state.timers_created.load(), 0);
+  // The staged submissions went through on the simulation thread.
+  for (int i = 0; i < kChildren; ++i) {
+    EXPECT_TRUE(service.IsRunning("child" + std::to_string(i))) << i;
+  }
+  // The staged calls were journaled into their delivery transactions.
+  bool journaled = false;
+  for (const TransactionLog::Record* record :
+       service.transactions().records()) {
+    for (const auto& actuation : record->actuations) {
+      if (actuation.find("submitApplication(child") != std::string::npos) {
+        journaled = true;
+      }
+    }
+  }
+  EXPECT_TRUE(journaled);
+  service.Shutdown();
+}
+
+/// Staged batches apply in handler call order at commit: the last call
+/// in the batch wins.
+TEST(ThreadPoolServiceTest, StagedActuationsApplyInCallOrder) {
+  ClusterHarness cluster(2);
+  OrcaService::Config config;
+  config.dispatch_threads = 2;
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm(),
+                      config);
+  service.RegisterEventScope(UserEventScope("user"));
+  class OrderLogic : public Orchestrator {
+   public:
+    void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {}
+    void HandleUserEvent(OrcaContext& orca, const UserEventContext&,
+                         const std::vector<std::string>&) override {
+      orca.SetMetricPullPeriod(3.0);
+      orca.SetMetricPullPeriod(11.0);
+      EXPECT_EQ(orca.staged_count(), 2u);
+    }
+  };
+  ASSERT_TRUE(service.Load(std::make_unique<OrderLogic>()).ok());
+  service.InjectUserEvent("go");
+  while (service.events_delivered() < 2) std::this_thread::yield();
+  EXPECT_EQ(service.ApplyStagedActuations(), 2u);
+  EXPECT_EQ(service.metric_pull_period(), 11.0);
+  service.Shutdown();
+}
+
+/// Outside a worker handler the guard admits everything: the same calls
+/// that are refused from a worker-thread handler keep working from the
+/// simulation thread of a ThreadPool-dispatch service.
+TEST(ThreadPoolServiceTest, GuardOnlyRejectsWorkerHandlerEntry) {
+  ClusterHarness cluster(2);
+  OrcaService::Config config;
+  config.dispatch_threads = 2;
+  OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm(),
+                      config);
+  service.RegisterEventScope(UserEventScope("standing"));
+  EXPECT_EQ(service.scopes().size(), 1u);
+  common::TimerId timer = service.CreateTimer(100.0, "later");
+  EXPECT_NE(timer.value(), 0);
+  service.CancelTimer(timer);
+  EXPECT_TRUE(
+      service.SubmitApplication("nope").IsNotFound());  // not guarded away
+}
+
 TEST(ThreadPoolServiceTest, ServiceDeliversAndDrainsOnShutdown) {
   ClusterHarness cluster(2);
   OrcaService::Config config;
@@ -651,10 +1099,10 @@ TEST(ThreadPoolServiceTest, ServiceDeliversAndDrainsOnShutdown) {
   class CountingLogic : public Orchestrator {
    public:
     explicit CountingLogic(Counts* counts) : counts_(counts) {}
-    void HandleOrcaStart(const OrcaStartContext&) override {
+    void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {
       ++counts_->starts;
     }
-    void HandleUserEvent(const UserEventContext&,
+    void HandleUserEvent(OrcaContext&, const UserEventContext&,
                          const std::vector<std::string>&) override {
       ++counts_->delivered;
     }

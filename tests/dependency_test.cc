@@ -80,15 +80,17 @@ ApplicationModel TinyApp(const std::string& name) {
 /// Minimal logic that records job events.
 class PassiveOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
     JobEventScope scope("jobs");
-    orca()->RegisterEventScope(scope);
+    orca.RegisterEventScope(scope);
   }
-  void HandleJobSubmissionEvent(const JobEventContext& context,
+  void HandleJobSubmissionEvent(OrcaContext&, const JobEventContext& context,
                                 const std::vector<std::string>&) override {
     submissions.emplace_back(context.config_id, context.at);
   }
-  void HandleJobCancellationEvent(const JobEventContext& context,
+  void HandleJobCancellationEvent(OrcaContext&,
+                                  const JobEventContext& context,
                                   const std::vector<std::string>&) override {
     cancellations.emplace_back(context.config_id, context.at);
   }

@@ -82,7 +82,7 @@ TEST(OrcaEdgeTest, ManagedPeBecomesForeignAfterAppCancellation) {
   ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
   auto rules = std::make_unique<orca::RuleOrchestrator>();
   rules->OnStart(
-      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+      [](orca::OrcaContext& orca) { orca.SubmitApplication("app"); });
   ASSERT_TRUE(service.Load(std::move(rules)).ok());
   cluster.sim().RunUntil(1);
 
@@ -104,7 +104,7 @@ TEST(OrcaEdgeTest, ResubmissionAfterCancellationGetsFreshJob) {
   ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
   auto rules = std::make_unique<orca::RuleOrchestrator>();
   rules->OnStart(
-      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+      [](orca::OrcaContext& orca) { orca.SubmitApplication("app"); });
   ASSERT_TRUE(service.Load(std::move(rules)).ok());
   cluster.sim().RunUntil(1);
   auto first = service.RunningJob("app");
@@ -128,7 +128,7 @@ TEST(OrcaEdgeTest, DoubleSubmitIsIdempotentWhileRunning) {
   ASSERT_TRUE(service.RegisterApplication(config, TinyApp("App")).ok());
   auto rules = std::make_unique<orca::RuleOrchestrator>();
   rules->OnStart(
-      [](orca::OrcaService* orca) { orca->SubmitApplication("app"); });
+      [](orca::OrcaContext& orca) { orca.SubmitApplication("app"); });
   ASSERT_TRUE(service.Load(std::move(rules)).ok());
   cluster.sim().RunUntil(1);
   auto job = service.RunningJob("app");
@@ -149,10 +149,10 @@ TEST(OrcaEdgeTest, TimersSurviveAcrossManyFirings) {
   orca::OrcaService service(&cluster.sim(), &cluster.sam(), &cluster.srm());
   auto rules = std::make_unique<orca::RuleOrchestrator>();
   int fired = 0;
-  rules->OnStart([](orca::OrcaService* orca) {
-    orca->CreateTimer(1.0, "tick", /*recurring=*/true, 1.0);
+  rules->OnStart([](orca::OrcaContext& orca) {
+    orca.CreateTimer(1.0, "tick", /*recurring=*/true, 1.0);
   });
-  rules->WhenTimer("tick", [&fired](orca::OrcaService*,
+  rules->WhenTimer("tick", [&fired](orca::OrcaContext&,
                                     const orca::TimerContext&) { ++fired; });
   ASSERT_TRUE(service.Load(std::move(rules)).ok());
   cluster.sim().RunUntil(100.5);

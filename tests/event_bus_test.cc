@@ -37,9 +37,11 @@ class RecordingLogic : public Orchestrator {
   RecordingLogic(sim::Simulation* sim, EventBus* bus)
       : sim_(sim), bus_(bus) {}
 
-  void HandleOrcaStart(const OrcaStartContext&) override { ++starts; }
+  void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {
+    ++starts;
+  }
 
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     delivered.push_back(context.name);
     delivered_at.push_back(sim_->Now());
@@ -199,14 +201,15 @@ TEST(EventBusTest, EveryDeliveryIsJournaled) {
 
 class PacedOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
-    orca()->RegisterEventScope(UserEventScope("user"));
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
+    orca.RegisterEventScope(UserEventScope("user"));
     ++starts;
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext& orca, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     delivered.push_back(context.name);
-    delivered_at.push_back(orca()->Now());
+    delivered_at.push_back(orca.Now());
   }
   int starts = 0;
   std::vector<std::string> delivered;

@@ -66,15 +66,16 @@ TEST(TransactionLogTest, AbortAndUnknownIdsAreSafe) {
 
 class ActingOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
-    orca()->RegisterEventScope(UserEventScope("user"));
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
+    orca.RegisterEventScope(UserEventScope("user"));
     starts++;
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext& orca, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     events.push_back(context.name);
     if (context.name == "actuate") {
-      orca()->SubmitApplication("app");
+      orca.SubmitApplication("app");
     }
   }
   int starts = 0;
@@ -173,14 +174,14 @@ TEST_F(RulesTest, MetricRuleFiresOnCondition) {
   auto logic = std::make_unique<RuleOrchestrator>();
   RuleOrchestrator* rules = logic.get();
   int64_t seen = 0;
-  logic->OnStart([](OrcaService* orca) { orca->SubmitApplication("app"); });
+  logic->OnStart([](OrcaContext& orca) { orca.SubmitApplication("app"); });
   OperatorMetricScope scope("ignored-key");
   scope.AddOperatorNameFilter("src");
   scope.AddOperatorMetric(BuiltinMetric::kNumTuplesSubmitted);
   logic->WhenMetric(
       scope,
       [](const OperatorMetricContext& context) { return context.value > 5; },
-      [&seen](OrcaService*, const OperatorMetricContext& context) {
+      [&seen](OrcaContext&, const OperatorMetricContext& context) {
         seen = context.value;
       });
   ASSERT_TRUE(service_->Load(std::move(logic)).ok());
@@ -195,7 +196,7 @@ TEST_F(RulesTest, MetricRuleFiresOnCondition) {
 TEST_F(RulesTest, DefaultPeRestartKicksInWithoutSpecialization) {
   auto logic = std::make_unique<RuleOrchestrator>();
   RuleOrchestrator* rules = logic.get();
-  logic->OnStart([](OrcaService* orca) { orca->SubmitApplication("app"); });
+  logic->OnStart([](OrcaContext& orca) { orca.SubmitApplication("app"); });
   logic->WithDefaultPeRestart();
   ASSERT_TRUE(service_->Load(std::move(logic)).ok());
   cluster_.sim().RunUntil(2);
@@ -214,11 +215,11 @@ TEST_F(RulesTest, ExplicitFailureRuleSuppressesDefault) {
   auto logic = std::make_unique<RuleOrchestrator>();
   RuleOrchestrator* rules = logic.get();
   int custom_fired = 0;
-  logic->OnStart([](OrcaService* orca) { orca->SubmitApplication("app"); });
+  logic->OnStart([](OrcaContext& orca) { orca.SubmitApplication("app"); });
   PeFailureScope scope("ignored");
   scope.AddApplicationFilter("App");
   logic->WhenFailure(scope, nullptr,
-                     [&custom_fired](OrcaService*, const PeFailureContext&) {
+                     [&custom_fired](OrcaContext&, const PeFailureContext&) {
                        ++custom_fired;  // deliberately does NOT restart
                      });
   logic->WithDefaultPeRestart();
@@ -237,22 +238,22 @@ TEST_F(RulesTest, ExplicitFailureRuleSuppressesDefault) {
 TEST_F(RulesTest, TimerUserAndJobRules) {
   auto logic = std::make_unique<RuleOrchestrator>();
   int timer_fired = 0, user_fired = 0, job_fired = 0;
-  logic->OnStart([](OrcaService* orca) {
-    orca->CreateTimer(5.0, "check");
-    orca->SubmitApplication("app");
+  logic->OnStart([](OrcaContext& orca) {
+    orca.CreateTimer(5.0, "check");
+    orca.SubmitApplication("app");
   });
-  logic->WhenTimer("check", [&timer_fired](OrcaService*,
+  logic->WhenTimer("check", [&timer_fired](OrcaContext&,
                                            const TimerContext&) {
     ++timer_fired;
   });
   UserEventScope user_scope("ignored");
   user_scope.AddNameFilter("poke");
   logic->WhenUserEvent(user_scope,
-                       [&user_fired](OrcaService*, const UserEventContext&) {
+                       [&user_fired](OrcaContext&, const UserEventContext&) {
                          ++user_fired;
                        });
   logic->WhenJobSubmitted(JobEventScope("ignored"),
-                          [&job_fired](OrcaService*, const JobEventContext&) {
+                          [&job_fired](OrcaContext&, const JobEventContext&) {
                             ++job_fired;
                           });
   ASSERT_TRUE(service_->Load(std::move(logic)).ok());

@@ -27,41 +27,43 @@ ApplicationModel CountingApp(const std::string& name) {
 /// every delivered event for inspection.
 class RecordingOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext& context) override {
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext& context) override {
     start_count++;
     start_at = context.at;
     OperatorMetricScope oms("allOpMetrics");
     oms.SetMetricKindFilter(runtime::MetricKind::kCustom);
-    orca()->RegisterEventScope(oms);
+    orca.RegisterEventScope(oms);
     PeFailureScope pfs("allFailures");
-    orca()->RegisterEventScope(pfs);
+    orca.RegisterEventScope(pfs);
     JobEventScope jes("allJobs");
-    orca()->RegisterEventScope(jes);
+    orca.RegisterEventScope(jes);
     UserEventScope ues("allUser");
-    orca()->RegisterEventScope(ues);
+    orca.RegisterEventScope(ues);
   }
   void HandleOperatorMetricEvent(
-      const OperatorMetricContext& context,
+      OrcaContext&, const OperatorMetricContext& context,
       const std::vector<std::string>& scopes) override {
     metric_events.push_back(context);
     metric_scopes.push_back(scopes);
   }
-  void HandlePeFailureEvent(const PeFailureContext& context,
+  void HandlePeFailureEvent(OrcaContext&, const PeFailureContext& context,
                             const std::vector<std::string>&) override {
     failure_events.push_back(context);
   }
-  void HandleJobSubmissionEvent(const JobEventContext& context,
+  void HandleJobSubmissionEvent(OrcaContext&, const JobEventContext& context,
                                 const std::vector<std::string>&) override {
     submissions.push_back(context);
   }
-  void HandleJobCancellationEvent(const JobEventContext& context,
+  void HandleJobCancellationEvent(OrcaContext&,
+                                  const JobEventContext& context,
                                   const std::vector<std::string>&) override {
     cancellations.push_back(context);
   }
-  void HandleTimerEvent(const TimerContext& context) override {
+  void HandleTimerEvent(OrcaContext&, const TimerContext& context) override {
     timer_events.push_back(context);
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>&) override {
     user_events.push_back(context);
   }
@@ -348,12 +350,13 @@ class NamedScopeOrca : public Orchestrator {
       : scope_key_(std::move(scope_key)),
         name_filter_(std::move(name_filter)) {}
 
-  void HandleOrcaStart(const OrcaStartContext&) override {
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
     UserEventScope scope(scope_key_);
     scope.AddNameFilter(name_filter_);
-    orca()->RegisterEventScope(std::move(scope));
+    orca.RegisterEventScope(std::move(scope));
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>& scopes) override {
     delivered.push_back(context.name);
     matched.push_back(scopes);
@@ -422,15 +425,20 @@ TEST_F(OrcaServiceTest, UnownedScopesSurviveLogicTurnover) {
 /// §7 self-recovery: replaces itself with a NamedScopeOrca from inside
 /// its own user-event handler, then keeps touching its members — the
 /// service must defer destroying it until the handler frame unwinds.
+/// ReplaceLogic is a host-lifecycle operation (not part of the
+/// OrcaContext capability surface), so the logic holds the service
+/// pointer its host handed it — legal on the serial and
+/// DeterministicExecutor paths, where handlers run on the sim thread.
 class SelfReplacingOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
-    orca()->RegisterEventScope(UserEventScope("self"));
+  explicit SelfReplacingOrca(OrcaService* service) : service_(service) {}
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
+    orca.RegisterEventScope(UserEventScope("self"));
   }
-  void HandleUserEvent(const UserEventContext& context,
+  void HandleUserEvent(OrcaContext&, const UserEventContext& context,
                        const std::vector<std::string>&) override {
-    OrcaService* service = orca();
-    replaced = service
+    replaced = service_
                    ->ReplaceLogic(
                        std::make_unique<NamedScopeOrca>("next", "beta"))
                    .ok();
@@ -440,12 +448,17 @@ class SelfReplacingOrca : public Orchestrator {
   }
   bool replaced = false;
   std::string last_event;
+
+ private:
+  OrcaService* service_;
 };
 
 TEST_F(OrcaServiceTest, InHandlerSelfReplacementIsSafe) {
   cluster_.sim().RunUntil(1);
-  ASSERT_TRUE(
-      service_->ReplaceLogic(std::make_unique<SelfReplacingOrca>()).ok());
+  ASSERT_TRUE(service_
+                  ->ReplaceLogic(
+                      std::make_unique<SelfReplacingOrca>(service_.get()))
+                  .ok());
   cluster_.sim().RunUntil(2);
   EXPECT_EQ(service_->scopes().size(), 1u);  // just "self"
   service_->InjectUserEvent("go");

@@ -41,10 +41,12 @@ ApplicationModel TinyApp(const std::string& name) {
 
 class RecordingOrca : public orca::Orchestrator {
  public:
-  void HandleOrcaStart(const orca::OrcaStartContext&) override {
-    orca()->RegisterEventScope(orca::JobEventScope("jobs"));
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
+    orca.RegisterEventScope(orca::JobEventScope("jobs"));
   }
-  void HandleJobSubmissionEvent(const orca::JobEventContext& context,
+  void HandleJobSubmissionEvent(orca::OrcaContext&,
+                                const orca::JobEventContext& context,
                                 const std::vector<std::string>&) override {
     submitted_at[context.config_id] = context.at;
   }

@@ -30,26 +30,27 @@ ApplicationModel PipelineApp(const std::string& name) {
 
 class PortAndPeMetricOrca : public Orchestrator {
  public:
-  void HandleOrcaStart(const OrcaStartContext&) override {
+  void HandleOrcaStart(OrcaContext& orca,
+                       const OrcaStartContext&) override {
     // Port-level operator metrics (the paper's "operator port metrics"
     // event type).
     OperatorMetricScope ports("portMetrics");
     ports.SetPortScope(OperatorMetricScope::PortScope::kPortLevel);
     ports.AddOperatorNameFilter("flt");
-    orca()->RegisterEventScope(ports);
+    orca.RegisterEventScope(ports);
     // PE-level metrics.
     PeMetricScope pe_scope("peMetrics");
     pe_scope.AddMetricNameFilter(BuiltinMetric::kNumTupleBytesProcessed);
-    orca()->RegisterEventScope(pe_scope);
-    orca()->SubmitApplication("app");
+    orca.RegisterEventScope(pe_scope);
+    orca.SubmitApplication("app");
   }
   void HandleOperatorMetricEvent(
-      const OperatorMetricContext& context,
+      OrcaContext&, const OperatorMetricContext& context,
       const std::vector<std::string>& scopes) override {
     (void)scopes;
     port_events.push_back(context);
   }
-  void HandlePeMetricEvent(const PeMetricContext& context,
+  void HandlePeMetricEvent(OrcaContext&, const PeMetricContext& context,
                            const std::vector<std::string>& scopes) override {
     (void)scopes;
     pe_events.push_back(context);
@@ -106,11 +107,11 @@ TEST(ServiceMetricsTest, OperatorLevelScopeExcludesPortSamples) {
 
   auto rules = std::make_unique<RuleOrchestrator>();
   std::vector<int32_t> seen_ports;
-  rules->OnStart([](OrcaService* orca) { orca->SubmitApplication("app"); });
+  rules->OnStart([](OrcaContext& orca) { orca.SubmitApplication("app"); });
   OperatorMetricScope scope("ignored");
   scope.AddOperatorNameFilter("flt");  // default: operator level only
   rules->WhenMetric(scope, nullptr,
-                    [&seen_ports](OrcaService*,
+                    [&seen_ports](OrcaContext&,
                                   const OperatorMetricContext& context) {
                       seen_ports.push_back(context.port);
                     });
@@ -134,7 +135,7 @@ TEST(ServiceMetricsTest, RuleBasedAlgorithmSwitching) {
   }
   auto rules = std::make_unique<RuleOrchestrator>();
   rules->OnStart(
-      [](OrcaService* orca) { orca->SubmitApplication("VariantA"); });
+      [](OrcaContext& orca) { orca.SubmitApplication("VariantA"); });
   OperatorMetricScope scope("ignored");
   scope.AddApplicationFilter("VariantA");
   scope.AddOperatorNameFilter("src");
@@ -145,11 +146,11 @@ TEST(ServiceMetricsTest, RuleBasedAlgorithmSwitching) {
       [](const OperatorMetricContext& context) {
         return context.value > 100;  // the "pattern"
       },
-      [&switched](OrcaService* orca, const OperatorMetricContext&) {
+      [&switched](OrcaContext& orca, const OperatorMetricContext&) {
         if (switched) return;
         switched = true;
-        ASSERT_TRUE(orca->CancelApplication("VariantA").ok());
-        ASSERT_TRUE(orca->SubmitApplication("VariantB").ok());
+        ASSERT_TRUE(orca.CancelApplication("VariantA").ok());
+        ASSERT_TRUE(orca.SubmitApplication("VariantB").ok());
       });
   ASSERT_TRUE(service.Load(std::move(rules)).ok());
   // src emits 5/s; >100 tuples after ~20 s; second pull round at t=30.
