@@ -307,6 +307,13 @@ void BM_ShardedSnapshot(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   const int scopes = static_cast<int>(state.range(1));
   orca::ShardedScopeRegistry registry(static_cast<size_t>(shards));
+  // Force the shard-parallel gate open (config-driven; the default derives
+  // max_workers from detected cores and keeps single-core hosts serial, which
+  // made this curve flat across shard counts). The bench measures the real
+  // parallel path everywhere; it only *scales* where cores exist.
+  orca::ShardedScopeRegistry::ParallelPolicy parallel;
+  parallel.max_workers = static_cast<size_t>(shards);
+  registry.set_parallel_policy(parallel);
   for (int i = 0; i < scopes; ++i) {
     registry.Register(MakeShardedScope(i, scopes));
   }

@@ -10,14 +10,17 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
-if [[ ! -x "$BUILD_DIR/bench_scope_matching" ]]; then
+if [[ ! -x "$BUILD_DIR/bench_scope_matching" ||
+      ! -x "$BUILD_DIR/bench_scope_scale" ]]; then
   echo "building benches in $BUILD_DIR ..." >&2
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD_DIR" -j --target bench_scope_matching bench_event_delivery
+  cmake --build "$BUILD_DIR" -j \
+    --target bench_scope_matching bench_event_delivery bench_scope_scale
 fi
 
 SCOPE_JSON="$BUILD_DIR/bench_scope_matching.json"
 DELIVERY_JSON="$BUILD_DIR/bench_event_delivery.json"
+SCALE_JSON="$BUILD_DIR/bench_scope_scale.json"
 
 "$BUILD_DIR/bench_scope_matching" \
   --benchmark_filter='Registry|Sharded' \
@@ -25,35 +28,55 @@ DELIVERY_JSON="$BUILD_DIR/bench_event_delivery.json"
 "$BUILD_DIR/bench_event_delivery" \
   --benchmark_filter='BM_UserEventBurstDispatch|BM_EventBusRawDispatch|BM_MultiAppDelivery' \
   --benchmark_format=json >"$DELIVERY_JSON"
+"$BUILD_DIR/bench_scope_scale" \
+  --benchmark_format=json >"$SCALE_JSON"
 
-python3 - "$SCOPE_JSON" "$DELIVERY_JSON" "$REPO_ROOT/BENCH_event_routing.json" <<'EOF'
+python3 - "$SCOPE_JSON" "$DELIVERY_JSON" "$SCALE_JSON" \
+  "$REPO_ROOT/BENCH_event_routing.json" <<'EOF'
 import json
 import sys
 
-scope_path, delivery_path, out_path = sys.argv[1:4]
+scope_path, delivery_path, scale_path, out_path = sys.argv[1:5]
 
 def load(path):
     with open(path) as f:
         return json.load(f)["benchmarks"]
 
-def items_per_second(benches, name):
+def require(benches, name, field="items_per_second"):
+    """Value of `field` for bench `name` (exact, or `name` plus
+    benchmark-appended modifiers like /iterations:N/real_time). A missing
+    bench or field is a recording bug — fail with the key, not a
+    KeyError."""
     for bench in benches:
-        if bench["name"] == name:
-            return bench.get("items_per_second")
-    return None
+        if bench["name"] == name or bench["name"].startswith(name + "/"):
+            if field not in bench:
+                sys.exit(f"FAIL: benchmark '{bench['name']}' reported no "
+                         f"'{field}' (counter renamed or benchmark "
+                         "errored?)")
+            return bench[field]
+    sys.exit(f"FAIL: benchmark '{name}' missing from benchmark output "
+             "(renamed, filtered out, or failed to run?)")
 
 scope = load(scope_path)
 delivery = load(delivery_path)
+scale = load(scale_path)
 
-indexed = items_per_second(scope, "BM_RegistryIndexed/1000/10000")
-linear = items_per_second(scope, "BM_RegistryLinearScan/1000/10000")
-churn_indexed = items_per_second(scope, "BM_RegistryChurnIndexed/1000/10000")
-churn_linear = items_per_second(scope, "BM_RegistryChurnLinear/1000/10000")
+indexed = require(scope, "BM_RegistryIndexed/1000/10000")
+linear = require(scope, "BM_RegistryLinearScan/1000/10000")
+churn_indexed = require(scope, "BM_RegistryChurnIndexed/1000/10000")
+churn_linear = require(scope, "BM_RegistryChurnLinear/1000/10000")
 sharded = {
-    n: items_per_second(scope, f"BM_ShardedSnapshot/{n}/1000/10000/real_time")
+    n: require(scope, f"BM_ShardedSnapshot/{n}/1000/10000/real_time")
     for n in (1, 2, 4, 8)
 }
-sharded_linear = items_per_second(scope, "BM_ShardedSnapshotLinear/1000/10000")
+sharded_linear = require(scope, "BM_ShardedSnapshotLinear/1000/10000")
+
+zipf_sticky = "BM_ZipfMatchSticky/16/20000"
+zipf_rebalanced = "BM_ZipfMatchRebalanced/16/20000"
+zipf_unweighted = "BM_ZipfDeliveryUnweighted/100000"
+zipf_weighted = "BM_ZipfDeliveryWeighted/100000"
+unweighted_p99 = require(scale, zipf_unweighted, "p99_us")
+weighted_p99 = require(scale, zipf_weighted, "p99_us")
 
 result = {
     "bench": "event_routing",
@@ -61,38 +84,66 @@ result = {
                    "reference at 1k subscopes x 10k samples (static and "
                    "register/match/unregister churn workloads), "
                    "ShardedScopeRegistry multi-app SRM rounds at 1/2/4/8 "
-                   "shards, plus EventBus dispatch throughput (events/s)",
+                   "shards, million-scope Zipf-skew matching + delivery "
+                   "latency, plus EventBus dispatch throughput (events/s)",
     "scope_matching": {
         "indexed_items_per_second": indexed,
         "linear_items_per_second": linear,
-        "speedup": (indexed / linear) if indexed and linear else None,
+        "speedup": indexed / linear,
         "required_speedup": 5.0,
     },
     "scope_matching_churn": {
         "indexed_items_per_second": churn_indexed,
         "linear_items_per_second": churn_linear,
-        "speedup": (churn_indexed / churn_linear)
-                   if churn_indexed and churn_linear else None,
+        "speedup": churn_indexed / churn_linear,
         "required_speedup": 5.0,
     },
     # One whole multi-app SRM round (8 apps, 1k subscopes x 10k samples)
-    # matched shard-parallel through ShardedScopeRegistry, vs the linear
-    # scan over the same subscope population. The 4-shard case is gated.
+    # matched through ShardedScopeRegistry with the shard-parallel gate
+    # forced open (config-driven ParallelPolicy), vs the linear scan over
+    # the same subscope population. The 4-shard case is gated.
     "scope_matching_sharded": {
         "sharded_items_per_second": {
             f"shards_{n}": value for n, value in sharded.items()
         },
         "indexed_items_per_second": sharded[4],
         "linear_items_per_second": sharded_linear,
-        "speedup": (sharded[4] / sharded_linear)
-                   if sharded.get(4) and sharded_linear else None,
+        "speedup": sharded[4] / sharded_linear,
         "required_speedup": 5.0,
+    },
+    # Million-scope scale under Zipf(s=1.1) skew: 1M subscopes across 10k
+    # applications. Matching compares sticky hash placement against
+    # dynamic hot-shard splitting (hot_shard_share = the hottest shard's
+    # fraction of match volume; its floor is the head application's
+    # traffic share). Delivery pushes 100k skewed events through the
+    # async EventBus on a worker pool: FIFO one-at-a-time vs weighted
+    # dispatch with 64-delivery batching, gated on p99 publish-to-handler
+    # latency (lower is better; speedup = unweighted_p99/weighted_p99).
+    "scope_matching_zipf": {
+        "scopes": 1000000,
+        "applications": 10000,
+        "zipf_s": 1.1,
+        "sticky_items_per_second": require(scale, zipf_sticky),
+        "rebalanced_items_per_second": require(scale, zipf_rebalanced),
+        "sticky_hot_shard_share": require(scale, zipf_sticky,
+                                          "hot_shard_share"),
+        "rebalanced_hot_shard_share": require(scale, zipf_rebalanced,
+                                              "hot_shard_share"),
+        "reshards": require(scale, zipf_rebalanced, "reshards"),
+        "migrated_subscopes": require(scale, zipf_rebalanced, "migrated"),
+        "delivery_unweighted_p50_us": require(scale, zipf_unweighted,
+                                              "p50_us"),
+        "delivery_unweighted_p99_us": unweighted_p99,
+        "delivery_weighted_p50_us": require(scale, zipf_weighted, "p50_us"),
+        "delivery_weighted_p99_us": weighted_p99,
+        "speedup": unweighted_p99 / weighted_p99,
+        "required_speedup": 2.0,
     },
     "event_delivery": {
         "service_burst_1000_items_per_second":
-            items_per_second(delivery, "BM_UserEventBurstDispatch/1000"),
+            require(delivery, "BM_UserEventBurstDispatch/1000"),
         "bus_raw_1000_items_per_second":
-            items_per_second(delivery, "BM_EventBusRawDispatch/1000"),
+            require(delivery, "BM_EventBusRawDispatch/1000"),
     },
     # Per-application ordered queues on the ThreadPoolExecutor vs the
     # serial FIFO, 8 applications with blocking (sleep-modelled) handler
@@ -100,10 +151,9 @@ result = {
     # so it must clear >=2x even on a single-core host.
     "event_delivery_async": {
         "async_items_per_second":
-            items_per_second(delivery, "BM_MultiAppDeliveryAsync/8/real_time"),
+            require(delivery, "BM_MultiAppDeliveryAsync/8/real_time"),
         "serial_items_per_second":
-            items_per_second(delivery,
-                             "BM_MultiAppDeliverySerial/8/real_time"),
+            require(delivery, "BM_MultiAppDeliverySerial/8/real_time"),
         "speedup": None,
         "required_speedup": 2.0,
     },
@@ -113,11 +163,11 @@ result = {
     # must not eat the async win.
     "event_delivery_async_actuating": {
         "async_items_per_second":
-            items_per_second(
-                delivery, "BM_MultiAppDeliveryActuatingAsync/8/real_time"),
+            require(delivery,
+                    "BM_MultiAppDeliveryActuatingAsync/8/real_time"),
         "serial_items_per_second":
-            items_per_second(
-                delivery, "BM_MultiAppDeliveryActuatingSerial/8/real_time"),
+            require(delivery,
+                    "BM_MultiAppDeliveryActuatingSerial/8/real_time"),
         "speedup": None,
         "required_speedup": 2.0,
     },
@@ -125,8 +175,7 @@ result = {
 for label in ("event_delivery_async", "event_delivery_async_actuating"):
     async_ips = result[label]["async_items_per_second"]
     serial_ips = result[label]["serial_items_per_second"]
-    if async_ips and serial_ips:
-        result[label]["speedup"] = async_ips / serial_ips
+    result[label]["speedup"] = async_ips / serial_ips
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
@@ -135,8 +184,8 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 failed = False
 for label in ("scope_matching", "scope_matching_churn",
-              "scope_matching_sharded", "event_delivery_async",
-              "event_delivery_async_actuating"):
+              "scope_matching_sharded", "scope_matching_zipf",
+              "event_delivery_async", "event_delivery_async_actuating"):
     speedup = result[label]["speedup"]
     required = result[label]["required_speedup"]
     print(f"{label} speedup: "

@@ -23,11 +23,60 @@ void ThreadPoolExecutor::Attach(QueueRunner runner) {
   runner_ = std::move(runner);
 }
 
+void ThreadPoolExecutor::AttachWeigher(QueueWeigher weigher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  weigher_ = std::move(weigher);
+}
+
+void ThreadPoolExecutor::PushReadyLocked(std::string key) {
+  // Weighed at insertion (and re-weighed on every re-enqueue, so a
+  // draining backlog decays naturally). Without a weigher all weights are
+  // 0 and the heap's id tie-break reduces to plain FIFO.
+  double weight = weigher_ ? weigher_(key) : 0.0;
+  uint64_t id = next_ready_id_++;
+  ready_fifo_.emplace_back(id, key);
+  ready_heap_.push(ReadyEntry{weight, id, std::move(key)});
+  ++ready_count_;
+}
+
+bool ThreadPoolExecutor::PopReadyLocked(std::string& key) {
+  if (ready_count_ == 0) return false;
+  bool fifo_turn =
+      weigher_ && (pick_count_++ % kFairnessStride == kFairnessStride - 1);
+  if (fifo_turn) {
+    while (!ready_fifo_.empty()) {
+      uint64_t id = ready_fifo_.front().first;
+      if (consumed_.erase(id) > 0) {  // twin already served via the heap
+        ready_fifo_.pop_front();
+        continue;
+      }
+      key = std::move(ready_fifo_.front().second);
+      ready_fifo_.pop_front();
+      consumed_.insert(id);
+      --ready_count_;
+      return true;
+    }
+  }
+  while (!ready_heap_.empty()) {
+    uint64_t id = ready_heap_.top().id;
+    if (consumed_.erase(id) > 0) {  // twin already served via the FIFO
+      ready_heap_.pop();
+      continue;
+    }
+    key = ready_heap_.top().key;
+    ready_heap_.pop();
+    consumed_.insert(id);
+    --ready_count_;
+    return true;
+  }
+  return false;
+}
+
 void ThreadPoolExecutor::Submit(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
-    ready_.push_back(key);
+    PushReadyLocked(key);
   }
   work_cv_.notify_one();
 }
@@ -40,7 +89,7 @@ double ThreadPoolExecutor::NowSeconds() {
 
 void ThreadPoolExecutor::PromoteDue(double now) {
   while (!timed_.empty() && timed_.top().due <= now) {
-    ready_.push_back(timed_.top().key);
+    PushReadyLocked(timed_.top().key);
     timed_.pop();
   }
 }
@@ -50,9 +99,8 @@ void ThreadPoolExecutor::WorkerLoop() {
   while (true) {
     PromoteDue(NowSeconds());
     if (stopping_) return;
-    if (!ready_.empty() && runner_) {
-      std::string key = std::move(ready_.front());
-      ready_.pop_front();
+    std::string key;
+    if (runner_ && PopReadyLocked(key)) {
       QueueRunner runner = runner_;
       ++busy_;
       lock.unlock();
@@ -61,9 +109,10 @@ void ThreadPoolExecutor::WorkerLoop() {
       --busy_;
       if (!stopping_) {
         if (result.kind == QueueStepResult::Kind::kDelivered && result.more) {
-          // Back of the deque: round-robin fairness between queues when
-          // there are more runnable queues than workers.
-          ready_.push_back(std::move(key));
+          // Re-weighed on re-entry: a queue that still holds events
+          // competes again at its current backlog weight (FIFO position
+          // when unweighted — round-robin between queues as before).
+          PushReadyLocked(std::move(key));
           work_cv_.notify_one();
         } else if (result.kind == QueueStepResult::Kind::kWaiting) {
           timed_.push(TimedEntry{NowSeconds() + result.retry_delay,
@@ -95,7 +144,10 @@ void ThreadPoolExecutor::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
-    ready_.clear();
+    while (!ready_heap_.empty()) ready_heap_.pop();
+    ready_fifo_.clear();
+    consumed_.clear();
+    ready_count_ = 0;
     while (!timed_.empty()) timed_.pop();
   }
   work_cv_.notify_all();
@@ -109,11 +161,15 @@ void ThreadPoolExecutor::Stop() {
 // --- DeterministicExecutor --------------------------------------------------
 
 DeterministicExecutor::DeterministicExecutor(sim::Simulation* sim,
-                                             uint64_t seed)
-    : sim_(sim), seed_(seed), rng_(seed) {}
+                                             uint64_t seed, bool weighted)
+    : sim_(sim), seed_(seed), weighted_(weighted), rng_(seed) {}
 
 void DeterministicExecutor::Attach(QueueRunner runner) {
   runner_ = std::move(runner);
+}
+
+void DeterministicExecutor::AttachWeigher(QueueWeigher weigher) {
+  weigher_ = std::move(weigher);
 }
 
 void DeterministicExecutor::Submit(const std::string& key) {
@@ -158,9 +214,20 @@ void DeterministicExecutor::Pump() {
   // One step of one seeded-random runnable queue per pump event: the
   // schedule interleaves queues at event granularity, which is exactly
   // the nondeterminism a worker pool exhibits — minus the
-  // irreproducibility.
-  size_t index = static_cast<size_t>(
-      rng_.UniformInt(0, static_cast<int64_t>(ready_.size()) - 1));
+  // irreproducibility. Weighted mode biases the pick like the pool's
+  // weight heap would, but keeps it a seeded sample (weight+1, so cold
+  // queues always retain probability mass).
+  size_t index;
+  if (weighted_ && weigher_) {
+    std::vector<double> weights(ready_.size());
+    for (size_t i = 0; i < ready_.size(); ++i) {
+      weights[i] = std::max(weigher_(ready_[i]), 0.0) + 1.0;
+    }
+    index = rng_.WeightedIndex(weights);
+  } else {
+    index = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(ready_.size()) - 1));
+  }
   std::string key = std::move(ready_[index]);
   ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
   ++steps_;

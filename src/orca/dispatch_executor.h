@@ -11,6 +11,8 @@
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -65,12 +67,23 @@ class DispatchExecutor {
  public:
   /// Runs one step of the named queue; provided by the EventBus.
   using QueueRunner = std::function<QueueStepResult(const std::string& key)>;
+  /// Scores a runnable queue (typically backlog depth × observed delivery
+  /// cost); provided by the EventBus when weighted dispatch is on. Higher
+  /// weight means the executor should serve the queue sooner. May be
+  /// called with the executor's internal lock held, so the weigher must
+  /// never call back into the executor.
+  using QueueWeigher = std::function<double(const std::string& key)>;
 
   virtual ~DispatchExecutor() = default;
 
   /// Installs the bus callback. Called once, before any Submit. An
   /// executor serves a single bus at a time.
   virtual void Attach(QueueRunner runner) = 0;
+
+  /// Installs the queue-weight callback. Optional: executors that do not
+  /// support weighted scheduling (or that were not asked for it) ignore
+  /// it and keep FIFO order. Called once, before any Submit.
+  virtual void AttachWeigher(QueueWeigher weigher) { (void)weigher; }
 
   /// Queue `key` became runnable; the executor must eventually run its
   /// steps (and keep running them per QueueStepResult) until it parks.
@@ -111,6 +124,14 @@ class DispatchExecutor {
 /// blocking handler work (actuation RPCs, I/O) across applications.
 /// Pacing retries are kept in a deadline heap and run when due
 /// (dispatch_interval is interpreted as wall-clock seconds here).
+///
+/// Scheduling between runnable queues is FIFO until a weigher is
+/// attached (AttachWeigher); then workers pick the highest-weight
+/// runnable queue — a hot application's backlog keeps a worker busy
+/// instead of waiting out a full round-robin lap. Starvation of cold
+/// queues is bounded: every kFairnessStride-th pick takes the oldest
+/// runnable queue regardless of weight, so a queue waits at most
+/// kFairnessStride-1 weighted picks beyond its FIFO turn.
 class ThreadPoolExecutor : public DispatchExecutor {
  public:
   explicit ThreadPoolExecutor(size_t worker_count);
@@ -120,12 +141,16 @@ class ThreadPoolExecutor : public DispatchExecutor {
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
   void Attach(QueueRunner runner) override;
+  void AttachWeigher(QueueWeigher weigher) override;
   void Submit(const std::string& key) override;
   double NowSeconds() override;
   void Drain() override;
   void Stop() override;
 
   size_t worker_count() const { return workers_.size(); }
+
+  /// Every Nth pick is forced FIFO-oldest (anti-starvation bound).
+  static constexpr uint64_t kFairnessStride = 4;
 
  private:
   struct TimedEntry {
@@ -138,18 +163,45 @@ class ThreadPoolExecutor : public DispatchExecutor {
     }
   };
 
+  /// A runnable queue lives in BOTH ready structures under one id: the
+  /// weight max-heap (weight desc, id asc — ties fall back to FIFO) and
+  /// the FIFO deque. Whichever structure an entry is popped from first
+  /// wins; the twin is lazily skipped via consumed_.
+  struct ReadyEntry {
+    double weight = 0;
+    uint64_t id = 0;
+    std::string key;
+    bool operator<(const ReadyEntry& other) const {
+      if (weight != other.weight) return weight < other.weight;
+      return id > other.id;
+    }
+  };
+
   void WorkerLoop();
-  /// Moves due timed entries into the ready deque. Caller holds mu_.
+  /// Weighs the queue and inserts it into both ready structures. Caller
+  /// holds mu_ (the weigher contract allows that).
+  void PushReadyLocked(std::string key);
+  /// Pops the next queue per the scheduling policy. Caller holds mu_.
+  bool PopReadyLocked(std::string& key);
+  /// Moves due timed entries into the ready structures. Caller holds mu_.
   void PromoteDue(double now);
   bool QuiescentLocked() const {
-    return ready_.empty() && timed_.empty() && busy_ == 0;
+    return ready_count_ == 0 && timed_.empty() && busy_ == 0;
   }
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable drain_cv_;
   QueueRunner runner_;
-  std::deque<std::string> ready_;
+  QueueWeigher weigher_;
+  std::priority_queue<ReadyEntry> ready_heap_;
+  std::deque<std::pair<uint64_t, std::string>> ready_fifo_;
+  /// Ids already popped from one ready structure; the twin entry is
+  /// dropped when it surfaces.
+  std::unordered_set<uint64_t> consumed_;
+  size_t ready_count_ = 0;
+  uint64_t next_ready_id_ = 0;
+  uint64_t pick_count_ = 0;
   std::priority_queue<TimedEntry, std::vector<TimedEntry>,
                       std::greater<TimedEntry>>
       timed_;
@@ -176,9 +228,15 @@ class DeterministicExecutor
     : public DispatchExecutor,
       public std::enable_shared_from_this<DeterministicExecutor> {
  public:
-  DeterministicExecutor(sim::Simulation* sim, uint64_t seed);
+  /// `weighted` biases the pump's seeded pick toward high-weight queues
+  /// (mirroring the ThreadPoolExecutor's weighted mode) once a weigher is
+  /// attached: pick probability is proportional to weight+1, so every
+  /// runnable queue keeps nonzero probability and no seed can starve one.
+  DeterministicExecutor(sim::Simulation* sim, uint64_t seed,
+                        bool weighted = false);
 
   void Attach(QueueRunner runner) override;
+  void AttachWeigher(QueueWeigher weigher) override;
   void Submit(const std::string& key) override;
   double NowSeconds() override;
   bool UsesSimTime() const override { return true; }
@@ -186,6 +244,7 @@ class DeterministicExecutor
   void Stop() override;
 
   uint64_t seed() const { return seed_; }
+  bool weighted() const { return weighted_; }
   /// Queue steps executed so far (delivered or parked).
   uint64_t steps() const { return steps_; }
 
@@ -198,8 +257,10 @@ class DeterministicExecutor
 
   sim::Simulation* sim_;
   uint64_t seed_;
+  bool weighted_;
   common::Rng rng_;
   QueueRunner runner_;
+  QueueWeigher weigher_;
   /// Runnable queue keys, in submission order; the pump picks an index
   /// at random so the container must be order-deterministic.
   std::vector<std::string> ready_;

@@ -146,6 +146,10 @@ EventBus::EventBus(sim::Simulation* sim, Config config)
   if (executor_ != nullptr) {
     executor_->Attach(
         [this](const std::string& key) { return RunQueueStep(key); });
+    if (config_.weighted_dispatch) {
+      executor_->AttachWeigher(
+          [this](const std::string& key) { return QueueWeightOf(key); });
+    }
   }
 }
 
@@ -272,6 +276,7 @@ void EventBus::PublishAsync(Event event, bool front) {
     AppQueue::Entry entry;
     entry.event = std::move(event);
     entry.gate = front;
+    entry.enqueued_at = executor_->NowSeconds();
     if (front) {
       queue.events.push_front(std::move(entry));
       ++gate_depth_;
@@ -307,69 +312,150 @@ void EventBus::SubmitRunnableQueues() {
 }
 
 QueueStepResult EventBus::RunQueueStep(const std::string& key) {
-  Orchestrator* logic = nullptr;
-  Event event;
-  bool gate = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = queues_.find(key);
-    if (it == queues_.end()) return QueueStepResult{};
-    AppQueue& queue = it->second;
-    if (queue.events.empty() || !RunnableLocked(key)) {
-      // Parked: the bus re-Submits when the queue becomes runnable
-      // (Publish, set_logic, gate reopen).
-      queue.active = false;
-      return QueueStepResult{};
-    }
-    if (queue.delivered > 0 && config_.dispatch_interval > 0) {
-      // Per-queue pacing, enforced relative to THIS queue's last
-      // delivery even across its drains (the serial cross-drain rule,
-      // applied independently per application queue).
-      double wait = queue.last_delivery_at + config_.dispatch_interval -
-                    executor_->NowSeconds();
-      if (wait > 1e-12) {
-        QueueStepResult result;
-        result.kind = QueueStepResult::Kind::kWaiting;
-        result.retry_delay = wait;
-        return result;  // queue stays active: the executor owes a retry
+  // One executor step drains up to max_batch_per_step consecutive events
+  // of this queue (Config doc): same per-queue FIFO order, same
+  // per-delivery transaction and pacing semantics as budget 1 — the
+  // batch only amortizes the executor's ready-queue round trip across a
+  // backlog run. Every loop iteration re-checks runnability and pacing
+  // under the lock, so a mid-batch gate, logic detach, or owed pacing
+  // interval behaves exactly as it would between two separate steps.
+  const size_t budget = std::max<size_t>(1, config_.max_batch_per_step);
+  QueueStepResult result;
+  bool reopened = false;
+  for (size_t step = 0; step < budget; ++step) {
+    Orchestrator* logic = nullptr;
+    Event event;
+    bool gate = false;
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = queues_.find(key);
+      if (it == queues_.end()) break;
+      AppQueue& queue = it->second;
+      if (queue.events.empty() || !RunnableLocked(key)) {
+        // Parked: the bus re-Submits when the queue becomes runnable
+        // (Publish, set_logic, gate reopen). Deliveries earlier in this
+        // batch keep result.kind == kDelivered with more == false.
+        queue.active = false;
+        result.more = false;
+        stop = true;
+      } else if (queue.delivered > 0 && config_.dispatch_interval > 0) {
+        // Per-queue pacing, enforced relative to THIS queue's last
+        // delivery even across its drains (the serial cross-drain rule,
+        // applied independently per application queue) — including
+        // between two deliveries of this very batch.
+        double wait = queue.last_delivery_at + config_.dispatch_interval -
+                      executor_->NowSeconds();
+        if (wait > 1e-12) {
+          result.kind = QueueStepResult::Kind::kWaiting;
+          result.retry_delay = wait;
+          result.more = false;
+          stop = true;  // queue stays active: the executor owes a retry
+        }
+      }
+      if (!stop) {
+        logic = logic_;
+        // The in-flight reference is taken in the SAME critical section
+        // that captures the logic pointer: a concurrently self-replacing
+        // handler on another worker must see this delivery when it
+        // disposes the outgoing logic, or it could be destroyed before
+        // Deliver runs.
+        ++inflight_[logic];
+        gate = queue.events.front().gate;
+        event = std::move(queue.events.front().event);
+        queue.events.pop_front();
+        queue_size_.fetch_sub(1, std::memory_order_relaxed);
       }
     }
-    logic = logic_;
-    // The in-flight reference is taken in the SAME critical section that
-    // captures the logic pointer: a concurrently self-replacing handler
-    // on another worker must see this delivery when it disposes the
-    // outgoing logic, or it could be destroyed before Deliver runs.
-    ++inflight_[logic];
-    gate = queue.events.front().gate;
-    event = std::move(queue.events.front().event);
-    queue.events.pop_front();
-    queue_size_.fetch_sub(1, std::memory_order_relaxed);
-  }
+    if (stop) break;
 
-  double now = executor_->NowSeconds();
-  TransactionId txn = BeginDelivery(event.summary, now);
-  Deliver(logic, event, now);
-  FinishDelivery(logic, txn, executor_->NowSeconds());
+    double now = executor_->NowSeconds();
+    TransactionId txn = BeginDelivery(event.summary, now);
+    Deliver(logic, event, now);
+    FinishDelivery(logic, txn, executor_->NowSeconds());
 
-  QueueStepResult result;
-  result.kind = QueueStepResult::Kind::kDelivered;
-  bool reopened = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    AppQueue& queue = queues_[key];
-    queue.last_delivery_at = executor_->NowSeconds();
-    ++queue.delivered;
-    if (gate && --gate_depth_ == 0) reopened = true;
-    if (!queue.events.empty() && RunnableLocked(key)) {
-      result.more = true;  // stays active; the executor re-enqueues it
-    } else {
-      queue.active = false;
+    result.kind = QueueStepResult::Kind::kDelivered;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      AppQueue& queue = queues_[key];
+      double end = executor_->NowSeconds();
+      double cost = std::max(end - now, 0.0);
+      queue.avg_step_cost = queue.delivered == 0
+                                ? cost
+                                : 0.75 * queue.avg_step_cost + 0.25 * cost;
+      queue.last_delivery_at = end;
+      ++queue.delivered;
+      if (gate && --gate_depth_ == 0) reopened = true;
+      if (!queue.events.empty() && RunnableLocked(key)) {
+        result.more = true;  // stays active; the executor re-enqueues it
+      } else {
+        queue.active = false;
+        result.more = false;
+      }
     }
+    // A delivered gate event just reopened the other queues: end the
+    // batch so this (residual) queue goes back through the executor and
+    // competes with the queues it was holding back.
+    if (!result.more || gate) break;
   }
   // The start event is out: wake every application queue it was holding
   // back.
   if (reopened) SubmitRunnableQueues();
   return result;
+}
+
+// --- Queue observability ----------------------------------------------------
+
+double EventBus::QueueWeightOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(key);
+  if (it == queues_.end()) return 0.0;
+  // Depth × expected per-delivery cost ≈ outstanding work. The cost
+  // floor keeps brand-new queues (no EWMA yet) comparable by depth.
+  return static_cast<double>(it->second.events.size()) *
+         std::max(it->second.avg_step_cost, 1e-6);
+}
+
+std::vector<EventBus::QueueStats> EventBus::QueueStatsSnapshot() const {
+  std::vector<QueueStats> stats;
+  if (!async()) return stats;
+  double now = executor_->NowSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.reserve(queues_.size());
+    for (const auto& [key, queue] : queues_) {
+      QueueStats s;
+      s.key = key;
+      s.depth = queue.events.size();
+      s.delivered = queue.delivered;
+      if (!queue.events.empty()) {
+        s.backlog_age = std::max(now - queue.events.front().enqueued_at, 0.0);
+      }
+      s.avg_step_cost = queue.avg_step_cost;
+      stats.push_back(std::move(s));
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const QueueStats& a, const QueueStats& b) {
+              return a.key < b.key;
+            });
+  return stats;
+}
+
+size_t EventBus::AppQueueDepth(const std::string& application) const {
+  if (!async()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(application);
+  return it == queues_.end() ? 0 : it->second.events.size();
+}
+
+double EventBus::AppQueueBacklogAge(const std::string& application) const {
+  if (!async()) return 0;
+  double now = executor_->NowSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(application);
+  if (it == queues_.end() || it->second.events.empty()) return 0;
+  return std::max(now - it->second.events.front().enqueued_at, 0.0);
 }
 
 void EventBus::PublishMetricsSnapshot(const runtime::MetricsSnapshot& snapshot,

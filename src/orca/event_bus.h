@@ -89,6 +89,19 @@ class EventBus {
     double dispatch_interval = 0.0;
     /// Async dispatch strategy; nullptr keeps the serial queue.
     std::shared_ptr<DispatchExecutor> executor;
+    /// Async mode: max consecutive same-queue deliveries per executor
+    /// step. >1 lets a backlogged application drain a run of events in
+    /// one hop instead of paying a ready-queue round trip per event
+    /// (the dominant cost under skew); per-queue FIFO order, pacing,
+    /// per-delivery transactions, and staged-actuation semantics are
+    /// unchanged — a nonzero dispatch_interval still caps the effective
+    /// batch at 1, since pacing is owed between every two deliveries.
+    size_t max_batch_per_step = 1;
+    /// Async mode: attach the bus's backlog×cost queue weigher to the
+    /// executor, so workers serve the heaviest runnable queue first
+    /// (with the executor's own anti-starvation bound) instead of pure
+    /// FIFO. Off = executors keep their unweighted order.
+    bool weighted_dispatch = true;
   };
 
   EventBus(sim::Simulation* sim, Config config);
@@ -213,6 +226,25 @@ class EventBus {
   /// tests and docs.
   static std::string QueueKeyOf(const Event& event);
 
+  /// Point-in-time view of one per-application queue (async mode).
+  /// Snapshot accessors take the bus lock (they are monitoring-path,
+  /// not hot-path — the hot-path counters are the atomics above).
+  struct QueueStats {
+    std::string key;
+    size_t depth = 0;
+    uint64_t delivered = 0;
+    /// Executor-clock age of the oldest undelivered event (0 if empty).
+    double backlog_age = 0;
+    /// EWMA of recent per-delivery handler cost, executor-clock seconds.
+    double avg_step_cost = 0;
+  };
+  /// All queues, sorted by key. Empty in serial mode.
+  std::vector<QueueStats> QueueStatsSnapshot() const;
+  /// Depth / oldest-event age of one application's queue ("" = residual).
+  /// 0 for unknown queues and in serial mode.
+  size_t AppQueueDepth(const std::string& application) const;
+  double AppQueueBacklogAge(const std::string& application) const;
+
  private:
   /// One per-application ordered delivery queue (async mode).
   struct AppQueue {
@@ -220,6 +252,8 @@ class EventBus {
       Event event;
       /// PublishFront start events gate the other queues until delivered.
       bool gate = false;
+      /// Publication time (executor clock); backlog-age observability.
+      double enqueued_at = 0;
     };
     std::deque<Entry> events;
     /// True while the executor owes this queue a step (submitted,
@@ -231,6 +265,9 @@ class EventBus {
     /// When this queue's last delivery ran (executor clock); per-queue
     /// pacing is enforced relative to it even across a queue drain.
     double last_delivery_at = 0;
+    /// EWMA of per-delivery handler cost; feeds QueueWeightOf so the
+    /// weigher ranks queues by expected drain work, not just depth.
+    double avg_step_cost = 0;
   };
 
   // Serial path.
@@ -247,6 +284,11 @@ class EventBus {
   /// True if `key`'s queue may deliver now (logic attached; not blocked
   /// behind a start-event gate). Caller holds mu_.
   bool RunnableLocked(const std::string& key) const;
+  /// Executor weigher callback (Config::weighted_dispatch): backlog
+  /// depth × observed delivery cost. Takes mu_; safe because the bus
+  /// never calls into the executor while holding mu_ (executor-lock →
+  /// bus-lock is the only order that occurs).
+  double QueueWeightOf(const std::string& key) const;
 
   /// Invokes the logic handler matching the event's type on `logic`.
   void Deliver(Orchestrator* logic, const Event& event, double now);

@@ -41,6 +41,8 @@ EventBus::Config MakeBusConfig(const OrcaService::Config& config) {
     bus_config.executor =
         std::make_shared<ThreadPoolExecutor>(config.dispatch_threads);
   }
+  bus_config.max_batch_per_step = config.max_batch_per_step;
+  bus_config.weighted_dispatch = config.weighted_dispatch;
   return bus_config;
 }
 
@@ -59,6 +61,16 @@ OrcaService::OrcaService(sim::Simulation* sim, runtime::Sam* sam,
   // Per-delivery OrcaContexts actuate against this service (immediate on
   // the sim thread, staged from worker threads).
   bus_.BindService(this);
+  ShardedScopeRegistry::ReshardPolicy reshard;
+  reshard.enabled = config_.dynamic_resharding;
+  reshard.hot_ratio = config_.reshard_hot_ratio;
+  reshard.min_matches = config_.reshard_min_matches;
+  scopes_.set_reshard_policy(reshard);
+  scopes_.set_max_shards(config_.max_scope_shards);
+  ShardedScopeRegistry::ParallelPolicy parallel;
+  parallel.min_samples = config_.parallel_match_min_samples;
+  parallel.min_busy_shards = config_.parallel_match_min_busy_shards;
+  scopes_.set_parallel_policy(parallel);
   RefreshSnapshot();
 }
 
@@ -677,6 +689,11 @@ void OrcaService::PullMetricsRound() {
   // round (graph/app state was already refreshed by whatever mutated it).
   TouchStagedClock();
   bus_.PublishMetricsSnapshot(snapshot, epoch, scopes_, graph_);
+  // With the round's match volume charged to the per-shard counters,
+  // let the splitter migrate hot applications off overloaded shards
+  // (no-op unless Config::dynamic_resharding and a shard is actually
+  // hot). Runs on the sim thread, like all registry mutation.
+  scopes_.MaybeRebalance();
 }
 
 // --- Failure push ---------------------------------------------------------

@@ -84,6 +84,35 @@ class OrcaService : private runtime::EventSink {
     /// seeded DeterministicExecutor makes every async schedule
     /// reproducible and keeps handlers on the simulation thread).
     std::shared_ptr<DispatchExecutor> dispatch_executor;
+    /// Async dispatch: max consecutive same-application deliveries per
+    /// executor step (see EventBus::Config::max_batch_per_step). 1 =
+    /// one executor hop per event; raise it so a hot application's
+    /// backlog drains in runs, amortizing scheduling overhead under
+    /// skewed traffic.
+    size_t max_batch_per_step = 1;
+    /// Async dispatch: serve the heaviest (backlog × observed handler
+    /// cost) runnable queue first instead of FIFO; executors bound
+    /// starvation of cold queues (see ThreadPoolExecutor).
+    bool weighted_dispatch = true;
+    /// Enables hot-shard splitting: after each metric pull round the
+    /// service may migrate an overloaded shard's applications (their
+    /// co-pinned subscope groups) to an underloaded or new shard. Match
+    /// results and event order are unaffected — only placement moves.
+    bool dynamic_resharding = true;
+    /// A shard is "hot" when its observed match volume exceeds
+    /// hot_ratio × the mean shard volume (and the total exceeds
+    /// reshard_min_matches — no thrash on idle services).
+    double reshard_hot_ratio = 2.0;
+    uint64_t reshard_min_matches = 4096;
+    /// Upper bound on shards the splitter may grow to (0 = stay at
+    /// scope_shards; splitting then only rebalances across existing
+    /// shards).
+    size_t max_scope_shards = 0;
+    /// Shard-parallel snapshot matching gates (see
+    /// ShardedScopeRegistry::ParallelPolicy): minimum samples per round
+    /// and minimum busy shards before worker threads are spawned.
+    size_t parallel_match_min_samples = 64;
+    size_t parallel_match_min_busy_shards = 2;
   };
 
   OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm,
@@ -253,6 +282,27 @@ class OrcaService : private runtime::EventSink {
   uint64_t events_delivered() const { return bus_.events_delivered(); }
   size_t queue_depth() const { return bus_.queue_depth(); }
   int64_t metric_epoch() const { return metric_epoch_; }
+
+  // Shard observability (sim-thread reads; the per-route counters are
+  // plain fields bumped by the matching thread, not atomics).
+  std::vector<ShardedScopeRegistry::ShardLoad> shard_loads() const {
+    return scopes_.shard_loads();
+  }
+  uint64_t reshard_count() const { return scopes_.reshard_count(); }
+  uint64_t migrated_subscopes() const { return scopes_.migrated_subscopes(); }
+
+  // Queue observability (async dispatch; empty/0 on the serial path).
+  // events_delivered()/queue_depth() above stay the lock-free hot-path
+  // counters; these take the bus lock and are for monitoring cadence.
+  std::vector<EventBus::QueueStats> queue_stats() const {
+    return bus_.QueueStatsSnapshot();
+  }
+  size_t app_queue_depth(const std::string& application) const {
+    return bus_.AppQueueDepth(application);
+  }
+  double app_queue_backlog_age(const std::string& application) const {
+    return bus_.AppQueueBacklogAge(application);
+  }
 
  private:
   struct AppState {

@@ -185,6 +185,8 @@ void ShardedScopeRegistry::set_compaction_threshold(size_t threshold) {
     shard.set_compaction_threshold(threshold);
   }
   residual_.set_compaction_threshold(threshold);
+  // Late-grown shards (AddShard) must inherit the same setting.
+  compaction_threshold_ = threshold == 0 ? 1 : threshold;
 }
 
 size_t ShardedScopeRegistry::dead_count() const {
@@ -199,6 +201,198 @@ size_t ShardedScopeRegistry::compaction_count() const {
     total += shard.compaction_count();
   }
   return total;
+}
+
+// --- Load accounting & dynamic resharding -----------------------------------
+
+std::vector<ShardedScopeRegistry::ShardLoad> ShardedScopeRegistry::shard_loads()
+    const {
+  std::vector<ShardLoad> loads(shards_.size() + 1);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    loads[s].subscopes = shards_[s].size();
+  }
+  loads[shards_.size()].subscopes = residual_.size();
+  loads[shards_.size()].matches = residual_matches_;
+  for (const auto& [application, route] : routes_) {
+    ++loads[route.shard].applications;
+    loads[route.shard].matches += route.matches;
+  }
+  return loads;
+}
+
+size_t ShardedScopeRegistry::AddShard() {
+  ScopeRegistry fresh;
+  fresh.set_compaction_threshold(compaction_threshold_);
+  // Generation counters advance in lockstep across shards
+  // (BeginGeneration), so a late-born shard joins at the wrapper's
+  // current generation.
+  fresh.set_current_generation(current_generation_);
+  shards_.push_back(std::move(fresh));
+  return shards_.size() - 1;
+}
+
+ShardedScopeRegistry::CoPinGroup ShardedScopeRegistry::CollectGroup(
+    const std::string& seed, uint32_t from) const {
+  // Units: for each key, the union of applications referenced by its
+  // placements resident in `from`. A unit's applications must migrate
+  // together (a multi-application subscope pins them to one shard), and a
+  // key's placements within one shard move together because ExtractKeys
+  // takes every live slot under the key.
+  struct Unit {
+    const std::string* key;
+    std::vector<const std::string*> applications;
+  };
+  std::vector<Unit> units;
+  std::unordered_map<std::string, std::vector<size_t>> units_by_app;
+  for (const auto& [key, placements] : placements_) {
+    Unit unit{&key, {}};
+    for (const Placement& placement : placements) {
+      if (placement.shard != from) continue;
+      for (const std::string& application : placement.applications) {
+        unit.applications.push_back(&application);
+      }
+    }
+    if (unit.applications.empty()) continue;
+    size_t id = units.size();
+    for (const std::string* application : unit.applications) {
+      units_by_app[*application].push_back(id);
+    }
+    units.push_back(std::move(unit));
+  }
+  // Close the seed over shared units (BFS over the app↔key bipartite
+  // graph restricted to `from`).
+  CoPinGroup group;
+  std::unordered_set<std::string> seen;
+  std::vector<bool> unit_taken(units.size(), false);
+  std::vector<std::string> frontier{seed};
+  while (!frontier.empty()) {
+    std::string application = std::move(frontier.back());
+    frontier.pop_back();
+    if (!seen.insert(application).second) continue;
+    auto route = routes_.find(application);
+    if (route != routes_.end()) group.matches += route->second.matches;
+    auto it = units_by_app.find(application);
+    if (it != units_by_app.end()) {
+      for (size_t id : it->second) {
+        if (unit_taken[id]) continue;
+        unit_taken[id] = true;
+        group.keys.push_back(*units[id].key);
+        for (const std::string* member : units[id].applications) {
+          if (seen.find(*member) == seen.end()) frontier.push_back(*member);
+        }
+      }
+    }
+    group.applications.push_back(std::move(application));
+  }
+  return group;
+}
+
+size_t ShardedScopeRegistry::MigrateGroup(const CoPinGroup& group,
+                                          uint32_t from, uint32_t to) {
+  std::vector<ScopeRegistry::ExtractedScope> extracted =
+      shards_[from].ExtractKeys(group.keys);
+  size_t moved = extracted.size();
+  shards_[to].InsertExtracted(std::move(extracted));
+  for (const std::string& key : group.keys) {
+    auto it = placements_.find(key);
+    if (it == placements_.end()) continue;
+    for (Placement& placement : it->second) {
+      if (placement.shard == from) placement.shard = to;
+    }
+  }
+  for (const std::string& application : group.applications) {
+    auto it = routes_.find(application);
+    if (it != routes_.end()) it->second.shard = to;
+  }
+  ++reshards_;
+  migrated_ += moved;
+  return moved;
+}
+
+size_t ShardedScopeRegistry::MigrateApplication(const std::string& application,
+                                                size_t target_shard) {
+  auto it = routes_.find(application);
+  if (it == routes_.end() || target_shard >= shards_.size()) return 0;
+  uint32_t from = it->second.shard;
+  if (from == static_cast<uint32_t>(target_shard)) return 0;
+  return MigrateGroup(CollectGroup(application, from), from,
+                      static_cast<uint32_t>(target_shard));
+}
+
+size_t ShardedScopeRegistry::RebalanceOnce() {
+  if (shards_.size() < 2 && max_shards_ <= shards_.size()) return 0;
+  std::vector<uint64_t> totals(shards_.size(), 0);
+  for (const auto& [application, route] : routes_) {
+    totals[route.shard] += route.matches;
+  }
+  uint64_t sum = 0;
+  for (uint64_t total : totals) sum += total;
+  if (sum < reshard_policy_.min_matches) return 0;
+  size_t hot = 0;
+  size_t cold = 0;
+  for (size_t s = 1; s < totals.size(); ++s) {
+    if (totals[s] > totals[hot]) hot = s;
+    if (totals[s] < totals[cold]) cold = s;
+  }
+  double mean = static_cast<double>(sum) / static_cast<double>(totals.size());
+  if (static_cast<double>(totals[hot]) <= reshard_policy_.hot_ratio * mean) {
+    return 0;
+  }
+  // Applications resident on the hot shard, hottest first (name-descending
+  // tie-break keeps the choice deterministic across identical runs).
+  std::vector<std::pair<uint64_t, std::string>> residents;
+  for (const auto& [application, route] : routes_) {
+    if (route.shard == hot) residents.emplace_back(route.matches, application);
+  }
+  if (residents.size() < 2) return 0;  // one app cannot be split further
+  std::sort(residents.rbegin(), residents.rend());
+  bool can_grow = max_shards_ > shards_.size();
+  if (residents.front().first * 2 >= totals[hot]) {
+    // One application dominates the shard: isolate its group — on a fresh
+    // shard when growth is allowed, else on the coldest — if that
+    // strictly lowers the maximum load.
+    CoPinGroup group = CollectGroup(residents.front().second, hot);
+    if (group.matches >= totals[hot]) return 0;  // group spans the shard
+    size_t destination;
+    uint64_t destination_load;
+    if (can_grow) {
+      destination = shards_.size();  // AddShard below
+      destination_load = 0;
+    } else {
+      destination = cold;
+      destination_load = totals[cold];
+    }
+    if (destination_load + group.matches >= totals[hot]) return 0;
+    if (can_grow) destination = AddShard();
+    return MigrateGroup(group, static_cast<uint32_t>(hot),
+                        static_cast<uint32_t>(destination));
+  }
+  // No dominant application: peel the coldest resident group onto the
+  // coldest shard. Repeated rounds (MaybeRebalance's loop, and the next
+  // pull rounds) keep shaving until the shard drops under the ratio.
+  if (cold == hot) return 0;
+  CoPinGroup group = CollectGroup(residents.back().second, hot);
+  if (totals[cold] + group.matches >= totals[hot]) return 0;
+  return MigrateGroup(group, static_cast<uint32_t>(hot),
+                      static_cast<uint32_t>(cold));
+}
+
+size_t ShardedScopeRegistry::MaybeRebalance() {
+  if (!reshard_policy_.enabled) return 0;
+  size_t moved = 0;
+  for (size_t round = 0; round < reshard_policy_.max_moves_per_round;
+       ++round) {
+    size_t step = RebalanceOnce();
+    if (step == 0) break;
+    moved += step;
+  }
+  if (moved > 0) {
+    // Halve the counters so the next decision weighs recent traffic over
+    // history (and repeated calls cannot thrash on a stale hot spot).
+    for (auto& [application, route] : routes_) route.matches /= 2;
+    residual_matches_ /= 2;
+  }
+  return moved;
 }
 
 // --- Matching ---------------------------------------------------------------
@@ -234,7 +428,15 @@ std::vector<std::string> ShardedScopeRegistry::MatchOne(
 template <typename Context, typename... Args>
 std::vector<std::string> ShardedScopeRegistry::LookupMerged(
     const Context& context, Args&&... args) const {
-  return MatchOne(OwnerOf(context.application), context, args...);
+  auto it = routes_.find(context.application);
+  if (it == routes_.end()) {
+    ++residual_matches_;
+    return MatchOne(nullptr, context, args...);
+  }
+  // Load accounting for MaybeRebalance; calling-thread only (mutable
+  // counter, no atomics — batch workers never reach this path).
+  ++it->second.matches;
+  return MatchOne(&shards_[it->second.shard], context, args...);
 }
 
 std::vector<std::string> ShardedScopeRegistry::MatchedKeys(
@@ -261,6 +463,7 @@ std::vector<std::string> ShardedScopeRegistry::MatchedKeys(
     const UserEventContext& context) const {
   // Every UserEventScope lives in the residual shard (no application
   // filters), so no merge is needed.
+  ++residual_matches_;
   return residual_.MatchedKeys(context);
 }
 
@@ -277,8 +480,12 @@ std::vector<std::vector<std::string>> ShardedScopeRegistry::MatchBatch(
   for (size_t i = 0; i < contexts.size(); ++i) {
     auto it = routes_.find(contexts[i].application);
     if (it == routes_.end()) {
+      ++residual_matches_;
       residual_only.push_back(i);
     } else {
+      // Per-application load accounting happens here, on the calling
+      // thread, so batch workers never touch the counters.
+      ++it->second.matches;
       buckets[it->second.shard].push_back(i);
     }
   }
@@ -292,20 +499,26 @@ std::vector<std::vector<std::string>> ShardedScopeRegistry::MatchBatch(
   for (size_t shard = 0; shard < buckets.size(); ++shard) {
     if (!buckets[shard].empty()) busy.push_back(shard);
   }
-  // Threads only pay off with >1 busy shard, a round big enough to
+  // Threads only pay off with enough busy shards, a round big enough to
   // amortize the spawns, and actual cores to run on; otherwise match on
-  // the calling thread (same results either way).
+  // the calling thread (same results either way). The thresholds are
+  // policy-driven: set_parallel_policy tunes them per deployment, and a
+  // nonzero max_workers overrides the detected core count (benchmarks on
+  // constrained hosts).
   unsigned hardware = std::thread::hardware_concurrency();
-  if (busy.size() > 1 && hardware > 1 &&
-      contexts.size() >= kParallelBatchThreshold) {
+  size_t max_workers =
+      parallel_policy_.max_workers != 0
+          ? parallel_policy_.max_workers
+          : (hardware > 1 ? static_cast<size_t>(hardware) - 1 : 0);
+  if (busy.size() >= std::max<size_t>(parallel_policy_.min_busy_shards, 2) &&
+      max_workers > 0 && contexts.size() >= parallel_policy_.min_samples) {
     // Shard-parallel: each owner shard is touched by exactly one worker;
     // the residual shard and the graph view are only read. Results are
     // identical to the serial path (workers write disjoint slots).
     // Workers are capped below the core count (the calling thread takes
     // the residual bucket) and stride over the busy shards, so a high
     // shard count never oversubscribes the host.
-    size_t worker_count =
-        std::min<size_t>(busy.size(), static_cast<size_t>(hardware) - 1);
+    size_t worker_count = std::min<size_t>(busy.size(), max_workers);
     std::vector<std::exception_ptr> worker_errors(worker_count);
     std::vector<std::thread> workers;
     workers.reserve(worker_count);

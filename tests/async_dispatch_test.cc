@@ -173,13 +173,16 @@ struct BusRun {
 };
 
 BusRun RunWorkload(uint64_t workload_seed, bool async, double interval,
-                   bool interleave_drains) {
+                   bool interleave_drains, bool weighted = false,
+                   size_t batch = 1) {
   sim::Simulation sim;
   EventBus::Config config;
   config.dispatch_interval = interval;
+  config.max_batch_per_step = batch;
   std::shared_ptr<DeterministicExecutor> executor;
   if (async) {
-    executor = std::make_shared<DeterministicExecutor>(&sim, workload_seed);
+    executor = std::make_shared<DeterministicExecutor>(&sim, workload_seed,
+                                                       weighted);
     config.executor = executor;
   }
   EventBus bus(&sim, config);
@@ -253,6 +256,73 @@ TEST(DeterministicDispatchTest, AsyncMatchesSerialUnderPacing) {
     EXPECT_EQ(serial.per_app, async.per_app) << "seed " << seed;
     EXPECT_EQ(serial.journal, async.journal) << "seed " << seed;
   }
+}
+
+/// Satellite: the weighted seeded mode explores backlog-biased schedules
+/// (the DeterministicExecutor mirror of the pool's weight heap) — the
+/// global interleaving changes, but per-application streams and journals
+/// must stay byte-identical to the serial oracle.
+TEST(DeterministicDispatchTest, WeightedAsyncMatchesSerialManySeeds) {
+  for (uint64_t seed = 29; seed <= 36; ++seed) {
+    BusRun serial = RunWorkload(seed, /*async=*/false, /*interval=*/0,
+                                /*interleave_drains=*/true);
+    BusRun weighted = RunWorkload(seed, /*async=*/true, /*interval=*/0,
+                                  /*interleave_drains=*/true,
+                                  /*weighted=*/true);
+    EXPECT_EQ(serial.delivered, weighted.delivered) << "seed " << seed;
+    EXPECT_EQ(serial.per_app, weighted.per_app) << "seed " << seed;
+    EXPECT_EQ(serial.journal, weighted.journal) << "seed " << seed;
+  }
+}
+
+/// Satellite: delivery batching (max_batch_per_step > 1) drains runs of
+/// same-application events per executor hop — again a global-schedule
+/// change only; per-application semantics are untouched. Weighted and
+/// unweighted, with and without pacing (pacing caps the batch at 1 by
+/// construction, so that combination is the no-op regression case).
+TEST(DeterministicDispatchTest, BatchedAsyncMatchesSerialManySeeds) {
+  for (uint64_t seed = 37; seed <= 44; ++seed) {
+    BusRun serial = RunWorkload(seed, /*async=*/false, /*interval=*/0,
+                                /*interleave_drains=*/true);
+    BusRun batched = RunWorkload(seed, /*async=*/true, /*interval=*/0,
+                                 /*interleave_drains=*/true,
+                                 /*weighted=*/(seed % 2 == 0), /*batch=*/4);
+    EXPECT_EQ(serial.delivered, batched.delivered) << "seed " << seed;
+    EXPECT_EQ(serial.per_app, batched.per_app) << "seed " << seed;
+    EXPECT_EQ(serial.journal, batched.journal) << "seed " << seed;
+  }
+  for (uint64_t seed = 45; seed <= 48; ++seed) {
+    BusRun serial = RunWorkload(seed, /*async=*/false, /*interval=*/0.25,
+                                /*interleave_drains=*/false);
+    BusRun batched = RunWorkload(seed, /*async=*/true, /*interval=*/0.25,
+                                 /*interleave_drains=*/false,
+                                 /*weighted=*/true, /*batch=*/8);
+    EXPECT_EQ(serial.delivered, batched.delivered) << "seed " << seed;
+    EXPECT_EQ(serial.per_app, batched.per_app) << "seed " << seed;
+    EXPECT_EQ(serial.journal, batched.journal) << "seed " << seed;
+  }
+}
+
+TEST(DeterministicDispatchTest, WeightedSameSeedReproducesTheSchedule) {
+  auto run = [](uint64_t seed) {
+    sim::Simulation sim;
+    auto executor = std::make_shared<DeterministicExecutor>(&sim, seed,
+                                                            /*weighted=*/true);
+    EventBus bus(&sim, AsyncConfig(executor));
+    DetRecordingLogic logic(&sim, &bus);
+    bus.set_logic(&logic);
+    for (int64_t i = 0; i < 30; ++i) {
+      // Skewed: app0 holds most of the backlog, so weights actually
+      // differ between queues and the weighted pick matters.
+      bus.Publish(AppMetricEvent("app" + std::to_string(i % 5 == 0 ? 1 : 0),
+                                 i));
+    }
+    sim.Run();
+    return logic.order;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_TRUE(std::make_shared<DeterministicExecutor>(nullptr, 1, true)
+                  ->weighted());
 }
 
 /// Satellite: dispatch_interval pacing holds independently per
@@ -489,6 +559,82 @@ TEST(ThreadPoolDispatchTest, DeliversEveryEventPerApplicationFifo) {
   for (const auto& [app, values] : logic.per_app) {
     EXPECT_EQ(values.size(), static_cast<size_t>(kPerApp)) << app;
   }
+}
+
+/// Tentpole (b)+(c) under real concurrency: weighted queue picks and
+/// multi-event batch drains on the worker pool, under Zipf-flavored skew
+/// (one hot application, many cold ones). Per-application FIFO must
+/// survive, nothing may starve, and the queue-stats surface must add up.
+/// The TSan CI job runs this to race-check the weigher (called under the
+/// executor lock, calling back into the bus lock) and the batch loop.
+TEST(ThreadPoolDispatchTest, WeightedBatchedSkewedLoadStaysFifo) {
+  sim::Simulation sim;
+  auto pool = std::make_shared<ThreadPoolExecutor>(4);
+  EventBus::Config config;
+  config.executor = pool;
+  config.max_batch_per_step = 16;
+  config.weighted_dispatch = true;
+  EventBus bus(&sim, config);
+  PoolRecordingLogic logic;
+  bus.set_logic(&logic);
+
+  constexpr int kColdApps = 12;
+  constexpr int64_t kHotEvents = 3000;
+  constexpr int64_t kPerCold = 100;
+  std::vector<int64_t> cold_next(kColdApps, 0);
+  int64_t hot_next = 0;
+  common::Rng rng(17);
+  // Interleaved skewed publish stream: ~70% of traffic hits "hot".
+  while (hot_next < kHotEvents) {
+    if (rng.Bernoulli(0.7)) {
+      bus.Publish(AppMetricEvent("hot", hot_next++));
+    } else {
+      int app = static_cast<int>(rng.UniformInt(0, kColdApps - 1));
+      if (cold_next[app] < kPerCold) {
+        bus.Publish(AppMetricEvent("cold" + std::to_string(app),
+                                   cold_next[app]++));
+      }
+    }
+    // Monitoring reads race the workers by design; TSan-clean required.
+    if (hot_next % 256 == 0) {
+      (void)bus.QueueStatsSnapshot();
+      (void)bus.AppQueueDepth("hot");
+      (void)bus.AppQueueBacklogAge("hot");
+    }
+  }
+  for (int app = 0; app < kColdApps; ++app) {
+    while (cold_next[app] < kPerCold) {
+      bus.Publish(AppMetricEvent("cold" + std::to_string(app),
+                                 cold_next[app]++));
+    }
+  }
+  pool->Drain();
+
+  uint64_t expected = static_cast<uint64_t>(kHotEvents) +
+                      static_cast<uint64_t>(kColdApps) * kPerCold;
+  EXPECT_EQ(bus.events_delivered(), expected);
+  EXPECT_EQ(bus.queue_depth(), 0u);
+  {
+    std::lock_guard<std::mutex> lock(logic.mu);
+    ASSERT_EQ(logic.per_app.size(), static_cast<size_t>(kColdApps) + 1);
+    EXPECT_EQ(logic.per_app["hot"].size(),
+              static_cast<size_t>(kHotEvents));
+    for (int app = 0; app < kColdApps; ++app) {
+      EXPECT_EQ(logic.per_app["cold" + std::to_string(app)].size(),
+                static_cast<size_t>(kPerCold));
+    }
+  }
+  // Drained queues report empty with zero backlog age; delivered counts
+  // per queue add up to the total.
+  auto stats = bus.QueueStatsSnapshot();
+  uint64_t delivered_sum = 0;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.depth, 0u) << s.key;
+    EXPECT_EQ(s.backlog_age, 0.0) << s.key;
+    delivered_sum += s.delivered;
+  }
+  EXPECT_EQ(delivered_sum, expected);
+  EXPECT_EQ(bus.AppQueueDepth("hot"), 0u);
 }
 
 TEST(ThreadPoolDispatchTest, StartEventKeepsSimTimeStamp) {
