@@ -16,12 +16,10 @@ Two passes over every tracked .md file:
 Exits non-zero listing every dangling reference.
 """
 
-import pathlib
 import re
-import subprocess
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+import lint_common
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 # Backticked repo-relative path, optionally with {a,b} brace shorthand.
@@ -29,14 +27,6 @@ FILE_REF = re.compile(
     r"`((?:src|tests|bench|docs|examples|scripts|\.github)/[\w./{},-]+"
     r"|[A-Z][\w.-]*\.(?:md|json|txt))`"
 )
-
-
-def tracked_markdown():
-    out = subprocess.run(
-        ["git", "ls-files", "*.md"],
-        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
-    ).stdout
-    return [REPO_ROOT / line for line in out.splitlines() if line]
 
 
 def expand_braces(ref):
@@ -50,8 +40,10 @@ def expand_braces(ref):
 
 def check_file(md_path):
     errors = []
-    text = md_path.read_text(encoding="utf-8")
-    rel = md_path.relative_to(REPO_ROOT)
+    text = lint_common.read_text(md_path)
+    if text is None:
+        return errors
+    rel = md_path.relative_to(lint_common.REPO_ROOT)
 
     for target in MD_LINK.findall(text):
         if target.startswith(("http://", "https://", "mailto:", "#")):
@@ -62,23 +54,20 @@ def check_file(md_path):
 
     for ref in FILE_REF.findall(text):
         for candidate in expand_braces(ref):
-            if not (REPO_ROOT / candidate).exists():
+            if not (lint_common.REPO_ROOT / candidate).exists():
                 errors.append(f"{rel}: dangling file reference (`{candidate}`)")
 
     return errors
 
 
 def main():
+    markdown = list(lint_common.tracked_files(suffixes=(".md",)))
     errors = []
-    for md_path in tracked_markdown():
+    for md_path in markdown:
         errors.extend(check_file(md_path))
-    if errors:
-        print(f"{len(errors)} dangling reference(s):", file=sys.stderr)
-        for error in errors:
-            print(f"  {error}", file=sys.stderr)
-        return 1
-    print(f"docs link check OK ({len(tracked_markdown())} markdown files)")
-    return 0
+    return lint_common.report(
+        "docs link check", errors, f"{len(markdown)} markdown files",
+        "dangling reference(s)")
 
 
 if __name__ == "__main__":

@@ -12,60 +12,50 @@ deprecation shim.
 
 Scans every tracked file under src/, tests/, bench/, examples/, and
 docs/ (plus root-level markdown) for `orca()->` and exits non-zero
-listing the offenders.
+listing the offenders. The broader per-rule invariant lint lives in
+orca_lint.py; this check predates it and stays standalone because it
+also covers documentation prose.
 """
 
-import pathlib
 import re
-import subprocess
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+import lint_common
 
 BACKDOOR = re.compile(r"orca\(\)\s*->")
 
 SCANNED_PREFIXES = ("src/", "tests/", "bench/", "examples/", "docs/")
 
 
-def tracked_files():
-    out = subprocess.run(
-        ["git", "ls-files"],
-        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
-    ).stdout
-    for line in out.splitlines():
-        # ISSUE.md / CHANGES.md are the driver's task log; they describe
-        # this gate and the retirement itself.
-        if line in ("ISSUE.md", "CHANGES.md"):
-            continue
-        if line.startswith(SCANNED_PREFIXES) or (
-            "/" not in line and line.endswith(".md")
-        ):
-            yield REPO_ROOT / line
+def scanned_files():
+    # ISSUE.md / CHANGES.md are the driver's task log; they describe
+    # this gate and the retirement itself.
+    yield from lint_common.tracked_files(
+        prefixes=SCANNED_PREFIXES, exclude=("ISSUE.md", "CHANGES.md"))
+    for path in lint_common.tracked_files(suffixes=(".md",),
+                                          exclude=("ISSUE.md", "CHANGES.md")):
+        if "/" not in str(path.relative_to(lint_common.REPO_ROOT)):
+            yield path
 
 
 def main():
     offenders = []
-    for path in tracked_files():
-        try:
-            text = path.read_text(encoding="utf-8")
-        except UnicodeDecodeError:
+    for path in scanned_files():
+        text = lint_common.read_text(path)
+        if text is None:
             continue
         # Search the whole text, not per line: `orca()\n    ->Call()` is
         # the standard continuation style at the column limit and must
         # not slip past the gate.
         for match in BACKDOOR.finditer(text):
-            number = text.count("\n", 0, match.start()) + 1
-            line = text.splitlines()[number - 1]
-            offenders.append(f"{path.relative_to(REPO_ROOT)}:{number}: "
-                             f"{line.strip()}")
-    if offenders:
-        print(f"{len(offenders)} retired `orca()->` call site(s) — use the "
-              "handler's OrcaContext instead:", file=sys.stderr)
-        for offender in offenders:
-            print(f"  {offender}", file=sys.stderr)
-        return 1
-    print("orca() backdoor check OK (no call sites)")
-    return 0
+            rel = path.relative_to(lint_common.REPO_ROOT)
+            offenders.append(
+                f"{rel}:{lint_common.line_of(text, match.start())}: "
+                f"{lint_common.line_at(text, match.start())}")
+    return lint_common.report(
+        "orca() backdoor check", offenders, "no call sites",
+        "retired `orca()->` call site(s) — use the handler's OrcaContext "
+        "instead")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-shot local runner for every static check, exactly as CI's docs/lint
+# job runs them (see .github/workflows/ci.yml). Usage: scripts/lint.sh
+#
+# The clang-based checks (-Wthread-safety build, clang-tidy) need a clang
+# toolchain and a compile_commands.json; they run when available and are
+# skipped with a notice otherwise, so this script is useful on gcc-only
+# boxes too.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+run() {
+  echo "== $*"
+  if ! "$@"; then
+    failures=$((failures + 1))
+  fi
+}
+
+run python3 scripts/orca_lint.py --self-test
+run python3 scripts/orca_lint.py
+run python3 scripts/check_orca_api.py
+run python3 scripts/check_docs_links.py
+
+if command -v clang++ >/dev/null 2>&1; then
+  # Mirrors CI's thread-safety job: the whole tree must compile clean
+  # under the analysis, and the deliberate violation file must NOT.
+  run env CXX=clang++ cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+  run cmake --build build-tsa -j"$(nproc)"
+  echo "== negative check: tests/static/thread_safety_violation.cc must fail"
+  if clang++ -std=c++17 -Isrc -Wthread-safety -Werror=thread-safety \
+      -fsyntax-only tests/static/thread_safety_violation.cc 2>/dev/null; then
+    echo "ERROR: deliberate thread-safety violation compiled clean" >&2
+    failures=$((failures + 1))
+  else
+    echo "OK (violation rejected)"
+  fi
+else
+  echo "-- clang++ not found: skipping -Wthread-safety build (CI runs it)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
+  run bash -c 'git ls-files "src/**/*.cc" | xargs clang-tidy -p build-tsa --quiet'
+else
+  echo "-- clang-tidy or compile_commands.json not found: skipping (CI runs it)"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "lint.sh: all checks passed"

@@ -1,0 +1,110 @@
+"""Shared scaffolding for the repo's static checks.
+
+Every checker in scripts/ has the same outer shape: enumerate tracked
+files with `git ls-files`, scan some subset, collect "path:line: ..."
+offender strings, print them to stderr with a headline and exit
+non-zero (or print an OK line and exit zero). This module owns that
+shape so the checkers themselves are just their rules:
+
+  - tracked_files()  — tracked paths, optionally filtered by prefix /
+                       suffix, as absolute pathlib.Paths.
+  - read_text()      — file contents, or None for binary/undecodable.
+  - line_of()        — 1-based line number of a character offset.
+  - line_at()        — the stripped source line containing an offset.
+  - strip_code_comments() — blank out // and /* */ comments and string
+                       literals in C/C++ source so pattern rules do not
+                       fire on prose (layout/offsets are preserved).
+  - report()         — uniform offender reporting; returns the exit code.
+
+Used by check_orca_api.py, check_docs_links.py, and orca_lint.py;
+scripts/lint.sh runs them all exactly as CI does.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def tracked_files(prefixes=None, suffixes=None, exclude=()):
+    """Tracked repo paths as absolute Paths.
+
+    `prefixes`/`suffixes` filter on the repo-relative string form; None
+    means no constraint. A repo-relative path listed in `exclude` is
+    always skipped. Root-level files have no '/' in their relative path,
+    so a prefix filter like ("src/",) naturally excludes them.
+    """
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
+    ).stdout
+    for line in out.splitlines():
+        if not line or line in exclude:
+            continue
+        if prefixes is not None and not line.startswith(tuple(prefixes)):
+            continue
+        if suffixes is not None and not line.endswith(tuple(suffixes)):
+            continue
+        yield REPO_ROOT / line
+
+
+def read_text(path):
+    """File contents, or None when the file is not UTF-8 text."""
+    try:
+        return path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def line_of(text, offset):
+    """1-based line number of character `offset` in `text`."""
+    return text.count("\n", 0, offset) + 1
+
+
+def line_at(text, offset):
+    """The stripped source line containing character `offset`."""
+    start = text.rfind("\n", 0, offset) + 1
+    end = text.find("\n", offset)
+    if end == -1:
+        end = len(text)
+    return text[start:end].strip()
+
+
+_CODE_NOISE = re.compile(
+    r"""
+      //[^\n]*                      # line comment
+    | /\*.*?\*/                     # block comment
+    | "(?:\\.|[^"\\\n])*"           # string literal
+    | '(?:\\.|[^'\\\n])*'           # char literal
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+def strip_code_comments(text):
+    """Blanks comments and string/char literals in C/C++ source.
+
+    Every masked character becomes a space except newlines, which are
+    kept — so match offsets and line numbers computed against the
+    stripped text are valid against the original.
+    """
+    def blank(match):
+        return "".join(c if c == "\n" else " " for c in match.group(0))
+
+    return _CODE_NOISE.sub(blank, text)
+
+
+def report(name, offenders, ok_message, headline):
+    """Prints the uniform pass/fail report; returns the process exit code.
+
+    `offenders` is a list of preformatted "path:line: detail" strings.
+    """
+    if offenders:
+        print(f"{len(offenders)} {headline}:", file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print(f"{name} OK ({ok_message})")
+    return 0

@@ -1,0 +1,110 @@
+#ifndef ORCASTREAM_COMMON_MUTEX_H_
+#define ORCASTREAM_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace orcastream::common {
+
+class CondVar;
+
+/// The project's only sanctioned mutex: a std::mutex carrying the
+/// ORCA_CAPABILITY annotation so clang's thread safety analysis can check
+/// every ORCA_GUARDED_BY member and ORCA_REQUIRES helper against it.
+/// scripts/orca_lint.py forbids raw std::mutex (and friends) everywhere
+/// else under src/ — a lock the analysis cannot see is a lock it cannot
+/// check.
+class ORCA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ORCA_ACQUIRE() { mu_.lock(); }
+  void Unlock() ORCA_RELEASE() { mu_.unlock(); }
+  bool TryLock() ORCA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (and, under the analysis, asserts) that the calling thread
+  /// already holds this mutex — for functions reached only from locked
+  /// contexts the analysis cannot follow.
+  void AssertHeld() const ORCA_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the std::lock_guard replacement). Also supports
+/// the worker-loop pattern of temporarily dropping the lock around
+/// foreign code (Unlock/Lock are tracked by the analysis as a relockable
+/// scoped capability), which std::lock_guard cannot express.
+class ORCA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ORCA_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() ORCA_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drops the lock mid-scope (around handler/runner calls — foreign code
+  /// must never run under an internal lock).
+  void Unlock() ORCA_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  /// Re-takes the lock after Unlock().
+  void Lock() ORCA_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with Mutex. Waits take the Mutex the caller
+/// already holds (ORCA_REQUIRES), adopt its native handle for the
+/// underlying std::condition_variable, and return with it re-held — so
+/// the analysis sees an uninterrupted critical section, which matches the
+/// caller-visible contract. Always re-check the predicate in a loop
+/// around Wait/WaitForSeconds (spurious wakeups).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) ORCA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller keeps holding mu
+  }
+
+  /// Waits up to `seconds` (may also return earlier, notified or
+  /// spuriously). Returns false on timeout.
+  bool WaitForSeconds(Mutex& mu, double seconds) ORCA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(native, std::chrono::duration<double>(seconds));
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace orcastream::common
+
+#endif  // ORCASTREAM_COMMON_MUTEX_H_

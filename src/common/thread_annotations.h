@@ -1,0 +1,84 @@
+#ifndef ORCASTREAM_COMMON_THREAD_ANNOTATIONS_H_
+#define ORCASTREAM_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations for orcastream's locked
+/// surface (EventBus, ThreadPoolExecutor, TransactionLog, OrcaService's
+/// staged-actuation mailbox and snapshot), in the style of
+/// <https://clang.llvm.org/docs/ThreadSafetyAnalysis.html>.
+///
+/// Under clang the macros expand to the `capability` attribute family and
+/// the CI thread-safety job compiles the tree with
+/// `-Wthread-safety -Werror=thread-safety`, turning lock-discipline
+/// violations (touching a ORCA_GUARDED_BY member without its mutex,
+/// calling a `*Locked()` helper outside its ORCA_REQUIRES scope,
+/// unbalanced acquire/release) into build failures. On every other
+/// compiler they expand to nothing, so gcc builds are unaffected.
+///
+/// Project rule (enforced by scripts/orca_lint.py): code under src/ takes
+/// locks only through the annotated wrappers in src/common/mutex.h —
+/// never raw std::mutex — so every lock the analysis can reason about is
+/// also a lock it does reason about.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ORCA_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef ORCA_THREAD_ANNOTATION__
+#define ORCA_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource), e.g.
+/// `class ORCA_CAPABILITY("mutex") Mutex { ... };`.
+#define ORCA_CAPABILITY(x) ORCA_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability
+/// (MutexLock).
+#define ORCA_SCOPED_CAPABILITY ORCA_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define ORCA_GUARDED_BY(x) ORCA_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define ORCA_PT_GUARDED_BY(x) ORCA_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function callable only while holding the capability — the `*Locked()`
+/// helper contract.
+#define ORCA_REQUIRES(...) \
+  ORCA_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function callable only while holding the capability for reading.
+#define ORCA_REQUIRES_SHARED(...) \
+  ORCA_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define ORCA_ACQUIRE(...) \
+  ORCA_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define ORCA_RELEASE(...) \
+  ORCA_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns the given value.
+#define ORCA_TRY_ACQUIRE(...) \
+  ORCA_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the capability (the
+/// deadlock-prevention direction: e.g. EventBus never calls into the
+/// executor with its own lock held).
+#define ORCA_EXCLUDES(...) ORCA_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; the
+/// analysis treats it as proof.
+#define ORCA_ASSERT_CAPABILITY(x) \
+  ORCA_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define ORCA_RETURN_CAPABILITY(x) ORCA_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch — turns the analysis off for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define ORCA_NO_THREAD_SAFETY_ANALYSIS \
+  ORCA_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // ORCASTREAM_COMMON_THREAD_ANNOTATIONS_H_

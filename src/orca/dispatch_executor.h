@@ -1,13 +1,10 @@
 #ifndef ORCASTREAM_ORCA_DISPATCH_EXECUTOR_H_
 #define ORCASTREAM_ORCA_DISPATCH_EXECUTOR_H_
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -15,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "sim/simulation.h"
 
 namespace orcastream::orca {
@@ -123,7 +122,14 @@ class DispatchExecutor {
 /// distinct applications overlap — the point of the pool is overlapping
 /// blocking handler work (actuation RPCs, I/O) across applications.
 /// Pacing retries are kept in a deadline heap and run when due
-/// (dispatch_interval is interpreted as wall-clock seconds here).
+/// (dispatch_interval is interpreted as seconds of the executor's clock).
+///
+/// **Clock seam.** All pacing arithmetic runs on an injectable `ClockFn`
+/// returning monotonic seconds; the default reads the wall clock in
+/// exactly one place (`MonotonicNowSeconds` in dispatch_executor.cc — the
+/// single entry on orca_lint's wall-clock allowlist). Tests inject a
+/// manual clock and call Kick() after advancing it, so pacing behavior is
+/// testable without real sleeps (see tests/dispatch_clock_test.cc).
 ///
 /// Scheduling between runnable queues is FIFO until a weigher is
 /// attached (AttachWeigher); then workers pick the highest-weight
@@ -132,9 +138,21 @@ class DispatchExecutor {
 /// queues is bounded: every kFairnessStride-th pick takes the oldest
 /// runnable queue regardless of weight, so a queue waits at most
 /// kFairnessStride-1 weighted picks beyond its FIFO turn.
+///
+/// Locking discipline (checked by -Wthread-safety): `mu_` guards every
+/// scheduling structure; the runner is ALWAYS invoked with `mu_`
+/// dropped (foreign code never runs under the executor lock — the bus
+/// takes its own lock inside, giving the one sanctioned executor-lock →
+/// bus-lock order).
 class ThreadPoolExecutor : public DispatchExecutor {
  public:
-  explicit ThreadPoolExecutor(size_t worker_count);
+  /// Monotonic-seconds source for pacing. Must be callable from any
+  /// worker thread.
+  using ClockFn = std::function<double()>;
+
+  /// `clock` defaults to the wall clock; tests inject a fake (see the
+  /// clock-seam note above).
+  explicit ThreadPoolExecutor(size_t worker_count, ClockFn clock = ClockFn());
   ~ThreadPoolExecutor() override;
 
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
@@ -146,6 +164,12 @@ class ThreadPoolExecutor : public DispatchExecutor {
   double NowSeconds() override;
   void Drain() override;
   void Stop() override;
+
+  /// Wakes every worker to re-read the clock and re-evaluate pacing
+  /// deadlines. Only needed by tests driving an injected ClockFn (a real
+  /// clock advances on its own and workers' timed waits expire); harmless
+  /// otherwise.
+  void Kick();
 
   size_t worker_count() const { return workers_.size(); }
 
@@ -178,38 +202,45 @@ class ThreadPoolExecutor : public DispatchExecutor {
   };
 
   void WorkerLoop();
-  /// Weighs the queue and inserts it into both ready structures. Caller
-  /// holds mu_ (the weigher contract allows that).
-  void PushReadyLocked(std::string key);
-  /// Pops the next queue per the scheduling policy. Caller holds mu_.
-  bool PopReadyLocked(std::string& key);
-  /// Moves due timed entries into the ready structures. Caller holds mu_.
-  void PromoteDue(double now);
-  bool QuiescentLocked() const {
+  /// Weighs the queue and inserts it into both ready structures. The
+  /// weigher runs under mu_ (its contract allows that).
+  void PushReadyLocked(std::string key) ORCA_REQUIRES(mu_);
+  /// Pops the next queue per the scheduling policy.
+  bool PopReadyLocked(std::string& key) ORCA_REQUIRES(mu_);
+  /// Moves due timed entries into the ready structures.
+  void PromoteDue(double now) ORCA_REQUIRES(mu_);
+  bool QuiescentLocked() const ORCA_REQUIRES(mu_) {
     return ready_count_ == 0 && timed_.empty() && busy_ == 0;
   }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable drain_cv_;
-  QueueRunner runner_;
-  QueueWeigher weigher_;
-  std::priority_queue<ReadyEntry> ready_heap_;
-  std::deque<std::pair<uint64_t, std::string>> ready_fifo_;
+  mutable common::Mutex mu_;
+  common::CondVar work_cv_;
+  common::CondVar drain_cv_;
+  /// Monotonic-seconds source; immutable after construction (workers read
+  /// it concurrently without mu_).
+  ClockFn clock_;
+  /// clock_ reading at construction; NowSeconds() is relative to it.
+  double epoch_ = 0;
+  QueueRunner runner_ ORCA_GUARDED_BY(mu_);
+  QueueWeigher weigher_ ORCA_GUARDED_BY(mu_);
+  std::priority_queue<ReadyEntry> ready_heap_ ORCA_GUARDED_BY(mu_);
+  std::deque<std::pair<uint64_t, std::string>> ready_fifo_
+      ORCA_GUARDED_BY(mu_);
   /// Ids already popped from one ready structure; the twin entry is
   /// dropped when it surfaces.
-  std::unordered_set<uint64_t> consumed_;
-  size_t ready_count_ = 0;
-  uint64_t next_ready_id_ = 0;
-  uint64_t pick_count_ = 0;
+  std::unordered_set<uint64_t> consumed_ ORCA_GUARDED_BY(mu_);
+  size_t ready_count_ ORCA_GUARDED_BY(mu_) = 0;
+  uint64_t next_ready_id_ ORCA_GUARDED_BY(mu_) = 0;
+  uint64_t pick_count_ ORCA_GUARDED_BY(mu_) = 0;
   std::priority_queue<TimedEntry, std::vector<TimedEntry>,
                       std::greater<TimedEntry>>
-      timed_;
-  uint64_t next_seq_ = 0;
-  size_t busy_ = 0;
-  bool stopping_ = false;
+      timed_ ORCA_GUARDED_BY(mu_);
+  uint64_t next_seq_ ORCA_GUARDED_BY(mu_) = 0;
+  size_t busy_ ORCA_GUARDED_BY(mu_) = 0;
+  bool stopping_ ORCA_GUARDED_BY(mu_) = false;
+  /// Touched only by the constructor and Stop (never by workers); Stop
+  /// joins outside mu_, so the vector stays unguarded by design.
   std::vector<std::thread> workers_;
-  std::chrono::steady_clock::time_point epoch_;
 };
 
 /// Test executor: single-threaded and driven entirely by the simulation,

@@ -190,16 +190,15 @@ TransactionId EventBus::current_transaction() const {
 }
 
 void EventBus::set_logic(Orchestrator* logic) {
-  if (!async()) {
+  {
+    common::MutexLock lock(mu_);
     logic_ = logic;
+  }
+  if (!async()) {
     // Events retained while no logic was attached must not stall until
     // the next Publish.
-    if (logic_ != nullptr && !queue_.empty()) EnsureDispatching();
+    if (logic != nullptr && !queue_.empty()) EnsureDispatching();
     return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    logic_ = logic;
   }
   if (logic != nullptr) SubmitRunnableQueues();
 }
@@ -209,13 +208,17 @@ void EventBus::DisposeAfterDispatch(std::unique_ptr<Orchestrator> logic) {
   if (!async()) {
     // Serial mode is single-threaded: a delivery is in flight iff this
     // thread is inside a handler (the §7 self-replacement path) — no
-    // locking or per-logic counting needed on the default path.
-    if (InHandler()) retired_logics_.push_back(std::move(logic));
+    // per-logic counting needed on the default path. The retirement list
+    // itself is lock-guarded in both modes (one checkable discipline).
+    if (InHandler()) {
+      common::MutexLock lock(mu_);
+      retired_logics_.push_back(std::move(logic));
+    }
     return;  // otherwise destroyed here, no handler frame can be inside
   }
   std::unique_ptr<Orchestrator> dispose_now;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     // A nonzero in-flight count means some handler frame of this very
     // object is still on a stack (its own, on self-replacement, or a
     // concurrent worker's); park it until the last delivery unwinds.
@@ -271,7 +274,7 @@ void EventBus::PublishAsync(Event event, bool front) {
   }
   bool submit = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     AppQueue& queue = queues_[key];
     AppQueue::Entry entry;
     entry.event = std::move(event);
@@ -300,7 +303,7 @@ bool EventBus::RunnableLocked(const std::string& key) const {
 void EventBus::SubmitRunnableQueues() {
   std::vector<std::string> submits;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (auto& [key, queue] : queues_) {
       if (!queue.events.empty() && !queue.active && RunnableLocked(key)) {
         queue.active = true;
@@ -328,7 +331,7 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
     bool gate = false;
     bool stop = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       auto it = queues_.find(key);
       if (it == queues_.end()) break;
       AppQueue& queue = it->second;
@@ -376,7 +379,7 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
 
     result.kind = QueueStepResult::Kind::kDelivered;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       AppQueue& queue = queues_[key];
       double end = executor_->NowSeconds();
       double cost = std::max(end - now, 0.0);
@@ -407,7 +410,7 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
 // --- Queue observability ----------------------------------------------------
 
 double EventBus::QueueWeightOf(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = queues_.find(key);
   if (it == queues_.end()) return 0.0;
   // Depth × expected per-delivery cost ≈ outstanding work. The cost
@@ -421,7 +424,7 @@ std::vector<EventBus::QueueStats> EventBus::QueueStatsSnapshot() const {
   if (!async()) return stats;
   double now = executor_->NowSeconds();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stats.reserve(queues_.size());
     for (const auto& [key, queue] : queues_) {
       QueueStats s;
@@ -444,7 +447,7 @@ std::vector<EventBus::QueueStats> EventBus::QueueStatsSnapshot() const {
 
 size_t EventBus::AppQueueDepth(const std::string& application) const {
   if (!async()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = queues_.find(application);
   return it == queues_.end() ? 0 : it->second.events.size();
 }
@@ -452,7 +455,7 @@ size_t EventBus::AppQueueDepth(const std::string& application) const {
 double EventBus::AppQueueBacklogAge(const std::string& application) const {
   if (!async()) return 0;
   double now = executor_->NowSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = queues_.find(application);
   if (it == queues_.end() || it->second.events.empty()) return 0;
   return std::max(now - it->second.events.front().enqueued_at, 0.0);
@@ -516,26 +519,29 @@ void EventBus::FinishDelivery(Orchestrator* logic, TransactionId txn,
                               double now) {
   txn_log_.Commit(txn, now);
   tls_delivery = ThreadDelivery{};
+  std::vector<std::unique_ptr<Orchestrator>> dispose;
   if (!async()) {
     // The handler frame has unwound; logic it retired from inside itself
-    // (in-handler ReplaceLogic/Shutdown) can be destroyed now.
-    retired_logics_.clear();
+    // (in-handler ReplaceLogic/Shutdown) can be destroyed now — outside
+    // the lock, via `dispose` at scope exit (destructors are foreign
+    // code).
+    common::MutexLock lock(mu_);
+    dispose.swap(retired_logics_);
     return;
   }
-  std::vector<std::unique_ptr<Orchestrator>> dispose;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = inflight_.find(logic);
     if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
     // Logic retired mid-delivery (in-handler ReplaceLogic/Shutdown, or a
     // main-thread replace while workers deliver) can be destroyed once
-    // its last handler frame has unwound.
-    auto still_inflight = [this](const std::unique_ptr<Orchestrator>& l) {
-      auto entry = inflight_.find(l.get());
-      return entry != inflight_.end() && entry->second > 0;
-    };
+    // its last handler frame has unwound. Checked inline, not via a
+    // lambda: the thread safety analysis treats a lambda as a separate
+    // function and would flag its inflight_ reads as unguarded.
     for (auto& retired : retired_logics_) {
-      if (!still_inflight(retired)) dispose.push_back(std::move(retired));
+      auto entry = inflight_.find(retired.get());
+      bool still_inflight = entry != inflight_.end() && entry->second > 0;
+      if (!still_inflight) dispose.push_back(std::move(retired));
     }
     retired_logics_.erase(
         std::remove(retired_logics_.begin(), retired_logics_.end(), nullptr),
@@ -562,14 +568,18 @@ void EventBus::EnsureDispatching() {
 }
 
 void EventBus::DispatchNext() {
-  if (queue_.empty() || logic_ == nullptr) {
+  Orchestrator* logic;
+  {
+    common::MutexLock lock(mu_);
+    logic = logic_;
+  }
+  if (queue_.empty() || logic == nullptr) {
     dispatching_ = false;
     return;
   }
   Event event = std::move(queue_.front());
   queue_.pop_front();
   queue_size_.fetch_sub(1, std::memory_order_relaxed);
-  Orchestrator* logic = logic_;
   TransactionId txn = BeginDelivery(event.summary, sim_->Now());
   Deliver(logic, event, sim_->Now());
   FinishDelivery(logic, txn, sim_->Now());

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "orca/dispatch_executor.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
@@ -122,7 +123,10 @@ class EventBus {
   /// Async mode: deliveries already in flight on workers complete against
   /// the previous logic (see DisposeAfterDispatch / DrainDeliveries).
   void set_logic(Orchestrator* logic);
-  Orchestrator* logic() const { return logic_; }
+  Orchestrator* logic() const {
+    common::MutexLock lock(mu_);
+    return logic_;
+  }
 
   /// Destroys a replaced/unloaded Orchestrator — immediately if none of
   /// its deliveries is in flight, otherwise once the last one unwinds:
@@ -282,8 +286,8 @@ class EventBus {
   /// attach / gate reopen). Caller must NOT hold mu_.
   void SubmitRunnableQueues();
   /// True if `key`'s queue may deliver now (logic attached; not blocked
-  /// behind a start-event gate). Caller holds mu_.
-  bool RunnableLocked(const std::string& key) const;
+  /// behind a start-event gate).
+  bool RunnableLocked(const std::string& key) const ORCA_REQUIRES(mu_);
   /// Executor weigher callback (Config::weighted_dispatch): backlog
   /// depth × observed delivery cost. Takes mu_; safe because the bus
   /// never calls into the executor while holding mu_ (executor-lock →
@@ -305,11 +309,12 @@ class EventBus {
   sim::Simulation* sim_;
   Config config_;
   std::shared_ptr<DispatchExecutor> executor_;
-  Orchestrator* logic_ = nullptr;
   /// Capability target of per-delivery OrcaContexts (see BindService).
   OrcaService* service_ = nullptr;
 
-  // Serial-mode state (single-threaded; only touched when !async()).
+  // Serial-mode state (single-threaded by construction: only touched when
+  // !async(), always on the sim thread, so it takes no lock and carries
+  // no GUARDED_BY).
   std::deque<Event> queue_;
   bool dispatching_ = false;
   /// When the last serial delivery ran; pacing is enforced relative to it
@@ -317,27 +322,33 @@ class EventBus {
   /// > 0).
   sim::SimTime last_delivery_at_ = 0;
 
-  // Async-mode state, guarded by mu_ (never held across a handler call).
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, AppQueue> queues_;
+  // State below is guarded by mu_ (never held across a handler call).
+  // logic_ and the retirement bookkeeping are locked in BOTH modes —
+  // serial-mode contention is zero, and a single discipline is what the
+  // thread safety analysis can check.
+  mutable common::Mutex mu_;
+  Orchestrator* logic_ ORCA_GUARDED_BY(mu_) = nullptr;
+  std::unordered_map<std::string, AppQueue> queues_ ORCA_GUARDED_BY(mu_);
   /// Undelivered PublishFront start events; while > 0 only the residual
   /// queue delivers.
-  int gate_depth_ = 0;
+  int gate_depth_ ORCA_GUARDED_BY(mu_) = 0;
 
   // Shared state.
   std::atomic<uint64_t> events_delivered_{0};
   /// Undelivered events across all queues; maintained in both modes so
   /// queue_depth() never needs mu_.
   std::atomic<size_t> queue_size_{0};
-  /// Async mode: deliveries currently inside a handler, per logic
-  /// object; guarded by mu_. A retired logic is destroyed only when its
-  /// count reaches zero. (Serial mode tracks nothing: at most one
-  /// delivery exists and InHandler() detects it.)
-  std::unordered_map<const Orchestrator*, uint64_t> inflight_;
+  /// Deliveries currently inside a handler, per logic object. A retired
+  /// logic is destroyed only when its count reaches zero. (Serial mode
+  /// leaves this empty: at most one delivery exists and InHandler()
+  /// detects it.)
+  std::unordered_map<const Orchestrator*, uint64_t> inflight_
+      ORCA_GUARDED_BY(mu_);
   /// Orchestrators retired mid-delivery; destroyed when their last
-  /// delivery unwinds (see DisposeAfterDispatch). Guarded by mu_ in
-  /// async mode.
-  std::vector<std::unique_ptr<Orchestrator>> retired_logics_;
+  /// delivery unwinds (see DisposeAfterDispatch). Destructors always run
+  /// with mu_ dropped — retiring logic may own arbitrary state.
+  std::vector<std::unique_ptr<Orchestrator>> retired_logics_
+      ORCA_GUARDED_BY(mu_);
 
   TransactionLog txn_log_;
 };

@@ -172,12 +172,12 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
 void OrcaService::EnqueueStagedBatch(
     TransactionId txn, std::vector<OrcaContext::StagedCall> calls) {
   if (calls.empty()) return;
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  common::MutexLock lock(staged_mu_);
   staged_batches_.push_back(StagedBatch{txn, std::move(calls)});
 }
 
 size_t OrcaService::staged_actuations_pending() const {
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  common::MutexLock lock(staged_mu_);
   size_t total = 0;
   for (const auto& batch : staged_batches_) total += batch.calls.size();
   return total;
@@ -189,7 +189,7 @@ size_t OrcaService::ApplyStagedActuations() {
   // order equal to commit order.
   std::deque<StagedBatch> batches;
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    common::MutexLock lock(staged_mu_);
     batches.swap(staged_batches_);
   }
   size_t applied = 0;
@@ -217,7 +217,7 @@ size_t OrcaService::ApplyStagedActuations() {
 }
 
 std::shared_ptr<const OrcaSnapshot> OrcaService::SnapshotForDelivery() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  common::MutexLock lock(snapshot_mu_);
   return snapshot_;
 }
 
@@ -237,7 +237,7 @@ void OrcaService::RefreshSnapshot() {
   for (const auto& [id, state] : apps_) {
     snapshot->apps[id] = OrcaSnapshot::AppInfo{state.job, state.gc_pending};
   }
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  common::MutexLock lock(snapshot_mu_);
   snapshot_ = std::move(snapshot);
 }
 

@@ -7,13 +7,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "orca/app_config.h"
 #include "orca/dependency_graph.h"
@@ -457,8 +458,8 @@ class OrcaService : private runtime::EventSink {
 
   /// Wall-clock dispatch only: the current consistent read view served to
   /// staged deliveries, swapped copy-on-write on the simulation thread.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const OrcaSnapshot> snapshot_;
+  mutable common::Mutex snapshot_mu_;
+  std::shared_ptr<const OrcaSnapshot> snapshot_ ORCA_GUARDED_BY(snapshot_mu_);
   /// The staged deliveries' clock (see StagedClock).
   std::atomic<double> staged_clock_{0};
 
@@ -469,8 +470,8 @@ class OrcaService : private runtime::EventSink {
     TransactionId txn = 0;
     std::vector<OrcaContext::StagedCall> calls;
   };
-  mutable std::mutex staged_mu_;
-  std::deque<StagedBatch> staged_batches_;
+  mutable common::Mutex staged_mu_;
+  std::deque<StagedBatch> staged_batches_ ORCA_GUARDED_BY(staged_mu_);
 };
 
 }  // namespace orcastream::orca

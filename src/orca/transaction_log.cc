@@ -4,7 +4,7 @@ namespace orcastream::orca {
 
 TransactionId TransactionLog::Begin(const std::string& event_summary,
                                     sim::SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   TransactionId id = next_id_++;
   Record record;
   record.id = id;
@@ -14,39 +14,44 @@ TransactionId TransactionLog::Begin(const std::string& event_summary,
   return id;
 }
 
+TransactionLog::Record* TransactionLog::FindLocked(TransactionId txn) {
+  auto it = records_.find(txn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
 void TransactionLog::RecordActuation(TransactionId txn,
                                      const std::string& description) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = records_.find(txn);
-  if (it == records_.end()) return;
-  it->second.actuations.push_back(description);
+  common::MutexLock lock(mu_);
+  Record* record = FindLocked(txn);
+  if (record == nullptr) return;
+  record->actuations.push_back(description);
 }
 
 void TransactionLog::Commit(TransactionId txn, sim::SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = records_.find(txn);
-  if (it == records_.end()) return;
-  it->second.state = State::kCommitted;
-  it->second.finished_at = now;
+  common::MutexLock lock(mu_);
+  Record* record = FindLocked(txn);
+  if (record == nullptr) return;
+  record->state = State::kCommitted;
+  record->finished_at = now;
   ++committed_;
 }
 
 void TransactionLog::Abort(TransactionId txn, sim::SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = records_.find(txn);
-  if (it == records_.end()) return;
-  it->second.state = State::kAborted;
-  it->second.finished_at = now;
+  common::MutexLock lock(mu_);
+  Record* record = FindLocked(txn);
+  if (record == nullptr) return;
+  record->state = State::kAborted;
+  record->finished_at = now;
 }
 
 const TransactionLog::Record* TransactionLog::Find(TransactionId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = records_.find(txn);
   return it == records_.end() ? nullptr : &it->second;
 }
 
 std::vector<const TransactionLog::Record*> TransactionLog::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<const Record*> out;
   for (const auto& [id, record] : records_) out.push_back(&record);
   return out;
@@ -54,7 +59,7 @@ std::vector<const TransactionLog::Record*> TransactionLog::records() const {
 
 std::vector<const TransactionLog::Record*> TransactionLog::Uncommitted()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<const Record*> out;
   for (const auto& [id, record] : records_) {
     if (record.state != State::kCommitted) out.push_back(&record);
@@ -63,12 +68,12 @@ std::vector<const TransactionLog::Record*> TransactionLog::Uncommitted()
 }
 
 int64_t TransactionLog::committed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return committed_;
 }
 
 size_t TransactionLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return records_.size();
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/simulation.h"
 
 namespace orcastream::orca {
@@ -69,12 +70,15 @@ class TransactionLog {
   size_t size() const;
 
  private:
+  /// The open-transaction lookup shared by the mutating entry points.
+  Record* FindLocked(TransactionId txn) ORCA_REQUIRES(mu_);
+
   /// Serializes every mutation and read; never held while running
   /// foreign code.
-  mutable std::mutex mu_;
-  TransactionId next_id_ = 1;
-  int64_t committed_ = 0;
-  std::map<TransactionId, Record> records_;
+  mutable common::Mutex mu_;
+  TransactionId next_id_ ORCA_GUARDED_BY(mu_) = 1;
+  int64_t committed_ ORCA_GUARDED_BY(mu_) = 0;
+  std::map<TransactionId, Record> records_ ORCA_GUARDED_BY(mu_);
 };
 
 }  // namespace orcastream::orca

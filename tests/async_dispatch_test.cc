@@ -10,12 +10,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "orca/dispatch_executor.h"
 #include "orca/event_bus.h"
@@ -523,7 +523,7 @@ class PoolRecordingLogic : public Orchestrator {
   void HandleOrcaStart(OrcaContext&, const OrcaStartContext&) override {}
   void HandlePeMetricEvent(OrcaContext&, const PeMetricContext& context,
                            const std::vector<std::string>&) override {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(mu);
     std::vector<int64_t>& values = per_app[context.application];
     if (!values.empty()) {
       EXPECT_LT(values.back(), context.value)
@@ -532,7 +532,7 @@ class PoolRecordingLogic : public Orchestrator {
     values.push_back(context.value);
   }
 
-  std::mutex mu;
+  common::Mutex mu;
   std::map<std::string, std::vector<int64_t>> per_app;
 };
 
@@ -554,7 +554,7 @@ TEST(ThreadPoolDispatchTest, DeliversEveryEventPerApplicationFifo) {
   EXPECT_EQ(bus.queue_depth(), 0u);
   EXPECT_EQ(bus.transactions().committed_count(),
             static_cast<int64_t>(kApps * kPerApp));
-  std::lock_guard<std::mutex> lock(logic.mu);
+  common::MutexLock lock(logic.mu);
   ASSERT_EQ(logic.per_app.size(), static_cast<size_t>(kApps));
   for (const auto& [app, values] : logic.per_app) {
     EXPECT_EQ(values.size(), static_cast<size_t>(kPerApp)) << app;
@@ -615,7 +615,7 @@ TEST(ThreadPoolDispatchTest, WeightedBatchedSkewedLoadStaysFifo) {
   EXPECT_EQ(bus.events_delivered(), expected);
   EXPECT_EQ(bus.queue_depth(), 0u);
   {
-    std::lock_guard<std::mutex> lock(logic.mu);
+    common::MutexLock lock(logic.mu);
     ASSERT_EQ(logic.per_app.size(), static_cast<size_t>(kColdApps) + 1);
     EXPECT_EQ(logic.per_app["hot"].size(),
               static_cast<size_t>(kHotEvents));
@@ -683,7 +683,7 @@ class StressLogic : public Orchestrator {
 
 struct StressState {
   EventBus* bus = nullptr;
-  std::mutex mu;
+  common::Mutex mu;
   /// Owner of the currently installed logic (the OrcaService role).
   std::unique_ptr<Orchestrator> current;
   std::map<std::string, int64_t> last_value;
@@ -692,7 +692,7 @@ struct StressState {
   std::atomic<bool> fifo_ok{true};
 
   void Record(const std::string& app, int64_t value, size_t matched) {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(mu);
     auto [it, inserted] = last_value.try_emplace(app, value);
     if (!inserted) {
       if (value <= it->second) fifo_ok = false;
@@ -706,7 +706,7 @@ struct StressState {
   /// frames — are still inside it; DisposeAfterDispatch must defer
   /// destruction until they all unwind.
   void SelfReplace(Orchestrator* self) {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(mu);
     if (current.get() != self) return;  // already replaced by another event
     auto next = std::make_unique<StressLogic>(this);
     bus->set_logic(next.get());
@@ -734,7 +734,7 @@ TEST(ThreadPoolDispatchTest, ChurnAndSelfReplacementSoak) {
   {
     auto first = std::make_unique<StressLogic>(&state);
     bus.set_logic(first.get());
-    std::lock_guard<std::mutex> lock(state.mu);
+    common::MutexLock lock(state.mu);
     state.current = std::move(first);
   }
 

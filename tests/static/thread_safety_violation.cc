@@ -1,0 +1,46 @@
+// NOT part of the build. CI's thread-safety job compiles this file
+// EXPECTING FAILURE (`clang++ -Wthread-safety -Werror=thread-safety
+// -fsyntax-only`): it commits one deliberate instance of each
+// lock-discipline violation class the analysis must catch. If this file
+// ever compiles clean, the annotations have stopped guarding anything —
+// the job fails in that direction too. It sits outside the tests/*_test.cc
+// glob in CMakeLists.txt, so normal builds and ctest never see it.
+//
+// scripts/lint.sh runs the same negative check locally when clang++ is
+// available.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace orcastream {
+
+class Violations {
+ public:
+  // Violation 1: reading a GUARDED_BY member without holding its mutex.
+  int UnguardedRead() { return counter_; }
+
+  // Violation 2: writing a GUARDED_BY member without the mutex.
+  void UnguardedWrite(int value) { counter_ = value; }
+
+  // Violation 3: calling a REQUIRES helper without holding the mutex.
+  void CallLockedHelperUnlocked() { BumpLocked(); }
+
+  // Violation 4: unbalanced manual acquire — returns with mu_ held.
+  void LeaksLock() { mu_.Lock(); }
+
+  // Correctly locked, for contrast (must NOT warn): the scoped lock
+  // covers both the helper call and the member access.
+  int LockedAccess() {
+    common::MutexLock lock(mu_);
+    BumpLocked();
+    return counter_;
+  }
+
+ private:
+  void BumpLocked() ORCA_REQUIRES(mu_) { ++counter_; }
+
+  common::Mutex mu_;
+  int counter_ ORCA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace orcastream
