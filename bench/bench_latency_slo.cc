@@ -1,0 +1,68 @@
+// Detection→actuation latency SLOs over the soak scenarios (the paper's
+// Figs 7–10 reaction-time story): each benchmark drives one full
+// 180-virtual-second scenario through the harness on the serial oracle
+// and exports the per-category reaction quantiles as counters
+// (`<category>_p50_s` / `<category>_p99_s` / `<category>_count`, in
+// simulation seconds). scripts/bench.sh turns them into
+// BENCH_latency_slo.json and gates them against the scenario SLO table
+// (see src/harness/slo_report.cc). A run whose scenario invariants fail
+// reports a benchmark error instead of publishing numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "harness/scenarios.h"
+#include "harness/soak_driver.h"
+
+using namespace orcastream;  // NOLINT — bench brevity
+
+namespace {
+
+harness::ScenarioOptions SerialOptions() {
+  harness::ScenarioOptions options;
+  options.mode = harness::DispatchMode::kSerial;
+  options.duration = harness::kScenarioDuration;
+  return options;
+}
+
+void RunScenarioReaction(benchmark::State& state, size_t scenario_index) {
+  harness::RunResult last;
+  for (auto _ : state) {
+    auto scenarios = harness::MakeAllScenarios();
+    last = harness::RunScenario(*scenarios[scenario_index], SerialOptions());
+    if (!last.verify.ok()) {
+      state.SkipWithError(last.verify.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(last.events_delivered);
+  }
+  state.counters["events"] = static_cast<double>(last.events_delivered);
+  for (const auto& stats : last.latency) {
+    state.counters[stats.category + "_count"] =
+        static_cast<double>(stats.count);
+    state.counters[stats.category + "_p50_s"] = stats.p50;
+    state.counters[stats.category + "_p99_s"] = stats.p99;
+    state.counters[stats.category + "_max_s"] = stats.max;
+  }
+}
+
+void BM_IotFleetReaction(benchmark::State& state) {
+  RunScenarioReaction(state, 0);
+}
+void BM_FraudPipelineReaction(benchmark::State& state) {
+  RunScenarioReaction(state, 1);
+}
+void BM_GeoTrendingReaction(benchmark::State& state) {
+  RunScenarioReaction(state, 2);
+}
+
+BENCHMARK(BM_IotFleetReaction)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FraudPipelineReaction)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GeoTrendingReaction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -198,3 +198,110 @@ for label in ("scope_matching", "scope_matching_churn",
 if failed:
     sys.exit(1)
 EOF
+
+# --- Detection→actuation latency SLOs (soak scenarios) ----------------------
+# Runs the three soak scenarios on the serial oracle via bench_latency_slo
+# and gates the per-category reaction quantiles against the scenario SLO
+# table (mirrors src/harness/slo_report.cc; all times are virtual seconds).
+
+if [[ ! -x "$BUILD_DIR/bench_latency_slo" ]]; then
+  echo "building bench_latency_slo in $BUILD_DIR ..." >&2
+  cmake --build "$BUILD_DIR" -j --target bench_latency_slo
+fi
+
+LATENCY_JSON="$BUILD_DIR/bench_latency_slo.json"
+"$BUILD_DIR/bench_latency_slo" --benchmark_format=json >"$LATENCY_JSON"
+
+python3 - "$LATENCY_JSON" "$REPO_ROOT/BENCH_latency_slo.json" <<'EOF'
+import json
+import sys
+
+latency_path, out_path = sys.argv[1:3]
+
+with open(latency_path) as f:
+    benches = json.load(f)["benchmarks"]
+
+SCENARIOS = {
+    "iot_fleet": "BM_IotFleetReaction",
+    "fraud_pipeline": "BM_FraudPipelineReaction",
+    "geo_trending": "BM_GeoTrendingReaction",
+}
+
+# category -> (p50 max, p99 max, min sample count); must match
+# DefaultScenarioSlos() in src/harness/slo_report.cc.
+SLOS = {
+    "operatorMetric": (6.0, 12.0, 2),
+    "peFailure": (2.0, 4.0, 1),
+    "start": (2.0, 4.0, 1),
+}
+
+def require(name, field):
+    """Counter `field` of bench `name`. A missing bench or counter is a
+    recording bug — fail with the key, not a KeyError."""
+    for bench in benches:
+        if bench["name"] == name or bench["name"].startswith(name + "/"):
+            if bench.get("error_occurred"):
+                sys.exit(f"FAIL: benchmark '{name}' errored: "
+                         f"{bench.get('error_message', 'unknown')} "
+                         "(scenario invariants violated?)")
+            if field not in bench:
+                sys.exit(f"FAIL: benchmark '{name}' reported no '{field}' "
+                         "(category never recorded a reaction sample, or "
+                         "counter renamed?)")
+            return bench[field]
+    sys.exit(f"FAIL: benchmark '{name}' missing from benchmark output "
+             "(renamed, filtered out, or failed to run?)")
+
+failed = False
+result = {
+    "bench": "latency_slo",
+    "description": "Detection→actuation reaction latency of the three soak "
+                   "scenarios (iot_fleet elastic scaling, fraud_pipeline "
+                   "model hot-swap, geo_trending cross-app dependencies) on "
+                   "the serial oracle at the full 180 s duration with the "
+                   "fault script on. Quantiles are virtual seconds from the "
+                   "detection stamp (SRM collection / SAM failure "
+                   "detection) to the actuation landing; the per-category "
+                   "SLO table mirrors src/harness/slo_report.cc.",
+    "slos": {
+        category: {"p50_max_s": p50, "p99_max_s": p99, "min_count": count}
+        for category, (p50, p99, count) in SLOS.items()
+    },
+    "scenarios": {},
+}
+for scenario, bench_name in SCENARIOS.items():
+    entry = {"events_delivered": require(bench_name, "events")}
+    for category, (p50_max, p99_max, min_count) in SLOS.items():
+        count = require(bench_name, f"{category}_count")
+        p50 = require(bench_name, f"{category}_p50_s")
+        p99 = require(bench_name, f"{category}_p99_s")
+        entry[category] = {
+            "count": count,
+            "p50_s": p50,
+            "p99_s": p99,
+            "max_s": require(bench_name, f"{category}_max_s"),
+        }
+        print(f"{scenario}/{category}: p50 {p50:.3f}s p99 {p99:.3f}s "
+              f"({count:.0f} samples; SLO {p50_max:g}/{p99_max:g})")
+        if count < min_count:
+            print(f"FAIL: {scenario}/{category} recorded {count:.0f} "
+                  f"samples, need >= {min_count}", file=sys.stderr)
+            failed = True
+        if p50 > p50_max:
+            print(f"FAIL: {scenario}/{category} p50 {p50:.3f}s exceeds "
+                  f"SLO {p50_max:g}s", file=sys.stderr)
+            failed = True
+        if p99 > p99_max:
+            print(f"FAIL: {scenario}/{category} p99 {p99:.3f}s exceeds "
+                  f"SLO {p99_max:g}s", file=sys.stderr)
+            failed = True
+    result["scenarios"][scenario] = entry
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+if failed:
+    sys.exit(1)
+EOF

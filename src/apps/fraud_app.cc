@@ -1,0 +1,100 @@
+#include "apps/fraud_app.h"
+
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using ops::CallbackSource;
+using ops::StoreSink;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+namespace {
+
+/// op2: flags transactions whose risk meets the current model's threshold
+/// and maintains the nScored/nFlagged adaptation metrics.
+class FraudScorer : public runtime::Operator {
+ public:
+  FraudScorer(std::shared_ptr<SharedFraudModel> model,
+              std::shared_ptr<ops::TupleStore> flagged)
+      : model_(std::move(model)), flagged_(std::move(flagged)) {}
+
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    ctx->CreateCustomMetric(FraudApp::kScoredMetric);
+    ctx->CreateCustomMetric(FraudApp::kFlaggedMetric);
+  }
+
+  void ProcessTuple(size_t, const Tuple& txn) override {
+    ctx()->AddToCustomMetric(FraudApp::kScoredMetric, 1);
+    FraudModel model = model_->Get();
+    bool flag = txn.DoubleOr("risk", 0) >= model.flag_threshold;
+    Tuple out = txn;
+    out.Set("flagged", flag);
+    out.Set("modelVersion", model.version);
+    if (flag) {
+      ctx()->AddToCustomMetric(FraudApp::kFlaggedMetric, 1);
+      flagged_->Append(ctx()->Now(), out);
+    }
+    ctx()->Submit(0, out);
+  }
+
+ private:
+  std::shared_ptr<SharedFraudModel> model_;
+  std::shared_ptr<ops::TupleStore> flagged_;
+};
+
+}  // namespace
+
+FraudApp::Handles FraudApp::Register(runtime::OperatorFactory* factory,
+                                     const std::string& app_name,
+                                     const PaymentWorkload& workload,
+                                     FraudModel initial_model) {
+  Handles handles;
+  handles.model = std::make_shared<SharedFraudModel>(initial_model);
+  handles.flagged = std::make_shared<ops::TupleStore>();
+  handles.display = std::make_shared<ops::TupleStore>();
+
+  factory->RegisterOrReplace(app_name + ".TxnSource", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+
+  auto model = handles.model;
+  auto flagged = handles.flagged;
+  factory->RegisterOrReplace(app_name + ".FraudScorer", [model, flagged] {
+    return std::make_unique<FraudScorer>(model, flagged);
+  });
+
+  auto display = handles.display;
+  factory->RegisterOrReplace(app_name + ".Display", [display] {
+    return std::make_unique<StoreSink>(display);
+  });
+
+  return handles;
+}
+
+common::Result<ApplicationModel> FraudApp::Build(const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("op1_source", app_name + ".TxnSource")
+      .Output("transactions");
+  builder.AddOperator(kScorerName, app_name + ".FraudScorer")
+      .Input("transactions")
+      .Output("scored");
+  builder.AddOperator("op3_aggregate", "Aggregate")
+      .Input("scored")
+      .Output("merchantFlags")
+      .Param("windowSeconds", 30.0)
+      .Param("outputPeriod", 5.0)
+      .Param("keyField", "merchant")
+      .Param("aggregates", "count:flagged");
+  builder.AddOperator("op4_display", app_name + ".Display")
+      .Input("merchantFlags");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

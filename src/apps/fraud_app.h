@@ -1,0 +1,88 @@
+#ifndef ORCASTREAM_APPS_FRAUD_APP_H_
+#define ORCASTREAM_APPS_FRAUD_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/workloads.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "ops/sinks.h"
+#include "runtime/operator_api.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// The scoring model of the fraud pipeline: transactions whose risk meets
+/// the threshold are flagged. Versions stand in for retrained models.
+struct FraudModel {
+  double flag_threshold = 0.9;
+  int64_t version = 0;
+};
+
+/// Shared, hot-swappable model slot. The scorer reads the current model
+/// per transaction; the ORCA logic installs a replacement mid-traffic
+/// (ReplaceLogic's deployment payload in the soak scenario). Locked
+/// because the swap may run on a dispatch worker thread while the scorer
+/// reads on the simulation thread.
+class SharedFraudModel {
+ public:
+  explicit SharedFraudModel(FraudModel initial) : model_(initial) {}
+
+  FraudModel Get() const {
+    common::MutexLock lock(mu_);
+    return model_;
+  }
+
+  void Install(FraudModel next) {
+    common::MutexLock lock(mu_);
+    next.version = model_.version + 1;
+    model_ = next;
+  }
+
+  int64_t version() const {
+    common::MutexLock lock(mu_);
+    return model_.version;
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  FraudModel model_ ORCA_GUARDED_BY(mu_);
+};
+
+/// Fraud-detection pipeline for the soak harness' hot-swap scenario:
+///
+///   op1 TxnSource → op2 FraudScorer → op3 Aggregate → op4 Display
+///
+/// op2 flags transactions against the shared model and maintains two
+/// custom metrics the ORCA logic subscribes to: nScored (all
+/// transactions) and nFlagged (flagged ones). Flagged tuples carry the
+/// model version that flagged them, which is how tests observe the
+/// mid-traffic model swap.
+class FraudApp {
+ public:
+  static constexpr char kScoredMetric[] = "nScored";
+  static constexpr char kFlaggedMetric[] = "nFlagged";
+  static constexpr char kScorerName[] = "op2_scorer";
+
+  struct Handles {
+    std::shared_ptr<SharedFraudModel> model;
+    /// Flagged transactions (op2 side output into the store).
+    std::shared_ptr<ops::TupleStore> flagged;
+    /// op4's display output (per-merchant flag aggregates).
+    std::shared_ptr<ops::TupleStore> display;
+  };
+
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const PaymentWorkload& workload,
+                          FraudModel initial_model);
+
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_FRAUD_APP_H_

@@ -1,0 +1,107 @@
+#include "apps/fraud_orca.h"
+
+#include "common/logging.h"
+#include "orca/orca_context.h"
+
+namespace orcastream::apps {
+
+void FraudOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                const orca::OrcaStartContext&) {
+  // Deploy the model this logic version ships with. On ReplaceLogic the
+  // pipeline keeps running; only the model (and thresholds) change.
+  if (config_.install_model_on_start && config_.model != nullptr) {
+    config_.model->Install(config_.deploy_model);
+  }
+
+  if (!orca.IsRunning(config_.app_id)) {
+    common::Status status = orca.SubmitApplication(config_.app_id);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "fraud pipeline submission failed: " << status;
+    }
+  }
+
+  orca::OperatorMetricScope score_scope("fraudScore");
+  score_scope.AddApplicationFilter(config_.app_name);
+  score_scope.AddOperatorNameFilter(FraudApp::kScorerName);
+  score_scope.AddOperatorMetric(FraudApp::kScoredMetric);
+  score_scope.AddOperatorMetric(FraudApp::kFlaggedMetric);
+  score_scope.SetMetricKindFilter(runtime::MetricKind::kCustom);
+  orca.RegisterEventScope(score_scope);
+
+  orca::PeFailureScope failure_scope("fraudFailures");
+  failure_scope.AddApplicationFilter(config_.app_name);
+  orca.RegisterEventScope(failure_scope);
+
+  orca.SetMetricPullPeriod(config_.calm_pull_period);
+}
+
+void FraudOrca::HandleOperatorMetricEvent(
+    orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+    const std::vector<std::string>&) {
+  // The scorer's two counters arrive as separate events sharing an epoch;
+  // a rate needs both, so the pair is assembled per epoch.
+  enum class Decision { kNone, kRaise, kClear };
+  Decision decision = Decision::kNone;
+  double rate = 0;
+  {
+    common::MutexLock lock(mu_);
+    if (context.epoch != sample_epoch_) {
+      sample_epoch_ = context.epoch;
+      scored_now_ = -1;
+      flagged_now_ = -1;
+    }
+    if (context.metric == FraudApp::kScoredMetric) {
+      scored_now_ = context.value;
+    } else if (context.metric == FraudApp::kFlaggedMetric) {
+      flagged_now_ = context.value;
+    }
+    if (scored_now_ < 0 || flagged_now_ < 0) return;
+
+    int64_t scored_delta = scored_now_ - last_scored_;
+    int64_t flagged_delta = flagged_now_ - last_flagged_;
+    last_scored_ = scored_now_;
+    last_flagged_ = flagged_now_;
+    if (scored_delta <= 0) return;
+
+    rate = static_cast<double>(flagged_delta) /
+           static_cast<double>(scored_delta);
+    if (!alerting_ && rate >= config_.alert_rate) {
+      alerting_ = true;
+      decision = Decision::kRaise;
+    } else if (alerting_ && rate < config_.alert_rate / 2) {
+      alerting_ = false;
+      decision = Decision::kClear;
+    }
+    if (decision != Decision::kNone) {
+      Alert alert;
+      alert.at = context.collected_at;
+      alert.raised = decision == Decision::kRaise;
+      alert.rate = rate;
+      alert.model_version =
+          config_.model != nullptr ? config_.model->version() : 0;
+      alerts_.push_back(alert);
+    }
+  }
+
+  if (decision == Decision::kRaise) {
+    orca.SetMetricPullPeriod(config_.alert_pull_period);
+  } else if (decision == Decision::kClear) {
+    orca.SetMetricPullPeriod(config_.calm_pull_period);
+  }
+}
+
+void FraudOrca::HandlePeFailureEvent(orca::OrcaContext& orca,
+                                     const orca::PeFailureContext& context,
+                                     const std::vector<std::string>&) {
+  {
+    common::MutexLock lock(mu_);
+    ++restarts_;
+  }
+  common::Status status = orca.RestartPe(context.pe);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "failed to restart PE " << context.pe << ": "
+                     << status;
+  }
+}
+
+}  // namespace orcastream::apps

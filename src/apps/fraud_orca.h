@@ -1,0 +1,95 @@
+#ifndef ORCASTREAM_APPS_FRAUD_ORCA_H_
+#define ORCASTREAM_APPS_FRAUD_ORCA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/fraud_app.h"
+#include "common/ids.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// ORCA logic for the fraud pipeline scenario. Each deployed version
+/// carries the scoring model it ships with and installs it on start —
+/// ReplaceLogic with a v2 FraudOrca is therefore a mid-traffic model
+/// hot-swap (§7's logic replacement doubling as a deployment vehicle).
+/// The logic watches the scorer's nScored/nFlagged counters; when the
+/// flag rate between two samples exceeds the alert threshold it tightens
+/// the metric pull period (faster reaction while the attack lasts), and
+/// relaxes it again once the rate drops.
+class FraudOrca : public orca::Orchestrator {
+ public:
+  struct Config {
+    /// AppConfig id of the pipeline.
+    std::string app_id = "fraud_main";
+    /// ADL application name (scope filter).
+    std::string app_name = "FraudPipeline";
+    /// The model this logic version deploys on start (its version field
+    /// is assigned by SharedFraudModel::Install).
+    FraudModel deploy_model;
+    /// Whether start installs deploy_model (v1 may keep the bootstrap
+    /// model the application was registered with).
+    bool install_model_on_start = true;
+    std::shared_ptr<SharedFraudModel> model;
+    /// Alert when flagged/scored between consecutive samples exceeds
+    /// this; clear when it drops below half of it.
+    double alert_rate = 0.2;
+    /// Pull periods outside/inside an alert.
+    double calm_pull_period = 5.0;
+    double alert_pull_period = 1.0;
+  };
+
+  struct Alert {
+    sim::SimTime at = 0;
+    /// true = raised, false = cleared.
+    bool raised = false;
+    double rate = 0;
+    int64_t model_version = 0;
+  };
+
+  explicit FraudOrca(Config config) : config_(std::move(config)) {}
+
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override;
+
+  std::vector<Alert> alerts() const {
+    common::MutexLock lock(mu_);
+    return alerts_;
+  }
+  bool alerting() const {
+    common::MutexLock lock(mu_);
+    return alerting_;
+  }
+  size_t restarts() const {
+    common::MutexLock lock(mu_);
+    return restarts_;
+  }
+
+ private:
+  Config config_;
+  mutable common::Mutex mu_;
+  /// Last observed cumulative counters, per metric (epoch-aligned pairs).
+  int64_t last_scored_ ORCA_GUARDED_BY(mu_) = 0;
+  int64_t last_flagged_ ORCA_GUARDED_BY(mu_) = 0;
+  int64_t scored_now_ ORCA_GUARDED_BY(mu_) = -1;
+  int64_t flagged_now_ ORCA_GUARDED_BY(mu_) = -1;
+  int64_t sample_epoch_ ORCA_GUARDED_BY(mu_) = -1;
+  bool alerting_ ORCA_GUARDED_BY(mu_) = false;
+  std::vector<Alert> alerts_ ORCA_GUARDED_BY(mu_);
+  size_t restarts_ ORCA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_FRAUD_ORCA_H_

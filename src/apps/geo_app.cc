@@ -1,0 +1,76 @@
+#include "apps/geo_app.h"
+
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using ops::CallbackSource;
+using ops::StoreSink;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+namespace {
+
+/// op2: forwards posts and counts them into the `nPosts` volume metric.
+class RegionMonitor : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    ctx->CreateCustomMetric(GeoApp::kPostsMetric);
+  }
+
+  void ProcessTuple(size_t, const Tuple& post) override {
+    ctx()->AddToCustomMetric(GeoApp::kPostsMetric, 1);
+    ctx()->Submit(0, post);
+  }
+};
+
+}  // namespace
+
+GeoApp::Handles GeoApp::Register(runtime::OperatorFactory* factory,
+                                 const std::string& app_name,
+                                 const GeoPostWorkload& workload) {
+  Handles handles;
+  handles.display = std::make_shared<ops::TupleStore>();
+
+  factory->RegisterOrReplace(app_name + ".PostSource", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+
+  factory->RegisterOrReplace(app_name + ".RegionMonitor", [] {
+    return std::make_unique<RegionMonitor>();
+  });
+
+  auto display = handles.display;
+  factory->RegisterOrReplace(app_name + ".Display", [display] {
+    return std::make_unique<StoreSink>(display);
+  });
+
+  return handles;
+}
+
+common::Result<ApplicationModel> GeoApp::Build(const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("op1_source", app_name + ".PostSource")
+      .Output("posts");
+  builder.AddOperator(kMonitorName, app_name + ".RegionMonitor")
+      .Input("posts")
+      .Output("monitored");
+  builder.AddOperator("op3_aggregate", "Aggregate")
+      .Input("monitored")
+      .Output("topicCounts")
+      .Param("windowSeconds", 60.0)
+      .Param("outputPeriod", 5.0)
+      .Param("keyField", "topic")
+      .Param("aggregates", "count:user");
+  builder.AddOperator("op4_display", app_name + ".Display")
+      .Input("topicCounts");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

@@ -1,0 +1,46 @@
+#ifndef ORCASTREAM_APPS_GEO_APP_H_
+#define ORCASTREAM_APPS_GEO_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "ops/sinks.h"
+#include "runtime/operator_api.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// Regional trending application for the soak harness' geo-sharded
+/// scenario. One instance per region:
+///
+///   op1 PostSource → op2 RegionMonitor → op3 Aggregate → op4 Display
+///
+/// op2 counts posts into the custom metric `nPosts` — the per-region
+/// volume signal the geo orchestrator watches for hot regions. The same
+/// model (built under other names) serves as the shared global-rollup
+/// application every region depends on (§4.4 dependency management) and
+/// as the per-region overflow application submitted while a region is
+/// hot.
+class GeoApp {
+ public:
+  static constexpr char kPostsMetric[] = "nPosts";
+  static constexpr char kMonitorName[] = "op2_monitor";
+
+  struct Handles {
+    /// op4's display output (topic counts).
+    std::shared_ptr<ops::TupleStore> display;
+  };
+
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const GeoPostWorkload& workload);
+
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_GEO_APP_H_

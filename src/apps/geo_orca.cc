@@ -1,0 +1,114 @@
+#include "apps/geo_orca.h"
+
+#include "apps/geo_app.h"
+#include "common/logging.h"
+#include "orca/orca_context.h"
+
+namespace orcastream::apps {
+
+void GeoTrendOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                   const orca::OrcaStartContext&) {
+  for (const Region& region : config_.regions) {
+    // Cross-app dependency: the shared rollup is submitted automatically
+    // before the first region and garbage-collected when unused (§4.4).
+    common::Status status = orca.RegisterDependency(
+        region.id, config_.global_id, config_.global_uptime);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "dependency registration failed for " << region.id
+                       << ": " << status;
+    }
+    status = orca.RegisterDependency(region.overflow_id, config_.global_id,
+                                     config_.global_uptime);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "dependency registration failed for "
+                       << region.overflow_id << ": " << status;
+    }
+    status = orca.SubmitApplication(region.id);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "region submission failed for " << region.id
+                       << ": " << status;
+    }
+  }
+
+  orca::OperatorMetricScope volume_scope("regionVolume");
+  volume_scope.AddOperatorMetric(GeoApp::kPostsMetric);
+  volume_scope.AddOperatorNameFilter(GeoApp::kMonitorName);
+  volume_scope.SetMetricKindFilter(runtime::MetricKind::kCustom);
+  for (const Region& region : config_.regions) {
+    volume_scope.AddApplicationFilter(region.app_name);
+  }
+  orca.RegisterEventScope(volume_scope);
+
+  orca::PeFailureScope failure_scope("geoFailures");
+  orca.RegisterEventScope(failure_scope);
+}
+
+const GeoTrendOrca::Region* GeoTrendOrca::RegionOfApp(
+    const std::string& app_name) const {
+  for (const Region& region : config_.regions) {
+    if (region.app_name == app_name) return &region;
+  }
+  return nullptr;
+}
+
+void GeoTrendOrca::HandleOperatorMetricEvent(
+    orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+    const std::vector<std::string>&) {
+  const Region* region = RegionOfApp(context.application);
+  if (region == nullptr) return;
+
+  enum class Decision { kNone, kSubmit, kCancel };
+  Decision decision = Decision::kNone;
+  int64_t delta = 0;
+  {
+    common::MutexLock lock(mu_);
+    auto [it, inserted] = last_posts_.try_emplace(region->id, 0);
+    delta = context.value - it->second;
+    it->second = context.value;
+    if (inserted) return;  // first sample has no delta to judge
+
+    bool active = overflow_active_[region->id];
+    if (!active && delta >= config_.hot_threshold) {
+      overflow_active_[region->id] = true;
+      decision = Decision::kSubmit;
+    } else if (active && delta <= config_.cool_threshold) {
+      overflow_active_[region->id] = false;
+      decision = Decision::kCancel;
+    }
+    if (decision != Decision::kNone) {
+      overflow_events_.push_back(
+          {context.collected_at, region->id, delta,
+           decision == Decision::kSubmit ? "submit" : "cancel"});
+    }
+  }
+
+  if (decision == Decision::kSubmit) {
+    common::Status status = orca.SubmitApplication(region->overflow_id);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "overflow submission failed for "
+                       << region->overflow_id << ": " << status;
+    }
+  } else if (decision == Decision::kCancel) {
+    common::Status status = orca.CancelApplication(region->overflow_id);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "overflow cancellation failed for "
+                       << region->overflow_id << ": " << status;
+    }
+  }
+}
+
+void GeoTrendOrca::HandlePeFailureEvent(orca::OrcaContext& orca,
+                                        const orca::PeFailureContext& context,
+                                        const std::vector<std::string>&) {
+  {
+    common::MutexLock lock(mu_);
+    ++restarts_;
+  }
+  common::Status status = orca.RestartPe(context.pe);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "failed to restart PE " << context.pe << ": "
+                     << status;
+  }
+}
+
+}  // namespace orcastream::apps

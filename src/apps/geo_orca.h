@@ -1,0 +1,92 @@
+#ifndef ORCASTREAM_APPS_GEO_ORCA_H_
+#define ORCASTREAM_APPS_GEO_ORCA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// ORCA logic for the geo-sharded trending scenario. Every regional
+/// application depends on one shared global-rollup application (§4.4);
+/// submitting a region auto-submits the rollup first, and the rollup is
+/// garbage-collected once no region uses it. Per-region post volume
+/// (the `nPosts` counter delta between pull rounds) drives overflow
+/// management: a hot region gets its overflow application submitted, a
+/// cooled-down region gets it cancelled. PE failures anywhere restart.
+class GeoTrendOrca : public orca::Orchestrator {
+ public:
+  struct Region {
+    /// AppConfig ids of the regional app and its overflow companion.
+    std::string id;
+    std::string overflow_id;
+    /// ADL application name (scope filter + event attribution).
+    std::string app_name;
+  };
+
+  struct Config {
+    std::vector<Region> regions;
+    /// AppConfig id of the shared global rollup every region depends on.
+    std::string global_id = "geo_global";
+    /// Seconds the rollup must be up before a region may start.
+    double global_uptime = 1.0;
+    /// Overflow submitted when a region's per-round post delta is at or
+    /// above `hot_threshold`; cancelled again at or below `cool_threshold`.
+    int64_t hot_threshold = 200;
+    int64_t cool_threshold = 50;
+  };
+
+  struct OverflowEvent {
+    sim::SimTime at = 0;
+    std::string region;
+    int64_t delta = 0;
+    /// "submit" or "cancel".
+    std::string action;
+  };
+
+  explicit GeoTrendOrca(Config config) : config_(std::move(config)) {}
+
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override;
+
+  bool overflow_active(const std::string& region_id) const {
+    common::MutexLock lock(mu_);
+    auto it = overflow_active_.find(region_id);
+    return it != overflow_active_.end() && it->second;
+  }
+  std::vector<OverflowEvent> overflow_events() const {
+    common::MutexLock lock(mu_);
+    return overflow_events_;
+  }
+  size_t restarts() const {
+    common::MutexLock lock(mu_);
+    return restarts_;
+  }
+
+ private:
+  const Region* RegionOfApp(const std::string& app_name) const;
+
+  Config config_;
+  mutable common::Mutex mu_;
+  /// Region id → last cumulative nPosts reading.
+  std::map<std::string, int64_t> last_posts_ ORCA_GUARDED_BY(mu_);
+  std::map<std::string, bool> overflow_active_ ORCA_GUARDED_BY(mu_);
+  std::vector<OverflowEvent> overflow_events_ ORCA_GUARDED_BY(mu_);
+  size_t restarts_ ORCA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_GEO_ORCA_H_

@@ -1,0 +1,79 @@
+#include "apps/iot_app.h"
+
+#include "ops/sources.h"
+#include "topology/app_builder.h"
+
+namespace orcastream::apps {
+
+using ops::CallbackSource;
+using ops::StoreSink;
+using topology::AppBuilder;
+using topology::ApplicationModel;
+using topology::Tuple;
+
+namespace {
+
+/// op2: forwards readings and publishes the latest fleet load as the
+/// `fleetLoad` gauge the orchestrator scales against.
+class FleetMonitor : public runtime::Operator {
+ public:
+  void Open(runtime::OperatorContext* ctx) override {
+    Operator::Open(ctx);
+    ctx->CreateCustomMetric(IotApp::kLoadMetric);
+  }
+
+  void ProcessTuple(size_t, const Tuple& reading) override {
+    ctx()->SetCustomMetric(
+        IotApp::kLoadMetric,
+        static_cast<int64_t>(reading.DoubleOr("load", 0)));
+    ctx()->Submit(0, reading);
+  }
+};
+
+}  // namespace
+
+IotApp::Handles IotApp::Register(runtime::OperatorFactory* factory,
+                                 const std::string& app_name,
+                                 const SensorWorkload& workload) {
+  Handles handles;
+  handles.display = std::make_shared<ops::TupleStore>();
+
+  factory->RegisterOrReplace(app_name + ".SensorSource", [workload] {
+    CallbackSource::Options options;
+    options.period = workload.period;
+    options.generator = workload.MakeGenerator();
+    return std::make_unique<CallbackSource>(options);
+  });
+
+  factory->RegisterOrReplace(app_name + ".FleetMonitor", [] {
+    return std::make_unique<FleetMonitor>();
+  });
+
+  auto display = handles.display;
+  factory->RegisterOrReplace(app_name + ".Display", [display] {
+    return std::make_unique<StoreSink>(display);
+  });
+
+  return handles;
+}
+
+common::Result<ApplicationModel> IotApp::Build(const std::string& app_name) {
+  AppBuilder builder(app_name);
+  builder.AddOperator("op1_source", app_name + ".SensorSource")
+      .Output("readings");
+  builder.AddOperator(kMonitorName, app_name + ".FleetMonitor")
+      .Input("readings")
+      .Output("monitored");
+  builder.AddOperator("op3_aggregate", "Aggregate")
+      .Input("monitored")
+      .Output("deviceLoad")
+      .Param("windowSeconds", 30.0)
+      .Param("outputPeriod", 5.0)
+      .Param("keyField", "device")
+      .Param("aggregates", "avg:load");
+  builder.AddOperator("op4_display", app_name + ".Display")
+      .Input("deviceLoad");
+  return builder.Build();
+}
+
+}  // namespace orcastream::apps

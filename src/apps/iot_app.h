@@ -1,0 +1,52 @@
+#ifndef ORCASTREAM_APPS_IOT_APP_H_
+#define ORCASTREAM_APPS_IOT_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/workloads.h"
+#include "common/status.h"
+#include "ops/sinks.h"
+#include "runtime/operator_api.h"
+#include "topology/app_model.h"
+
+namespace orcastream::apps {
+
+/// IoT fleet-monitoring application for the soak harness' elastic-scaling
+/// scenario. The pipeline:
+///
+///   op1 SensorSource → op2 FleetMonitor → op3 Aggregate → op4 Display
+///
+/// op2 maintains the custom metric `fleetLoad` — the most recent
+/// fleet-wide load reading (a gauge, not a counter) — which the IoT
+/// orchestrator subscribes to and scales shard applications against. The
+/// same model is also used for the shard applications the orchestrator
+/// submits under load: a shard instance is just this application built
+/// under a different name.
+class IotApp {
+ public:
+  /// Custom gauge maintained by the monitor: latest observed load.
+  static constexpr char kLoadMetric[] = "fleetLoad";
+  /// Operator instance name carrying the custom metric.
+  static constexpr char kMonitorName[] = "op2_monitor";
+
+  struct Handles {
+    /// op4's display output (device aggregates).
+    std::shared_ptr<ops::TupleStore> display;
+  };
+
+  /// Registers the application's operator kinds (prefixed with
+  /// `app_name`) and returns the shared handles.
+  static Handles Register(runtime::OperatorFactory* factory,
+                          const std::string& app_name,
+                          const SensorWorkload& workload);
+
+  /// Builds the logical application model for the kinds registered under
+  /// `app_name`.
+  static common::Result<topology::ApplicationModel> Build(
+      const std::string& app_name);
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_IOT_APP_H_

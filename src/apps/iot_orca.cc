@@ -1,0 +1,81 @@
+#include "apps/iot_orca.h"
+
+#include "apps/iot_app.h"
+#include "common/logging.h"
+#include "orca/orca_context.h"
+
+namespace orcastream::apps {
+
+void IotFleetOrca::HandleOrcaStart(orca::OrcaContext& orca,
+                                   const orca::OrcaStartContext&) {
+  common::Status status = orca.SubmitApplication(config_.base_id);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "base submission failed for " << config_.base_id
+                     << ": " << status;
+  }
+
+  orca::OperatorMetricScope load_scope("fleetLoad");
+  load_scope.AddOperatorMetric(IotApp::kLoadMetric);
+  load_scope.AddOperatorNameFilter(IotApp::kMonitorName);
+  load_scope.SetMetricKindFilter(runtime::MetricKind::kCustom);
+  for (const auto& name : config_.app_names) {
+    load_scope.AddApplicationFilter(name);
+  }
+  orca.RegisterEventScope(load_scope);
+
+  orca::PeFailureScope failure_scope("fleetFailures");
+  for (const auto& name : config_.app_names) {
+    failure_scope.AddApplicationFilter(name);
+  }
+  orca.RegisterEventScope(failure_scope);
+}
+
+void IotFleetOrca::HandleOperatorMetricEvent(
+    orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+    const std::vector<std::string>&) {
+  // Only the base monitor's gauge drives scaling — shard monitors see the
+  // same workload profile, and reacting to them too would double-count
+  // each threshold crossing.
+  auto base_job = orca.RunningJob(config_.base_id);
+  if (!base_job.ok() || !(base_job.value() == context.job)) return;
+
+  common::MutexLock lock(mu_);
+  if (context.value >= config_.hi_threshold &&
+      active_shards_ < config_.shard_ids.size()) {
+    const std::string& shard = config_.shard_ids[active_shards_];
+    common::Status status = orca.SubmitApplication(shard);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "scale-out failed for " << shard << ": " << status;
+      return;
+    }
+    ++active_shards_;
+    scale_events_.push_back(
+        {context.collected_at, context.value, "out", shard});
+  } else if (context.value <= config_.lo_threshold && active_shards_ > 0) {
+    const std::string& shard = config_.shard_ids[active_shards_ - 1];
+    common::Status status = orca.CancelApplication(shard);
+    if (!status.ok()) {
+      ORCA_LOG(kError) << "scale-in failed for " << shard << ": " << status;
+      return;
+    }
+    --active_shards_;
+    scale_events_.push_back(
+        {context.collected_at, context.value, "in", shard});
+  }
+}
+
+void IotFleetOrca::HandlePeFailureEvent(orca::OrcaContext& orca,
+                                        const orca::PeFailureContext& context,
+                                        const std::vector<std::string>&) {
+  {
+    common::MutexLock lock(mu_);
+    ++restarts_;
+  }
+  common::Status status = orca.RestartPe(context.pe);
+  if (!status.ok()) {
+    ORCA_LOG(kError) << "failed to restart PE " << context.pe << ": "
+                     << status;
+  }
+}
+
+}  // namespace orcastream::apps

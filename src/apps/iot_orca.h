@@ -1,0 +1,81 @@
+#ifndef ORCASTREAM_APPS_IOT_ORCA_H_
+#define ORCASTREAM_APPS_IOT_ORCA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "orca/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace orcastream::apps {
+
+/// Elastic-scaling ORCA logic for the IoT fleet scenario: the base
+/// application's `fleetLoad` gauge drives shard-application submission and
+/// cancellation across a hysteresis band, while PE failures anywhere in
+/// the fleet are restarted. One scale step per metric event keeps the
+/// reaction deterministic under every dispatch mode.
+class IotFleetOrca : public orca::Orchestrator {
+ public:
+  struct Config {
+    /// AppConfig id of the always-running base monitor application.
+    std::string base_id = "iot_base";
+    /// AppConfig ids of the elastic shard applications, scaled in order.
+    std::vector<std::string> shard_ids = {"iot_shard0", "iot_shard1"};
+    /// Application name filters for the metric/failure scopes (the base
+    /// and shard ADL names).
+    std::vector<std::string> app_names;
+    /// Scale out while the load gauge is at/above `hi`, back in at/below
+    /// `lo` (hysteresis: nothing happens in between).
+    int64_t hi_threshold = 80;
+    int64_t lo_threshold = 40;
+  };
+
+  struct ScaleEvent {
+    sim::SimTime at = 0;
+    int64_t load = 0;
+    /// "out" (shard submitted) or "in" (shard cancelled).
+    std::string action;
+    std::string shard_id;
+  };
+
+  explicit IotFleetOrca(Config config) : config_(std::move(config)) {}
+
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext& context) override;
+  void HandleOperatorMetricEvent(
+      orca::OrcaContext& orca, const orca::OperatorMetricContext& context,
+      const std::vector<std::string>& scopes) override;
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override;
+
+  size_t active_shards() const {
+    common::MutexLock lock(mu_);
+    return active_shards_;
+  }
+  std::vector<ScaleEvent> scale_events() const {
+    common::MutexLock lock(mu_);
+    return scale_events_;
+  }
+  size_t restarts() const {
+    common::MutexLock lock(mu_);
+    return restarts_;
+  }
+
+ private:
+  Config config_;
+  /// Handlers for different applications run concurrently under
+  /// wall-clock pool dispatch, so the scale state is locked.
+  mutable common::Mutex mu_;
+  /// Shards submitted so far (prefix of config_.shard_ids).
+  size_t active_shards_ ORCA_GUARDED_BY(mu_) = 0;
+  std::vector<ScaleEvent> scale_events_ ORCA_GUARDED_BY(mu_);
+  size_t restarts_ ORCA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace orcastream::apps
+
+#endif  // ORCASTREAM_APPS_IOT_ORCA_H_

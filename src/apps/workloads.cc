@@ -116,4 +116,91 @@ ops::CallbackSource::Generator ProfileWorkload::MakeGenerator() const {
   };
 }
 
+double SensorWorkload::LoadAt(sim::SimTime now) const {
+  auto lerp = [](double a, double b, double f) { return a + (b - a) * f; };
+  if (now < ramp_start) return base_load;
+  if (now < ramp_end) {
+    return lerp(base_load, peak_load,
+                (now - ramp_start) / (ramp_end - ramp_start));
+  }
+  if (now < cooldown_start) return peak_load;
+  if (now < cooldown_end) {
+    return lerp(peak_load, base_load,
+                (now - cooldown_start) / (cooldown_end - cooldown_start));
+  }
+  return base_load;
+}
+
+ops::CallbackSource::Generator SensorWorkload::MakeGenerator() const {
+  SensorWorkload config = *this;
+  return [config](Rng* rng, sim::SimTime now,
+                  int64_t seq) -> std::optional<Tuple> {
+    Tuple reading;
+    reading.Set("device",
+                StrFormat("%s_dev%lld", config.region.c_str(),
+                          static_cast<long long>(seq % config.fleet_size)));
+    reading.Set("region", config.region);
+    double load = config.LoadAt(now) +
+                  rng->UniformDouble(-config.jitter, config.jitter);
+    reading.Set("load", load);
+    reading.Set("reading", rng->Gaussian(21.0, 0.5));
+    return reading;
+  };
+}
+
+ops::CallbackSource::Generator PaymentWorkload::MakeGenerator() const {
+  PaymentWorkload config = *this;
+  return [config](Rng* rng, sim::SimTime now,
+                  int64_t) -> std::optional<Tuple> {
+    Tuple txn;
+    txn.Set("user", StrFormat("payer%lld",
+                              static_cast<long long>(rng->UniformInt(
+                                  0, config.user_population))));
+    size_t merchant = config.merchants.empty()
+                          ? 0
+                          : static_cast<size_t>(rng->UniformInt(
+                                0, static_cast<int64_t>(
+                                       config.merchants.size() - 1)));
+    txn.Set("merchant",
+            config.merchants.empty() ? "unknown" : config.merchants[merchant]);
+    txn.Set("amount", rng->Exponential(1.0 / config.mean_amount));
+    bool in_burst = now >= config.burst_start && now < config.burst_end;
+    double fraud_p =
+        in_burst ? config.burst_fraud_fraction : config.fraud_fraction;
+    bool fraudulent = rng->Bernoulli(fraud_p);
+    // Risk in [0.8, 1) for fraudulent transactions, [0, 0.5) otherwise —
+    // a separable signal so scorer behaviour depends only on the model
+    // threshold, not on borderline noise.
+    txn.Set("risk", fraudulent ? rng->UniformDouble(0.8, 1.0)
+                               : rng->UniformDouble(0.0, 0.5));
+    return txn;
+  };
+}
+
+ops::CallbackSource::Generator GeoPostWorkload::MakeGenerator() const {
+  GeoPostWorkload config = *this;
+  return [config](Rng* rng, sim::SimTime now,
+                  int64_t) -> std::optional<Tuple> {
+    bool in_window = now >= config.viral_start && now < config.viral_end;
+    if (!in_window && !rng->Bernoulli(config.base_duty)) {
+      return std::nullopt;
+    }
+    Tuple post;
+    post.Set("region", config.region);
+    post.Set("user",
+             StrFormat("%s_user%lld", config.region.c_str(),
+                       static_cast<long long>(
+                           rng->UniformInt(0, config.user_population))));
+    bool viral = in_window && rng->Bernoulli(config.viral_fraction);
+    if (viral || config.topics.empty()) {
+      post.Set("topic", config.viral_topic);
+    } else {
+      post.Set("topic",
+               config.topics[static_cast<size_t>(rng->UniformInt(
+                   0, static_cast<int64_t>(config.topics.size() - 1)))]);
+    }
+    return post;
+  };
+}
+
 }  // namespace orcastream::apps

@@ -83,6 +83,72 @@ struct ProfileWorkload {
   ops::CallbackSource::Generator MakeGenerator() const;
 };
 
+/// Sensor-reading workload for the soak harness' IoT fleet scenario. Each
+/// firing yields one device reading {device, region, load, reading}. The
+/// fleet-wide load follows a deterministic trapezoid profile in virtual
+/// time (idle → ramp → plateau → ramp-down), which is what drives the
+/// elastic-scaling orchestrator across its hi/lo thresholds.
+struct SensorWorkload {
+  double period = 0.05;
+  int64_t fleet_size = 64;
+  std::string region = "dc0";
+  /// Plateau profile of the per-reading load value.
+  double base_load = 20.0;
+  double peak_load = 95.0;
+  double ramp_start = 30.0;
+  double ramp_end = 40.0;
+  double cooldown_start = 120.0;
+  double cooldown_end = 130.0;
+  /// Additive per-reading jitter (uniform in ±jitter).
+  double jitter = 2.0;
+
+  /// Deterministic trapezoid load profile at virtual time `now`.
+  double LoadAt(sim::SimTime now) const;
+
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
+/// Payment-transaction workload for the fraud-pipeline scenario. Each
+/// firing yields {user, merchant, amount, risk}; a deterministic fraud
+/// burst window raises the fraction of high-risk transactions, which the
+/// fraud orchestrator reacts to (and which makes the mid-traffic model
+/// hot-swap observable).
+struct PaymentWorkload {
+  double period = 0.02;
+  int64_t user_population = 50000;
+  std::vector<std::string> merchants = {"acme", "globex", "initech"};
+  double mean_amount = 80.0;
+  /// Baseline fraction of transactions carrying a high risk score.
+  double fraud_fraction = 0.02;
+  /// Burst window with an elevated fraud fraction.
+  double burst_start = 1e18;
+  double burst_end = 1e18;
+  double burst_fraud_fraction = 0.4;
+
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
+/// Geo-sharded social-post workload for the trending scenario. Each firing
+/// yields {region, user, topic}; one topic goes viral inside a
+/// deterministic window, concentrating volume on the configured region.
+struct GeoPostWorkload {
+  double period = 0.04;
+  std::string region = "us";
+  int64_t user_population = 200000;
+  std::vector<std::string> topics = {"sports", "music", "weather"};
+  std::string viral_topic = "election";
+  double viral_start = 1e18;
+  double viral_end = 1e18;
+  /// In-window probability that a post is about the viral topic.
+  double viral_fraction = 0.7;
+  /// Outside the viral window only this fraction of source slots emit a
+  /// post; inside the window every slot fires. The window is therefore a
+  /// volume spike, not just a topic-mix shift.
+  double base_duty = 0.3;
+
+  ops::CallbackSource::Generator MakeGenerator() const;
+};
+
 }  // namespace orcastream::apps
 
 #endif  // ORCASTREAM_APPS_WORKLOADS_H_

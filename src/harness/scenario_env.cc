@@ -1,0 +1,41 @@
+#include "harness/scenario_env.h"
+
+#include "ops/standard.h"
+#include "orca/dispatch_executor.h"
+
+namespace orcastream::harness {
+
+ScenarioEnv::ScenarioEnv(const ScenarioOptions& options)
+    : options_(options), srm_(&sim_, runtime::Srm::Config{}) {
+  for (int i = 0; i < options.hosts; ++i) {
+    srm_.AddHost("host" + std::to_string(i));
+  }
+  ops::RegisterStandardOperators(&factory_);
+  sam_ = std::make_unique<runtime::Sam>(&sim_, &srm_, &factory_,
+                                        runtime::Sam::Config{});
+  injector_ = std::make_unique<runtime::FailureInjector>(&sim_, sam_.get());
+
+  orca::OrcaService::Config config;
+  config.name = "soak_orca";
+  config.metric_pull_period = options.metric_pull_period;
+  config.dispatch_interval = options.dispatch_interval;
+  config.scope_shards = options.scope_shards;
+  config.dynamic_resharding = options.dynamic_resharding;
+  config.weighted_dispatch = options.weighted_dispatch;
+  config.max_batch_per_step = options.max_batch_per_step;
+  switch (options.mode) {
+    case DispatchMode::kSerial:
+      break;
+    case DispatchMode::kDeterministic:
+      config.dispatch_executor = std::make_shared<orca::DeterministicExecutor>(
+          &sim_, options.seed, options.weighted_dispatch);
+      break;
+    case DispatchMode::kThreadPool:
+      config.dispatch_threads = options.dispatch_threads;
+      break;
+  }
+  service_ = std::make_unique<orca::OrcaService>(&sim_, sam_.get(), &srm_,
+                                                 config);
+}
+
+}  // namespace orcastream::harness

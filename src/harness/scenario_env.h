@@ -1,0 +1,47 @@
+#ifndef ORCASTREAM_HARNESS_SCENARIO_ENV_H_
+#define ORCASTREAM_HARNESS_SCENARIO_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "harness/scenario.h"
+#include "orca/orca_service.h"
+#include "runtime/failure_injector.h"
+#include "runtime/sam.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+namespace orcastream::harness {
+
+/// The simulated mini-cluster a soak scenario runs against: SRM hosts,
+/// SAM, the standard-operator factory, a FailureInjector, and one
+/// OrcaService configured for the requested dispatch mode. The harness
+/// builds its own cluster (rather than reusing the test-only
+/// ClusterHarness) so benches and tests share one driver.
+class ScenarioEnv {
+ public:
+  explicit ScenarioEnv(const ScenarioOptions& options);
+
+  sim::Simulation& sim() { return sim_; }
+  runtime::Srm& srm() { return srm_; }
+  runtime::Sam& sam() { return *sam_; }
+  const runtime::Sam& sam() const { return *sam_; }
+  runtime::OperatorFactory& factory() { return factory_; }
+  runtime::FailureInjector& injector() { return *injector_; }
+  orca::OrcaService& service() { return *service_; }
+  const orca::OrcaService& service() const { return *service_; }
+  const ScenarioOptions& options() const { return options_; }
+
+ private:
+  ScenarioOptions options_;
+  sim::Simulation sim_;
+  runtime::Srm srm_;
+  runtime::OperatorFactory factory_;
+  std::unique_ptr<runtime::Sam> sam_;
+  std::unique_ptr<runtime::FailureInjector> injector_;
+  std::unique_ptr<orca::OrcaService> service_;
+};
+
+}  // namespace orcastream::harness
+
+#endif  // ORCASTREAM_HARNESS_SCENARIO_ENV_H_

@@ -1,0 +1,424 @@
+#include "harness/scenarios.h"
+
+#include <utility>
+
+#include "apps/fraud_app.h"
+#include "apps/fraud_orca.h"
+#include "apps/geo_app.h"
+#include "apps/geo_orca.h"
+#include "apps/iot_app.h"
+#include "apps/iot_orca.h"
+#include "common/strings.h"
+#include "harness/scenario_env.h"
+
+namespace orcastream::harness {
+
+using common::Status;
+using common::StrFormat;
+
+namespace {
+
+/// True when the run is long enough (and on a sim-thread dispatch mode)
+/// for the scenario's strict, timing-sensitive invariants to hold; the
+/// wall-clock pool and truncated runs are checked for liveness only.
+bool StrictRun(const ScenarioEnv& env) {
+  return env.options().mode != DispatchMode::kThreadPool &&
+         env.options().duration >= kScenarioDuration - 1e-9;
+}
+
+/// Kills the PE hosting `operator_name` of the running application
+/// `config_id`, resolved at call time (scheduled from ScheduleEvents
+/// via sim callbacks so submission has happened by then).
+void KillOperatorPe(ScenarioEnv* env, const std::string& config_id,
+                    const std::string& operator_name,
+                    const std::string& reason) {
+  auto job = env->service().RunningJob(config_id);
+  if (!job.ok()) return;
+  const runtime::JobInfo* info = env->sam().FindJob(job.value());
+  if (info == nullptr) return;
+  auto pe = info->PeOfOperator(operator_name);
+  if (!pe.ok()) return;
+  env->injector().KillPeAt(env->sim().Now(), pe.value(), reason);
+}
+
+/// Shared latency-sample sanity: every scenario's run must have recorded
+/// start-delivery actuations, and — when faults ran — failure reactions.
+Status CheckLatencyCategories(const ScenarioEnv& env) {
+  bool saw_start = false;
+  bool saw_failure = false;
+  for (const auto& stats : env.service().latency_stats()) {
+    if (stats.category == "start" && stats.count > 0) saw_start = true;
+    if (stats.category == "peFailure" && stats.count > 0) saw_failure = true;
+  }
+  if (!saw_start) {
+    return Status::Internal("no start-category reaction samples recorded");
+  }
+  if (env.options().inject_failures && !saw_failure) {
+    return Status::Internal(
+        "faults were injected but no peFailure reaction samples recorded");
+  }
+  return Status::OK();
+}
+
+// --- iot_fleet ---------------------------------------------------------------
+
+class IotFleetScenario : public Scenario {
+ public:
+  static constexpr char kBaseApp[] = "IotFleet_base";
+  static constexpr char kShard0App[] = "IotFleet_shard0";
+  static constexpr char kShard1App[] = "IotFleet_shard1";
+
+  std::string name() const override { return "iot_fleet"; }
+
+  std::unique_ptr<orca::Orchestrator> Setup(ScenarioEnv& env) override {
+    apps::SensorWorkload workload;  // trapezoid: ramp 30→40, cool 120→130
+    for (const char* app_name : {kBaseApp, kShard0App, kShard1App}) {
+      apps::IotApp::Register(&env.factory(), app_name, workload);
+      auto model = apps::IotApp::Build(app_name);
+      if (!model.ok()) {
+        setup_ = model.status();
+        break;
+      }
+      orca::AppConfig config;
+      config.id = app_name == kBaseApp ? "iot_base"
+                  : app_name == kShard0App ? "iot_shard0"
+                                           : "iot_shard1";
+      config.application_name = app_name;
+      Status status = env.service().RegisterApplication(config, *model);
+      if (!status.ok()) setup_ = status;
+    }
+
+    apps::IotFleetOrca::Config config;
+    config.base_id = "iot_base";
+    config.shard_ids = {"iot_shard0", "iot_shard1"};
+    config.app_names = {kBaseApp, kShard0App, kShard1App};
+    config.hi_threshold = 80;
+    config.lo_threshold = 40;
+    auto logic = std::make_unique<apps::IotFleetOrca>(config);
+    logic_ = logic.get();
+    return logic;
+  }
+
+  void ScheduleEvents(ScenarioEnv& env, common::Rng* rng) override {
+    if (!env.options().inject_failures) return;
+    // Two kills on the plateau; the seed picks which fleet member each
+    // one hits (all members carry the same monitor).
+    for (double at : {60.0, 90.0}) {
+      std::vector<std::string> candidates = {"iot_base", "iot_shard0",
+                                             "iot_shard1"};
+      std::string target = candidates[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(candidates.size() - 1)))];
+      env.sim().ScheduleAt(at, [&env, target] {
+        KillOperatorPe(&env, target, apps::IotApp::kMonitorName,
+                       "soak kill " + target);
+      });
+    }
+  }
+
+  Status Verify(const ScenarioEnv& env) const override {
+    if (!setup_.ok()) return setup_;
+    if (!env.service().IsRunning("iot_base")) {
+      return Status::Internal("base application not running after soak");
+    }
+    if (env.options().inject_failures && logic_->restarts() == 0) {
+      return Status::Internal("faults were injected but nothing restarted");
+    }
+    if (!StrictRun(env)) return CheckLatencyCategories(env);
+
+    std::vector<apps::IotFleetOrca::ScaleEvent> events =
+        logic_->scale_events();
+    bool scaled_out = false;
+    bool scaled_in_after_cooldown = false;
+    for (const auto& event : events) {
+      if (event.action == "out") scaled_out = true;
+      if (event.action == "in" && event.at >= 120.0) {
+        scaled_in_after_cooldown = true;
+      }
+    }
+    if (!scaled_out) {
+      return Status::Internal("load plateau never triggered a scale-out");
+    }
+    if (!scaled_in_after_cooldown) {
+      return Status::Internal("cooldown never triggered a scale-in");
+    }
+    if (logic_->active_shards() != 0) {
+      return Status::Internal(StrFormat(
+          "%zu shards still active after cooldown", logic_->active_shards()));
+    }
+    return CheckLatencyCategories(env);
+  }
+
+ private:
+  Status setup_ = Status::OK();
+  apps::IotFleetOrca* logic_ = nullptr;
+};
+
+// --- fraud_pipeline ----------------------------------------------------------
+
+class FraudPipelineScenario : public Scenario {
+ public:
+  static constexpr char kAppName[] = "FraudPipeline";
+
+  std::string name() const override { return "fraud_pipeline"; }
+
+  std::unique_ptr<orca::Orchestrator> Setup(ScenarioEnv& env) override {
+    apps::PaymentWorkload workload;
+    workload.burst_start = 60.0;
+    workload.burst_end = 140.0;
+    workload.burst_fraud_fraction = 0.5;
+    // Bootstrap model version 0; v1 deploys version 1, v2 version 2.
+    handles_ = apps::FraudApp::Register(&env.factory(), kAppName, workload,
+                                        apps::FraudModel{0.9, 0});
+    auto model = apps::FraudApp::Build(kAppName);
+    if (!model.ok()) {
+      setup_ = model.status();
+    } else {
+      orca::AppConfig config;
+      config.id = "fraud_main";
+      config.application_name = kAppName;
+      Status status = env.service().RegisterApplication(config, *model);
+      if (!status.ok()) setup_ = status;
+    }
+
+    auto logic = std::make_unique<apps::FraudOrca>(OrcaConfig(
+        /*flag_threshold=*/0.95));  // v1's model misses most of the burst
+    v1_ = logic.get();
+    return logic;
+  }
+
+  void ScheduleEvents(ScenarioEnv& env, common::Rng* rng) override {
+    // Mid-burst deployment: replace the logic with v2, whose model
+    // catches the burst. ReplaceLogic destroys v1, so its alert record
+    // is snapshotted here; it runs on the simulation thread.
+    env.sim().ScheduleAt(100.0, [this, &env] {
+      v1_alerts_ = v1_->alerts();
+      v1_ = nullptr;
+      auto v2 = std::make_unique<apps::FraudOrca>(
+          OrcaConfig(/*flag_threshold=*/0.75));
+      v2_ = v2.get();
+      Status status = env.service().ReplaceLogic(std::move(v2));
+      if (!status.ok()) replace_ = status;
+    });
+
+    if (!env.options().inject_failures) return;
+    // One kill under v1, one under v2; the seed spreads them inside
+    // each logic's window.
+    double first = 40.0 + static_cast<double>(rng->UniformInt(0, 10));
+    double second = 110.0 + static_cast<double>(rng->UniformInt(0, 10));
+    for (double at : {first, second}) {
+      env.sim().ScheduleAt(at, [&env, at] {
+        KillOperatorPe(&env, "fraud_main", apps::FraudApp::kScorerName,
+                       StrFormat("soak kill @%g", at));
+      });
+    }
+  }
+
+  Status Verify(const ScenarioEnv& env) const override {
+    if (!setup_.ok()) return setup_;
+    if (!replace_.ok()) return replace_;
+    if (!env.service().IsRunning("fraud_main")) {
+      return Status::Internal("fraud pipeline not running after soak");
+    }
+    if (!StrictRun(env)) return CheckLatencyCategories(env);
+
+    if (v2_ == nullptr) {
+      return Status::Internal("ReplaceLogic never ran");
+    }
+    if (handles_.model->version() != 2) {
+      return Status::Internal(StrFormat("expected model version 2, got %lld",
+                                        static_cast<long long>(
+                                            handles_.model->version())));
+    }
+    // Both model generations must have flagged traffic (the swap happened
+    // mid-burst, under load).
+    bool v1_flagged = false;
+    bool v2_flagged = false;
+    for (const auto& entry : handles_.flagged->records()) {
+      int64_t version = entry.tuple.IntOr("modelVersion", -1);
+      if (version == 1) v1_flagged = true;
+      if (version == 2) v2_flagged = true;
+    }
+    if (!v1_flagged || !v2_flagged) {
+      return Status::Internal("hot swap not observable in flagged traffic");
+    }
+    // v1's model misses the burst (flag rate below the alert threshold);
+    // v2's catches it — the raise must come from model version 2.
+    std::vector<apps::FraudOrca::Alert> alerts = v2_->alerts();
+    bool raised_on_v2 = false;
+    for (const auto& alert : alerts) {
+      if (alert.raised && alert.model_version == 2) raised_on_v2 = true;
+    }
+    if (!raised_on_v2) {
+      return Status::Internal("v2 model never raised the fraud alert");
+    }
+    if (!v1_alerts_.empty()) {
+      return Status::Internal("v1 model should not have alerted");
+    }
+    return CheckLatencyCategories(env);
+  }
+
+ private:
+  apps::FraudOrca::Config OrcaConfig(double flag_threshold) {
+    apps::FraudOrca::Config config;
+    config.app_id = "fraud_main";
+    config.app_name = kAppName;
+    config.deploy_model.flag_threshold = flag_threshold;
+    config.model = handles_.model;
+    config.alert_rate = 0.2;
+    config.calm_pull_period = 5.0;
+    config.alert_pull_period = 1.0;
+    return config;
+  }
+
+  Status setup_ = Status::OK();
+  Status replace_ = Status::OK();
+  apps::FraudApp::Handles handles_;
+  apps::FraudOrca* v1_ = nullptr;
+  apps::FraudOrca* v2_ = nullptr;
+  std::vector<apps::FraudOrca::Alert> v1_alerts_;
+};
+
+// --- geo_trending ------------------------------------------------------------
+
+class GeoTrendingScenario : public Scenario {
+ public:
+  std::string name() const override { return "geo_trending"; }
+
+  std::unique_ptr<orca::Orchestrator> Setup(ScenarioEnv& env) override {
+    apps::GeoTrendOrca::Config config;
+    config.global_id = "geo_global";
+    config.hot_threshold = 80;
+    config.cool_threshold = 50;
+
+    for (const char* region_name : {"us", "eu", "ap"}) {
+      const std::string region = region_name;
+      apps::GeoPostWorkload workload;
+      workload.region = region;
+      if (region == "us") {
+        // The viral window concentrates volume on us.
+        workload.viral_start = 50.0;
+        workload.viral_end = 120.0;
+      }
+      RegisterGeoApp(env, "GeoTrend_" + region, "geo_" + region, workload);
+      // The overflow companion runs the baseline workload.
+      apps::GeoPostWorkload overflow_workload;
+      overflow_workload.region = region + "_overflow";
+      RegisterGeoApp(env, "GeoTrend_" + region + "_overflow",
+                     "geo_" + region + "_overflow", overflow_workload);
+      config.regions.push_back({"geo_" + region, "geo_" + region + "_overflow",
+                                "GeoTrend_" + region});
+    }
+    // The shared rollup everything depends on; collectable once unused.
+    apps::GeoPostWorkload global_workload;
+    global_workload.region = "global";
+    orca::AppConfig global;
+    global.id = "geo_global";
+    global.application_name = "GeoTrend_global";
+    global.garbage_collectable = true;
+    global.gc_timeout_seconds = 10.0;
+    apps::GeoApp::Register(&env.factory(), "GeoTrend_global", global_workload);
+    auto model = apps::GeoApp::Build("GeoTrend_global");
+    if (!model.ok()) {
+      setup_ = model.status();
+    } else {
+      Status status = env.service().RegisterApplication(global, *model);
+      if (!status.ok()) setup_ = status;
+    }
+
+    auto logic = std::make_unique<apps::GeoTrendOrca>(config);
+    logic_ = logic.get();
+    return logic;
+  }
+
+  void ScheduleEvents(ScenarioEnv& env, common::Rng* rng) override {
+    if (!env.options().inject_failures) return;
+    // One kill inside the viral window, one after it; the seed picks the
+    // victim regions.
+    for (double at : {70.0, 100.0}) {
+      std::vector<std::string> candidates = {"geo_us", "geo_eu", "geo_ap"};
+      std::string target = candidates[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(candidates.size() - 1)))];
+      env.sim().ScheduleAt(at, [&env, target] {
+        KillOperatorPe(&env, target, apps::GeoApp::kMonitorName,
+                       "soak kill " + target);
+      });
+    }
+  }
+
+  Status Verify(const ScenarioEnv& env) const override {
+    if (!setup_.ok()) return setup_;
+    for (const char* id : {"geo_us", "geo_eu", "geo_ap"}) {
+      if (!env.service().IsRunning(id)) {
+        return Status::Internal(std::string(id) + " not running after soak");
+      }
+    }
+    // The dependency manager must have brought the shared rollup up.
+    if (!env.service().IsRunning("geo_global")) {
+      return Status::Internal("shared global rollup not running");
+    }
+    if (env.options().inject_failures && logic_->restarts() == 0) {
+      return Status::Internal("faults were injected but nothing restarted");
+    }
+    if (!StrictRun(env)) return CheckLatencyCategories(env);
+
+    bool us_submitted = false;
+    bool us_cancelled = false;
+    for (const auto& event : logic_->overflow_events()) {
+      if (event.region != "geo_us") {
+        return Status::Internal("overflow activity on a cold region: " +
+                                event.region);
+      }
+      if (event.action == "submit") us_submitted = true;
+      if (us_submitted && event.action == "cancel") us_cancelled = true;
+    }
+    if (!us_submitted) {
+      return Status::Internal("viral window never submitted the overflow");
+    }
+    if (!us_cancelled) {
+      return Status::Internal("overflow never cancelled after the window");
+    }
+    return CheckLatencyCategories(env);
+  }
+
+ private:
+  void RegisterGeoApp(ScenarioEnv& env, const std::string& app_name,
+                      const std::string& config_id,
+                      const apps::GeoPostWorkload& workload) {
+    apps::GeoApp::Register(&env.factory(), app_name, workload);
+    auto model = apps::GeoApp::Build(app_name);
+    if (!model.ok()) {
+      setup_ = model.status();
+      return;
+    }
+    orca::AppConfig config;
+    config.id = config_id;
+    config.application_name = app_name;
+    Status status = env.service().RegisterApplication(config, *model);
+    if (!status.ok()) setup_ = status;
+  }
+
+  Status setup_ = Status::OK();
+  apps::GeoTrendOrca* logic_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> MakeIotFleetScenario() {
+  return std::make_unique<IotFleetScenario>();
+}
+std::unique_ptr<Scenario> MakeFraudPipelineScenario() {
+  return std::make_unique<FraudPipelineScenario>();
+}
+std::unique_ptr<Scenario> MakeGeoTrendingScenario() {
+  return std::make_unique<GeoTrendingScenario>();
+}
+
+std::vector<std::unique_ptr<Scenario>> MakeAllScenarios() {
+  std::vector<std::unique_ptr<Scenario>> scenarios;
+  scenarios.push_back(MakeIotFleetScenario());
+  scenarios.push_back(MakeFraudPipelineScenario());
+  scenarios.push_back(MakeGeoTrendingScenario());
+  return scenarios;
+}
+
+}  // namespace orcastream::harness

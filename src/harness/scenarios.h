@@ -1,0 +1,40 @@
+#ifndef ORCASTREAM_HARNESS_SCENARIOS_H_
+#define ORCASTREAM_HARNESS_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace orcastream::harness {
+
+/// The soak suite's three scenarios. Each is deterministic in virtual
+/// time: the workload phases (load ramp, fraud burst, viral window) and
+/// the fault script are fixed, and the fault seed only picks among
+/// equivalent targets. Strict invariants assume the scenario default
+/// duration (180 virtual seconds) and a sim-thread dispatch mode;
+/// shorter runs and the wall-clock pool are verified for liveness only.
+///
+///   - iot_fleet: elastic scaling. A sensor-load trapezoid drives shard
+///     applications out at the high watermark and back in after the
+///     cooldown, with PE kills at the plateau.
+///   - fraud_pipeline: mid-traffic model hot-swap. A fraud burst starts
+///     under a v1 logic whose model misses it; ReplaceLogic installs the
+///     v2 model mid-burst, which catches it and raises the alert.
+///   - geo_trending: cross-app dependencies. Three regional apps depend
+///     on one shared global rollup; a viral window makes one region hot,
+///     submitting (then cancelling) its overflow application.
+std::unique_ptr<Scenario> MakeIotFleetScenario();
+std::unique_ptr<Scenario> MakeFraudPipelineScenario();
+std::unique_ptr<Scenario> MakeGeoTrendingScenario();
+
+/// All three, in the order above (bench + soak sweep convenience).
+std::vector<std::unique_ptr<Scenario>> MakeAllScenarios();
+
+/// The scenario default duration the strict invariants assume.
+constexpr double kScenarioDuration = 180.0;
+
+}  // namespace orcastream::harness
+
+#endif  // ORCASTREAM_HARNESS_SCENARIOS_H_

@@ -1,0 +1,73 @@
+#include "harness/slo_report.h"
+
+#include "common/strings.h"
+
+namespace orcastream::harness {
+
+using common::Status;
+using common::StrFormat;
+
+std::vector<LatencySlo> DefaultScenarioSlos() {
+  // Metric-driven reactions: detection is the SRM collection stamp, one
+  // pull period (5 s) behind delivery in the worst case; actuation adds
+  // at most one dispatch step. Failure reactions skip the pull cycle —
+  // SAM publishes on detection — so their bound is tighter.
+  return {
+      {"operatorMetric", /*p50_max=*/6.0, /*p99_max=*/12.0, /*min_count=*/2},
+      {"peFailure", /*p50_max=*/2.0, /*p99_max=*/4.0, /*min_count=*/1},
+      {"start", /*p50_max=*/2.0, /*p99_max=*/4.0, /*min_count=*/1},
+  };
+}
+
+Status CheckSlos(const std::vector<orca::LatencyTracker::Stats>& stats,
+                 const std::vector<LatencySlo>& slos) {
+  for (const LatencySlo& slo : slos) {
+    const orca::LatencyTracker::Stats* found = nullptr;
+    for (const auto& entry : stats) {
+      if (entry.category == slo.category) {
+        found = &entry;
+        break;
+      }
+    }
+    if (found == nullptr || found->count < slo.min_count) {
+      return Status::Internal(StrFormat(
+          "SLO '%s': %llu samples recorded, need >= %llu",
+          slo.category.c_str(),
+          static_cast<unsigned long long>(found == nullptr ? 0
+                                                           : found->count),
+          static_cast<unsigned long long>(slo.min_count)));
+    }
+    if (found->p50 > slo.p50_max) {
+      return Status::Internal(StrFormat("SLO '%s': p50 %.3fs exceeds %.3fs",
+                                        slo.category.c_str(), found->p50,
+                                        slo.p50_max));
+    }
+    if (found->p99 > slo.p99_max) {
+      return Status::Internal(StrFormat("SLO '%s': p99 %.3fs exceeds %.3fs",
+                                        slo.category.c_str(), found->p99,
+                                        slo.p99_max));
+    }
+  }
+  return Status::OK();
+}
+
+std::string RenderSloJson(
+    const std::string& scenario,
+    const std::vector<orca::LatencyTracker::Stats>& stats) {
+  std::string json = StrFormat("{\"scenario\": \"%s\", \"categories\": {",
+                               scenario.c_str());
+  bool first = true;
+  for (const auto& entry : stats) {
+    if (!first) json += ", ";
+    first = false;
+    json += StrFormat(
+        "\"%s\": {\"count\": %llu, \"p50_s\": %.6f, \"p99_s\": %.6f, "
+        "\"mean_s\": %.6f, \"max_s\": %.6f}",
+        entry.category.c_str(), static_cast<unsigned long long>(entry.count),
+        entry.p50, entry.p99, entry.mean, entry.max);
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace orcastream::harness

@@ -1,0 +1,42 @@
+#ifndef ORCASTREAM_HARNESS_SLO_REPORT_H_
+#define ORCASTREAM_HARNESS_SLO_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "orca/latency_tracker.h"
+
+namespace orcastream::harness {
+
+/// One detection→actuation SLO: the named category's p50/p99 (in
+/// simulated seconds) must stay at or under these bounds, and at least
+/// `min_count` samples must back the quantiles (an SLO trivially "met"
+/// by an empty bucket is a harness bug, not a pass).
+struct LatencySlo {
+  std::string category;
+  double p50_max = 0;
+  double p99_max = 0;
+  uint64_t min_count = 1;
+};
+
+/// The soak suite's default SLO table, matched to the scenario defaults
+/// (5 s metric pull period, immediate sim-thread actuation): reactions
+/// land within one pull period at the median and within two at the tail.
+std::vector<LatencySlo> DefaultScenarioSlos();
+
+/// Checks every SLO against the run's latency snapshot. Returns OK when
+/// all hold; otherwise an Internal status naming the first violated
+/// SLO, its bound, and the observed value.
+common::Status CheckSlos(const std::vector<orca::LatencyTracker::Stats>& stats,
+                         const std::vector<LatencySlo>& slos);
+
+/// Renders a `{"scenario": ..., "categories": {...}}` JSON object with
+/// per-category count/p50/p99/mean/max — the per-scenario record
+/// BENCH_latency_slo.json aggregates.
+std::string RenderSloJson(const std::string& scenario,
+                          const std::vector<orca::LatencyTracker::Stats>& stats);
+
+}  // namespace orcastream::harness
+
+#endif  // ORCASTREAM_HARNESS_SLO_REPORT_H_

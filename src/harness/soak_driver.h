@@ -1,0 +1,32 @@
+#ifndef ORCASTREAM_HARNESS_SOAK_DRIVER_H_
+#define ORCASTREAM_HARNESS_SOAK_DRIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "harness/scenario_env.h"
+
+namespace orcastream::harness {
+
+/// Extracts the per-application §7 journal from a service's transaction
+/// log in the soak suite's canonical shape: one
+/// `summary|actuation...|committed`/`...|uncommitted` entry per
+/// transaction, keyed by the application named in the event summary
+/// (residual user events under "<residual>"). Byte-comparing two of
+/// these maps is the async-vs-serial equivalence check.
+std::map<std::string, std::vector<std::string>> JournalOf(
+    const orca::OrcaService& service);
+
+/// Runs one scenario end to end under the requested options: builds the
+/// environment, loads the scenario's logic, schedules its event script,
+/// drives the simulation for `options.duration` virtual seconds
+/// (pumping staged actuations and draining worker deliveries in
+/// kThreadPool mode), and collects the journal, latency snapshot, and
+/// the scenario's own invariant verdict.
+RunResult RunScenario(Scenario& scenario, const ScenarioOptions& options);
+
+}  // namespace orcastream::harness
+
+#endif  // ORCASTREAM_HARNESS_SOAK_DRIVER_H_

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "orca/orca_context.h"
+#include "orca/orca_service.h"
 #include "orca/sharded_scope_registry.h"
 
 namespace orcastream::orca {
@@ -140,6 +141,49 @@ void PublishMatchedBatch(EventBus* bus, std::vector<Context>& contexts,
 }
 
 }  // namespace
+
+const char* CategoryOf(Event::Type type) {
+  switch (type) {
+    case Event::Type::kOrcaStart:
+      return "start";
+    case Event::Type::kOperatorMetric:
+      return "operatorMetric";
+    case Event::Type::kPeMetric:
+      return "peMetric";
+    case Event::Type::kPeFailure:
+      return "peFailure";
+    case Event::Type::kJobSubmission:
+      return "jobSubmission";
+    case Event::Type::kJobCancellation:
+      return "jobCancellation";
+    case Event::Type::kTimer:
+      return "timer";
+    case Event::Type::kUser:
+      return "user";
+  }
+  return "unknown";
+}
+
+sim::SimTime DetectionTimeOf(const Event& event) {
+  switch (event.type) {
+    case Event::Type::kOrcaStart:
+      return std::get<OrcaStartContext>(event.context).at;
+    case Event::Type::kOperatorMetric:
+      return std::get<OperatorMetricContext>(event.context).collected_at;
+    case Event::Type::kPeMetric:
+      return std::get<PeMetricContext>(event.context).collected_at;
+    case Event::Type::kPeFailure:
+      return std::get<PeFailureContext>(event.context).detected_at;
+    case Event::Type::kJobSubmission:
+    case Event::Type::kJobCancellation:
+      return std::get<JobEventContext>(event.context).at;
+    case Event::Type::kTimer:
+      return std::get<TimerContext>(event.context).at;
+    case Event::Type::kUser:
+      return std::get<UserEventContext>(event.context).at;
+  }
+  return 0;
+}
 
 EventBus::EventBus(sim::Simulation* sim, Config config)
     : sim_(sim), config_(std::move(config)), executor_(config_.executor) {
@@ -373,7 +417,7 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
     if (stop) break;
 
     double now = executor_->NowSeconds();
-    TransactionId txn = BeginDelivery(event.summary, now);
+    TransactionId txn = BeginDelivery(event.summary, QueueKeyOf(event), now);
     Deliver(logic, event, now);
     FinishDelivery(logic, txn, executor_->NowSeconds());
 
@@ -405,6 +449,47 @@ QueueStepResult EventBus::RunQueueStep(const std::string& key) {
   // back.
   if (reopened) SubmitRunnableQueues();
   return result;
+}
+
+size_t EventBus::PruneFailureEvents(
+    const std::function<bool(const std::string& key)>& live) {
+  // Runs in the ReplaceLogic/Shutdown window: sim thread, logic detached,
+  // deliveries drained — so queues only shrink here, never race a worker.
+  size_t dropped = 0;
+  auto scrub = [&live](Event& event) {
+    // Returns true when the event should be dropped (no live key left).
+    auto& matched = event.matched;
+    matched.erase(std::remove_if(matched.begin(), matched.end(),
+                                 [&live](const std::string& key) {
+                                   return !live(key);
+                                 }),
+                  matched.end());
+    return matched.empty();
+  };
+  if (!async()) {
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->type == Event::Type::kPeFailure && scrub(*it)) {
+        it = queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    common::MutexLock lock(mu_);
+    for (auto& [key, queue] : queues_) {
+      for (auto it = queue.events.begin(); it != queue.events.end();) {
+        if (it->event.type == Event::Type::kPeFailure && scrub(it->event)) {
+          it = queue.events.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (dropped > 0) queue_size_.fetch_sub(dropped, std::memory_order_relaxed);
+  return dropped;
 }
 
 // --- Queue observability ----------------------------------------------------
@@ -506,11 +591,12 @@ void EventBus::JournalActuationFor(TransactionId txn,
 // --- Delivery bookkeeping (both modes) --------------------------------------
 
 TransactionId EventBus::BeginDelivery(const std::string& summary,
+                                      const std::string& queue_key,
                                       double now) {
   events_delivered_.fetch_add(1, std::memory_order_relaxed);
   // Each delivery runs inside a transaction (§7 extension): the journal
   // ties the event to every actuation its handler performs.
-  TransactionId txn = txn_log_.Begin(summary, now);
+  TransactionId txn = txn_log_.Begin(summary, queue_key, now);
   tls_delivery = ThreadDelivery{this, txn};
   return txn;
 }
@@ -580,7 +666,8 @@ void EventBus::DispatchNext() {
   Event event = std::move(queue_.front());
   queue_.pop_front();
   queue_size_.fetch_sub(1, std::memory_order_relaxed);
-  TransactionId txn = BeginDelivery(event.summary, sim_->Now());
+  TransactionId txn =
+      BeginDelivery(event.summary, QueueKeyOf(event), sim_->Now());
   Deliver(logic, event, sim_->Now());
   FinishDelivery(logic, txn, sim_->Now());
   last_delivery_at_ = sim_->Now();
@@ -592,6 +679,16 @@ void EventBus::DispatchNext() {
 }
 
 void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
+  // Detection→actuation instrumentation: the context carries the event's
+  // detection stamp and category so an actuating delivery records one
+  // reaction sample — at handler commit in immediate mode (below), at
+  // staged-batch apply time in staged mode (ApplyStagedActuations). Start
+  // events' detection is their delivery (reaction latency zero by
+  // definition); everything else keeps its context detection stamp.
+  const bool sim_clock = executor_ == nullptr || executor_->UsesSimTime();
+  sim::SimTime detected_at = event.type == Event::Type::kOrcaStart && sim_clock
+                                 ? now
+                                 : DetectionTimeOf(event);
   // The per-delivery capability object (§3): immediate on the simulation
   // thread (serial / DeterministicExecutor — byte-identical semantics to
   // calling the service directly), staged on wall-clock worker threads
@@ -599,7 +696,8 @@ void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
   // commit; reads come from the snapshot pinned here, at dispatch).
   OrcaContext orca(service_, this,
                    WallClockAsync() ? OrcaContext::Mode::kStaged
-                                    : OrcaContext::Mode::kImmediate);
+                                    : OrcaContext::Mode::kImmediate,
+                   CategoryOf(event.type), detected_at);
   switch (event.type) {
     case Event::Type::kOrcaStart: {
       // The start timestamp is when the logic actually starts running,
@@ -647,6 +745,14 @@ void EventBus::Deliver(Orchestrator* logic, const Event& event, double now) {
   // Hand the staged batch to the service's commit mailbox while the
   // delivery transaction is still current (no-op in immediate mode).
   orca.CommitStaged();
+  // Immediate mode runs on the simulation thread, so `now` is sim time
+  // and the actuations above already applied: record the reaction sample
+  // here, at handler completion. (Staged mode records when the batch is
+  // applied — see OrcaService::ApplyStagedActuations.)
+  if (!WallClockAsync() && service_ != nullptr &&
+      orca.immediate_actuation_count() > 0) {
+    service_->RecordReactionSample(CategoryOf(event.type), detected_at, now);
+  }
 }
 
 }  // namespace orcastream::orca

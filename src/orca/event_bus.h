@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -52,6 +53,17 @@ struct Event {
                UserEventContext>
       context;
 };
+
+/// Latency-bucket name for an event type ("operatorMetric", "peFailure",
+/// ...) — the category detection→actuation reaction samples accumulate
+/// under (see LatencyTracker).
+const char* CategoryOf(Event::Type type);
+
+/// The detection timestamp the event's context carries, in sim time: an
+/// SRM sample's collection time, SAM's failure-detection time, a
+/// timer/job/user event's occurrence time. Start events answer their
+/// (delivery-stamped) `at`.
+sim::SimTime DetectionTimeOf(const Event& event);
 
 /// The unified delivery queue of the ORCA service (§4.2) with two dispatch
 /// modes behind one publication API:
@@ -197,6 +209,20 @@ class EventBus {
                               const ShardedScopeRegistry& registry,
                               const GraphView& graph);
 
+  /// Scrubs queued (undelivered) PE-failure events against the live scope
+  /// set after a generation retirement: each queued kPeFailure event's
+  /// matched keys are filtered through `live`, and events left with no
+  /// live key are dropped entirely. Non-failure events are untouched —
+  /// queued metric/user/job events survive logic turnover by design (§7
+  /// reliable delivery); but a failure event whose every subscope belongs
+  /// to the retired logic would deliver a stale failure into the
+  /// replacement's fresh generation. Must run on the simulation thread
+  /// with no deliveries in flight (the ReplaceLogic/Shutdown window,
+  /// after set_logic(nullptr) + DrainDeliveries). Returns the number of
+  /// events dropped.
+  size_t PruneFailureEvents(
+      const std::function<bool(const std::string& key)>& live);
+
   // --- Transactions (§7) --------------------------------------------------
 
   const TransactionLog& transactions() const { return txn_log_; }
@@ -303,7 +329,8 @@ class EventBus {
   /// logic must see the delivery before it decides it can be destroyed;
   /// FinishDelivery releases it. Serial mode needs neither lock nor
   /// count (single-threaded; InHandler() is the in-flight signal).
-  TransactionId BeginDelivery(const std::string& summary, double now);
+  TransactionId BeginDelivery(const std::string& summary,
+                              const std::string& queue_key, double now);
   void FinishDelivery(Orchestrator* logic, TransactionId txn, double now);
 
   sim::Simulation* sim_;

@@ -1,0 +1,91 @@
+#include "orca/latency_tracker.h"
+
+#include <algorithm>
+
+namespace orcastream::orca {
+
+void LatencyTracker::Record(const std::string& category,
+                            sim::SimTime detected_at,
+                            sim::SimTime actuated_at) {
+  double span = actuated_at - detected_at;
+  if (span < 0) span = 0;
+  common::MutexLock lock(mu_);
+  Bucket& bucket = buckets_[category];
+  bucket.count++;
+  bucket.sum += span;
+  if (span > bucket.max) bucket.max = span;
+  if (bucket.samples.size() < max_samples_) {
+    bucket.samples.push_back(span);
+  } else {
+    bucket.dropped++;
+  }
+}
+
+LatencyTracker::Stats LatencyTracker::StatsOf(const std::string& category,
+                                              const Bucket& bucket) {
+  Stats stats;
+  stats.category = category;
+  stats.count = bucket.count;
+  stats.dropped = bucket.dropped;
+  stats.max = bucket.max;
+  stats.mean = bucket.count > 0 ? bucket.sum / bucket.count : 0;
+  if (!bucket.samples.empty()) {
+    std::vector<double> sorted = bucket.samples;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: the ceil(q*n)-th smallest sample (1-based).
+    auto rank = [&sorted](double q) {
+      size_t n = sorted.size();
+      size_t r = static_cast<size_t>(q * n);
+      if (r * 1.0 < q * n) r++;  // ceil for non-integer q*n
+      if (r < 1) r = 1;
+      if (r > n) r = n;
+      return sorted[r - 1];
+    };
+    stats.p50 = rank(0.50);
+    stats.p99 = rank(0.99);
+  }
+  return stats;
+}
+
+std::vector<LatencyTracker::Stats> LatencyTracker::Snapshot() const {
+  common::MutexLock lock(mu_);
+  std::vector<Stats> out;
+  out.reserve(buckets_.size());
+  for (const auto& [category, bucket] : buckets_) {
+    out.push_back(StatsOf(category, bucket));
+  }
+  return out;
+}
+
+LatencyTracker::Stats LatencyTracker::CategoryStats(
+    const std::string& category) const {
+  common::MutexLock lock(mu_);
+  auto it = buckets_.find(category);
+  if (it == buckets_.end()) {
+    Stats stats;
+    stats.category = category;
+    return stats;
+  }
+  return StatsOf(category, it->second);
+}
+
+std::vector<double> LatencyTracker::Samples(const std::string& category) const {
+  common::MutexLock lock(mu_);
+  auto it = buckets_.find(category);
+  if (it == buckets_.end()) return {};
+  return it->second.samples;
+}
+
+uint64_t LatencyTracker::total_count() const {
+  common::MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [category, bucket] : buckets_) total += bucket.count;
+  return total;
+}
+
+void LatencyTracker::Reset() {
+  common::MutexLock lock(mu_);
+  buckets_.clear();
+}
+
+}  // namespace orcastream::orca

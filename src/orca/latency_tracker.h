@@ -1,0 +1,107 @@
+#ifndef ORCASTREAM_ORCA_LATENCY_TRACKER_H_
+#define ORCASTREAM_ORCA_LATENCY_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "sim/simulation.h"
+
+namespace orcastream::orca {
+
+/// Detection→actuation reaction-latency accumulator — the measurement the
+/// paper's evaluation (Figs 7–10) is built on: how long after the
+/// triggering condition is *detected* (an SRM metric sample's collection
+/// time, SAM's failure-detection time, a timer's due time) does the
+/// orchestrator's *actuation* land?
+///
+/// One sample is recorded per event delivery that performed at least one
+/// actuation:
+///
+///   - immediate mode (sim-thread deliveries): at handler commit, so the
+///     sample is detection → handler completion;
+///   - staged mode (worker-thread deliveries): when the staged batch is
+///     applied by `OrcaService::ApplyStagedActuations()` on the sim
+///     thread, so the sample includes the staged-apply deferral — the
+///     honest number for the concurrent pipeline.
+///
+/// Both stamps are simulation time in every dispatch mode (detection
+/// times are sim-time fields on the event contexts; apply time is the
+/// sim clock), so deterministic runs record byte-identical latencies and
+/// the serial oracle remains exact.
+///
+/// Samples are bucketed by event category ("operatorMetric", "peFailure",
+/// "timer", ...) and held exactly up to a per-category cap; once the cap
+/// is hit further samples still update count/mean/max but no longer shift
+/// the stored quantile set (`dropped` reports how many were not stored).
+///
+/// Thread-safe: immediate-mode recording happens on the sim thread while
+/// introspection (`Snapshot`) may be called from test/driver threads, and
+/// nothing here is on a per-tuple hot path, so a single Mutex suffices.
+class LatencyTracker {
+ public:
+  /// Default per-category stored-sample cap; generous for soak runs (a
+  /// few hundred thousand doubles) while bounding memory.
+  static constexpr size_t kDefaultMaxSamplesPerCategory = 1 << 18;
+
+  struct Stats {
+    std::string category;
+    /// Total samples recorded (including ones past the storage cap).
+    uint64_t count = 0;
+    /// Samples not stored for quantiles because the cap was reached.
+    uint64_t dropped = 0;
+    double p50 = 0;
+    double p99 = 0;
+    double max = 0;
+    double mean = 0;
+  };
+
+  explicit LatencyTracker(
+      size_t max_samples_per_category = kDefaultMaxSamplesPerCategory)
+      : max_samples_(max_samples_per_category) {}
+
+  /// Records one detection→actuation sample. Negative spans (a detection
+  /// stamp from a context type that carries none, or clock confusion)
+  /// are clamped to zero rather than corrupting the quantiles.
+  void Record(const std::string& category, sim::SimTime detected_at,
+              sim::SimTime actuated_at);
+
+  /// Per-category stats, category-sorted. Quantiles are computed by
+  /// nearest-rank over the stored samples.
+  std::vector<Stats> Snapshot() const;
+
+  /// Stats for one category; zero-count Stats when it never recorded.
+  Stats CategoryStats(const std::string& category) const;
+
+  /// The raw stored samples for one category, in record order — for
+  /// tests asserting hand-computed values.
+  std::vector<double> Samples(const std::string& category) const;
+
+  /// Total samples across categories.
+  uint64_t total_count() const;
+
+  /// Drops all recorded samples (scenario harness reuse between phases).
+  void Reset();
+
+ private:
+  struct Bucket {
+    std::vector<double> samples;
+    uint64_t count = 0;
+    uint64_t dropped = 0;
+    double sum = 0;
+    double max = 0;
+  };
+
+  static Stats StatsOf(const std::string& category, const Bucket& bucket);
+
+  const size_t max_samples_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Bucket> buckets_ ORCA_GUARDED_BY(mu_);
+};
+
+}  // namespace orcastream::orca
+
+#endif  // ORCASTREAM_ORCA_LATENCY_TRACKER_H_

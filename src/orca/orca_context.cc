@@ -29,8 +29,13 @@ const GraphView& EmptyGraph() {
 
 }  // namespace
 
-OrcaContext::OrcaContext(OrcaService* service, EventBus* bus, Mode mode)
-    : service_(service), bus_(bus), mode_(mode) {
+OrcaContext::OrcaContext(OrcaService* service, EventBus* bus, Mode mode,
+                         std::string category, sim::SimTime detected_at)
+    : service_(service),
+      bus_(bus),
+      mode_(mode),
+      category_(std::move(category)),
+      detected_at_(detected_at) {
   // The consistent read view is pinned once, at dispatch: every query this
   // delivery performs sees the same state regardless of what the
   // simulation thread does while the handler runs.
@@ -51,14 +56,20 @@ void OrcaContext::Stage(std::string description,
 
 void OrcaContext::CommitStaged() {
   if (staged_.empty() || service_ == nullptr) return;
-  service_->EnqueueStagedBatch(current_transaction(), std::move(staged_));
+  // The category and detection stamp ride along so the apply-time drain
+  // can record the full detection→staged-apply reaction latency.
+  service_->EnqueueStagedBatch(current_transaction(), std::move(staged_),
+                               category_, detected_at_);
   staged_.clear();
 }
 
 Status OrcaContext::Route(std::string description,
                           std::function<Status(OrcaService&)> apply) {
   if (service_ == nullptr) return NoService();
-  if (mode_ == Mode::kImmediate) return apply(*service_);
+  if (mode_ == Mode::kImmediate) {
+    ++actuated_;
+    return apply(*service_);
+  }
   Stage(std::move(description), std::move(apply));
   return Status::OK();  // staged; outcome is applied at commit
 }
@@ -72,6 +83,7 @@ Status OrcaContext::Route(std::string description,
   void OrcaContext::RegisterEventScope(ScopeType scope) {                  \
     if (service_ == nullptr) return;                                       \
     if (mode_ == Mode::kImmediate) {                                       \
+      ++actuated_;                                                         \
       service_->RegisterEventScopeImpl(std::move(scope));                  \
       return;                                                              \
     }                                                                      \
@@ -95,6 +107,7 @@ ORCASTREAM_CONTEXT_REGISTER_SCOPE(UserEventScope)
 size_t OrcaContext::UnregisterEventScope(const std::string& key) {
   if (service_ == nullptr) return 0;
   if (mode_ == Mode::kImmediate) {
+    ++actuated_;
     return service_->UnregisterEventScopeImpl(key);
   }
   Stage(StrFormat("unregisterEventScope(%s)", key.c_str()),
@@ -168,6 +181,7 @@ TimerId OrcaContext::CreateTimer(double delay_seconds, const std::string& name,
   // valid handle before the timer is actually scheduled at commit.
   TimerId id = service_->AllocateTimerId();
   if (mode_ == Mode::kImmediate) {
+    ++actuated_;
     service_->ScheduleTimerImpl(id, delay_seconds, name, recurring,
                                 period_seconds);
     return id;
@@ -185,6 +199,7 @@ TimerId OrcaContext::CreateTimer(double delay_seconds, const std::string& name,
 void OrcaContext::CancelTimer(TimerId timer) {
   if (service_ == nullptr) return;
   if (mode_ == Mode::kImmediate) {
+    ++actuated_;
     service_->CancelTimerImpl(timer);
     return;
   }
@@ -201,6 +216,7 @@ void OrcaContext::InjectUserEvent(const std::string& name,
                                       attributes) {
   if (service_ == nullptr) return;
   if (mode_ == Mode::kImmediate) {
+    ++actuated_;
     service_->InjectUserEventImpl(name, std::move(attributes));
     return;
   }
@@ -214,6 +230,7 @@ void OrcaContext::InjectUserEvent(const std::string& name,
 void OrcaContext::SetMetricPullPeriod(double seconds) {
   if (service_ == nullptr) return;
   if (mode_ == Mode::kImmediate) {
+    ++actuated_;
     service_->SetMetricPullPeriodImpl(seconds);
     return;
   }

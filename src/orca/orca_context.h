@@ -152,6 +152,16 @@ class OrcaContext {
   /// Actuations staged so far in this delivery (0 in immediate mode).
   size_t staged_count() const { return staged_.size(); }
 
+  /// Actuations applied inline so far (0 in staged mode). Together with
+  /// staged_count this is what decides whether the delivery records a
+  /// detection→actuation reaction sample.
+  size_t immediate_actuation_count() const { return actuated_; }
+
+  /// Latency-bucket category of the event this delivery is handling
+  /// (see CategoryOf) and its detection timestamp, in sim time.
+  const std::string& event_category() const { return category_; }
+  sim::SimTime detected_at() const { return detected_at_; }
+
  private:
   friend class EventBus;
   friend class OrcaService;  // consumes StagedCall batches in its mailbox
@@ -165,8 +175,11 @@ class OrcaContext {
 
   /// Only the EventBus creates contexts — one per delivery. `service` may
   /// be null (bare-bus unit tests); every actuation then reports
-  /// FailedPrecondition and reads return empty defaults.
-  OrcaContext(OrcaService* service, EventBus* bus, Mode mode);
+  /// FailedPrecondition and reads return empty defaults. `category` and
+  /// `detected_at` describe the event being delivered, for the
+  /// detection→actuation latency samples actuating deliveries record.
+  OrcaContext(OrcaService* service, EventBus* bus, Mode mode,
+              std::string category = {}, sim::SimTime detected_at = 0);
 
   /// Staged-mode plumbing: journal the call against the delivery
   /// transaction and append it to the batch.
@@ -184,6 +197,11 @@ class OrcaContext {
   OrcaService* service_;
   EventBus* bus_;
   Mode mode_;
+  /// Latency-bucket category + detection stamp of the delivered event.
+  std::string category_;
+  sim::SimTime detected_at_ = 0;
+  /// Immediate mode: actuations applied inline by this delivery.
+  size_t actuated_ = 0;
   /// Staged mode only: consistent read view pinned at dispatch.
   std::shared_ptr<const OrcaSnapshot> snapshot_;
   /// Staged mode only: the simulation clock pinned at dispatch (the most

@@ -86,6 +86,13 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   // to its generation and are retired when it is replaced or unloaded.
   logic_generation_ = scopes_.BeginGeneration();
   orca_id_ = sam_->RegisterOrca(config_.name, this);
+  // Reloaded service (Shutdown → Load): managed jobs kept running under
+  // the previous registration's id; re-own them so SAM resumes routing
+  // their PE failure notifications to this registration.
+  if (prev_orca_id_.valid()) {
+    sam_->TransferOrcaOwnership(prev_orca_id_, orca_id_);
+    prev_orca_id_ = common::OrcaId::Invalid();
+  }
   pull_task_.Start(config_.metric_pull_period);
   // The start signal is the only event that is always in scope (§4.1). It
   // goes to the front so that events retained across a Shutdown → Load
@@ -108,6 +115,10 @@ void OrcaService::Shutdown() {
   }
   timers_.clear();
   sam_->UnregisterOrca(orca_id_);
+  // Remembered for the next Load: still-running managed jobs keep this id
+  // as their SAM owner until ownership is transferred.
+  prev_orca_id_ = orca_id_;
+  orca_id_ = common::OrcaId::Invalid();
   bus_.set_logic(nullptr);
   // Async dispatch: the retiring orchestrator's in-flight deliveries must
   // unwind before the service touches it below (no-op in serial mode or
@@ -125,6 +136,12 @@ void OrcaService::Shutdown() {
   scopes_.RetireGeneration(logic_generation_);
   scopes_.BeginGeneration();
   logic_generation_ = 0;
+  // A failure injected during the shutdown window may have queued a
+  // kPeFailure event matched only against the now-retired generation;
+  // scrub those so a future Load's logic never sees a stale failure
+  // (non-failure events keep their §7 survive-and-redeliver semantics).
+  bus_.PruneFailureEvents(
+      [this](const std::string& key) { return scopes_.HasKey(key); });
   // Shutdown may be invoked from inside the logic's own handler; its
   // destruction is deferred until the delivery unwinds.
   bus_.DisposeAfterDispatch(std::move(logic_));
@@ -150,6 +167,12 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
   // Retire the outgoing orchestrator's scopes atomically: stale subscope
   // keys must not keep matching and reaching the replacement (§4.1, §7).
   scopes_.RetireGeneration(logic_generation_);
+  // Failure events injected during the swap window that matched only the
+  // outgoing generation's subscopes must not reach the replacement (its
+  // fresh generation never registered them). Queued non-failure events
+  // survive untouched — §7 reliable delivery.
+  bus_.PruneFailureEvents(
+      [this](const std::string& key) { return scopes_.HasKey(key); });
   // The outgoing logic may be the caller (§7 self-recovery from inside
   // its own handler); defer its destruction until the delivery unwinds.
   std::unique_ptr<Orchestrator> outgoing = std::move(logic_);
@@ -170,10 +193,12 @@ common::Status OrcaService::ReplaceLogic(std::unique_ptr<Orchestrator> logic) {
 // --- Staged actuation -------------------------------------------------------
 
 void OrcaService::EnqueueStagedBatch(
-    TransactionId txn, std::vector<OrcaContext::StagedCall> calls) {
+    TransactionId txn, std::vector<OrcaContext::StagedCall> calls,
+    const std::string& category, sim::SimTime detected_at) {
   if (calls.empty()) return;
   common::MutexLock lock(staged_mu_);
-  staged_batches_.push_back(StagedBatch{txn, std::move(calls)});
+  staged_batches_.push_back(
+      StagedBatch{txn, std::move(calls), category, detected_at});
 }
 
 size_t OrcaService::staged_actuations_pending() const {
@@ -182,6 +207,8 @@ size_t OrcaService::staged_actuations_pending() const {
   for (const auto& batch : staged_batches_) total += batch.calls.size();
   return total;
 }
+
+void OrcaService::DrainDeliveries() { bus_.DrainDeliveries(); }
 
 size_t OrcaService::ApplyStagedActuations() {
   // Take the whole mailbox in one swap: batches enqueued by workers while
@@ -194,6 +221,10 @@ size_t OrcaService::ApplyStagedActuations() {
   }
   size_t applied = 0;
   for (StagedBatch& batch : batches) {
+    // One reaction sample per actuating delivery, stamped at apply time:
+    // the staged path's detection→actuation latency honestly includes
+    // the deferral between handler commit and this sim-thread drain.
+    latency_.Record(batch.category, batch.detected_at, sim_->Now());
     for (OrcaContext::StagedCall& call : batch.calls) {
       Status status = call.apply(*this);
       ++applied;

@@ -22,6 +22,7 @@
 #include "orca/event_scope.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
+#include "orca/latency_tracker.h"
 #include "orca/orca_context.h"
 #include "orca/orchestrator.h"
 #include "orca/scope_registry.h"
@@ -174,6 +175,13 @@ class OrcaService : private runtime::EventSink {
   /// and DeterministicExecutor paths, which apply immediately).
   size_t staged_actuations_pending() const;
 
+  /// Blocks until the worker pool has no delivery running or scheduled
+  /// (no-op in serial/sim-executor modes, and from inside a handler).
+  /// Wall-clock run loops interleave this with ApplyStagedActuations so
+  /// handler-staged actuations land at the virtual time the handler ran,
+  /// not wherever the simulation has raced ahead to.
+  void DrainDeliveries();
+
   // --- Event scope registration (§4.1) ------------------------------------
 
   /// Scope registration is a managed lifecycle: scopes registered while a
@@ -292,6 +300,23 @@ class OrcaService : private runtime::EventSink {
   uint64_t reshard_count() const { return scopes_.reshard_count(); }
   uint64_t migrated_subscopes() const { return scopes_.migrated_subscopes(); }
 
+  // Reaction-latency observability (the paper's Figs 7–10 metric): one
+  // detection→actuation sample per actuating delivery, bucketed by event
+  // category. Immediate-mode deliveries record at handler completion;
+  // staged batches at apply time (so the staged-apply deferral counts).
+  // Both stamps are sim time in every dispatch mode.
+  const LatencyTracker& latency() const { return latency_; }
+  std::vector<LatencyTracker::Stats> latency_stats() const {
+    return latency_.Snapshot();
+  }
+  /// Records one sample; called by the EventBus (immediate mode) and the
+  /// staged-batch drain. Thread-safe, but in practice sim-thread-only.
+  void RecordReactionSample(const std::string& category,
+                            sim::SimTime detected_at,
+                            sim::SimTime actuated_at) {
+    latency_.Record(category, detected_at, actuated_at);
+  }
+
   // Queue observability (async dispatch; empty/0 on the serial path).
   // events_delivered()/queue_depth() above stay the lock-free hot-path
   // counters; these take the bus lock and are for monitoring cadence.
@@ -400,8 +425,12 @@ class OrcaService : private runtime::EventSink {
   void TouchStagedClock();
   /// Worker-side: appends one delivery's ordered actuation batch to the
   /// commit mailbox (drained by ApplyStagedActuations on the sim thread).
+  /// `category`/`detected_at` describe the staging delivery's event, so
+  /// the drain can record the detection→staged-apply reaction sample.
   void EnqueueStagedBatch(TransactionId txn,
-                          std::vector<OrcaContext::StagedCall> calls);
+                          std::vector<OrcaContext::StagedCall> calls,
+                          const std::string& category,
+                          sim::SimTime detected_at);
 
   void PullMetricsRound();
   /// runtime::EventSink — SAM pushes PE failure notifications for managed
@@ -469,9 +498,21 @@ class OrcaService : private runtime::EventSink {
   struct StagedBatch {
     TransactionId txn = 0;
     std::vector<OrcaContext::StagedCall> calls;
+    /// Latency bucket + detection stamp of the staging delivery's event.
+    std::string category;
+    sim::SimTime detected_at = 0;
   };
   mutable common::Mutex staged_mu_;
   std::deque<StagedBatch> staged_batches_ ORCA_GUARDED_BY(staged_mu_);
+
+  /// Detection→actuation reaction samples per event category.
+  LatencyTracker latency_;
+
+  /// The service's OrcaId from before the last Shutdown. A fresh Load
+  /// re-registers under a new id and transfers ownership of still-running
+  /// managed jobs from this one, so SAM keeps routing their PE failures
+  /// (see Sam::TransferOrcaOwnership).
+  common::OrcaId prev_orca_id_;
 };
 
 }  // namespace orcastream::orca

@@ -350,6 +350,15 @@ size_t ScopeRegistry::Unregister(const std::string& key) {
   return removed;
 }
 
+bool ScopeRegistry::HasKey(const std::string& key) const {
+  auto it = key_map_.find(key);
+  if (it == key_map_.end()) return false;
+  for (const SlotRef& ref : it->second) {
+    if (RefLive(ref)) return true;
+  }
+  return false;
+}
+
 ScopeRegistry::Generation ScopeRegistry::BeginGeneration() {
   return ++current_generation_;
 }

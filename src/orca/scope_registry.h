@@ -71,6 +71,11 @@ class ScopeRegistry {
   /// scope types. Returns the number of subscopes removed.
   size_t Unregister(const std::string& key);
 
+  /// True when at least one live subscope is registered under `key` (of
+  /// any scope type). Retired/unregistered keys answer false even before
+  /// compaction scrubs their slots.
+  bool HasKey(const std::string& key) const;
+
   /// Opens a new scope generation; subsequent Register calls are tagged
   /// with it until the next BeginGeneration. Used by OrcaService to tag
   /// each loaded logic's registrations so they can be retired atomically.

@@ -133,6 +133,19 @@ size_t ShardedScopeRegistry::Unregister(const std::string& key) {
   return removed;
 }
 
+bool ShardedScopeRegistry::HasKey(const std::string& key) const {
+  // The placement map tracks every key's shard(s); each ref is verified
+  // against the shard's live slots (retirement tombstones slots before
+  // the placement entry is scrubbed on some paths).
+  auto it = placements_.find(key);
+  if (it != placements_.end()) {
+    for (const Placement& placement : it->second) {
+      if (RegistryAt(placement.shard).HasKey(key)) return true;
+    }
+  }
+  return residual_.HasKey(key);
+}
+
 ShardedScopeRegistry::Generation ShardedScopeRegistry::BeginGeneration() {
   // All shards are constructed together and only ever advanced here, so
   // their generation counters stay in lockstep and the residual shard's

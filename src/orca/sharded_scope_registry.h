@@ -95,6 +95,12 @@ class ShardedScopeRegistry {
   /// shards. Returns the number of subscopes removed.
   size_t Unregister(const std::string& key);
 
+  /// True when any shard (including the residual) still holds a live
+  /// subscope under `key` — i.e. the key would still be matchable. Used
+  /// by the EventBus to prune queued failure events whose matched keys
+  /// all belong to a retired generation.
+  bool HasKey(const std::string& key) const;
+
   /// Opens a new scope generation on every shard (they advance in
   /// lockstep) and returns the common id.
   Generation BeginGeneration();
@@ -247,6 +253,9 @@ class ShardedScopeRegistry {
   };
 
   ScopeRegistry& RegistryAt(uint32_t shard) {
+    return shard == kResidual ? residual_ : shards_[shard];
+  }
+  const ScopeRegistry& RegistryAt(uint32_t shard) const {
     return shard == kResidual ? residual_ : shards_[shard];
   }
   const ScopeRegistry* OwnerOf(const std::string& application) const;

@@ -3,12 +3,14 @@
 namespace orcastream::orca {
 
 TransactionId TransactionLog::Begin(const std::string& event_summary,
+                                    const std::string& queue_key,
                                     sim::SimTime now) {
   common::MutexLock lock(mu_);
   TransactionId id = next_id_++;
   Record record;
   record.id = id;
   record.event_summary = event_summary;
+  record.queue_key = queue_key;
   record.begun_at = now;
   records_.emplace(id, std::move(record));
   return id;

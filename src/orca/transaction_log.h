@@ -41,6 +41,10 @@ class TransactionLog {
   struct Record {
     TransactionId id = 0;
     std::string event_summary;
+    /// The per-application ordering lane the event was delivered on
+    /// (EventBus::QueueKeyOf; "" for app-less events). Replay and the
+    /// soak harness's journal-equivalence checks bucket by it.
+    std::string queue_key;
     sim::SimTime begun_at = 0;
     sim::SimTime finished_at = 0;
     State state = State::kPending;
@@ -48,8 +52,10 @@ class TransactionLog {
     std::vector<std::string> actuations;
   };
 
-  /// Opens a transaction for an event delivery.
-  TransactionId Begin(const std::string& event_summary, sim::SimTime now);
+  /// Opens a transaction for an event delivery on the given ordering
+  /// lane (EventBus::QueueKeyOf of the event being delivered).
+  TransactionId Begin(const std::string& event_summary,
+                      const std::string& queue_key, sim::SimTime now);
 
   /// Journals one actuation against the open transaction. No-op when the
   /// transaction is unknown (e.g. actuations outside any delivery).

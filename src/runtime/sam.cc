@@ -345,6 +345,18 @@ void Sam::UnregisterOrca(OrcaId orca) {
                orcas_.end());
 }
 
+size_t Sam::TransferOrcaOwnership(OrcaId from, OrcaId to) {
+  if (!from.valid() || !to.valid() || from == to) return 0;
+  size_t transferred = 0;
+  for (auto& [job_id, info] : jobs_) {
+    if (info.owner == from) {
+      info.owner = to;
+      ++transferred;
+    }
+  }
+  return transferred;
+}
+
 void Sam::OnPeFailure(const Srm::PeFailure& failure) {
   // Identify the job the PE belongs to.
   for (const auto& [job_id, info] : jobs_) {

@@ -115,6 +115,14 @@ class Sam : public PeResolver {
                               OrcaFailureCallback callback);
   void UnregisterOrca(common::OrcaId orca);
 
+  /// Rewrites job ownership from `from` to `to` — the reloaded-service
+  /// path: a Shutdown → Load cycle gives the service a fresh OrcaId, but
+  /// its managed jobs keep running under the old owner id, so without the
+  /// transfer SAM would silently stop routing their PE failures (the
+  /// notices resolve the owner's record at fire time and find none).
+  /// Returns the number of jobs rewritten.
+  size_t TransferOrcaOwnership(common::OrcaId from, common::OrcaId to);
+
   Transport* transport() { return &transport_; }
   const Config& config() const { return config_; }
   sim::Simulation* simulation() { return sim_; }

@@ -28,8 +28,8 @@ ApplicationModel TinyApp(const std::string& name) {
 
 TEST(TransactionLogTest, BeginCommitLifecycle) {
   TransactionLog log;
-  TransactionId a = log.Begin("event A", 1.0);
-  TransactionId b = log.Begin("event B", 2.0);
+  TransactionId a = log.Begin("event A", "appA", 1.0);
+  TransactionId b = log.Begin("event B", "appB", 2.0);
   EXPECT_NE(a, b);
   log.RecordActuation(a, "restartPe(3)");
   log.RecordActuation(a, "cancelJob(7)");
@@ -52,7 +52,7 @@ TEST(TransactionLogTest, BeginCommitLifecycle) {
 
 TEST(TransactionLogTest, AbortAndUnknownIdsAreSafe) {
   TransactionLog log;
-  TransactionId a = log.Begin("event", 0);
+  TransactionId a = log.Begin("event", "app", 0);
   log.Abort(a, 1.0);
   EXPECT_EQ(log.Find(a)->state, TransactionLog::State::kAborted);
   // Unknown ids are no-ops.

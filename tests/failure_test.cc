@@ -196,5 +196,155 @@ TEST_F(FailureTest, KillPeOnStoppedPeFails) {
   EXPECT_TRUE(cluster_.sam().KillPe(PeId(999), "x").IsNotFound());
 }
 
+// --- Failure routing across logic turnover ----------------------------------
+
+/// Watches PE failures and restarts them; optionally submits "app" on
+/// start (a reloaded logic finds its application already running).
+class FailureWatcher : public orca::Orchestrator {
+ public:
+  explicit FailureWatcher(bool submit) : submit_(submit) {}
+
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
+    orca.RegisterEventScope(orca::PeFailureScope("watch"));
+    if (submit_) orca.SubmitApplication("app");
+  }
+  void HandlePeFailureEvent(orca::OrcaContext& orca,
+                            const orca::PeFailureContext& context,
+                            const std::vector<std::string>&) override {
+    ++failures;
+    orca.RestartPe(context.pe);
+  }
+
+  int failures = 0;
+
+ private:
+  const bool submit_;
+};
+
+class FailureRoutingTest : public FailureTest {
+ protected:
+  /// Builds the service. A nonzero dispatch_interval spaces serial
+  /// deliveries out, opening a window where a published failure event
+  /// sits queued across a ReplaceLogic/Shutdown.
+  orca::OrcaService& InitService(double dispatch_interval = 0) {
+    orca::OrcaService::Config service_config;
+    service_config.dispatch_interval = dispatch_interval;
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm(), service_config);
+    orca::AppConfig config;
+    config.id = "app";
+    config.application_name = "CounterApp";
+    EXPECT_TRUE(service_->RegisterApplication(config, CounterApp()).ok());
+    return *service_;
+  }
+
+  PeId CounterPe() {
+    auto job = service_->RunningJob("app");
+    EXPECT_TRUE(job.ok());
+    auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator("counter");
+    EXPECT_TRUE(pe.ok());
+    return pe.ValueOr(PeId(0));
+  }
+
+  std::unique_ptr<orca::OrcaService> service_;
+};
+
+// Shutdown leaves managed jobs running under the old SAM registration;
+// a later Load must re-own them so their failure notifications route to
+// the reloaded service instead of vanishing with the retired id.
+TEST_F(FailureRoutingTest, ReloadedServiceStillSeesFailuresOfKeptJobs) {
+  orca::OrcaService& service = InitService();
+  ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
+  cluster_.sim().RunUntil(2);
+  ASSERT_TRUE(service.IsRunning("app"));
+
+  service.Shutdown();
+  cluster_.sim().RunUntil(3);
+  ASSERT_TRUE(service.IsRunning("app"));  // jobs survive the shutdown
+
+  auto reloaded_holder = std::make_unique<FailureWatcher>(false);
+  FailureWatcher* reloaded = reloaded_holder.get();
+  ASSERT_TRUE(service.Load(std::move(reloaded_holder)).ok());
+  cluster_.sim().RunUntil(4);  // start delivered, scope registered
+
+  PeId pe = CounterPe();
+  ASSERT_TRUE(cluster_.sam().KillPe(pe, "post-reload crash").ok());
+  cluster_.sim().RunUntil(6);
+
+  EXPECT_EQ(reloaded->failures, 1);
+  EXPECT_EQ(cluster_.sam().FindPe(pe)->state(), Pe::State::kRunning);
+}
+
+// A failure queued during the replacement window matched only the
+// outgoing logic's subscopes; it must be scrubbed, not delivered into
+// the replacement's fresh generation (which never saw the crash).
+TEST_F(FailureRoutingTest, ReplaceLogicScrubsStaleQueuedFailures) {
+  // 5-second delivery spacing: the failure event (detected ~0.5s after
+  // the kill) is published well before the bus's next delivery slot.
+  orca::OrcaService& service = InitService(/*dispatch_interval=*/5.0);
+  ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
+  cluster_.sim().RunUntil(2);
+
+  PeId pe = CounterPe();
+  ASSERT_TRUE(cluster_.sam().KillPe(pe, "swap-window crash").ok());
+  // Detection + notification fire here; the event is queued against the
+  // v1 generation's scope key, waiting for the t=5 delivery slot.
+  cluster_.sim().RunUntil(3);
+  ASSERT_GE(service.queue_depth(), 1u);
+
+  auto v2_holder = std::make_unique<FailureWatcher>(false);
+  FailureWatcher* v2 = v2_holder.get();
+  ASSERT_TRUE(service.ReplaceLogic(std::move(v2_holder)).ok());
+  cluster_.sim().RunUntil(20);
+
+  EXPECT_EQ(v2->failures, 0);
+  // Nobody reacted — by design: the stale failure predates v2's world.
+  EXPECT_EQ(cluster_.sam().FindPe(pe)->state(), Pe::State::kCrashed);
+}
+
+// The same scrub applies on Shutdown: a failure queued against the
+// retiring generation must not leak into a future Load.
+TEST_F(FailureRoutingTest, ShutdownScrubsStaleQueuedFailures) {
+  orca::OrcaService& service = InitService(/*dispatch_interval=*/5.0);
+  ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
+  cluster_.sim().RunUntil(2);
+
+  PeId pe = CounterPe();
+  ASSERT_TRUE(cluster_.sam().KillPe(pe, "shutdown-window crash").ok());
+  cluster_.sim().RunUntil(3);  // published, queued for the t=5 slot
+  ASSERT_GE(service.queue_depth(), 1u);
+  service.Shutdown();
+
+  auto next_holder = std::make_unique<FailureWatcher>(false);
+  FailureWatcher* next = next_holder.get();
+  ASSERT_TRUE(service.Load(std::move(next_holder)).ok());
+  cluster_.sim().RunUntil(20);
+
+  EXPECT_EQ(next->failures, 0);
+  EXPECT_EQ(cluster_.sam().FindPe(pe)->state(), Pe::State::kCrashed);
+}
+
+// A fresh failure after the swap still flows: scrubbing is precise, it
+// drops only events whose every matched subscope died with the old
+// generation.
+TEST_F(FailureRoutingTest, ReplacementSeesFreshFailures) {
+  orca::OrcaService& service = InitService();
+  ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
+  cluster_.sim().RunUntil(2);
+
+  auto v2_holder = std::make_unique<FailureWatcher>(false);
+  FailureWatcher* v2 = v2_holder.get();
+  ASSERT_TRUE(service.ReplaceLogic(std::move(v2_holder)).ok());
+  cluster_.sim().RunUntil(3);  // replacement start delivered
+
+  PeId pe = CounterPe();
+  ASSERT_TRUE(cluster_.sam().KillPe(pe, "post-swap crash").ok());
+  cluster_.sim().RunUntil(5);
+
+  EXPECT_EQ(v2->failures, 1);
+  EXPECT_EQ(cluster_.sam().FindPe(pe)->state(), Pe::State::kRunning);
+}
+
 }  // namespace
 }  // namespace orcastream::runtime

@@ -1,0 +1,159 @@
+// Fraud-pipeline use case (soak scenario (b) driven directly): the
+// logic version carries the scoring model, so ReplaceLogic mid-burst is
+// a model hot-swap under live traffic. The v1 model (threshold 0.95)
+// flags only the top quarter of fraudulent risk scores — a flag rate
+// below the alert threshold — while v2 (0.75) catches the whole burst,
+// raises the alert, tightens the pull period, and clears again once the
+// burst subsides.
+#include <gtest/gtest.h>
+
+#include "apps/fraud_app.h"
+#include "apps/fraud_orca.h"
+#include "harness/scenarios.h"
+#include "orca/orca_service.h"
+#include "runtime/failure_injector.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+class FraudUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr char kAppName[] = "FraudPipeline";
+  static constexpr double kBurstStart = 60;
+  static constexpr double kBurstEnd = 140;
+
+  FraudUseCaseTest() : cluster_(8) {
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm());
+
+    PaymentWorkload workload;
+    workload.burst_start = kBurstStart;
+    workload.burst_end = kBurstEnd;
+    workload.burst_fraud_fraction = 0.5;
+    handles_ = FraudApp::Register(&cluster_.factory(), kAppName, workload,
+                                  FraudModel{0.9, 0});  // bootstrap, version 0
+    auto model = FraudApp::Build(kAppName);
+    EXPECT_TRUE(model.ok()) << model.status();
+    orca::AppConfig config;
+    config.id = "fraud_main";
+    config.application_name = kAppName;
+    EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+
+    auto v1 = std::make_unique<FraudOrca>(OrcaConfig(0.95));
+    v1_ = v1.get();
+    EXPECT_TRUE(service_->Load(std::move(v1)).ok());
+  }
+
+  FraudOrca::Config OrcaConfig(double flag_threshold) {
+    FraudOrca::Config config;
+    config.app_id = "fraud_main";
+    config.app_name = kAppName;
+    config.deploy_model.flag_threshold = flag_threshold;
+    config.model = handles_.model;
+    return config;
+  }
+
+  /// Swaps in a v2 logic (model threshold 0.75) at the current sim time.
+  FraudOrca* DeployV2() {
+    auto v2 = std::make_unique<FraudOrca>(OrcaConfig(0.75));
+    FraudOrca* raw = v2.get();
+    v1_ = nullptr;  // destroyed by ReplaceLogic
+    EXPECT_TRUE(service_->ReplaceLogic(std::move(v2)).ok());
+    return raw;
+  }
+
+  common::PeId ScorerPe() {
+    auto job = service_->RunningJob("fraud_main");
+    EXPECT_TRUE(job.ok());
+    auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator(
+        FraudApp::kScorerName);
+    EXPECT_TRUE(pe.ok());
+    return pe.ValueOr(common::PeId());
+  }
+
+  ClusterHarness cluster_;
+  FraudApp::Handles handles_;
+  std::unique_ptr<orca::OrcaService> service_;
+  FraudOrca* v1_;
+};
+
+TEST_F(FraudUseCaseTest, StartDeploysTheVersionedModelAndSubmits) {
+  cluster_.sim().RunUntil(5);
+  EXPECT_TRUE(service_->IsRunning("fraud_main"));
+  // v1's deployment replaced the bootstrap model (version 0 → 1).
+  EXPECT_EQ(handles_.model->version(), 1);
+  EXPECT_DOUBLE_EQ(handles_.model->Get().flag_threshold, 0.95);
+}
+
+TEST_F(FraudUseCaseTest, CalmTrafficAndV1BurstStayBelowTheAlertRate) {
+  cluster_.sim().RunUntil(kBurstStart + 30);
+  // Calm traffic: ~2% fraud, top quarter flagged — far below the alert
+  // rate. Even inside the burst, v1's 0.95 threshold keeps the flag rate
+  // at ~12.5%, under the 20% alert line: no alert may fire.
+  EXPECT_TRUE(v1_->alerts().empty());
+  EXPECT_FALSE(v1_->alerting());
+  // The pipeline is scoring and flagging the fraction v1 can see.
+  EXPECT_FALSE(handles_.flagged->records().empty());
+}
+
+TEST_F(FraudUseCaseTest, HotSwapMidBurstRaisesOnV2AndClearsAfter) {
+  cluster_.sim().RunUntil(100);
+  ASSERT_TRUE(v1_->alerts().empty());
+  FraudOrca* v2 = DeployV2();
+
+  cluster_.sim().RunUntil(kBurstEnd - 5);
+  // v2's start delivery installed its model (deployment happens on the
+  // start event, not inside ReplaceLogic itself).
+  EXPECT_EQ(handles_.model->version(), 2);
+  // v2's model sees the burst: flag rate ~50% raises the alert, stamped
+  // with the model generation that caught it.
+  std::vector<FraudOrca::Alert> alerts = v2->alerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_TRUE(alerts[0].raised);
+  EXPECT_EQ(alerts[0].model_version, 2);
+  EXPECT_GE(alerts[0].rate, 0.2);
+  EXPECT_TRUE(v2->alerting());
+
+  // Both model generations flagged traffic across the swap boundary.
+  bool v1_flagged = false;
+  bool v2_flagged = false;
+  for (const auto& entry : handles_.flagged->records()) {
+    int64_t version = entry.tuple.IntOr("modelVersion", -1);
+    if (version == 1) v1_flagged = true;
+    if (version == 2) v2_flagged = true;
+  }
+  EXPECT_TRUE(v1_flagged);
+  EXPECT_TRUE(v2_flagged);
+
+  // Once the burst ends the rate collapses to the ~2% calm level and the
+  // alert clears.
+  cluster_.sim().RunUntil(kBurstEnd + 30);
+  alerts = v2->alerts();
+  ASSERT_GE(alerts.size(), 2u);
+  EXPECT_FALSE(alerts.back().raised);
+  EXPECT_FALSE(v2->alerting());
+}
+
+TEST_F(FraudUseCaseTest, ScorerCrashRestartsUnderTheCurrentLogic) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(29);
+  common::PeId crashed = ScorerPe();
+  injector.KillPeAt(30, crashed, "scorer crash");
+  cluster_.sim().RunUntil(45);
+  EXPECT_EQ(v1_->restarts(), 1u);
+  EXPECT_TRUE(cluster_.sam().FindPe(crashed)->running());
+  EXPECT_TRUE(service_->IsRunning("fraud_main"));
+}
+
+TEST_F(FraudUseCaseTest, FullScenarioHealthyOnTheSerialOracle) {
+  auto scenario = harness::MakeFraudPipelineScenario();
+  harness::RunResult result = orcastream::testing::RunHealthyScenario(
+      *scenario, orcastream::testing::SerialScenarioOptions());
+  EXPECT_TRUE(result.journal.count(kAppName));
+}
+
+}  // namespace
+}  // namespace orcastream::apps

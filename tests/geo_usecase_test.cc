@@ -1,0 +1,163 @@
+// Geo-sharded trending use case (soak scenario (c) driven directly):
+// three regional applications share one global-rollup dependency (§4.4
+// dependency management), per-region post volume drives overflow
+// submission/cancellation, and the us viral window (t=50–120) is the
+// only hot phase. The rollup is garbage-collectable but must survive as
+// long as any region holds the dependency.
+#include <gtest/gtest.h>
+
+#include "apps/geo_app.h"
+#include "apps/geo_orca.h"
+#include "harness/scenarios.h"
+#include "orca/orca_service.h"
+#include "runtime/failure_injector.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+class GeoUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr double kViralStart = 50;
+  static constexpr double kViralEnd = 120;
+
+  GeoUseCaseTest() : cluster_(8) {
+    orca::OrcaService::Config service_config;
+    service_config.metric_pull_period = 5.0;
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm(), service_config);
+
+    GeoTrendOrca::Config orca_config;
+    orca_config.hot_threshold = 80;
+    orca_config.cool_threshold = 50;
+    for (const char* region_name : {"us", "eu", "ap"}) {
+      const std::string region = region_name;
+      GeoPostWorkload workload;
+      workload.region = region;
+      if (region == "us") {
+        workload.viral_start = kViralStart;
+        workload.viral_end = kViralEnd;
+      }
+      RegisterApp("GeoTrend_" + region, "geo_" + region, workload);
+      GeoPostWorkload overflow_workload;
+      overflow_workload.region = region + "_overflow";
+      RegisterApp("GeoTrend_" + region + "_overflow",
+                  "geo_" + region + "_overflow", overflow_workload);
+      orca_config.regions.push_back({"geo_" + region,
+                                     "geo_" + region + "_overflow",
+                                     "GeoTrend_" + region});
+    }
+    GeoPostWorkload global_workload;
+    global_workload.region = "global";
+    RegisterApp("GeoTrend_global", "geo_global", global_workload,
+                /*collectable=*/true);
+
+    auto logic = std::make_unique<GeoTrendOrca>(orca_config);
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  void RegisterApp(const std::string& app_name, const std::string& id,
+                   const GeoPostWorkload& workload, bool collectable = false) {
+    GeoApp::Register(&cluster_.factory(), app_name, workload);
+    auto model = GeoApp::Build(app_name);
+    EXPECT_TRUE(model.ok()) << model.status();
+    orca::AppConfig config;
+    config.id = id;
+    config.application_name = app_name;
+    if (collectable) {
+      config.garbage_collectable = true;
+      config.gc_timeout_seconds = 10.0;
+    }
+    EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+  }
+
+  common::PeId MonitorPe(const std::string& id) {
+    auto job = service_->RunningJob(id);
+    EXPECT_TRUE(job.ok());
+    auto pe =
+        cluster_.sam().FindJob(job.value())->PeOfOperator(GeoApp::kMonitorName);
+    EXPECT_TRUE(pe.ok());
+    return pe.ValueOr(common::PeId());
+  }
+
+  ClusterHarness cluster_;
+  std::unique_ptr<orca::OrcaService> service_;
+  GeoTrendOrca* logic_;
+};
+
+TEST_F(GeoUseCaseTest, DependencyBringsUpTheSharedRollupWithRegions) {
+  cluster_.sim().RunUntil(10);
+  // Submitting any region auto-submits the rollup it depends on first.
+  EXPECT_TRUE(service_->IsRunning("geo_global"));
+  for (const char* id : {"geo_us", "geo_eu", "geo_ap"}) {
+    EXPECT_TRUE(service_->IsRunning(id)) << id;
+  }
+  // No region is hot yet: baseline duty keeps deltas under the threshold.
+  EXPECT_TRUE(logic_->overflow_events().empty());
+}
+
+TEST_F(GeoUseCaseTest, ViralWindowSubmitsOverflowOnlyForTheHotRegion) {
+  cluster_.sim().RunUntil(kViralStart + 50);
+  EXPECT_TRUE(logic_->overflow_active("geo_us"));
+  EXPECT_TRUE(service_->IsRunning("geo_us_overflow"));
+  EXPECT_FALSE(service_->IsRunning("geo_eu_overflow"));
+  EXPECT_FALSE(service_->IsRunning("geo_ap_overflow"));
+
+  std::vector<GeoTrendOrca::OverflowEvent> events = logic_->overflow_events();
+  ASSERT_FALSE(events.empty());
+  for (const auto& event : events) {
+    EXPECT_EQ(event.region, "geo_us");
+  }
+  // The first full in-window pull round observes the volume spike.
+  EXPECT_EQ(events[0].action, "submit");
+  EXPECT_GE(events[0].at, kViralStart);
+  EXPECT_LE(events[0].at, kViralStart + 15);
+  EXPECT_GE(events[0].delta, 80);
+}
+
+TEST_F(GeoUseCaseTest, WindowEndCancelsOverflowAndKeepsTheRollup) {
+  cluster_.sim().RunUntil(180);
+  EXPECT_FALSE(logic_->overflow_active("geo_us"));
+  EXPECT_FALSE(service_->IsRunning("geo_us_overflow"));
+
+  std::vector<GeoTrendOrca::OverflowEvent> events = logic_->overflow_events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.back().action, "cancel");
+  EXPECT_GE(events.back().at, kViralEnd);
+  EXPECT_LE(events.back().delta, 50);
+
+  // The regions still depend on the rollup: collectable or not, it must
+  // not have been garbage-collected while in use.
+  EXPECT_TRUE(service_->IsRunning("geo_global"));
+  for (const char* id : {"geo_us", "geo_eu", "geo_ap"}) {
+    EXPECT_TRUE(service_->IsRunning(id)) << id;
+  }
+}
+
+TEST_F(GeoUseCaseTest, RegionFailureRestartsWithoutOverflowChurn) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(29);
+  common::PeId crashed = MonitorPe("geo_eu");
+  injector.KillPeAt(30, crashed, "eu monitor crash");
+  cluster_.sim().RunUntil(45);
+  EXPECT_EQ(logic_->restarts(), 1u);
+  EXPECT_TRUE(cluster_.sam().FindPe(crashed)->running());
+  // A cold-region crash must not trigger overflow management.
+  EXPECT_FALSE(logic_->overflow_active("geo_eu"));
+  EXPECT_FALSE(service_->IsRunning("geo_eu_overflow"));
+}
+
+TEST_F(GeoUseCaseTest, FullScenarioHealthyOnTheSerialOracle) {
+  auto scenario = harness::MakeGeoTrendingScenario();
+  harness::RunResult result = orcastream::testing::RunHealthyScenario(
+      *scenario, orcastream::testing::SerialScenarioOptions());
+  for (const char* lane : {"GeoTrend_us", "GeoTrend_eu", "GeoTrend_ap"}) {
+    EXPECT_TRUE(result.journal.count(lane)) << lane;
+  }
+}
+
+}  // namespace
+}  // namespace orcastream::apps

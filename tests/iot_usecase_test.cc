@@ -1,0 +1,156 @@
+// IoT fleet elastic-scaling use case (soak scenario (a) driven
+// directly): the base monitor's fleetLoad gauge follows a deterministic
+// trapezoid, and the ORCA logic must submit shard applications one pull
+// round at a time across the high watermark, hold them through the
+// plateau, and cancel them in reverse order after the cooldown — with PE
+// failures anywhere in the fleet restarted under whatever scale state is
+// current.
+#include <gtest/gtest.h>
+
+#include "apps/iot_app.h"
+#include "apps/iot_orca.h"
+#include "harness/scenarios.h"
+#include "orca/orca_service.h"
+#include "runtime/failure_injector.h"
+#include "tests/test_util.h"
+
+namespace orcastream::apps {
+namespace {
+
+using orcastream::testing::ClusterHarness;
+
+class IotUseCaseTest : public ::testing::Test {
+ protected:
+  static constexpr double kPullPeriod = 5.0;
+
+  IotUseCaseTest() : cluster_(8) {
+    orca::OrcaService::Config service_config;
+    service_config.metric_pull_period = kPullPeriod;
+    service_ = std::make_unique<orca::OrcaService>(
+        &cluster_.sim(), &cluster_.sam(), &cluster_.srm(), service_config);
+
+    SensorWorkload workload;  // trapezoid: ramp 30→40, cooldown 120→130
+    IotFleetOrca::Config orca_config;
+    orca_config.base_id = "iot_base";
+    orca_config.shard_ids = {"iot_shard0", "iot_shard1"};
+    for (const auto& [id, app_name] :
+         std::map<std::string, std::string>{
+             {"iot_base", "IotFleet_base"},
+             {"iot_shard0", "IotFleet_shard0"},
+             {"iot_shard1", "IotFleet_shard1"}}) {
+      IotApp::Register(&cluster_.factory(), app_name, workload);
+      auto model = IotApp::Build(app_name);
+      EXPECT_TRUE(model.ok()) << model.status();
+      orca::AppConfig config;
+      config.id = id;
+      config.application_name = app_name;
+      EXPECT_TRUE(service_->RegisterApplication(config, *model).ok());
+      orca_config.app_names.push_back(app_name);
+    }
+
+    auto logic = std::make_unique<IotFleetOrca>(orca_config);
+    logic_ = logic.get();
+    EXPECT_TRUE(service_->Load(std::move(logic)).ok());
+  }
+
+  common::PeId MonitorPe(const std::string& id) {
+    auto job = service_->RunningJob(id);
+    EXPECT_TRUE(job.ok());
+    auto pe =
+        cluster_.sam().FindJob(job.value())->PeOfOperator(IotApp::kMonitorName);
+    EXPECT_TRUE(pe.ok());
+    return pe.ValueOr(common::PeId());
+  }
+
+  ClusterHarness cluster_;
+  std::unique_ptr<orca::OrcaService> service_;
+  IotFleetOrca* logic_;
+};
+
+TEST_F(IotUseCaseTest, BaseRunsAloneBeforeTheRamp) {
+  cluster_.sim().RunUntil(25);
+  EXPECT_TRUE(service_->IsRunning("iot_base"));
+  EXPECT_FALSE(service_->IsRunning("iot_shard0"));
+  EXPECT_FALSE(service_->IsRunning("iot_shard1"));
+  EXPECT_EQ(logic_->active_shards(), 0u);
+  EXPECT_TRUE(logic_->scale_events().empty());
+}
+
+TEST_F(IotUseCaseTest, RampScalesOutOneShardPerPullRound) {
+  cluster_.sim().RunUntil(60);
+  EXPECT_EQ(logic_->active_shards(), 2u);
+  EXPECT_TRUE(service_->IsRunning("iot_shard0"));
+  EXPECT_TRUE(service_->IsRunning("iot_shard1"));
+
+  // The ramp tops out at t=40 (the first pull observing load ≥ 80);
+  // one scale step per metric event means the shards come up on
+  // consecutive pull rounds, in configured order.
+  std::vector<IotFleetOrca::ScaleEvent> events = logic_->scale_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].action, "out");
+  EXPECT_EQ(events[0].shard_id, "iot_shard0");
+  EXPECT_NEAR(events[0].at, 40.0, 1e-9);
+  EXPECT_GE(events[0].load, 80);
+  EXPECT_EQ(events[1].action, "out");
+  EXPECT_EQ(events[1].shard_id, "iot_shard1");
+  EXPECT_NEAR(events[1].at - events[0].at, kPullPeriod, 1e-9);
+}
+
+TEST_F(IotUseCaseTest, CooldownScalesInReverseOrderAndGoesQuiet) {
+  cluster_.sim().RunUntil(180);
+  EXPECT_EQ(logic_->active_shards(), 0u);
+  EXPECT_TRUE(service_->IsRunning("iot_base"));
+  EXPECT_FALSE(service_->IsRunning("iot_shard0"));
+  EXPECT_FALSE(service_->IsRunning("iot_shard1"));
+
+  // The hysteresis band admits exactly one crossing in each direction:
+  // two scale-outs on the ramp, two scale-ins after the cooldown (most
+  // recent shard first), and silence outside.
+  std::vector<IotFleetOrca::ScaleEvent> events = logic_->scale_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].action, "in");
+  EXPECT_EQ(events[2].shard_id, "iot_shard1");
+  EXPECT_GE(events[2].at, 125.0);
+  EXPECT_LE(events[2].load, 40);
+  EXPECT_EQ(events[3].action, "in");
+  EXPECT_EQ(events[3].shard_id, "iot_shard0");
+  EXPECT_NEAR(events[3].at - events[2].at, kPullPeriod, 1e-9);
+}
+
+TEST_F(IotUseCaseTest, ShardFailureAtThePlateauRestarts) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(59);
+  common::PeId crashed = MonitorPe("iot_shard0");
+  injector.KillPeAt(60, crashed, "plateau shard crash");
+  cluster_.sim().RunUntil(70);
+  EXPECT_EQ(logic_->restarts(), 1u);
+  EXPECT_TRUE(cluster_.sam().FindPe(crashed)->running());
+  // The crash is orthogonal to scale state: both shards stay active.
+  EXPECT_EQ(logic_->active_shards(), 2u);
+}
+
+TEST_F(IotUseCaseTest, BaseFailureRestartsWithoutLosingTheGauge) {
+  runtime::FailureInjector injector(&cluster_.sim(), &cluster_.sam());
+  cluster_.sim().RunUntil(59);
+  common::PeId crashed = MonitorPe("iot_base");
+  injector.KillPeAt(60, crashed, "base monitor crash");
+  cluster_.sim().RunUntil(180);
+  EXPECT_EQ(logic_->restarts(), 1u);
+  EXPECT_TRUE(cluster_.sam().FindPe(crashed)->running());
+  // The restarted monitor keeps driving the loop: cooldown still scales
+  // the fleet back in.
+  EXPECT_EQ(logic_->active_shards(), 0u);
+}
+
+TEST_F(IotUseCaseTest, FullScenarioHealthyOnTheSerialOracle) {
+  auto scenario = harness::MakeIotFleetScenario();
+  harness::RunResult result = orcastream::testing::RunHealthyScenario(
+      *scenario, orcastream::testing::SerialScenarioOptions());
+  // Every fleet member delivered on its own ordering lane.
+  EXPECT_TRUE(result.journal.count("IotFleet_base"));
+  EXPECT_TRUE(result.journal.count("IotFleet_shard0"));
+  EXPECT_TRUE(result.journal.count("IotFleet_shard1"));
+}
+
+}  // namespace
+}  // namespace orcastream::apps

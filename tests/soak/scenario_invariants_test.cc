@@ -1,0 +1,67 @@
+// Soak-scenario invariant suite: every scenario, run serially (the
+// oracle mode) for the full default duration, must satisfy its own
+// Verify() invariants and the default detection→actuation latency SLOs.
+// This is the behavioural half of the soak harness; the equivalence
+// suite (soak_equivalence_test) covers the scheduling half.
+#include <gtest/gtest.h>
+
+#include "harness/scenarios.h"
+#include "tests/test_util.h"
+
+namespace orcastream {
+namespace {
+
+using harness::RunResult;
+using harness::Scenario;
+using testing::RunHealthyScenario;
+using testing::SerialScenarioOptions;
+
+TEST(ScenarioInvariants, IotFleetSerial) {
+  auto scenario = harness::MakeIotFleetScenario();
+  RunResult result = RunHealthyScenario(*scenario, SerialScenarioOptions());
+  EXPECT_GT(result.events_delivered, 0u);
+  EXPECT_FALSE(result.journal.empty());
+}
+
+TEST(ScenarioInvariants, FraudPipelineSerial) {
+  auto scenario = harness::MakeFraudPipelineScenario();
+  RunResult result = RunHealthyScenario(*scenario, SerialScenarioOptions());
+  EXPECT_GT(result.events_delivered, 0u);
+  EXPECT_FALSE(result.journal.empty());
+}
+
+TEST(ScenarioInvariants, GeoTrendingSerial) {
+  auto scenario = harness::MakeGeoTrendingScenario();
+  RunResult result = RunHealthyScenario(*scenario, SerialScenarioOptions());
+  EXPECT_GT(result.events_delivered, 0u);
+  EXPECT_FALSE(result.journal.empty());
+}
+
+// The invariants must hold regardless of which equivalent fault targets
+// the seed picks.
+TEST(ScenarioInvariants, HoldAcrossFaultSeeds) {
+  for (uint64_t fault_seed : {1u, 2u, 3u}) {
+    for (auto& scenario : harness::MakeAllScenarios()) {
+      SCOPED_TRACE(scenario->name() + " fault_seed=" +
+                   std::to_string(fault_seed));
+      RunHealthyScenario(*scenario, SerialScenarioOptions(fault_seed));
+    }
+  }
+}
+
+// Without the fault script the scenarios still satisfy their
+// (fault-gated) invariants — the harness does not depend on failures to
+// make progress.
+TEST(ScenarioInvariants, HoldWithoutFaults) {
+  for (auto& scenario : harness::MakeAllScenarios()) {
+    SCOPED_TRACE(scenario->name());
+    harness::ScenarioOptions options = SerialScenarioOptions();
+    options.inject_failures = false;
+    harness::RunResult result = harness::RunScenario(*scenario, options);
+    EXPECT_TRUE(result.verify.ok())
+        << scenario->name() << ": " << result.verify.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace orcastream

@@ -1,0 +1,82 @@
+// Wall-clock soak: every scenario driven end to end on the
+// ThreadPoolExecutor — real worker threads, staged actuation, the
+// fault script on — must stay live (deliver events, commit every
+// transaction, keep its applications running) and record
+// detection→actuation samples. Timing-sensitive invariants are
+// relaxed in this mode (worker interleaving is nondeterministic);
+// the soak CI job's sanitizer legs run this suite under TSan/ASan.
+#include <gtest/gtest.h>
+
+#include "harness/scenarios.h"
+#include "orca/transaction_log.h"
+#include "tests/test_util.h"
+
+namespace orcastream {
+namespace {
+
+using harness::DispatchMode;
+using harness::RunResult;
+using harness::ScenarioOptions;
+
+ScenarioOptions WallClockOptions(size_t workers) {
+  ScenarioOptions options;
+  options.mode = DispatchMode::kThreadPool;
+  options.dispatch_threads = workers;
+  options.duration = harness::kScenarioDuration;
+  return options;
+}
+
+class WallClockSoakTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WallClockSoakTest, ScenarioStaysLiveOnWorkerPool) {
+  auto scenarios = harness::MakeAllScenarios();
+  auto& scenario = *scenarios[GetParam()];
+  RunResult result = harness::RunScenario(scenario, WallClockOptions(3));
+
+  EXPECT_TRUE(result.verify.ok())
+      << scenario.name() << ": " << result.verify.ToString();
+  EXPECT_GT(result.events_delivered, 0u);
+
+  // The drive loop quiesced: every delivery's transaction committed.
+  size_t uncommitted = 0;
+  for (const auto& [lane, entries] : result.journal) {
+    for (const std::string& entry : entries) {
+      if (entry.size() >= 12 &&
+          entry.compare(entry.size() - 12, 12, "|uncommitted") == 0) {
+        ++uncommitted;
+      }
+    }
+  }
+  EXPECT_EQ(uncommitted, 0u) << scenario.name();
+
+  // Staged actuation recorded reaction samples (the honest, includes-
+  // the-apply-deferral numbers).
+  uint64_t samples = 0;
+  for (const auto& stats : result.latency) samples += stats.count;
+  EXPECT_GT(samples, 0u) << scenario.name();
+}
+
+// A larger pool must not break liveness either (more worker
+// interleavings, same quiesce guarantee).
+TEST_P(WallClockSoakTest, WiderPoolStaysLive) {
+  auto scenarios = harness::MakeAllScenarios();
+  auto& scenario = *scenarios[GetParam()];
+  RunResult result = harness::RunScenario(scenario, WallClockOptions(8));
+  EXPECT_TRUE(result.verify.ok())
+      << scenario.name() << ": " << result.verify.ToString();
+  EXPECT_GT(result.events_delivered, 0u);
+}
+
+std::string ScenarioParamName(const ::testing::TestParamInfo<size_t>& info) {
+  switch (info.param) {
+    case 0: return "iot_fleet";
+    case 1: return "fraud_pipeline";
+    default: return "geo_trending";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, WallClockSoakTest,
+                         ::testing::Values(0, 1, 2), ScenarioParamName);
+
+}  // namespace
+}  // namespace orcastream

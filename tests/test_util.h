@@ -1,10 +1,17 @@
 #ifndef ORCASTREAM_TESTS_TEST_UTIL_H_
 #define ORCASTREAM_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "harness/scenario.h"
+#include "harness/scenarios.h"
+#include "harness/slo_report.h"
+#include "harness/soak_driver.h"
 #include "ops/sinks.h"
 #include "ops/standard.h"
 #include "runtime/failure_injector.h"
@@ -57,6 +64,54 @@ class ClusterHarness {
   std::unique_ptr<runtime::Sam> sam_;
   std::vector<std::shared_ptr<std::vector<topology::Tuple>>> logs_;
 };
+
+// --- Soak-scenario driver helpers (shared by the usecase + soak tests) ------
+
+/// Serial-oracle options at the full scenario duration, so the
+/// scenarios' strict invariants apply.
+inline harness::ScenarioOptions SerialScenarioOptions(uint64_t fault_seed = 7) {
+  harness::ScenarioOptions options;
+  options.mode = harness::DispatchMode::kSerial;
+  options.duration = harness::kScenarioDuration;
+  options.fault_seed = fault_seed;
+  return options;
+}
+
+/// Seeded DeterministicExecutor variant of the same run.
+inline harness::ScenarioOptions DeterministicScenarioOptions(
+    uint64_t schedule_seed, uint64_t fault_seed = 7) {
+  harness::ScenarioOptions options = SerialScenarioOptions(fault_seed);
+  options.mode = harness::DispatchMode::kDeterministic;
+  options.seed = schedule_seed;
+  return options;
+}
+
+/// Runs the scenario and fails the current test if its invariants or the
+/// default detection→actuation SLOs do not hold; returns the run for
+/// further, scenario-specific assertions.
+inline harness::RunResult RunHealthyScenario(
+    harness::Scenario& scenario, const harness::ScenarioOptions& options) {
+  harness::RunResult result = harness::RunScenario(scenario, options);
+  EXPECT_TRUE(result.verify.ok())
+      << scenario.name() << " invariants: " << result.verify.ToString();
+  common::Status slos =
+      harness::CheckSlos(result.latency, harness::DefaultScenarioSlos());
+  EXPECT_TRUE(slos.ok()) << scenario.name() << " SLOs: " << slos.ToString();
+  return result;
+}
+
+/// Flattens a per-application journal into `app: entry` lines, in map
+/// order — the diff-friendly form for byte-equivalence assertions.
+inline std::vector<std::string> FlattenJournal(
+    const std::map<std::string, std::vector<std::string>>& journal) {
+  std::vector<std::string> lines;
+  for (const auto& [app, entries] : journal) {
+    for (const std::string& entry : entries) {
+      lines.push_back(app + ": " + entry);
+    }
+  }
+  return lines;
+}
 
 }  // namespace orcastream::testing
 
