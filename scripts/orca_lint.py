@@ -24,6 +24,10 @@ stripped source, like check_orca_api.py), with an explicit allowlist:
   raw_mutex          no std::mutex/condition_variable/lock_guard/...
                      outside src/common/mutex.h — unannotated locks are
                      invisible to the thread safety analysis.
+  raw_socket         no raw socket/fd APIs (socket headers, socketpair,
+                     AF_*/SOCK_* constants, poll) outside
+                     src/net/socket_channel.cc — everything above speaks
+                     the net::Channel interface.
   service_in_handler no Orchestrator subclass body naming OrcaService:
                      handlers act through their per-delivery
                      OrcaContext (the generalization of the
@@ -94,6 +98,16 @@ PATTERN_RULES = {
             r"|\bpthread_(?:mutex|cond|rwlock)\b"),
         "raw mutex/lock primitive — use common::Mutex / MutexLock / "
         "CondVar so -Wthread-safety sees the critical section"),
+    "raw_socket": (
+        re.compile(
+            r"<sys/socket\.h>|<sys/un\.h>|<netinet/[^>]+>|<arpa/inet\.h>"
+            r"|<poll\.h>|<fcntl\.h>"
+            r"|\bsocketpair\s*\(|\bsetsockopt\s*\("
+            r"|(?<![\w:])socket\s*\(|(?<![\w:])poll\s*\("
+            r"|\bAF_(?:INET6?|UNIX)\b|\bSOCK_STREAM\b|\bMSG_NOSIGNAL\b"),
+        "raw socket/fd API — OS sockets live behind src/net/"
+        "socket_channel.cc; everything else speaks the net::Channel "
+        "interface"),
 }
 
 # An Orchestrator subclass: `class X : public [ns::]SomethingOrchestrator`
@@ -247,6 +261,7 @@ SELF_TEST_VIOLATIONS = {
     "thread_detach": "worker.detach();",
     "sleep": "std::this_thread::sleep_for(std::chrono::seconds(1));",
     "raw_mutex": "std::mutex mu; std::lock_guard<std::mutex> lock(mu);",
+    "raw_socket": "int fd = socket(AF_UNIX, SOCK_STREAM, 0);",
 }
 
 SELF_TEST_HANDLER = """

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/remote_bridge.h"
 #include "orca/latency_tracker.h"
 #include "orca/orchestrator.h"
 
@@ -46,6 +47,15 @@ struct ScenarioOptions {
   double dispatch_interval = 0.0;
   size_t scope_shards = 4;
   bool dynamic_resharding = true;
+  /// Remote event plane: detection events (PE failures, metric
+  /// snapshots, user injections) reach the control plane through the
+  /// src/net framed transport instead of direct calls. The transport
+  /// defaults to the inline loopback pair, whose journals are
+  /// byte-identical to the in-process path; `remote_make_pair` swaps in
+  /// a fault-injecting or real-socket channel pair per (re)connection.
+  bool remote_event_plane = false;
+  double remote_pump_interval = 0.05;
+  net::RemoteBridge::PairFactory remote_make_pair;
 };
 
 /// What one scenario run produced, for equivalence checks and SLO

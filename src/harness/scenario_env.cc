@@ -34,8 +34,24 @@ ScenarioEnv::ScenarioEnv(const ScenarioOptions& options)
       config.dispatch_threads = options.dispatch_threads;
       break;
   }
+  if (options.remote_event_plane) {
+    net::RemoteBridge::Options bridge_options;
+    bridge_options.pump_interval = options.remote_pump_interval;
+    bridge_options.metric_pull_period = options.metric_pull_period;
+    bridge_options.make_pair = options.remote_make_pair;
+    bridge_ = std::make_unique<net::RemoteBridge>(&sim_, &srm_,
+                                                  std::move(bridge_options));
+    config.failure_sink = &bridge_->sink();
+    config.remote_event_plane = true;
+  }
   service_ = std::make_unique<orca::OrcaService>(&sim_, sam_.get(), &srm_,
                                                  config);
+  if (bridge_ != nullptr) {
+    // Before Load (the driver loads right after construction, at the
+    // same sim time) so the remote metric push is phase-aligned with the
+    // in-process pull loop it replaces.
+    bridge_->BindService(service_.get());
+  }
 }
 
 }  // namespace orcastream::harness

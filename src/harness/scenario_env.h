@@ -5,6 +5,7 @@
 #include <string>
 
 #include "harness/scenario.h"
+#include "net/remote_bridge.h"
 #include "orca/orca_service.h"
 #include "runtime/failure_injector.h"
 #include "runtime/sam.h"
@@ -30,6 +31,9 @@ class ScenarioEnv {
   runtime::FailureInjector& injector() { return *injector_; }
   orca::OrcaService& service() { return *service_; }
   const orca::OrcaService& service() const { return *service_; }
+  /// Non-null iff ScenarioOptions::remote_event_plane was set.
+  net::RemoteBridge* bridge() { return bridge_.get(); }
+  const net::RemoteBridge* bridge() const { return bridge_.get(); }
   const ScenarioOptions& options() const { return options_; }
 
  private:
@@ -39,6 +43,9 @@ class ScenarioEnv {
   runtime::OperatorFactory factory_;
   std::unique_ptr<runtime::Sam> sam_;
   std::unique_ptr<runtime::FailureInjector> injector_;
+  /// Declared before the service: the service's config points at the
+  /// bridge's sink, so the bridge must outlive it.
+  std::unique_ptr<net::RemoteBridge> bridge_;
   std::unique_ptr<orca::OrcaService> service_;
 };
 

@@ -83,6 +83,21 @@ RunResult RunScenario(Scenario& scenario, const ScenarioOptions& options) {
     env.sim().RunUntil(options.duration);
   }
 
+  if (env.bridge() != nullptr) {
+    // Drain in-flight transported events before reading the journal:
+    // socket transports deliver on pump ticks rather than inline, and a
+    // fault-injected session may be mid-reconnect with a journal suffix
+    // still to redeliver. Advancing virtual time (rather than pumping at
+    // a frozen clock) lets reconnect backoff elapse and the periodic
+    // pump tasks fire. Bounded so an unreachable server cannot hang the
+    // driver.
+    double deadline = env.sim().Now();
+    for (int i = 0; i < 4096 && env.bridge()->sink().unacked() > 0; ++i) {
+      deadline += options.remote_pump_interval;
+      env.sim().RunUntil(deadline);
+    }
+  }
+
   result.journal = JournalOf(env.service());
   result.latency = env.service().latency_stats();
   result.events_delivered = env.service().events_delivered();

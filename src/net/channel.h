@@ -1,0 +1,46 @@
+#ifndef ORCASTREAM_NET_CHANNEL_H_
+#define ORCASTREAM_NET_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+
+namespace orcastream::net {
+
+/// One endpoint of a bidirectional, unreliable-when-faulted byte stream.
+/// Implementations are nonblocking: Send accepts as many bytes as buffer
+/// space allows (possibly zero — backpressure, retry later) and Receive
+/// returns whatever has arrived (possibly zero). A Status error from
+/// either direction means the connection is broken and will never carry
+/// bytes again; the session layer reconnects through its ChannelFactory.
+///
+/// Channels are driven from a single thread (the simulation thread in
+/// tests and the example's drive loop); they are not thread-safe.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Queues up to `size` bytes toward the peer; returns bytes accepted.
+  virtual common::Result<size_t> Send(const uint8_t* data, size_t size) = 0;
+
+  /// Drains up to `capacity` arrived bytes into `out`; returns bytes read.
+  virtual common::Result<size_t> Receive(uint8_t* out, size_t capacity) = 0;
+
+  /// False once the stream is torn down (either side closed, transport
+  /// fault, or OS-level error). In-flight bytes may still be Receivable.
+  virtual bool connected() const = 0;
+
+  virtual void Close() = 0;
+};
+
+/// Produces a fresh connection attempt for the session layer's reconnect
+/// path. Returns nullptr when no connection can be made right now (the
+/// session backs off and retries).
+using ChannelFactory = std::function<std::unique_ptr<Channel>()>;
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_CHANNEL_H_

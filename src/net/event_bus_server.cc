@@ -1,0 +1,166 @@
+#include "net/event_bus_server.h"
+
+#include <utility>
+#include <vector>
+
+#include "orca/orca_service.h"
+
+namespace orcastream::net {
+
+using common::Status;
+
+void EventBusServer::Accept(std::unique_ptr<Channel> channel, double now) {
+  conn_ = std::make_unique<FramedConn>(std::move(channel),
+                                       config_.max_frame_payload);
+  conn_->StampConnected(now);
+  handshaken_ = false;
+  ack_pending_ = false;
+  ++sessions_accepted_;
+  // The client's HELLO may already be in flight (inline loopback delivers
+  // it inside the factory call); pick it up immediately.
+  Pump(now);
+}
+
+bool EventBusServer::connected() const {
+  return conn_ != nullptr && conn_->connected();
+}
+
+void EventBusServer::Pump(double now) {
+  if (pumping_) {
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    PumpOnce(now);
+  } while (repump_);
+  pumping_ = false;
+}
+
+void EventBusServer::PumpOnce(double now) {
+  if (conn_ == nullptr) return;
+
+  std::vector<DecodedFrame> frames;
+  Status read = conn_->ReadFrames(now, &frames);
+  for (const DecodedFrame& frame : frames) {
+    HandleFrame(now, frame);
+    if (conn_ == nullptr) return;
+  }
+  if (!read.ok()) {
+    DropConn("receive failed: " + read.ToString());
+    return;
+  }
+
+  if (now - conn_->last_recv_at() >= config_.heartbeat_timeout) {
+    DropConn("heartbeat timeout");
+    return;
+  }
+
+  if (ack_pending_) {
+    AckMsg ack;
+    ack.last_applied = last_applied_;
+    if (conn_->QueueFrame(FrameType::kAck, EncodeAck(ack))) {
+      ack_pending_ = false;
+    }
+  }
+  if (handshaken_ &&
+      now - conn_->last_send_at() >= config_.heartbeat_interval) {
+    conn_->QueueFrame(FrameType::kHeartbeat, {});
+  }
+  Status flushed = conn_->Flush(now);
+  if (!flushed.ok()) {
+    DropConn("send failed: " + flushed.ToString());
+  }
+}
+
+void EventBusServer::HandleFrame(double now, const DecodedFrame& frame) {
+  (void)now;
+  switch (frame.type) {
+    case FrameType::kHello: {
+      HelloMsg hello;
+      Status decoded = DecodeHello(frame.payload, &hello);
+      if (!decoded.ok()) {
+        DropConn(decoded.ToString());
+        return;
+      }
+      if (hello.protocol != kProtocolVersion) {
+        DropConn("protocol version mismatch: client " +
+                 std::to_string(hello.protocol) + ", server " +
+                 std::to_string(kProtocolVersion));
+        return;
+      }
+      handshaken_ = true;
+      // The WELCOME tells the reconnecting client where §7 redelivery
+      // resumes: everything after last_applied_ is retransmitted.
+      WelcomeMsg welcome;
+      welcome.last_applied = last_applied_;
+      conn_->QueueFrame(FrameType::kWelcome, EncodeWelcome(welcome));
+      return;
+    }
+    case FrameType::kEvent: {
+      if (!handshaken_) {
+        DropConn("EVENT before HELLO");
+        return;
+      }
+      EventMsg event;
+      Status decoded = DecodeEvent(frame.payload, &event);
+      if (!decoded.ok()) {
+        DropConn(decoded.ToString());
+        return;
+      }
+      if (event.seq <= last_applied_) {
+        // Redelivered duplicate (our ACK was lost): drop, but re-ack so
+        // the client's journal can advance.
+        ++duplicates_dropped_;
+        ack_pending_ = true;
+        return;
+      }
+      if (event.seq != last_applied_ + 1) {
+        // A gap means bytes were lost without breaking framing (cannot
+        // happen from redelivery alone); force a reconnect so the
+        // journal handshake re-synchronises the stream.
+        DropConn("sequence gap: got " + std::to_string(event.seq) +
+                 ", want " + std::to_string(last_applied_ + 1));
+        return;
+      }
+      ApplyEvent(event);
+      last_applied_ = event.seq;
+      ++events_applied_;
+      ack_pending_ = true;
+      return;
+    }
+    case FrameType::kHeartbeat:
+      return;
+    case FrameType::kWelcome:
+    case FrameType::kAck:
+      DropConn("protocol violation: client sent server-only frame");
+      return;
+  }
+  DropConn("unknown frame type");
+}
+
+void EventBusServer::ApplyEvent(const EventMsg& event) {
+  if (service_ == nullptr) return;
+  switch (event.kind) {
+    case EventKind::kPeFailure:
+      service_->IngestPeFailure(event.failure);
+      return;
+    case EventKind::kMetricsSnapshot:
+      service_->IngestMetricsSnapshot(event.snapshot);
+      return;
+    case EventKind::kUserEvent:
+      service_->InjectUserEvent(event.user.name, event.user.attributes);
+      return;
+  }
+}
+
+void EventBusServer::DropConn(const std::string& reason) {
+  conn_.reset();
+  handshaken_ = false;
+  ack_pending_ = false;
+  ++connections_dropped_;
+  last_drop_reason_ = reason;
+}
+
+}  // namespace orcastream::net

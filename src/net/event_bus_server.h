@@ -1,0 +1,92 @@
+#ifndef ORCASTREAM_NET_EVENT_BUS_SERVER_H_
+#define ORCASTREAM_NET_EVENT_BUS_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+#include "net/frame.h"
+#include "net/session.h"
+#include "net/wire.h"
+
+namespace orcastream::orca {
+class OrcaService;
+}  // namespace orcastream::orca
+
+namespace orcastream::net {
+
+/// The control-plane endpoint of the remote event plane: accepts one
+/// runtime connection at a time, answers HELLO with the last applied
+/// event sequence, applies EVENT frames to the OrcaService in order
+/// exactly once (duplicates and reordered sequences from redelivery are
+/// dropped by sequence number), and acknowledges cumulatively after each
+/// applied batch. An applied event is one the service has published into
+/// its §7-journaled EventBus — the ACK horizon and the transaction
+/// journal advance together, which is what lets a reconnecting client
+/// resume from the last acked transaction.
+///
+/// Like the sink, the server is clockless: Pump(now) timestamps come
+/// from the owner (sim time or a ClockFn).
+class EventBusServer {
+ public:
+  struct Config {
+    /// Send a heartbeat when nothing was sent for this long.
+    double heartbeat_interval = 1.0;
+    /// Tear a session down when nothing arrived for this long.
+    double heartbeat_timeout = 5.0;
+    size_t max_frame_payload = kMaxFramePayload;
+  };
+
+  EventBusServer(Config config, orca::OrcaService* service)
+      : config_(config), service_(service) {}
+
+  /// Late binding for wiring cycles (the bridge builds the server before
+  /// the service exists). Must be set before the first EVENT arrives.
+  void set_service(orca::OrcaService* service) { service_ = service; }
+
+  /// Installs a fresh runtime connection (from a listener's Accept or a
+  /// reconnect factory), replacing any current one. The handshake then
+  /// proceeds on Pump(). Inline channels (loopback) may re-enter Pump
+  /// from inside Accept; the reentrancy guard makes that safe.
+  void Accept(std::unique_ptr<Channel> channel, double now);
+
+  /// Drives handshake, event application, acks, and heartbeats.
+  void Pump(double now);
+
+  bool connected() const;
+
+  /// Cumulative sequence of the last event applied to the service.
+  uint64_t last_applied() const { return last_applied_; }
+  uint64_t events_applied() const { return events_applied_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t sessions_accepted() const { return sessions_accepted_; }
+  uint64_t connections_dropped() const { return connections_dropped_; }
+  const std::string& last_drop_reason() const { return last_drop_reason_; }
+
+ private:
+  void PumpOnce(double now);
+  void HandleFrame(double now, const DecodedFrame& frame);
+  void ApplyEvent(const EventMsg& event);
+  void DropConn(const std::string& reason);
+
+  Config config_;
+  orca::OrcaService* service_;
+  std::unique_ptr<FramedConn> conn_;
+  bool handshaken_ = false;
+  bool pumping_ = false;
+  bool repump_ = false;
+  /// Events applied this pump that still need an ACK queued.
+  bool ack_pending_ = false;
+
+  uint64_t last_applied_ = 0;
+  uint64_t events_applied_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+  uint64_t sessions_accepted_ = 0;
+  uint64_t connections_dropped_ = 0;
+  std::string last_drop_reason_;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_EVENT_BUS_SERVER_H_

@@ -1,0 +1,107 @@
+#include "net/faulty_channel.h"
+
+#include <algorithm>
+
+namespace orcastream::net {
+
+void FaultyChannel::Emit(const std::vector<uint8_t>& chunk) {
+  // Best-effort: a faulted chunk the inner ring cannot fully absorb is
+  // (further) truncated — just another wire fault the session's CRC +
+  // redelivery machinery must absorb.
+  common::Result<size_t> sent = inner_->Send(chunk.data(), chunk.size());
+  (void)sent;
+}
+
+common::Result<size_t> FaultyChannel::Send(const uint8_t* data, size_t size) {
+  size_t accepted = 0;
+  while (accepted < size) {
+    if (!inner_->connected()) {
+      if (accepted > 0) return accepted;
+      return common::Status::Cancelled("faulty channel disconnected");
+    }
+    size_t chunk_len = size - accepted;
+    if (plan_.max_chunk > 0) chunk_len = std::min(chunk_len, plan_.max_chunk);
+    std::vector<uint8_t> chunk(data + accepted, data + accepted + chunk_len);
+
+    if (plan_.disconnect > 0 && rng_.Bernoulli(plan_.disconnect)) {
+      ++disconnects_;
+      inner_->Close();
+      if (accepted > 0) return accepted;
+      return common::Status::Cancelled("faulty channel disconnected");
+    }
+
+    bool faulted = false;
+    bool torn = false;
+    if (plan_.partial_write > 0 && chunk.size() > 1 &&
+        rng_.Bernoulli(plan_.partial_write)) {
+      // A torn write: only a prefix reaches the wire this call; the
+      // remainder is reported unaccepted so the sender retries it.
+      size_t prefix = static_cast<size_t>(
+          rng_.UniformInt(1, static_cast<int64_t>(chunk.size()) - 1));
+      chunk.resize(prefix);
+      chunk_len = prefix;
+      ++partial_writes_;
+      faulted = true;
+      torn = true;
+    }
+    if (plan_.corrupt_bit > 0 && !chunk.empty() &&
+        rng_.Bernoulli(plan_.corrupt_bit)) {
+      size_t byte = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(chunk.size()) - 1));
+      int bit = static_cast<int>(rng_.UniformInt(0, 7));
+      chunk[byte] = static_cast<uint8_t>(chunk[byte] ^ (1u << bit));
+      ++bits_flipped_;
+      faulted = true;
+    }
+
+    if (plan_.drop_chunk > 0 && rng_.Bernoulli(plan_.drop_chunk)) {
+      // Silently lost, but reported as sent — the receiver's framing
+      // desyncs and recovery must come from reconnect + redelivery.
+      ++chunks_dropped_;
+    } else if (plan_.reorder_chunk > 0 && held_.empty() &&
+               rng_.Bernoulli(plan_.reorder_chunk)) {
+      // Held back; emitted after the next chunk (adjacent swap).
+      ++chunks_reordered_;
+      held_ = std::move(chunk);
+    } else {
+      bool duplicate = plan_.duplicate_chunk > 0 &&
+                       rng_.Bernoulli(plan_.duplicate_chunk);
+      if (duplicate || faulted || !held_.empty()) {
+        Emit(chunk);
+        if (duplicate) {
+          ++chunks_duplicated_;
+          Emit(chunk);
+        }
+        if (!held_.empty()) {
+          std::vector<uint8_t> held = std::move(held_);
+          held_.clear();
+          Emit(held);
+        }
+      } else {
+        // Fault-free chunk: forward transparently, honouring the inner
+        // channel's backpressure so a zero-probability plan is exact.
+        common::Result<size_t> sent = inner_->Send(chunk.data(), chunk.size());
+        if (!sent.ok()) {
+          if (accepted > 0) return accepted;
+          return sent.status();
+        }
+        accepted += *sent;
+        if (*sent < chunk.size()) return accepted;
+        continue;
+      }
+    }
+    accepted += chunk_len;
+    if (torn) return accepted;
+  }
+  return accepted;
+}
+
+common::Result<size_t> FaultyChannel::Receive(uint8_t* out, size_t capacity) {
+  return inner_->Receive(out, capacity);
+}
+
+bool FaultyChannel::connected() const { return inner_->connected(); }
+
+void FaultyChannel::Close() { inner_->Close(); }
+
+}  // namespace orcastream::net

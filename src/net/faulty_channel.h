@@ -1,0 +1,85 @@
+#ifndef ORCASTREAM_NET_FAULTY_CHANNEL_H_
+#define ORCASTREAM_NET_FAULTY_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/channel.h"
+
+namespace orcastream::net {
+
+/// Seeded fault schedule for a FaultyChannel, in FailureInjector style:
+/// every probability is evaluated per Send chunk against the channel's
+/// own forked Rng stream, so a (plan, seed) pair replays bit-for-bit.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Split every Send into chunks of at most this many bytes before
+  /// applying faults (0 = no splitting). Small chunks make disconnects
+  /// and corruption land mid-frame — the torn-delivery cases.
+  size_t max_chunk = 0;
+  /// Probability a chunk is silently dropped (stream desync → CRC/framing
+  /// error at the receiver → reconnect + redelivery).
+  double drop_chunk = 0.0;
+  /// Probability a chunk is written twice back-to-back.
+  double duplicate_chunk = 0.0;
+  /// Probability a chunk is held back and emitted after the next one.
+  double reorder_chunk = 0.0;
+  /// Probability one byte of a chunk has one bit flipped.
+  double corrupt_bit = 0.0;
+  /// Probability only a prefix of a chunk is written (a torn write; the
+  /// rest is reported as unaccepted, so a non-faulty sender would retry,
+  /// while frame corruption from the fault path still desyncs).
+  double partial_write = 0.0;
+  /// Probability the connection hard-disconnects before the chunk.
+  double disconnect = 0.0;
+};
+
+/// Wraps a channel endpoint and perturbs its Send path according to a
+/// seeded FaultPlan. Receive passes through; a disconnect closes the
+/// underlying pair, which both endpoints observe. Faults corrupt or lose
+/// bytes *on the wire* — the session layer's framing (CRC), heartbeat,
+/// and sequence-numbered redelivery are what turn that into exactly-once
+/// event delivery, which the fault suite checks byte-for-byte.
+class FaultyChannel : public Channel {
+ public:
+  FaultyChannel(std::unique_ptr<Channel> inner, const FaultPlan& plan,
+                common::Rng rng)
+      : inner_(std::move(inner)), plan_(plan), rng_(std::move(rng)) {}
+  FaultyChannel(std::unique_ptr<Channel> inner, const FaultPlan& plan)
+      : FaultyChannel(std::move(inner), plan, common::Rng(plan.seed)) {}
+
+  common::Result<size_t> Send(const uint8_t* data, size_t size) override;
+  common::Result<size_t> Receive(uint8_t* out, size_t capacity) override;
+  bool connected() const override;
+  void Close() override;
+
+  uint64_t chunks_dropped() const { return chunks_dropped_; }
+  uint64_t chunks_duplicated() const { return chunks_duplicated_; }
+  uint64_t chunks_reordered() const { return chunks_reordered_; }
+  uint64_t bits_flipped() const { return bits_flipped_; }
+  uint64_t partial_writes() const { return partial_writes_; }
+  uint64_t disconnects() const { return disconnects_; }
+
+ private:
+  /// Emits one already-faulted chunk into the inner channel.
+  void Emit(const std::vector<uint8_t>& chunk);
+
+  std::unique_ptr<Channel> inner_;
+  FaultPlan plan_;
+  common::Rng rng_;
+  /// Chunk held back by a reorder fault, emitted after the next chunk.
+  std::vector<uint8_t> held_;
+
+  uint64_t chunks_dropped_ = 0;
+  uint64_t chunks_duplicated_ = 0;
+  uint64_t chunks_reordered_ = 0;
+  uint64_t bits_flipped_ = 0;
+  uint64_t partial_writes_ = 0;
+  uint64_t disconnects_ = 0;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_FAULTY_CHANNEL_H_

@@ -1,0 +1,120 @@
+#include "net/frame.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace orcastream::net {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ data[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrame(FrameType type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kFrameHeaderSize + payload_len);
+  PutU16(kFrameMagic, out);
+  out->push_back(kFrameVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU32(static_cast<uint32_t>(payload_len), out);
+  PutU32(Crc32(payload, payload_len), out);
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+common::Status FrameDecoder::Feed(const uint8_t* data, size_t n,
+                                  std::vector<DecodedFrame>* out) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data, data + n);
+  size_t pos = 0;
+  while (buffer_.size() - pos >= kFrameHeaderSize) {
+    const uint8_t* header = buffer_.data() + pos;
+    uint16_t magic = GetU16(header);
+    if (magic != kFrameMagic) {
+      error_ = common::Status::ParseError(common::StrFormat(
+          "frame magic mismatch: got 0x%04X, want 0x%04X",
+          static_cast<unsigned>(magic), static_cast<unsigned>(kFrameMagic)));
+      break;
+    }
+    uint8_t version = header[2];
+    if (version != kFrameVersion) {
+      error_ = common::Status::ParseError(common::StrFormat(
+          "unsupported frame version %u (want %u)",
+          static_cast<unsigned>(version),
+          static_cast<unsigned>(kFrameVersion)));
+      break;
+    }
+    uint32_t payload_len = GetU32(header + 4);
+    // Validated from the header alone: a hostile length prefix is refused
+    // before this decoder (or the caller) allocates payload storage.
+    if (payload_len > max_payload_) {
+      error_ = common::Status::ParseError(common::StrFormat(
+          "frame payload length %u exceeds cap %zu",
+          static_cast<unsigned>(payload_len), max_payload_));
+      break;
+    }
+    if (buffer_.size() - pos < kFrameHeaderSize + payload_len) {
+      break;  // incomplete frame — wait for more bytes
+    }
+    const uint8_t* payload = header + kFrameHeaderSize;
+    uint32_t want_crc = GetU32(header + 8);
+    uint32_t got_crc = Crc32(payload, payload_len);
+    if (got_crc != want_crc) {
+      error_ = common::Status::ParseError(common::StrFormat(
+          "frame CRC mismatch: got 0x%08X, want 0x%08X", got_crc, want_crc));
+      break;
+    }
+    DecodedFrame frame;
+    frame.type = static_cast<FrameType>(header[3]);
+    frame.payload.assign(payload, payload + payload_len);
+    out->push_back(std::move(frame));
+    pos += kFrameHeaderSize + payload_len;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<ptrdiff_t>(pos));
+  if (!error_.ok()) buffer_.clear();
+  return error_;
+}
+
+}  // namespace orcastream::net

@@ -1,0 +1,55 @@
+#include "net/loopback_channel.h"
+
+namespace orcastream::net {
+
+std::pair<std::unique_ptr<LoopbackChannel>, std::unique_ptr<LoopbackChannel>>
+LoopbackChannel::CreatePair(Options options) {
+  auto shared = std::make_shared<Shared>(options.capacity);
+  std::unique_ptr<LoopbackChannel> a(new LoopbackChannel(shared, true));
+  std::unique_ptr<LoopbackChannel> b(new LoopbackChannel(shared, false));
+  return {std::move(a), std::move(b)};
+}
+
+LoopbackChannel::~LoopbackChannel() {
+  (is_a_ ? shared_->a_readable : shared_->b_readable) = nullptr;
+  shared_->open = false;
+}
+
+common::Result<size_t> LoopbackChannel::Send(const uint8_t* data,
+                                             size_t size) {
+  if (!shared_->open) {
+    return common::Status::Cancelled("loopback channel closed");
+  }
+  size_t accepted = outbound().Write(data, size);
+  if (accepted > 0) {
+    // Inline delivery: the peer drains these bytes before this Send
+    // returns, which is what keeps loopback transport byte-equivalent to
+    // an in-process call. The callback may close the channel; it must not
+    // destroy either endpoint re-entrantly.
+    std::function<void()>& peer_readable =
+        is_a_ ? shared_->b_readable : shared_->a_readable;
+    if (peer_readable) peer_readable();
+  }
+  return accepted;
+}
+
+common::Result<size_t> LoopbackChannel::Receive(uint8_t* out,
+                                                size_t capacity) {
+  ByteRing& ring = inbound();
+  // A closed pair still drains already-delivered bytes, mirroring a real
+  // socket's shutdown semantics.
+  if (ring.empty() && !shared_->open) {
+    return common::Status::Cancelled("loopback channel closed");
+  }
+  return ring.Read(out, capacity);
+}
+
+bool LoopbackChannel::connected() const { return shared_->open; }
+
+void LoopbackChannel::Close() { shared_->open = false; }
+
+void LoopbackChannel::SetReadableCallback(std::function<void()> callback) {
+  (is_a_ ? shared_->a_readable : shared_->b_readable) = std::move(callback);
+}
+
+}  // namespace orcastream::net

@@ -1,0 +1,77 @@
+#ifndef ORCASTREAM_NET_LOOPBACK_CHANNEL_H_
+#define ORCASTREAM_NET_LOOPBACK_CHANNEL_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/ring_buffer.h"
+
+namespace orcastream::net {
+
+/// In-process deterministic transport: a pair of channel endpoints joined
+/// by two byte rings. This is the byte-exact oracle leg of the transport
+/// suite (the DeterministicExecutor trick applied to I/O): when the peer
+/// endpoint has a readable callback installed, Send delivers it in the
+/// same call stack, so an event published through the transport enters
+/// the EventBus inside the very simulation event that produced it —
+/// byte-identical journals to the in-process path, by construction.
+///
+/// Sim-thread only; no locks, no syscalls, no wall clock.
+class LoopbackChannel : public Channel {
+ public:
+  struct Options {
+    /// Per-direction ring capacity; writes beyond it are truncated
+    /// (backpressure), exercising the session layer's retry path.
+    size_t capacity = 256 * 1024;
+  };
+
+  /// Creates a connected endpoint pair sharing their rings.
+  static std::pair<std::unique_ptr<LoopbackChannel>,
+                   std::unique_ptr<LoopbackChannel>>
+  CreatePair(Options options);
+  static std::pair<std::unique_ptr<LoopbackChannel>,
+                   std::unique_ptr<LoopbackChannel>>
+  CreatePair() {
+    return CreatePair(Options());
+  }
+
+  /// Destroying either endpoint tears the pair down (like closing an fd)
+  /// and unhooks its readable callback so the peer can never call into a
+  /// destroyed owner.
+  ~LoopbackChannel() override;
+
+  common::Result<size_t> Send(const uint8_t* data, size_t size) override;
+  common::Result<size_t> Receive(uint8_t* out, size_t capacity) override;
+  bool connected() const override;
+  void Close() override;
+
+  /// Installed by the receiving endpoint's owner; invoked at the end of a
+  /// peer Send that made new bytes available. The inline invocation is
+  /// what makes loopback transport order-equivalent to a direct call.
+  void SetReadableCallback(std::function<void()> callback);
+
+ private:
+  struct Shared {
+    explicit Shared(size_t capacity) : a_to_b(capacity), b_to_a(capacity) {}
+    ByteRing a_to_b;
+    ByteRing b_to_a;
+    bool open = true;
+    std::function<void()> a_readable;
+    std::function<void()> b_readable;
+  };
+
+  LoopbackChannel(std::shared_ptr<Shared> shared, bool is_a)
+      : shared_(std::move(shared)), is_a_(is_a) {}
+
+  ByteRing& inbound() { return is_a_ ? shared_->b_to_a : shared_->a_to_b; }
+  ByteRing& outbound() { return is_a_ ? shared_->a_to_b : shared_->b_to_a; }
+
+  std::shared_ptr<Shared> shared_;
+  bool is_a_;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_LOOPBACK_CHANNEL_H_

@@ -1,0 +1,74 @@
+#include "net/remote_bridge.h"
+
+#include <vector>
+
+#include "orca/orca_service.h"
+
+namespace orcastream::net {
+
+RemoteBridge::RemoteBridge(sim::Simulation* sim, runtime::Srm* srm,
+                           Options options)
+    : sim_(sim),
+      srm_(srm),
+      options_(std::move(options)),
+      server_(options_.server, nullptr),
+      sink_(options_.sink,
+            [this]() -> std::unique_ptr<Channel> {
+              auto [client_end, server_end] = MakePair();
+              if (client_end == nullptr || server_end == nullptr) {
+                return nullptr;  // unreachable server — sink backs off
+              }
+              // Loopback server ends get inline delivery: the client's
+              // Send pumps the server in the same call stack, which is
+              // what makes transported publishes byte-equivalent to
+              // in-process ones. Socket ends are pumped by the periodic
+              // task instead.
+              if (auto* loopback =
+                      dynamic_cast<LoopbackChannel*>(server_end.get())) {
+                loopback->SetReadableCallback(
+                    [this] { server_.Pump(sim_->Now()); });
+              }
+              server_.Accept(std::move(server_end), sim_->Now());
+              return std::move(client_end);
+            }),
+      pump_task_(sim, options_.pump_interval, [this] { PumpNow(); }),
+      metrics_task_(sim, options_.metric_pull_period,
+                    [this] { MetricsRound(); }) {}
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+RemoteBridge::MakePair() {
+  if (options_.make_pair != nullptr) return options_.make_pair();
+  auto [a, b] = LoopbackChannel::CreatePair();
+  return {std::move(a), std::move(b)};
+}
+
+void RemoteBridge::BindService(orca::OrcaService* service) {
+  service_ = service;
+  server_.set_service(service);
+  // Metric-cadence actuations must reach the runtime-side pump (the
+  // in-process pull task is stopped in remote mode). The period change
+  // lands at the same virtual instant as the in-process set_period, so
+  // the two cadences stay phase-identical.
+  service->set_metric_period_listener(
+      [this](double seconds) { metrics_task_.set_period(seconds); });
+  pump_task_.Start(options_.pump_interval);
+  // Phase-aligned with the in-process pull loop: OrcaService::Load starts
+  // its pull task with the period as initial delay, and the harness binds
+  // the bridge at the same sim time it loads the service, so round N
+  // fires at the same virtual instant in both setups.
+  metrics_task_.Start(options_.metric_pull_period);
+}
+
+void RemoteBridge::PumpNow() {
+  sink_.Pump(sim_->Now());
+  server_.Pump(sim_->Now());
+}
+
+void RemoteBridge::MetricsRound() {
+  if (service_ == nullptr || !service_->loaded()) return;
+  std::vector<common::JobId> jobs = service_->ManagedJobsInPullOrder();
+  if (jobs.empty()) return;
+  sink_.PublishMetricsSnapshot(srm_->QueryMetrics(jobs));
+}
+
+}  // namespace orcastream::net

@@ -1,0 +1,91 @@
+#ifndef ORCASTREAM_NET_REMOTE_BRIDGE_H_
+#define ORCASTREAM_NET_REMOTE_BRIDGE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/event_bus_server.h"
+#include "net/loopback_channel.h"
+#include "net/remote_event_sink.h"
+#include "runtime/srm.h"
+#include "sim/simulation.h"
+
+namespace orcastream::orca {
+class OrcaService;
+}  // namespace orcastream::orca
+
+namespace orcastream::net {
+
+/// Wires a complete remote event plane inside one simulation: the
+/// runtime-side RemoteEventSink, the control-plane EventBusServer, the
+/// channel pair joining them, the periodic pumps that drive both state
+/// machines on the simulation clock, and the runtime-side metric pump
+/// replacing the service's own SRM pull loop (a remote control plane
+/// cannot call a remote SRM directly — snapshots travel as events).
+///
+/// Setup order matters because the sink is part of the service's config:
+///   RemoteBridge bridge(&sim, &srm, options);
+///   config.failure_sink = &bridge.sink();
+///   config.remote_event_plane = true;
+///   OrcaService service(&sim, &sam, &srm, config);
+///   bridge.BindService(&service);   // before service.Load(...)
+class RemoteBridge {
+ public:
+  /// Builds both ends of one (re)connection attempt. The server end is
+  /// handed to EventBusServer::Accept; the client end is returned to the
+  /// sink's ChannelFactory. Returning {nullptr, nullptr} models "server
+  /// unreachable" (the sink backs off and retries).
+  using PairFactory = std::function<
+      std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>()>;
+
+  struct Options {
+    /// Period of the sink/server pump tasks (heartbeats, acks, reconnect
+    /// attempts all ride on it). Event delivery itself is inline on the
+    /// loopback path and does not wait for a pump tick.
+    double pump_interval = 0.05;
+    /// Runtime-side metric push period — plays the role of the service's
+    /// Config::metric_pull_period, phase-aligned with Load time.
+    double metric_pull_period = 15.0;
+    RemoteEventSink::Config sink;
+    EventBusServer::Config server;
+    /// Defaults to an inline loopback pair (the byte-exact oracle
+    /// transport). Tests wrap the client end in a FaultyChannel; the
+    /// two-process example substitutes a real socketpair.
+    PairFactory make_pair;
+  };
+
+  RemoteBridge(sim::Simulation* sim, runtime::Srm* srm, Options options);
+
+  /// The sink to install as OrcaService::Config::failure_sink.
+  RemoteEventSink& sink() { return sink_; }
+  const RemoteEventSink& sink() const { return sink_; }
+  EventBusServer& server() { return server_; }
+  const EventBusServer& server() const { return server_; }
+
+  /// Completes the wiring once the service object exists and starts the
+  /// pump + metric tasks. Call before OrcaService::Load so the metric
+  /// push phase matches the in-process pull loop's.
+  void BindService(orca::OrcaService* service);
+
+  /// Forces one immediate pump of both endpoints (tests).
+  void PumpNow();
+
+ private:
+  void MetricsRound();
+  std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> MakePair();
+
+  sim::Simulation* sim_;
+  runtime::Srm* srm_;
+  Options options_;
+  orca::OrcaService* service_ = nullptr;
+  EventBusServer server_;
+  RemoteEventSink sink_;
+  sim::PeriodicTask pump_task_;
+  sim::PeriodicTask metrics_task_;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_REMOTE_BRIDGE_H_

@@ -1,0 +1,74 @@
+#ifndef ORCASTREAM_NET_RING_BUFFER_H_
+#define ORCASTREAM_NET_RING_BUFFER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace orcastream::net {
+
+/// Fixed-capacity byte ring used by every channel for staged send/receive
+/// buffers. Writes beyond the free space are truncated (the caller retries
+/// once the reader drains) — that truncation is the transport layer's
+/// backpressure signal, so the ring never grows and a hostile peer cannot
+/// force unbounded allocation.
+class ByteRing {
+ public:
+  explicit ByteRing(size_t capacity) : buf_(capacity) {}
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return size_; }
+  size_t free() const { return buf_.size() - size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends up to `n` bytes; returns how many were accepted.
+  size_t Write(const uint8_t* data, size_t n) {
+    size_t take = std::min(n, free());
+    for (size_t i = 0; i < take; ++i) {
+      buf_[(head_ + size_ + i) % buf_.size()] = data[i];
+    }
+    size_ += take;
+    return take;
+  }
+
+  /// Removes up to `n` bytes into `out`; returns how many were read.
+  size_t Read(uint8_t* out, size_t n) {
+    size_t take = Peek(out, n);
+    head_ = (head_ + take) % buf_.size();
+    size_ -= take;
+    return take;
+  }
+
+  /// Copies up to `n` bytes into `out` without consuming them.
+  size_t Peek(uint8_t* out, size_t n) const {
+    size_t take = std::min(n, size_);
+    for (size_t i = 0; i < take; ++i) {
+      out[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    return take;
+  }
+
+  /// Drops up to `n` bytes; returns how many were dropped.
+  size_t Discard(size_t n) {
+    size_t take = std::min(n, size_);
+    head_ = (head_ + take) % buf_.size();
+    size_ -= take;
+    return take;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_RING_BUFFER_H_

@@ -1,0 +1,275 @@
+#include "net/socket_channel.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace orcastream::net {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(
+      common::StrFormat("%s: %s", what, strerror(errno)));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SocketChannel::SocketChannel(int fd, Options options)
+    : fd_(fd),
+      tx_(options.ring_capacity),
+      rx_(options.ring_capacity),
+      scratch_(16 * 1024) {}
+
+SocketChannel::~SocketChannel() { Close(); }
+
+Result<std::pair<std::unique_ptr<SocketChannel>,
+                 std::unique_ptr<SocketChannel>>>
+SocketChannel::CreatePair(Options options) {
+  int fds[2] = {-1, -1};
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Errno("socketpair");
+  }
+  for (int fd : fds) {
+    Status nb = SetNonBlocking(fd);
+    if (!nb.ok()) {
+      close(fds[0]);
+      close(fds[1]);
+      return nb;
+    }
+  }
+  std::unique_ptr<SocketChannel> a(new SocketChannel(fds[0], options));
+  std::unique_ptr<SocketChannel> b(new SocketChannel(fds[1], options));
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketChannel::ConnectUnix(
+    const std::string& path, Options options) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    Status status = Errno("connect(unix)");
+    close(fd);
+    return status;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  return std::unique_ptr<SocketChannel>(new SocketChannel(fd, options));
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketChannel::ConnectTcp(
+    int port, Options options) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    Status status = Errno("connect(tcp)");
+    close(fd);
+    return status;
+  }
+  return std::unique_ptr<SocketChannel>(new SocketChannel(fd, options));
+}
+
+Result<size_t> SocketChannel::Send(const uint8_t* data, size_t size) {
+  if (fd_ < 0 || broken_) {
+    return Status::Cancelled("socket channel closed");
+  }
+  size_t accepted = tx_.Write(data, size);
+  FlushToSocket();
+  if (broken_ && accepted == 0) {
+    return Status::Cancelled("socket channel broken");
+  }
+  return accepted;
+}
+
+void SocketChannel::FlushToSocket() {
+  while (!tx_.empty() && !broken_ && fd_ >= 0) {
+    size_t n = tx_.Peek(scratch_.data(), scratch_.size());
+    // MSG_NOSIGNAL: a peer reset surfaces as EPIPE, not a process signal.
+    ssize_t wrote = send(fd_, scratch_.data(), n, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      tx_.Discard(static_cast<size_t>(wrote));
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    broken_ = true;
+  }
+}
+
+void SocketChannel::FillFromSocket() {
+  while (!broken_ && fd_ >= 0 && rx_.free() > 0) {
+    size_t want = std::min(rx_.free(), scratch_.size());
+    ssize_t got = recv(fd_, scratch_.data(), want, 0);
+    if (got > 0) {
+      rx_.Write(scratch_.data(), static_cast<size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // 0 = orderly shutdown by the peer; anything else is an error.
+    broken_ = true;
+    return;
+  }
+}
+
+Result<size_t> SocketChannel::Receive(uint8_t* out, size_t capacity) {
+  if (fd_ >= 0 && !broken_) FillFromSocket();
+  size_t got = rx_.Read(out, capacity);
+  if (got == 0 && (broken_ || fd_ < 0)) {
+    return Status::Cancelled("socket channel closed");
+  }
+  return got;
+}
+
+bool SocketChannel::connected() const { return fd_ >= 0 && !broken_; }
+
+void SocketChannel::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+int SocketChannel::PollReadable(const std::vector<SocketChannel*>& channels,
+                                int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(channels.size());
+  for (SocketChannel* channel : channels) {
+    pollfd p;
+    p.fd = channel != nullptr ? channel->fd_ : -1;
+    p.events = POLLIN;
+    p.revents = 0;
+    fds.push_back(p);
+  }
+  int ready = poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return -1;
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) close(fd_);
+  if (!unix_path_.empty()) unlink(unix_path_.c_str());
+}
+
+Result<std::unique_ptr<SocketListener>> SocketListener::ListenUnix(
+    const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  unlink(path.c_str());
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 8) != 0) {
+    Status status = Errno("bind/listen(unix)");
+    close(fd);
+    return status;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  return std::unique_ptr<SocketListener>(new SocketListener(fd, 0, path));
+}
+
+Result<std::unique_ptr<SocketListener>> SocketListener::ListenTcp() {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 8) != 0) {
+    Status status = Errno("bind/listen(tcp)");
+    close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Errno("getsockname");
+    close(fd);
+    return status;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  return std::unique_ptr<SocketListener>(
+      new SocketListener(fd, ntohs(addr.sin_port), std::string()));
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketListener::Accept(
+    SocketChannel::Options options) {
+  int fd = accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::unique_ptr<SocketChannel>();  // none pending
+    }
+    return Errno("accept");
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  return std::unique_ptr<SocketChannel>(new SocketChannel(fd, options));
+}
+
+}  // namespace orcastream::net

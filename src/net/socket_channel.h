@@ -1,0 +1,117 @@
+#ifndef ORCASTREAM_NET_SOCKET_CHANNEL_H_
+#define ORCASTREAM_NET_SOCKET_CHANNEL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/ring_buffer.h"
+
+namespace orcastream::net {
+
+/// Nonblocking OS socket transport (AF_UNIX or TCP loopback) with
+/// ring-buffered send/receive staging. This is the only translation unit
+/// in the tree allowed to touch raw socket/fd APIs (orca_lint's
+/// raw_socket rule); everything above it speaks the Channel interface.
+///
+/// All I/O is nonblocking: Send stages bytes in the tx ring and flushes
+/// as far as the kernel accepts; Receive drains the kernel into the rx
+/// ring and hands bytes out. Nothing here sleeps or reads the wall clock
+/// — pacing and timeouts belong to the session layer's injected clock.
+class SocketChannel : public Channel {
+ public:
+  struct Options {
+    size_t ring_capacity = 256 * 1024;
+  };
+
+  /// A connected AF_UNIX stream pair (the two-process demo's transport).
+  static common::Result<
+      std::pair<std::unique_ptr<SocketChannel>, std::unique_ptr<SocketChannel>>>
+  CreatePair(Options options);
+  static common::Result<
+      std::pair<std::unique_ptr<SocketChannel>, std::unique_ptr<SocketChannel>>>
+  CreatePair() {
+    return CreatePair(Options());
+  }
+
+  /// Connects to a listening AF_UNIX path (nonblocking connect).
+  static common::Result<std::unique_ptr<SocketChannel>> ConnectUnix(
+      const std::string& path, Options options);
+  static common::Result<std::unique_ptr<SocketChannel>> ConnectUnix(
+      const std::string& path) {
+    return ConnectUnix(path, Options());
+  }
+
+  /// Connects to a TCP port on 127.0.0.1 (nonblocking connect).
+  static common::Result<std::unique_ptr<SocketChannel>> ConnectTcp(
+      int port, Options options);
+  static common::Result<std::unique_ptr<SocketChannel>> ConnectTcp(int port) {
+    return ConnectTcp(port, Options());
+  }
+
+  ~SocketChannel() override;
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  common::Result<size_t> Send(const uint8_t* data, size_t size) override;
+  common::Result<size_t> Receive(uint8_t* out, size_t capacity) override;
+  bool connected() const override;
+  void Close() override;
+
+  /// Blocks until any channel has readable bytes (or `timeout_ms`
+  /// elapses); returns the index of a readable channel or -1 on timeout.
+  /// The one place the transport may block: an event-loop tick for
+  /// drivers that outrun the kernel, bounded by an explicit timeout.
+  static int PollReadable(const std::vector<SocketChannel*>& channels,
+                          int timeout_ms);
+
+ private:
+  friend class SocketListener;
+
+  SocketChannel(int fd, Options options);
+
+  /// Pushes staged tx bytes into the kernel until it stops accepting.
+  void FlushToSocket();
+  /// Pulls kernel bytes into the rx ring until EAGAIN or the ring fills.
+  void FillFromSocket();
+
+  int fd_;
+  bool broken_ = false;
+  ByteRing tx_;
+  ByteRing rx_;
+  std::vector<uint8_t> scratch_;
+};
+
+/// Nonblocking accept side of the socket transport.
+class SocketListener {
+ public:
+  static common::Result<std::unique_ptr<SocketListener>> ListenUnix(
+      const std::string& path);
+  /// Listens on 127.0.0.1 with an ephemeral port (query via port()).
+  static common::Result<std::unique_ptr<SocketListener>> ListenTcp();
+
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Accepts one pending connection, or returns nullptr if none is
+  /// waiting (nonblocking).
+  common::Result<std::unique_ptr<SocketChannel>> Accept(
+      SocketChannel::Options options = {});
+
+  int port() const { return port_; }
+
+ private:
+  SocketListener(int fd, int port, std::string unix_path)
+      : fd_(fd), port_(port), unix_path_(std::move(unix_path)) {}
+
+  int fd_;
+  int port_ = 0;
+  std::string unix_path_;
+};
+
+}  // namespace orcastream::net
+
+#endif  // ORCASTREAM_NET_SOCKET_CHANNEL_H_

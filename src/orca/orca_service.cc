@@ -85,7 +85,12 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
   // Scopes this logic registers (typically from HandleOrcaStart) belong
   // to its generation and are retired when it is replaced or unloaded.
   logic_generation_ = scopes_.BeginGeneration();
-  orca_id_ = sam_->RegisterOrca(config_.name, this);
+  // Remote event plane: SAM routes failure notifications to the
+  // transport sink (they come back via IngestPeFailure); in-process, the
+  // service is its own sink.
+  runtime::EventSink* sink =
+      config_.failure_sink != nullptr ? config_.failure_sink : this;
+  orca_id_ = sam_->RegisterOrca(config_.name, sink);
   // Reloaded service (Shutdown → Load): managed jobs kept running under
   // the previous registration's id; re-own them so SAM resumes routing
   // their PE failure notifications to this registration.
@@ -93,7 +98,12 @@ Status OrcaService::Load(std::unique_ptr<Orchestrator> logic) {
     sam_->TransferOrcaOwnership(prev_orca_id_, orca_id_);
     prev_orca_id_ = common::OrcaId::Invalid();
   }
-  pull_task_.Start(config_.metric_pull_period);
+  // With a remote event plane the runtime-side metric pump owns the pull
+  // cadence; the service only ever sees snapshots via
+  // IngestMetricsSnapshot.
+  if (!config_.remote_event_plane) {
+    pull_task_.Start(config_.metric_pull_period);
+  }
   // The start signal is the only event that is always in scope (§4.1). It
   // goes to the front so that events retained across a Shutdown → Load
   // cycle are delivered after the new logic has initialized, mirroring
@@ -690,6 +700,7 @@ void OrcaService::SetMetricPullPeriod(double seconds) {
 void OrcaService::SetMetricPullPeriodImpl(double seconds) {
   JournalActuation(StrFormat("setMetricPullPeriod(%g)", seconds));
   pull_task_.set_period(seconds);
+  if (metric_period_listener_) metric_period_listener_(seconds);
   RefreshSnapshot();
 }
 
@@ -706,12 +717,21 @@ void OrcaService::PullMetricsRound() {
   // OrcaContext batches under wall-clock dispatch.
   ApplyStagedActuations();
   if (logic_ == nullptr) return;
+  std::vector<JobId> jobs = ManagedJobsInPullOrder();
+  if (jobs.empty()) return;
+  PublishSnapshotRound(srm_->QueryMetrics(jobs));
+}
+
+std::vector<JobId> OrcaService::ManagedJobsInPullOrder() const {
   std::vector<JobId> jobs;
   for (const auto& [id, state] : apps_) {
     if (state.job.has_value()) jobs.push_back(*state.job);
   }
-  if (jobs.empty()) return;
-  runtime::MetricsSnapshot snapshot = srm_->QueryMetrics(jobs);
+  return jobs;
+}
+
+void OrcaService::PublishSnapshotRound(
+    const runtime::MetricsSnapshot& snapshot) {
   // One epoch per SRM query round: the logical clock that lets handlers
   // correlate metrics measured together (§4.2). The whole snapshot is
   // batched through the registry in one pass.
@@ -725,6 +745,24 @@ void OrcaService::PullMetricsRound() {
   // (no-op unless Config::dynamic_resharding and a shard is actually
   // hot). Runs on the sim thread, like all registry mutation.
   scopes_.MaybeRebalance();
+}
+
+// --- Remote event plane ------------------------------------------------------
+
+void OrcaService::IngestPeFailure(const runtime::PeFailureNotice& notice) {
+  if (!GuardWorkerEntry("IngestPeFailure").ok()) return;
+  OnPeFailure(notice);
+}
+
+void OrcaService::IngestMetricsSnapshot(
+    const runtime::MetricsSnapshot& snapshot) {
+  if (!GuardWorkerEntry("IngestMetricsSnapshot").ok()) return;
+  // Mirrors PullMetricsRound step for step (staged drain, then the
+  // publication round) so a transported snapshot advances the same
+  // logical clocks at the same points as an in-process pull.
+  ApplyStagedActuations();
+  if (logic_ == nullptr) return;
+  PublishSnapshotRound(snapshot);
 }
 
 // --- Failure push ---------------------------------------------------------

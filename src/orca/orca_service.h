@@ -115,6 +115,15 @@ class OrcaService : private runtime::EventSink {
     /// and minimum busy shards before worker threads are spawned.
     size_t parallel_match_min_samples = 64;
     size_t parallel_match_min_busy_shards = 2;
+    /// Remote event plane (src/net/): when set, Load registers this sink
+    /// with SAM instead of the service itself, so PE failure
+    /// notifications leave the runtime through the transport and come
+    /// back in via IngestPeFailure. Not owned; must outlive the service.
+    runtime::EventSink* failure_sink = nullptr;
+    /// True when the event plane is remote: metric snapshots arrive from
+    /// a runtime-side pump via IngestMetricsSnapshot, so the service's
+    /// own SRM pull loop never starts (the pump owns the cadence).
+    bool remote_event_plane = false;
   };
 
   OrcaService(sim::Simulation* sim, runtime::Sam* sam, runtime::Srm* srm,
@@ -281,6 +290,36 @@ class OrcaService : private runtime::EventSink {
   void InjectUserEvent(const std::string& name,
                        std::map<std::string, std::string> attributes = {});
 
+  // --- Remote event plane (src/net/) -----------------------------------------
+
+  /// Applies a PE failure notification that crossed the transport
+  /// boundary (EventBusServer). Identical semantics to the EventSink push
+  /// SAM performs in-process: scope matching, failure epochs, §7
+  /// journaling all run here, on the simulation thread.
+  void IngestPeFailure(const runtime::PeFailureNotice& notice);
+
+  /// Applies a metric snapshot pushed by a remote runtime's metric pump.
+  /// Runs the same publication round as the in-process pull path
+  /// (staged-actuation drain, epoch bump, snapshot publish, shard
+  /// rebalance), so remote and in-process runs advance the same logical
+  /// clocks in the same order.
+  void IngestMetricsSnapshot(const runtime::MetricsSnapshot& snapshot);
+
+  /// The managed jobs a metric round queries, in the service's own pull
+  /// order (application config-id order). A remote runtime's pump uses
+  /// this as its job set so snapshot contents match the in-process pull
+  /// loop record for record.
+  std::vector<common::JobId> ManagedJobsInPullOrder() const;
+
+  /// Invoked (synchronously, on the simulation thread) whenever the
+  /// logic changes the metric pull period. With a remote event plane the
+  /// runtime-side pump owns the pull cadence, so the actuation must cross
+  /// back to it — in a real deployment as a control message, here via
+  /// this callback the bridge installs.
+  void set_metric_period_listener(std::function<void(double)> listener) {
+    metric_period_listener_ = std::move(listener);
+  }
+
   // --- Inspection -------------------------------------------------------------
 
   const GraphView& graph() const { return graph_; }
@@ -433,6 +472,9 @@ class OrcaService : private runtime::EventSink {
                           sim::SimTime detected_at);
 
   void PullMetricsRound();
+  /// Shared tail of PullMetricsRound and IngestMetricsSnapshot: epoch
+  /// bump, staged-clock touch, snapshot publication, shard rebalance.
+  void PublishSnapshotRound(const runtime::MetricsSnapshot& snapshot);
   /// runtime::EventSink — SAM pushes PE failure notifications for managed
   /// jobs here (§4.2).
   void OnPeFailure(const runtime::PeFailureNotice& notice) override;
@@ -474,6 +516,8 @@ class OrcaService : private runtime::EventSink {
   DependencyGraph deps_;
 
   sim::PeriodicTask pull_task_;
+  /// Mirrors metric-pull-period actuations to a remote runtime's pump.
+  std::function<void(double)> metric_period_listener_;
   int64_t metric_epoch_ = 0;
 
   int64_t failure_epoch_ = 0;

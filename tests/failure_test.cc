@@ -222,7 +222,13 @@ class FailureWatcher : public orca::Orchestrator {
   const bool submit_;
 };
 
-class FailureRoutingTest : public FailureTest {
+/// Parameterized over the sink wiring: every routing test runs once with
+/// the service as its own failure sink and once with failures crossing
+/// the src/net loopback transport — the remote plane's contract is that
+/// these are indistinguishable.
+class FailureRoutingTest
+    : public FailureTest,
+      public ::testing::WithParamInterface<orcastream::testing::SinkMode> {
  protected:
   /// Builds the service. A nonzero dispatch_interval spaces serial
   /// deliveries out, opening a window where a published failure event
@@ -230,30 +236,38 @@ class FailureRoutingTest : public FailureTest {
   orca::OrcaService& InitService(double dispatch_interval = 0) {
     orca::OrcaService::Config service_config;
     service_config.dispatch_interval = dispatch_interval;
-    service_ = std::make_unique<orca::OrcaService>(
-        &cluster_.sim(), &cluster_.sam(), &cluster_.srm(), service_config);
+    orca::OrcaService& service =
+        cluster_.InitService(service_config, GetParam());
     orca::AppConfig config;
     config.id = "app";
     config.application_name = "CounterApp";
-    EXPECT_TRUE(service_->RegisterApplication(config, CounterApp()).ok());
-    return *service_;
+    EXPECT_TRUE(service.RegisterApplication(config, CounterApp()).ok());
+    return service;
   }
 
   PeId CounterPe() {
-    auto job = service_->RunningJob("app");
+    auto job = cluster_.service().RunningJob("app");
     EXPECT_TRUE(job.ok());
     auto pe = cluster_.sam().FindJob(job.value())->PeOfOperator("counter");
     EXPECT_TRUE(pe.ok());
     return pe.ValueOr(PeId(0));
   }
-
-  std::unique_ptr<orca::OrcaService> service_;
 };
+
+INSTANTIATE_TEST_SUITE_P(
+    Sinks, FailureRoutingTest,
+    ::testing::Values(orcastream::testing::SinkMode::kInProcess,
+                      orcastream::testing::SinkMode::kRemote),
+    [](const ::testing::TestParamInfo<orcastream::testing::SinkMode>& info) {
+      return info.param == orcastream::testing::SinkMode::kInProcess
+                 ? "InProcess"
+                 : "Remote";
+    });
 
 // Shutdown leaves managed jobs running under the old SAM registration;
 // a later Load must re-own them so their failure notifications route to
 // the reloaded service instead of vanishing with the retired id.
-TEST_F(FailureRoutingTest, ReloadedServiceStillSeesFailuresOfKeptJobs) {
+TEST_P(FailureRoutingTest, ReloadedServiceStillSeesFailuresOfKeptJobs) {
   orca::OrcaService& service = InitService();
   ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
   cluster_.sim().RunUntil(2);
@@ -279,7 +293,7 @@ TEST_F(FailureRoutingTest, ReloadedServiceStillSeesFailuresOfKeptJobs) {
 // A failure queued during the replacement window matched only the
 // outgoing logic's subscopes; it must be scrubbed, not delivered into
 // the replacement's fresh generation (which never saw the crash).
-TEST_F(FailureRoutingTest, ReplaceLogicScrubsStaleQueuedFailures) {
+TEST_P(FailureRoutingTest, ReplaceLogicScrubsStaleQueuedFailures) {
   // 5-second delivery spacing: the failure event (detected ~0.5s after
   // the kill) is published well before the bus's next delivery slot.
   orca::OrcaService& service = InitService(/*dispatch_interval=*/5.0);
@@ -305,7 +319,7 @@ TEST_F(FailureRoutingTest, ReplaceLogicScrubsStaleQueuedFailures) {
 
 // The same scrub applies on Shutdown: a failure queued against the
 // retiring generation must not leak into a future Load.
-TEST_F(FailureRoutingTest, ShutdownScrubsStaleQueuedFailures) {
+TEST_P(FailureRoutingTest, ShutdownScrubsStaleQueuedFailures) {
   orca::OrcaService& service = InitService(/*dispatch_interval=*/5.0);
   ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
   cluster_.sim().RunUntil(2);
@@ -328,7 +342,7 @@ TEST_F(FailureRoutingTest, ShutdownScrubsStaleQueuedFailures) {
 // A fresh failure after the swap still flows: scrubbing is precise, it
 // drops only events whose every matched subscope died with the old
 // generation.
-TEST_F(FailureRoutingTest, ReplacementSeesFreshFailures) {
+TEST_P(FailureRoutingTest, ReplacementSeesFreshFailures) {
   orca::OrcaService& service = InitService();
   ASSERT_TRUE(service.Load(std::make_unique<FailureWatcher>(true)).ok());
   cluster_.sim().RunUntil(2);

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "harness/scenario.h"
+#include "harness/scenario_env.h"
+#include "harness/soak_driver.h"
+#include "net/faulty_channel.h"
+#include "net/loopback_channel.h"
+#include "orca/event_scope.h"
+#include "orca/orca_context.h"
+#include "tests/test_util.h"
+
+namespace orcastream::net {
+namespace {
+
+using common::StrFormat;
+using orcastream::testing::FlattenJournal;
+
+/// One scripted detection event: either a synthetic PE failure on one of
+/// several application lanes, or a user event (residual lane).
+struct SyntheticEvent {
+  double at = 0;
+  bool user = false;
+  runtime::PeFailureNotice notice;
+  std::string user_name;
+  std::map<std::string, std::string> attributes;
+};
+
+/// The workload is generated once from its own fixed seed so every run —
+/// the in-process oracle and each fault-seeded remote run — injects the
+/// exact same event script. Only the transport faults vary by seed.
+std::vector<SyntheticEvent> MakeWorkload() {
+  common::Rng rng(9001);
+  const char* apps[] = {"alpha", "beta", "gamma"};
+  std::vector<SyntheticEvent> events;
+  double t = 1.0;
+  for (int i = 0; i < 150; ++i) {
+    t += rng.UniformDouble(0.05, 0.6);
+    SyntheticEvent event;
+    event.at = t;
+    if (rng.Bernoulli(0.25)) {
+      event.user = true;
+      event.user_name = "cmd" + std::to_string(rng.UniformInt(0, 5));
+      event.attributes = {{"arg", std::to_string(i)}};
+    } else {
+      runtime::PeFailureNotice& notice = event.notice;
+      notice.job = common::JobId(rng.UniformInt(1, 3));
+      notice.app_name = apps[rng.UniformInt(0, 2)];
+      notice.pe = common::PeId(rng.UniformInt(1, 40));
+      notice.host = common::HostId(rng.UniformInt(0, 7));
+      notice.reason = "fault" + std::to_string(rng.UniformInt(0, 9));
+      notice.detected_at = t;
+      notice.operators = {"op" + std::to_string(rng.UniformInt(0, 4))};
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+/// Journals every delivered event, with full context content, into
+/// per-lane streams — the "per-app event stream" half of the
+/// byte-equivalence check (the §7 transaction journal is the other).
+class RecordingOrchestrator : public orca::Orchestrator {
+ public:
+  explicit RecordingOrchestrator(
+      std::map<std::string, std::vector<std::string>>* streams)
+      : streams_(streams) {}
+
+  void HandleOrcaStart(orca::OrcaContext& orca,
+                       const orca::OrcaStartContext&) override {
+    orca.RegisterEventScope(orca::PeFailureScope("watch"));
+    orca.RegisterEventScope(orca::UserEventScope("user"));
+  }
+
+  void HandlePeFailureEvent(orca::OrcaContext&,
+                            const orca::PeFailureContext& context,
+                            const std::vector<std::string>& scopes) override {
+    (*streams_)[context.application].push_back(StrFormat(
+        "fail(job%lld, pe%lld, host%lld, %s, %.9f, epoch%lld, %s, %s)",
+        static_cast<long long>(context.job.value()),
+        static_cast<long long>(context.pe.value()),
+        static_cast<long long>(context.host.value()), context.reason.c_str(),
+        context.detected_at, static_cast<long long>(context.epoch),
+        context.operators.empty() ? "-" : context.operators[0].c_str(),
+        scopes.empty() ? "-" : scopes[0].c_str()));
+  }
+
+  void HandleUserEvent(orca::OrcaContext&,
+                       const orca::UserEventContext& context,
+                       const std::vector<std::string>&) override {
+    std::string entry = "user(" + context.name;
+    for (const auto& [key, value] : context.attributes) {
+      entry += ", " + key + "=" + value;
+    }
+    entry += ")";
+    (*streams_)["<user>"].push_back(std::move(entry));
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>>* streams_;
+};
+
+/// Transport-side statistics snapshotted by Verify(), while the
+/// environment is still alive.
+struct RemoteStats {
+  uint64_t sessions_established = 0;
+  uint64_t client_drops = 0;
+  uint64_t server_drops = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t events_discarded = 0;
+  size_t unacked_at_end = 0;
+};
+
+class SyntheticPlaneScenario : public harness::Scenario {
+ public:
+  SyntheticPlaneScenario(std::vector<SyntheticEvent> workload,
+                         std::map<std::string, std::vector<std::string>>* streams,
+                         RemoteStats* stats)
+      : workload_(std::move(workload)), streams_(streams), stats_(stats) {}
+
+  std::string name() const override { return "synthetic_plane"; }
+
+  std::unique_ptr<orca::Orchestrator> Setup(harness::ScenarioEnv&) override {
+    return std::make_unique<RecordingOrchestrator>(streams_);
+  }
+
+  void ScheduleEvents(harness::ScenarioEnv& env, common::Rng*) override {
+    for (const SyntheticEvent& event : workload_) {
+      env.sim().ScheduleAt(event.at, [env_ptr = &env, event] {
+        if (env_ptr->bridge() != nullptr) {
+          // Remote plane: events enter through the runtime-side sink and
+          // cross the (possibly fault-injected) transport.
+          if (event.user) {
+            env_ptr->bridge()->sink().InjectUserEvent(event.user_name,
+                                                      event.attributes);
+          } else {
+            env_ptr->bridge()->sink().OnPeFailure(event.notice);
+          }
+        } else {
+          // Oracle: the same entry semantics, direct function calls
+          // (IngestPeFailure is the public twin of the SAM sink push).
+          if (event.user) {
+            env_ptr->service().InjectUserEvent(event.user_name,
+                                               event.attributes);
+          } else {
+            env_ptr->service().IngestPeFailure(event.notice);
+          }
+        }
+      });
+    }
+  }
+
+  common::Status Verify(const harness::ScenarioEnv& env) const override {
+    if (stats_ != nullptr && env.bridge() != nullptr) {
+      stats_->sessions_established = env.bridge()->sink().sessions_established();
+      stats_->client_drops = env.bridge()->sink().connections_dropped();
+      stats_->server_drops = env.bridge()->server().connections_dropped();
+      stats_->duplicates_dropped = env.bridge()->server().duplicates_dropped();
+      stats_->events_discarded = env.bridge()->sink().events_discarded();
+      stats_->unacked_at_end = env.bridge()->sink().unacked();
+    }
+    return common::Status::OK();
+  }
+
+ private:
+  std::vector<SyntheticEvent> workload_;
+  std::map<std::string, std::vector<std::string>>* streams_;
+  RemoteStats* stats_;
+};
+
+harness::ScenarioOptions BaseOptions() {
+  harness::ScenarioOptions options;
+  options.mode = harness::DispatchMode::kSerial;
+  options.duration = 80.0;
+  options.hosts = 3;
+  options.inject_failures = false;
+  return options;
+}
+
+/// The fault schedule each seeded run wraps around the client end of
+/// every (re)connection. Probabilities are per ≤24-byte chunk, so a
+/// 100-byte event frame faces several independent fault rolls and
+/// disconnects regularly land mid-frame (the torn-delivery cases).
+RemoteBridge::PairFactory FaultyPairFactory(uint64_t seed) {
+  auto rng = std::make_shared<common::Rng>(seed);
+  return [rng]() {
+    auto [client_end, server_end] = LoopbackChannel::CreatePair();
+    FaultPlan plan;
+    plan.seed = rng->engine()();  // fresh deterministic stream per connection
+    plan.max_chunk = 24;
+    plan.drop_chunk = 0.02;
+    plan.duplicate_chunk = 0.02;
+    plan.reorder_chunk = 0.02;
+    plan.corrupt_bit = 0.02;
+    plan.partial_write = 0.05;
+    plan.disconnect = 0.01;
+    return std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>(
+        std::make_unique<FaultyChannel>(std::move(client_end), plan),
+        std::move(server_end));
+  };
+}
+
+struct RunOutput {
+  harness::RunResult result;
+  std::map<std::string, std::vector<std::string>> streams;
+  RemoteStats stats;
+};
+
+RunOutput RunOracle(const std::vector<SyntheticEvent>& workload) {
+  RunOutput output;
+  SyntheticPlaneScenario scenario(workload, &output.streams, &output.stats);
+  output.result = harness::RunScenario(scenario, BaseOptions());
+  return output;
+}
+
+RunOutput RunRemote(const std::vector<SyntheticEvent>& workload,
+                    RemoteBridge::PairFactory make_pair) {
+  RunOutput output;
+  SyntheticPlaneScenario scenario(workload, &output.streams, &output.stats);
+  harness::ScenarioOptions options = BaseOptions();
+  options.remote_event_plane = true;
+  options.remote_make_pair = std::move(make_pair);
+  output.result = harness::RunScenario(scenario, options);
+  return output;
+}
+
+TEST(TransportFaultTest, CleanLoopbackIsByteIdenticalToOracle) {
+  std::vector<SyntheticEvent> workload = MakeWorkload();
+  RunOutput oracle = RunOracle(workload);
+  ASSERT_TRUE(oracle.result.verify.ok());
+  ASSERT_GT(oracle.result.events_delivered, 100u);
+
+  RunOutput remote = RunRemote(workload, /*make_pair=*/nullptr);
+  ASSERT_TRUE(remote.result.verify.ok());
+  EXPECT_EQ(remote.stats.sessions_established, 1u);
+  EXPECT_EQ(remote.stats.client_drops, 0u);
+  EXPECT_EQ(remote.stats.unacked_at_end, 0u);
+  EXPECT_EQ(remote.result.events_delivered, oracle.result.events_delivered);
+  EXPECT_EQ(FlattenJournal(remote.result.journal),
+            FlattenJournal(oracle.result.journal));
+  EXPECT_EQ(remote.streams, oracle.streams);
+}
+
+// The tentpole equivalence property: across ≥10 fault seeds — dropped,
+// duplicated, reordered, bit-flipped, torn writes, and hard mid-delivery
+// disconnects — the per-application event streams and the §7 transaction
+// journal come out byte-identical to the in-process oracle, every
+// disconnect is recovered, and nothing is delivered twice (the server's
+// sequence dedup eats redelivered duplicates).
+TEST(TransportFaultTest, FaultySeedsAreByteIdenticalToOracle) {
+  std::vector<SyntheticEvent> workload = MakeWorkload();
+  RunOutput oracle = RunOracle(workload);
+  ASSERT_TRUE(oracle.result.verify.ok());
+
+  uint64_t total_drops = 0;
+  uint64_t reconnected_seeds = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    RunOutput remote = RunRemote(workload, FaultyPairFactory(seed));
+    ASSERT_TRUE(remote.result.verify.ok());
+
+    // Every journaled event survived the faults exactly once, in order.
+    EXPECT_EQ(remote.stats.unacked_at_end, 0u);
+    EXPECT_EQ(remote.stats.events_discarded, 0u);
+    EXPECT_EQ(remote.result.events_delivered, oracle.result.events_delivered);
+    EXPECT_EQ(FlattenJournal(remote.result.journal),
+              FlattenJournal(oracle.result.journal));
+    EXPECT_EQ(remote.streams, oracle.streams);
+
+    total_drops += remote.stats.client_drops + remote.stats.server_drops;
+    if (remote.stats.sessions_established >= 2) ++reconnected_seeds;
+  }
+
+  // The faults must actually have bitten for the equivalence above to
+  // mean anything: connections were torn down and re-established across
+  // most seeds. (duplicates_dropped stays 0 here by design: WELCOME-based
+  // resume is exact, so a well-behaved client never resends an applied
+  // sequence — the dedup path is exercised by the protocol-level test
+  // below instead.)
+  EXPECT_GE(total_drops, 10u);
+  EXPECT_GE(reconnected_seeds, 8u);
+}
+
+/// Drives the server over a raw channel, speaking the wire protocol by
+/// hand. Lets the test play a misbehaving client — something the real
+/// RemoteEventSink never is.
+class RawProtocolClient {
+ public:
+  RawProtocolClient(EventBusServer* server, Channel* channel)
+      : server_(server), channel_(channel) {}
+
+  void SendFrame(FrameType type, const std::vector<uint8_t>& payload) {
+    std::vector<uint8_t> bytes;
+    EncodeFrame(type, payload, &bytes);
+    size_t off = 0;
+    while (off < bytes.size()) {
+      common::Result<size_t> sent =
+          channel_->Send(bytes.data() + off, bytes.size() - off);
+      ASSERT_TRUE(sent.ok());
+      ASSERT_GT(*sent, 0u);
+      off += *sent;
+    }
+    now_ += 0.01;
+    server_->Pump(now_);
+  }
+
+  /// Drains everything the server sent back and returns it decoded.
+  std::vector<DecodedFrame> DrainReceived() {
+    std::vector<DecodedFrame> frames;
+    uint8_t buf[512];
+    for (;;) {
+      common::Result<size_t> got = channel_->Receive(buf, sizeof(buf));
+      if (!got.ok() || *got == 0) break;
+      EXPECT_TRUE(decoder_.Feed(buf, *got, &frames).ok());
+    }
+    return frames;
+  }
+
+ private:
+  EventBusServer* server_;
+  Channel* channel_;
+  FrameDecoder decoder_;
+  double now_ = 0;
+};
+
+// The dedup half of exactly-once: a client that redelivers blindly —
+// say one that crashed after sending but before recording the ack
+// horizon, then replays its whole journal — must not get anything
+// applied twice. The server drops every sequence at or below its applied
+// horizon and re-acks, and a sequence *gap* (which redelivery can never
+// legitimately produce) kills the connection instead of being applied
+// out of order.
+TEST(TransportFaultTest, ServerDropsBlindlyRedeliveredSequences) {
+  EventBusServer server({}, nullptr);
+  auto [client_end, server_end] = LoopbackChannel::CreatePair();
+  server.Accept(std::move(server_end), 0.0);
+  RawProtocolClient client(&server, client_end.get());
+
+  HelloMsg hello;
+  hello.client_id = 7;
+  hello.first_seq = 1;
+  client.SendFrame(FrameType::kHello, EncodeHello(hello));
+  {
+    std::vector<DecodedFrame> frames = client.DrainReceived();
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].type, FrameType::kWelcome);
+    WelcomeMsg welcome;
+    ASSERT_TRUE(DecodeWelcome(frames[0].payload, &welcome).ok());
+    EXPECT_EQ(welcome.last_applied, 0u);
+  }
+
+  UserEventMsg user;
+  user.name = "probe";
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(1, user));
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(2, user));
+  EXPECT_EQ(server.events_applied(), 2u);
+  EXPECT_EQ(server.last_applied(), 2u);
+
+  // Full blind replay plus one genuinely new event: the replayed pair is
+  // dropped by sequence, the new one applied, and the re-ack covers all.
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(1, user));
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(2, user));
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(3, user));
+  EXPECT_EQ(server.duplicates_dropped(), 2u);
+  EXPECT_EQ(server.events_applied(), 3u);
+  EXPECT_EQ(server.last_applied(), 3u);
+  {
+    std::vector<DecodedFrame> frames = client.DrainReceived();
+    ASSERT_FALSE(frames.empty());
+    AckMsg ack;
+    ASSERT_EQ(frames.back().type, FrameType::kAck);
+    ASSERT_TRUE(DecodeAck(frames.back().payload, &ack).ok());
+    EXPECT_EQ(ack.last_applied, 3u);
+  }
+
+  // A gap means journal loss on the client — not recoverable by the
+  // ordering guarantee, so the server refuses rather than applying out
+  // of sequence.
+  ASSERT_TRUE(server.connected());
+  client.SendFrame(FrameType::kEvent, EncodeUserEvent(9, user));
+  EXPECT_FALSE(server.connected());
+  EXPECT_EQ(server.connections_dropped(), 1u);
+  EXPECT_EQ(server.last_drop_reason().substr(0, 12), "sequence gap");
+  EXPECT_EQ(server.events_applied(), 3u);
+}
+
+}  // namespace
+}  // namespace orcastream::net

@@ -12,7 +12,9 @@
 #include "harness/scenarios.h"
 #include "harness/slo_report.h"
 #include "harness/soak_driver.h"
+#include "net/remote_bridge.h"
 #include "ops/sinks.h"
+#include "orca/orca_service.h"
 #include "ops/standard.h"
 #include "runtime/failure_injector.h"
 #include "runtime/sam.h"
@@ -21,6 +23,15 @@
 #include "topology/app_builder.h"
 
 namespace orcastream::testing {
+
+/// How a ClusterHarness-built OrcaService receives detection events.
+enum class SinkMode {
+  /// The service is its own failure sink (direct function calls).
+  kInProcess,
+  /// Events cross the src/net framed transport over an inline loopback
+  /// pair — same observable behaviour, real wire format in between.
+  kRemote,
+};
 
 /// Spins up a small simulated cluster (SRM + SAM + standard operators) for
 /// runtime-level tests. Collected sink output is recorded per sink kind.
@@ -43,6 +54,30 @@ class ClusterHarness {
   runtime::Sam& sam() { return *sam_; }
   runtime::OperatorFactory& factory() { return factory_; }
 
+  /// Builds the harness's OrcaService, wired per `sink_mode`. Tests that
+  /// assert on control-plane behaviour run the same body under both
+  /// modes: the remote plane's whole contract is that they can't tell
+  /// the difference.
+  orca::OrcaService& InitService(orca::OrcaService::Config config = {},
+                                 SinkMode sink_mode = SinkMode::kInProcess) {
+    if (sink_mode == SinkMode::kRemote) {
+      net::RemoteBridge::Options bridge_options;
+      bridge_options.metric_pull_period = config.metric_pull_period;
+      bridge_ = std::make_unique<net::RemoteBridge>(&sim_, &srm_,
+                                                    std::move(bridge_options));
+      config.failure_sink = &bridge_->sink();
+      config.remote_event_plane = true;
+    }
+    service_ = std::make_unique<orca::OrcaService>(&sim_, sam_.get(), &srm_,
+                                                   config);
+    if (bridge_ != nullptr) bridge_->BindService(service_.get());
+    return *service_;
+  }
+
+  orca::OrcaService& service() { return *service_; }
+  /// Non-null after InitService(..., SinkMode::kRemote).
+  net::RemoteBridge* bridge() { return bridge_.get(); }
+
   /// Registers a CallbackSink kind that appends tuples to an internal log.
   /// Returns a pointer to the log (stable for the harness lifetime).
   std::vector<topology::Tuple>* AddSinkKind(const std::string& kind) {
@@ -62,6 +97,9 @@ class ClusterHarness {
   runtime::Srm srm_;
   runtime::OperatorFactory factory_;
   std::unique_ptr<runtime::Sam> sam_;
+  /// Bridge before service: the service's config points at its sink.
+  std::unique_ptr<net::RemoteBridge> bridge_;
+  std::unique_ptr<orca::OrcaService> service_;
   std::vector<std::shared_ptr<std::vector<topology::Tuple>>> logs_;
 };
 
