@@ -6,6 +6,8 @@ namespace orcastream::baseline {
 
 using orca::OperatorMetricContext;
 using orca::OperatorMetricScope;
+using orca::PeMetricContext;
+using orca::PeMetricScope;
 
 SqlScopeEval::SqlScopeEval(const orca::GraphView::JobRecord& job) {
   app_name_ = job.app_name;
@@ -15,6 +17,9 @@ SqlScopeEval::SqlScopeEval(const orca::GraphView::JobRecord& job) {
   for (const auto& comp : job.model.composites()) {
     composite_instances_.push_back(
         CompositeRow{comp.name, comp.kind, comp.parent});
+  }
+  for (const auto& pe : job.pes) {
+    pe_instances_.push_back(PeRow{pe.id.value(), pe.host.value()});
   }
   // Recursive CTE: seed with direct (comp, parent) pairs, then iterate
   // CompPairs ⋈ CompositeInstances until fixpoint (semi-naive).
@@ -114,6 +119,40 @@ bool SqlScopeEval::Matches(const OperatorMetricScope& scope,
       }
       if (contained_in(comp.name)) any = true;
     }
+    if (!any) return false;
+  }
+  return true;
+}
+
+bool SqlScopeEval::Matches(const PeMetricScope& scope,
+                           const PeMetricContext& context) const {
+  // Application predicate (disjunctive IN-list).
+  if (!scope.applications().empty() &&
+      std::find(scope.applications().begin(), scope.applications().end(),
+                context.application) == scope.applications().end()) {
+    return false;
+  }
+  // PM.metricName IN (...).
+  if (!scope.metric_names().empty() &&
+      std::find(scope.metric_names().begin(), scope.metric_names().end(),
+                context.metric) == scope.metric_names().end()) {
+    return false;
+  }
+
+  // Join PEMetrics to PEInstances on peId — a sample for a PE the job
+  // does not host falls out of the join, exactly as in SQL.
+  const PeRow* pe = nullptr;
+  for (const auto& row : pe_instances_) {
+    if (row.pe_id == context.pe.value()) pe = &row;
+  }
+  if (pe == nullptr) return false;
+
+  // PI.peId IN (...).
+  if (!scope.pes().empty()) {
+    bool any = std::any_of(scope.pes().begin(), scope.pes().end(),
+                           [&](common::PeId id) {
+                             return id.value() == pe->pe_id;
+                           });
     if (!any) return false;
   }
   return true;

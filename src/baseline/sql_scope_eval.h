@@ -37,8 +37,18 @@ class SqlScopeEval {
   bool Matches(const orca::OperatorMetricScope& scope,
                const orca::OperatorMetricContext& context) const;
 
+  /// PE-metric flavor of the same query — PEMetrics joined to
+  /// PEInstances on peId with the application/metric/pes IN-lists as
+  /// selections (PE metrics carry no composite containment, so no
+  /// recursive closure is involved). Executable specification for
+  /// MatchPeMetric and the planner's pe-metric path.
+  bool Matches(const orca::PeMetricScope& scope,
+               const orca::PeMetricContext& context) const;
+
   /// Number of rows in the recursive closure (bench instrumentation).
   size_t closure_size() const { return comp_pairs_.size(); }
+  /// Number of rows in the PEInstances base table.
+  size_t pe_instance_count() const { return pe_instances_.size(); }
 
  private:
   struct OperatorRow {
@@ -51,9 +61,14 @@ class SqlScopeEval {
     std::string kind;
     std::string parent;
   };
+  struct PeRow {
+    int64_t pe_id;
+    int64_t host;
+  };
 
   std::string app_name_;
   std::vector<OperatorRow> operator_instances_;
+  std::vector<PeRow> pe_instances_;
   std::vector<CompositeRow> composite_instances_;
   /// CompPairs: (compName, ancestorName) — compName is contained, at any
   /// depth, in ancestorName (includes the reflexive pair like the paper's

@@ -48,9 +48,40 @@ std::vector<std::string> KeysOfAll(const std::vector<Slot>& slots,
   return matched;
 }
 
+/// Copy of `values` with duplicates removed (a filter may legally repeat
+/// a value; the planner's Add/Kill must see each value once).
+std::vector<std::string> Deduped(const std::vector<std::string>& values) {
+  std::vector<std::string> out = values;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace
 
 // --- Index insertion --------------------------------------------------------
+
+plan::AttributeValues ScopeRegistry::PlanValuesOf(
+    const OperatorMetricScope& scope) {
+  plan::AttributeValues values(3);
+  values[0] = Deduped(scope.metric_names());
+  values[1] = Deduped(scope.applications());
+  values[2] = Deduped(scope.operator_names());
+  return values;
+}
+
+plan::AttributeValues ScopeRegistry::PlanValuesOf(const PeMetricScope& scope) {
+  plan::AttributeValues values(3);
+  values[0] = Deduped(scope.metric_names());
+  std::vector<std::string> pes;
+  pes.reserve(scope.pes().size());
+  for (common::PeId pe : scope.pes()) pes.push_back(std::to_string(pe.value()));
+  std::sort(pes.begin(), pes.end());
+  pes.erase(std::unique(pes.begin(), pes.end()), pes.end());
+  values[1] = std::move(pes);
+  values[2] = Deduped(scope.applications());
+  return values;
+}
 
 void ScopeRegistry::IndexScope(const OperatorMetricScope& scope,
                                uint32_t position) {
@@ -58,12 +89,18 @@ void ScopeRegistry::IndexScope(const OperatorMetricScope& scope,
     for (const auto& metric : scope.metric_names()) {
       operator_metric_by_metric_[metric].push_back(position);
     }
+    BumpIndex(kOpMetricByMetric, scope.metric_names().size());
   } else if (!scope.applications().empty()) {
     for (const auto& application : scope.applications()) {
       operator_metric_by_application_[application].push_back(position);
     }
+    BumpIndex(kOpMetricByApplication, scope.applications().size());
   } else {
     operator_metric_residual_.push_back(position);
+    BumpIndex(kOpMetricResidual, 1);
+  }
+  if (operator_metric_plan_ != nullptr) {
+    operator_metric_plan_->Add(position, PlanValuesOf(scope));
   }
 }
 
@@ -72,16 +109,23 @@ void ScopeRegistry::IndexScope(const PeMetricScope& scope, uint32_t position) {
     for (const auto& metric : scope.metric_names()) {
       pe_metric_by_metric_[metric].push_back(position);
     }
+    BumpIndex(kPeMetricByMetric, scope.metric_names().size());
   } else if (!scope.pes().empty()) {
     for (common::PeId pe : scope.pes()) {
       pe_metric_by_pe_[pe.value()].push_back(position);
     }
+    BumpIndex(kPeMetricByPe, scope.pes().size());
   } else if (!scope.applications().empty()) {
     for (const auto& application : scope.applications()) {
       pe_metric_by_application_[application].push_back(position);
     }
+    BumpIndex(kPeMetricByApplication, scope.applications().size());
   } else {
     pe_metric_residual_.push_back(position);
+    BumpIndex(kPeMetricResidual, 1);
+  }
+  if (pe_metric_plan_ != nullptr) {
+    pe_metric_plan_->Add(position, PlanValuesOf(scope));
   }
 }
 
@@ -91,8 +135,10 @@ void ScopeRegistry::IndexScope(const PeFailureScope& scope,
     for (const auto& application : scope.applications()) {
       pe_failure_by_application_[application].push_back(position);
     }
+    BumpIndex(kPeFailureByApplication, scope.applications().size());
   } else {
     pe_failure_residual_.push_back(position);
+    BumpIndex(kPeFailureResidual, 1);
   }
 }
 
@@ -101,8 +147,10 @@ void ScopeRegistry::IndexScope(const JobEventScope& scope, uint32_t position) {
     for (const auto& application : scope.applications()) {
       job_event_by_application_[application].push_back(position);
     }
+    BumpIndex(kJobEventByApplication, scope.applications().size());
   } else {
     job_event_residual_.push_back(position);
+    BumpIndex(kJobEventResidual, 1);
   }
 }
 
@@ -112,8 +160,64 @@ void ScopeRegistry::IndexScope(const UserEventScope& scope,
     for (const auto& name : scope.names()) {
       user_event_by_name_[name].push_back(position);
     }
+    BumpIndex(kUserEventByName, scope.names().size());
   } else {
     user_event_residual_.push_back(position);
+    BumpIndex(kUserEventResidual, 1);
+  }
+}
+
+void ScopeRegistry::UnindexScope(const OperatorMetricScope& scope,
+                                 uint32_t position) {
+  if (!scope.metric_names().empty()) {
+    DropIndex(kOpMetricByMetric, scope.metric_names().size());
+  } else if (!scope.applications().empty()) {
+    DropIndex(kOpMetricByApplication, scope.applications().size());
+  } else {
+    DropIndex(kOpMetricResidual, 1);
+  }
+  if (operator_metric_plan_ != nullptr) {
+    operator_metric_plan_->Kill(position, PlanValuesOf(scope));
+  }
+}
+
+void ScopeRegistry::UnindexScope(const PeMetricScope& scope,
+                                 uint32_t position) {
+  if (!scope.metric_names().empty()) {
+    DropIndex(kPeMetricByMetric, scope.metric_names().size());
+  } else if (!scope.pes().empty()) {
+    DropIndex(kPeMetricByPe, scope.pes().size());
+  } else if (!scope.applications().empty()) {
+    DropIndex(kPeMetricByApplication, scope.applications().size());
+  } else {
+    DropIndex(kPeMetricResidual, 1);
+  }
+  if (pe_metric_plan_ != nullptr) {
+    pe_metric_plan_->Kill(position, PlanValuesOf(scope));
+  }
+}
+
+void ScopeRegistry::UnindexScope(const PeFailureScope& scope, uint32_t) {
+  if (!scope.applications().empty()) {
+    DropIndex(kPeFailureByApplication, scope.applications().size());
+  } else {
+    DropIndex(kPeFailureResidual, 1);
+  }
+}
+
+void ScopeRegistry::UnindexScope(const JobEventScope& scope, uint32_t) {
+  if (!scope.applications().empty()) {
+    DropIndex(kJobEventByApplication, scope.applications().size());
+  } else {
+    DropIndex(kJobEventResidual, 1);
+  }
+}
+
+void ScopeRegistry::UnindexScope(const UserEventScope& scope, uint32_t) {
+  if (!scope.names().empty()) {
+    DropIndex(kUserEventByName, scope.names().size());
+  } else {
+    DropIndex(kUserEventResidual, 1);
   }
 }
 
@@ -121,6 +225,10 @@ void ScopeRegistry::ClearIndexesFor(const Store<OperatorMetricScope>&) {
   operator_metric_by_metric_.clear();
   operator_metric_by_application_.clear();
   operator_metric_residual_.clear();
+  ResetIndex(kOpMetricByMetric);
+  ResetIndex(kOpMetricByApplication);
+  ResetIndex(kOpMetricResidual);
+  if (operator_metric_plan_ != nullptr) operator_metric_plan_->Clear();
 }
 
 void ScopeRegistry::ClearIndexesFor(const Store<PeMetricScope>&) {
@@ -128,21 +236,32 @@ void ScopeRegistry::ClearIndexesFor(const Store<PeMetricScope>&) {
   pe_metric_by_pe_.clear();
   pe_metric_by_application_.clear();
   pe_metric_residual_.clear();
+  ResetIndex(kPeMetricByMetric);
+  ResetIndex(kPeMetricByPe);
+  ResetIndex(kPeMetricByApplication);
+  ResetIndex(kPeMetricResidual);
+  if (pe_metric_plan_ != nullptr) pe_metric_plan_->Clear();
 }
 
 void ScopeRegistry::ClearIndexesFor(const Store<PeFailureScope>&) {
   pe_failure_by_application_.clear();
   pe_failure_residual_.clear();
+  ResetIndex(kPeFailureByApplication);
+  ResetIndex(kPeFailureResidual);
 }
 
 void ScopeRegistry::ClearIndexesFor(const Store<JobEventScope>&) {
   job_event_by_application_.clear();
   job_event_residual_.clear();
+  ResetIndex(kJobEventByApplication);
+  ResetIndex(kJobEventResidual);
 }
 
 void ScopeRegistry::ClearIndexesFor(const Store<UserEventScope>&) {
   user_event_by_name_.clear();
   user_event_residual_.clear();
+  ResetIndex(kUserEventByName);
+  ResetIndex(kUserEventResidual);
 }
 
 // --- Registration lifecycle -------------------------------------------------
@@ -159,9 +278,11 @@ void ScopeRegistry::RegisterIn(Store<Scope>& store, ScopeType type,
 
 void ScopeRegistry::Register(OperatorMetricScope scope) {
   RegisterIn(operator_metric_, ScopeType::kOperatorMetric, std::move(scope));
+  PreparePlans();
 }
 void ScopeRegistry::Register(PeMetricScope scope) {
   RegisterIn(pe_metric_, ScopeType::kPeMetric, std::move(scope));
+  PreparePlans();
 }
 void ScopeRegistry::Register(PeFailureScope scope) {
   RegisterIn(pe_failure_, ScopeType::kPeFailure, std::move(scope));
@@ -180,6 +301,7 @@ bool ScopeRegistry::TakeSlot(Store<Scope>& store, uint32_t position,
                              std::vector<ExtractedScope>& out) {
   Slot<Scope>& slot = store.slots[position];
   if (!slot.live) return false;
+  UnindexScope(slot.scope, position);
   out.push_back(
       ExtractedScope{std::move(slot.scope), slot.generation, slot.sequence});
   // Tombstone like Unregister: index buckets keep the dead position and
@@ -217,6 +339,7 @@ std::vector<ScopeRegistry::ExtractedScope> ScopeRegistry::ExtractKeys(
     key_map_.erase(it);
   }
   MaybeCompact();
+  PreparePlans();
   return out;
 }
 
@@ -311,12 +434,14 @@ void ScopeRegistry::InsertExtracted(std::vector<ExtractedScope> extracted) {
   moved |= RestoreSequenceOrder(user_event_,
                                 [this] { ClearIndexesFor(user_event_); });
   if (moved) RebuildKeyMap();
+  PreparePlans();
 }
 
 template <typename Scope>
 bool ScopeRegistry::Kill(Store<Scope>& store, uint32_t position) {
   Slot<Scope>& slot = store.slots[position];
   if (!slot.live) return false;
+  UnindexScope(slot.scope, position);
   slot.live = false;
   ++store.dead;
   return true;
@@ -347,6 +472,7 @@ size_t ScopeRegistry::Unregister(const std::string& key) {
   }
   key_map_.erase(it);
   MaybeCompact();
+  PreparePlans();
   return removed;
 }
 
@@ -368,8 +494,11 @@ size_t ScopeRegistry::RetireGenerationIn(
     Store<Scope>& store, Generation generation,
     std::vector<std::string>& retired_keys) {
   size_t removed = 0;
-  for (Slot<Scope>& slot : store.slots) {
+  for (uint32_t position = 0;
+       position < static_cast<uint32_t>(store.slots.size()); ++position) {
+    Slot<Scope>& slot = store.slots[position];
     if (slot.live && slot.generation == generation) {
+      UnindexScope(slot.scope, position);
       slot.live = false;
       ++store.dead;
       ++removed;
@@ -419,6 +548,7 @@ size_t ScopeRegistry::RetireGeneration(Generation generation) {
       if (refs.empty()) key_map_.erase(it);
     }
     MaybeCompact();
+    PreparePlans();
   }
   return removed;
 }
@@ -438,6 +568,87 @@ void ScopeRegistry::Clear() {
   // current_generation_ and next_sequence_ stay monotonic so a stale
   // generation id can never alias a later logic's registrations and
   // sequence-based merge order survives a Clear.
+}
+
+// --- Predicate planner ------------------------------------------------------
+
+void ScopeRegistry::set_predicate_planner(bool enabled) {
+  if (!enabled) {
+    operator_metric_plan_.reset();
+    pe_metric_plan_.reset();
+    return;
+  }
+  operator_metric_plan_ = std::make_unique<plan::ShapeIndex>(3, planner_policy_);
+  pe_metric_plan_ = std::make_unique<plan::ShapeIndex>(3, planner_policy_);
+  // Rebuild from the live slots (dead positions are simply absent from
+  // the postings — lookups never need them).
+  for (uint32_t position = 0;
+       position < static_cast<uint32_t>(operator_metric_.slots.size());
+       ++position) {
+    const auto& slot = operator_metric_.slots[position];
+    if (slot.live) operator_metric_plan_->Add(position, PlanValuesOf(slot.scope));
+  }
+  for (uint32_t position = 0;
+       position < static_cast<uint32_t>(pe_metric_.slots.size()); ++position) {
+    const auto& slot = pe_metric_.slots[position];
+    if (slot.live) pe_metric_plan_->Add(position, PlanValuesOf(slot.scope));
+  }
+  PreparePlans();
+}
+
+void ScopeRegistry::set_planner_policy(const plan::PlannerPolicy& policy) {
+  planner_policy_ = policy;
+  if (predicate_planner()) set_predicate_planner(true);
+}
+
+void ScopeRegistry::PreparePlans() {
+  if (operator_metric_plan_ != nullptr) operator_metric_plan_->Prepare();
+  if (pe_metric_plan_ != nullptr) pe_metric_plan_->Prepare();
+}
+
+plan::PlanStats ScopeRegistry::plan_stats() const {
+  plan::PlanStats stats;
+  if (operator_metric_plan_ != nullptr) stats += operator_metric_plan_->stats();
+  if (pe_metric_plan_ != nullptr) stats += pe_metric_plan_->stats();
+  return stats;
+}
+
+std::vector<ScopeRegistry::IndexCardinality> ScopeRegistry::index_stats()
+    const {
+  auto entry = [this](const char* name, IndexId id, size_t buckets) {
+    return IndexCardinality{name, buckets, index_cards_[id].entries,
+                            index_cards_[id].live};
+  };
+  auto residual_buckets = [](const Bucket& bucket) -> size_t {
+    return bucket.empty() ? 0 : 1;
+  };
+  return {
+      entry("operator_metric.by_metric", kOpMetricByMetric,
+            operator_metric_by_metric_.size()),
+      entry("operator_metric.by_application", kOpMetricByApplication,
+            operator_metric_by_application_.size()),
+      entry("operator_metric.residual", kOpMetricResidual,
+            residual_buckets(operator_metric_residual_)),
+      entry("pe_metric.by_metric", kPeMetricByMetric,
+            pe_metric_by_metric_.size()),
+      entry("pe_metric.by_pe", kPeMetricByPe, pe_metric_by_pe_.size()),
+      entry("pe_metric.by_application", kPeMetricByApplication,
+            pe_metric_by_application_.size()),
+      entry("pe_metric.residual", kPeMetricResidual,
+            residual_buckets(pe_metric_residual_)),
+      entry("pe_failure.by_application", kPeFailureByApplication,
+            pe_failure_by_application_.size()),
+      entry("pe_failure.residual", kPeFailureResidual,
+            residual_buckets(pe_failure_residual_)),
+      entry("job_event.by_application", kJobEventByApplication,
+            job_event_by_application_.size()),
+      entry("job_event.residual", kJobEventResidual,
+            residual_buckets(job_event_residual_)),
+      entry("user_event.by_name", kUserEventByName,
+            user_event_by_name_.size()),
+      entry("user_event.residual", kUserEventResidual,
+            residual_buckets(user_event_residual_)),
+  };
 }
 
 size_t ScopeRegistry::size() const {
@@ -544,27 +755,45 @@ std::vector<uint32_t> ScopeRegistry::GatherCandidates(
 
 std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const OperatorMetricContext& context, const GraphView& graph) const {
+  auto match = [&](const OperatorMetricScope& scope) {
+    return MatchOperatorMetric(scope, context, graph);
+  };
+  if (operator_metric_plan_ != nullptr) {
+    std::vector<uint32_t> candidates;
+    if (operator_metric_plan_->Collect(
+            {&context.metric, &context.application, &context.instance_name},
+            &candidates)) {
+      return SeqKeysOf(operator_metric_.slots, candidates, match);
+    }
+    // Skew guard fired: the planned first probe was far larger than its
+    // estimate, so the fixed-order merge below is the safer bet.
+  }
   auto candidates = GatherCandidates(
       {Lookup(operator_metric_by_metric_, context.metric),
        Lookup(operator_metric_by_application_, context.application),
        &operator_metric_residual_});
-  return SeqKeysOf(operator_metric_.slots, candidates,
-                   [&](const OperatorMetricScope& scope) {
-                     return MatchOperatorMetric(scope, context, graph);
-                   });
+  return SeqKeysOf(operator_metric_.slots, candidates, match);
 }
 
 std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(
     const PeMetricContext& context) const {
+  auto match = [&](const PeMetricScope& scope) {
+    return MatchPeMetric(scope, context);
+  };
+  if (pe_metric_plan_ != nullptr) {
+    const std::string pe_probe = std::to_string(context.pe.value());
+    std::vector<uint32_t> candidates;
+    if (pe_metric_plan_->Collect(
+            {&context.metric, &pe_probe, &context.application}, &candidates)) {
+      return SeqKeysOf(pe_metric_.slots, candidates, match);
+    }
+  }
   auto candidates = GatherCandidates(
       {Lookup(pe_metric_by_metric_, context.metric),
        Lookup(pe_metric_by_pe_, context.pe),
        Lookup(pe_metric_by_application_, context.application),
        &pe_metric_residual_});
-  return SeqKeysOf(pe_metric_.slots, candidates,
-                   [&](const PeMetricScope& scope) {
-                     return MatchPeMetric(scope, context);
-                   });
+  return SeqKeysOf(pe_metric_.slots, candidates, match);
 }
 
 std::vector<SeqKey> ScopeRegistry::MatchedSeqKeys(

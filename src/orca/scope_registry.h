@@ -1,7 +1,9 @@
 #ifndef ORCASTREAM_ORCA_SCOPE_REGISTRY_H_
 #define ORCASTREAM_ORCA_SCOPE_REGISTRY_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <variant>
@@ -10,6 +12,7 @@
 #include "orca/event_scope.h"
 #include "orca/events.h"
 #include "orca/graph_view.h"
+#include "plan/shape_index.h"
 
 namespace orcastream::orca {
 
@@ -182,6 +185,58 @@ class ScopeRegistry {
   std::vector<std::string> MatchedKeysLinear(
       const UserEventContext& context) const;
 
+  // --- Predicate planner (src/plan/) --------------------------------------
+
+  /// Enables planned evaluation for the metric match paths: compound
+  /// predicates are grouped by shape (the set of indexable attributes
+  /// they filter on) and each lookup runs the shape's compiled
+  /// intersection plan — probe the smallest estimated bucket first,
+  /// intersect outward, short-circuit on empty — instead of the
+  /// fixed-order union-then-filter merge. Results are byte-identical to
+  /// MatchedKeysLinear either way (the full predicates re-run over every
+  /// candidate); when the skew guard distrusts a plan's estimates the
+  /// lookup silently falls back to the fixed-order merge. Enabling on a
+  /// populated registry rebuilds the plan indexes from the live slots.
+  void set_predicate_planner(bool enabled);
+  bool predicate_planner() const { return operator_metric_plan_ != nullptr; }
+
+  /// Skew-guard tuning; takes effect immediately (rebuilds the plan
+  /// indexes when the planner is enabled).
+  void set_planner_policy(const plan::PlannerPolicy& policy);
+
+  /// Combined planner counters of both metric shape indexes.
+  plan::PlanStats plan_stats() const;
+
+  /// The shape indexes themselves (tests inspect compiled plans).
+  const plan::ShapeIndex* operator_metric_plan() const {
+    return operator_metric_plan_.get();
+  }
+  const plan::ShapeIndex* pe_metric_plan() const {
+    return pe_metric_plan_.get();
+  }
+
+  // --- Index cardinality introspection ------------------------------------
+
+  /// Live-vs-tombstoned cardinality of one inverted index, maintained
+  /// incrementally at register/unregister/retire/compaction time — no
+  /// scan. `buckets` counts the distinct indexed values right now;
+  /// `entries` counts posting entries including tombstoned ones (they
+  /// stay in the buckets until the owning store compacts); `live` counts
+  /// entries whose slot is still live. After a compaction rebuilds a
+  /// store's indexes, its entries == live (dead() == 0), reconciling with
+  /// the store contributing nothing to dead_count().
+  struct IndexCardinality {
+    const char* index = "";
+    size_t buckets = 0;
+    size_t entries = 0;
+    size_t live = 0;
+
+    size_t dead() const { return entries - live; }
+  };
+  /// One entry per inverted index (residual sets included), in a fixed
+  /// order.
+  std::vector<IndexCardinality> index_stats() const;
+
   // --- Tombstone / compaction introspection (tests, benches) -------------
 
   /// Tombstoned slots not yet reclaimed by compaction, across all stores.
@@ -246,13 +301,72 @@ class ScopeRegistry {
                               const std::string& key);
   static const Bucket* Lookup(const PeIndex& index, common::PeId pe);
 
+  /// Identifies one inverted index for the incremental cardinality
+  /// counters (index_stats()).
+  enum IndexId : uint8_t {
+    kOpMetricByMetric = 0,
+    kOpMetricByApplication,
+    kOpMetricResidual,
+    kPeMetricByMetric,
+    kPeMetricByPe,
+    kPeMetricByApplication,
+    kPeMetricResidual,
+    kPeFailureByApplication,
+    kPeFailureResidual,
+    kJobEventByApplication,
+    kJobEventResidual,
+    kUserEventByName,
+    kUserEventResidual,
+    kIndexCount,
+  };
+  /// entries/live counters of one index; bucket counts come from the maps
+  /// themselves (O(1) size()).
+  struct IndexCard {
+    size_t entries = 0;
+    size_t live = 0;
+  };
+  void BumpIndex(IndexId id, size_t count) {
+    index_cards_[id].entries += count;
+    index_cards_[id].live += count;
+  }
+  void DropIndex(IndexId id, size_t count) {
+    IndexCard& card = index_cards_[id];
+    card.live = card.live >= count ? card.live - count : 0;
+  }
+  void ResetIndex(IndexId id) { index_cards_[id] = IndexCard{}; }
+
   // Index-insert for one scope at a given position; used by Register and
   // replayed over live slots when a store is rebuilt after compaction.
+  // Also feeds the incremental cardinality counters and (for the metric
+  // stores) the planner's shape indexes, so plan state rebuilds in
+  // lockstep with the legacy indexes.
   void IndexScope(const OperatorMetricScope& scope, uint32_t position);
   void IndexScope(const PeMetricScope& scope, uint32_t position);
   void IndexScope(const PeFailureScope& scope, uint32_t position);
   void IndexScope(const JobEventScope& scope, uint32_t position);
   void IndexScope(const UserEventScope& scope, uint32_t position);
+
+  // Tombstone-side counterpart of IndexScope: decrements the cardinality
+  // counters and tombstones the planner postings for one slot being
+  // killed (Unregister, generation retirement, migration extraction).
+  // Must run while slot.scope is still intact.
+  void UnindexScope(const OperatorMetricScope& scope, uint32_t position);
+  void UnindexScope(const PeMetricScope& scope, uint32_t position);
+  void UnindexScope(const PeFailureScope& scope, uint32_t position);
+  void UnindexScope(const JobEventScope& scope, uint32_t position);
+  void UnindexScope(const UserEventScope& scope, uint32_t position);
+
+  /// The planner's view of a metric scope: its indexable attribute values
+  /// (deduplicated, so Add/Kill stay symmetric). Operator-metric
+  /// attributes: metric, application, operator name; PE-metric: metric,
+  /// PE id (stringified), application.
+  static plan::AttributeValues PlanValuesOf(const OperatorMetricScope& scope);
+  static plan::AttributeValues PlanValuesOf(const PeMetricScope& scope);
+
+  /// Recompiles dirty plans; called at the end of every mutating public
+  /// operation (mutations run on the owning thread with lookups
+  /// quiesced, so lookups never see a compile in flight).
+  void PreparePlans();
 
   // Clears every index member belonging to one store — the single place
   // that knows which index members a store owns (Clear and compaction
@@ -337,6 +451,17 @@ class ScopeRegistry {
   /// duplicates are tolerated: Unregister removes them all). Rebuilt
   /// whenever compaction renumbers positions.
   std::unordered_map<std::string, std::vector<SlotRef>> key_map_;
+
+  /// Incremental per-index cardinalities (see index_stats()).
+  std::array<IndexCard, kIndexCount> index_cards_{};
+
+  /// Planner state — null while disabled. Only the two metric stores get
+  /// shape indexes: they are the stores with several indexable attributes
+  /// (the other scope types have at most one, where the legacy
+  /// first-non-empty index is already the best plan).
+  std::unique_ptr<plan::ShapeIndex> operator_metric_plan_;
+  std::unique_ptr<plan::ShapeIndex> pe_metric_plan_;
+  plan::PlannerPolicy planner_policy_;
 
   Generation current_generation_ = 0;
   uint64_t next_sequence_ = 0;

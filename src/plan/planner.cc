@@ -1,0 +1,32 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+namespace orcastream::plan {
+
+CompiledPlan Planner::Compile(uint32_t shape, const CardinalityStats& stats,
+                              uint64_t epoch) const {
+  CompiledPlan plan;
+  plan.shape = shape;
+  plan.epoch = epoch;
+  for (size_t attr = 0; attr < stats.attr_count(); ++attr) {
+    if ((shape & (1u << attr)) == 0) continue;
+    plan.steps.push_back(
+        PlanStep{attr, stats.attribute(attr).avg_live_bucket()});
+  }
+  std::stable_sort(plan.steps.begin(), plan.steps.end(),
+                   [](const PlanStep& a, const PlanStep& b) {
+                     return a.expected_live < b.expected_live;
+                   });
+  return plan;
+}
+
+bool Planner::SkewGuardTriggered(double expected_live,
+                                 size_t actual_live) const {
+  if (actual_live < policy_.skew_guard_floor) return false;
+  double expected = std::max(expected_live, 1.0);
+  return static_cast<double>(actual_live) >
+         policy_.skew_guard_ratio * expected;
+}
+
+}  // namespace orcastream::plan

@@ -1,0 +1,70 @@
+#ifndef ORCASTREAM_PLAN_PLANNER_H_
+#define ORCASTREAM_PLAN_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plan/cardinality_stats.h"
+
+namespace orcastream::plan {
+
+/// One probe of a compiled intersection plan: which attribute to probe and
+/// the live bucket size the planner expected when it ordered the plan
+/// (the skew guard compares the actual bucket against this estimate).
+struct PlanStep {
+  size_t attr = 0;
+  double expected_live = 0.0;
+};
+
+/// An ordered intersection plan for one predicate shape: probe the
+/// attribute with the smallest estimated bucket first, intersect outward,
+/// short-circuit as soon as a probe comes back empty. `epoch` records the
+/// ShapeIndex mutation epoch the plan was compiled at — churn bumps the
+/// epoch, so a stale plan is visible to Prepare() and recompiled before
+/// the next lookup. A stale plan is never *wrong* (the full predicates
+/// re-run over every candidate), only potentially mis-ordered.
+struct CompiledPlan {
+  uint32_t shape = 0;
+  uint64_t epoch = 0;
+  std::vector<PlanStep> steps;
+};
+
+/// When to distrust a plan at probe time. The first probed bucket is the
+/// one the whole ordering decision rests on; if its actual live size blows
+/// past `skew_guard_ratio` × the estimate it was ordered by (and past the
+/// absolute `skew_guard_floor`, so tiny groups never trip it), the
+/// estimates are unreliable for this probe value and the caller falls back
+/// to the fixed-order merge.
+struct PlannerPolicy {
+  double skew_guard_ratio = 8.0;
+  size_t skew_guard_floor = 64;
+};
+
+/// Compiles CardinalityStats into CompiledPlans and arbitrates the skew
+/// guard. Stateless apart from the policy; one Planner serves every shape
+/// group of a ShapeIndex.
+class Planner {
+ public:
+  Planner() = default;
+  explicit Planner(PlannerPolicy policy) : policy_(policy) {}
+
+  /// Orders the attributes of `shape` ascending by estimated live bucket
+  /// size (ties broken by attribute index, so compilation is
+  /// deterministic).
+  CompiledPlan Compile(uint32_t shape, const CardinalityStats& stats,
+                       uint64_t epoch) const;
+
+  /// True when the actual first-probe bucket is so much larger than the
+  /// estimate the plan was ordered by that the ordering is suspect.
+  bool SkewGuardTriggered(double expected_live, size_t actual_live) const;
+
+  const PlannerPolicy& policy() const { return policy_; }
+
+ private:
+  PlannerPolicy policy_;
+};
+
+}  // namespace orcastream::plan
+
+#endif  // ORCASTREAM_PLAN_PLANNER_H_
